@@ -1,0 +1,22 @@
+"""Budget-split ablation — uniform vs Corollary B.1 across thresholds.
+
+Corollary B.1 allocates rho_b proportional to max(ceil(log2(T-b+1)), 1)^3,
+equalizing the per-counter worst-case bounds; the uniform split wastes
+budget on late thresholds whose streams are short.
+"""
+
+import pytest
+
+from repro.experiments.ablations import run_budget_ablation
+from repro.experiments.config import bench_reps
+
+
+@pytest.mark.figure("abl-budget")
+def test_budget_ablation(benchmark, figure_report):
+    result = benchmark.pedantic(
+        lambda: run_budget_ablation(n_reps=max(bench_reps() // 2, 5), seed=12),
+        rounds=1,
+        iterations=1,
+    )
+    figure_report(result.render())
+    assert result.all_checks_pass, result.render()

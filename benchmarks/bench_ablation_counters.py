@@ -1,0 +1,23 @@
+"""Counter ablation — Algorithm 2 with every registered stream counter.
+
+Paper §1.1: "Stream counters enjoying improved concrete accuracy guarantees
+have been the focus of recent attention ... using them in place of the tree
+counter in our work may yield improved practical results."  This benchmark
+quantifies that: same data, same budget, five different counters.
+"""
+
+import pytest
+
+from repro.experiments.ablations import run_counter_ablation
+from repro.experiments.config import bench_reps
+
+
+@pytest.mark.figure("abl-counter")
+def test_counter_ablation(benchmark, figure_report):
+    result = benchmark.pedantic(
+        lambda: run_counter_ablation(n_reps=max(bench_reps() // 2, 5), seed=10),
+        rounds=1,
+        iterations=1,
+    )
+    figure_report(result.render())
+    assert result.all_checks_pass, result.render()

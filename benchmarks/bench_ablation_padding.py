@@ -1,0 +1,23 @@
+"""Padding ablation — n_pad from 0 (naive clamping) to the Theorem 3.2 value.
+
+Paper §3.1: clamping noisy counts "will break the consistency guarantee";
+padding sized by the error bound keeps every count positive with
+probability 1 - beta.  The comparison table counts clamping events and
+errors per padding level.
+"""
+
+import pytest
+
+from repro.experiments.ablations import run_padding_ablation
+from repro.experiments.config import bench_reps
+
+
+@pytest.mark.figure("abl-npad")
+def test_padding_ablation(benchmark, figure_report):
+    result = benchmark.pedantic(
+        lambda: run_padding_ablation(n_reps=max(bench_reps() // 2, 5), seed=11),
+        rounds=1,
+        iterations=1,
+    )
+    figure_report(result.render())
+    assert result.all_checks_pass, result.render()

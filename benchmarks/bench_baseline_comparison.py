@@ -1,0 +1,24 @@
+"""Baseline comparison — Algorithm 1 vs recompute-from-scratch.
+
+The paper's introduction argues the from-scratch baseline (a) pays a
+sqrt(T) composition penalty in accuracy and (b) breaks longitudinal
+consistency ("the number of synthetic individuals who have ever experienced
+a 6-month unemployment spell [can] decrease").  This benchmark measures
+both effects on the same panel.
+"""
+
+import pytest
+
+from repro.experiments.ablations import run_baseline_comparison
+from repro.experiments.config import bench_reps
+
+
+@pytest.mark.figure("abl-baseline")
+def test_baseline_comparison(benchmark, figure_report):
+    result = benchmark.pedantic(
+        lambda: run_baseline_comparison(n_reps=max(bench_reps() // 4, 4), seed=13),
+        rounds=1,
+        iterations=1,
+    )
+    figure_report(result.render())
+    assert result.all_checks_pass, result.render()

@@ -1,0 +1,30 @@
+"""Figure 1 — SIPP quarterly poverty proportions (biased synthetic answers).
+
+Paper setup: SIPP 2021 panel (N=23374, T=12), window k=3, rho=0.005, four
+quarterly statistics, 1000 repetitions.  The density clouds of Figure 1 sit
+visibly *above* the X ground-truth marks (padding bias); the debiased right
+panels recover the truth.  Run with ``REPRO_BENCH_REPS=1000`` for the
+paper-scale sweep.
+"""
+
+import pytest
+
+from repro.experiments.config import bench_reps
+from repro.experiments.sipp_window import run_sipp_window_experiment
+
+
+@pytest.mark.figure("fig1")
+def test_fig1_sipp_quarterly_poverty(benchmark, figure_report):
+    result = benchmark.pedantic(
+        lambda: run_sipp_window_experiment(
+            rho=0.005,
+            n_reps=bench_reps(),
+            seed=1,
+            experiment_id="fig1",
+            debias=False,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    figure_report(result.render())
+    assert result.all_checks_pass, result.render()

@@ -1,0 +1,25 @@
+"""Figure 3 — error of Algorithm 1 on simulated all-ones data, debiased.
+
+Paper setup (Appendix C.1): n=25000 all-ones streams, T=12, synthesizer
+k=3, rho=0.005; per-timestep error of all-ones queries at widths 3
+(matching: flat, below the bound), 2 (smaller: still supported), and 4
+(larger: not supported — error visibly above the supported widths).
+"""
+
+import pytest
+
+from repro.experiments.config import bench_reps
+from repro.experiments.simulated_window import run_simulated_window_experiment
+
+
+@pytest.mark.figure("fig3")
+def test_fig3_simulated_error_debiased(benchmark, figure_report):
+    result = benchmark.pedantic(
+        lambda: run_simulated_window_experiment(
+            n_reps=bench_reps(), seed=3, experiment_id="fig3", debias=True
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    figure_report(result.render())
+    assert result.all_checks_pass, result.render()

@@ -1,0 +1,28 @@
+"""Figure 5 — SIPP quarterly poverty at rho=0.001, biased vs debiased.
+
+The lowest-budget variant of the Figures 5-7 sweep: the widest noise
+clouds and the largest padding bias; debiasing recovers the truth.
+"""
+
+import pytest
+
+from repro.experiments.config import bench_reps
+from repro.experiments.sipp_window import run_sipp_window_experiment
+
+
+@pytest.mark.figure("fig5")
+def test_fig5_sipp_quarterly_rho_0001(benchmark, figure_report):
+    result = benchmark.pedantic(
+        lambda: run_sipp_window_experiment(
+            rho=0.001,
+            n_reps=bench_reps(),
+            seed=5,
+            experiment_id="fig5",
+            debias=False,
+            include_debiased_panel=True,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    figure_report(result.render())
+    assert result.all_checks_pass, result.render()

@@ -1,0 +1,27 @@
+"""Figure 6 — SIPP quarterly poverty at rho=0.005, biased vs debiased.
+
+The headline budget of the paper (same rho as Figure 1) with both panels.
+"""
+
+import pytest
+
+from repro.experiments.config import bench_reps
+from repro.experiments.sipp_window import run_sipp_window_experiment
+
+
+@pytest.mark.figure("fig6")
+def test_fig6_sipp_quarterly_rho_0005(benchmark, figure_report):
+    result = benchmark.pedantic(
+        lambda: run_sipp_window_experiment(
+            rho=0.005,
+            n_reps=bench_reps(),
+            seed=6,
+            experiment_id="fig6",
+            debias=False,
+            include_debiased_panel=True,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    figure_report(result.render())
+    assert result.all_checks_pass, result.render()

@@ -1,0 +1,28 @@
+"""Figure 7 — SIPP quarterly poverty at rho=0.05, biased vs debiased.
+
+The highest-budget variant: noise nearly vanishes, but the padding bias
+remains until debiased (the gap between the left and right panels).
+"""
+
+import pytest
+
+from repro.experiments.config import bench_reps
+from repro.experiments.sipp_window import run_sipp_window_experiment
+
+
+@pytest.mark.figure("fig7")
+def test_fig7_sipp_quarterly_rho_005(benchmark, figure_report):
+    result = benchmark.pedantic(
+        lambda: run_sipp_window_experiment(
+            rho=0.05,
+            n_reps=bench_reps(),
+            seed=7,
+            experiment_id="fig7",
+            debias=False,
+            include_debiased_panel=True,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    figure_report(result.render())
+    assert result.all_checks_pass, result.render()

@@ -1,0 +1,34 @@
+"""Scaling-law sweeps — error vs rho and vs n.
+
+Validates the two clean scalings the paper's bounds predict: debiased
+error ∝ rho^(-1/2) at fixed n (Theorem 3.2's noise scale) and ∝ 1/n at
+fixed rho (count-scale noise is population-independent).  The benchmark
+fits log-log slopes and asserts they land near the theoretical exponents.
+"""
+
+import pytest
+
+from repro.experiments.config import bench_reps
+from repro.experiments.sweeps import run_population_sweep, run_rho_sweep
+
+
+@pytest.mark.figure("sweep-rho")
+def test_error_scales_inverse_sqrt_rho(benchmark, figure_report):
+    result = benchmark.pedantic(
+        lambda: run_rho_sweep(n_reps=max(bench_reps() // 2, 10), seed=40),
+        rounds=1,
+        iterations=1,
+    )
+    figure_report(result.render())
+    assert result.all_checks_pass, result.render()
+
+
+@pytest.mark.figure("sweep-n")
+def test_error_scales_inverse_n(benchmark, figure_report):
+    result = benchmark.pedantic(
+        lambda: run_population_sweep(n_reps=max(bench_reps() // 2, 10), seed=41),
+        rounds=1,
+        iterations=1,
+    )
+    figure_report(result.render())
+    assert result.all_checks_pass, result.render()

@@ -1,0 +1,22 @@
+"""Theorem 3.2 / Corollary B.1 — empirical worst-case error vs bounds.
+
+Reproduces the theoretical-guarantee half of the paper's evaluation: the
+observed worst-case errors must stay below the stated bounds except with
+probability ~beta.
+"""
+
+import pytest
+
+from repro.experiments.ablations import run_bound_checks
+from repro.experiments.config import bench_reps
+
+
+@pytest.mark.figure("thm32")
+def test_bounds_dominate_empirical_errors(benchmark, figure_report):
+    result = benchmark.pedantic(
+        lambda: run_bound_checks(n_reps=bench_reps(), seed=32),
+        rounds=1,
+        iterations=1,
+    )
+    figure_report(result.render())
+    assert result.all_checks_pass, result.render()

@@ -1,0 +1,52 @@
+"""Shared fixtures for the benchmark harness.
+
+Every ``bench_figure*.py`` module regenerates one paper figure: it runs the
+corresponding experiment (repetition count controlled by
+``REPRO_BENCH_REPS``, default 25; the paper uses 1000), times it with
+pytest-benchmark, and asserts the figure's shape checks.
+
+Measured-vs-paper series tables are collected during the run and printed in
+the terminal summary (after pytest's output capture ends), and additionally
+written to ``benchmarks/reports/<test-name>.txt`` so a benchmark run leaves
+a reviewable artifact.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+_REPORTS: list[tuple[str, str]] = []
+_REPORT_DIR = Path(__file__).parent / "reports"
+
+
+@pytest.fixture
+def figure_report(request):
+    """Collect an experiment report for the terminal summary + a file."""
+
+    def write(text: str) -> None:
+        name = request.node.name
+        _REPORTS.append((name, text))
+        _REPORT_DIR.mkdir(exist_ok=True)
+        (_REPORT_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return write
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORTS:
+        return
+    terminalreporter.section("figure reports (paper vs measured)")
+    for name, text in _REPORTS:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(f"--- {name} ---")
+        for line in text.splitlines():
+            terminalreporter.write_line(line)
+    _REPORTS.clear()
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "figure(id): benchmark regenerating one paper figure"
+    )

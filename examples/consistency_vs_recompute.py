@@ -1,0 +1,92 @@
+"""Why consistency matters — Algorithm 1 vs recompute-from-scratch.
+
+The paper's introduction motivates the whole model with one pathology:
+without consistency, "it may be possible for the number of synthetic
+individuals who have ever experienced a 6-month unemployment spell to
+decrease from time step t to t+1".  This example makes that concrete:
+
+* the recompute baseline regenerates an unrelated synthetic population
+  every round, so its "ever had a long spell" series jumps up AND down;
+* Algorithm 1 extends one persistent population, so the same series is
+  monotone by construction — and its per-round error is smaller too
+  (no sqrt(T) composition penalty).
+
+Run:  python examples/consistency_vs_recompute.py
+"""
+
+from repro.baselines.recompute import RecomputeBaseline, ever_spell_fraction
+from repro.core.fixed_window import FixedWindowSynthesizer
+from repro.data.generators import two_state_markov
+from repro.queries.window import AtLeastMOnes
+
+N = 2000
+HORIZON = 12
+WINDOW = 3
+RHO = 0.05
+SPELL = 5  # months of uninterrupted poverty
+
+
+def main() -> None:
+    panel = two_state_markov(N, HORIZON, p_stay=0.85, p_enter=0.02, seed=11)
+    truth_series = [
+        ever_spell_fraction(panel, SPELL, t) for t in range(WINDOW, HORIZON + 1)
+    ]
+
+    algorithm = FixedWindowSynthesizer(
+        horizon=HORIZON, window=WINDOW, rho=RHO, seed=12, noise_method="vectorized"
+    )
+    algo_release = algorithm.run(panel)
+    algo_series = [
+        ever_spell_fraction(algo_release.synthetic_data(t), SPELL, t)
+        for t in range(WINDOW, HORIZON + 1)
+    ]
+
+    baseline = RecomputeBaseline(
+        horizon=HORIZON, window=WINDOW, rho=RHO, seed=2, noise_method="vectorized"
+    )
+    base_release = baseline.run(panel)
+    base_series = base_release.ever_spell_series(SPELL)
+
+    print(f"fraction ever in a >= {SPELL}-month poverty spell, by month:")
+    header = f"{'month':>5s} {'truth':>8s} {'algorithm 1':>12s} {'recompute':>10s}"
+    print(header)
+    print("-" * len(header))
+    for i, t in enumerate(range(WINDOW, HORIZON + 1)):
+        marker = ""
+        if i > 0 and base_series[i] < base_series[i - 1] - 1e-12:
+            marker = "  <- DECREASED (consistency violation)"
+        print(
+            f"{t:>5d} {truth_series[i]:>8.4f} {algo_series[i]:>12.4f} "
+            f"{base_series[i]:>10.4f}{marker}"
+        )
+
+    decreases = sum(
+        1 for a, b in zip(base_series, base_series[1:]) if b < a - 1e-12
+    )
+    algo_decreases = sum(
+        1 for a, b in zip(algo_series, algo_series[1:]) if b < a - 1e-12
+    )
+    print(
+        f"\nconsistency violations: algorithm 1 = {algo_decreases} "
+        f"(guaranteed 0), recompute baseline = {decreases}"
+    )
+
+    # Accuracy on an ordinary supported query, same total budget.
+    query = AtLeastMOnes(WINDOW, 1)
+    algo_error = max(
+        abs(algo_release.answer(query, t) - query.evaluate(panel, t))
+        for t in range(WINDOW, HORIZON + 1)
+    )
+    base_error = max(
+        abs(base_release.answer(query, t) - query.evaluate(panel, t))
+        for t in range(WINDOW, HORIZON + 1)
+    )
+    print(
+        f"max error on '{query.name}': algorithm 1 = {algo_error:.4f}, "
+        f"recompute = {base_error:.4f} "
+        f"(the sqrt(T-k+1) composition penalty at work)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+"""Stream-counter showdown — plugging different counters into Algorithm 2.
+
+The paper (§1.1) notes Algorithm 2 works with *any* DP stream counter and
+that counters with better constants "may yield improved practical results".
+This example compares all five built-in counters twice:
+
+1. standalone, on a single long stream (predicted vs empirical error);
+2. inside Algorithm 2 on a longitudinal panel (end-to-end max error).
+
+Run:  python examples/counter_showdown.py
+"""
+
+import numpy as np
+
+from repro.core.cumulative import CumulativeSynthesizer
+from repro.data.generators import two_state_markov
+from repro.queries.cumulative import HammingAtLeast
+from repro.rng import spawn
+from repro.streams.registry import available_counters, make_counter
+
+HORIZON = 64
+RHO = 0.2
+REPS = 30
+
+
+def standalone_comparison() -> None:
+    print(f"standalone counters: stream length {HORIZON}, rho={RHO}, {REPS} reps")
+    rng = np.random.default_rng(0)
+    stream = rng.integers(0, 50, size=HORIZON)
+    truth = np.cumsum(stream)
+    header = f"{'counter':<20s} {'predicted sd(T)':>16s} {'empirical sd':>13s} {'max |err|':>10s}"
+    print(header)
+    print("-" * len(header))
+    for name in available_counters():
+        finals, worst = [], 0.0
+        for seed in range(REPS):
+            counter = make_counter(
+                name, horizon=HORIZON, rho=RHO, seed=seed, noise_method="vectorized"
+            )
+            outputs = counter.run(stream)
+            finals.append(outputs[-1] - truth[-1])
+            worst = max(worst, float(np.abs(outputs - truth).max()))
+        predicted = make_counter(name, horizon=HORIZON, rho=RHO).error_stddev(HORIZON)
+        print(
+            f"{name:<20s} {predicted:>16.2f} {np.std(finals):>13.2f} {worst:>10.1f}"
+        )
+
+
+def end_to_end_comparison() -> None:
+    n, horizon = 5000, 12
+    panel = two_state_markov(n, horizon, p_stay=0.85, p_enter=0.02, seed=1)
+    print(
+        f"\ninside Algorithm 2: n={n}, T={horizon}, rho=0.02, "
+        f"max error over all (b, t), median of 10 runs"
+    )
+    header = f"{'counter':<20s} {'max error':>10s}"
+    print(header)
+    print("-" * len(header))
+    for name in available_counters():
+        errors = []
+        for generator in spawn(2, 10):
+            synthesizer = CumulativeSynthesizer(
+                horizon=horizon,
+                rho=0.02,
+                counter=name,
+                seed=generator,
+                noise_method="vectorized",
+            )
+            release = synthesizer.run(panel)
+            worst = max(
+                abs(
+                    release.answer(HammingAtLeast(b), t)
+                    - HammingAtLeast(b).evaluate(panel, t)
+                )
+                for b in range(1, horizon + 1)
+                for t in range(1, horizon + 1)
+            )
+            errors.append(worst)
+        print(f"{name:<20s} {float(np.median(errors)):>10.4f}")
+
+
+def main() -> None:
+    standalone_comparison()
+    end_to_end_comparison()
+    print(
+        "\nTakeaway: the binary tree (the paper's choice) already beats the "
+        "naive counter by a wide margin; the Honaker refinement and the "
+        "square-root factorization shave off further constants, exactly as "
+        "the paper's related-work discussion anticipates."
+    )
+
+
+if __name__ == "__main__":
+    main()

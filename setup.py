@@ -1,0 +1,10 @@
+"""Setup shim.
+
+All metadata lives in ``pyproject.toml``.  This file exists so that
+``pip install -e .`` works on environments whose setuptools predates native
+PEP 660 editable-wheel support (no ``wheel`` package available offline).
+"""
+
+from setuptools import setup
+
+setup()

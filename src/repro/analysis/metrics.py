@@ -1,0 +1,115 @@
+"""Error metrics and distribution summaries for replicated experiments.
+
+The paper's figures show, per query and time point, the empirical
+distribution of the private answers across 1000 repetitions against the
+ground truth ("X's indicate the ground truth").  :class:`SeriesSummary`
+captures the same information numerically: median, 2.5 and 97.5 percentiles
+(the dotted lines of Figures 3/4), mean, and the ground-truth series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["max_abs_error", "bias", "rmse", "percentile_bands", "SeriesSummary"]
+
+
+def max_abs_error(estimates: np.ndarray, truth: np.ndarray) -> float:
+    """Worst-case absolute error over all entries."""
+    estimates = np.asarray(estimates, dtype=np.float64)
+    truth = np.asarray(truth, dtype=np.float64)
+    return float(np.max(np.abs(estimates - truth))) if estimates.size else 0.0
+
+
+def bias(estimates: np.ndarray, truth: float) -> float:
+    """Mean signed deviation of replicated estimates from the truth."""
+    estimates = np.asarray(estimates, dtype=np.float64)
+    return float(estimates.mean() - truth)
+
+
+def rmse(estimates: np.ndarray, truth: float) -> float:
+    """Root mean squared error of replicated estimates."""
+    estimates = np.asarray(estimates, dtype=np.float64)
+    return float(np.sqrt(np.mean((estimates - truth) ** 2)))
+
+
+def percentile_bands(
+    samples: np.ndarray, percentiles: tuple[float, ...] = (2.5, 50.0, 97.5)
+) -> np.ndarray:
+    """Percentiles along the replication axis (axis 0).
+
+    Returns an array of shape ``(len(percentiles), *samples.shape[1:])`` —
+    with the default percentiles: lower band, median, upper band, matching
+    the dotted/solid lines of Figures 3/4.
+    """
+    samples = np.asarray(samples, dtype=np.float64)
+    if samples.ndim < 1 or samples.shape[0] == 0:
+        raise ConfigurationError("samples must have at least one replication")
+    return np.percentile(samples, percentiles, axis=0)
+
+
+@dataclass(frozen=True)
+class SeriesSummary:
+    """Distribution of a replicated series against its ground truth.
+
+    All arrays share the length of ``x`` (the series index — time steps or
+    quarters).
+    """
+
+    x: np.ndarray
+    truth: np.ndarray
+    median: np.ndarray
+    lower: np.ndarray
+    upper: np.ndarray
+    mean: np.ndarray
+    label: str = field(default="series")
+
+    @classmethod
+    def from_samples(
+        cls,
+        x,
+        samples: np.ndarray,
+        truth,
+        label: str = "series",
+        band: tuple[float, float] = (2.5, 97.5),
+    ) -> "SeriesSummary":
+        """Summarize ``samples`` of shape ``(n_reps, len(x))``."""
+        x = np.asarray(x, dtype=np.float64)
+        samples = np.asarray(samples, dtype=np.float64)
+        truth = np.asarray(truth, dtype=np.float64)
+        if samples.ndim != 2 or samples.shape[1] != x.shape[0]:
+            raise ConfigurationError(
+                f"samples must have shape (n_reps, {x.shape[0]}), got {samples.shape}"
+            )
+        if truth.shape != x.shape:
+            raise ConfigurationError(
+                f"truth must have shape {x.shape}, got {truth.shape}"
+            )
+        lower, median, upper = np.percentile(samples, [band[0], 50.0, band[1]], axis=0)
+        return cls(
+            x=x,
+            truth=truth,
+            median=median,
+            lower=lower,
+            upper=upper,
+            mean=samples.mean(axis=0),
+            label=label,
+        )
+
+    @property
+    def max_median_error(self) -> float:
+        """Worst deviation of the median series from the truth."""
+        return float(np.max(np.abs(self.median - self.truth)))
+
+    @property
+    def max_mean_bias(self) -> float:
+        """Worst absolute bias of the mean series."""
+        return float(np.max(np.abs(self.mean - self.truth)))
+
+    def covers_truth(self) -> np.ndarray:
+        """Boolean per point: does the band contain the ground truth?"""
+        return (self.lower <= self.truth) & (self.truth <= self.upper)

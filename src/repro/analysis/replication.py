@@ -1,0 +1,143 @@
+"""Seeded multi-repetition experiment runner.
+
+Every figure in the paper repeats a synthesizer 1000 times on the same
+dataset and plots the distribution of the answers.
+:func:`replicate_synthesizer` is the generic engine: a factory builds a
+fresh synthesizer per repetition (fed an independent child seed), the
+synthesizer runs over the panel, and each (query, time) answer is recorded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.analysis.metrics import SeriesSummary
+from repro.data.dataset import LongitudinalDataset
+from repro.exceptions import ConfigurationError
+from repro.queries.base import Query
+from repro.rng import SeedLike, spawn
+
+__all__ = ["ReplicatedAnswers", "replicate_synthesizer"]
+
+
+@dataclass(frozen=True)
+class ReplicatedAnswers:
+    """Answers of a replicated continual-release experiment.
+
+    Attributes
+    ----------
+    answers:
+        Shape ``(n_reps, n_queries, n_times)``.
+    truth:
+        Shape ``(n_queries, n_times)`` ground truth on the raw panel.
+    times:
+        The evaluation rounds (1-indexed).
+    query_names:
+        One label per query row.
+    """
+
+    answers: np.ndarray
+    truth: np.ndarray
+    times: tuple[int, ...]
+    query_names: tuple[str, ...]
+
+    @property
+    def n_reps(self) -> int:
+        """Number of repetitions."""
+        return self.answers.shape[0]
+
+    def errors(self) -> np.ndarray:
+        """Signed errors, same shape as ``answers``."""
+        return self.answers - self.truth[None, :, :]
+
+    def max_abs_error_per_rep(self) -> np.ndarray:
+        """Worst error over queries and times, per repetition."""
+        return np.abs(self.errors()).max(axis=(1, 2))
+
+    def summary(self, query_index: int = 0, band=(2.5, 97.5)) -> SeriesSummary:
+        """Distribution summary of one query's series across repetitions."""
+        if not 0 <= query_index < len(self.query_names):
+            raise ConfigurationError(
+                f"query_index must lie in [0, {len(self.query_names)}), got {query_index}"
+            )
+        return SeriesSummary.from_samples(
+            x=np.asarray(self.times, dtype=np.float64),
+            samples=self.answers[:, query_index, :],
+            truth=self.truth[query_index],
+            label=self.query_names[query_index],
+            band=band,
+        )
+
+    def summaries(self, band=(2.5, 97.5)) -> list[SeriesSummary]:
+        """One :class:`SeriesSummary` per query."""
+        return [self.summary(i, band=band) for i in range(len(self.query_names))]
+
+
+def _default_answer(release, query: Query, t: int, debias: bool) -> float:
+    """Answer dispatch: window releases take the ``debias`` flag."""
+    from repro.core.cumulative import CumulativeRelease
+
+    if isinstance(release, CumulativeRelease):
+        return release.answer(query, t)
+    return release.answer(query, t, debias=debias)
+
+
+def replicate_synthesizer(
+    factory: Callable[[np.random.Generator], object],
+    dataset: LongitudinalDataset,
+    queries: Sequence[Query],
+    times: Sequence[int],
+    n_reps: int,
+    seed: SeedLike = None,
+    debias: bool = True,
+    answer_fn: Callable[[object, Query, int, bool], float] | None = None,
+) -> ReplicatedAnswers:
+    """Run ``n_reps`` independent synthesizer runs and collect answers.
+
+    Parameters
+    ----------
+    factory:
+        Called with a fresh child :class:`numpy.random.Generator` per
+        repetition; must return an object with ``run(dataset) -> release``.
+    queries, times:
+        The (query, round) grid to record.  Times at which a query is not
+        yet defined (``t < query.min_time()``) are recorded as ``NaN``.
+    debias:
+        Passed through to window releases (ignored by cumulative ones).
+    answer_fn:
+        Override for custom release types; receives
+        ``(release, query, t, debias)``.
+    """
+    if n_reps <= 0:
+        raise ConfigurationError(f"n_reps must be positive, got {n_reps}")
+    if not queries:
+        raise ConfigurationError("need at least one query")
+    if not times:
+        raise ConfigurationError("need at least one evaluation time")
+    answer = answer_fn or _default_answer
+
+    times = tuple(int(t) for t in times)
+    truth = np.full((len(queries), len(times)), np.nan)
+    for qi, query in enumerate(queries):
+        for ti, t in enumerate(times):
+            if t >= query.min_time():
+                truth[qi, ti] = query.evaluate(dataset, t)
+
+    answers = np.full((n_reps, len(queries), len(times)), np.nan)
+    for rep, generator in enumerate(spawn(seed, n_reps)):
+        synthesizer = factory(generator)
+        release = synthesizer.run(dataset)
+        for qi, query in enumerate(queries):
+            for ti, t in enumerate(times):
+                if t >= query.min_time():
+                    answers[rep, qi, ti] = answer(release, query, t, debias)
+
+    return ReplicatedAnswers(
+        answers=answers,
+        truth=truth,
+        times=times,
+        query_names=tuple(query.name for query in queries),
+    )

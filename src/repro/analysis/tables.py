@@ -1,0 +1,94 @@
+"""Plain-text rendering of experiment results.
+
+The paper's evaluation consists of figures; this reproduction prints the
+same information as aligned text tables — one row per x-value with ground
+truth, median, and the 2.5/97.5 percentile band — so benchmark output can
+be compared against the figures line by line.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.analysis.metrics import SeriesSummary
+
+__all__ = ["render_series_table", "render_comparison_table"]
+
+
+def _format_row(cells: Sequence[str], widths: Sequence[int]) -> str:
+    return "  ".join(cell.rjust(width) for cell, width in zip(cells, widths))
+
+
+def render_series_table(
+    summary: SeriesSummary,
+    x_label: str = "t",
+    value_format: str = "{:.4f}",
+    extra_columns: dict[str, np.ndarray] | None = None,
+) -> str:
+    """Render one summarized series as an aligned table.
+
+    Columns: x, truth, median, p2.5, p97.5, mean, plus any extra columns
+    (e.g. a theoretical bound line).
+    """
+    headers = [x_label, "truth", "median", "p2.5", "p97.5", "mean"]
+    columns = [
+        [f"{int(v)}" if float(v).is_integer() else f"{v:g}" for v in summary.x],
+        [value_format.format(v) for v in summary.truth],
+        [value_format.format(v) for v in summary.median],
+        [value_format.format(v) for v in summary.lower],
+        [value_format.format(v) for v in summary.upper],
+        [value_format.format(v) for v in summary.mean],
+    ]
+    for name, values in (extra_columns or {}).items():
+        headers.append(name)
+        columns.append([value_format.format(v) for v in np.asarray(values)])
+
+    widths = [
+        max(len(header), max((len(cell) for cell in column), default=0))
+        for header, column in zip(headers, columns)
+    ]
+    lines = [f"== {summary.label} =="]
+    lines.append(_format_row(headers, widths))
+    lines.append(_format_row(["-" * w for w in widths], widths))
+    for row_index in range(len(summary.x)):
+        lines.append(
+            _format_row([column[row_index] for column in columns], widths)
+        )
+    return "\n".join(lines)
+
+
+def render_comparison_table(
+    rows: Sequence[dict],
+    columns: Sequence[str],
+    title: str = "",
+    value_format: str = "{:.4f}",
+) -> str:
+    """Render a list of result dicts as an aligned table.
+
+    Used by the ablation benchmarks (one row per counter / padding level /
+    budget split).  Non-numeric values are stringified as-is.
+    """
+    rendered: list[list[str]] = []
+    for row in rows:
+        cells = []
+        for column in columns:
+            value = row.get(column, "")
+            if isinstance(value, float):
+                cells.append(value_format.format(value))
+            else:
+                cells.append(str(value))
+        rendered.append(cells)
+    widths = [
+        max(len(column), max((len(row[i]) for row in rendered), default=0))
+        for i, column in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(f"== {title} ==")
+    lines.append(_format_row(columns, widths))
+    lines.append(_format_row(["-" * w for w in widths], widths))
+    for cells in rendered:
+        lines.append(_format_row(cells, widths))
+    return "\n".join(lines)

@@ -1,0 +1,160 @@
+"""Closed-form accuracy bounds from the paper.
+
+Every bound is implemented exactly as stated (constants included) so that
+benchmarks can draw the same dashed "theoretical bound" lines as Figures 3/4
+and tests can check that observed errors stay below them at the stated
+confidence.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "theorem_3_2_bound",
+    "default_n_pad",
+    "corollary_3_3_relative_bound",
+    "debiased_error_bound",
+    "tree_levels",
+    "tree_counter_error_bound",
+    "corollary_b1_weights_unnormalized",
+    "corollary_b1_alpha",
+]
+
+
+def _check_window_params(horizon: int, window: int, rho: float, beta: float) -> None:
+    if window <= 0 or horizon <= 0 or window > horizon:
+        raise ConfigurationError(
+            f"need 1 <= window <= horizon, got window={window}, horizon={horizon}"
+        )
+    if rho <= 0:
+        raise ConfigurationError(f"rho must be positive, got {rho}")
+    if not 0 < beta < 1:
+        raise ConfigurationError(f"beta must lie in (0, 1), got {beta}")
+
+
+def theorem_3_2_bound(
+    horizon: int, window: int, rho: float, beta: float, alphabet: int = 2
+) -> float:
+    """Max additive count error of Algorithm 1 (Theorem 3.2, eq. 5).
+
+    With probability at least ``1 - beta``,
+
+        max_{s,t} |p_s^t - (C_s^t + n_pad)|
+            <= (sqrt((T-k+1)/rho) + 1/sqrt(2))
+               * sqrt(log(2^k (T-k+1) / beta)).
+
+    ``alphabet`` generalizes the union bound from ``2**k`` to ``q**k`` bins
+    for the categorical extension (the rounding-term constant ``1/sqrt(2)``
+    is kept as a conservative heuristic for ``q > 2``, where the residue
+    rounding spreads at most ``q - 1`` units across ``q`` children).
+    """
+    _check_window_params(horizon, window, rho, beta)
+    if alphabet < 2:
+        raise ConfigurationError(f"alphabet must be at least 2, got {alphabet}")
+    steps = horizon - window + 1
+    log_term = math.log((alphabet**window) * steps / beta)
+    return (math.sqrt(steps / rho) + 1.0 / math.sqrt(2.0)) * math.sqrt(log_term)
+
+
+def default_n_pad(
+    horizon: int, window: int, rho: float, beta: float, alphabet: int = 2
+) -> int:
+    """Padding per bin guaranteeing non-negative counts w.p. ``1 - beta``.
+
+    Theorem 3.2: as long as ``n_pad`` is at least the error bound, all noisy
+    counts stay non-negative and the algorithm succeeds.  Rounded up to an
+    integer because padding is a number of fake people.
+    """
+    return math.ceil(theorem_3_2_bound(horizon, window, rho, beta, alphabet=alphabet))
+
+
+def corollary_3_3_relative_bound(
+    horizon: int,
+    window: int,
+    rho: float,
+    beta: float,
+    n: int,
+    true_fraction: float,
+) -> float:
+    """Relative (fraction-scale) error bound without debiasing (Cor. 3.3).
+
+    Uses the explicit form from the corollary's proof:
+    ``2 lambda / n + 2^(k+1) lambda / n * (C_s^t / n)`` with ``lambda`` the
+    Theorem 3.2 bound.  The second term is the padding-induced bias on the
+    biased estimator ``p_s^t / n*``; debiasing removes it (see
+    :func:`debiased_error_bound`).
+    """
+    if n <= 0:
+        raise ConfigurationError(f"n must be positive, got {n}")
+    if not 0.0 <= true_fraction <= 1.0:
+        raise ConfigurationError(f"true_fraction must lie in [0,1], got {true_fraction}")
+    lam = theorem_3_2_bound(horizon, window, rho, beta)
+    return 2.0 * lam / n + (2 ** (window + 1)) * lam / n * true_fraction
+
+
+def debiased_error_bound(horizon: int, window: int, rho: float, beta: float, n: int) -> float:
+    """Fraction-scale error bound after the debiasing step (§3.2).
+
+    ``max_{s,t} |(p_s^t - n_pad) - C_s^t| / n`` is at most the Theorem 3.2
+    count bound divided by ``n``.
+    """
+    if n <= 0:
+        raise ConfigurationError(f"n must be positive, got {n}")
+    return theorem_3_2_bound(horizon, window, rho, beta) / n
+
+
+def tree_levels(length: int) -> int:
+    """Dyadic levels for a stream of the given length: ``max(ceil_log2, 1)``.
+
+    Matches the paper's ``max(ceil(log2(T - b + 1)), 1)`` convention.
+    """
+    if length <= 0:
+        raise ConfigurationError(f"length must be positive, got {length}")
+    return max(math.ceil(math.log2(length)), 1) if length > 1 else 1
+
+
+def tree_counter_error_bound(horizon: int, rho: float, beta: float, t: int | None = None) -> float:
+    """Error bound of the tree-based counter (Theorem A.2 / Appendix B form).
+
+    ``|S~_t - S_t| <= ceil(log2 t) * sqrt(ceil(log2 T) / rho * log(1/beta))``
+    with each logarithm clamped below by 1.
+    """
+    if rho <= 0:
+        raise ConfigurationError(f"rho must be positive, got {rho}")
+    if not 0 < beta < 1:
+        raise ConfigurationError(f"beta must lie in (0, 1), got {beta}")
+    t = horizon if t is None else t
+    levels_t = tree_levels(t)
+    levels_horizon = tree_levels(horizon)
+    return levels_t * math.sqrt(levels_horizon / rho * math.log(1.0 / beta))
+
+
+def corollary_b1_weights_unnormalized(horizon: int) -> list[int]:
+    """Per-threshold budget weights ``max(ceil(log2(T-b+1)), 1)^3``.
+
+    Indexed by ``b - 1`` for ``b = 1, ..., T``.  Corollary B.1 allocates
+    ``rho_b`` proportional to these cubes so every counter's worst-case
+    bound is equalized.
+    """
+    if horizon <= 0:
+        raise ConfigurationError(f"horizon must be positive, got {horizon}")
+    return [tree_levels(horizon - b + 1) ** 3 for b in range(1, horizon + 1)]
+
+
+def corollary_b1_alpha(horizon: int, rho: float, beta: float, n: int) -> float:
+    """Fraction-scale accuracy of Algorithm 2 with tree counters (Cor. B.1).
+
+    ``alpha* = (1/n) sqrt( sum_b max(ceil(log2(T-b+1)),1)^3 / rho * log(1/beta) )``
+    holding with probability at least ``1 - T * beta``.
+    """
+    if rho <= 0:
+        raise ConfigurationError(f"rho must be positive, got {rho}")
+    if not 0 < beta < 1:
+        raise ConfigurationError(f"beta must lie in (0, 1), got {beta}")
+    if n <= 0:
+        raise ConfigurationError(f"n must be positive, got {n}")
+    total = sum(corollary_b1_weights_unnormalized(horizon))
+    return math.sqrt(total / rho * math.log(1.0 / beta)) / n

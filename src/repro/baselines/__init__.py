@@ -1,0 +1,25 @@
+"""Baseline synthesizers the paper argues against.
+
+* :class:`RecomputeBaseline` — regenerate a fresh synthetic dataset from
+  scratch every round (the paper's introductory strawman).  Pays the
+  composition penalty *and* breaks longitudinal consistency: synthetic
+  individuals do not persist, so statistics like "ever experienced a
+  6-month spell" can decrease over time.
+* :class:`ClampingBaseline` — Algorithm 1's noising stage with naive
+  non-negative clamping instead of padding.  §3.1 explains why this fails:
+  clamped zero counts cannot be resurrected, which both biases estimates
+  and breaks the consistency constraint the paper's correction relies on.
+* :class:`NonPrivateSynthesizer` — releases the truth (an oracle for
+  accuracy comparisons; no privacy).
+"""
+
+from repro.baselines.clamped import ClampingBaseline
+from repro.baselines.nonprivate import NonPrivateSynthesizer
+from repro.baselines.recompute import RecomputeBaseline, RecomputeRelease
+
+__all__ = [
+    "RecomputeBaseline",
+    "RecomputeRelease",
+    "ClampingBaseline",
+    "NonPrivateSynthesizer",
+]

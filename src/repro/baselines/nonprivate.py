@@ -1,0 +1,61 @@
+"""Non-private oracle synthesizer.
+
+Releases synthetic data equal in distribution to the raw panel (in fact,
+the raw panel itself).  Used as the accuracy ceiling in comparisons and to
+sanity-check experiment plumbing: every query answered on the oracle's
+release must equal the ground truth exactly.
+"""
+
+from __future__ import annotations
+
+from repro.data.dataset import LongitudinalDataset
+from repro.exceptions import ConfigurationError, DataValidationError, NotFittedError
+from repro.queries.base import Query
+
+__all__ = ["NonPrivateSynthesizer"]
+
+
+class _OracleRelease:
+    """Release view that evaluates queries on the raw panel."""
+
+    def __init__(self, panel: LongitudinalDataset):
+        self._panel = panel
+
+    @property
+    def t(self) -> int:
+        """Rounds available."""
+        return self._panel.horizon
+
+    def synthetic_data(self, t: int | None = None) -> LongitudinalDataset:
+        """The "synthetic" panel — the raw data itself."""
+        return self._panel if t is None else self._panel.prefix(t)
+
+    def answer(self, query: Query, t: int, debias: bool = True) -> float:
+        """Ground-truth answer (``debias`` accepted for API compatibility)."""
+        return query.evaluate(self._panel, t)
+
+
+class NonPrivateSynthesizer:
+    """Oracle: outputs the original records (no privacy whatsoever)."""
+
+    def __init__(self, horizon: int):
+        if horizon <= 0:
+            raise ConfigurationError(f"horizon must be positive, got {horizon}")
+        self.horizon = int(horizon)
+        self._release: _OracleRelease | None = None
+
+    @property
+    def release(self) -> _OracleRelease:
+        """The release view (after :meth:`run`)."""
+        if self._release is None:
+            raise NotFittedError("run() has not been called")
+        return self._release
+
+    def run(self, dataset: LongitudinalDataset) -> _OracleRelease:
+        """Record the panel and return the oracle release."""
+        if dataset.horizon != self.horizon:
+            raise DataValidationError(
+                f"dataset horizon {dataset.horizon} != synthesizer horizon {self.horizon}"
+            )
+        self._release = _OracleRelease(dataset)
+        return self._release

@@ -1,0 +1,46 @@
+"""The paper's core contribution: the two continual synthesizers.
+
+* :class:`FixedWindowSynthesizer` — Algorithm 1: continual DP synthetic data
+  preserving every length-``k`` sliding-window histogram.
+* :class:`CumulativeSynthesizer` — Algorithm 2: continual DP synthetic data
+  preserving every Hamming-weight threshold count, generic over the stream
+  counters in :mod:`repro.streams`.
+
+Supporting machinery: overlap-consistency projection
+(:mod:`repro.core.consistency`), padding (:mod:`repro.core.padding`),
+cross-counter monotonization (:mod:`repro.core.monotonize`), per-threshold
+budget allocation (:mod:`repro.core.budget`), synthetic record stores
+(:mod:`repro.core.synthetic_store`), and debiasing post-processing
+(:mod:`repro.core.debias`).
+"""
+
+from repro.core.budget import allocate_budget, corollary_b1_split, uniform_split
+from repro.core.categorical_window import (
+    CategoricalWindowRelease,
+    CategoricalWindowSynthesizer,
+)
+from repro.core.consistency import apply_overlap_correction, check_window_consistency
+from repro.core.cumulative import CumulativeRelease, CumulativeSynthesizer
+from repro.core.debias import debias_count_answer, lift_window_weights
+from repro.core.fixed_window import FixedWindowRelease, FixedWindowSynthesizer
+from repro.core.monotonize import is_monotone_table, monotonize_row
+from repro.core.padding import PaddingSpec
+
+__all__ = [
+    "FixedWindowSynthesizer",
+    "FixedWindowRelease",
+    "CumulativeSynthesizer",
+    "CumulativeRelease",
+    "CategoricalWindowSynthesizer",
+    "CategoricalWindowRelease",
+    "PaddingSpec",
+    "apply_overlap_correction",
+    "check_window_consistency",
+    "monotonize_row",
+    "is_monotone_table",
+    "allocate_budget",
+    "uniform_split",
+    "corollary_b1_split",
+    "debias_count_answer",
+    "lift_window_weights",
+]

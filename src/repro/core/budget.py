@@ -1,0 +1,85 @@
+"""Privacy-budget allocation across the per-threshold stream counters.
+
+Algorithm 2 runs one stream counter per Hamming-weight threshold
+``b = 1, ..., T`` and requires ``sum_b rho_b = rho``.  Two splits are
+provided:
+
+* :func:`uniform_split` — ``rho_b = rho / T``;
+* :func:`corollary_b1_split` — ``rho_b`` proportional to
+  ``max(ceil(log2(T - b + 1)), 1)^3``, which equalizes the worst-case
+  tree-counter bounds across thresholds (Corollary B.1).  Counters with
+  later thresholds see shorter effective streams (the ``b``-th stream only
+  carries information from round ``b`` on), so they need less budget.
+
+The ``abl-budget`` benchmark compares the two splits empirically.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.analysis.theory import corollary_b1_weights_unnormalized
+from repro.exceptions import ConfigurationError
+
+__all__ = ["uniform_split", "corollary_b1_split", "allocate_budget"]
+
+
+def uniform_split(horizon: int, rho: float) -> np.ndarray:
+    """``rho_b = rho / T`` for every threshold, indexed by ``b - 1``."""
+    _check(horizon, rho)
+    if math.isinf(rho):
+        return np.full(horizon, math.inf)
+    return np.full(horizon, rho / horizon)
+
+
+def corollary_b1_split(horizon: int, rho: float) -> np.ndarray:
+    """Corollary B.1 allocation, indexed by ``b - 1`` for ``b = 1..T``."""
+    _check(horizon, rho)
+    if math.isinf(rho):
+        return np.full(horizon, math.inf)
+    weights = np.asarray(corollary_b1_weights_unnormalized(horizon), dtype=np.float64)
+    return rho * weights / weights.sum()
+
+
+def allocate_budget(horizon: int, rho: float, scheme) -> np.ndarray:
+    """Resolve a budget scheme into a per-threshold ``rho_b`` vector.
+
+    ``scheme`` may be ``"uniform"``, ``"corollary_b1"``, or an explicit
+    sequence of ``T`` positive values summing to ``rho`` (tolerance 1e-9
+    relative).
+    """
+    if isinstance(scheme, str):
+        if scheme == "uniform":
+            return uniform_split(horizon, rho)
+        if scheme == "corollary_b1":
+            return corollary_b1_split(horizon, rho)
+        raise ConfigurationError(
+            f"unknown budget scheme {scheme!r}; use 'uniform', 'corollary_b1', "
+            "or an explicit sequence"
+        )
+    return _explicit(horizon, rho, scheme)
+
+
+def _explicit(horizon: int, rho: float, values: Sequence[float]) -> np.ndarray:
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.shape != (horizon,):
+        raise ConfigurationError(
+            f"explicit budget must have length T={horizon}, got shape {arr.shape}"
+        )
+    if (arr <= 0).any():
+        raise ConfigurationError("every rho_b must be positive")
+    if not math.isinf(rho) and not math.isclose(arr.sum(), rho, rel_tol=1e-9):
+        raise ConfigurationError(
+            f"budget values sum to {arr.sum():.6g}, expected rho={rho:.6g}"
+        )
+    return arr
+
+
+def _check(horizon: int, rho: float) -> None:
+    if horizon <= 0:
+        raise ConfigurationError(f"horizon must be positive, got {horizon}")
+    if not rho > 0:
+        raise ConfigurationError(f"rho must be positive, got {rho}")

@@ -1,0 +1,481 @@
+"""Algorithm 1 generalized to categorical alphabets.
+
+The paper (§1, "Our results"): "The solutions we develop for fixed time
+window queries naturally extend to handle categorical data with more than 2
+categories."  This module carries out that extension.
+
+With alphabet ``Sigma`` of size ``q``, the per-round histogram has ``q**k``
+bins.  When the window slides, a record whose window ended with the
+``(k-1)``-gram ``z`` extends into one of the ``q`` patterns ``zc``; the
+consistency constraint becomes
+
+    sum_c p_{zc}^{t+1}  =  sum_c p_{cz}^t        for every z in Sigma^{k-1},
+
+and the correction distributes the group discrepancy
+``D_z = M_z - sum_c C^_{zc}`` evenly: every child receives
+``floor(D_z / q)`` and the residue ``D_z mod q`` goes to that many children
+chosen uniformly at random (the fair +-1/2 rounding of the binary case is
+the ``q = 2`` special case).  Padding, debiasing, privacy accounting, and
+the two-phase round structure are unchanged; the binary implementation in
+:mod:`repro.core.fixed_window` remains the optimized special case.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+import numpy as np
+
+from repro.analysis.theory import default_n_pad
+from repro.core.debias import debias_count_answer
+from repro.data.categorical import CategoricalDataset, categorical_padding_panel
+from repro.dp.accountant import ZCDPAccountant
+from repro.dp.mechanisms import GaussianHistogramMechanism
+from repro.exceptions import (
+    ConfigurationError,
+    ConsistencyError,
+    DataValidationError,
+    NegativeCountError,
+    NotFittedError,
+)
+from repro.queries.categorical import CategoricalWindowQuery
+from repro.rng import SeedLike, as_generator
+
+__all__ = [
+    "CategoricalWindowSynthesizer",
+    "CategoricalWindowRelease",
+    "apply_categorical_correction",
+    "lift_categorical_weights",
+]
+
+# Guard against accidentally materializing astronomically many bins.
+_MAX_BINS = 1 << 16
+
+
+def apply_categorical_correction(
+    previous_counts: np.ndarray,
+    noisy_counts: np.ndarray,
+    alphabet: int,
+    generator: np.random.Generator,
+    on_negative: str = "redistribute",
+) -> tuple[np.ndarray, int]:
+    """Project noisy categorical counts onto the consistency constraint.
+
+    ``previous_counts`` and ``noisy_counts`` have length ``q**k``.  Pattern
+    codes are base-``q`` big-endian, so the parents of overlap ``z`` are
+    codes ``c * q**(k-1) + z`` and its children are ``z * q + c``.
+
+    Returns ``(new_counts, n_negative_events)``.
+    """
+    if on_negative not in ("redistribute", "raise"):
+        raise ConfigurationError(
+            f"on_negative must be 'redistribute' or 'raise', got {on_negative!r}"
+        )
+    previous = np.asarray(previous_counts, dtype=np.int64)
+    noisy = np.asarray(noisy_counts, dtype=np.int64)
+    if previous.shape != noisy.shape:
+        raise ConfigurationError(
+            f"histogram shapes differ: {previous.shape} vs {noisy.shape}"
+        )
+    n_bins = previous.shape[0]
+    n_groups = n_bins // alphabet
+    # M_z: sum over the leading digit of the previous counts.
+    group_totals = previous.reshape(alphabet, n_groups).sum(axis=0)
+    children = noisy.reshape(n_groups, alphabet).copy()
+
+    discrepancy = group_totals - children.sum(axis=1)
+    base, residue = np.divmod(discrepancy, alphabet)
+    children += base[:, None]
+    # Distribute each group's residue (in [0, q)) to random children.
+    for z in np.flatnonzero(residue):
+        picks = generator.choice(alphabet, size=int(residue[z]), replace=False)
+        children[z, picks] += 1
+
+    negative_groups = (children < 0).any(axis=1)
+    n_events = int(negative_groups.sum())
+    if n_events and on_negative == "raise":
+        bad = int(np.flatnonzero(negative_groups)[0])
+        raise NegativeCountError(
+            f"target counts went negative for overlap group z={bad}: "
+            f"{children[bad].tolist()} (group total {group_totals[bad]}); "
+            "increase n_pad or use on_negative='redistribute'"
+        )
+    if n_events:
+        for z in np.flatnonzero(negative_groups):
+            row = np.maximum(children[z], 0)
+            excess = int(row.sum() - group_totals[z])
+            # Clamping only raises the sum, so excess >= 0; shave it from
+            # the largest children (fallback path outside the good event).
+            while excess > 0:
+                top = int(row.argmax())
+                take = min(excess, int(row[top]))
+                row[top] -= take
+                excess -= take
+            children[z] = row
+
+    return children.reshape(n_bins), n_events
+
+
+def lift_categorical_weights(
+    weights: np.ndarray, from_k: int, to_k: int, alphabet: int
+) -> np.ndarray:
+    """Lift a width-``k'`` categorical weight vector to width ``k >= k'``."""
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.shape != (alphabet**from_k,):
+        raise ConfigurationError(
+            f"weights must have length {alphabet}**{from_k}, got {weights.shape}"
+        )
+    if to_k < from_k:
+        raise ConfigurationError(f"cannot lift width {from_k} down to {to_k}")
+    codes = np.arange(alphabet**to_k)
+    return weights[codes % (alphabet**from_k)]
+
+
+class _CategoricalStore:
+    """Synthetic categorical records with base-``q`` window-code bookkeeping."""
+
+    def __init__(
+        self,
+        initial_counts: np.ndarray,
+        window: int,
+        horizon: int,
+        alphabet: int,
+        generator: np.random.Generator,
+    ):
+        counts = np.asarray(initial_counts, dtype=np.int64)
+        if (counts < 0).any():
+            raise ConfigurationError("initial_counts must be non-negative")
+        self.window = window
+        self.horizon = horizon
+        self.alphabet = alphabet
+        self._generator = generator
+        self.m = int(counts.sum())
+        self._t = window
+        codes = np.repeat(np.arange(counts.shape[0], dtype=np.int64), counts)
+        generator.shuffle(codes)
+        self._codes = codes
+        self._matrix = np.zeros((self.m, horizon), dtype=np.int64)
+        for j in range(window):
+            self._matrix[:, j] = (codes // alphabet ** (window - 1 - j)) % alphabet
+
+    @property
+    def t(self) -> int:
+        return self._t
+
+    def counts(self) -> np.ndarray:
+        return np.bincount(
+            self._codes, minlength=self.alphabet**self.window
+        ).astype(np.int64)
+
+    def extend(self, target_counts: np.ndarray) -> None:
+        if self._t >= self.horizon:
+            raise ConsistencyError(f"store already materialized all {self.horizon} rounds")
+        target = np.asarray(target_counts, dtype=np.int64)
+        if (target < 0).any():
+            raise ConsistencyError("target_counts must be non-negative")
+        q = self.alphabet
+        n_groups = q ** (self.window - 1)
+        suffixes = self._codes % n_groups
+        group_targets = target.reshape(n_groups, q)
+        current_groups = np.bincount(suffixes, minlength=n_groups)
+        if not (group_targets.sum(axis=1) == current_groups).all():
+            raise ConsistencyError(
+                "target histogram violates the overlap-consistency constraint"
+            )
+        new_digit = np.empty(self.m, dtype=np.int64)
+        order = np.argsort(suffixes, kind="stable")
+        boundaries = np.searchsorted(suffixes[order], np.arange(n_groups + 1))
+        for z in range(n_groups):
+            members = order[boundaries[z] : boundaries[z + 1]]
+            if members.size == 0:
+                continue
+            shuffled = members[self._generator.permutation(members.size)]
+            start = 0
+            for c in range(q):
+                take = int(group_targets[z, c])
+                new_digit[shuffled[start : start + take]] = c
+                start += take
+        self._matrix[:, self._t] = new_digit
+        self._codes = suffixes * q + new_digit
+        self._t += 1
+
+    def as_dataset(self, t: int | None = None) -> CategoricalDataset:
+        t = self._t if t is None else t
+        if not self.window <= t <= self._t:
+            raise ConfigurationError(f"t must lie in [{self.window}, {self._t}], got {t}")
+        return CategoricalDataset(self._matrix[:, :t], self.alphabet)
+
+
+class CategoricalWindowRelease:
+    """Release view of a categorical fixed-window run."""
+
+    def __init__(self, synthesizer: "CategoricalWindowSynthesizer"):
+        self._synth = synthesizer
+
+    @property
+    def window(self) -> int:
+        """Window width ``k``."""
+        return self._synth.window
+
+    @property
+    def alphabet(self) -> int:
+        """Alphabet size ``q``."""
+        return self._synth.alphabet
+
+    @property
+    def n_pad(self) -> int:
+        """Padding per bin (public)."""
+        return self._synth.n_pad
+
+    @property
+    def n_original(self) -> int:
+        """Number of real individuals ``n``."""
+        if self._synth._n is None:
+            raise NotFittedError("no data observed yet")
+        return self._synth._n
+
+    @property
+    def n_synthetic(self) -> int:
+        """Number of synthetic individuals."""
+        if self._synth._store is None:
+            raise NotFittedError("the first update step has not run yet")
+        return self._synth._store.m
+
+    @property
+    def negative_count_events(self) -> int:
+        """Groups that needed the negative-count fallback."""
+        return self._synth._negative_events
+
+    def synthetic_data(self, t: int | None = None) -> CategoricalDataset:
+        """The synthetic categorical panel through round ``t``."""
+        if self._synth._store is None:
+            raise NotFittedError("the first update step has not run yet")
+        return self._synth._store.as_dataset(t)
+
+    def histogram(self, t: int) -> np.ndarray:
+        """Target synthetic histogram at round ``t`` (length ``q**k``)."""
+        try:
+            return self._synth._histograms[t].copy()
+        except KeyError:
+            raise NotFittedError(f"no histogram released for t={t}") from None
+
+    def released_times(self) -> list[int]:
+        """Rounds with a released histogram, ascending."""
+        return sorted(self._synth._histograms)
+
+    def answer(self, query: CategoricalWindowQuery, t: int, debias: bool = True) -> float:
+        """Answer a categorical window query of width <= ``k`` at round ``t``."""
+        query.check_time(t)
+        if query.alphabet != self.alphabet:
+            raise ConfigurationError(
+                f"query alphabet {query.alphabet} != release alphabet {self.alphabet}"
+            )
+        if query.k > self.window:
+            raise ConfigurationError(
+                f"query width {query.k} exceeds synthesizer window {self.window}"
+            )
+        weights = lift_categorical_weights(
+            query.weights, query.k, self.window, self.alphabet
+        )
+        count_answer = float(weights @ self.histogram(t))
+        if not debias:
+            return count_answer / self.n_synthetic
+        multiplicity = float(self.alphabet ** (self.window - query.k))
+        padding_count = self.n_pad * multiplicity * query.weight_sum
+        return debias_count_answer(count_answer, padding_count, self.n_original)
+
+    def __repr__(self) -> str:
+        return (
+            f"CategoricalWindowRelease(k={self.window}, q={self.alphabet}, "
+            f"n_pad={self.n_pad})"
+        )
+
+
+class CategoricalWindowSynthesizer:
+    """Fixed-window continual synthesizer over a categorical alphabet.
+
+    Parameters mirror
+    :class:`~repro.core.fixed_window.FixedWindowSynthesizer` plus
+    ``alphabet`` (the number of categories ``q >= 2``); the binary class is
+    the ``q = 2`` special case with a tighter rounding analysis.
+    """
+
+    def __init__(
+        self,
+        horizon: int,
+        window: int,
+        alphabet: int,
+        rho: float,
+        *,
+        n_pad: int | None = None,
+        beta: float = 0.05,
+        on_negative: str = "redistribute",
+        sensitivity: float = 1.0,
+        seed: SeedLike = None,
+        noise_method: str = "exact",
+    ):
+        if horizon <= 0:
+            raise ConfigurationError(f"horizon must be positive, got {horizon}")
+        if not 1 <= window <= horizon:
+            raise ConfigurationError(
+                f"window must lie in [1, horizon={horizon}], got {window}"
+            )
+        if alphabet < 2:
+            raise ConfigurationError(f"alphabet must be at least 2, got {alphabet}")
+        if alphabet**window > _MAX_BINS:
+            raise ConfigurationError(
+                f"alphabet**window = {alphabet**window} bins exceeds the "
+                f"{_MAX_BINS} limit; reduce the window or the alphabet"
+            )
+        if not rho > 0:
+            raise ConfigurationError(f"rho must be positive (or math.inf), got {rho}")
+        if on_negative not in ("redistribute", "raise"):
+            raise ConfigurationError(
+                f"on_negative must be 'redistribute' or 'raise', got {on_negative!r}"
+            )
+        self.horizon = int(horizon)
+        self.window = int(window)
+        self.alphabet = int(alphabet)
+        self.rho = float(rho)
+        self.on_negative = on_negative
+        self._generator = as_generator(seed)
+
+        self.update_steps = self.horizon - self.window + 1
+        if math.isinf(self.rho):
+            sigma_sq = Fraction(0)
+            self.accountant = None
+        else:
+            sigma_sq = Fraction(self.update_steps) / (
+                2 * Fraction(self.rho).limit_denominator(10**12)
+            )
+            self.accountant = ZCDPAccountant(self.rho)
+        self.sigma_sq = sigma_sq
+        self._mechanism = GaussianHistogramMechanism(
+            n_bins=self.alphabet**self.window,
+            sigma_sq=sigma_sq,
+            sensitivity=sensitivity,
+            seed=self._generator,
+            method=noise_method,
+        )
+        if n_pad is None:
+            if math.isinf(self.rho):
+                n_pad = 0
+            else:
+                n_pad = default_n_pad(
+                    self.horizon, self.window, self.rho, beta, alphabet=self.alphabet
+                )
+        self.n_pad = int(n_pad)
+
+        self._t = 0
+        self._n: int | None = None
+        self._window_codes: np.ndarray | None = None
+        self._recent_columns: list[np.ndarray] = []
+        self._store: _CategoricalStore | None = None
+        self._histograms: dict[int, np.ndarray] = {}
+        self._negative_events = 0
+
+    @property
+    def t(self) -> int:
+        """Rounds observed so far."""
+        return self._t
+
+    @property
+    def release(self) -> CategoricalWindowRelease:
+        """View of everything released so far."""
+        return CategoricalWindowRelease(self)
+
+    def padding_panel(self) -> CategoricalDataset:
+        """The materialized de Bruijn padding population (public)."""
+        return categorical_padding_panel(
+            self.window, self.n_pad, self.horizon, self.alphabet
+        )
+
+    def observe_column(self, column) -> CategoricalWindowRelease:
+        """Consume the round-``t`` categorical report vector and update."""
+        column = np.asarray(column)
+        if column.ndim != 1:
+            raise DataValidationError(f"column must be 1-D, got shape {column.shape}")
+        if column.size and (column.min() < 0 or column.max() >= self.alphabet):
+            raise DataValidationError(
+                f"column entries must lie in [0, {self.alphabet})"
+            )
+        if self._n is None:
+            self._n = int(column.shape[0])
+        elif column.shape[0] != self._n:
+            raise DataValidationError(
+                f"column has {column.shape[0]} entries, expected n={self._n}"
+            )
+        if self._t >= self.horizon:
+            raise DataValidationError(f"horizon {self.horizon} already exhausted")
+        self._t += 1
+        column = column.astype(np.int64)
+
+        if self._t < self.window:
+            self._recent_columns.append(column)
+            return self.release
+        q = self.alphabet
+        if self._t == self.window:
+            codes = np.zeros(self._n, dtype=np.int64)
+            for past in self._recent_columns:
+                codes = codes * q + past
+            codes = codes * q + column
+            self._recent_columns = []
+        else:
+            codes = (self._window_codes % q ** (self.window - 1)) * q + column
+        self._window_codes = codes
+
+        true_counts = np.bincount(codes, minlength=q**self.window).astype(np.int64)
+        self._update_step(true_counts)
+        return self.release
+
+    def run(self, dataset: CategoricalDataset) -> CategoricalWindowRelease:
+        """Batch driver over a categorical panel."""
+        if not isinstance(dataset, CategoricalDataset):
+            raise DataValidationError("run() expects a CategoricalDataset")
+        if dataset.alphabet != self.alphabet:
+            raise DataValidationError(
+                f"dataset alphabet {dataset.alphabet} != synthesizer alphabet "
+                f"{self.alphabet}"
+            )
+        if dataset.horizon != self.horizon:
+            raise DataValidationError(
+                f"dataset horizon {dataset.horizon} != synthesizer horizon {self.horizon}"
+            )
+        if self._t:
+            raise ConfigurationError("run() requires a fresh synthesizer")
+        for column in dataset.columns():
+            self.observe_column(column)
+        return self.release
+
+    def _update_step(self, true_counts: np.ndarray) -> None:
+        if self.accountant is not None:
+            self.accountant.charge(
+                self._mechanism.rho_per_release,
+                label=f"categorical histogram t={self._t}",
+            )
+        noisy = self._mechanism.release(true_counts + self.n_pad)
+        if self._store is None:
+            initial = noisy
+            negative = initial < 0
+            if negative.any():
+                if self.on_negative == "raise":
+                    bad = int(np.flatnonzero(negative)[0])
+                    raise NegativeCountError(
+                        f"initial noisy count for bin {bad} is {initial[bad]}; "
+                        "increase n_pad or use on_negative='redistribute'"
+                    )
+                self._negative_events += int(negative.sum())
+                initial = np.clip(initial, 0, None)
+            self._store = _CategoricalStore(
+                initial, self.window, self.horizon, self.alphabet, self._generator
+            )
+            self._histograms[self._t] = initial.astype(np.int64)
+            return
+        previous = self._histograms[self._t - 1]
+        new_counts, events = apply_categorical_correction(
+            previous, noisy, self.alphabet, self._generator, on_negative=self.on_negative
+        )
+        self._negative_events += events
+        self._store.extend(new_counts)
+        self._histograms[self._t] = new_counts

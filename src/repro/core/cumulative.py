@@ -1,0 +1,288 @@
+"""Algorithm 2: continual DP synthetic data for cumulative time queries.
+
+One DP stream counter per Hamming-weight threshold ``b = 1, ..., T`` tracks
+``S_b^t = #{i : weight_i(t) >= b}`` via its increments
+``z_b^t = #{i : weight_i(t-1) = b-1 and x_i^t = 1}`` (each individual
+contributes at most once to each threshold's stream, so neighboring
+datasets induce neighboring streams).  Per round the synthesizer:
+
+1. feeds every active counter its increment and reads the noisy totals
+   ``S~_b^t`` (stage 1);
+2. monotonizes across counters,
+   ``S^_b^t = min(max(S~_b^t, S^_b^{t-1}), S^_{b-1}^{t-1})`` — Lemma 4.2
+   shows this clamping never increases the worst-case error — and extends
+   ``z^_b^t = S^_b^t - S^_b^{t-1}`` synthetic records of weight ``b - 1``
+   by a 1 (stage 2).
+
+The synthetic population has size ``m = n`` and its weight census equals
+``S^^t`` *exactly* at every round, so cumulative queries read off the
+synthetic data with exactly the monotonized counters' error
+(Theorem 4.4 / Corollary B.1).
+
+The counter is pluggable (paper §1.1: "it could be implemented using an
+arbitrary differentially private algorithm for tracking the sum of a stream
+of bits"): pass any name registered in :mod:`repro.streams.registry`.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.budget import allocate_budget
+from repro.core.monotonize import is_monotone_table, monotonize_row
+from repro.core.synthetic_store import CumulativeSyntheticStore
+from repro.data.dataset import LongitudinalDataset
+from repro.dp.accountant import ZCDPAccountant
+from repro.exceptions import (
+    ConfigurationError,
+    DataValidationError,
+    NotFittedError,
+)
+from repro.queries.cumulative import HammingAtLeast, HammingExactly
+from repro.rng import SeedLike, as_generator, spawn
+from repro.streams.registry import available_counters, make_counter
+
+__all__ = ["CumulativeSynthesizer", "CumulativeRelease"]
+
+
+class CumulativeRelease:
+    """The public artifact of a cumulative run.
+
+    Exposes the synthetic panel, the monotonized threshold table
+    ``S^_b^t``, and direct answers for :class:`HammingAtLeast` /
+    :class:`HammingExactly` queries.
+    """
+
+    def __init__(self, synthesizer: "CumulativeSynthesizer"):
+        self._synth = synthesizer
+
+    @property
+    def t(self) -> int:
+        """Rounds released so far."""
+        return self._synth.t
+
+    @property
+    def m(self) -> int:
+        """Number of synthetic individuals (equals ``n``)."""
+        if self._synth._store is None:
+            raise NotFittedError("no data observed yet")
+        return self._synth._store.m
+
+    def synthetic_data(self, t: int | None = None) -> LongitudinalDataset:
+        """The synthetic panel through round ``t`` (default: latest)."""
+        if self._synth._store is None or self._synth.t == 0:
+            raise NotFittedError("no data observed yet")
+        return self._synth._store.as_dataset(t)
+
+    def threshold_table(self) -> np.ndarray:
+        """Monotonized counts ``S^_b^t``: shape ``(t+1, T+1)``, row 0 initial."""
+        if self._synth._table is None:
+            raise NotFittedError("no data observed yet")
+        return self._synth._table[: self._synth.t + 1].copy()
+
+    def threshold_count(self, b: int, t: int) -> int:
+        """``S^_b^t`` — synthetic individuals with weight >= ``b`` at ``t``."""
+        if self._synth._table is None:
+            raise NotFittedError("no data observed yet")
+        if not 0 <= b <= self._synth.horizon:
+            raise ConfigurationError(f"b must lie in [0, {self._synth.horizon}], got {b}")
+        if not 1 <= t <= self._synth.t:
+            raise ConfigurationError(f"t must lie in [1, {self._synth.t}], got {t}")
+        return int(self._synth._table[t, b])
+
+    def answer(self, query, t: int) -> float:
+        """Answer a cumulative query at round ``t`` (fraction of ``m``)."""
+        if isinstance(query, HammingAtLeast):
+            return self.threshold_count(query.b, t) / self.m if query.b <= self._synth.horizon else 0.0
+        if isinstance(query, HammingExactly):
+            at_least_b = self.threshold_count(query.b, t)
+            above = (
+                self.threshold_count(query.b + 1, t)
+                if query.b + 1 <= self._synth.horizon
+                else 0
+            )
+            return (at_least_b - above) / self.m
+        raise ConfigurationError(
+            f"cumulative release answers HammingAtLeast/HammingExactly, got {query!r}"
+        )
+
+    def __repr__(self) -> str:
+        return f"CumulativeRelease(t={self.t}, m={self.m if self._synth._store else '?'})"
+
+
+class CumulativeSynthesizer:
+    """Algorithm 2 — continual synthetic data for cumulative queries.
+
+    Parameters
+    ----------
+    horizon:
+        Known time horizon ``T``.
+    rho:
+        Total zCDP budget; split across the ``T`` per-threshold counters by
+        ``budget``.  ``math.inf`` disables noise.
+    counter:
+        Registered stream-counter name (default ``"binary_tree"``,
+        the paper's choice).
+    budget:
+        ``"corollary_b1"`` (default), ``"uniform"``, or an explicit
+        length-``T`` sequence of per-threshold budgets summing to ``rho``.
+    noise_method:
+        ``"exact"`` or ``"vectorized"`` noise backend for the counters.
+    counter_kwargs:
+        Extra keyword arguments forwarded to every counter constructor.
+    """
+
+    def __init__(
+        self,
+        horizon: int,
+        rho: float,
+        *,
+        counter: str = "binary_tree",
+        budget="corollary_b1",
+        seed: SeedLike = None,
+        noise_method: str = "exact",
+        counter_kwargs: dict | None = None,
+    ):
+        if horizon <= 0:
+            raise ConfigurationError(f"horizon must be positive, got {horizon}")
+        if not rho > 0:
+            raise ConfigurationError(f"rho must be positive (or math.inf), got {rho}")
+        if counter not in available_counters():
+            raise ConfigurationError(
+                f"unknown counter {counter!r}; available: {sorted(available_counters())}"
+            )
+        self.horizon = int(horizon)
+        self.rho = float(rho)
+        self.counter_name = counter
+        self.noise_method = noise_method
+        self._counter_kwargs = dict(counter_kwargs or {})
+        self._generator = as_generator(seed)
+        self.rho_per_threshold = allocate_budget(self.horizon, self.rho, budget)
+        self.accountant = None if math.isinf(self.rho) else ZCDPAccountant(self.rho)
+
+        # Counter b (1-indexed) sees the stream z_b^t for t = b..T, of
+        # length T - b + 1; it is created lazily at round b.
+        self._counter_seeds = spawn(self._generator, self.horizon)
+        self._counters: dict[int, object] = {}
+
+        self._t = 0
+        self._n: int | None = None
+        self._orig_weights: np.ndarray | None = None
+        self._store: CumulativeSyntheticStore | None = None
+        self._table: np.ndarray | None = None  # S^ table, (T+1) x (T+1)
+
+    # ------------------------------------------------------------------
+    # Streaming API
+    # ------------------------------------------------------------------
+
+    @property
+    def t(self) -> int:
+        """Rounds observed so far."""
+        return self._t
+
+    @property
+    def release(self) -> CumulativeRelease:
+        """View of everything released so far."""
+        return CumulativeRelease(self)
+
+    def observe_column(self, column) -> CumulativeRelease:
+        """Consume the round-``t`` report vector ``D_t`` and update."""
+        column = np.asarray(column)
+        if column.ndim != 1:
+            raise DataValidationError(f"column must be 1-D, got shape {column.shape}")
+        if column.size and not np.isin(column, (0, 1)).all():
+            raise DataValidationError("column entries must be 0 or 1")
+        if self._t >= self.horizon:
+            raise DataValidationError(f"horizon {self.horizon} already exhausted")
+        if self._n is None:
+            self._initialize(int(column.shape[0]))
+        elif column.shape[0] != self._n:
+            raise DataValidationError(
+                f"column has {column.shape[0]} entries, expected n={self._n}"
+            )
+        self._t += 1
+        t = self._t
+        column = column.astype(np.int64)
+
+        # Stream increments z_b^t from the *original* data.
+        reporting_one = column == 1
+        z = np.bincount(self._orig_weights[reporting_one], minlength=t)[:t]
+        self._orig_weights += column
+
+        # Stage 1: feed the active counters, collect noisy totals.
+        noisy = np.empty(t, dtype=np.int64)
+        for b in range(1, t + 1):
+            counter = self._get_counter(b)
+            noisy[b - 1] = round(float(counter.feed(int(z[b - 1]))))
+
+        # Stage 2: monotonize against the previous round and extend records.
+        previous = self._table[t - 1, : t + 1]
+        clamped = monotonize_row(noisy, previous, population=self._n)
+        self._table[t, 1 : t + 1] = clamped
+        self._table[t, 0] = self._n
+        # Thresholds above t keep their previous (zero) values.
+        self._table[t, t + 1 :] = self._table[t - 1, t + 1 :]
+
+        increments = clamped - previous[1 : t + 1]  # z^_b^t for b = 1..t
+        self._store.extend(increments)  # indexed by previous weight b-1
+        return self.release
+
+    def run(self, dataset: LongitudinalDataset) -> CumulativeRelease:
+        """Batch driver: feed every column of ``dataset`` and return the release."""
+        if dataset.horizon != self.horizon:
+            raise DataValidationError(
+                f"dataset horizon {dataset.horizon} != synthesizer horizon {self.horizon}"
+            )
+        if self._t:
+            raise ConfigurationError("run() requires a fresh synthesizer")
+        for column in dataset.columns():
+            self.observe_column(column)
+        return self.release
+
+    def check_invariants(self) -> bool:
+        """Verify the release invariants (used by tests and examples).
+
+        The monotonicity constraints hold on the whole table and the
+        synthetic weight census equals the table row exactly.
+        """
+        if self._table is None or self._t == 0:
+            return True
+        table = self._table[: self._t + 1]
+        if not is_monotone_table(table, population=self._n):
+            return False
+        census = self._store.threshold_census()
+        return bool((census == self._table[self._t]).all())
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _initialize(self, n: int) -> None:
+        if n <= 0:
+            raise DataValidationError(f"need at least one individual, got n={n}")
+        self._n = n
+        self._orig_weights = np.zeros(n, dtype=np.int64)
+        self._store = CumulativeSyntheticStore(n, self.horizon, self._generator)
+        self._table = np.zeros((self.horizon + 1, self.horizon + 1), dtype=np.int64)
+        self._table[0, 0] = n
+        self._table[:, 0] = n
+
+    def _get_counter(self, b: int):
+        counter = self._counters.get(b)
+        if counter is None:
+            length = self.horizon - b + 1
+            rho_b = float(self.rho_per_threshold[b - 1])
+            counter = make_counter(
+                self.counter_name,
+                horizon=length,
+                rho=rho_b,
+                seed=self._counter_seeds[b - 1],
+                noise_method=self.noise_method,
+                **self._counter_kwargs,
+            )
+            if self.accountant is not None:
+                self.accountant.charge(rho_b, label=f"stream counter b={b}")
+            self._counters[b] = counter
+        return counter

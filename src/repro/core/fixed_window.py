@@ -1,0 +1,382 @@
+"""Algorithm 1: continual DP synthetic data for fixed time window queries.
+
+Per update step ``t = k, ..., T`` the synthesizer
+
+1. counts the length-``k`` window patterns in the original data and releases
+   a noisy padded histogram
+   ``C^_s^t = C_s^t + n_pad + N_Z(0, (T-k+1)/(2 rho))`` per bin
+   (stage 1 — :class:`~repro.dp.mechanisms.GaussianHistogramMechanism`);
+2. projects the noisy histogram onto the overlap-consistency constraint set
+   (stage 2 — :func:`~repro.core.consistency.apply_overlap_correction`) and
+   extends every synthetic record by one bit so the synthetic window
+   histogram equals the projected counts exactly
+   (:class:`~repro.core.synthetic_store.WindowSyntheticStore`).
+
+The whole run satisfies ``rho``-zCDP (Theorem 3.1); every bin count is
+within the Theorem 3.2 bound of ``C_s^t + n_pad`` with probability
+``1 - beta``, and the debiased answers are unbiased (§3.2).
+
+Typical use::
+
+    synth = FixedWindowSynthesizer(horizon=12, window=3, rho=0.005, seed=0)
+    release = synth.run(panel)                      # batch
+    release.answer(AtLeastMOnes(3, 1), t=6)         # debiased by default
+
+or streaming, one report vector per round::
+
+    for column in panel.columns():
+        synth.observe_column(column)
+    release = synth.release
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+import numpy as np
+
+from repro.core.consistency import apply_overlap_correction, check_window_consistency
+from repro.core.debias import debias_count_answer, lift_window_weights
+from repro.core.padding import PaddingSpec
+from repro.core.synthetic_store import WindowSyntheticStore
+from repro.data.dataset import LongitudinalDataset
+from repro.dp.accountant import ZCDPAccountant
+from repro.dp.mechanisms import GaussianHistogramMechanism
+from repro.exceptions import (
+    ConfigurationError,
+    DataValidationError,
+    NegativeCountError,
+    NotFittedError,
+)
+from repro.queries.base import WindowQuery
+from repro.rng import SeedLike, as_generator
+
+__all__ = ["FixedWindowSynthesizer", "FixedWindowRelease"]
+
+
+class FixedWindowRelease:
+    """The public artifact of a fixed-window run.
+
+    Wraps the synthetic panel, the per-round target histograms, and the
+    public padding parameters; answers any window query of width at most
+    ``k`` directly from the maintained histograms (debiased by default) and
+    wider queries from the records themselves.
+    """
+
+    def __init__(self, synthesizer: "FixedWindowSynthesizer"):
+        self._synth = synthesizer
+
+    # -- metadata ------------------------------------------------------
+
+    @property
+    def window(self) -> int:
+        """Window width ``k``."""
+        return self._synth.window
+
+    @property
+    def padding(self) -> PaddingSpec:
+        """Public padding parameters (``n_pad`` per bin)."""
+        return self._synth.padding
+
+    @property
+    def n_original(self) -> int:
+        """Number of real individuals ``n``."""
+        if self._synth._n is None:
+            raise NotFittedError("no data observed yet")
+        return self._synth._n
+
+    @property
+    def n_synthetic(self) -> int:
+        """Number of synthetic individuals ``n* = sum_s p_s^k``."""
+        store = self._synth._store
+        if store is None:
+            raise NotFittedError("the first update step has not run yet")
+        return store.m
+
+    @property
+    def t(self) -> int:
+        """Rounds released so far."""
+        return self._synth.t
+
+    @property
+    def negative_count_events(self) -> int:
+        """How many pair targets needed the negative-count fallback."""
+        return self._synth._negative_events
+
+    # -- released data -------------------------------------------------
+
+    def synthetic_data(self, t: int | None = None) -> LongitudinalDataset:
+        """The synthetic panel through round ``t`` (default: latest)."""
+        store = self._synth._store
+        if store is None:
+            raise NotFittedError("the first update step has not run yet")
+        return store.as_dataset(t)
+
+    def histogram(self, t: int) -> np.ndarray:
+        """Target synthetic histogram ``p^t`` (length ``2**k``)."""
+        try:
+            return self._synth._histograms[t].copy()
+        except KeyError:
+            raise NotFittedError(f"no histogram released for t={t}") from None
+
+    def released_times(self) -> list[int]:
+        """Rounds with a released histogram, ascending."""
+        return sorted(self._synth._histograms)
+
+    # -- query answering -----------------------------------------------
+
+    def answer(
+        self,
+        query: WindowQuery,
+        t: int,
+        debias: bool = True,
+        padding_convention: str = "uniform",
+    ) -> float:
+        """Answer a window query at round ``t``.
+
+        Queries of width ``k' <= k`` are answered from the maintained
+        width-``k`` histogram (exactly equal to evaluating on the records).
+        With ``debias`` (default) the publicly known padding contribution is
+        subtracted and the answer renormalized by ``n`` — the §3.2
+        estimator; otherwise the biased ``fraction-of-n*`` value is
+        returned (the left panels of Figures 5-7).
+
+        Queries of width ``k' > k`` are evaluated on the synthetic records
+        directly.  The synthesizer gives *no accuracy guarantee* for them —
+        this is precisely the Figure 3 bottom-panel caveat.
+
+        ``padding_convention`` selects how the padding answer is computed
+        when debiasing: ``"uniform"`` (paper's convention — ``n_pad`` fake
+        people per bin, extrapolated for widths above ``k``) or ``"panel"``
+        (evaluate the query on the materialized de Bruijn padding records;
+        identical for widths <= ``k``).
+        """
+        query.check_time(t)
+        if padding_convention not in ("uniform", "panel"):
+            raise ConfigurationError(
+                f"padding_convention must be 'uniform' or 'panel', got "
+                f"{padding_convention!r}"
+            )
+        if query.k <= self.window:
+            histogram = self.histogram(t)
+            weights = lift_window_weights(query.weights, query.k, self.window)
+            count_answer = float(weights @ histogram)
+        else:
+            panel = self.synthetic_data(t)
+            count_answer = query.evaluate(panel, t) * panel.n_individuals
+        if not debias:
+            return count_answer / self.n_synthetic
+        if padding_convention == "uniform":
+            padding_count = self.padding.count_contribution(query)
+        else:
+            padding_count = self.padding.panel_count_answer(query, t)
+        return debias_count_answer(count_answer, padding_count, self.n_original)
+
+    def __repr__(self) -> str:
+        return (
+            f"FixedWindowRelease(k={self.window}, t={self.t}, "
+            f"n_pad={self.padding.n_pad})"
+        )
+
+
+class FixedWindowSynthesizer:
+    """Algorithm 1 — continual synthetic data for window histograms.
+
+    Parameters
+    ----------
+    horizon:
+        Known time horizon ``T``.
+    window:
+        Window width ``k`` (``1 <= k <= T``).
+    rho:
+        Total zCDP budget for the entire run; ``math.inf`` disables noise
+        (oracle mode for tests/baselines).
+    n_pad:
+        Padding per bin.  ``None`` (default) chooses the Theorem 3.2 value
+        for the given ``beta``.
+    beta:
+        Target failure probability used when auto-sizing ``n_pad``.
+    on_negative:
+        Fallback when a target count goes negative despite padding:
+        ``"redistribute"`` (default; keeps consistency, counts the event)
+        or ``"raise"``.
+    sensitivity:
+        Histogram L2 sensitivity used for noise calibration (1.0 matches
+        the paper's accounting; see :mod:`repro.dp.mechanisms`).
+    noise_method:
+        ``"exact"`` or ``"vectorized"`` discrete Gaussian backend.
+    """
+
+    def __init__(
+        self,
+        horizon: int,
+        window: int,
+        rho: float,
+        *,
+        n_pad: int | None = None,
+        beta: float = 0.05,
+        on_negative: str = "redistribute",
+        sensitivity: float = 1.0,
+        seed: SeedLike = None,
+        noise_method: str = "exact",
+    ):
+        if horizon <= 0:
+            raise ConfigurationError(f"horizon must be positive, got {horizon}")
+        if not 1 <= window <= horizon:
+            raise ConfigurationError(
+                f"window must lie in [1, horizon={horizon}], got {window}"
+            )
+        if not rho > 0:
+            raise ConfigurationError(f"rho must be positive (or math.inf), got {rho}")
+        if on_negative not in ("redistribute", "raise"):
+            raise ConfigurationError(
+                f"on_negative must be 'redistribute' or 'raise', got {on_negative!r}"
+            )
+        self.horizon = int(horizon)
+        self.window = int(window)
+        self.rho = float(rho)
+        self.on_negative = on_negative
+        self._generator = as_generator(seed)
+
+        self.update_steps = self.horizon - self.window + 1
+        if math.isinf(self.rho):
+            sigma_sq = Fraction(0)
+            self.accountant = None
+        else:
+            sigma_sq = Fraction(self.update_steps) / (
+                2 * Fraction(self.rho).limit_denominator(10**12)
+            )
+            self.accountant = ZCDPAccountant(self.rho)
+        self.sigma_sq = sigma_sq
+        self._mechanism = GaussianHistogramMechanism(
+            n_bins=1 << self.window,
+            sigma_sq=sigma_sq,
+            sensitivity=sensitivity,
+            seed=self._generator,
+            method=noise_method,
+        )
+
+        if n_pad is None:
+            if math.isinf(self.rho):
+                n_pad = 0
+            else:
+                n_pad = PaddingSpec.auto(self.horizon, self.window, self.rho, beta).n_pad
+        self.padding = PaddingSpec(window=self.window, n_pad=int(n_pad), horizon=self.horizon)
+
+        self._t = 0
+        self._n: int | None = None
+        self._window_codes: np.ndarray | None = None  # original-data codes
+        self._recent_columns: list[np.ndarray] = []  # first k-1 columns buffer
+        self._store: WindowSyntheticStore | None = None
+        self._histograms: dict[int, np.ndarray] = {}
+        self._negative_events = 0
+
+    # ------------------------------------------------------------------
+    # Streaming API
+    # ------------------------------------------------------------------
+
+    @property
+    def t(self) -> int:
+        """Rounds observed so far."""
+        return self._t
+
+    @property
+    def release(self) -> FixedWindowRelease:
+        """View of everything released so far."""
+        return FixedWindowRelease(self)
+
+    def observe_column(self, column) -> FixedWindowRelease:
+        """Consume the round-``t`` report vector ``D_t`` and update.
+
+        Before round ``k`` the reports are only buffered (the first release
+        happens once a full window exists).  Returns the release view for
+        convenience.
+        """
+        column = np.asarray(column)
+        if column.ndim != 1:
+            raise DataValidationError(f"column must be 1-D, got shape {column.shape}")
+        if column.size and not np.isin(column, (0, 1)).all():
+            raise DataValidationError("column entries must be 0 or 1")
+        if self._n is None:
+            self._n = int(column.shape[0])
+        elif column.shape[0] != self._n:
+            raise DataValidationError(
+                f"column has {column.shape[0]} entries, expected n={self._n}"
+            )
+        if self._t >= self.horizon:
+            raise DataValidationError(f"horizon {self.horizon} already exhausted")
+        self._t += 1
+        column = column.astype(np.int64)
+
+        if self._t < self.window:
+            self._recent_columns.append(column)
+            return self.release
+
+        # Maintain each original individual's current k-bit window code.
+        if self._t == self.window:
+            codes = np.zeros(self._n, dtype=np.int64)
+            for past in self._recent_columns:
+                codes = (codes << 1) | past
+            codes = (codes << 1) | column
+            self._recent_columns = []
+        else:
+            half_mask = (1 << (self.window - 1)) - 1
+            codes = ((self._window_codes & half_mask) << 1) | column
+        self._window_codes = codes
+
+        true_counts = np.bincount(codes, minlength=1 << self.window).astype(np.int64)
+        self._update_step(true_counts)
+        return self.release
+
+    def run(self, dataset: LongitudinalDataset) -> FixedWindowRelease:
+        """Batch driver: feed every column of ``dataset`` and return the release."""
+        if dataset.horizon != self.horizon:
+            raise DataValidationError(
+                f"dataset horizon {dataset.horizon} != synthesizer horizon {self.horizon}"
+            )
+        if self._t:
+            raise ConfigurationError("run() requires a fresh synthesizer")
+        for column in dataset.columns():
+            self.observe_column(column)
+        return self.release
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _update_step(self, true_counts: np.ndarray) -> None:
+        """One Algorithm-1 update: noise, project, extend."""
+        if self.accountant is not None:
+            self.accountant.charge(
+                self._mechanism.rho_per_release, label=f"window histogram t={self._t}"
+            )
+        noisy = self._mechanism.release(true_counts + self.padding.n_pad)
+
+        if self._store is None:
+            # t = k: materialize any dataset matching the noisy histogram.
+            initial = noisy
+            negative = initial < 0
+            if negative.any():
+                if self.on_negative == "raise":
+                    bad = int(np.flatnonzero(negative)[0])
+                    raise NegativeCountError(
+                        f"initial noisy count for bin {bad} is {initial[bad]}; "
+                        "increase n_pad or use on_negative='redistribute'"
+                    )
+                self._negative_events += int(negative.sum())
+                initial = np.clip(initial, 0, None)
+            self._store = WindowSyntheticStore(
+                initial, self.window, self.horizon, self._generator
+            )
+            self._histograms[self._t] = initial.astype(np.int64)
+            return
+
+        previous = self._histograms[self._t - 1]
+        new_counts, events = apply_overlap_correction(
+            previous, noisy, self._generator, on_negative=self.on_negative
+        )
+        self._negative_events += events
+        assert check_window_consistency(previous, new_counts)
+        self._store.extend(new_counts)
+        self._histograms[self._t] = new_counts

@@ -1,0 +1,80 @@
+"""Cross-counter monotonization (Algorithm 2, step
+``S^_b^t = min(max(S~_b^t, S^_b^{t-1}), S^_{b-1}^{t-1})``).
+
+True threshold counts satisfy two monotonicity constraints that noisy
+counters can violate:
+
+1. ``S_b^t >= S_b^{t-1}`` — Hamming weights only grow over time;
+2. ``S_b^t <= S_{b-1}^{t-1}`` — a weight can grow by at most 1 per round,
+   so everyone counted in ``S_b^t`` already had weight ``>= b-1``.
+
+Clamping the noisy value into ``[S^_b^{t-1}, S^_{b-1}^{t-1}]`` restores both
+and — by Lemma 4.2 — never increases the worst-case error.  Both properties
+are verified by property-based tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["monotonize_row", "is_monotone_table"]
+
+
+def monotonize_row(noisy: np.ndarray, previous: np.ndarray, population: int) -> np.ndarray:
+    """Monotonize one round of threshold estimates.
+
+    Parameters
+    ----------
+    noisy:
+        ``S~_b^t`` for ``b = 1, ..., t`` (length ``t`` integer vector).
+    previous:
+        The *monotonized* previous row ``S^_b^{t-1}`` for ``b = 0, ..., t``
+        (length ``t + 1``; entry 0 is the constant population count, entry
+        ``t`` — a threshold that only activates this round — must be 0).
+    population:
+        Total number of (synthetic) individuals ``m``; ``previous[0]`` must
+        equal it.
+
+    Returns
+    -------
+    The monotonized row ``S^_b^t`` for ``b = 1, ..., t`` (length ``t``).
+    """
+    noisy = np.asarray(noisy, dtype=np.int64)
+    previous = np.asarray(previous, dtype=np.int64)
+    t = noisy.shape[0]
+    if previous.shape != (t + 1,):
+        raise ConfigurationError(
+            f"previous row must have length t+1={t + 1}, got {previous.shape}"
+        )
+    if previous[0] != population:
+        raise ConfigurationError(
+            f"previous[0] must equal the population {population}, got {previous[0]}"
+        )
+    lower = previous[1 : t + 1]  # S^_b^{t-1}
+    upper = previous[0:t]  # S^_{b-1}^{t-1}
+    if (lower > upper).any():
+        raise ConfigurationError("previous row is not non-increasing in b")
+    return np.minimum(np.maximum(noisy, lower), upper)
+
+
+def is_monotone_table(table: np.ndarray, population: int) -> bool:
+    """Check both monotonicity constraints on a full ``(T+1) x (B+1)`` table.
+
+    ``table[t, b]`` holds ``S^_b^t`` with row 0 the initial state
+    ``(m, 0, ..., 0)``.  Verifies: non-increasing along ``b`` within each
+    row, non-decreasing along ``t`` within each column, and the cross
+    constraint ``table[t, b] <= table[t-1, b-1]``.
+    """
+    table = np.asarray(table)
+    if table.ndim != 2:
+        raise ConfigurationError(f"table must be 2-D, got shape {table.shape}")
+    if (table[:, 0] != population).any():
+        return False
+    if (np.diff(table, axis=1) > 0).any():  # non-increasing in b
+        return False
+    if (np.diff(table, axis=0) < 0).any():  # non-decreasing in t
+        return False
+    cross = table[1:, 1:] > table[:-1, :-1]
+    return not cross.any()

@@ -1,0 +1,228 @@
+"""Synthetic record stores.
+
+Both synthesizers maintain an explicit population of synthetic individuals
+whose histories grow by one bit per round and are never rewritten — the
+consistency requirement at the heart of the paper's model.  The stores keep
+the record matrix plus the bookkeeping needed to extend records in O(n)
+per round:
+
+* :class:`WindowSyntheticStore` (Algorithm 1) tracks each record's current
+  length-``k`` window code and extends records grouped by their ``(k-1)``-bit
+  suffix.
+* :class:`CumulativeSyntheticStore` (Algorithm 2) tracks each record's
+  Hamming weight and extends records grouped by exact weight.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import LongitudinalDataset
+from repro.exceptions import ConfigurationError, ConsistencyError
+
+__all__ = ["WindowSyntheticStore", "CumulativeSyntheticStore"]
+
+
+def _choose_within_groups(
+    group_of: np.ndarray,
+    n_groups: int,
+    picks_per_group: np.ndarray,
+    generator: np.random.Generator,
+) -> np.ndarray:
+    """Pick ``picks_per_group[g]`` random members of each group.
+
+    Returns the selected indices (into ``group_of``).  Raises
+    :class:`ConsistencyError` when a group is asked for more members than
+    it has — which would mean the caller's histogram bookkeeping diverged
+    from the record population.
+    """
+    order = np.argsort(group_of, kind="stable")
+    sorted_groups = group_of[order]
+    boundaries = np.searchsorted(sorted_groups, np.arange(n_groups + 1))
+    chosen: list[np.ndarray] = []
+    for g in range(n_groups):
+        start, stop = boundaries[g], boundaries[g + 1]
+        need = int(picks_per_group[g])
+        size = stop - start
+        if need < 0 or need > size:
+            raise ConsistencyError(
+                f"group {g} has {size} records but {need} were requested"
+            )
+        if need == 0:
+            continue
+        members = order[start:stop]
+        picked = generator.choice(size, size=need, replace=False)
+        chosen.append(members[picked])
+    if not chosen:
+        return np.zeros(0, dtype=np.int64)
+    return np.concatenate(chosen)
+
+
+class WindowSyntheticStore:
+    """Synthetic records for Algorithm 1.
+
+    Parameters
+    ----------
+    initial_counts:
+        Length ``2**k`` non-negative integer histogram; the store
+        materializes ``initial_counts[s]`` records whose first ``k`` bits
+        equal pattern ``s`` (any such dataset is a valid output at
+        ``t = k``).
+    window:
+        Window width ``k``.
+    horizon:
+        Total rounds ``T`` — the record matrix is preallocated.
+    generator:
+        Randomness for record ordering and extension choices.
+    """
+
+    def __init__(
+        self,
+        initial_counts: np.ndarray,
+        window: int,
+        horizon: int,
+        generator: np.random.Generator,
+    ):
+        counts = np.asarray(initial_counts, dtype=np.int64)
+        if counts.shape != (1 << window,):
+            raise ConfigurationError(
+                f"initial_counts must have length 2**{window}, got {counts.shape}"
+            )
+        if (counts < 0).any():
+            raise ConfigurationError("initial_counts must be non-negative")
+        if horizon < window:
+            raise ConfigurationError(f"horizon {horizon} shorter than window {window}")
+        self.window = int(window)
+        self.horizon = int(horizon)
+        self._generator = generator
+        self.m = int(counts.sum())
+        self._t = window
+
+        # Materialize initial records: codes are assigned in shuffled order
+        # so record index carries no information about the pattern.
+        codes = np.repeat(np.arange(1 << window, dtype=np.int64), counts)
+        generator.shuffle(codes)
+        self._codes = codes  # current k-bit window code per record
+        self._matrix = np.zeros((self.m, horizon), dtype=np.uint8)
+        for j in range(window):
+            self._matrix[:, j] = (codes >> (window - 1 - j)) & 1
+
+    @property
+    def t(self) -> int:
+        """Rounds materialized so far."""
+        return self._t
+
+    def counts(self) -> np.ndarray:
+        """Current synthetic window histogram ``p^t`` (length ``2**k``)."""
+        return np.bincount(self._codes, minlength=1 << self.window).astype(np.int64)
+
+    def extend(self, target_counts: np.ndarray) -> None:
+        """Advance one round so the window histogram becomes ``target_counts``.
+
+        ``target_counts`` must satisfy the overlap-consistency constraint
+        w.r.t. the current histogram (checked); records keeping suffix ``z``
+        are split between extensions ``z0`` and ``z1`` uniformly at random.
+        """
+        if self._t >= self.horizon:
+            raise ConsistencyError(f"store already materialized all {self.horizon} rounds")
+        target = np.asarray(target_counts, dtype=np.int64)
+        if target.shape != (1 << self.window,):
+            raise ConfigurationError(
+                f"target_counts must have length 2**{self.window}, got {target.shape}"
+            )
+        if (target < 0).any():
+            raise ConsistencyError("target_counts must be non-negative")
+
+        half = 1 << (self.window - 1) if self.window > 1 else 1
+        suffixes = self._codes & (half - 1) if self.window > 1 else np.zeros_like(self._codes)
+        ones_per_suffix = target[1::2] if self.window > 1 else target[1:2]
+        pair_sums = target[0::2] + target[1::2] if self.window > 1 else target[:1] + target[1:2]
+        current_pairs = np.bincount(suffixes, minlength=half)
+        if not (pair_sums == current_pairs).all():
+            raise ConsistencyError(
+                "target histogram violates the overlap-consistency constraint"
+            )
+
+        ones_idx = _choose_within_groups(suffixes, half, ones_per_suffix, self._generator)
+        new_bit = np.zeros(self.m, dtype=np.uint8)
+        new_bit[ones_idx] = 1
+        self._matrix[:, self._t] = new_bit
+        self._codes = ((suffixes << 1) | new_bit).astype(np.int64)
+        self._t += 1
+
+    def as_dataset(self, t: int | None = None) -> LongitudinalDataset:
+        """The synthetic panel through round ``t`` (default: current)."""
+        t = self._t if t is None else t
+        if not self.window <= t <= self._t:
+            raise ConfigurationError(f"t must lie in [{self.window}, {self._t}], got {t}")
+        return LongitudinalDataset(self._matrix[:, :t])
+
+
+class CumulativeSyntheticStore:
+    """Synthetic records for Algorithm 2.
+
+    Starts with ``m`` all-zero histories; each round, :meth:`extend` flips
+    the prescribed number of records within each exact-weight group.
+    """
+
+    def __init__(self, m: int, horizon: int, generator: np.random.Generator):
+        if m <= 0:
+            raise ConfigurationError(f"m must be positive, got {m}")
+        if horizon <= 0:
+            raise ConfigurationError(f"horizon must be positive, got {horizon}")
+        self.m = int(m)
+        self.horizon = int(horizon)
+        self._generator = generator
+        self._matrix = np.zeros((m, horizon), dtype=np.uint8)
+        self._weights = np.zeros(m, dtype=np.int64)
+        self._t = 0
+
+    @property
+    def t(self) -> int:
+        """Rounds materialized so far."""
+        return self._t
+
+    def weights(self) -> np.ndarray:
+        """Current Hamming weight per synthetic record (copy)."""
+        return self._weights.copy()
+
+    def threshold_census(self) -> np.ndarray:
+        """``#{records with weight >= b}`` for ``b = 0, ..., T``."""
+        by_weight = np.bincount(self._weights, minlength=self.horizon + 1)
+        return by_weight[::-1].cumsum()[::-1].astype(np.int64)
+
+    def extend(self, ones_per_prev_weight: np.ndarray) -> None:
+        """Advance one round.
+
+        ``ones_per_prev_weight[w]`` records among those with current weight
+        exactly ``w`` receive a 1 this round (this is ``z^_b`` for
+        ``b = w + 1``); everyone else receives a 0.  The vector may have any
+        length up to ``t + 1``; missing entries mean 0.
+        """
+        if self._t >= self.horizon:
+            raise ConsistencyError(f"store already materialized all {self.horizon} rounds")
+        requested = np.asarray(ones_per_prev_weight, dtype=np.int64)
+        if (requested < 0).any():
+            raise ConsistencyError("ones_per_prev_weight must be non-negative")
+        picks = np.zeros(self._t + 1, dtype=np.int64)
+        if requested.shape[0] > picks.shape[0]:
+            if requested[picks.shape[0] :].any():
+                raise ConsistencyError(
+                    f"cannot request ones for weights above t={self._t}"
+                )
+            requested = requested[: picks.shape[0]]
+        picks[: requested.shape[0]] = requested
+
+        ones_idx = _choose_within_groups(
+            self._weights, self._t + 1, picks, self._generator
+        )
+        self._matrix[ones_idx, self._t] = 1
+        self._weights[ones_idx] += 1
+        self._t += 1
+
+    def as_dataset(self, t: int | None = None) -> LongitudinalDataset:
+        """The synthetic panel through round ``t`` (default: current)."""
+        t = self._t if t is None else t
+        if not 1 <= t <= self._t:
+            raise ConfigurationError(f"t must lie in [1, {self._t}], got {t}")
+        return LongitudinalDataset(self._matrix[:, :t])

@@ -1,0 +1,53 @@
+"""Longitudinal data substrate.
+
+* :mod:`repro.data.dataset` — the ``n x T`` binary panel container every
+  synthesizer consumes, with vectorized window/histogram/weight helpers.
+* :mod:`repro.data.generators` — synthetic stream generators (iid, Markov,
+  all-ones "extreme" data of Figure 3/4, bursty spells, seasonal, mixtures).
+* :mod:`repro.data.sipp` — a simulator for the U.S. Census Bureau's Survey
+  of Income and Program Participation (SIPP) 2021 sample, plus the paper's
+  exact preprocessing pipeline (substitute for the real microdata, which
+  cannot be downloaded offline; see DESIGN.md §4).
+* :mod:`repro.data.debruijn` — de Bruijn padding records: a concrete
+  population of "fake" individuals contributing exactly ``n_pad`` to every
+  histogram bin in every window, which makes Algorithm 1's padding and the
+  debiasing step exact and testable.
+"""
+
+from repro.data.categorical import (
+    CategoricalDataset,
+    categorical_iid,
+    categorical_markov,
+    categorical_padding_panel,
+)
+from repro.data.dataset import LongitudinalDataset
+from repro.data.debruijn import debruijn_sequence, padding_panel
+from repro.data.generators import (
+    all_ones,
+    bursty_spells,
+    iid_bernoulli,
+    mixture,
+    seasonal,
+    two_state_markov,
+)
+from repro.data.sipp import SippRawData, load_sipp_2021, preprocess_sipp, simulate_sipp_raw
+
+__all__ = [
+    "LongitudinalDataset",
+    "CategoricalDataset",
+    "categorical_iid",
+    "categorical_markov",
+    "categorical_padding_panel",
+    "debruijn_sequence",
+    "padding_panel",
+    "all_ones",
+    "iid_bernoulli",
+    "two_state_markov",
+    "bursty_spells",
+    "seasonal",
+    "mixture",
+    "SippRawData",
+    "simulate_sipp_raw",
+    "preprocess_sipp",
+    "load_sipp_2021",
+]

@@ -1,0 +1,187 @@
+"""The longitudinal panel container.
+
+A :class:`LongitudinalDataset` wraps an ``n x T`` matrix over ``{0, 1}``:
+one row per individual, one column per reporting period.  This matches the
+paper's data model with universe ``X = {0, 1}`` — each individual reports
+one new bit per round.  Time is **1-indexed** throughout the public API, as
+in the paper (``t = 1, ..., T``); internally column ``t - 1`` stores round
+``t``.
+
+The class provides the vectorized counting primitives both synthesizers
+need: window pattern codes and histograms (Algorithm 1) and Hamming-weight
+census / threshold counts / increments (Algorithm 2).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.exceptions import DataValidationError
+
+__all__ = ["LongitudinalDataset"]
+
+
+class LongitudinalDataset:
+    """An immutable ``n x T`` binary panel.
+
+    Parameters
+    ----------
+    matrix:
+        Array-like of shape ``(n, T)`` with entries in ``{0, 1}``.  The data
+        is copied into a read-only ``uint8`` array.
+
+    Examples
+    --------
+    >>> panel = LongitudinalDataset([[1, 0, 1], [0, 0, 1]])
+    >>> panel.n_individuals, panel.horizon
+    (2, 3)
+    >>> panel.suffix_histogram(t=3, k=2).tolist()  # windows '01' and '01'
+    [0, 2, 0, 0]
+    """
+
+    def __init__(self, matrix):
+        arr = np.asarray(matrix)
+        if arr.ndim != 2:
+            raise DataValidationError(
+                f"panel must be 2-dimensional (individuals x time), got shape {arr.shape}"
+            )
+        if arr.size and not np.isin(arr, (0, 1)).all():
+            raise DataValidationError("panel entries must be 0 or 1")
+        self._matrix = arr.astype(np.uint8).copy()
+        self._matrix.setflags(write=False)
+
+    # ------------------------------------------------------------------
+    # Shape and access
+    # ------------------------------------------------------------------
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """The underlying read-only ``uint8`` matrix."""
+        return self._matrix
+
+    @property
+    def n_individuals(self) -> int:
+        """Number of rows ``n``."""
+        return self._matrix.shape[0]
+
+    @property
+    def horizon(self) -> int:
+        """Number of reporting periods ``T``."""
+        return self._matrix.shape[1]
+
+    def column(self, t: int) -> np.ndarray:
+        """The round-``t`` report vector ``D_t`` (1-indexed)."""
+        self._check_time(t)
+        return self._matrix[:, t - 1]
+
+    def columns(self) -> Iterable[np.ndarray]:
+        """Iterate over report vectors ``D_1, ..., D_T`` in arrival order."""
+        for t in range(1, self.horizon + 1):
+            yield self._matrix[:, t - 1]
+
+    def prefix(self, t: int) -> "LongitudinalDataset":
+        """The panel restricted to rounds ``1..t``."""
+        self._check_time(t)
+        return LongitudinalDataset(self._matrix[:, :t])
+
+    def subset(self, indices: Sequence[int]) -> "LongitudinalDataset":
+        """The panel restricted to the given individuals."""
+        return LongitudinalDataset(self._matrix[np.asarray(indices)])
+
+    def concat(self, other: "LongitudinalDataset") -> "LongitudinalDataset":
+        """Stack two panels with equal horizons (e.g. data + padding)."""
+        if other.horizon != self.horizon:
+            raise DataValidationError(
+                f"cannot concat panels with horizons {self.horizon} and {other.horizon}"
+            )
+        return LongitudinalDataset(np.vstack([self._matrix, other._matrix]))
+
+    # ------------------------------------------------------------------
+    # Fixed-window primitives (Algorithm 1)
+    # ------------------------------------------------------------------
+
+    def window_codes(self, t: int, k: int) -> np.ndarray:
+        """Integer codes of each individual's window ``(x^{t-k+1}, ..., x^t)``.
+
+        The code reads the window as a big-endian ``k``-bit number, so
+        pattern ``s = (s_1, ..., s_k)`` maps to ``sum_j s_j 2^(k-j)``.
+        Requires ``t >= k``.
+        """
+        self._check_window(t, k)
+        window = self._matrix[:, t - k : t]
+        powers = 1 << np.arange(k - 1, -1, -1)
+        return window @ powers.astype(np.int64)
+
+    def suffix_histogram(self, t: int, k: int) -> np.ndarray:
+        """Counts ``C_s^t`` of each length-``k`` pattern at time ``t``.
+
+        Returns a length ``2**k`` int64 vector indexed by pattern code.
+        """
+        codes = self.window_codes(t, k)
+        return np.bincount(codes, minlength=1 << k).astype(np.int64)
+
+    # ------------------------------------------------------------------
+    # Cumulative primitives (Algorithm 2)
+    # ------------------------------------------------------------------
+
+    def hamming_weights(self, t: int) -> np.ndarray:
+        """Each individual's cumulative number of 1s through round ``t``.
+
+        ``t = 0`` is allowed and returns all zeros (the paper's convention
+        ``x^t = 0`` for ``t <= 0``).
+        """
+        if t == 0:
+            return np.zeros(self.n_individuals, dtype=np.int64)
+        self._check_time(t)
+        return self._matrix[:, :t].sum(axis=1, dtype=np.int64)
+
+    def threshold_counts(self, t: int) -> np.ndarray:
+        """``S_b^t = #{i : weight_i(t) >= b}`` for ``b = 0, ..., T``."""
+        weights = self.hamming_weights(t)
+        # counts_by_weight[w] = #individuals with weight exactly w
+        counts_by_weight = np.bincount(weights, minlength=self.horizon + 1)
+        # S_b = sum_{w >= b} counts_by_weight[w]
+        return counts_by_weight[::-1].cumsum()[::-1].astype(np.int64)
+
+    def increments(self, t: int) -> np.ndarray:
+        """``z_b^t`` for ``b = 1, ..., t``: the stream elements of round ``t``.
+
+        ``z_b^t`` counts individuals with exactly ``b - 1`` ones through
+        ``t - 1`` who report 1 at round ``t`` — the increment of ``S_b``.
+        Returns a length-``t`` vector indexed by ``b - 1``.
+        """
+        self._check_time(t)
+        prev_weights = self.hamming_weights(t - 1)
+        reporting_one = self.column(t) == 1
+        counts = np.bincount(prev_weights[reporting_one], minlength=t)
+        return counts[:t].astype(np.int64)
+
+    # ------------------------------------------------------------------
+    # Dunder / misc
+    # ------------------------------------------------------------------
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, LongitudinalDataset):
+            return NotImplemented
+        return self._matrix.shape == other._matrix.shape and bool(
+            (self._matrix == other._matrix).all()
+        )
+
+    def __hash__(self):
+        return hash((self._matrix.shape, self._matrix.tobytes()))
+
+    def __repr__(self) -> str:
+        return f"LongitudinalDataset(n={self.n_individuals}, T={self.horizon})"
+
+    def _check_time(self, t: int) -> None:
+        if not 1 <= t <= self.horizon:
+            raise DataValidationError(f"time {t} outside [1, {self.horizon}]")
+
+    def _check_window(self, t: int, k: int) -> None:
+        self._check_time(t)
+        if not 1 <= k <= self.horizon:
+            raise DataValidationError(f"window width {k} outside [1, {self.horizon}]")
+        if t < k:
+            raise DataValidationError(f"window of width {k} undefined before t={k}, got t={t}")

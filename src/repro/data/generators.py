@@ -1,0 +1,173 @@
+"""Synthetic longitudinal stream generators.
+
+Each generator returns a :class:`~repro.data.dataset.LongitudinalDataset`.
+They cover the regimes the paper's experiments and our ablations exercise:
+
+* :func:`all_ones` — the "rather extreme" simulated data of Figures 3/4
+  (every report is 1, concentrating all mass in one histogram bin).
+* :func:`iid_bernoulli` — memoryless reports; the easiest case.
+* :func:`two_state_markov` — persistent states (poverty spells, employment
+  spells); the generative backbone of the SIPP simulator.
+* :func:`bursty_spells` — rare events with geometric spell lengths.
+* :func:`seasonal` — sinusoidally modulated incidence, for trend queries.
+* :func:`mixture` — population made of heterogeneous subgroups (the
+  subpopulation model of Joseph et al. 2018 discussed in related work).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.data.dataset import LongitudinalDataset
+from repro.exceptions import ConfigurationError
+from repro.rng import SeedLike, as_generator
+
+__all__ = [
+    "all_ones",
+    "iid_bernoulli",
+    "two_state_markov",
+    "bursty_spells",
+    "seasonal",
+    "mixture",
+]
+
+
+def _check_shape(n: int, horizon: int) -> None:
+    if n <= 0:
+        raise ConfigurationError(f"n must be positive, got {n}")
+    if horizon <= 0:
+        raise ConfigurationError(f"horizon must be positive, got {horizon}")
+
+
+def _check_prob(value: float, name: str) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise ConfigurationError(f"{name} must lie in [0, 1], got {value}")
+
+
+def all_ones(n: int, horizon: int) -> LongitudinalDataset:
+    """Every individual reports 1 in every round (Figure 3/4 workload)."""
+    _check_shape(n, horizon)
+    return LongitudinalDataset(np.ones((n, horizon), dtype=np.uint8))
+
+
+def iid_bernoulli(n: int, horizon: int, p: float, seed: SeedLike = None) -> LongitudinalDataset:
+    """Independent ``Bernoulli(p)`` reports."""
+    _check_shape(n, horizon)
+    _check_prob(p, "p")
+    generator = as_generator(seed)
+    return LongitudinalDataset((generator.random((n, horizon)) < p).astype(np.uint8))
+
+
+def two_state_markov(
+    n: int,
+    horizon: int,
+    p_stay: float,
+    p_enter: float,
+    p_initial: float | None = None,
+    seed: SeedLike = None,
+) -> LongitudinalDataset:
+    """Two-state Markov chain per individual.
+
+    Parameters
+    ----------
+    p_stay:
+        ``P(x^t = 1 | x^{t-1} = 1)`` — persistence of the 1-state.
+    p_enter:
+        ``P(x^t = 1 | x^{t-1} = 0)`` — entry rate into the 1-state.
+    p_initial:
+        ``P(x^1 = 1)``.  Defaults to the stationary probability
+        ``p_enter / (p_enter + 1 - p_stay)`` so that marginals are constant
+        over time.
+    """
+    _check_shape(n, horizon)
+    _check_prob(p_stay, "p_stay")
+    _check_prob(p_enter, "p_enter")
+    if p_initial is None:
+        denominator = p_enter + (1.0 - p_stay)
+        p_initial = p_enter / denominator if denominator > 0 else 0.0
+    _check_prob(p_initial, "p_initial")
+    generator = as_generator(seed)
+    uniforms = generator.random((n, horizon))
+    matrix = np.empty((n, horizon), dtype=np.uint8)
+    matrix[:, 0] = uniforms[:, 0] < p_initial
+    for t in range(1, horizon):
+        threshold = np.where(matrix[:, t - 1] == 1, p_stay, p_enter)
+        matrix[:, t] = uniforms[:, t] < threshold
+    return LongitudinalDataset(matrix)
+
+
+def bursty_spells(
+    n: int,
+    horizon: int,
+    spell_rate: float,
+    mean_spell_length: float,
+    seed: SeedLike = None,
+) -> LongitudinalDataset:
+    """Rare spells of 1s with geometric lengths.
+
+    Equivalent to a two-state Markov chain with
+    ``p_enter = spell_rate`` and ``p_stay = 1 - 1/mean_spell_length``, but
+    started from the all-0 state — the profile of "unemployment spell"
+    style workloads the paper's introduction motivates.
+    """
+    _check_prob(spell_rate, "spell_rate")
+    if mean_spell_length < 1.0:
+        raise ConfigurationError(
+            f"mean_spell_length must be at least 1, got {mean_spell_length}"
+        )
+    return two_state_markov(
+        n,
+        horizon,
+        p_stay=1.0 - 1.0 / mean_spell_length,
+        p_enter=spell_rate,
+        p_initial=0.0,
+        seed=seed,
+    )
+
+
+def seasonal(
+    n: int,
+    horizon: int,
+    base_p: float,
+    amplitude: float,
+    period: int = 12,
+    seed: SeedLike = None,
+) -> LongitudinalDataset:
+    """Independent reports with sinusoidal incidence over time.
+
+    ``P(x^t = 1) = base_p + amplitude * sin(2 pi t / period)``, clipped to
+    ``[0, 1]``.  Exercises population-level trend tracking.
+    """
+    _check_shape(n, horizon)
+    _check_prob(base_p, "base_p")
+    if period <= 0:
+        raise ConfigurationError(f"period must be positive, got {period}")
+    generator = as_generator(seed)
+    t = np.arange(1, horizon + 1)
+    probs = np.clip(base_p + amplitude * np.sin(2.0 * np.pi * t / period), 0.0, 1.0)
+    return LongitudinalDataset((generator.random((n, horizon)) < probs).astype(np.uint8))
+
+
+def mixture(
+    components: Sequence[LongitudinalDataset],
+    seed: SeedLike = None,
+    shuffle: bool = True,
+) -> LongitudinalDataset:
+    """Pool several sub-population panels into one dataset.
+
+    All components must share the same horizon.  With ``shuffle`` (default)
+    the row order is randomized so group membership is not positional.
+    """
+    if not components:
+        raise ConfigurationError("mixture requires at least one component")
+    horizon = components[0].horizon
+    for component in components[1:]:
+        if component.horizon != horizon:
+            raise ConfigurationError("all mixture components must share the horizon")
+    stacked = np.vstack([component.matrix for component in components])
+    if shuffle:
+        generator = as_generator(seed)
+        stacked = stacked[generator.permutation(stacked.shape[0])]
+    return LongitudinalDataset(stacked)

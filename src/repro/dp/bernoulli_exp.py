@@ -1,0 +1,53 @@
+"""Exact sampling from ``Bernoulli(exp(-gamma))`` for rational ``gamma``.
+
+This is Algorithm 1 of Canonne, Kamath & Steinke, *The Discrete Gaussian for
+Differential Privacy* (NeurIPS 2020).  It needs only uniform integers and
+exact rational comparisons, so the output distribution is *exactly*
+``Bernoulli(exp(-gamma))`` — no floating-point approximation is involved.
+The exact discrete Laplace and discrete Gaussian samplers are rejection
+samplers built on top of this primitive.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.rng import ExactRandom
+
+__all__ = ["bernoulli_exp", "bernoulli_exp_le1"]
+
+
+def bernoulli_exp_le1(gamma: Fraction, random: ExactRandom) -> bool:
+    """Sample ``Bernoulli(exp(-gamma))`` exactly, for ``0 <= gamma <= 1``.
+
+    Works by sampling the sequence ``A_k ~ Bernoulli(gamma / k)`` until the
+    first failure at index ``K``; the output is 1 iff ``K`` is odd, which by
+    the alternating series for ``exp(-gamma)`` has probability exactly
+    ``exp(-gamma)``.
+    """
+    if not 0 <= gamma <= 1:
+        raise ValueError(f"gamma must lie in [0, 1], got {gamma}")
+    k = 1
+    while True:
+        p = gamma / k
+        if not random.bernoulli(p.numerator, p.denominator):
+            return k % 2 == 1
+        k += 1
+
+
+def bernoulli_exp(gamma: Fraction, random: ExactRandom) -> bool:
+    """Sample ``Bernoulli(exp(-gamma))`` exactly, for any ``gamma >= 0``.
+
+    For ``gamma > 1`` the event ``exp(-gamma)`` factors as
+    ``exp(-1)^floor(gamma) * exp(-(gamma - floor(gamma)))``; each factor is
+    sampled independently with :func:`bernoulli_exp_le1` and the conjunction
+    is returned, short-circuiting on the first failure.
+    """
+    if gamma < 0:
+        raise ValueError(f"gamma must be non-negative, got {gamma}")
+    one = Fraction(1)
+    while gamma > 1:
+        if not bernoulli_exp_le1(one, random):
+            return False
+        gamma = gamma - 1
+    return bernoulli_exp_le1(gamma, random)

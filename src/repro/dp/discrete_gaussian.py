@@ -1,0 +1,138 @@
+"""The discrete Gaussian distribution ``N_Z(0, sigma^2)``.
+
+Definition 2.2 of the paper:  ``P[X = x] ∝ exp(-x^2 / (2 sigma^2))`` on the
+integers.  All noise added by the paper's mechanisms (Algorithm 1 per-bin
+histogram noise, Algorithm 3 tree-node noise) is discrete Gaussian because it
+composes cleanly under zCDP and is supported on the integers, so noisy counts
+remain valid (integer) synthetic-record counts.
+
+Two samplers are provided:
+
+* :func:`sample_discrete_gaussian` — the *exact* rejection sampler of
+  Canonne, Kamath & Steinke (2020, Algorithm 3): a discrete Laplace proposal
+  accepted with an exactly-computed rational ``Bernoulli(exp(-gamma))``.
+  No floating point touches the distribution.
+* :meth:`DiscreteGaussianSampler.sample_array` with ``method="vectorized"``
+  — the same rejection scheme executed batch-wise in numpy, with the
+  acceptance probability evaluated in double precision.  The distributional
+  error is bounded by float rounding of ``exp``; at the scales used in the
+  paper's experiments it is far below sampling noise.  The replication
+  harness uses this path; individual mechanisms default to the exact path.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+import numpy as np
+
+from repro.dp.bernoulli_exp import bernoulli_exp
+from repro.dp.discrete_laplace import sample_discrete_laplace
+from repro.rng import ExactRandom, SeedLike, as_generator
+
+__all__ = ["sample_discrete_gaussian", "DiscreteGaussianSampler"]
+
+
+def sample_discrete_gaussian(sigma_sq: Fraction, random: ExactRandom) -> int:
+    """Draw one exact sample from ``N_Z(0, sigma_sq)``.
+
+    Uses a discrete Laplace proposal with integer scale
+    ``t = floor(sigma) + 1`` and accepts ``Y`` with probability
+    ``exp(-(|Y| - sigma_sq/t)^2 / (2 sigma_sq))``; the expected number of
+    proposal rounds is a small constant (below ~1.6 for all ``sigma``).
+    """
+    sigma_sq = Fraction(sigma_sq)
+    if sigma_sq < 0:
+        raise ValueError(f"sigma_sq must be non-negative, got {sigma_sq}")
+    if sigma_sq == 0:
+        return 0
+    t = math.isqrt(math.floor(sigma_sq)) + 1
+    t_frac = Fraction(t)
+    while True:
+        y = sample_discrete_laplace(t_frac, random)
+        gamma = (abs(y) - sigma_sq / t) ** 2 / (2 * sigma_sq)
+        if bernoulli_exp(gamma, random):
+            return y
+
+
+class DiscreteGaussianSampler:
+    """Reusable ``N_Z(0, sigma^2)`` sampler bound to a random generator.
+
+    Parameters
+    ----------
+    sigma_sq:
+        Non-negative variance parameter; any value convertible to
+        :class:`fractions.Fraction`.  ``sigma_sq == 0`` yields the constant 0
+        (useful for "infinite budget" oracle runs in tests).
+    seed:
+        Seed, :class:`numpy.random.Generator`, or ``None``.
+    method:
+        ``"exact"`` (default) or ``"vectorized"``; see the module docstring.
+
+    Notes
+    -----
+    The variance of ``N_Z(0, sigma^2)`` is at most ``sigma^2`` (it is
+    slightly smaller for small ``sigma``); the paper's accuracy statements
+    use the ``sigma^2`` upper bound, and so does :mod:`repro.analysis.theory`.
+    """
+
+    def __init__(self, sigma_sq, seed: SeedLike = None, method: str = "exact"):
+        self.sigma_sq = Fraction(sigma_sq).limit_denominator(10**12)
+        if self.sigma_sq < 0:
+            raise ValueError(f"sigma_sq must be non-negative, got {sigma_sq}")
+        if method not in ("exact", "vectorized"):
+            raise ValueError(f"method must be 'exact' or 'vectorized', got {method!r}")
+        self.method = method
+        self._generator = as_generator(seed)
+        self._exact = ExactRandom(self._generator)
+
+    @property
+    def sigma(self) -> float:
+        """Float standard-deviation parameter ``sqrt(sigma_sq)``."""
+        return math.sqrt(float(self.sigma_sq))
+
+    def sample(self) -> int:
+        """Draw a single integer sample."""
+        if self.sigma_sq == 0:
+            return 0
+        if self.method == "exact":
+            return sample_discrete_gaussian(self.sigma_sq, self._exact)
+        return int(self.sample_array(1)[0])
+
+    def sample_array(self, shape) -> np.ndarray:
+        """Draw an integer array of the given shape."""
+        size = int(np.prod(shape)) if not np.isscalar(shape) else int(shape)
+        if self.sigma_sq == 0:
+            return np.zeros(shape, dtype=np.int64)
+        if self.method == "exact":
+            flat = np.array(
+                [sample_discrete_gaussian(self.sigma_sq, self._exact) for _ in range(size)],
+                dtype=np.int64,
+            )
+        else:
+            flat = self._sample_vectorized(size)
+        return flat.reshape(shape)
+
+    def _sample_vectorized(self, size: int) -> np.ndarray:
+        """Batch rejection sampling with float acceptance probabilities."""
+        sigma_sq = float(self.sigma_sq)
+        t = math.isqrt(math.floor(self.sigma_sq)) + 1
+        q = 1.0 - math.exp(-1.0 / t)
+        out = np.empty(size, dtype=np.int64)
+        filled = 0
+        generator = self._generator
+        while filled < size:
+            # Oversample: acceptance is at least ~0.4 for every sigma, so a
+            # 3x batch nearly always finishes in one or two rounds.
+            batch = max(64, 3 * (size - filled))
+            g1 = generator.geometric(q, size=batch) - 1
+            g2 = generator.geometric(q, size=batch) - 1
+            y = (g1 - g2).astype(np.int64)
+            gamma = (np.abs(y) - sigma_sq / t) ** 2 / (2.0 * sigma_sq)
+            accept = generator.random(batch) < np.exp(-gamma)
+            accepted = y[accept]
+            take = min(accepted.size, size - filled)
+            out[filled : filled + take] = accepted[:take]
+            filled += take
+        return out

@@ -1,0 +1,75 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause while still
+distinguishing configuration mistakes from runtime (data-dependent) failures.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "PrivacyBudgetError",
+    "ConsistencyError",
+    "NegativeCountError",
+    "StreamLengthError",
+    "DataValidationError",
+    "NotFittedError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """Invalid parameters supplied to a mechanism or synthesizer.
+
+    Raised eagerly at construction time (e.g. non-positive privacy budget,
+    window width larger than the time horizon, synthetic population size that
+    cannot accommodate the padding).
+    """
+
+
+class PrivacyBudgetError(ReproError, RuntimeError):
+    """An operation would exceed the declared zero-concentrated DP budget."""
+
+
+class ConsistencyError(ReproError, RuntimeError):
+    """A longitudinal consistency invariant was violated.
+
+    The continual synthesizers maintain the invariant that synthetic records
+    persist across rounds: the number of synthetic records ending in suffix
+    ``z`` at round ``t`` must equal the number extended into ``z0`` or ``z1``
+    at round ``t + 1``.  This error indicates an internal bookkeeping bug or
+    a caller mutating released data in place; it should never occur during
+    normal operation.
+    """
+
+
+class NegativeCountError(ReproError, RuntimeError):
+    """A target synthetic count went negative and the policy is ``"raise"``.
+
+    Under the good event of Theorem 3.2 the padding parameter ``n_pad``
+    guarantees non-negative counts with probability ``1 - beta``.  Outside the
+    good event the fixed-window synthesizer either raises this error or, with
+    ``on_negative="redistribute"``, shifts mass within the affected suffix
+    pair while preserving the consistency sum.
+    """
+
+
+class StreamLengthError(ReproError, RuntimeError):
+    """A stream counter received more elements than its declared horizon."""
+
+
+class DataValidationError(ReproError, ValueError):
+    """Input data violates the longitudinal panel contract.
+
+    The synthesizers consume an ``n x T`` binary panel: one row per
+    individual, one column per reporting period, entries in ``{0, 1}``.
+    """
+
+
+class NotFittedError(ReproError, RuntimeError):
+    """A result accessor was called before the corresponding round ran."""

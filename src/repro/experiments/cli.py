@@ -1,0 +1,66 @@
+"""Command-line entry point: ``python -m repro.experiments`` / ``repro-experiments``.
+
+Subcommands:
+
+* ``list`` — print the experiment ids and their titles;
+* ``run <id> [--reps N] [--seed S]`` — run one experiment and print its
+  report (non-zero exit when any shape check fails);
+* ``all [--reps N]`` — run every experiment.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.config import default_reps
+from repro.experiments.registry import get_experiment, list_experiments
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Reproduce the paper's figures and ablations.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list available experiment ids")
+
+    run_parser = subparsers.add_parser("run", help="run one experiment")
+    run_parser.add_argument("experiment_id", help="e.g. fig1, fig3, abl-counter")
+    run_parser.add_argument("--reps", type=int, default=default_reps)
+    run_parser.add_argument("--seed", type=int, default=0)
+
+    all_parser = subparsers.add_parser("all", help="run every experiment")
+    all_parser.add_argument("--reps", type=int, default=default_reps)
+    all_parser.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI body; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        for experiment_id in list_experiments():
+            print(experiment_id)
+        return 0
+    if args.command == "run":
+        result = get_experiment(args.experiment_id)(args.reps, seed=args.seed)
+        print(result.render())
+        return 0 if result.all_checks_pass else 1
+    # command == "all"
+    exit_code = 0
+    for experiment_id in list_experiments():
+        result = get_experiment(experiment_id)(args.reps, seed=args.seed)
+        print(result.render())
+        print()
+        if not result.all_checks_pass:
+            exit_code = 1
+    return exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

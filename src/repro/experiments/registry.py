@@ -1,0 +1,83 @@
+"""Experiment registry: id -> runner.
+
+Every entry takes ``(n_reps, seed)`` and returns a
+:class:`~repro.experiments.config.FigureResult`.  The ids match the
+per-experiment index in DESIGN.md §3.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.exceptions import ConfigurationError
+from repro.experiments.ablations import (
+    run_baseline_comparison,
+    run_bound_checks,
+    run_budget_ablation,
+    run_counter_ablation,
+    run_padding_ablation,
+)
+from repro.experiments.config import FigureResult
+from repro.experiments.sipp_cumulative import run_sipp_cumulative_experiment
+from repro.experiments.sipp_window import run_sipp_window_experiment
+from repro.experiments.simulated_window import run_simulated_window_experiment
+from repro.experiments.sweeps import run_population_sweep, run_rho_sweep
+
+__all__ = ["EXPERIMENTS", "get_experiment", "list_experiments"]
+
+Runner = Callable[..., FigureResult]
+
+
+EXPERIMENTS: dict[str, Runner] = {
+    # Paper figures
+    "fig1": lambda n_reps, seed=0: run_sipp_window_experiment(
+        rho=0.005, n_reps=n_reps, seed=seed, experiment_id="fig1", debias=False
+    ),
+    "fig2": lambda n_reps, seed=0: run_sipp_cumulative_experiment(
+        rho=0.005, n_reps=n_reps, seed=seed, experiment_id="fig2"
+    ),
+    "fig3": lambda n_reps, seed=0: run_simulated_window_experiment(
+        n_reps=n_reps, seed=seed, experiment_id="fig3", debias=True
+    ),
+    "fig4": lambda n_reps, seed=0: run_simulated_window_experiment(
+        n_reps=n_reps, seed=seed, experiment_id="fig4", debias=False
+    ),
+    "fig5": lambda n_reps, seed=0: run_sipp_window_experiment(
+        rho=0.001, n_reps=n_reps, seed=seed, experiment_id="fig5", debias=False
+    ),
+    "fig6": lambda n_reps, seed=0: run_sipp_window_experiment(
+        rho=0.005, n_reps=n_reps, seed=seed, experiment_id="fig6", debias=False
+    ),
+    "fig7": lambda n_reps, seed=0: run_sipp_window_experiment(
+        rho=0.05, n_reps=n_reps, seed=seed, experiment_id="fig7", debias=False
+    ),
+    "fig8": lambda n_reps, seed=0: run_sipp_cumulative_experiment(
+        rho=0.005, n_reps=n_reps, seed=seed, experiment_id="fig8", b=3
+    ),
+    # Bound checks and ablations
+    "thm32": lambda n_reps, seed=0: run_bound_checks(n_reps=n_reps, seed=seed),
+    "corB1": lambda n_reps, seed=0: run_bound_checks(n_reps=n_reps, seed=seed),
+    "abl-counter": lambda n_reps, seed=0: run_counter_ablation(n_reps=n_reps, seed=seed),
+    "abl-npad": lambda n_reps, seed=0: run_padding_ablation(n_reps=n_reps, seed=seed),
+    "abl-budget": lambda n_reps, seed=0: run_budget_ablation(n_reps=n_reps, seed=seed),
+    "abl-baseline": lambda n_reps, seed=0: run_baseline_comparison(
+        n_reps=n_reps, seed=seed
+    ),
+    "sweep-rho": lambda n_reps, seed=0: run_rho_sweep(n_reps=n_reps, seed=seed),
+    "sweep-n": lambda n_reps, seed=0: run_population_sweep(n_reps=n_reps, seed=seed),
+}
+
+
+def get_experiment(experiment_id: str) -> Runner:
+    """Look up a runner by id; raise with the available ids on miss."""
+    try:
+        return EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown experiment {experiment_id!r}; available: {sorted(EXPERIMENTS)}"
+        ) from None
+
+
+def list_experiments() -> list[str]:
+    """All experiment ids, sorted."""
+    return sorted(EXPERIMENTS)

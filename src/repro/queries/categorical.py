@@ -1,0 +1,143 @@
+"""Window queries over categorical panels (the multi-category extension).
+
+Mirrors :mod:`repro.queries.window` with base-``q`` pattern codes: a
+categorical window query is a linear functional of the ``q**k`` window
+histogram, e.g. "fraction unemployed in at least 2 of the last 3 months"
+over an employment-status alphabet.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.data.categorical import CategoricalDataset
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "CategoricalWindowQuery",
+    "CategoricalPatternQuery",
+    "CategoryAtLeastM",
+    "categorical_pattern_digits",
+]
+
+
+def categorical_pattern_digits(code: int, k: int, alphabet: int) -> tuple[int, ...]:
+    """Decode a base-``q`` pattern code into its ``k`` digits, oldest first."""
+    if not 0 <= code < alphabet**k:
+        raise ConfigurationError(f"pattern code {code} outside [0, {alphabet}^{k})")
+    digits = []
+    for j in range(k - 1, -1, -1):
+        digits.append((code // alphabet**j) % alphabet)
+    return tuple(digits)
+
+
+class CategoricalWindowQuery:
+    """A linear query over the length-``k`` categorical window histogram."""
+
+    def __init__(self, k: int, weights, alphabet: int, name: str = "categorical-window"):
+        if k <= 0:
+            raise ConfigurationError(f"window width k must be positive, got {k}")
+        if alphabet < 2:
+            raise ConfigurationError(f"alphabet must be at least 2, got {alphabet}")
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.shape != (alphabet**k,):
+            raise ConfigurationError(
+                f"weights must have length {alphabet}**{k} = {alphabet**k}, "
+                f"got shape {weights.shape}"
+            )
+        self.k = int(k)
+        self.alphabet = int(alphabet)
+        self.weights = weights
+        self.weights.setflags(write=False)
+        self.name = name
+
+    @classmethod
+    def from_predicate(
+        cls,
+        k: int,
+        alphabet: int,
+        predicate: Callable[[tuple[int, ...]], bool],
+        name: str,
+    ) -> "CategoricalWindowQuery":
+        """Indicator query of a predicate over window patterns."""
+        weights = np.zeros(alphabet**k, dtype=np.float64)
+        for code in range(alphabet**k):
+            if predicate(categorical_pattern_digits(code, k, alphabet)):
+                weights[code] = 1.0
+        return cls(k, weights, alphabet, name=name)
+
+    def min_time(self) -> int:
+        """Earliest round at which the query is defined."""
+        return self.k
+
+    def check_time(self, t: int) -> None:
+        """Raise if the query is not defined at round ``t``."""
+        if t < self.k:
+            raise ConfigurationError(f"{self.name} is defined from t={self.k}, got t={t}")
+
+    def evaluate(self, dataset: CategoricalDataset, t: int) -> float:
+        """Ground-truth value on a raw categorical panel."""
+        self.check_time(t)
+        if dataset.alphabet != self.alphabet:
+            raise ConfigurationError(
+                f"query alphabet {self.alphabet} != dataset alphabet {dataset.alphabet}"
+            )
+        histogram = dataset.suffix_histogram(t, self.k)
+        return float(self.weights @ histogram) / dataset.n_individuals
+
+    @property
+    def weight_sum(self) -> float:
+        """``sum_s w_s`` — the per-fake-person padding contribution."""
+        return float(self.weights.sum())
+
+    def __repr__(self) -> str:
+        return f"CategoricalWindowQuery({self.name!r}, k={self.k}, q={self.alphabet})"
+
+
+class CategoricalPatternQuery(CategoricalWindowQuery):
+    """Fraction whose window equals one specific categorical pattern."""
+
+    def __init__(self, k: int, pattern: int | Sequence[int], alphabet: int):
+        if isinstance(pattern, (list, tuple, np.ndarray)):
+            digits = tuple(int(d) for d in pattern)
+            if len(digits) != k or any(not 0 <= d < alphabet for d in digits):
+                raise ConfigurationError(
+                    f"pattern {pattern!r} is not a length-{k} base-{alphabet} string"
+                )
+            code = 0
+            for digit in digits:
+                code = code * alphabet + digit
+        else:
+            code = int(pattern)
+            digits = categorical_pattern_digits(code, k, alphabet)
+        weights = np.zeros(alphabet**k, dtype=np.float64)
+        weights[code] = 1.0
+        self.pattern_code = code
+        self.pattern = digits
+        super().__init__(
+            k, weights, alphabet, name=f"pattern[{'-'.join(map(str, digits))}]"
+        )
+
+
+class CategoryAtLeastM(CategoricalWindowQuery):
+    """Fraction reporting a given category at least ``m`` of ``k`` rounds."""
+
+    def __init__(self, k: int, alphabet: int, category: int, m: int):
+        if not 0 <= category < alphabet:
+            raise ConfigurationError(
+                f"category must lie in [0, {alphabet}), got {category}"
+            )
+        if not 0 <= m <= k:
+            raise ConfigurationError(f"m must lie in [0, {k}], got {m}")
+        self.category = category
+        self.m = m
+        weights = np.zeros(alphabet**k, dtype=np.float64)
+        for code in range(alphabet**k):
+            digits = categorical_pattern_digits(code, k, alphabet)
+            if sum(1 for d in digits if d == category) >= m:
+                weights[code] = 1.0
+        super().__init__(
+            k, weights, alphabet, name=f"category_{category}_at_least_{m}_of_{k}"
+        )

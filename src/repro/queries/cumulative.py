@@ -1,0 +1,87 @@
+"""Cumulative time queries (§2.1 of the paper).
+
+``c_b^t`` asks what fraction of individuals have Hamming weight at least
+``b`` through round ``t`` — e.g. "in poverty for at least ``b`` of the first
+``t`` months".  :class:`HammingExactly` derives the exactly-``b`` variant by
+differencing adjacent thresholds.
+
+:func:`cumulative_as_window_weights` implements the paper's §2.1 reduction:
+with ``k = T``, the cumulative query is the linear combination of all
+window patterns of weight at least ``b``.  It exists to *demonstrate* the
+reduction (and its ``2**k`` error blow-up) on tiny horizons; Algorithm 2 is
+the real mechanism.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import LongitudinalDataset
+from repro.exceptions import ConfigurationError
+from repro.queries.base import Query
+
+__all__ = ["HammingAtLeast", "HammingExactly", "cumulative_as_window_weights"]
+
+
+class HammingAtLeast(Query):
+    """``c_b^t``: fraction with at least ``b`` ones through round ``t``."""
+
+    def __init__(self, b: int):
+        if b < 0:
+            raise ConfigurationError(f"threshold b must be non-negative, got {b}")
+        self.b = int(b)
+        self.name = f"hamming_at_least_{b}"
+
+    def min_time(self) -> int:
+        # The query is defined at every round; before round b its true value
+        # is simply 0 (nobody can have b ones in fewer than b rounds).
+        return 1
+
+    def evaluate(self, dataset: LongitudinalDataset, t: int) -> float:
+        self.check_time(t)
+        weights = dataset.hamming_weights(t)
+        return float((weights >= self.b).mean())
+
+
+class HammingExactly(Query):
+    """Fraction with exactly ``b`` ones through round ``t``.
+
+    Computed as ``c_b^t - c_{b+1}^t``; the synthetic release answers it the
+    same way from its maintained threshold table, so no extra privacy cost.
+    """
+
+    def __init__(self, b: int):
+        if b < 0:
+            raise ConfigurationError(f"threshold b must be non-negative, got {b}")
+        self.b = int(b)
+        self.name = f"hamming_exactly_{b}"
+
+    def min_time(self) -> int:
+        return 1
+
+    def evaluate(self, dataset: LongitudinalDataset, t: int) -> float:
+        self.check_time(t)
+        weights = dataset.hamming_weights(t)
+        return float((weights == self.b).mean())
+
+
+def cumulative_as_window_weights(horizon: int, b: int) -> np.ndarray:
+    """Weight vector expressing ``c_b`` as a width-``T`` window query.
+
+    Implements ``c_b(x) = sum_{s : |s| >= b} q_s(x)`` from §2.1.  The vector
+    has length ``2**horizon``; callers should keep ``horizon`` small (the
+    guard refuses ``horizon > 20``).
+    """
+    if horizon <= 0:
+        raise ConfigurationError(f"horizon must be positive, got {horizon}")
+    if horizon > 20:
+        raise ConfigurationError(
+            f"reduction materializes 2**T weights; refusing T={horizon} > 20"
+        )
+    if b < 0:
+        raise ConfigurationError(f"threshold b must be non-negative, got {b}")
+    codes = np.arange(1 << horizon, dtype=np.uint64)
+    popcounts = np.zeros(1 << horizon, dtype=np.int64)
+    for j in range(horizon):
+        popcounts += ((codes >> np.uint64(j)) & np.uint64(1)).astype(np.int64)
+    return (popcounts >= b).astype(np.float64)

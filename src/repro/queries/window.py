@@ -1,0 +1,160 @@
+"""Fixed time window queries (§2.1 of the paper).
+
+The atomic query :class:`PatternQuery` is ``q_s^t``: the fraction of
+individuals whose most recent length-``k`` window equals pattern ``s``.
+:class:`WindowLinearQuery` generalizes to any linear combination of pattern
+indicators, which is the class Algorithm 1's synthetic data supports "without
+any additional privacy cost" (§5).  Named constructors build the statistics
+used in Figure 1:
+
+* :class:`AtLeastMOnes` — in poverty at least ``m`` of the ``k`` months;
+* :class:`AtLeastMConsecutiveOnes` — at least ``m`` *consecutive* months;
+* :class:`AllOnes` — all ``k`` months;
+* :class:`ExactlyMOnes` — exactly ``m`` months.
+
+Pattern bit order: pattern code ``s`` reads the window big-endian, so bit
+``k-1`` of the code is the **oldest** month in the window and bit 0 the most
+recent (matching :meth:`LongitudinalDataset.window_codes`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.queries.base import WindowQuery
+
+__all__ = [
+    "PatternQuery",
+    "WindowLinearQuery",
+    "AtLeastMOnes",
+    "AtLeastMConsecutiveOnes",
+    "AllOnes",
+    "ExactlyMOnes",
+    "pattern_bits",
+]
+
+
+def pattern_bits(code: int, k: int) -> tuple[int, ...]:
+    """Decode a pattern code into its ``k`` bits, oldest month first."""
+    if not 0 <= code < (1 << k):
+        raise ConfigurationError(f"pattern code {code} outside [0, 2**{k})")
+    return tuple((code >> (k - 1 - j)) & 1 for j in range(k))
+
+
+def _weights_from_predicate(k: int, predicate: Callable[[tuple[int, ...]], bool]) -> np.ndarray:
+    """Indicator weight vector of a predicate over length-``k`` patterns."""
+    weights = np.zeros(1 << k, dtype=np.float64)
+    for code in range(1 << k):
+        if predicate(pattern_bits(code, k)):
+            weights[code] = 1.0
+    return weights
+
+
+class PatternQuery(WindowQuery):
+    """``q_s^t``: fraction whose window equals one specific pattern ``s``."""
+
+    def __init__(self, k: int, pattern: int | Sequence[int]):
+        if isinstance(pattern, (list, tuple, np.ndarray)):
+            bits = tuple(int(b) for b in pattern)
+            if len(bits) != k or any(b not in (0, 1) for b in bits):
+                raise ConfigurationError(f"pattern {pattern!r} is not a {k}-bit string")
+            code = 0
+            for b in bits:
+                code = (code << 1) | b
+        else:
+            code = int(pattern)
+            bits = pattern_bits(code, k)
+        weights = np.zeros(1 << k, dtype=np.float64)
+        weights[code] = 1.0
+        self.pattern_code = code
+        self.pattern = bits
+        super().__init__(k, weights, name=f"pattern[{''.join(map(str, bits))}]")
+
+
+class WindowLinearQuery(WindowQuery):
+    """An arbitrary linear combination of pattern indicators.
+
+    Parameters
+    ----------
+    k:
+        Window width.
+    weights:
+        Length ``2**k`` coefficient vector indexed by pattern code.
+    name:
+        Label used in experiment tables.
+    """
+
+    def __init__(self, k: int, weights, name: str = "window-linear"):
+        super().__init__(k, np.asarray(weights, dtype=np.float64), name=name)
+
+    @classmethod
+    def from_predicate(
+        cls, k: int, predicate: Callable[[tuple[int, ...]], bool], name: str
+    ) -> "WindowLinearQuery":
+        """Indicator query of an arbitrary predicate over window patterns."""
+        return cls(k, _weights_from_predicate(k, predicate), name=name)
+
+
+class AtLeastMOnes(WindowLinearQuery):
+    """Fraction with at least ``m`` ones in the current ``k``-window."""
+
+    def __init__(self, k: int, m: int):
+        if not 0 <= m <= k:
+            raise ConfigurationError(f"m must lie in [0, {k}], got {m}")
+        super().__init__(
+            k,
+            _weights_from_predicate(k, lambda bits: sum(bits) >= m),
+            name=f"at_least_{m}_of_{k}",
+        )
+        self.m = m
+
+
+class ExactlyMOnes(WindowLinearQuery):
+    """Fraction with exactly ``m`` ones in the current ``k``-window."""
+
+    def __init__(self, k: int, m: int):
+        if not 0 <= m <= k:
+            raise ConfigurationError(f"m must lie in [0, {k}], got {m}")
+        super().__init__(
+            k,
+            _weights_from_predicate(k, lambda bits: sum(bits) == m),
+            name=f"exactly_{m}_of_{k}",
+        )
+        self.m = m
+
+
+def _has_consecutive_run(bits: tuple[int, ...], m: int) -> bool:
+    run = 0
+    for bit in bits:
+        run = run + 1 if bit else 0
+        if run >= m:
+            return True
+    return m == 0
+
+
+class AtLeastMConsecutiveOnes(WindowLinearQuery):
+    """Fraction with a run of at least ``m`` consecutive ones in the window."""
+
+    def __init__(self, k: int, m: int):
+        if not 0 <= m <= k:
+            raise ConfigurationError(f"m must lie in [0, {k}], got {m}")
+        super().__init__(
+            k,
+            _weights_from_predicate(k, lambda bits: _has_consecutive_run(bits, m)),
+            name=f"at_least_{m}_consecutive_of_{k}",
+        )
+        self.m = m
+
+
+class AllOnes(WindowLinearQuery):
+    """Fraction whose entire current ``k``-window is ones."""
+
+    def __init__(self, k: int):
+        super().__init__(
+            k,
+            _weights_from_predicate(k, lambda bits: all(bits)),
+            name=f"all_{k}",
+        )

@@ -1,0 +1,53 @@
+"""Named query workloads used by the paper's experiments.
+
+Figure 1 evaluates, per quarter, four statistics of the quarterly (``k=3``)
+poverty window; Figures 2/8 track the ``b = 3`` cumulative threshold over
+months.  These functions build exactly those query sets so experiments,
+benchmarks and examples share one definition.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ConfigurationError
+from repro.queries.cumulative import HammingAtLeast
+from repro.queries.window import (
+    AllOnes,
+    AtLeastMConsecutiveOnes,
+    AtLeastMOnes,
+    WindowLinearQuery,
+)
+
+__all__ = ["quarterly_poverty_workload", "cumulative_threshold_series", "quarter_ends"]
+
+
+def quarterly_poverty_workload(k: int = 3) -> list[WindowLinearQuery]:
+    """The four Figure-1 statistics over a width-``k`` window.
+
+    1. in poverty in **at least one** month of the quarter;
+    2. in poverty in **at least two** months;
+    3. in poverty in **at least two consecutive** months;
+    4. in poverty in **all three** months.
+
+    For ``k != 3`` the same four shapes are built over the wider/narrower
+    window (all-``k`` instead of all-three).
+    """
+    if k < 2:
+        raise ConfigurationError(f"the quarterly workload needs k >= 2, got {k}")
+    return [
+        AtLeastMOnes(k, 1),
+        AtLeastMOnes(k, 2),
+        AtLeastMConsecutiveOnes(k, 2),
+        AllOnes(k),
+    ]
+
+
+def quarter_ends(horizon: int, k: int = 3) -> list[int]:
+    """Rounds at which quarterly windows close: ``k, 2k, ...`` up to ``T``."""
+    if horizon < k:
+        raise ConfigurationError(f"horizon {horizon} shorter than window {k}")
+    return list(range(k, horizon + 1, k))
+
+
+def cumulative_threshold_series(b: int = 3) -> HammingAtLeast:
+    """The Figures-2/8 query: in poverty at least ``b`` of the first t months."""
+    return HammingAtLeast(b)

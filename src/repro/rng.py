@@ -1,0 +1,111 @@
+"""Random-number-generation utilities shared by the whole library.
+
+The library uses two kinds of randomness:
+
+* **numpy Generators** for vectorized data generation and record shuffling.
+* **Exact integer randomness** for the Canonne-Kamath-Steinke discrete
+  Gaussian sampler, which needs uniform integers below arbitrary-precision
+  bounds.  numpy's ``Generator.integers`` is limited to 64-bit bounds, so
+  :class:`ExactRandom` builds unbounded uniform integers from raw 64-bit
+  draws while staying reproducible from the same seed stream.
+
+All entry points accept a ``seed`` that may be ``None`` (fresh OS entropy),
+an ``int``, a :class:`numpy.random.SeedSequence`, or an existing
+:class:`numpy.random.Generator` (used as-is).  :func:`spawn` derives
+independent child generators for replicated experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+__all__ = ["SeedLike", "as_generator", "spawn", "ExactRandom"]
+
+SeedLike = Union[None, int, np.random.SeedSequence, np.random.Generator]
+
+
+def as_generator(seed: SeedLike = None) -> np.random.Generator:
+    """Normalize ``seed`` into a :class:`numpy.random.Generator`.
+
+    Passing an existing ``Generator`` returns it unchanged so that callers
+    can thread one generator through a pipeline; anything else builds a new
+    PCG64 generator.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, np.random.SeedSequence):
+        return np.random.Generator(np.random.PCG64(seed))
+    return np.random.Generator(np.random.PCG64(np.random.SeedSequence(seed)))
+
+
+def spawn(seed: SeedLike, n_children: int) -> list[np.random.Generator]:
+    """Derive ``n_children`` statistically independent generators.
+
+    Used by the replication harness: each repetition of an experiment gets
+    its own child stream so results are reproducible regardless of how many
+    repetitions run or in which order.
+    """
+    if n_children < 0:
+        raise ValueError(f"n_children must be non-negative, got {n_children}")
+    if isinstance(seed, np.random.Generator):
+        # Derive children from the generator's own bit stream.
+        seeds = seed.integers(0, 2**63 - 1, size=n_children)
+        return [as_generator(int(s)) for s in seeds]
+    if not isinstance(seed, np.random.SeedSequence):
+        seed = np.random.SeedSequence(seed)
+    return [np.random.Generator(np.random.PCG64(child)) for child in seed.spawn(n_children)]
+
+
+class ExactRandom:
+    """Arbitrary-precision uniform integers on top of a numpy Generator.
+
+    The exact discrete Gaussian sampler needs ``randrange(bound)`` for
+    ``bound`` that can exceed 64 bits (denominators of exact rational
+    acceptance probabilities).  This class assembles such draws from 32-bit
+    words using rejection sampling, which keeps the distribution exactly
+    uniform.
+    """
+
+    _WORD_BITS = 32
+
+    def __init__(self, generator: np.random.Generator):
+        self._generator = generator
+
+    def randbits(self, k: int) -> int:
+        """Return a uniform integer in ``[0, 2**k)``."""
+        if k < 0:
+            raise ValueError(f"number of bits must be non-negative, got {k}")
+        value = 0
+        remaining = k
+        while remaining >= self._WORD_BITS:
+            word = int(self._generator.integers(0, 1 << self._WORD_BITS))
+            value = (value << self._WORD_BITS) | word
+            remaining -= self._WORD_BITS
+        if remaining:
+            word = int(self._generator.integers(0, 1 << remaining))
+            value = (value << remaining) | word
+        return value
+
+    def randrange(self, bound: int) -> int:
+        """Return a uniform integer in ``[0, bound)`` for any positive int."""
+        if bound <= 0:
+            raise ValueError(f"bound must be positive, got {bound}")
+        k = bound.bit_length()
+        # Rejection sampling: accept draws below bound; each trial succeeds
+        # with probability > 1/2, so the expected number of draws is < 2.
+        while True:
+            value = self.randbits(k)
+            if value < bound:
+                return value
+
+    def bernoulli(self, numerator: int, denominator: int) -> bool:
+        """Return True with probability exactly ``numerator/denominator``."""
+        if denominator <= 0:
+            raise ValueError(f"denominator must be positive, got {denominator}")
+        if not 0 <= numerator <= denominator:
+            raise ValueError(
+                f"numerator must lie in [0, denominator], got {numerator}/{denominator}"
+            )
+        return self.randrange(denominator) < numerator

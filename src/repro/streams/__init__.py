@@ -1,0 +1,52 @@
+"""Differentially private stream counters (continual-release substrate).
+
+A *stream counter* consumes a stream ``z_1, z_2, ..., z_T`` of natural
+numbers and releases, at every time step, a private estimate of the running
+sum ``S_t = z_1 + ... + z_t``.  Neighboring streams differ by at most 1 in a
+single entry (Appendix A of the paper).  Algorithm 2 of the paper is generic
+over this primitive: it runs one counter per Hamming-weight threshold ``b``.
+
+Implementations:
+
+* :class:`BinaryTreeCounter` — the classic tree-based aggregation mechanism
+  (paper Algorithm 3; Dwork-Naor-Pitassi-Rothblum 2010, Chan-Shi-Song 2011).
+* :class:`SimpleCounter` — fresh noise on every prefix sum; the naive
+  ``sqrt(T)``-error baseline that motivates tree aggregation.
+* :class:`HonakerCounter` — tree aggregation with Honaker's (2015)
+  variance-optimal bottom-up refinement, a strictly better post-processing
+  of the same noisy tree (paper §1.1 cites this line of work, [32]).
+* :class:`SqrtFactorizationCounter` — the square-root matrix factorization
+  of Fichtenberger, Henzinger & Upadhyay (2022) ("constant matters", [26]),
+  with continuous Gaussian noise.
+* :class:`BlockCounter` — two-level ``sqrt(T)`` decomposition; a simple
+  middle ground with better constants than the tree for tiny ``T``.
+* :class:`MonotoneCounter` — wrapper enforcing non-decreasing outputs
+  (single-stream consistency of Chan-Shi-Song §4).
+"""
+
+from repro.streams.base import CounterAccuracy, StreamCounter
+from repro.streams.binary_tree import BinaryTreeCounter
+from repro.streams.block import BlockCounter
+from repro.streams.honaker import HonakerCounter
+from repro.streams.laplace_tree import LaplaceTreeCounter
+from repro.streams.monotone import MonotoneCounter
+from repro.streams.registry import available_counters, make_counter, register_counter
+from repro.streams.simple import SimpleCounter
+from repro.streams.sqrt_factorization import SqrtFactorizationCounter
+from repro.streams.unbounded import UnknownHorizonCounter
+
+__all__ = [
+    "UnknownHorizonCounter",
+    "StreamCounter",
+    "CounterAccuracy",
+    "BinaryTreeCounter",
+    "SimpleCounter",
+    "HonakerCounter",
+    "SqrtFactorizationCounter",
+    "BlockCounter",
+    "LaplaceTreeCounter",
+    "MonotoneCounter",
+    "make_counter",
+    "register_counter",
+    "available_counters",
+]

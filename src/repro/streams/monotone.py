@@ -1,0 +1,42 @@
+"""Single-stream monotonization wrapper (Chan-Shi-Song consistency).
+
+True running sums of a non-negative stream are non-decreasing, but noisy
+estimates need not be.  :class:`MonotoneCounter` wraps any counter and
+releases ``max`` of the wrapped outputs so far.  Chan, Shi & Song (2011,
+§4.3) showed this clamping never increases the worst-case error — the
+single-stream special case of the paper's Lemma 4.2 (which additionally
+clamps *across* counters; that cross-counter version lives in
+:mod:`repro.core.monotonize` because it needs all thresholds at once).
+
+Monotonization is pure post-processing, so the privacy guarantee is that of
+the wrapped counter.
+"""
+
+from __future__ import annotations
+
+from repro.streams.base import StreamCounter
+
+__all__ = ["MonotoneCounter"]
+
+
+class MonotoneCounter(StreamCounter):
+    """Clamp a wrapped counter's outputs to be non-decreasing."""
+
+    def __init__(self, inner: StreamCounter):
+        super().__init__(
+            inner.horizon,
+            inner.rho,
+            seed=inner._generator,
+            noise_method=inner.noise_method,
+        )
+        self.inner = inner
+        self._last = float("-inf")
+
+    def _feed(self, z: int) -> float:
+        raw = self.inner.feed(z)
+        self._last = max(self._last, raw)
+        return self._last
+
+    def error_stddev(self, t: int) -> float:
+        """Clamping does not increase worst-case error (Lemma 4.2)."""
+        return self.inner.error_stddev(t)

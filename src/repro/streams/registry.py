@@ -1,0 +1,65 @@
+"""Name-based stream-counter registry.
+
+Algorithm 2 and the ablation benchmarks select counters by name so that
+experiment configuration stays declarative (`counter="binary_tree"`).
+Third-party counters can be plugged in with :func:`register_counter`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Type
+
+from repro.exceptions import ConfigurationError
+from repro.streams.base import StreamCounter
+
+__all__ = ["register_counter", "make_counter", "available_counters"]
+
+_REGISTRY: dict[str, Type[StreamCounter]] = {}
+
+
+def register_counter(name: str) -> Callable[[Type[StreamCounter]], Type[StreamCounter]]:
+    """Class decorator registering a counter under ``name``."""
+
+    def decorator(cls: Type[StreamCounter]) -> Type[StreamCounter]:
+        if not issubclass(cls, StreamCounter):
+            raise ConfigurationError(f"{cls!r} is not a StreamCounter subclass")
+        _REGISTRY[name] = cls
+        return cls
+
+    return decorator
+
+
+def make_counter(name: str, horizon: int, rho: float, **kwargs) -> StreamCounter:
+    """Instantiate a registered counter by name."""
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown counter {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+    return cls(horizon, rho, **kwargs)
+
+
+def available_counters() -> tuple[str, ...]:
+    """Names of all registered counters, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def _register_builtins() -> None:
+    """Populate the registry with the built-in counters."""
+    from repro.streams.binary_tree import BinaryTreeCounter
+    from repro.streams.block import BlockCounter
+    from repro.streams.honaker import HonakerCounter
+    from repro.streams.laplace_tree import LaplaceTreeCounter
+    from repro.streams.simple import SimpleCounter
+    from repro.streams.sqrt_factorization import SqrtFactorizationCounter
+
+    _REGISTRY.setdefault("binary_tree", BinaryTreeCounter)
+    _REGISTRY.setdefault("simple", SimpleCounter)
+    _REGISTRY.setdefault("honaker", HonakerCounter)
+    _REGISTRY.setdefault("sqrt_factorization", SqrtFactorizationCounter)
+    _REGISTRY.setdefault("block", BlockCounter)
+    _REGISTRY.setdefault("laplace_tree", LaplaceTreeCounter)
+
+
+_register_builtins()

@@ -1,0 +1,123 @@
+"""Stream counting without a known horizon (open-ended studies).
+
+The paper's model fixes a known horizon ``T`` — reasonable for a yearly
+survey wave, but long-running longitudinal programs (the SIPP itself has
+run since 1983) may not want to commit to one.  This module extends the
+counter substrate to unbounded streams with the classic doubling trick:
+
+* time is split into disjoint segments ``[2^i, 2^{i+1})``;
+* each segment gets its own fresh :class:`BinaryTreeCounter` with horizon
+  ``2^i`` and the **full** budget ``rho`` — changing one stream element
+  touches exactly one segment, so by parallel composition over disjoint
+  data segments the entire unbounded output sequence is ``rho``-zCDP;
+* the running total at time ``t`` sums the finished segments' final
+  estimates plus the open segment's prefix estimate.
+
+The error at time ``t`` grows like ``O(log^{3/2}(t) / sqrt(rho))`` — the
+price of never fixing ``T`` (a known-horizon tree counter pays
+``O(log(T)/sqrt(rho))``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.rng import SeedLike, as_generator
+from repro.streams.binary_tree import BinaryTreeCounter
+
+__all__ = ["UnknownHorizonCounter"]
+
+
+class UnknownHorizonCounter:
+    """``rho``-zCDP running-sum estimator for streams of unknown length.
+
+    Mirrors the :class:`~repro.streams.base.StreamCounter` interface
+    (``feed`` / ``run`` / ``error_stddev``) but never exhausts: segments are
+    spawned on demand.
+    """
+
+    def __init__(self, rho: float, seed: SeedLike = None, noise_method: str = "exact"):
+        if not rho > 0:
+            raise ConfigurationError(f"rho must be positive (or math.inf), got {rho}")
+        self.rho = float(rho)
+        self.noise_method = noise_method
+        self._generator = as_generator(seed)
+        self._t = 0
+        self._true_sum = 0
+        self._closed_total = 0.0  # sum of finished segments' final estimates
+        self._segment: BinaryTreeCounter | None = None
+        self._segment_index = -1
+        self._segment_used = 0
+        self._segment_last = 0.0
+
+    @property
+    def t(self) -> int:
+        """Number of stream elements consumed so far."""
+        return self._t
+
+    @property
+    def true_sum(self) -> int:
+        """The exact running sum (internal state, not a private output)."""
+        return self._true_sum
+
+    def _open_next_segment(self) -> None:
+        self._segment_index += 1
+        length = 1 << self._segment_index
+        self._segment = BinaryTreeCounter(
+            length,
+            self.rho,
+            seed=self._generator,
+            noise_method=self.noise_method,
+        )
+        self._segment_used = 0
+        self._segment_last = 0.0
+
+    def feed(self, z: int) -> float:
+        """Consume one element and return the noisy running sum."""
+        z = int(z)
+        if z < 0:
+            raise ConfigurationError(f"stream elements must be non-negative, got {z}")
+        if self._segment is None or self._segment_used >= self._segment.horizon:
+            if self._segment is not None:
+                self._closed_total += self._segment_last
+            self._open_next_segment()
+        self._t += 1
+        self._true_sum += z
+        self._segment_used += 1
+        self._segment_last = self._segment.feed(z)
+        return self._closed_total + self._segment_last
+
+    def run(self, stream: Iterable[int]) -> np.ndarray:
+        """Feed an entire stream; return the vector of noisy prefix sums."""
+        return np.array([self.feed(z) for z in stream], dtype=np.float64)
+
+    def error_stddev(self, t: int) -> float:
+        """Predicted error stddev at time ``t``.
+
+        Sums the final-estimate variances of the ``floor(log2(t))`` closed
+        segments plus the worst within-segment prefix variance of the open
+        one.
+        """
+        if t <= 0 or math.isinf(self.rho):
+            return 0.0
+        variance = 0.0
+        remaining = t
+        index = 0
+        while remaining > 0:
+            length = 1 << index
+            reference = BinaryTreeCounter(length, self.rho)
+            used = min(length, remaining)
+            variance += reference.error_stddev(used) ** 2
+            remaining -= used
+            index += 1
+        return math.sqrt(variance)
+
+    def __repr__(self) -> str:
+        return (
+            f"UnknownHorizonCounter(rho={self.rho}, t={self._t}, "
+            f"segments={self._segment_index + 1})"
+        )

@@ -1,0 +1,59 @@
+"""Structural typing protocols for the public interfaces.
+
+Third parties can implement their own synthesizers (e.g. around a different
+single-shot generator) or release objects and use them with the replication
+harness and experiment machinery, as long as they satisfy these protocols.
+The test suite asserts that every built-in class does.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Protocol, runtime_checkable
+
+import numpy as np
+
+__all__ = ["SynthesizerProtocol", "ReleaseProtocol", "StreamCounterProtocol"]
+
+
+@runtime_checkable
+class ReleaseProtocol(Protocol):
+    """A released artifact that answers queries at released rounds."""
+
+    def answer(self, query, t: int, *args, **kwargs) -> float:
+        """Answer a query at round ``t``."""
+        ...
+
+
+@runtime_checkable
+class SynthesizerProtocol(Protocol):
+    """A continual synthesizer consumable by the replication harness."""
+
+    def observe_column(self, column) -> ReleaseProtocol:
+        """Consume one round's report vector; return the release view."""
+        ...
+
+    def run(self, dataset) -> ReleaseProtocol:
+        """Batch driver over a whole panel."""
+        ...
+
+    @property
+    def release(self) -> ReleaseProtocol:
+        """View of everything released so far."""
+        ...
+
+
+@runtime_checkable
+class StreamCounterProtocol(Protocol):
+    """A private running-sum estimator pluggable into Algorithm 2."""
+
+    def feed(self, z: int) -> float:
+        """Consume one stream element; return the noisy running sum."""
+        ...
+
+    def run(self, stream: Iterable[int]) -> np.ndarray:
+        """Feed an entire stream; return the noisy prefix sums."""
+        ...
+
+    def error_stddev(self, t: int) -> float:
+        """Standard deviation of the estimate error at time ``t``."""
+        ...

@@ -1,0 +1,106 @@
+"""Tests for metrics, series summaries, and text table rendering."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import (
+    SeriesSummary,
+    bias,
+    max_abs_error,
+    percentile_bands,
+    rmse,
+)
+from repro.analysis.tables import render_comparison_table, render_series_table
+from repro.exceptions import ConfigurationError
+
+
+class TestScalarMetrics:
+    def test_max_abs_error(self):
+        assert max_abs_error([1.0, 2.0, 3.5], [1.0, 2.5, 3.0]) == pytest.approx(0.5)
+
+    def test_max_abs_error_empty(self):
+        assert max_abs_error(np.array([]), np.array([])) == 0.0
+
+    def test_bias_signed(self):
+        assert bias([1.0, 3.0], 1.0) == pytest.approx(1.0)
+        assert bias([0.0, 0.0], 1.0) == pytest.approx(-1.0)
+
+    def test_rmse(self):
+        assert rmse([0.0, 2.0], 1.0) == pytest.approx(1.0)
+
+    def test_percentile_bands_shape(self):
+        samples = np.random.default_rng(0).normal(size=(100, 5))
+        bands = percentile_bands(samples)
+        assert bands.shape == (3, 5)
+        assert (bands[0] <= bands[1]).all() and (bands[1] <= bands[2]).all()
+
+    def test_percentile_bands_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            percentile_bands(np.zeros((0, 3)))
+
+
+class TestSeriesSummary:
+    def make_summary(self):
+        rng = np.random.default_rng(1)
+        x = np.arange(1, 6)
+        truth = np.linspace(0.1, 0.5, 5)
+        samples = truth[None, :] + rng.normal(0, 0.01, size=(200, 5))
+        return SeriesSummary.from_samples(x, samples, truth, label="test")
+
+    def test_band_ordering(self):
+        summary = self.make_summary()
+        assert (summary.lower <= summary.median).all()
+        assert (summary.median <= summary.upper).all()
+
+    def test_covers_truth(self):
+        summary = self.make_summary()
+        assert summary.covers_truth().all()
+
+    def test_max_mean_bias_small_for_unbiased(self):
+        summary = self.make_summary()
+        assert summary.max_mean_bias < 0.005
+
+    def test_max_median_error(self):
+        summary = self.make_summary()
+        assert summary.max_median_error < 0.01
+
+    def test_shape_validation(self):
+        with pytest.raises(ConfigurationError):
+            SeriesSummary.from_samples([1, 2], np.zeros((10, 3)), [0.0, 0.0])
+        with pytest.raises(ConfigurationError):
+            SeriesSummary.from_samples([1, 2], np.zeros((10, 2)), [0.0, 0.0, 0.0])
+
+
+class TestRendering:
+    def test_series_table_contains_all_columns(self):
+        summary = SeriesSummary.from_samples(
+            [1, 2, 3], np.random.default_rng(2).random((50, 3)), [0.5, 0.5, 0.5],
+            label="demo",
+        )
+        text = render_series_table(summary)
+        for header in ("truth", "median", "p2.5", "p97.5", "mean"):
+            assert header in text
+        assert "demo" in text
+        assert len(text.splitlines()) == 3 + 3  # header block + 3 rows
+
+    def test_series_table_extra_columns(self):
+        summary = SeriesSummary.from_samples(
+            [1, 2], np.random.default_rng(3).random((20, 2)), [0.5, 0.5]
+        )
+        text = render_series_table(summary, extra_columns={"bound": np.array([0.9, 0.9])})
+        assert "bound" in text
+        assert "0.9000" in text
+
+    def test_comparison_table(self):
+        rows = [
+            {"method": "a", "error": 0.5},
+            {"method": "b", "error": 0.25},
+        ]
+        text = render_comparison_table(rows, ["method", "error"], title="demo")
+        assert "demo" in text
+        assert "0.2500" in text
+
+    def test_comparison_table_missing_cells(self):
+        rows = [{"method": "a"}]
+        text = render_comparison_table(rows, ["method", "error"])
+        assert "a" in text

@@ -1,0 +1,159 @@
+"""Tests for the replication harness."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.replication import replicate_synthesizer
+from repro.core.cumulative import CumulativeSynthesizer
+from repro.core.fixed_window import FixedWindowSynthesizer
+from repro.exceptions import ConfigurationError
+from repro.queries.cumulative import HammingAtLeast
+from repro.queries.window import AtLeastMOnes
+
+
+def window_factory(panel, rho=math.inf):
+    def factory(generator):
+        return FixedWindowSynthesizer(
+            horizon=panel.horizon, window=3, rho=rho, seed=generator,
+            noise_method="vectorized",
+        )
+
+    return factory
+
+
+class TestReplicateSynthesizer:
+    def test_shapes(self, small_markov_panel):
+        result = replicate_synthesizer(
+            window_factory(small_markov_panel),
+            small_markov_panel,
+            [AtLeastMOnes(3, 1), AtLeastMOnes(3, 2)],
+            times=[3, 6],
+            n_reps=4,
+            seed=0,
+        )
+        assert result.answers.shape == (4, 2, 2)
+        assert result.truth.shape == (2, 2)
+        assert result.n_reps == 4
+        assert result.query_names == ("at_least_1_of_3", "at_least_2_of_3")
+
+    def test_oracle_runs_have_zero_error(self, small_markov_panel):
+        result = replicate_synthesizer(
+            window_factory(small_markov_panel),
+            small_markov_panel,
+            [AtLeastMOnes(3, 1)],
+            times=[3, 5, 8],
+            n_reps=3,
+            seed=1,
+        )
+        assert np.allclose(result.errors(), 0.0)
+        assert np.allclose(result.max_abs_error_per_rep(), 0.0)
+
+    def test_undefined_times_are_nan(self, small_markov_panel):
+        result = replicate_synthesizer(
+            window_factory(small_markov_panel),
+            small_markov_panel,
+            [AtLeastMOnes(3, 1)],
+            times=[2, 3],  # query undefined at t=2
+            n_reps=2,
+            seed=2,
+        )
+        assert np.isnan(result.truth[0, 0])
+        assert np.isnan(result.answers[:, 0, 0]).all()
+
+    def test_cumulative_release_dispatch(self, small_markov_panel):
+        def factory(generator):
+            return CumulativeSynthesizer(
+                horizon=small_markov_panel.horizon, rho=math.inf, seed=generator
+            )
+
+        result = replicate_synthesizer(
+            factory,
+            small_markov_panel,
+            [HammingAtLeast(2)],
+            times=[4, 8],
+            n_reps=2,
+            seed=3,
+        )
+        assert np.allclose(result.errors(), 0.0)
+
+    def test_reproducible_across_calls(self, small_markov_panel):
+        kwargs = dict(
+            dataset=small_markov_panel,
+            queries=[AtLeastMOnes(3, 1)],
+            times=[3, 6],
+            n_reps=3,
+            seed=7,
+        )
+        a = replicate_synthesizer(window_factory(small_markov_panel, rho=0.1), **kwargs)
+        b = replicate_synthesizer(window_factory(small_markov_panel, rho=0.1), **kwargs)
+        assert np.allclose(a.answers, b.answers)
+
+    def test_reps_are_independent(self, small_markov_panel):
+        result = replicate_synthesizer(
+            window_factory(small_markov_panel, rho=0.05),
+            small_markov_panel,
+            [AtLeastMOnes(3, 1)],
+            times=[6],
+            n_reps=6,
+            seed=8,
+        )
+        assert len(set(result.answers[:, 0, 0].tolist())) > 1
+
+    def test_summary_and_summaries(self, small_markov_panel):
+        result = replicate_synthesizer(
+            window_factory(small_markov_panel, rho=0.1),
+            small_markov_panel,
+            [AtLeastMOnes(3, 1), AtLeastMOnes(3, 3)],
+            times=[3, 6],
+            n_reps=5,
+            seed=9,
+        )
+        summaries = result.summaries()
+        assert len(summaries) == 2
+        assert summaries[1].label == "at_least_3_of_3"
+        with pytest.raises(ConfigurationError):
+            result.summary(5)
+
+    def test_custom_answer_fn(self, small_markov_panel):
+        calls = []
+
+        def spy(release, query, t, debias):
+            calls.append((query.name, t, debias))
+            return 0.5
+
+        result = replicate_synthesizer(
+            window_factory(small_markov_panel),
+            small_markov_panel,
+            [AtLeastMOnes(3, 1)],
+            times=[3],
+            n_reps=1,
+            seed=10,
+            debias=False,
+            answer_fn=spy,
+        )
+        assert calls == [("at_least_1_of_3", 3, False)]
+        assert result.answers[0, 0, 0] == 0.5
+
+    def test_validation(self, small_markov_panel):
+        with pytest.raises(ConfigurationError):
+            replicate_synthesizer(
+                window_factory(small_markov_panel), small_markov_panel, [], [3], 2
+            )
+        with pytest.raises(ConfigurationError):
+            replicate_synthesizer(
+                window_factory(small_markov_panel),
+                small_markov_panel,
+                [AtLeastMOnes(3, 1)],
+                [],
+                2,
+            )
+        with pytest.raises(ConfigurationError):
+            replicate_synthesizer(
+                window_factory(small_markov_panel),
+                small_markov_panel,
+                [AtLeastMOnes(3, 1)],
+                [3],
+                0,
+            )

@@ -1,0 +1,154 @@
+"""Tests for the closed-form bounds module."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.theory import (
+    corollary_3_3_relative_bound,
+    corollary_b1_alpha,
+    corollary_b1_weights_unnormalized,
+    debiased_error_bound,
+    default_n_pad,
+    theorem_3_2_bound,
+    tree_counter_error_bound,
+    tree_levels,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestTheorem32Bound:
+    def test_formula(self):
+        horizon, window, rho, beta = 12, 3, 0.005, 0.05
+        steps = horizon - window + 1
+        expected = (math.sqrt(steps / rho) + 1 / math.sqrt(2)) * math.sqrt(
+            math.log(2**window * steps / beta)
+        )
+        assert theorem_3_2_bound(horizon, window, rho, beta) == pytest.approx(expected)
+
+    def test_monotone_in_rho(self):
+        assert theorem_3_2_bound(12, 3, 0.01, 0.05) < theorem_3_2_bound(
+            12, 3, 0.001, 0.05
+        )
+
+    def test_monotone_in_horizon(self):
+        assert theorem_3_2_bound(12, 3, 0.01, 0.05) < theorem_3_2_bound(
+            24, 3, 0.01, 0.05
+        )
+
+    def test_monotone_in_beta(self):
+        assert theorem_3_2_bound(12, 3, 0.01, 0.1) < theorem_3_2_bound(
+            12, 3, 0.01, 0.01
+        )
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            theorem_3_2_bound(3, 5, 0.01, 0.05)
+        with pytest.raises(ConfigurationError):
+            theorem_3_2_bound(12, 3, 0.0, 0.05)
+        with pytest.raises(ConfigurationError):
+            theorem_3_2_bound(12, 3, 0.01, 1.5)
+
+    @given(
+        horizon=st.integers(2, 48),
+        rho=st.floats(1e-4, 1.0),
+        beta=st.floats(0.001, 0.5),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_positive(self, horizon, rho, beta):
+        assert theorem_3_2_bound(horizon, min(3, horizon), rho, beta) > 0
+
+
+class TestDefaultNPad:
+    def test_ceil_of_bound(self):
+        bound = theorem_3_2_bound(12, 3, 0.005, 0.05)
+        assert default_n_pad(12, 3, 0.005, 0.05) == math.ceil(bound)
+
+    def test_paper_scale_values(self):
+        # rho = 0.005, T = 12, k = 3: padding is in the low hundreds.
+        assert 100 < default_n_pad(12, 3, 0.005, 0.05) < 200
+        # rho = 0.001 requires more padding than rho = 0.05.
+        assert default_n_pad(12, 3, 0.001, 0.05) > default_n_pad(12, 3, 0.05, 0.05)
+
+
+class TestRelativeBounds:
+    def test_debiased_bound_scales_inverse_n(self):
+        assert debiased_error_bound(12, 3, 0.005, 0.05, 20000) == pytest.approx(
+            theorem_3_2_bound(12, 3, 0.005, 0.05) / 20000
+        )
+
+    def test_biased_bound_exceeds_debiased(self):
+        debiased = debiased_error_bound(12, 3, 0.005, 0.05, 25000)
+        biased = corollary_3_3_relative_bound(12, 3, 0.005, 0.05, 25000, 1.0)
+        assert biased > debiased
+
+    def test_biased_bound_grows_with_occupancy(self):
+        small = corollary_3_3_relative_bound(12, 3, 0.005, 0.05, 25000, 0.01)
+        large = corollary_3_3_relative_bound(12, 3, 0.005, 0.05, 25000, 0.9)
+        assert large > small
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            debiased_error_bound(12, 3, 0.005, 0.05, 0)
+        with pytest.raises(ConfigurationError):
+            corollary_3_3_relative_bound(12, 3, 0.005, 0.05, 100, 1.5)
+
+
+class TestTreeBounds:
+    def test_tree_levels(self):
+        assert tree_levels(1) == 1
+        assert tree_levels(2) == 1
+        assert tree_levels(3) == 2
+        assert tree_levels(12) == 4
+        assert tree_levels(16) == 4
+        assert tree_levels(17) == 5
+
+    def test_tree_levels_validation(self):
+        with pytest.raises(ConfigurationError):
+            tree_levels(0)
+
+    def test_counter_bound_grows_with_time(self):
+        early = tree_counter_error_bound(64, 0.1, 0.05, t=2)
+        late = tree_counter_error_bound(64, 0.1, 0.05, t=63)
+        assert late > early
+
+    def test_counter_bound_default_time(self):
+        assert tree_counter_error_bound(64, 0.1, 0.05) == tree_counter_error_bound(
+            64, 0.1, 0.05, t=64
+        )
+
+    def test_counter_bound_validation(self):
+        with pytest.raises(ConfigurationError):
+            tree_counter_error_bound(10, 0.0, 0.05)
+        with pytest.raises(ConfigurationError):
+            tree_counter_error_bound(10, 0.1, 0.0)
+
+
+class TestCorollaryB1:
+    def test_weights_values(self):
+        weights = corollary_b1_weights_unnormalized(12)
+        assert len(weights) == 12
+        # b = 1: stream length 12 -> levels 4 -> weight 64.
+        assert weights[0] == 64
+        # b = 12: stream length 1 -> levels 1 -> weight 1.
+        assert weights[-1] == 1
+
+    def test_weights_non_increasing(self):
+        weights = corollary_b1_weights_unnormalized(20)
+        assert all(a >= b for a, b in zip(weights, weights[1:]))
+
+    def test_alpha_formula(self):
+        horizon, rho, beta, n = 12, 0.005, 0.05, 23374
+        total = sum(corollary_b1_weights_unnormalized(horizon))
+        expected = math.sqrt(total / rho * math.log(1 / beta)) / n
+        assert corollary_b1_alpha(horizon, rho, beta, n) == pytest.approx(expected)
+
+    def test_alpha_validation(self):
+        with pytest.raises(ConfigurationError):
+            corollary_b1_alpha(12, 0.0, 0.05, 100)
+        with pytest.raises(ConfigurationError):
+            corollary_b1_alpha(12, 0.1, 0.05, 0)
+        with pytest.raises(ConfigurationError):
+            corollary_b1_alpha(12, 0.1, 2.0, 100)

@@ -1,0 +1,41 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import LongitudinalDataset
+from repro.data.generators import two_state_markov
+from repro.rng import as_generator
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic generator for tests needing raw randomness."""
+    return as_generator(12345)
+
+
+@pytest.fixture
+def tiny_panel() -> LongitudinalDataset:
+    """A 4x5 hand-written panel with known statistics."""
+    return LongitudinalDataset(
+        [
+            [1, 0, 1, 1, 0],
+            [0, 0, 1, 0, 0],
+            [1, 1, 1, 1, 1],
+            [0, 0, 0, 0, 1],
+        ]
+    )
+
+
+@pytest.fixture
+def markov_panel() -> LongitudinalDataset:
+    """A medium Markov panel (n=600, T=12) with poverty-like dynamics."""
+    return two_state_markov(600, 12, p_stay=0.85, p_enter=0.03, seed=7)
+
+
+@pytest.fixture
+def small_markov_panel() -> LongitudinalDataset:
+    """A small Markov panel (n=150, T=8) for faster synthesizer tests."""
+    return two_state_markov(150, 8, p_stay=0.8, p_enter=0.05, seed=3)

@@ -1,0 +1,91 @@
+"""Tests for per-threshold budget allocation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.theory import tree_levels
+from repro.core.budget import allocate_budget, corollary_b1_split, uniform_split
+from repro.exceptions import ConfigurationError
+
+
+class TestUniformSplit:
+    def test_sums_to_rho(self):
+        split = uniform_split(12, 0.005)
+        assert split.shape == (12,)
+        assert split.sum() == pytest.approx(0.005)
+
+    def test_equal_entries(self):
+        split = uniform_split(10, 1.0)
+        assert np.allclose(split, 0.1)
+
+    def test_infinite_budget(self):
+        assert np.isinf(uniform_split(5, math.inf)).all()
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            uniform_split(0, 1.0)
+        with pytest.raises(ConfigurationError):
+            uniform_split(5, 0.0)
+
+
+class TestCorollaryB1Split:
+    def test_sums_to_rho(self):
+        split = corollary_b1_split(12, 0.005)
+        assert split.sum() == pytest.approx(0.005)
+
+    def test_weights_proportional_to_cubed_levels(self):
+        horizon = 12
+        split = corollary_b1_split(horizon, 1.0)
+        levels = np.array([tree_levels(horizon - b + 1) for b in range(1, horizon + 1)])
+        expected = levels**3 / (levels**3).sum()
+        assert np.allclose(split, expected)
+
+    def test_early_thresholds_get_more_budget(self):
+        # Counter b=1 sees the longest stream, so it needs the most budget.
+        split = corollary_b1_split(12, 1.0)
+        assert split[0] == split.max()
+        assert split[-1] == split.min()
+
+    def test_non_increasing(self):
+        split = corollary_b1_split(16, 1.0)
+        assert (np.diff(split) <= 1e-15).all()
+
+    def test_equalizes_worst_case_bounds(self):
+        # The allocation is designed so L_b^3 / rho_b is constant.
+        horizon = 12
+        split = corollary_b1_split(horizon, 0.5)
+        ratios = [
+            tree_levels(horizon - b + 1) ** 3 / split[b - 1]
+            for b in range(1, horizon + 1)
+        ]
+        assert np.allclose(ratios, ratios[0])
+
+
+class TestAllocateBudget:
+    def test_by_name(self):
+        assert np.allclose(allocate_budget(6, 1.0, "uniform"), uniform_split(6, 1.0))
+        assert np.allclose(
+            allocate_budget(6, 1.0, "corollary_b1"), corollary_b1_split(6, 1.0)
+        )
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError):
+            allocate_budget(6, 1.0, "exotic")
+
+    def test_explicit_sequence(self):
+        values = [0.5, 0.3, 0.2]
+        assert np.allclose(allocate_budget(3, 1.0, values), values)
+
+    def test_explicit_wrong_length(self):
+        with pytest.raises(ConfigurationError):
+            allocate_budget(4, 1.0, [0.5, 0.5])
+
+    def test_explicit_wrong_sum(self):
+        with pytest.raises(ConfigurationError):
+            allocate_budget(2, 1.0, [0.5, 0.6])
+
+    def test_explicit_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            allocate_budget(2, 1.0, [1.0, 0.0])

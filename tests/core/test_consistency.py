@@ -1,0 +1,150 @@
+"""Tests for the overlap-consistency projection (Algorithm 1, stage 2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.consistency import (
+    apply_overlap_correction,
+    check_window_consistency,
+    pair_totals,
+)
+from repro.exceptions import ConfigurationError, NegativeCountError
+from repro.rng import as_generator
+
+
+def histograms(k, max_count=50):
+    return st.lists(
+        st.integers(0, max_count), min_size=1 << k, max_size=1 << k
+    ).map(lambda v: np.asarray(v, dtype=np.int64))
+
+
+def noisy_histograms(k, spread=30):
+    return st.lists(
+        st.integers(-spread, spread + 30), min_size=1 << k, max_size=1 << k
+    ).map(lambda v: np.asarray(v, dtype=np.int64))
+
+
+class TestPairTotals:
+    def test_known_values(self):
+        counts = np.array([5, 3, 2, 8], dtype=np.int64)  # k=2 bins 00,01,10,11
+        # M_z = p_{0z} + p_{1z}: M_0 = p00+p10 = 7, M_1 = p01+p11 = 11.
+        assert pair_totals(counts).tolist() == [7, 11]
+
+    def test_k1(self):
+        counts = np.array([4, 6], dtype=np.int64)
+        assert pair_totals(counts).tolist() == [10]
+
+    def test_rejects_bad_length(self):
+        with pytest.raises(ConfigurationError):
+            pair_totals(np.array([1, 2, 3]))
+        with pytest.raises(ConfigurationError):
+            pair_totals(np.array([1]))
+
+
+class TestApplyOverlapCorrection:
+    def test_preserves_pair_sums(self, rng):
+        previous = np.array([10, 5, 7, 3], dtype=np.int64)
+        noisy = np.array([12, 2, 9, 1], dtype=np.int64)
+        corrected, events = apply_overlap_correction(previous, noisy, rng)
+        assert check_window_consistency(previous, corrected)
+        assert events == 0
+
+    def test_even_discrepancy_split_exactly(self, rng):
+        previous = np.array([10, 10], dtype=np.int64)  # k=1: M = 20
+        noisy = np.array([8, 8], dtype=np.int64)  # sum 16, delta2 = 4
+        corrected, _ = apply_overlap_correction(previous, noisy, rng)
+        assert corrected.tolist() == [10, 10]
+
+    def test_odd_discrepancy_randomized_rounding(self):
+        previous = np.array([10, 11], dtype=np.int64)  # M = 21
+        noisy = np.array([8, 8], dtype=np.int64)  # delta2 = 5 (odd)
+        outcomes = set()
+        for seed in range(40):
+            corrected, _ = apply_overlap_correction(
+                previous, noisy, as_generator(seed)
+            )
+            outcomes.add(tuple(corrected.tolist()))
+        # Both roundings occur: p0 in {10, 11}.
+        assert outcomes == {(10, 11), (11, 10)}
+
+    def test_rounding_is_fair(self):
+        previous = np.array([10, 11], dtype=np.int64)
+        noisy = np.array([8, 8], dtype=np.int64)
+        ups = 0
+        trials = 400
+        for seed in range(trials):
+            corrected, _ = apply_overlap_correction(previous, noisy, as_generator(seed))
+            ups += corrected[0] == 11
+        assert abs(ups / trials - 0.5) < 0.1
+
+    def test_negative_redistribution_keeps_sum(self, rng):
+        previous = np.array([1, 1], dtype=np.int64)  # M = 2
+        noisy = np.array([-30, 30], dtype=np.int64)
+        corrected, events = apply_overlap_correction(previous, noisy, rng)
+        assert events == 1
+        assert corrected.sum() == 2
+        assert (corrected >= 0).all()
+
+    def test_negative_raise_policy(self, rng):
+        previous = np.array([1, 1], dtype=np.int64)
+        noisy = np.array([-30, 30], dtype=np.int64)
+        with pytest.raises(NegativeCountError):
+            apply_overlap_correction(previous, noisy, rng, on_negative="raise")
+
+    def test_invalid_policy(self, rng):
+        with pytest.raises(ConfigurationError):
+            apply_overlap_correction(
+                np.array([1, 1]), np.array([1, 1]), rng, on_negative="clamp"
+            )
+
+    def test_shape_mismatch(self, rng):
+        with pytest.raises(ConfigurationError):
+            apply_overlap_correction(np.array([1, 1]), np.array([1, 1, 1, 1]), rng)
+
+    def test_zero_noise_is_identity_when_consistent(self, rng):
+        # When the noisy counts already satisfy the constraint, the
+        # correction leaves them unchanged.
+        previous = np.array([6, 4, 3, 7], dtype=np.int64)
+        # M_0 = 9, M_1 = 11; choose consistent new counts.
+        noisy = np.array([5, 4, 6, 5], dtype=np.int64)
+        corrected, _ = apply_overlap_correction(previous, noisy, rng)
+        assert corrected.tolist() == noisy.tolist()
+
+    @given(previous=histograms(3), noisy=noisy_histograms(3), seed=st.integers(0, 99))
+    @settings(max_examples=60, deadline=None)
+    def test_property_consistency_always_restored(self, previous, noisy, seed):
+        corrected, _ = apply_overlap_correction(previous, noisy, as_generator(seed))
+        assert check_window_consistency(previous, corrected)
+
+    @given(previous=histograms(2), noisy=noisy_histograms(2), seed=st.integers(0, 99))
+    @settings(max_examples=60, deadline=None)
+    def test_property_correction_is_centred(self, previous, noisy, seed):
+        # The correction splits each pair's discrepancy evenly: the average
+        # of (p - C^) over a pair is Delta_z (up to the +-1/2 rounding).
+        corrected, events = apply_overlap_correction(
+            previous, noisy, as_generator(seed)
+        )
+        if events:
+            return  # redistribution breaks the exact algebra by design
+        totals = pair_totals(previous)
+        double_delta = totals - (noisy[0::2] + noisy[1::2])
+        pair_shift = (corrected[0::2] - noisy[0::2]) + (corrected[1::2] - noisy[1::2])
+        assert (pair_shift == double_delta).all()
+
+
+class TestCheckWindowConsistency:
+    def test_detects_violation(self):
+        previous = np.array([5, 5, 5, 5], dtype=np.int64)
+        bad = np.array([5, 5, 5, 6], dtype=np.int64)
+        assert not check_window_consistency(previous, bad)
+
+    def test_detects_negative(self):
+        previous = np.array([5, 5], dtype=np.int64)
+        assert not check_window_consistency(previous, np.array([-1, 11]))
+
+    def test_accepts_valid(self):
+        previous = np.array([5, 5, 5, 5], dtype=np.int64)
+        good = np.array([4, 6, 7, 3], dtype=np.int64)
+        assert check_window_consistency(previous, good)

@@ -1,0 +1,155 @@
+"""Tests for cross-counter monotonization and Lemma 4.2."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.monotonize import is_monotone_table, monotonize_row
+from repro.exceptions import ConfigurationError
+
+
+class TestMonotonizeRow:
+    def test_passthrough_when_within_bounds(self):
+        previous = np.array([10, 6, 3, 0], dtype=np.int64)  # b = 0..3
+        noisy = np.array([7, 4, 2], dtype=np.int64)  # b = 1..3
+        clamped = monotonize_row(noisy, previous, population=10)
+        assert clamped.tolist() == [7, 4, 2]
+
+    def test_lower_clamp(self):
+        previous = np.array([10, 6, 3, 0], dtype=np.int64)
+        noisy = np.array([4, 1, 0], dtype=np.int64)  # below previous values
+        clamped = monotonize_row(noisy, previous, population=10)
+        assert clamped.tolist() == [6, 3, 0]
+
+    def test_upper_clamp(self):
+        previous = np.array([10, 6, 3, 0], dtype=np.int64)
+        noisy = np.array([12, 9, 5], dtype=np.int64)
+        # Upper bounds are previous[b-1]: 10, 6, 3.
+        clamped = monotonize_row(noisy, previous, population=10)
+        assert clamped.tolist() == [10, 6, 3]
+
+    def test_result_feasible(self):
+        previous = np.array([10, 6, 3, 0], dtype=np.int64)
+        noisy = np.array([-5, 100, 2], dtype=np.int64)
+        clamped = monotonize_row(noisy, previous, population=10)
+        # Non-increasing in b and within [previous_b, previous_{b-1}].
+        assert (np.diff(clamped) <= 0).all()
+        assert (clamped >= previous[1:]).all()
+        assert (clamped <= previous[:-1]).all()
+
+    def test_population_mismatch_rejected(self):
+        previous = np.array([9, 6, 3], dtype=np.int64)
+        with pytest.raises(ConfigurationError):
+            monotonize_row(np.array([5, 2]), previous, population=10)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            monotonize_row(np.array([5, 2]), np.array([10, 6]), population=10)
+
+    def test_non_monotone_previous_rejected(self):
+        previous = np.array([10, 3, 6, 0], dtype=np.int64)
+        with pytest.raises(ConfigurationError):
+            monotonize_row(np.array([5, 2, 1]), previous, population=10)
+
+    @given(
+        data=st.data(),
+        population=st.integers(5, 60),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_output_always_feasible(self, data, population):
+        t = data.draw(st.integers(1, 8))
+        # Build a feasible non-increasing previous row.
+        raw = data.draw(
+            st.lists(st.integers(0, population), min_size=t, max_size=t)
+        )
+        previous = np.concatenate(
+            [[population], np.sort(np.asarray(raw))[::-1]]
+        ).astype(np.int64)
+        noisy = np.asarray(
+            data.draw(st.lists(st.integers(-50, 120), min_size=t, max_size=t)),
+            dtype=np.int64,
+        )
+        clamped = monotonize_row(noisy, previous, population=population)
+        assert (clamped >= previous[1:]).all()
+        assert (clamped <= previous[:-1]).all()
+        assert (np.diff(clamped) <= 0).all()
+
+
+class TestLemma42:
+    """Direct verification of the Lemma 4.2 inequality.
+
+    |S^_b^t - S_b^t| <= max(|S~_b^t - S_b^t|, |S^_b^{t-1} - S_b^{t-1}|,
+                            |S^_{b-1}^{t-1} - S_{b-1}^{t-1}|)
+    for true counts satisfying S_b^{t-1} <= S_b^t <= S_{b-1}^{t-1}.
+    """
+
+    @given(data=st.data())
+    @settings(max_examples=150, deadline=None)
+    def test_inequality_pointwise(self, data):
+        # True counts with the required monotonicity.
+        true_prev_bm1 = data.draw(st.integers(0, 100))  # S_{b-1}^{t-1}
+        true_prev_b = data.draw(st.integers(0, true_prev_bm1))  # S_b^{t-1}
+        true_cur_b = data.draw(st.integers(true_prev_b, true_prev_bm1))  # S_b^t
+        # Arbitrary estimates for the previous round (already monotonized,
+        # so they satisfy hat_prev_b <= hat_prev_bm1).
+        hat_prev_bm1 = data.draw(st.integers(-20, 120))
+        hat_prev_b = data.draw(st.integers(-20, hat_prev_bm1))
+        # Arbitrary noisy estimate for this round.
+        noisy = data.draw(st.integers(-50, 150))
+
+        clamped = min(max(noisy, hat_prev_b), hat_prev_bm1)
+        lhs = abs(clamped - true_cur_b)
+        rhs = max(
+            abs(noisy - true_cur_b),
+            abs(hat_prev_b - true_prev_b),
+            abs(hat_prev_bm1 - true_prev_bm1),
+        )
+        assert lhs <= rhs
+
+    @given(data=st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_b_zero_variant(self, data):
+        # Equation 11: for b = 0 only the lower clamp applies.
+        true_prev = data.draw(st.integers(0, 100))
+        true_cur = data.draw(st.integers(true_prev, 150))
+        hat_prev = data.draw(st.integers(-20, 120))
+        noisy = data.draw(st.integers(-50, 200))
+        clamped = max(noisy, hat_prev)
+        lhs = abs(clamped - true_cur)
+        rhs = max(abs(noisy - true_cur), abs(hat_prev - true_prev))
+        assert lhs <= rhs
+
+
+class TestIsMonotoneTable:
+    def test_accepts_valid_table(self):
+        table = np.array(
+            [
+                [10, 0, 0],
+                [10, 4, 0],
+                [10, 6, 3],
+            ],
+            dtype=np.int64,
+        )
+        assert is_monotone_table(table, population=10)
+
+    def test_rejects_decreasing_in_t(self):
+        table = np.array([[10, 5, 0], [10, 4, 0]], dtype=np.int64)
+        assert not is_monotone_table(table, population=10)
+
+    def test_rejects_increasing_in_b(self):
+        table = np.array([[10, 0, 0], [10, 2, 3]], dtype=np.int64)
+        assert not is_monotone_table(table, population=10)
+
+    def test_rejects_cross_violation(self):
+        # table[t, b] > table[t-1, b-1]: weight jumped by more than 1.
+        table = np.array([[10, 2, 0], [10, 9, 5]], dtype=np.int64)
+        assert not is_monotone_table(table, population=10)
+
+    def test_rejects_population_drift(self):
+        table = np.array([[10, 0], [9, 0]], dtype=np.int64)
+        assert not is_monotone_table(table, population=10)
+
+    def test_rejects_bad_ndim(self):
+        with pytest.raises(ConfigurationError):
+            is_monotone_table(np.zeros(3), population=1)

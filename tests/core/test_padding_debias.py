@@ -1,0 +1,113 @@
+"""Tests for padding specification and the debiasing post-processing."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.theory import default_n_pad
+from repro.core.debias import debias_count_answer, lift_window_weights
+from repro.core.padding import PaddingSpec
+from repro.exceptions import ConfigurationError
+from repro.queries.window import AllOnes, AtLeastMOnes, PatternQuery
+
+
+class TestPaddingSpec:
+    def test_auto_matches_theorem(self):
+        spec = PaddingSpec.auto(12, 3, 0.005, beta=0.05)
+        assert spec.n_pad == default_n_pad(12, 3, 0.005, 0.05)
+
+    def test_total_records(self):
+        assert PaddingSpec(window=3, n_pad=5, horizon=12).total_records == 40
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PaddingSpec(window=0, n_pad=1, horizon=5)
+        with pytest.raises(ConfigurationError):
+            PaddingSpec(window=3, n_pad=-1, horizon=5)
+        with pytest.raises(ConfigurationError):
+            PaddingSpec(window=5, n_pad=1, horizon=3)
+
+    def test_count_contribution_same_width(self):
+        spec = PaddingSpec(window=3, n_pad=7, horizon=12)
+        query = AtLeastMOnes(3, 1)  # 7 of 8 bins selected
+        assert spec.count_contribution(query) == pytest.approx(7 * 7)
+
+    def test_count_contribution_smaller_width(self):
+        spec = PaddingSpec(window=3, n_pad=7, horizon=12)
+        query = AtLeastMOnes(2, 1)  # 3 of 4 width-2 bins, multiplicity 2
+        assert spec.count_contribution(query) == pytest.approx(7 * 2 * 3)
+
+    def test_count_contribution_larger_width_extrapolates(self):
+        spec = PaddingSpec(window=3, n_pad=8, horizon=12)
+        query = AllOnes(4)  # one width-4 bin, multiplicity 1/2
+        assert spec.count_contribution(query) == pytest.approx(4.0)
+
+    def test_panel_answer_agrees_with_formula_for_supported_widths(self):
+        spec = PaddingSpec(window=3, n_pad=4, horizon=12)
+        for query in (AtLeastMOnes(3, 2), AtLeastMOnes(2, 1), AllOnes(3), PatternQuery(1, 1)):
+            for t in (3, 7, 12):
+                formula = spec.count_contribution(query)
+                panel = spec.panel_count_answer(query, t)
+                assert formula == pytest.approx(panel), (query.name, t)
+
+    def test_zero_padding_contributions(self):
+        spec = PaddingSpec(window=3, n_pad=0, horizon=12)
+        assert spec.count_contribution(AllOnes(3)) == 0.0
+        assert spec.panel_count_answer(AllOnes(3), 5) == 0.0
+
+    def test_panel_cached(self):
+        spec = PaddingSpec(window=2, n_pad=2, horizon=6)
+        assert spec.panel is spec.panel
+
+
+class TestLiftWindowWeights:
+    def test_identity_lift(self):
+        weights = np.array([1.0, 0.0, 2.0, 0.5])
+        assert (lift_window_weights(weights, 2, 2) == weights).all()
+
+    def test_lift_one_level(self):
+        weights = np.array([0.0, 1.0])  # k'=1: select bit==1
+        lifted = lift_window_weights(weights, 1, 2)
+        # Width-2 codes whose last bit is 1: 01 (1) and 11 (3).
+        assert lifted.tolist() == [0.0, 1.0, 0.0, 1.0]
+
+    def test_lift_preserves_answers(self, markov_panel):
+        query = AtLeastMOnes(2, 1)
+        lifted = lift_window_weights(query.weights, 2, 3)
+        t = 7
+        hist3 = markov_panel.suffix_histogram(t, 3)
+        direct = query.evaluate(markov_panel, t)
+        via_lift = float(lifted @ hist3) / markov_panel.n_individuals
+        assert direct == pytest.approx(via_lift)
+
+    def test_rejects_downward_lift(self):
+        with pytest.raises(ConfigurationError):
+            lift_window_weights(np.zeros(4), 2, 1)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ConfigurationError):
+            lift_window_weights(np.zeros(3), 2, 3)
+
+
+class TestDebiasCountAnswer:
+    def test_basic_formula(self):
+        assert debias_count_answer(150.0, 50.0, 100) == pytest.approx(1.0)
+
+    def test_zero_padding(self):
+        assert debias_count_answer(30.0, 0.0, 60) == pytest.approx(0.5)
+
+    def test_invalid_n(self):
+        with pytest.raises(ConfigurationError):
+            debias_count_answer(10.0, 0.0, 0)
+
+    def test_debiasing_recovers_truth_exactly_under_zero_noise(self, markov_panel):
+        # hist + n_pad per bin, then debias: must equal the plain answer.
+        n_pad = 9
+        query = AtLeastMOnes(3, 2)
+        t = 6
+        hist = markov_panel.suffix_histogram(t, 3)
+        padded_count = float(query.weights @ (hist + n_pad))
+        padding_count = n_pad * query.weight_sum
+        debiased = debias_count_answer(
+            padded_count, padding_count, markov_panel.n_individuals
+        )
+        assert debiased == pytest.approx(query.evaluate(markov_panel, t))

@@ -1,0 +1,83 @@
+"""Tests for the de Bruijn padding construction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.debruijn import debruijn_sequence, padding_panel
+from repro.exceptions import ConfigurationError
+
+
+class TestDeBruijnSequence:
+    @pytest.mark.parametrize("k", [1, 2, 3, 4, 5, 6])
+    def test_every_pattern_appears_exactly_once(self, k):
+        cycle = debruijn_sequence(k)
+        assert cycle.shape == (1 << k,)
+        seen = set()
+        doubled = np.concatenate([cycle, cycle])
+        for start in range(1 << k):
+            code = 0
+            for bit in doubled[start : start + k]:
+                code = (code << 1) | int(bit)
+            seen.add(code)
+        assert seen == set(range(1 << k))
+
+    def test_binary_entries(self):
+        assert set(np.unique(debruijn_sequence(4))) <= {0, 1}
+
+    def test_invalid_k(self):
+        with pytest.raises(ConfigurationError):
+            debruijn_sequence(0)
+
+    def test_k1_is_zero_one(self):
+        assert sorted(debruijn_sequence(1).tolist()) == [0, 1]
+
+
+class TestPaddingPanel:
+    @pytest.mark.parametrize("k,n_pad", [(1, 1), (2, 3), (3, 2), (4, 1)])
+    def test_every_window_histogram_uniform(self, k, n_pad):
+        horizon = 10
+        panel = padding_panel(k, n_pad, horizon)
+        assert panel.n_individuals == n_pad * (1 << k)
+        for t in range(k, horizon + 1):
+            hist = panel.suffix_histogram(t, k)
+            assert (hist == n_pad).all(), (k, n_pad, t, hist)
+
+    def test_zero_padding_empty(self):
+        panel = padding_panel(3, 0, 8)
+        assert panel.n_individuals == 0
+
+    def test_negative_padding_rejected(self):
+        with pytest.raises(ConfigurationError):
+            padding_panel(3, -1, 8)
+
+    def test_horizon_shorter_than_window_rejected(self):
+        with pytest.raises(ConfigurationError):
+            padding_panel(4, 1, 3)
+
+    def test_long_horizon_wraps_cycle(self):
+        # horizon much longer than the cycle length 2^k.
+        panel = padding_panel(2, 1, 25)
+        for t in range(2, 26):
+            assert (panel.suffix_histogram(t, 2) == 1).all()
+
+    @given(
+        k=st.integers(1, 5),
+        n_pad=st.integers(1, 3),
+        extra=st.integers(0, 10),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_uniformity_property(self, k, n_pad, extra):
+        horizon = k + extra
+        panel = padding_panel(k, n_pad, horizon)
+        for t in range(k, horizon + 1):
+            assert (panel.suffix_histogram(t, k) == n_pad).all()
+
+    def test_smaller_window_histogram_also_uniform(self):
+        # A width-k' <= k marginal of a uniform width-k histogram is uniform
+        # with multiplicity 2^(k-k').
+        panel = padding_panel(4, 2, 12)
+        for t in range(4, 13):
+            hist = panel.suffix_histogram(t, 2)
+            assert (hist == 2 * 4).all()

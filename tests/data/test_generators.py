@@ -1,0 +1,130 @@
+"""Tests for the synthetic stream generators."""
+
+import numpy as np
+import pytest
+
+from repro.data.generators import (
+    all_ones,
+    bursty_spells,
+    iid_bernoulli,
+    mixture,
+    seasonal,
+    two_state_markov,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestAllOnes:
+    def test_every_entry_is_one(self):
+        panel = all_ones(10, 6)
+        assert (panel.matrix == 1).all()
+
+    def test_shape(self):
+        panel = all_ones(25000, 12)
+        assert panel.n_individuals == 25000 and panel.horizon == 12
+
+    def test_invalid_shape(self):
+        with pytest.raises(ConfigurationError):
+            all_ones(0, 5)
+        with pytest.raises(ConfigurationError):
+            all_ones(5, 0)
+
+
+class TestIidBernoulli:
+    def test_marginal_rate(self):
+        panel = iid_bernoulli(5000, 10, p=0.3, seed=0)
+        assert abs(panel.matrix.mean() - 0.3) < 0.02
+
+    def test_p_zero_and_one(self):
+        assert (iid_bernoulli(10, 5, 0.0, seed=0).matrix == 0).all()
+        assert (iid_bernoulli(10, 5, 1.0, seed=0).matrix == 1).all()
+
+    def test_invalid_p(self):
+        with pytest.raises(ConfigurationError):
+            iid_bernoulli(10, 5, 1.5)
+
+    def test_reproducible(self):
+        a = iid_bernoulli(20, 5, 0.5, seed=3)
+        b = iid_bernoulli(20, 5, 0.5, seed=3)
+        assert a == b
+
+
+class TestTwoStateMarkov:
+    def test_stationary_marginals(self):
+        panel = two_state_markov(20000, 12, p_stay=0.85, p_enter=0.03, seed=1)
+        stationary = 0.03 / (0.03 + 0.15)
+        monthly = panel.matrix.mean(axis=0)
+        assert np.abs(monthly - stationary).max() < 0.02
+
+    def test_persistence(self):
+        panel = two_state_markov(20000, 12, p_stay=0.9, p_enter=0.02, seed=2)
+        matrix = panel.matrix
+        in_state = matrix[:, :-1] == 1
+        stay_rate = matrix[:, 1:][in_state].mean()
+        assert abs(stay_rate - 0.9) < 0.02
+
+    def test_explicit_initial_probability(self):
+        panel = two_state_markov(5000, 3, p_stay=0.5, p_enter=0.5, p_initial=1.0, seed=3)
+        assert (panel.matrix[:, 0] == 1).all()
+
+    def test_invalid_probabilities(self):
+        with pytest.raises(ConfigurationError):
+            two_state_markov(10, 5, p_stay=1.2, p_enter=0.1)
+        with pytest.raises(ConfigurationError):
+            two_state_markov(10, 5, p_stay=0.5, p_enter=-0.1)
+
+
+class TestBurstySpells:
+    def test_starts_out_of_spell(self):
+        panel = bursty_spells(1000, 8, spell_rate=0.05, mean_spell_length=3, seed=4)
+        # First column is all zeros by construction (p_initial=0).
+        assert (panel.matrix[:, 0] == 0).all()
+
+    def test_mean_spell_length_validated(self):
+        with pytest.raises(ConfigurationError):
+            bursty_spells(10, 5, spell_rate=0.1, mean_spell_length=0.5)
+
+    def test_spell_lengths_geometric(self):
+        panel = bursty_spells(30000, 12, spell_rate=0.1, mean_spell_length=4, seed=5)
+        matrix = panel.matrix
+        in_spell = matrix[:, 1:-1] == 1
+        continuing = matrix[:, 2:][in_spell[:, : matrix.shape[1] - 2]]
+        assert abs(continuing.mean() - 0.75) < 0.02  # 1 - 1/4
+
+
+class TestSeasonal:
+    def test_rate_oscillates(self):
+        panel = seasonal(30000, 12, base_p=0.3, amplitude=0.2, period=12, seed=6)
+        monthly = panel.matrix.mean(axis=0)
+        assert monthly.max() > 0.42 and monthly.min() < 0.18
+
+    def test_clipping_keeps_valid_probabilities(self):
+        panel = seasonal(1000, 12, base_p=0.05, amplitude=0.5, period=6, seed=7)
+        assert set(np.unique(panel.matrix)) <= {0, 1}
+
+    def test_invalid_period(self):
+        with pytest.raises(ConfigurationError):
+            seasonal(10, 5, 0.5, 0.1, period=0)
+
+
+class TestMixture:
+    def test_pools_components(self):
+        a = all_ones(10, 4)
+        b = iid_bernoulli(20, 4, 0.0, seed=8)
+        pooled = mixture([a, b], seed=9)
+        assert pooled.n_individuals == 30
+        assert pooled.matrix.sum() == 40  # only the all-ones rows contribute
+
+    def test_shuffle_changes_order_not_content(self):
+        a = all_ones(5, 3)
+        b = iid_bernoulli(5, 3, 0.0, seed=10)
+        pooled = mixture([a, b], seed=11, shuffle=True)
+        assert pooled.matrix.sum() == 15
+
+    def test_requires_matching_horizons(self):
+        with pytest.raises(ConfigurationError):
+            mixture([all_ones(5, 3), all_ones(5, 4)])
+
+    def test_empty_components_rejected(self):
+        with pytest.raises(ConfigurationError):
+            mixture([])

@@ -1,0 +1,149 @@
+"""Tests for the SIPP simulator and the paper's preprocessing pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.data.sipp import (
+    SIPP_2021_HORIZON,
+    SIPP_2021_N_HOUSEHOLDS,
+    SippRawData,
+    load_sipp_2021,
+    preprocess_sipp,
+    simulate_sipp_raw,
+)
+from repro.exceptions import ConfigurationError, DataValidationError
+
+
+class TestSimulateRaw:
+    def test_row_count_accounts_for_multi_person(self):
+        raw = simulate_sipp_raw(500, seed=0)
+        # Every household contributes 12 person-months for person 1, plus
+        # 12 more for each second person.
+        assert raw.n_rows >= 500 * 12
+        assert raw.n_rows <= 500 * 24
+
+    def test_some_households_have_two_persons(self):
+        raw = simulate_sipp_raw(1000, seed=1)
+        assert (raw.person_id == 2).any()
+
+    def test_some_missingness(self):
+        raw = simulate_sipp_raw(2000, seed=2)
+        assert np.isnan(raw.income_poverty_ratio).any()
+
+    def test_months_one_indexed(self):
+        raw = simulate_sipp_raw(50, seed=3)
+        assert raw.month.min() == 1
+        assert raw.month.max() == SIPP_2021_HORIZON
+
+    def test_ratio_positive_when_present(self):
+        raw = simulate_sipp_raw(200, seed=4)
+        present = raw.income_poverty_ratio[~np.isnan(raw.income_poverty_ratio)]
+        assert (present > 0).all()
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            simulate_sipp_raw(0)
+        with pytest.raises(ConfigurationError):
+            simulate_sipp_raw(10, horizon=0)
+
+    def test_column_length_mismatch_rejected(self):
+        with pytest.raises(DataValidationError):
+            SippRawData(
+                household_id=np.zeros(3, dtype=np.int64),
+                person_id=np.zeros(3, dtype=np.int64),
+                month=np.zeros(2, dtype=np.int64),
+                income_poverty_ratio=np.zeros(3),
+            )
+
+
+class TestPreprocess:
+    def test_one_series_per_household(self):
+        raw = simulate_sipp_raw(800, seed=5)
+        panel = preprocess_sipp(raw)
+        # At most one row per surviving household.
+        assert panel.n_individuals <= 800
+
+    def test_households_with_missing_months_dropped(self):
+        household = np.repeat([0, 1], 12)
+        person = np.ones(24, dtype=np.int64)
+        month = np.tile(np.arange(1, 13), 2)
+        ratio = np.full(24, 2.0)
+        ratio[3] = np.nan  # household 0 misses month 4
+        raw = SippRawData(household, person, month, ratio)
+        panel = preprocess_sipp(raw)
+        assert panel.n_individuals == 1
+
+    def test_binarization_threshold(self):
+        household = np.zeros(12, dtype=np.int64)
+        person = np.ones(12, dtype=np.int64)
+        month = np.arange(1, 13)
+        ratio = np.array([0.5, 0.99, 1.0, 1.5, 2.0, 0.2, 3.0, 0.999, 1.001, 5.0, 0.1, 1.0])
+        raw = SippRawData(household, person, month, ratio)
+        panel = preprocess_sipp(raw)
+        expected = (ratio < 1.0).astype(int)
+        assert panel.matrix[0].tolist() == expected.tolist()
+
+    def test_lowest_person_number_kept(self):
+        # Household 0 surveyed twice; person 1's series must win.
+        household = np.zeros(24, dtype=np.int64)
+        person = np.repeat([2, 1], 12)
+        month = np.tile(np.arange(1, 13), 2)
+        ratio = np.concatenate([np.full(12, 0.5), np.full(12, 2.0)])
+        raw = SippRawData(household, person, month, ratio)
+        panel = preprocess_sipp(raw)
+        assert panel.n_individuals == 1
+        assert (panel.matrix[0] == 0).all()  # person 1's non-poor series
+
+    def test_incomplete_household_missing_whole_month_dropped(self):
+        # Household reports only 11 of 12 months: dropped.
+        household = np.zeros(11, dtype=np.int64)
+        person = np.ones(11, dtype=np.int64)
+        month = np.arange(1, 12)
+        ratio = np.full(11, 2.0)
+        raw = SippRawData(household, person, month, ratio)
+        panel = preprocess_sipp(raw)
+        assert panel.n_individuals == 0
+
+
+class TestLoadSipp2021:
+    def test_paper_dimensions(self):
+        panel = load_sipp_2021(seed=99)
+        assert panel.n_individuals == SIPP_2021_N_HOUSEHOLDS
+        assert panel.horizon == SIPP_2021_HORIZON
+
+    def test_poverty_rate_in_calibrated_range(self):
+        panel = load_sipp_2021(seed=100)
+        monthly = panel.matrix.mean(axis=0)
+        assert 0.09 < monthly.mean() < 0.14
+
+    def test_quarterly_stats_in_figure1_range(self):
+        panel = load_sipp_2021(seed=101)
+        weights_q1 = panel.matrix[:, :3].sum(axis=1)
+        at_least_one = (weights_q1 >= 1).mean()
+        all_three = (weights_q1 == 3).mean()
+        assert 0.10 < at_least_one < 0.20
+        assert 0.05 < all_three < 0.12
+
+    def test_persistence_present(self):
+        panel = load_sipp_2021(seed=102)
+        matrix = panel.matrix
+        in_poverty = matrix[:, :-1] == 1
+        stay = matrix[:, 1:][in_poverty].mean()
+        assert stay > 0.7  # strong month-to-month persistence
+
+    def test_reproducible(self):
+        assert load_sipp_2021(seed=5) == load_sipp_2021(seed=5)
+
+    def test_all_bins_occupied_for_k3(self):
+        # Algorithm 1's k=3 histogram should have no structurally empty bins.
+        panel = load_sipp_2021(seed=103)
+        hist = panel.suffix_histogram(3, 3)
+        assert (hist > 0).all()
+
+    def test_keep_all_households_mode(self):
+        panel = load_sipp_2021(seed=104, target_households=None)
+        assert panel.n_individuals >= SIPP_2021_N_HOUSEHOLDS
+
+    def test_custom_target(self):
+        panel = load_sipp_2021(seed=105, target_households=500)
+        assert panel.n_individuals == 500

@@ -1,0 +1,77 @@
+"""Tests for the exact Bernoulli(exp(-gamma)) sampler."""
+
+import math
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dp.bernoulli_exp import bernoulli_exp, bernoulli_exp_le1
+from repro.rng import ExactRandom, as_generator
+
+
+def make_random(seed=0):
+    return ExactRandom(as_generator(seed))
+
+
+class TestBernoulliExpLe1:
+    def test_gamma_zero_is_always_true(self):
+        random = make_random()
+        assert all(bernoulli_exp_le1(Fraction(0), random) for _ in range(50))
+
+    def test_gamma_one_matches_exp_minus_one(self):
+        random = make_random(1)
+        n = 4000
+        hits = sum(bernoulli_exp_le1(Fraction(1), random) for _ in range(n))
+        assert abs(hits / n - math.exp(-1)) < 0.03
+
+    def test_gamma_half_matches(self):
+        random = make_random(2)
+        n = 4000
+        hits = sum(bernoulli_exp_le1(Fraction(1, 2), random) for _ in range(n))
+        assert abs(hits / n - math.exp(-0.5)) < 0.03
+
+    def test_rejects_gamma_above_one(self):
+        with pytest.raises(ValueError):
+            bernoulli_exp_le1(Fraction(3, 2), make_random())
+
+    def test_rejects_negative_gamma(self):
+        with pytest.raises(ValueError):
+            bernoulli_exp_le1(Fraction(-1, 2), make_random())
+
+    def test_returns_bool(self):
+        assert isinstance(bernoulli_exp_le1(Fraction(1, 3), make_random()), bool)
+
+
+class TestBernoulliExp:
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            bernoulli_exp(Fraction(-1), make_random())
+
+    def test_large_gamma_rarely_true(self):
+        random = make_random(3)
+        hits = sum(bernoulli_exp(Fraction(10), random) for _ in range(500))
+        # exp(-10) ~ 4.5e-5: 500 trials should essentially never hit.
+        assert hits <= 1
+
+    def test_gamma_two_matches_exp_minus_two(self):
+        random = make_random(4)
+        n = 4000
+        hits = sum(bernoulli_exp(Fraction(2), random) for _ in range(n))
+        assert abs(hits / n - math.exp(-2)) < 0.025
+
+    def test_gamma_zero_always_true(self):
+        random = make_random(5)
+        assert all(bernoulli_exp(Fraction(0), random) for _ in range(50))
+
+    @given(st.integers(min_value=0, max_value=40), st.integers(min_value=1, max_value=10))
+    @settings(max_examples=25, deadline=None)
+    def test_any_rational_gamma_returns_bool(self, numerator, denominator):
+        result = bernoulli_exp(Fraction(numerator, denominator), make_random(9))
+        assert isinstance(result, bool)
+
+    def test_deterministic_given_seed(self):
+        draws_a = [bernoulli_exp(Fraction(1, 2), make_random(7)) for _ in range(1)]
+        draws_b = [bernoulli_exp(Fraction(1, 2), make_random(7)) for _ in range(1)]
+        assert draws_a == draws_b

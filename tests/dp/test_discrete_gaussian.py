@@ -1,0 +1,114 @@
+"""Tests for the discrete Gaussian sampler (Definition 2.2 of the paper)."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dp.discrete_gaussian import DiscreteGaussianSampler, sample_discrete_gaussian
+from repro.rng import ExactRandom, as_generator
+
+
+class TestExactSampler:
+    def test_rejects_negative_variance(self):
+        with pytest.raises(ValueError):
+            sample_discrete_gaussian(Fraction(-1), ExactRandom(as_generator(0)))
+
+    def test_zero_variance_is_constant_zero(self):
+        random = ExactRandom(as_generator(0))
+        assert all(sample_discrete_gaussian(Fraction(0), random) == 0 for _ in range(10))
+
+    def test_returns_integers(self):
+        random = ExactRandom(as_generator(1))
+        assert all(
+            isinstance(sample_discrete_gaussian(Fraction(9), random), int)
+            for _ in range(30)
+        )
+
+    def test_mean_near_zero(self):
+        random = ExactRandom(as_generator(2))
+        draws = [sample_discrete_gaussian(Fraction(16), random) for _ in range(2500)]
+        # stderr = 4/50 = 0.08; allow 5 sigma.
+        assert abs(np.mean(draws)) < 0.45
+
+    def test_variance_at_most_sigma_sq(self):
+        # The discrete Gaussian's variance is at most sigma^2 (CKS 2020).
+        random = ExactRandom(as_generator(3))
+        draws = np.array(
+            [sample_discrete_gaussian(Fraction(25), random) for _ in range(4000)]
+        )
+        assert draws.var() < 25.0 * 1.15  # sampling tolerance
+
+    def test_small_sigma_concentrates(self):
+        random = ExactRandom(as_generator(4))
+        draws = [sample_discrete_gaussian(Fraction(1, 4), random) for _ in range(300)]
+        assert all(abs(d) <= 4 for d in draws)
+
+    @given(st.fractions(min_value=Fraction(1, 4), max_value=Fraction(50)))
+    @settings(max_examples=20, deadline=None)
+    def test_any_rational_variance_samples(self, sigma_sq):
+        value = sample_discrete_gaussian(sigma_sq, ExactRandom(as_generator(5)))
+        assert isinstance(value, int)
+
+
+class TestDiscreteGaussianSampler:
+    def test_invalid_method(self):
+        with pytest.raises(ValueError):
+            DiscreteGaussianSampler(1, method="approximate")
+
+    def test_negative_variance(self):
+        with pytest.raises(ValueError):
+            DiscreteGaussianSampler(-2)
+
+    def test_zero_variance_array(self):
+        sampler = DiscreteGaussianSampler(0, seed=0)
+        assert (sampler.sample_array(10) == 0).all()
+        assert sampler.sample() == 0
+
+    def test_sigma_property(self):
+        assert DiscreteGaussianSampler(25, seed=0).sigma == pytest.approx(5.0)
+
+    def test_vectorized_shape(self):
+        sampler = DiscreteGaussianSampler(10, seed=0, method="vectorized")
+        assert sampler.sample_array((3, 4)).shape == (3, 4)
+        assert sampler.sample_array(11).shape == (11,)
+
+    def test_vectorized_moments(self):
+        sampler = DiscreteGaussianSampler(100, seed=1, method="vectorized")
+        draws = sampler.sample_array(100000)
+        assert abs(draws.mean()) < 0.2
+        assert abs(draws.var() / 100.0 - 1.0) < 0.03
+
+    def test_exact_vs_vectorized_variance_agreement(self):
+        exact = DiscreteGaussianSampler(36, seed=2, method="exact").sample_array(2500)
+        vec = DiscreteGaussianSampler(36, seed=3, method="vectorized").sample_array(50000)
+        assert abs(exact.var() / vec.var() - 1.0) < 0.20
+
+    def test_symmetry_vectorized(self):
+        draws = DiscreteGaussianSampler(50, seed=4, method="vectorized").sample_array(
+            100000
+        )
+        positive = (draws > 0).mean()
+        negative = (draws < 0).mean()
+        assert abs(positive - negative) < 0.01
+
+    def test_integer_dtype(self):
+        draws = DiscreteGaussianSampler(5, seed=5, method="vectorized").sample_array(100)
+        assert np.issubdtype(draws.dtype, np.integer)
+
+    def test_reproducible_with_seed(self):
+        a = DiscreteGaussianSampler(9, seed=6, method="vectorized").sample_array(25)
+        b = DiscreteGaussianSampler(9, seed=6, method="vectorized").sample_array(25)
+        assert (a == b).all()
+
+    def test_fractional_variance_accepted(self):
+        sampler = DiscreteGaussianSampler(Fraction(5, 2), seed=7)
+        assert isinstance(sampler.sample(), int)
+
+    def test_large_variance_tail_behaviour(self):
+        # P(|X| > 5 sigma) should be negligible.
+        sampler = DiscreteGaussianSampler(400, seed=8, method="vectorized")
+        draws = sampler.sample_array(20000)
+        assert (np.abs(draws) > 5 * 20).mean() < 1e-3

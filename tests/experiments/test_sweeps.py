@@ -1,0 +1,52 @@
+"""Tests for the scaling-law sweep experiments."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.sweeps import (
+    fit_loglog_slope,
+    run_population_sweep,
+    run_rho_sweep,
+)
+
+
+class TestFitLogLogSlope:
+    def test_exact_power_law(self):
+        x = np.array([1.0, 2.0, 4.0, 8.0])
+        assert fit_loglog_slope(x, x**-0.5) == pytest.approx(-0.5)
+        assert fit_loglog_slope(x, 3.0 * x**-1.0) == pytest.approx(-1.0)
+        assert fit_loglog_slope(x, x**2) == pytest.approx(2.0)
+
+    def test_constant_series_zero_slope(self):
+        x = np.array([1.0, 2.0, 4.0])
+        assert fit_loglog_slope(x, np.full(3, 5.0)) == pytest.approx(0.0)
+
+
+class TestRhoSweep:
+    def test_shape_and_checks(self):
+        result = run_rho_sweep(
+            n_reps=8, seed=0, n=2000, rhos=(0.005, 0.02, 0.08, 0.32)
+        )
+        assert result.all_checks_pass, result.render()
+        # One row per rho plus the slope row.
+        assert len(result.comparison_rows) == 5
+
+    def test_errors_reported_positive(self):
+        result = run_rho_sweep(n_reps=4, seed=1, n=1500, rhos=(0.01, 0.1))
+        numeric_rows = [r for r in result.comparison_rows if isinstance(r["rho"], float)]
+        assert all(row["mean_abs_error"] > 0 for row in numeric_rows)
+
+
+class TestPopulationSweep:
+    def test_shape_and_checks(self):
+        result = run_population_sweep(
+            n_reps=8, seed=2, rho=0.05, sizes=(500, 1000, 2000, 4000)
+        )
+        assert result.all_checks_pass, result.render()
+
+    def test_error_smaller_for_larger_population(self):
+        result = run_population_sweep(
+            n_reps=6, seed=3, rho=0.05, sizes=(500, 8000)
+        )
+        numeric_rows = [r for r in result.comparison_rows if isinstance(r["n"], int)]
+        assert numeric_rows[0]["mean_abs_error"] > numeric_rows[-1]["mean_abs_error"]

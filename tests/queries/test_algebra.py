@@ -1,0 +1,128 @@
+"""Algebraic property tests across the query classes.
+
+These pin down identities the release machinery relies on: weight-count
+combinatorics, lifting composition, and cross-class consistency between
+window and cumulative views of the same data.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.debias import lift_window_weights
+from repro.data.generators import iid_bernoulli, two_state_markov
+from repro.queries.cumulative import HammingAtLeast
+from repro.queries.window import (
+    AtLeastMConsecutiveOnes,
+    AtLeastMOnes,
+    ExactlyMOnes,
+    PatternQuery,
+)
+
+
+class TestWeightCombinatorics:
+    @given(k=st.integers(1, 6), data=st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_at_least_selects_binomial_many_patterns(self, k, data):
+        m = data.draw(st.integers(0, k))
+        query = AtLeastMOnes(k, m)
+        expected = sum(math.comb(k, j) for j in range(m, k + 1))
+        assert query.weight_sum == expected
+
+    @given(k=st.integers(1, 6), data=st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_exactly_selects_binomial(self, k, data):
+        m = data.draw(st.integers(0, k))
+        assert ExactlyMOnes(k, m).weight_sum == math.comb(k, m)
+
+    @given(k=st.integers(1, 6))
+    @settings(max_examples=10, deadline=None)
+    def test_exactly_partitions_at_least(self, k):
+        # sum_m Exactly(m) == AtLeast(0) pointwise in weight space.
+        total = np.zeros(1 << k)
+        for m in range(k + 1):
+            total += ExactlyMOnes(k, m).weights
+        assert (total == AtLeastMOnes(k, 0).weights).all()
+
+    @given(k=st.integers(2, 6), data=st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_consecutive_implies_at_least(self, k, data):
+        # A run of m ones implies at least m ones: weights dominated.
+        m = data.draw(st.integers(0, k))
+        consecutive = AtLeastMConsecutiveOnes(k, m).weights
+        at_least = AtLeastMOnes(k, m).weights
+        assert (consecutive <= at_least).all()
+
+    def test_pattern_queries_partition_unity(self):
+        k = 3
+        total = np.zeros(1 << k)
+        for code in range(1 << k):
+            total += PatternQuery(k, code).weights
+        assert (total == 1.0).all()
+
+
+class TestLiftingAlgebra:
+    @given(k1=st.integers(1, 3), data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_lift_composition(self, k1, data):
+        k2 = data.draw(st.integers(k1, 4))
+        k3 = data.draw(st.integers(k2, 5))
+        weights = data.draw(
+            st.lists(
+                st.floats(-2, 2, allow_nan=False), min_size=1 << k1, max_size=1 << k1
+            )
+        )
+        weights = np.asarray(weights)
+        direct = lift_window_weights(weights, k1, k3)
+        composed = lift_window_weights(lift_window_weights(weights, k1, k2), k2, k3)
+        assert np.allclose(direct, composed)
+
+    @given(k=st.integers(1, 4))
+    @settings(max_examples=10, deadline=None)
+    def test_lift_preserves_weight_sum_scaling(self, k):
+        weights = np.ones(1 << k)
+        lifted = lift_window_weights(weights, k, k + 2)
+        # Each original bin splits into 4 width-(k+2) bins.
+        assert lifted.sum() == pytest.approx(4 * weights.sum())
+
+    def test_lifted_answers_agree_on_data(self):
+        panel = iid_bernoulli(400, 8, 0.35, seed=0)
+        query = AtLeastMOnes(2, 1)
+        t = 6
+        direct = query.evaluate(panel, t)
+        for to_k in (3, 4):
+            lifted = lift_window_weights(query.weights, 2, to_k)
+            hist = panel.suffix_histogram(t, to_k)
+            assert float(lifted @ hist) / panel.n_individuals == pytest.approx(direct)
+
+
+class TestCrossClassConsistency:
+    def test_window_all_ones_equals_cumulative_at_k(self):
+        # At t = k, "all k window ones" == "Hamming weight >= k".
+        panel = two_state_markov(500, 6, 0.8, 0.1, seed=1)
+        k = 4
+        from repro.queries.window import AllOnes
+
+        window_value = AllOnes(k).evaluate(panel, k)
+        cumulative_value = HammingAtLeast(k).evaluate(panel, k)
+        assert window_value == pytest.approx(cumulative_value)
+
+    def test_at_least_one_complement(self):
+        # P(>= 1 one in window) = 1 - P(all-zero pattern).
+        panel = iid_bernoulli(600, 7, 0.4, seed=2)
+        k, t = 3, 5
+        lhs = AtLeastMOnes(k, 1).evaluate(panel, t)
+        rhs = 1.0 - PatternQuery(k, 0).evaluate(panel, t)
+        assert lhs == pytest.approx(rhs)
+
+    @given(seed=st.integers(0, 50), b=st.integers(0, 5))
+    @settings(max_examples=20, deadline=None)
+    def test_hamming_at_least_difference_nonnegative(self, seed, b):
+        panel = iid_bernoulli(100, 6, 0.5, seed=seed)
+        t = 6
+        assert HammingAtLeast(b).evaluate(panel, t) >= HammingAtLeast(b + 1).evaluate(
+            panel, t
+        )

@@ -1,0 +1,140 @@
+"""Tests for cumulative time queries."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import LongitudinalDataset
+from repro.data.generators import iid_bernoulli
+from repro.exceptions import ConfigurationError
+from repro.queries.cumulative import (
+    HammingAtLeast,
+    HammingExactly,
+    cumulative_as_window_weights,
+)
+from repro.queries.window import WindowLinearQuery
+
+
+class TestHammingAtLeast:
+    def test_b_zero_always_one(self, tiny_panel):
+        assert HammingAtLeast(0).evaluate(tiny_panel, 3) == 1.0
+
+    def test_known_values(self, tiny_panel):
+        # Weights through t=5: [3, 1, 5, 1].
+        assert HammingAtLeast(1).evaluate(tiny_panel, 5) == 1.0
+        assert HammingAtLeast(2).evaluate(tiny_panel, 5) == pytest.approx(0.5)
+        assert HammingAtLeast(4).evaluate(tiny_panel, 5) == pytest.approx(0.25)
+
+    def test_monotone_in_b(self, markov_panel):
+        values = [HammingAtLeast(b).evaluate(markov_panel, 10) for b in range(11)]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_monotone_in_t(self, markov_panel):
+        query = HammingAtLeast(2)
+        values = [query.evaluate(markov_panel, t) for t in range(1, 13)]
+        assert all(a <= b for a, b in zip(values, values[1:]))
+
+    def test_impossible_threshold_zero(self, tiny_panel):
+        assert HammingAtLeast(4).evaluate(tiny_panel, 3) == 0.0
+
+    def test_negative_b_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HammingAtLeast(-1)
+
+
+class TestHammingExactly:
+    def test_partitions_unity(self, markov_panel):
+        t = 8
+        total = sum(HammingExactly(b).evaluate(markov_panel, t) for b in range(t + 1))
+        assert total == pytest.approx(1.0)
+
+    def test_difference_identity(self, markov_panel):
+        t = 9
+        for b in range(5):
+            expected = HammingAtLeast(b).evaluate(markov_panel, t) - HammingAtLeast(
+                b + 1
+            ).evaluate(markov_panel, t)
+            assert HammingExactly(b).evaluate(markov_panel, t) == pytest.approx(expected)
+
+    def test_negative_b_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HammingExactly(-2)
+
+
+class TestReductionToWindowQueries:
+    def test_weights_shape(self):
+        weights = cumulative_as_window_weights(4, 2)
+        assert weights.shape == (16,)
+
+    def test_weights_select_heavy_patterns(self):
+        weights = cumulative_as_window_weights(3, 2)
+        # Patterns with >= 2 ones: 011, 101, 110, 111 -> codes 3, 5, 6, 7.
+        assert weights.tolist() == [0, 0, 0, 1, 0, 1, 1, 1]
+
+    def test_reduction_agrees_with_direct_evaluation(self):
+        # Section 2.1: with k = T the cumulative query is a window query.
+        panel = iid_bernoulli(300, 6, 0.45, seed=2)
+        horizon = panel.horizon
+        for b in (1, 3, 5):
+            window_query = WindowLinearQuery(
+                horizon, cumulative_as_window_weights(horizon, b), name=f"c_{b}"
+            )
+            direct = HammingAtLeast(b).evaluate(panel, horizon)
+            via_window = window_query.evaluate(panel, horizon)
+            assert direct == pytest.approx(via_window)
+
+    def test_b_zero_selects_everything(self):
+        weights = cumulative_as_window_weights(3, 0)
+        assert (weights == 1.0).all()
+
+    def test_guards(self):
+        with pytest.raises(ConfigurationError):
+            cumulative_as_window_weights(0, 1)
+        with pytest.raises(ConfigurationError):
+            cumulative_as_window_weights(25, 1)
+        with pytest.raises(ConfigurationError):
+            cumulative_as_window_weights(4, -1)
+
+
+class TestWorkloads:
+    def test_quarterly_workload_composition(self):
+        from repro.queries.workloads import quarterly_poverty_workload
+
+        workload = quarterly_poverty_workload(3)
+        names = [query.name for query in workload]
+        assert names == [
+            "at_least_1_of_3",
+            "at_least_2_of_3",
+            "at_least_2_consecutive_of_3",
+            "all_3",
+        ]
+
+    def test_quarterly_workload_ordering(self, markov_panel):
+        from repro.queries.workloads import quarterly_poverty_workload
+
+        workload = quarterly_poverty_workload(3)
+        values = [query.evaluate(markov_panel, 6) for query in workload]
+        # at-least-1 >= at-least-2 >= at-least-2-consecutive >= all-3.
+        assert values[0] >= values[1] >= values[2] >= values[3]
+
+    def test_quarter_ends(self):
+        from repro.queries.workloads import quarter_ends
+
+        assert quarter_ends(12, 3) == [3, 6, 9, 12]
+        assert quarter_ends(8, 3) == [3, 6]
+
+    def test_quarter_ends_guard(self):
+        from repro.queries.workloads import quarter_ends
+
+        with pytest.raises(ConfigurationError):
+            quarter_ends(2, 3)
+
+    def test_cumulative_series_factory(self):
+        from repro.queries.workloads import cumulative_threshold_series
+
+        assert cumulative_threshold_series(4).b == 4
+
+    def test_workload_k_guard(self):
+        from repro.queries.workloads import quarterly_poverty_workload
+
+        with pytest.raises(ConfigurationError):
+            quarterly_poverty_workload(1)

@@ -1,0 +1,138 @@
+"""Tests for fixed time window queries."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.dataset import LongitudinalDataset
+from repro.data.generators import iid_bernoulli
+from repro.exceptions import ConfigurationError
+from repro.queries.window import (
+    AllOnes,
+    AtLeastMConsecutiveOnes,
+    AtLeastMOnes,
+    ExactlyMOnes,
+    PatternQuery,
+    WindowLinearQuery,
+    pattern_bits,
+)
+
+
+class TestPatternBits:
+    def test_big_endian_decoding(self):
+        assert pattern_bits(0b101, 3) == (1, 0, 1)
+        assert pattern_bits(0b001, 3) == (0, 0, 1)
+
+    def test_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            pattern_bits(8, 3)
+
+
+class TestPatternQuery:
+    def test_from_code_and_bits_agree(self):
+        by_code = PatternQuery(3, 0b110)
+        by_bits = PatternQuery(3, (1, 1, 0))
+        assert by_code.pattern_code == by_bits.pattern_code == 6
+
+    def test_one_hot_weights(self):
+        query = PatternQuery(2, 0b10)
+        assert query.weights.tolist() == [0, 0, 1, 0]
+
+    def test_invalid_bits(self):
+        with pytest.raises(ConfigurationError):
+            PatternQuery(3, (1, 0))
+        with pytest.raises(ConfigurationError):
+            PatternQuery(2, (1, 2))
+
+    def test_evaluate(self, tiny_panel):
+        # Windows at t=3, k=2: codes [1,1,3,0].
+        assert PatternQuery(2, 0b01).evaluate(tiny_panel, 3) == pytest.approx(0.5)
+        assert PatternQuery(2, 0b11).evaluate(tiny_panel, 3) == pytest.approx(0.25)
+
+    def test_min_time(self):
+        query = PatternQuery(3, 0)
+        with pytest.raises(ConfigurationError):
+            query.evaluate(LongitudinalDataset([[0, 0, 0]]), 2)
+
+
+class TestNamedQueries:
+    def test_at_least_zero_is_always_one(self, tiny_panel):
+        assert AtLeastMOnes(2, 0).evaluate(tiny_panel, 3) == 1.0
+
+    def test_at_least_counts(self, tiny_panel):
+        # t=5, k=3 windows: rows are (1,1,0),(1,0,0),(1,1,1),(0,0,1).
+        assert AtLeastMOnes(3, 1).evaluate(tiny_panel, 5) == pytest.approx(1.0)
+        assert AtLeastMOnes(3, 2).evaluate(tiny_panel, 5) == pytest.approx(0.5)
+        assert AtLeastMOnes(3, 3).evaluate(tiny_panel, 5) == pytest.approx(0.25)
+
+    def test_consecutive_vs_total(self, tiny_panel):
+        # Window (1,0,1) has two ones but no two consecutive.
+        panel = LongitudinalDataset([[1, 0, 1]])
+        assert AtLeastMOnes(3, 2).evaluate(panel, 3) == 1.0
+        assert AtLeastMConsecutiveOnes(3, 2).evaluate(panel, 3) == 0.0
+
+    def test_all_ones_query(self, tiny_panel):
+        assert AllOnes(3).evaluate(tiny_panel, 5) == pytest.approx(0.25)
+
+    def test_exactly_m(self, tiny_panel):
+        assert ExactlyMOnes(3, 2).evaluate(tiny_panel, 5) == pytest.approx(0.25)
+
+    def test_exactly_partitions_unity(self):
+        panel = iid_bernoulli(500, 6, 0.4, seed=0)
+        total = sum(ExactlyMOnes(3, m).evaluate(panel, 4) for m in range(4))
+        assert total == pytest.approx(1.0)
+
+    def test_at_least_decomposes_into_exactly(self):
+        panel = iid_bernoulli(500, 6, 0.4, seed=1)
+        lhs = AtLeastMOnes(3, 2).evaluate(panel, 5)
+        rhs = ExactlyMOnes(3, 2).evaluate(panel, 5) + ExactlyMOnes(3, 3).evaluate(panel, 5)
+        assert lhs == pytest.approx(rhs)
+
+    def test_invalid_m(self):
+        with pytest.raises(ConfigurationError):
+            AtLeastMOnes(3, 4)
+        with pytest.raises(ConfigurationError):
+            ExactlyMOnes(3, -1)
+
+    def test_names_are_stable(self):
+        assert AtLeastMOnes(3, 1).name == "at_least_1_of_3"
+        assert AtLeastMConsecutiveOnes(3, 2).name == "at_least_2_consecutive_of_3"
+        assert AllOnes(3).name == "all_3"
+
+
+class TestWindowLinearQuery:
+    def test_weights_validated(self):
+        with pytest.raises(ConfigurationError):
+            WindowLinearQuery(2, [1.0, 2.0, 3.0])  # wrong length
+
+    def test_from_predicate(self):
+        query = WindowLinearQuery.from_predicate(2, lambda bits: bits[0] == 1, "starts1")
+        assert query.weights.tolist() == [0, 0, 1, 1]
+
+    def test_evaluate_histogram_consistency(self, markov_panel):
+        query = AtLeastMOnes(3, 1)
+        hist = markov_panel.suffix_histogram(6, 3)
+        direct = query.evaluate(markov_panel, 6)
+        via_hist = query.evaluate_histogram(hist, markov_panel.n_individuals)
+        assert direct == pytest.approx(via_hist)
+
+    def test_evaluate_histogram_validation(self):
+        query = AtLeastMOnes(2, 1)
+        with pytest.raises(ConfigurationError):
+            query.evaluate_histogram(np.zeros(3), 10)
+        with pytest.raises(ConfigurationError):
+            query.evaluate_histogram(np.zeros(4), 0)
+
+    def test_weight_sum_and_l2(self):
+        query = AtLeastMOnes(2, 1)  # weights [0,1,1,1]
+        assert query.weight_sum == pytest.approx(3.0)
+        assert query.weight_l2 == pytest.approx(np.sqrt(3.0))
+
+    @given(st.integers(1, 5), st.data())
+    @settings(max_examples=20, deadline=None)
+    def test_indicator_queries_bounded(self, k, data):
+        m = data.draw(st.integers(0, k))
+        panel = iid_bernoulli(50, k + 2, 0.5, seed=data.draw(st.integers(0, 100)))
+        value = AtLeastMOnes(k, m).evaluate(panel, k + 1)
+        assert 0.0 <= value <= 1.0

@@ -1,0 +1,51 @@
+"""Tests for the stream-counter registry."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.streams.base import StreamCounter
+from repro.streams.registry import (
+    _REGISTRY,
+    available_counters,
+    make_counter,
+    register_counter,
+)
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        names = available_counters()
+        for expected in ("binary_tree", "simple", "honaker", "sqrt_factorization", "block"):
+            assert expected in names
+
+    def test_available_counters_sorted(self):
+        names = available_counters()
+        assert list(names) == sorted(names)
+
+    def test_make_counter_unknown_name(self):
+        with pytest.raises(ConfigurationError, match="unknown counter"):
+            make_counter("nonexistent", horizon=4, rho=1.0)
+
+    def test_make_counter_forwards_kwargs(self):
+        counter = make_counter("block", horizon=12, rho=1.0, block_size=3)
+        assert counter.block_size == 3
+
+    def test_register_custom_counter(self):
+        @register_counter("test_custom")
+        class CustomCounter(StreamCounter):
+            def _feed(self, z):
+                return float(self._true_sum)
+
+            def error_stddev(self, t):
+                return 0.0
+
+        try:
+            counter = make_counter("test_custom", horizon=4, rho=1.0)
+            assert counter.feed(3) == 3.0
+        finally:
+            del _REGISTRY["test_custom"]
+
+    def test_register_rejects_non_counter(self):
+        decorator = register_counter("bogus")
+        with pytest.raises(ConfigurationError):
+            decorator(dict)

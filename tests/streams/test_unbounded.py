@@ -1,0 +1,81 @@
+"""Tests for the unknown-horizon counter."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.streams.binary_tree import BinaryTreeCounter
+from repro.streams.unbounded import UnknownHorizonCounter
+
+
+class TestUnknownHorizonCounter:
+    def test_noiseless_exact_arbitrary_length(self):
+        counter = UnknownHorizonCounter(math.inf, seed=0)
+        stream = list(np.random.default_rng(0).integers(0, 5, size=45))
+        assert np.allclose(counter.run(stream), np.cumsum(stream))
+
+    def test_never_exhausts(self):
+        counter = UnknownHorizonCounter(0.5, seed=1, noise_method="vectorized")
+        for _ in range(200):  # far beyond any single segment
+            counter.feed(1)
+        assert counter.t == 200
+
+    def test_segment_structure(self):
+        counter = UnknownHorizonCounter(0.5, seed=2, noise_method="vectorized")
+        # Segments have lengths 1, 2, 4, 8, ...: after 7 elements the
+        # counter is inside its third segment; after 8 it opened the fourth.
+        for _ in range(7):
+            counter.feed(0)
+        assert counter._segment_index == 2
+        counter.feed(0)
+        assert counter._segment_index == 3
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            UnknownHorizonCounter(0.0)
+        counter = UnknownHorizonCounter(1.0, seed=3)
+        with pytest.raises(ConfigurationError):
+            counter.feed(-1)
+
+    def test_unbiased(self):
+        stream = [1] * 20
+        finals = []
+        for seed in range(200):
+            counter = UnknownHorizonCounter(0.5, seed=seed, noise_method="vectorized")
+            finals.append(counter.run(stream)[-1])
+        standard_error = np.std(finals) / math.sqrt(len(finals))
+        assert abs(np.mean(finals) - 20) < 5 * standard_error + 1e-9
+
+    def test_empirical_error_matches_prediction(self):
+        stream = [1] * 30
+        errors = []
+        for seed in range(300):
+            counter = UnknownHorizonCounter(0.5, seed=seed, noise_method="vectorized")
+            errors.append(counter.run(stream)[-1] - 30)
+        predicted = UnknownHorizonCounter(0.5).error_stddev(30)
+        assert abs(np.std(errors) / predicted - 1.0) < 0.30
+
+    def test_price_of_unknown_horizon(self):
+        # Worst case over the horizon, the unbounded counter costs more
+        # than a known-horizon tree at the same budget (it cannot exploit
+        # T), but stays within a small polylog factor.
+        horizon = 63
+        unbounded = UnknownHorizonCounter(0.5)
+        known = BinaryTreeCounter(horizon, 0.5)
+        worst_unbounded = max(unbounded.error_stddev(t) for t in range(1, horizon + 1))
+        worst_known = max(known.error_stddev(t) for t in range(1, horizon + 1))
+        assert worst_unbounded > worst_known
+        assert worst_unbounded < 6 * worst_known
+
+    def test_error_stddev_monotone_overall(self):
+        counter = UnknownHorizonCounter(0.5)
+        # Not pointwise monotone (tree popcount effects), but growing over
+        # segment scales.
+        assert counter.error_stddev(64) > counter.error_stddev(4)
+
+    def test_repr(self):
+        counter = UnknownHorizonCounter(0.5, seed=4)
+        counter.feed(1)
+        assert "segments=1" in repr(counter)
