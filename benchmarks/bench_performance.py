@@ -62,7 +62,19 @@ class TestSynthesizerRounds:
     def test_cumulative_full_run_sipp_scale(self, benchmark, panel):
         def run():
             synth = CumulativeSynthesizer(
-                horizon=12, rho=0.005, seed=6, noise_method="vectorized"
+                horizon=12, rho=0.005, seed=6, engine="scalar",
+                noise_method="vectorized",
+            )
+            return synth.run(panel)
+
+        benchmark.pedantic(run, rounds=3, iterations=1)
+
+    def test_cumulative_full_run_bank_engine(self, benchmark, panel):
+        # Same workload as above on the vectorized CounterBank engine.
+        def run():
+            synth = CumulativeSynthesizer(
+                horizon=12, rho=0.005, seed=6, engine="vectorized",
+                noise_method="vectorized",
             )
             return synth.run(panel)
 

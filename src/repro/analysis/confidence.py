@@ -128,11 +128,14 @@ def cumulative_answer_ci(
         )
     estimate = release.answer(query, t)
     synthesizer = release._synth
-    counter = synthesizer._counters.get(query.b)
-    if counter is None:
-        # Threshold not yet active: the estimate is the exact constant 0.
+    if not 1 <= query.b <= synthesizer.horizon:
+        # b = 0 (everyone) and b > T (no one) are exact constants.
         return estimate, estimate
     position = max(t - query.b + 1, 1)
-    stddev = counter.error_stddev(position) / release.m
+    raw_stddev = synthesizer.counter_error_stddev(query.b, position)
+    if raw_stddev is None:
+        # Threshold not yet active: the estimate is the exact constant 0.
+        return estimate, estimate
+    stddev = raw_stddev / release.m
     z = normal_quantile(level)
     return estimate - z * stddev, estimate + z * stddev

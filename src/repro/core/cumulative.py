@@ -42,7 +42,12 @@ from repro.exceptions import (
 )
 from repro.queries.cumulative import HammingAtLeast, HammingExactly
 from repro.rng import SeedLike, as_generator, spawn
-from repro.streams.registry import available_counters, make_counter
+from repro.streams.registry import (
+    available_counters,
+    make_bank,
+    make_counter,
+    resolve_engine,
+)
 
 __all__ = ["CumulativeSynthesizer", "CumulativeRelease"]
 
@@ -128,6 +133,14 @@ class CumulativeSynthesizer:
     budget:
         ``"corollary_b1"`` (default), ``"uniform"``, or an explicit
         length-``T`` sequence of per-threshold budgets summing to ``rho``.
+    engine:
+        ``"vectorized"`` advances all per-threshold counters as one
+        batched :class:`~repro.streams.bank.CounterBank`; ``"scalar"``
+        keeps the original one-Python-object-per-threshold path.  The
+        default ``None`` consults ``$REPRO_ENGINE`` and falls back to
+        ``"vectorized"``.  Both engines produce bit-identical releases
+        under a fixed seed in noiseless mode and charge the zCDP ledger
+        identically.
     noise_method:
         ``"exact"`` or ``"vectorized"`` noise backend for the counters.
     counter_kwargs:
@@ -142,6 +155,7 @@ class CumulativeSynthesizer:
         counter: str = "binary_tree",
         budget="corollary_b1",
         seed: SeedLike = None,
+        engine: str | None = None,
         noise_method: str = "exact",
         counter_kwargs: dict | None = None,
     ):
@@ -153,9 +167,11 @@ class CumulativeSynthesizer:
             raise ConfigurationError(
                 f"unknown counter {counter!r}; available: {sorted(available_counters())}"
             )
+        engine = resolve_engine(engine)
         self.horizon = int(horizon)
         self.rho = float(rho)
         self.counter_name = counter
+        self.engine = engine
         self.noise_method = noise_method
         self._counter_kwargs = dict(counter_kwargs or {})
         self._generator = as_generator(seed)
@@ -163,9 +179,23 @@ class CumulativeSynthesizer:
         self.accountant = None if math.isinf(self.rho) else ZCDPAccountant(self.rho)
 
         # Counter b (1-indexed) sees the stream z_b^t for t = b..T, of
-        # length T - b + 1; it is created lazily at round b.
+        # length T - b + 1.  Both engines spawn the same per-threshold seed
+        # streams so the surrounding randomness (synthetic store) matches.
         self._counter_seeds = spawn(self._generator, self.horizon)
         self._counters: dict[int, object] = {}
+        self._bank = (
+            make_bank(
+                counter,
+                horizon=self.horizon,
+                rho_per_threshold=self.rho_per_threshold,
+                seeds=self._counter_seeds,
+                noise_method=noise_method,
+                counter_kwargs=self._counter_kwargs,
+            )
+            if engine == "vectorized"
+            else None
+        )
+        self._release_view = CumulativeRelease(self)
 
         self._t = 0
         self._n: int | None = None
@@ -184,8 +214,13 @@ class CumulativeSynthesizer:
 
     @property
     def release(self) -> CumulativeRelease:
-        """View of everything released so far."""
-        return CumulativeRelease(self)
+        """View of everything released so far (one cached instance)."""
+        return self._release_view
+
+    @property
+    def bank(self):
+        """The vectorized counter bank (``None`` under ``engine="scalar"``)."""
+        return self._bank
 
     def observe_column(self, column) -> CumulativeRelease:
         """Consume the round-``t`` report vector ``D_t`` and update."""
@@ -212,10 +247,20 @@ class CumulativeSynthesizer:
         self._orig_weights += column
 
         # Stage 1: feed the active counters, collect noisy totals.
-        noisy = np.empty(t, dtype=np.int64)
-        for b in range(1, t + 1):
-            counter = self._get_counter(b)
-            noisy[b - 1] = round(float(counter.feed(int(z[b - 1]))))
+        if self._bank is not None:
+            # One batched advance of every active counter; threshold b = t
+            # activates this round, so its budget is charged now (the
+            # ledger matches the scalar engine's lazy per-counter charges).
+            noisy = np.rint(self._bank.feed(z)).astype(np.int64)
+            if self.accountant is not None:
+                self.accountant.charge(
+                    float(self.rho_per_threshold[t - 1]), label=f"stream counter b={t}"
+                )
+        else:
+            noisy = np.empty(t, dtype=np.int64)
+            for b in range(1, t + 1):
+                counter = self._get_counter(b)
+                noisy[b - 1] = round(float(counter.feed(int(z[b - 1]))))
 
         # Stage 2: monotonize against the previous round and extend records.
         previous = self._table[t - 1, : t + 1]
@@ -240,6 +285,25 @@ class CumulativeSynthesizer:
         for column in dataset.columns():
             self.observe_column(column)
         return self.release
+
+    def counter_error_stddev(self, b: int, position: int) -> float | None:
+        """Error stddev of threshold ``b``'s counter at local stream ``position``.
+
+        Engine-agnostic accessor used by the confidence-interval machinery:
+        returns ``None`` while threshold ``b`` has not activated yet (its
+        estimate is the exact constant 0), otherwise the counter's / bank
+        row's analytic stddev.
+        """
+        if not 1 <= b <= self.horizon:
+            raise ConfigurationError(f"b must lie in [1, {self.horizon}], got {b}")
+        if self._bank is not None:
+            if b > self._bank.active:
+                return None
+            return self._bank.error_stddev(b, position)
+        counter = self._counters.get(b)
+        if counter is None:
+            return None
+        return counter.error_stddev(position)
 
     def check_invariants(self) -> bool:
         """Verify the release invariants (used by tests and examples).

@@ -114,6 +114,49 @@ class DiscreteGaussianSampler:
             flat = self._sample_vectorized(size)
         return flat.reshape(shape)
 
+    def sample_columns(self, sigma_sqs) -> np.ndarray:
+        """One draw per column with *per-column* variances (heterogeneous).
+
+        ``sigma_sqs`` is a sequence of non-negative variances (floats or
+        :class:`~fractions.Fraction`); entry ``j`` of the returned int64
+        vector is an independent ``N_Z(0, sigma_sqs[j])`` draw (exactly 0
+        where ``sigma_sqs[j] == 0``).  The instance's own ``sigma_sq`` is
+        ignored — this is the batched API used by the vectorized counter
+        banks, which run many sub-mechanisms with different budgets and
+        need a single noise draw per round.
+        """
+        if self.method == "exact":
+            return self._sample_columns_exact(sigma_sqs)
+        sigma_sqs = np.asarray(
+            [float(s) for s in sigma_sqs] if not isinstance(sigma_sqs, np.ndarray) else sigma_sqs,
+            dtype=np.float64,
+        )
+        return _sample_heterogeneous_gaussian(sigma_sqs, self._generator)
+
+    def sample_array_2d(self, sigma_sqs, n_rows: int) -> np.ndarray:
+        """``(n_rows, len(sigma_sqs))`` i.i.d. draws, column ``j`` at scale ``sigma_sqs[j]``."""
+        if n_rows < 0:
+            raise ValueError(f"n_rows must be non-negative, got {n_rows}")
+        n_cols = len(sigma_sqs)
+        if self.method == "exact":
+            rows = [self._sample_columns_exact(sigma_sqs) for _ in range(n_rows)]
+            return (
+                np.stack(rows) if rows else np.zeros((0, n_cols), dtype=np.int64)
+            )
+        tiled = np.tile(np.asarray([float(s) for s in sigma_sqs], dtype=np.float64), n_rows)
+        return _sample_heterogeneous_gaussian(tiled, self._generator).reshape(n_rows, n_cols)
+
+    def _sample_columns_exact(self, sigma_sqs) -> np.ndarray:
+        out = np.zeros(len(sigma_sqs), dtype=np.int64)
+        for j, sigma_sq in enumerate(sigma_sqs):
+            if not isinstance(sigma_sq, Fraction):
+                sigma_sq = Fraction(sigma_sq).limit_denominator(10**12)
+            if sigma_sq < 0:
+                raise ValueError(f"sigma_sq must be non-negative, got {sigma_sq}")
+            if sigma_sq:
+                out[j] = sample_discrete_gaussian(sigma_sq, self._exact)
+        return out
+
     def _sample_vectorized(self, size: int) -> np.ndarray:
         """Batch rejection sampling with float acceptance probabilities."""
         sigma_sq = float(self.sigma_sq)
@@ -136,3 +179,36 @@ class DiscreteGaussianSampler:
             out[filled : filled + take] = accepted[:take]
             filled += take
         return out
+
+
+def _sample_heterogeneous_gaussian(
+    sigma_sqs: np.ndarray, generator: np.random.Generator
+) -> np.ndarray:
+    """One ``N_Z(0, sigma_sqs[j])`` draw per entry, in a single rejection loop.
+
+    The same Canonne-Kamath-Steinke rejection scheme as the homogeneous
+    vectorized path, but every entry carries its own proposal scale and
+    acceptance probability; entries that reject are retried together until
+    all are filled.  Zero-variance entries yield exactly 0.
+    """
+    if (sigma_sqs < 0).any():
+        raise ValueError("sigma_sq entries must be non-negative")
+    out = np.zeros(sigma_sqs.shape, dtype=np.int64)
+    pending = np.flatnonzero(sigma_sqs > 0)
+    if pending.size == 0:
+        return out
+    sigma_sq = sigma_sqs[pending]
+    t = np.sqrt(np.floor(sigma_sq)).astype(np.int64) + 1
+    q = 1.0 - np.exp(-1.0 / t)
+    ratio = sigma_sq / t
+    while pending.size:
+        g1 = generator.geometric(q) - 1
+        g2 = generator.geometric(q) - 1
+        y = (g1 - g2).astype(np.int64)
+        gamma = (np.abs(y) - ratio) ** 2 / (2.0 * sigma_sq)
+        accept = generator.random(pending.size) < np.exp(-gamma)
+        out[pending[accept]] = y[accept]
+        keep = ~accept
+        pending = pending[keep]
+        sigma_sq, t, q, ratio = sigma_sq[keep], t[keep], q[keep], ratio[keep]
+    return out

@@ -122,3 +122,56 @@ class DiscreteLaplaceSampler:
         g1 = self._generator.geometric(q, size=size) - 1
         g2 = self._generator.geometric(q, size=size) - 1
         return (g1 - g2).astype(np.int64)
+
+    def sample_columns(self, scales) -> np.ndarray:
+        """One draw per column with *per-column* scales (heterogeneous).
+
+        ``scales`` is a sequence of non-negative scales; entry ``j`` of the
+        returned int64 vector is an independent ``Lap_Z(scales[j])`` draw
+        (exactly 0 where ``scales[j] == 0``, the noiseless convention used
+        by the counter banks).  The instance's own ``scale`` is ignored.
+        """
+        if self.method == "exact":
+            return self._sample_columns_exact(scales)
+        return _sample_heterogeneous_laplace(
+            np.asarray([float(s) for s in scales], dtype=np.float64), self._generator
+        )
+
+    def sample_array_2d(self, scales, n_rows: int) -> np.ndarray:
+        """``(n_rows, len(scales))`` i.i.d. draws, column ``j`` at scale ``scales[j]``."""
+        if n_rows < 0:
+            raise ValueError(f"n_rows must be non-negative, got {n_rows}")
+        n_cols = len(scales)
+        if self.method == "exact":
+            rows = [self._sample_columns_exact(scales) for _ in range(n_rows)]
+            return np.stack(rows) if rows else np.zeros((0, n_cols), dtype=np.int64)
+        tiled = np.tile(np.asarray([float(s) for s in scales], dtype=np.float64), n_rows)
+        return _sample_heterogeneous_laplace(tiled, self._generator).reshape(n_rows, n_cols)
+
+    def _sample_columns_exact(self, scales) -> np.ndarray:
+        out = np.zeros(len(scales), dtype=np.int64)
+        for j, scale in enumerate(scales):
+            if not isinstance(scale, Fraction):
+                scale = Fraction(scale).limit_denominator(10**12)
+            if scale < 0:
+                raise ValueError(f"scale must be non-negative, got {scale}")
+            if scale:
+                out[j] = sample_discrete_laplace(scale, self._exact)
+        return out
+
+
+def _sample_heterogeneous_laplace(
+    scales: np.ndarray, generator: np.random.Generator
+) -> np.ndarray:
+    """One ``Lap_Z(scales[j])`` draw per entry; zero-scale entries yield 0."""
+    if (scales < 0).any():
+        raise ValueError("scale entries must be non-negative")
+    out = np.zeros(scales.shape, dtype=np.int64)
+    active = np.flatnonzero(scales > 0)
+    if active.size == 0:
+        return out
+    q = 1.0 - np.exp(-1.0 / scales[active])
+    g1 = generator.geometric(q) - 1
+    g2 = generator.geometric(q) - 1
+    out[active] = (g1 - g2).astype(np.int64)
+    return out

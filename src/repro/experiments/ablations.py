@@ -26,7 +26,7 @@ from repro.baselines.recompute import RecomputeBaseline, ever_spell_fraction
 from repro.core.cumulative import CumulativeSynthesizer
 from repro.core.fixed_window import FixedWindowSynthesizer
 from repro.data.generators import two_state_markov
-from repro.experiments.config import FigureResult
+from repro.experiments.config import FigureResult, default_engine
 from repro.queries.cumulative import HammingAtLeast
 from repro.queries.window import AllOnes, AtLeastMOnes
 from repro.rng import SeedLike, spawn
@@ -64,9 +64,11 @@ def run_counter_ablation(
     n_reps: int = 10,
     seed: SeedLike = 0,
     noise_method: str = "vectorized",
+    engine: str | None = None,
 ) -> FigureResult:
     """Algorithm 2 with every registered counter, same data and budget."""
     panel = ablation_panel()
+    engine = default_engine() if engine is None else engine
     thresholds = range(1, _HORIZON + 1)
     times = range(1, _HORIZON + 1)
     rows = []
@@ -78,6 +80,7 @@ def run_counter_ablation(
                 rho=rho,
                 counter=name,
                 seed=generator,
+                engine=engine,
                 noise_method=noise_method,
             )
             release = synthesizer.run(panel)
@@ -93,7 +96,13 @@ def run_counter_ablation(
     result = FigureResult(
         experiment_id="abl-counter",
         title="Algorithm 2 instantiated with different stream counters",
-        parameters={"rho": rho, "n": panel.n_individuals, "T": _HORIZON, "reps": n_reps},
+        parameters={
+            "rho": rho,
+            "n": panel.n_individuals,
+            "T": _HORIZON,
+            "reps": n_reps,
+            "engine": engine,
+        },
         paper_expectation=(
             "The binary tree counter (paper's choice) beats the naive "
             "counter; improved counters may do better still (paper §1.1)."
@@ -203,9 +212,11 @@ def run_budget_ablation(
     n_reps: int = 10,
     seed: SeedLike = 0,
     noise_method: str = "vectorized",
+    engine: str | None = None,
 ) -> FigureResult:
     """Uniform vs Corollary B.1 budget split across thresholds."""
     panel = ablation_panel()
+    engine = default_engine() if engine is None else engine
     thresholds = range(1, _HORIZON + 1)
     times = range(1, _HORIZON + 1)
     rows = []
@@ -217,6 +228,7 @@ def run_budget_ablation(
                 rho=rho,
                 budget=budget,
                 seed=generator,
+                engine=engine,
                 noise_method=noise_method,
             )
             release = synthesizer.run(panel)
@@ -231,7 +243,13 @@ def run_budget_ablation(
     result = FigureResult(
         experiment_id="abl-budget",
         title="Budget split across thresholds: uniform vs Corollary B.1",
-        parameters={"rho": rho, "n": panel.n_individuals, "T": _HORIZON, "reps": n_reps},
+        parameters={
+            "rho": rho,
+            "n": panel.n_individuals,
+            "T": _HORIZON,
+            "reps": n_reps,
+            "engine": engine,
+        },
         paper_expectation=(
             "Corollary B.1's cubic-log weights equalize per-counter bounds; "
             "worst-case error should be no worse than the uniform split."
@@ -344,9 +362,11 @@ def run_bound_checks(
     seed: SeedLike = 0,
     rho: float = 0.05,
     noise_method: str = "vectorized",
+    engine: str | None = None,
 ) -> FigureResult:
     """Empirical max errors vs Theorem 3.2 and Corollary B.1 bounds."""
     panel = ablation_panel()
+    engine = default_engine() if engine is None else engine
     window = 3
     beta = 0.05
 
@@ -373,7 +393,11 @@ def run_bound_checks(
     worst_cumulative = []
     for generator in spawn(seed, n_reps):
         synthesizer = CumulativeSynthesizer(
-            horizon=_HORIZON, rho=rho, seed=generator, noise_method=noise_method
+            horizon=_HORIZON,
+            rho=rho,
+            seed=generator,
+            engine=engine,
+            noise_method=noise_method,
         )
         release = synthesizer.run(panel)
         worst_cumulative.append(

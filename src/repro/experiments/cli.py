@@ -13,7 +13,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.experiments.config import default_reps
+from repro.experiments.config import ENGINES, default_engine, default_reps
 from repro.experiments.registry import get_experiment, list_experiments
 
 __all__ = ["main", "build_parser"]
@@ -31,12 +31,19 @@ def build_parser() -> argparse.ArgumentParser:
 
     run_parser = subparsers.add_parser("run", help="run one experiment")
     run_parser.add_argument("experiment_id", help="e.g. fig1, fig3, abl-counter")
-    run_parser.add_argument("--reps", type=int, default=default_reps)
-    run_parser.add_argument("--seed", type=int, default=0)
-
-    all_parser = subparsers.add_parser("all", help="run every experiment")
-    all_parser.add_argument("--reps", type=int, default=default_reps)
-    all_parser.add_argument("--seed", type=int, default=0)
+    for sub in (run_parser, subparsers.add_parser("all", help="run every experiment")):
+        sub.add_argument("--reps", type=int, default=default_reps)
+        sub.add_argument("--seed", type=int, default=0)
+        sub.add_argument(
+            "--engine",
+            choices=ENGINES,
+            default=default_engine(),
+            help=(
+                "stream-counter engine for Algorithm 2: the batched "
+                "'vectorized' CounterBank (default, or $REPRO_ENGINE) or "
+                "the per-threshold 'scalar' reference path"
+            ),
+        )
     return parser
 
 
@@ -48,13 +55,17 @@ def main(argv: list[str] | None = None) -> int:
             print(experiment_id)
         return 0
     if args.command == "run":
-        result = get_experiment(args.experiment_id)(args.reps, seed=args.seed)
+        result = get_experiment(args.experiment_id)(
+            args.reps, seed=args.seed, engine=args.engine
+        )
         print(result.render())
         return 0 if result.all_checks_pass else 1
     # command == "all"
     exit_code = 0
     for experiment_id in list_experiments():
-        result = get_experiment(experiment_id)(args.reps, seed=args.seed)
+        result = get_experiment(experiment_id)(
+            args.reps, seed=args.seed, engine=args.engine
+        )
         print(result.render())
         print()
         if not result.all_checks_pass:

@@ -7,14 +7,40 @@ from dataclasses import dataclass, field
 
 from repro.analysis.metrics import SeriesSummary
 from repro.analysis.tables import render_comparison_table, render_series_table
+from repro.streams.registry import ENGINES as _ENGINES
+from repro.streams.registry import resolve_engine
 
-__all__ = ["FigureResult", "bench_reps", "default_reps", "PAPER_REPS"]
+__all__ = [
+    "FigureResult",
+    "bench_reps",
+    "default_reps",
+    "default_engine",
+    "ENGINES",
+    "PAPER_REPS",
+]
 
 #: Repetition count used by the paper's figures.
 PAPER_REPS = 1000
 
 #: Default repetition count for interactive / CI runs.
 default_reps = 25
+
+#: Counter-engine choices for Algorithm 2 (see repro.streams.bank).
+ENGINES = _ENGINES
+
+
+def default_engine() -> str:
+    """Counter engine used by experiment runs.
+
+    Controlled by the ``REPRO_ENGINE`` environment variable
+    (``"vectorized"`` or ``"scalar"``) so any sweep or benchmark can be
+    re-run against the scalar reference engine without code changes.
+    Delegates to :func:`repro.streams.registry.resolve_engine` — the same
+    resolver every :class:`~repro.core.cumulative.CumulativeSynthesizer`
+    consults — so a typo'd value raises instead of silently re-testing
+    the default engine.
+    """
+    return resolve_engine(None)
 
 
 def bench_reps(fallback: int = default_reps) -> int:

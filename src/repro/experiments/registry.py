@@ -1,6 +1,6 @@
 """Experiment registry: id -> runner.
 
-Every entry takes ``(n_reps, seed)`` and returns a
+Every entry takes ``(n_reps, seed, engine)`` and returns a
 :class:`~repro.experiments.config.FigureResult`.  The ids match the
 per-experiment index in DESIGN.md §3.
 """
@@ -28,43 +28,60 @@ __all__ = ["EXPERIMENTS", "get_experiment", "list_experiments"]
 Runner = Callable[..., FigureResult]
 
 
+# Every runner accepts ``engine`` so the CLI can thread one --engine flag
+# through the whole registry; experiments whose synthesizers have no
+# stream-counter bank (the window pipeline) accept and ignore it.
 EXPERIMENTS: dict[str, Runner] = {
     # Paper figures
-    "fig1": lambda n_reps, seed=0: run_sipp_window_experiment(
+    "fig1": lambda n_reps, seed=0, engine=None: run_sipp_window_experiment(
         rho=0.005, n_reps=n_reps, seed=seed, experiment_id="fig1", debias=False
     ),
-    "fig2": lambda n_reps, seed=0: run_sipp_cumulative_experiment(
-        rho=0.005, n_reps=n_reps, seed=seed, experiment_id="fig2"
+    "fig2": lambda n_reps, seed=0, engine=None: run_sipp_cumulative_experiment(
+        rho=0.005, n_reps=n_reps, seed=seed, experiment_id="fig2", engine=engine
     ),
-    "fig3": lambda n_reps, seed=0: run_simulated_window_experiment(
+    "fig3": lambda n_reps, seed=0, engine=None: run_simulated_window_experiment(
         n_reps=n_reps, seed=seed, experiment_id="fig3", debias=True
     ),
-    "fig4": lambda n_reps, seed=0: run_simulated_window_experiment(
+    "fig4": lambda n_reps, seed=0, engine=None: run_simulated_window_experiment(
         n_reps=n_reps, seed=seed, experiment_id="fig4", debias=False
     ),
-    "fig5": lambda n_reps, seed=0: run_sipp_window_experiment(
+    "fig5": lambda n_reps, seed=0, engine=None: run_sipp_window_experiment(
         rho=0.001, n_reps=n_reps, seed=seed, experiment_id="fig5", debias=False
     ),
-    "fig6": lambda n_reps, seed=0: run_sipp_window_experiment(
+    "fig6": lambda n_reps, seed=0, engine=None: run_sipp_window_experiment(
         rho=0.005, n_reps=n_reps, seed=seed, experiment_id="fig6", debias=False
     ),
-    "fig7": lambda n_reps, seed=0: run_sipp_window_experiment(
+    "fig7": lambda n_reps, seed=0, engine=None: run_sipp_window_experiment(
         rho=0.05, n_reps=n_reps, seed=seed, experiment_id="fig7", debias=False
     ),
-    "fig8": lambda n_reps, seed=0: run_sipp_cumulative_experiment(
-        rho=0.005, n_reps=n_reps, seed=seed, experiment_id="fig8", b=3
+    "fig8": lambda n_reps, seed=0, engine=None: run_sipp_cumulative_experiment(
+        rho=0.005, n_reps=n_reps, seed=seed, experiment_id="fig8", b=3, engine=engine
     ),
     # Bound checks and ablations
-    "thm32": lambda n_reps, seed=0: run_bound_checks(n_reps=n_reps, seed=seed),
-    "corB1": lambda n_reps, seed=0: run_bound_checks(n_reps=n_reps, seed=seed),
-    "abl-counter": lambda n_reps, seed=0: run_counter_ablation(n_reps=n_reps, seed=seed),
-    "abl-npad": lambda n_reps, seed=0: run_padding_ablation(n_reps=n_reps, seed=seed),
-    "abl-budget": lambda n_reps, seed=0: run_budget_ablation(n_reps=n_reps, seed=seed),
-    "abl-baseline": lambda n_reps, seed=0: run_baseline_comparison(
+    "thm32": lambda n_reps, seed=0, engine=None: run_bound_checks(
+        n_reps=n_reps, seed=seed, engine=engine
+    ),
+    "corB1": lambda n_reps, seed=0, engine=None: run_bound_checks(
+        n_reps=n_reps, seed=seed, engine=engine
+    ),
+    "abl-counter": lambda n_reps, seed=0, engine=None: run_counter_ablation(
+        n_reps=n_reps, seed=seed, engine=engine
+    ),
+    "abl-npad": lambda n_reps, seed=0, engine=None: run_padding_ablation(
         n_reps=n_reps, seed=seed
     ),
-    "sweep-rho": lambda n_reps, seed=0: run_rho_sweep(n_reps=n_reps, seed=seed),
-    "sweep-n": lambda n_reps, seed=0: run_population_sweep(n_reps=n_reps, seed=seed),
+    "abl-budget": lambda n_reps, seed=0, engine=None: run_budget_ablation(
+        n_reps=n_reps, seed=seed, engine=engine
+    ),
+    "abl-baseline": lambda n_reps, seed=0, engine=None: run_baseline_comparison(
+        n_reps=n_reps, seed=seed
+    ),
+    "sweep-rho": lambda n_reps, seed=0, engine=None: run_rho_sweep(
+        n_reps=n_reps, seed=seed, engine=engine
+    ),
+    "sweep-n": lambda n_reps, seed=0, engine=None: run_population_sweep(
+        n_reps=n_reps, seed=seed, engine=engine
+    ),
 }
 
 

@@ -16,7 +16,7 @@ import math
 from repro.analysis.replication import replicate_synthesizer
 from repro.core.cumulative import CumulativeSynthesizer
 from repro.data.dataset import LongitudinalDataset
-from repro.experiments.config import FigureResult
+from repro.experiments.config import FigureResult, default_engine
 from repro.experiments.sipp_window import sipp_panel
 from repro.queries.cumulative import HammingAtLeast
 from repro.rng import SeedLike
@@ -34,6 +34,7 @@ def run_sipp_cumulative_experiment(
     budget: str = "corollary_b1",
     data: LongitudinalDataset | None = None,
     noise_method: str = "vectorized",
+    engine: str | None = None,
 ) -> FigureResult:
     """Reproduce Figure 2 / Figure 8.
 
@@ -48,8 +49,12 @@ def run_sipp_cumulative_experiment(
     counter / budget:
         Stream-counter name and budget split (paper: binary tree,
         Corollary B.1 weights).
+    engine:
+        Counter engine (``"vectorized"`` bank or ``"scalar"``); ``None``
+        resolves via :func:`~repro.experiments.config.default_engine`.
     """
     panel = data if data is not None else sipp_panel()
+    engine = default_engine() if engine is None else engine
     query = HammingAtLeast(b)
     times = list(range(1, panel.horizon + 1))
 
@@ -60,6 +65,7 @@ def run_sipp_cumulative_experiment(
             counter=counter,
             budget=budget,
             seed=generator,
+            engine=engine,
             noise_method=noise_method,
         )
 
@@ -82,6 +88,7 @@ def run_sipp_cumulative_experiment(
             "reps": n_reps,
             "counter": counter,
             "budget": budget,
+            "engine": engine,
         },
         paper_expectation=(
             "Synthetic-data answers averaged over repetitions accurately match "

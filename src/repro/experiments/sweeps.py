@@ -20,7 +20,7 @@ import numpy as np
 
 from repro.core.fixed_window import FixedWindowSynthesizer
 from repro.data.generators import two_state_markov
-from repro.experiments.config import FigureResult
+from repro.experiments.config import FigureResult, default_engine
 from repro.queries.window import AtLeastMOnes
 from repro.rng import SeedLike, spawn
 
@@ -65,11 +65,17 @@ def run_rho_sweep(
     n: int = 8000,
     rhos: tuple[float, ...] = (0.002, 0.005, 0.02, 0.05, 0.2),
     noise_method: str = "vectorized",
+    engine: str | None = None,
 ) -> FigureResult:
     """Error vs privacy budget at fixed population size.
 
     Theory predicts a log-log slope of −1/2 (error ∝ rho^{-1/2}).
+
+    ``engine`` is accepted for runner-signature uniformity (the CLI threads
+    one ``--engine`` flag through every experiment); the window pipeline
+    has no stream-counter bank, so it is recorded but has no effect here.
     """
+    engine = default_engine() if engine is None else engine
     panel = two_state_markov(n, _HORIZON, p_stay=0.85, p_enter=0.02, seed=17)
     rows = []
     errors = []
@@ -81,7 +87,7 @@ def run_rho_sweep(
     result = FigureResult(
         experiment_id="sweep-rho",
         title="Debiased error vs privacy budget rho (fixed n)",
-        parameters={"n": n, "T": _HORIZON, "k": _WINDOW, "reps": n_reps},
+        parameters={"n": n, "T": _HORIZON, "k": _WINDOW, "reps": n_reps, "engine": engine},
         paper_expectation=(
             "Theorem 3.2: error scales like rho^(-1/2); fitted log-log "
             "slope should be near -0.5."
@@ -100,13 +106,16 @@ def run_population_sweep(
     rho: float = 0.02,
     sizes: tuple[int, ...] = (1000, 2000, 4000, 8000, 16000),
     noise_method: str = "vectorized",
+    engine: str | None = None,
 ) -> FigureResult:
     """Error vs population size at fixed budget.
 
     Theory predicts a log-log slope of −1 (error ∝ 1/n): the count-scale
     noise is independent of ``n``, so the fraction-scale error shrinks
-    linearly.
+    linearly.  ``engine`` is accepted for runner-signature uniformity and
+    recorded; the window pipeline has no stream-counter bank.
     """
+    engine = default_engine() if engine is None else engine
     rows = []
     errors = []
     for n in sizes:
@@ -118,7 +127,7 @@ def run_population_sweep(
     result = FigureResult(
         experiment_id="sweep-n",
         title="Debiased error vs population size n (fixed rho)",
-        parameters={"rho": rho, "T": _HORIZON, "k": _WINDOW, "reps": n_reps},
+        parameters={"rho": rho, "T": _HORIZON, "k": _WINDOW, "reps": n_reps, "engine": engine},
         paper_expectation=(
             "Corollary 3.3: fraction-scale error scales like 1/n; fitted "
             "log-log slope should be near -1."

@@ -24,13 +24,28 @@ Implementations:
   (single-stream consistency of Chan-Shi-Song §4).
 """
 
+from repro.streams.bank import (
+    BinaryTreeBank,
+    CounterBank,
+    FallbackBank,
+    LaplaceTreeBank,
+    SimpleBank,
+    SqrtFactorizationBank,
+)
 from repro.streams.base import CounterAccuracy, StreamCounter
 from repro.streams.binary_tree import BinaryTreeCounter
 from repro.streams.block import BlockCounter
 from repro.streams.honaker import HonakerCounter
 from repro.streams.laplace_tree import LaplaceTreeCounter
 from repro.streams.monotone import MonotoneCounter
-from repro.streams.registry import available_counters, make_counter, register_counter
+from repro.streams.registry import (
+    available_banks,
+    available_counters,
+    make_bank,
+    make_counter,
+    register_bank,
+    register_counter,
+)
 from repro.streams.simple import SimpleCounter
 from repro.streams.sqrt_factorization import SqrtFactorizationCounter
 from repro.streams.unbounded import UnknownHorizonCounter
@@ -46,7 +61,16 @@ __all__ = [
     "BlockCounter",
     "LaplaceTreeCounter",
     "MonotoneCounter",
+    "CounterBank",
+    "BinaryTreeBank",
+    "SimpleBank",
+    "SqrtFactorizationBank",
+    "LaplaceTreeBank",
+    "FallbackBank",
     "make_counter",
     "register_counter",
     "available_counters",
+    "make_bank",
+    "register_bank",
+    "available_banks",
 ]

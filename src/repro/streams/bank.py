@@ -1,0 +1,504 @@
+"""Vectorized counter banks: many stream counters as one batched state machine.
+
+Algorithm 2 runs one DP stream counter per Hamming-weight threshold
+``b = 1, ..., T``.  All of those counters are *homogeneous* — same
+mechanism, staggered start times (counter ``b`` goes live at round ``b``),
+heterogeneous noise scales (each threshold has its own ``rho_b`` from
+:func:`repro.core.budget.allocate_budget`).  Executing them as ``T``
+independent Python objects costs an O(T log T) interpreter hot path per
+round; a :class:`CounterBank` advances the whole family in lockstep with
+NumPy array operations and a *single* batched noise draw per round, via the
+heterogeneous-scale :meth:`~repro.dp.discrete_gaussian.DiscreteGaussianSampler.sample_columns`
+API.
+
+Bank row ``r`` (0-indexed) is the counter for threshold ``b = r + 1``: it
+has effective horizon ``T - r`` and activates at global round ``r + 1``
+with local clock ``t_b = t - r``.  :meth:`CounterBank.feed` consumes the
+length-``t`` increment vector ``z^t = (z_1^t, ..., z_t^t)`` at global round
+``t`` and returns the noisy prefix-sum estimates for all active rows.
+
+Native vectorized banks are provided for the binary-tree (Gaussian and
+Laplace), simple, and square-root-factorization counters; every other
+registered counter keeps working through :class:`FallbackBank`, which wraps
+the scalar :class:`~repro.streams.base.StreamCounter` objects behind the
+same interface.  In noiseless mode (``rho_b = inf``) every native bank is
+bit-exact with its scalar counterpart — the equivalence tests in
+``tests/streams/test_bank.py`` pin this down.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from fractions import Fraction
+from typing import Sequence
+
+import numpy as np
+
+from repro.dp.discrete_gaussian import DiscreteGaussianSampler
+from repro.dp.discrete_laplace import DiscreteLaplaceSampler
+from repro.exceptions import ConfigurationError, StreamLengthError
+from repro.rng import SeedLike, as_generator, spawn
+from repro.streams.sqrt_factorization import sqrt_factorization_coefficients
+
+__all__ = [
+    "CounterBank",
+    "BinaryTreeBank",
+    "LaplaceTreeBank",
+    "SimpleBank",
+    "SqrtFactorizationBank",
+    "FallbackBank",
+]
+
+
+class CounterBank(abc.ABC):
+    """A batch of ``T`` staggered stream counters advanced in lockstep.
+
+    Parameters
+    ----------
+    horizon:
+        Global horizon ``T``; the bank holds one counter row per threshold
+        ``b = 1..T``, row ``b - 1`` with effective horizon ``T - b + 1``.
+    rho_per_threshold:
+        Length-``T`` vector of per-row zCDP budgets (``math.inf`` entries
+        yield noiseless rows).
+    seeds:
+        Either a single :data:`~repro.rng.SeedLike` (spawned into per-row
+        children) or an explicit length-``T`` sequence of per-row seeds —
+        the synthesizer passes its spawned counter seeds so that the
+        fallback path reproduces the scalar engine exactly.
+    noise_method:
+        ``"exact"`` or ``"vectorized"`` noise backend, forwarded to the
+        batched samplers (and to wrapped counters in the fallback).
+    """
+
+    def __init__(
+        self,
+        horizon: int,
+        rho_per_threshold,
+        seeds: SeedLike | Sequence = None,
+        noise_method: str = "vectorized",
+    ):
+        if horizon <= 0:
+            raise ConfigurationError(f"horizon must be positive, got {horizon}")
+        if noise_method not in ("exact", "vectorized"):
+            raise ConfigurationError(
+                f"noise_method must be 'exact' or 'vectorized', got {noise_method!r}"
+            )
+        rho = np.asarray(rho_per_threshold, dtype=np.float64)
+        if rho.shape != (horizon,):
+            raise ConfigurationError(
+                f"rho_per_threshold must have length T={horizon}, got shape {rho.shape}"
+            )
+        if not (rho > 0).all():
+            raise ConfigurationError("every rho_b must be positive (or math.inf)")
+        self.horizon = int(horizon)
+        self.rho_per_threshold = rho
+        self.noise_method = noise_method
+        if isinstance(seeds, (list, tuple)):
+            if len(seeds) != horizon:
+                raise ConfigurationError(
+                    f"seeds sequence must have length T={horizon}, got {len(seeds)}"
+                )
+            self._row_seeds = list(seeds)
+        else:
+            self._row_seeds = spawn(seeds, horizon)
+        # Native banks draw all their noise from one generator; the
+        # fallback hands each wrapped counter its own row seed instead.
+        self._generator = as_generator(self._row_seeds[0])
+        self._t = 0
+        self._true_sums = np.zeros(horizon, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    @property
+    def t(self) -> int:
+        """Global rounds consumed so far (== number of active rows)."""
+        return self._t
+
+    @property
+    def active(self) -> int:
+        """Number of live rows: row ``b - 1`` activates at round ``b``."""
+        return self._t
+
+    @property
+    def true_sums(self) -> np.ndarray:
+        """Exact per-row running sums (internal state, *not* private)."""
+        return self._true_sums.copy()
+
+    def row_horizons(self) -> np.ndarray:
+        """Effective horizon ``T - b + 1`` per row, indexed by ``b - 1``."""
+        return self.horizon - np.arange(self.horizon, dtype=np.int64)
+
+    def feed(self, z) -> np.ndarray:
+        """Advance one global round.
+
+        ``z`` must be the length-``t`` increment vector for the new round
+        ``t`` (``z[b-1]`` feeds threshold ``b``'s counter; the row for
+        ``b = t`` activates this round and receives its first element).
+        Returns the float64 noisy prefix-sum estimates for rows
+        ``b = 1..t``.
+        """
+        if self._t >= self.horizon:
+            raise StreamLengthError(
+                f"bank with horizon {self.horizon} received round {self._t + 1}"
+            )
+        t = self._t + 1
+        z = np.asarray(z)
+        if z.shape != (t,):
+            raise ConfigurationError(
+                f"round {t} expects an increment vector of shape ({t},), got {z.shape}"
+            )
+        z = z.astype(np.int64)
+        if (z < 0).any():
+            raise ConfigurationError("stream increments must be non-negative")
+        self._t = t
+        self._true_sums[:t] += z
+        estimates = np.asarray(self._feed(z), dtype=np.float64)
+        if estimates.shape != (t,):
+            raise ConfigurationError(
+                f"bank produced shape {estimates.shape}, expected ({t},)"
+            )
+        return estimates
+
+    def run(self, increments: np.ndarray) -> np.ndarray:
+        """Feed a full ``(T, T)`` lower-triangular increment table.
+
+        ``increments[t-1, :t]`` is the round-``t`` vector; returns the
+        ``(T, T)`` table of estimates (row ``t-1`` holds rounds ``1..t``,
+        zero above the diagonal).  Convenience driver for tests and
+        benchmarks.
+        """
+        increments = np.asarray(increments, dtype=np.int64)
+        if increments.shape != (self.horizon, self.horizon):
+            raise ConfigurationError(
+                f"increment table must be (T, T)={self.horizon, self.horizon}, "
+                f"got {increments.shape}"
+            )
+        out = np.zeros((self.horizon, self.horizon), dtype=np.float64)
+        for t in range(1, self.horizon + 1):
+            out[t - 1, :t] = self.feed(increments[t - 1, :t])
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(horizon={self.horizon}, t={self._t}, "
+            f"noise_method={self.noise_method!r})"
+        )
+
+    # ------------------------------------------------------------------
+    # Subclass contract
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def _feed(self, z: np.ndarray) -> np.ndarray:
+        """Consume the round-``t`` increments (clock already advanced)."""
+
+    @abc.abstractmethod
+    def error_stddev(self, b: int, t: int) -> float:
+        """Stddev of threshold ``b``'s estimate at *local* stream time ``t``.
+
+        Mirrors :meth:`repro.streams.base.StreamCounter.error_stddev` row
+        by row; used by the confidence-interval machinery.
+        """
+
+    def _check_row(self, b: int) -> None:
+        if not 1 <= b <= self.horizon:
+            raise ConfigurationError(f"b must lie in [1, {self.horizon}], got {b}")
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+
+    def _gaussian_sigma_sq_rows(self, numerators) -> list[Fraction]:
+        """Per-row ``numerator / (2 rho_b)`` variances as exact Fractions.
+
+        Mirrors the scalar counters' Fraction arithmetic
+        (``Fraction(num) / Fraction(2 rho).limit_denominator(10**9)``) so
+        exact-mode noise has the same distribution as the scalar engine.
+        """
+        out = []
+        for numerator, rho_b in zip(numerators, self.rho_per_threshold):
+            if math.isinf(rho_b):
+                out.append(Fraction(0))
+            else:
+                out.append(
+                    Fraction(int(numerator))
+                    / Fraction(2 * rho_b).limit_denominator(10**9)
+                )
+        return out
+
+
+class _TreeBankCore(CounterBank):
+    """Shared batched state machine for binary-tree-shaped banks.
+
+    Row ``r`` mirrors Algorithm 3's streaming form at its local clock
+    ``t_r = t - r``: level-``j`` buffers ``alpha[r, j]`` accumulate partial
+    sums, a completed level folds all lower levels, and the estimate sums
+    the noisy buffers selected by the binary representation of ``t_r``.
+    All rows fold, draw noise, and read out together.
+    """
+
+    def __init__(self, horizon, rho_per_threshold, seeds=None, noise_method="vectorized"):
+        super().__init__(horizon, rho_per_threshold, seeds=seeds, noise_method=noise_method)
+        lengths = self.row_horizons()
+        self.levels = np.array([int(n).bit_length() for n in lengths], dtype=np.int64)
+        n_levels = int(self.levels[0])  # row 0 has the longest stream
+        self._alpha = np.zeros((self.horizon, n_levels), dtype=np.int64)
+        self._alpha_noisy = np.zeros((self.horizon, n_levels), dtype=np.int64)
+        self._level_idx = np.arange(n_levels, dtype=np.int64)
+
+    def _feed(self, z: np.ndarray) -> np.ndarray:
+        t = self._t
+        local = t - np.arange(t, dtype=np.int64)  # local clocks, rows 0..t-1
+        lowest = local & -local
+        fold_level = np.round(np.log2(lowest)).astype(np.int64)
+
+        alpha = self._alpha[:t]
+        alpha_noisy = self._alpha_noisy[:t]
+        # sum of levels below the fold target, via per-row prefix sums
+        prefix = np.cumsum(alpha, axis=1)
+        below = np.where(
+            fold_level > 0,
+            np.take_along_axis(
+                prefix, np.maximum(fold_level - 1, 0)[:, None], axis=1
+            )[:, 0],
+            0,
+        )
+        folded = below + z
+        clear = self._level_idx[None, :] < fold_level[:, None]
+        alpha[clear] = 0
+        alpha_noisy[clear] = 0
+        np.put_along_axis(alpha, fold_level[:, None], folded[:, None], axis=1)
+        noise = self._round_noise(t)
+        np.put_along_axis(
+            alpha_noisy, fold_level[:, None], (folded + noise)[:, None], axis=1
+        )
+        # Dyadic decomposition of [1, t_r] = the set bits of the local clock.
+        bits = (local[:, None] >> self._level_idx[None, :]) & 1
+        return (alpha_noisy * bits).sum(axis=1).astype(np.float64)
+
+    @abc.abstractmethod
+    def _round_noise(self, t: int) -> np.ndarray:
+        """One fresh noise value per active row (int64, length ``t``)."""
+
+    @abc.abstractmethod
+    def _node_variance(self, b: int) -> float:
+        """Per-node noise variance of threshold ``b``'s tree."""
+
+    def error_stddev(self, b: int, t: int) -> float:
+        """``sqrt(popcount(t) * node_variance)`` — one node per set bit."""
+        self._check_row(b)
+        if t <= 0:
+            return 0.0
+        return math.sqrt(int(t).bit_count() * self._node_variance(b))
+
+
+class BinaryTreeBank(_TreeBankCore):
+    """Batched :class:`~repro.streams.binary_tree.BinaryTreeCounter` rows.
+
+    Per-row noise variance ``L_b / (2 rho_b)`` with ``L_b`` the row's own
+    dyadic level count — exactly the scalar counter's calibration.
+    """
+
+    def __init__(self, horizon, rho_per_threshold, seeds=None, noise_method="vectorized"):
+        super().__init__(horizon, rho_per_threshold, seeds=seeds, noise_method=noise_method)
+        self.sigma_sq_rows = self._gaussian_sigma_sq_rows(self.levels)
+        self._sigma_sq_float = np.array(
+            [float(s) for s in self.sigma_sq_rows], dtype=np.float64
+        )
+        self._sampler = DiscreteGaussianSampler(
+            0, seed=self._generator, method=self.noise_method
+        )
+
+    def _round_noise(self, t: int) -> np.ndarray:
+        scales = (
+            self.sigma_sq_rows[:t]
+            if self.noise_method == "exact"
+            else self._sigma_sq_float[:t]
+        )
+        return self._sampler.sample_columns(scales)
+
+    def _node_variance(self, b: int) -> float:
+        return float(self._sigma_sq_float[b - 1])
+
+
+class LaplaceTreeBank(_TreeBankCore):
+    """Batched :class:`~repro.streams.laplace_tree.LaplaceTreeCounter` rows.
+
+    Per-row discrete Laplace scale ``L_b / eps_b`` with
+    ``eps_b = sqrt(2 rho_b)`` — the pure-DP tree variant.
+    """
+
+    def __init__(self, horizon, rho_per_threshold, seeds=None, noise_method="vectorized"):
+        super().__init__(horizon, rho_per_threshold, seeds=seeds, noise_method=noise_method)
+        self.scale_rows = []
+        for levels_b, rho_b in zip(self.levels, self.rho_per_threshold):
+            if math.isinf(rho_b):
+                self.scale_rows.append(Fraction(0))
+            else:
+                epsilon = math.sqrt(2.0 * rho_b)
+                self.scale_rows.append(
+                    Fraction(int(levels_b)) / Fraction(epsilon).limit_denominator(10**9)
+                )
+        self._scale_float = np.array([float(s) for s in self.scale_rows], dtype=np.float64)
+        self._sampler = DiscreteLaplaceSampler(
+            1, seed=self._generator, method=self.noise_method
+        )
+
+    def _round_noise(self, t: int) -> np.ndarray:
+        scales = (
+            self.scale_rows[:t] if self.noise_method == "exact" else self._scale_float[:t]
+        )
+        return self._sampler.sample_columns(scales)
+
+    def _node_variance(self, b: int) -> float:
+        scale = float(self._scale_float[b - 1])
+        if scale == 0:
+            return 0.0
+        p = math.exp(-1.0 / scale)
+        return 2.0 * p / (1.0 - p) ** 2
+
+
+class SimpleBank(CounterBank):
+    """Batched :class:`~repro.streams.simple.SimpleCounter` rows.
+
+    Fresh per-row noise on every prefix sum at variance
+    ``(T - b + 1) / (2 rho_b)`` — the naive ``sqrt(T)`` baseline, now one
+    vector add plus one batched draw per round.
+    """
+
+    def __init__(self, horizon, rho_per_threshold, seeds=None, noise_method="vectorized"):
+        super().__init__(horizon, rho_per_threshold, seeds=seeds, noise_method=noise_method)
+        self.sigma_sq_rows = self._gaussian_sigma_sq_rows(self.row_horizons())
+        self._sigma_sq_float = np.array(
+            [float(s) for s in self.sigma_sq_rows], dtype=np.float64
+        )
+        self._sampler = DiscreteGaussianSampler(
+            0, seed=self._generator, method=self.noise_method
+        )
+
+    def _feed(self, z: np.ndarray) -> np.ndarray:
+        t = self._t
+        scales = (
+            self.sigma_sq_rows[:t]
+            if self.noise_method == "exact"
+            else self._sigma_sq_float[:t]
+        )
+        noise = self._sampler.sample_columns(scales)
+        return (self._true_sums[:t] + noise).astype(np.float64)
+
+    def error_stddev(self, b: int, t: int) -> float:
+        self._check_row(b)
+        return math.sqrt(float(self._sigma_sq_float[b - 1]))
+
+
+class SqrtFactorizationBank(CounterBank):
+    """Batched :class:`~repro.streams.sqrt_factorization.SqrtFactorizationCounter` rows.
+
+    Row ``r``'s correlated noise at global round ``t`` is
+    ``sum_s f_{t-s} xi[r, s]`` over the rounds ``s`` since its activation;
+    storing the i.i.d. draws ``xi`` aligned by *global* round (zero before
+    activation) turns all rows' correlations into one matrix-vector product
+    with the reversed coefficient prefix.
+    """
+
+    def __init__(self, horizon, rho_per_threshold, seeds=None, noise_method="vectorized"):
+        super().__init__(horizon, rho_per_threshold, seeds=seeds, noise_method=noise_method)
+        self.coefficients = sqrt_factorization_coefficients(self.horizon)
+        norm_sq = np.cumsum(self.coefficients**2)
+        col_norm_sq = norm_sq[self.row_horizons() - 1]
+        with np.errstate(divide="ignore"):
+            sigma_sq = np.where(
+                np.isinf(self.rho_per_threshold),
+                0.0,
+                col_norm_sq / (2.0 * self.rho_per_threshold),
+            )
+        self.sigma_rows = np.sqrt(sigma_sq)
+        self._noiseless = bool((self.sigma_rows == 0).all())
+        self._xi = np.zeros((self.horizon, self.horizon), dtype=np.float64)
+
+    def _feed(self, z: np.ndarray) -> np.ndarray:
+        t = self._t
+        if self._noiseless:
+            return self._true_sums[:t].astype(np.float64)
+        self._xi[:t, t - 1] = self._generator.normal(0.0, self.sigma_rows[:t])
+        correlated = self._xi[:t, :t] @ self.coefficients[:t][::-1]
+        return self._true_sums[:t] + correlated
+
+    def error_stddev(self, b: int, t: int) -> float:
+        self._check_row(b)
+        sigma = float(self.sigma_rows[b - 1])
+        if t <= 0 or sigma == 0:
+            return 0.0
+        prefix_norm_sq = float(np.sum(self.coefficients[:t] ** 2))
+        return sigma * math.sqrt(prefix_norm_sq)
+
+
+class FallbackBank(CounterBank):
+    """Adapter running any registered scalar counter behind the bank API.
+
+    Keeps every counter name usable with ``engine="vectorized"``: row ``b``
+    is a lazily-created scalar :class:`~repro.streams.base.StreamCounter`
+    seeded from the bank's per-row seed stream, so the outputs are
+    *identical* to the scalar engine under the same seeds — the per-round
+    cost stays scalar, which is what the native banks above eliminate.
+    """
+
+    def __init__(
+        self,
+        horizon,
+        rho_per_threshold,
+        seeds=None,
+        noise_method="vectorized",
+        counter: str = "binary_tree",
+        counter_kwargs: dict | None = None,
+    ):
+        super().__init__(horizon, rho_per_threshold, seeds=seeds, noise_method=noise_method)
+        self.counter_name = counter
+        self._counter_kwargs = dict(counter_kwargs or {})
+        self._counters: list = []
+
+    @property
+    def counters(self) -> tuple:
+        """The wrapped scalar counters, indexed by ``b - 1`` (active rows)."""
+        return tuple(self._counters)
+
+    def _feed(self, z: np.ndarray) -> np.ndarray:
+        from repro.streams.registry import make_counter
+
+        t = self._t
+        self._counters.append(
+            make_counter(
+                self.counter_name,
+                horizon=self.horizon - t + 1,
+                rho=float(self.rho_per_threshold[t - 1]),
+                seed=self._row_seeds[t - 1],
+                noise_method=self.noise_method,
+                **self._counter_kwargs,
+            )
+        )
+        return np.array(
+            [counter.feed(int(z_b)) for counter, z_b in zip(self._counters, z)],
+            dtype=np.float64,
+        )
+
+    def error_stddev(self, b: int, t: int) -> float:
+        self._check_row(b)
+        if b <= len(self._counters):
+            return self._counters[b - 1].error_stddev(t)
+        # Row not yet active: the bound is analytic, so a throwaway
+        # instance (no noise is drawn) answers for it.
+        from repro.streams.registry import make_counter
+
+        probe = make_counter(
+            self.counter_name,
+            horizon=self.horizon - b + 1,
+            rho=float(self.rho_per_threshold[b - 1]),
+            seed=0,
+            noise_method=self.noise_method,
+            **self._counter_kwargs,
+        )
+        return probe.error_stddev(t)

@@ -1,20 +1,69 @@
-"""Name-based stream-counter registry.
+"""Name-based registries for stream counters and counter banks.
 
 Algorithm 2 and the ablation benchmarks select counters by name so that
 experiment configuration stays declarative (`counter="binary_tree"`).
 Third-party counters can be plugged in with :func:`register_counter`.
+
+The *bank* registry maps the same names to vectorized
+:class:`~repro.streams.bank.CounterBank` implementations, which advance all
+``T`` per-threshold counters as one batched NumPy state machine.  Names
+without a native bank transparently fall back to
+:class:`~repro.streams.bank.FallbackBank`, so every registered counter —
+including third-party ones — works with ``engine="vectorized"``.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Type
+import os
+from typing import TYPE_CHECKING, Callable, Type
 
 from repro.exceptions import ConfigurationError
 from repro.streams.base import StreamCounter
 
-__all__ = ["register_counter", "make_counter", "available_counters"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.streams.bank import CounterBank
+
+__all__ = [
+    "register_counter",
+    "make_counter",
+    "available_counters",
+    "register_bank",
+    "make_bank",
+    "available_banks",
+    "resolve_engine",
+    "ENGINES",
+]
 
 _REGISTRY: dict[str, Type[StreamCounter]] = {}
+_BANK_REGISTRY: dict[str, "Type[CounterBank]"] = {}
+
+#: Counter-engine choices for Algorithm 2: the batched CounterBank or the
+#: one-object-per-threshold scalar reference path.
+ENGINES = ("vectorized", "scalar")
+
+
+def resolve_engine(engine: str | None = None) -> str:
+    """Resolve and validate a counter-engine choice.
+
+    ``None`` consults the ``REPRO_ENGINE`` environment variable (so a CI
+    job or sweep can flip *every* synthesizer in the process to the scalar
+    reference path) and defaults to ``"vectorized"`` when it is unset.
+    Unrecognized values — explicit or from the environment — raise instead
+    of silently falling back: a typo like ``REPRO_ENGINE=sclar`` must not
+    re-test the default engine while claiming to cover the other one.
+    """
+    if engine is None:
+        env = os.environ.get("REPRO_ENGINE", "").strip().lower()
+        if not env:
+            return "vectorized"
+        if env not in ENGINES:
+            raise ConfigurationError(
+                f"REPRO_ENGINE must be one of {ENGINES}, got {env!r}"
+            )
+        return env
+    if engine not in ENGINES:
+        raise ConfigurationError(f"engine must be one of {ENGINES}, got {engine!r}")
+    return engine
 
 
 def register_counter(name: str) -> Callable[[Type[StreamCounter]], Type[StreamCounter]]:
@@ -45,6 +94,60 @@ def available_counters() -> tuple[str, ...]:
     return tuple(sorted(_REGISTRY))
 
 
+def register_bank(name: str) -> "Callable[[Type[CounterBank]], Type[CounterBank]]":
+    """Class decorator registering a vectorized bank under a counter name."""
+    from repro.streams.bank import CounterBank
+
+    def decorator(cls: "Type[CounterBank]") -> "Type[CounterBank]":
+        if not issubclass(cls, CounterBank):
+            raise ConfigurationError(f"{cls!r} is not a CounterBank subclass")
+        _BANK_REGISTRY[name] = cls
+        return cls
+
+    return decorator
+
+
+def make_bank(
+    name: str,
+    horizon: int,
+    rho_per_threshold,
+    *,
+    seeds=None,
+    noise_method: str = "vectorized",
+    counter_kwargs: dict | None = None,
+) -> "CounterBank":
+    """Instantiate the vectorized bank for counter ``name``.
+
+    Uses the native batched implementation when one is registered and no
+    counter-specific keyword arguments are requested; otherwise wraps the
+    scalar counter in a :class:`~repro.streams.bank.FallbackBank` (native
+    banks are calibrated from ``(horizon, rho_b)`` alone, so extra
+    constructor knobs route through the scalar counters that define them).
+    """
+    from repro.streams.bank import FallbackBank
+
+    if name not in _REGISTRY:
+        raise ConfigurationError(
+            f"unknown counter {name!r}; available: {sorted(_REGISTRY)}"
+        )
+    cls = _BANK_REGISTRY.get(name)
+    if cls is not None and not counter_kwargs:
+        return cls(horizon, rho_per_threshold, seeds=seeds, noise_method=noise_method)
+    return FallbackBank(
+        horizon,
+        rho_per_threshold,
+        seeds=seeds,
+        noise_method=noise_method,
+        counter=name,
+        counter_kwargs=counter_kwargs,
+    )
+
+
+def available_banks() -> tuple[str, ...]:
+    """Counter names with a *native* vectorized bank, sorted."""
+    return tuple(sorted(_BANK_REGISTRY))
+
+
 def _register_builtins() -> None:
     """Populate the registry with the built-in counters."""
     from repro.streams.binary_tree import BinaryTreeCounter
@@ -62,4 +165,20 @@ def _register_builtins() -> None:
     _REGISTRY.setdefault("laplace_tree", LaplaceTreeCounter)
 
 
+def _register_builtin_banks() -> None:
+    """Populate the bank registry with the native vectorized banks."""
+    from repro.streams.bank import (
+        BinaryTreeBank,
+        LaplaceTreeBank,
+        SimpleBank,
+        SqrtFactorizationBank,
+    )
+
+    _BANK_REGISTRY.setdefault("binary_tree", BinaryTreeBank)
+    _BANK_REGISTRY.setdefault("simple", SimpleBank)
+    _BANK_REGISTRY.setdefault("sqrt_factorization", SqrtFactorizationBank)
+    _BANK_REGISTRY.setdefault("laplace_tree", LaplaceTreeBank)
+
+
 _register_builtins()
+_register_builtin_banks()
