@@ -11,10 +11,12 @@ from fractions import Fraction
 import numpy as np
 import pytest
 
+from repro.analysis.replication import replicate_synthesizer
 from repro.core.cumulative import CumulativeSynthesizer
 from repro.core.fixed_window import FixedWindowSynthesizer
 from repro.data.generators import two_state_markov
 from repro.dp.discrete_gaussian import DiscreteGaussianSampler
+from repro.queries.cumulative import HammingAtLeast
 from repro.streams.registry import make_counter
 
 
@@ -112,3 +114,31 @@ class TestSynthesizerRounds:
             return synth.run(panel)
 
         benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+class TestReplicationStrategies:
+    """The cross-repetition axis: 100-rep cumulative replication per strategy.
+
+    One row per ``replicate_synthesizer`` strategy on the same SIPP-scale
+    workload, so the perf trajectory captures the batched engine's win and
+    the process pool's overhead alongside the per-run numbers above.
+    """
+
+    @pytest.mark.parametrize("strategy", ["serial", "process", "batched"])
+    def test_cumulative_replication_100_reps(self, benchmark, panel, strategy):
+        queries = [HammingAtLeast(3)]
+        times = list(range(1, panel.horizon + 1))
+
+        def factory(generator):
+            return CumulativeSynthesizer(
+                horizon=panel.horizon, rho=0.005, seed=generator,
+                noise_method="vectorized",
+            )
+
+        def run():
+            return replicate_synthesizer(
+                factory, panel, queries, times, n_reps=100, seed=10,
+                strategy=strategy,
+            )
+
+        benchmark.pedantic(run, rounds=2, iterations=1)

@@ -22,7 +22,13 @@ from repro.analysis.metrics import (
     rmse,
     SeriesSummary,
 )
-from repro.analysis.replication import ReplicatedAnswers, replicate_synthesizer
+from repro.analysis.replication import (
+    STRATEGIES,
+    ReplicatedAnswers,
+    replicate_synthesizer,
+    resolve_n_jobs,
+    resolve_strategy,
+)
 from repro.analysis.tables import render_comparison_table, render_series_table
 from repro.analysis.theory import (
     corollary_3_3_relative_bound,
@@ -50,6 +56,9 @@ __all__ = [
     "SeriesSummary",
     "ReplicatedAnswers",
     "replicate_synthesizer",
+    "resolve_strategy",
+    "resolve_n_jobs",
+    "STRATEGIES",
     "render_series_table",
     "render_comparison_table",
 ]

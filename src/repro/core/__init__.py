@@ -23,8 +23,9 @@ from repro.core.consistency import apply_overlap_correction, check_window_consis
 from repro.core.cumulative import CumulativeRelease, CumulativeSynthesizer
 from repro.core.debias import debias_count_answer, lift_window_weights
 from repro.core.fixed_window import FixedWindowRelease, FixedWindowSynthesizer
-from repro.core.monotonize import is_monotone_table, monotonize_row
+from repro.core.monotonize import is_monotone_table, monotonize_row, monotonize_rows
 from repro.core.padding import PaddingSpec
+from repro.core.replicated import ReplicatedCumulativeRelease, replicate_cumulative
 
 __all__ = [
     "FixedWindowSynthesizer",
@@ -37,7 +38,10 @@ __all__ = [
     "apply_overlap_correction",
     "check_window_consistency",
     "monotonize_row",
+    "monotonize_rows",
     "is_monotone_table",
+    "ReplicatedCumulativeRelease",
+    "replicate_cumulative",
     "allocate_budget",
     "uniform_split",
     "corollary_b1_split",

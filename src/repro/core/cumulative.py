@@ -49,7 +49,35 @@ from repro.streams.registry import (
     resolve_engine,
 )
 
-__all__ = ["CumulativeSynthesizer", "CumulativeRelease"]
+__all__ = [
+    "CumulativeSynthesizer",
+    "CumulativeRelease",
+    "stream_increments",
+    "counter_charge_label",
+]
+
+
+def stream_increments(weights: np.ndarray, column: np.ndarray, t: int) -> np.ndarray:
+    """Round-``t`` stream increments, advancing ``weights`` in place.
+
+    ``z[b-1]`` counts the individuals whose Hamming weight was exactly
+    ``b - 1`` entering round ``t`` and who report 1 this round — the
+    increment fed to threshold ``b``'s counter.  Shared by the serial
+    synthesizer and the batched replication engine
+    (:mod:`repro.core.replicated`) so their stage-1 inputs cannot drift.
+    """
+    z = np.bincount(weights[column == 1], minlength=t)[:t]
+    weights += column
+    return z
+
+
+def counter_charge_label(b: int) -> str:
+    """Ledger label for threshold ``b``'s stream counter.
+
+    One definition for both engines: the batched engine's "identical zCDP
+    ledger" contract compares these labels entry for entry.
+    """
+    return f"stream counter b={b}"
 
 
 class CumulativeRelease:
@@ -76,10 +104,16 @@ class CumulativeRelease:
         return self._synth._store.m
 
     def synthetic_data(self, t: int | None = None) -> LongitudinalDataset:
-        """The synthetic panel through round ``t`` (default: latest)."""
+        """The synthetic panel through round ``t`` (default: latest).
+
+        Under the default lazy store the records are drawn on first
+        request (bit-exact with eager materialization — see
+        :class:`CumulativeSynthesizer`); replication runs that only read
+        query answers never pay for them.
+        """
         if self._synth._store is None or self._synth.t == 0:
             raise NotFittedError("no data observed yet")
-        return self._synth._store.as_dataset(t)
+        return self._synth._materialized_store().as_dataset(t)
 
     def threshold_table(self) -> np.ndarray:
         """Monotonized counts ``S^_b^t``: shape ``(t+1, T+1)``, row 0 initial."""
@@ -102,7 +136,14 @@ class CumulativeRelease:
         if isinstance(query, HammingAtLeast):
             return self.threshold_count(query.b, t) / self.m if query.b <= self._synth.horizon else 0.0
         if isinstance(query, HammingExactly):
-            at_least_b = self.threshold_count(query.b, t)
+            # Thresholds above the horizon are structurally empty (nobody
+            # can have more ones than rounds) — same convention as the
+            # at-least query and the batched replicated release.
+            at_least_b = (
+                self.threshold_count(query.b, t)
+                if query.b <= self._synth.horizon
+                else 0
+            )
             above = (
                 self.threshold_count(query.b + 1, t)
                 if query.b + 1 <= self._synth.horizon
@@ -143,6 +184,16 @@ class CumulativeSynthesizer:
         identically.
     noise_method:
         ``"exact"`` or ``"vectorized"`` noise backend for the counters.
+    materialize:
+        ``"lazy"`` (default) defers drawing synthetic records until
+        :meth:`CumulativeRelease.synthetic_data` is actually requested;
+        ``"eager"`` draws them every round as the records are prescribed.
+        The two modes are *bit-exact*: the record draws are the only
+        consumers of the synthesizer's generator after initialization, so
+        replaying them in order on first request produces the same panel.
+        Lazy mode is what makes pure query-answering runs (the replication
+        harness answers everything from the threshold table) skip the
+        per-round record bookkeeping entirely.
     counter_kwargs:
         Extra keyword arguments forwarded to every counter constructor.
     """
@@ -157,12 +208,17 @@ class CumulativeSynthesizer:
         seed: SeedLike = None,
         engine: str | None = None,
         noise_method: str = "exact",
+        materialize: str = "lazy",
         counter_kwargs: dict | None = None,
     ):
         if horizon <= 0:
             raise ConfigurationError(f"horizon must be positive, got {horizon}")
         if not rho > 0:
             raise ConfigurationError(f"rho must be positive (or math.inf), got {rho}")
+        if materialize not in ("lazy", "eager"):
+            raise ConfigurationError(
+                f"materialize must be 'lazy' or 'eager', got {materialize!r}"
+            )
         if counter not in available_counters():
             raise ConfigurationError(
                 f"unknown counter {counter!r}; available: {sorted(available_counters())}"
@@ -173,6 +229,7 @@ class CumulativeSynthesizer:
         self.counter_name = counter
         self.engine = engine
         self.noise_method = noise_method
+        self.materialize = materialize
         self._counter_kwargs = dict(counter_kwargs or {})
         self._generator = as_generator(seed)
         self.rho_per_threshold = allocate_budget(self.horizon, self.rho, budget)
@@ -201,6 +258,7 @@ class CumulativeSynthesizer:
         self._n: int | None = None
         self._orig_weights: np.ndarray | None = None
         self._store: CumulativeSyntheticStore | None = None
+        self._pending_increments: list[np.ndarray] = []
         self._table: np.ndarray | None = None  # S^ table, (T+1) x (T+1)
 
     # ------------------------------------------------------------------
@@ -242,9 +300,7 @@ class CumulativeSynthesizer:
         column = column.astype(np.int64)
 
         # Stream increments z_b^t from the *original* data.
-        reporting_one = column == 1
-        z = np.bincount(self._orig_weights[reporting_one], minlength=t)[:t]
-        self._orig_weights += column
+        z = stream_increments(self._orig_weights, column, t)
 
         # Stage 1: feed the active counters, collect noisy totals.
         if self._bank is not None:
@@ -254,7 +310,7 @@ class CumulativeSynthesizer:
             noisy = np.rint(self._bank.feed(z)).astype(np.int64)
             if self.accountant is not None:
                 self.accountant.charge(
-                    float(self.rho_per_threshold[t - 1]), label=f"stream counter b={t}"
+                    float(self.rho_per_threshold[t - 1]), label=counter_charge_label(t)
                 )
         else:
             noisy = np.empty(t, dtype=np.int64)
@@ -271,7 +327,10 @@ class CumulativeSynthesizer:
         self._table[t, t + 1 :] = self._table[t - 1, t + 1 :]
 
         increments = clamped - previous[1 : t + 1]  # z^_b^t for b = 1..t
-        self._store.extend(increments)  # indexed by previous weight b-1
+        if self.materialize == "eager":
+            self._store.extend(increments)  # indexed by previous weight b-1
+        else:
+            self._pending_increments.append(increments)
         return self.release
 
     def run(self, dataset: LongitudinalDataset) -> CumulativeRelease:
@@ -316,7 +375,7 @@ class CumulativeSynthesizer:
         table = self._table[: self._t + 1]
         if not is_monotone_table(table, population=self._n):
             return False
-        census = self._store.threshold_census()
+        census = self._materialized_store().threshold_census()
         return bool((census == self._table[self._t]).all())
 
     # ------------------------------------------------------------------
@@ -329,9 +388,22 @@ class CumulativeSynthesizer:
         self._n = n
         self._orig_weights = np.zeros(n, dtype=np.int64)
         self._store = CumulativeSyntheticStore(n, self.horizon, self._generator)
+        self._pending_increments: list[np.ndarray] = []
         self._table = np.zeros((self.horizon + 1, self.horizon + 1), dtype=np.int64)
         self._table[0, 0] = n
         self._table[:, 0] = n
+
+    def _materialized_store(self) -> CumulativeSyntheticStore:
+        """Replay any deferred record draws and return the store.
+
+        Deferred rounds are extended in release order, so the generator
+        consumption — and hence the synthetic panel — is identical to
+        eager materialization.
+        """
+        for increments in self._pending_increments:
+            self._store.extend(increments)
+        self._pending_increments.clear()
+        return self._store
 
     def _get_counter(self, b: int):
         counter = self._counters.get(b)
@@ -347,6 +419,6 @@ class CumulativeSynthesizer:
                 **self._counter_kwargs,
             )
             if self.accountant is not None:
-                self.accountant.charge(rho_b, label=f"stream counter b={b}")
+                self.accountant.charge(rho_b, label=counter_charge_label(b))
             self._counters[b] = counter
         return counter

@@ -271,6 +271,7 @@ class FixedWindowSynthesizer:
         self._store: WindowSyntheticStore | None = None
         self._histograms: dict[int, np.ndarray] = {}
         self._negative_events = 0
+        self._release_view = FixedWindowRelease(self)
 
     # ------------------------------------------------------------------
     # Streaming API
@@ -283,8 +284,8 @@ class FixedWindowSynthesizer:
 
     @property
     def release(self) -> FixedWindowRelease:
-        """View of everything released so far."""
-        return FixedWindowRelease(self)
+        """View of everything released so far (one cached instance)."""
+        return self._release_view
 
     def observe_column(self, column) -> FixedWindowRelease:
         """Consume the round-``t`` report vector ``D_t`` and update.

@@ -19,7 +19,7 @@ import numpy as np
 
 from repro.exceptions import ConfigurationError
 
-__all__ = ["monotonize_row", "is_monotone_table"]
+__all__ = ["monotonize_row", "monotonize_rows", "is_monotone_table"]
 
 
 def monotonize_row(noisy: np.ndarray, previous: np.ndarray, population: int) -> np.ndarray:
@@ -42,18 +42,57 @@ def monotonize_row(noisy: np.ndarray, previous: np.ndarray, population: int) -> 
     The monotonized row ``S^_b^t`` for ``b = 1, ..., t`` (length ``t``).
     """
     noisy = np.asarray(noisy, dtype=np.int64)
+    if noisy.ndim != 1:
+        raise ConfigurationError(f"noisy row must be 1-D, got shape {noisy.shape}")
     previous = np.asarray(previous, dtype=np.int64)
-    t = noisy.shape[0]
-    if previous.shape != (t + 1,):
+    if previous.shape != (noisy.shape[0] + 1,):
         raise ConfigurationError(
-            f"previous row must have length t+1={t + 1}, got {previous.shape}"
+            f"previous row must have length t+1={noisy.shape[0] + 1}, "
+            f"got {previous.shape}"
         )
-    if previous[0] != population:
+    return monotonize_rows(noisy[None, :], previous[None, :], population)[0]
+
+
+def monotonize_rows(
+    noisy: np.ndarray, previous: np.ndarray, population: int
+) -> np.ndarray:
+    """Batched monotonization: one round of estimates for ``R`` replicas.
+
+    Vectorized form of :func:`monotonize_row` over a leading rep axis —
+    the per-round step of the batched replication engine, which clamps all
+    ``R`` repetitions' rounds with two array ops instead of ``R`` Python
+    calls.
+
+    Parameters
+    ----------
+    noisy:
+        ``S~_b^t`` for ``b = 1, ..., t``, shape ``(R, t)`` integers.
+    previous:
+        Monotonized previous rows ``S^_b^{t-1}`` for ``b = 0, ..., t``,
+        shape ``(R, t + 1)``; column 0 is the constant population count.
+    population:
+        Total number of (synthetic) individuals ``m``.
+
+    Returns
+    -------
+    The monotonized rows ``S^_b^t`` for ``b = 1, ..., t``, shape ``(R, t)``.
+    """
+    noisy = np.asarray(noisy, dtype=np.int64)
+    previous = np.asarray(previous, dtype=np.int64)
+    if noisy.ndim != 2:
+        raise ConfigurationError(f"noisy rows must be 2-D, got shape {noisy.shape}")
+    n_reps, t = noisy.shape
+    if previous.shape != (n_reps, t + 1):
         raise ConfigurationError(
-            f"previous[0] must equal the population {population}, got {previous[0]}"
+            f"previous rows must have shape ({n_reps}, {t + 1}), got {previous.shape}"
         )
-    lower = previous[1 : t + 1]  # S^_b^{t-1}
-    upper = previous[0:t]  # S^_{b-1}^{t-1}
+    if (previous[:, 0] != population).any():
+        raise ConfigurationError(
+            f"previous[0] must equal the population {population}, "
+            f"got {previous[previous[:, 0] != population, 0][0]}"
+        )
+    lower = previous[:, 1 : t + 1]  # S^_b^{t-1}
+    upper = previous[:, 0:t]  # S^_{b-1}^{t-1}
     if (lower > upper).any():
         raise ConfigurationError("previous row is not non-increasing in b")
     return np.minimum(np.maximum(noisy, lower), upper)

@@ -1,0 +1,211 @@
+"""Batched replication of Algorithm 2: all ``R`` repetitions as one state machine.
+
+Every figure in the paper repeats a synthesizer ``R = 1000`` times on the
+*same* panel and plots the answer distribution.  Re-running
+:class:`~repro.core.cumulative.CumulativeSynthesizer` in a Python loop
+repeats three kinds of work that are identical across repetitions:
+
+1. the stream increments ``z_b^t`` (data-dependent only — computed once
+   here);
+2. the per-round Python dispatch of stage 1 (the counter bank) and stage 2
+   (monotonization) — batched here along a rep axis via
+   :class:`~repro.streams.bank.CounterBank` with ``n_reps=R`` and
+   :func:`~repro.core.monotonize.monotonize_rows`;
+3. the synthetic record draws — skipped entirely, because
+   :class:`HammingAtLeast` / :class:`HammingExactly` answers read off the
+   threshold table ``S^`` alone (the synthetic census equals the table
+   exactly, Theorem 4.4), and replication experiments never request the
+   records.
+
+The result is a ``(R, T+1, T+1)`` stack of monotonized threshold tables
+from which :meth:`ReplicatedCumulativeRelease.answer_grid` evaluates the
+whole ``(rep, query, time)`` answer cube with array indexing.
+
+Equivalence contract (pinned by ``tests/core/test_replicated.py`` and the
+``benchmarks/bench_replication.py`` acceptance test): in noiseless mode
+(``rho = inf``) every replica's table is bit-exact with a serial
+:class:`~repro.core.cumulative.CumulativeSynthesizer` run, and the zCDP
+ledger charged per replica is identical to the serial ledger entry for
+entry; with noise, the per-rep answer distributions are the same (the
+noise is drawn from the same per-threshold mechanisms, batched).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.budget import allocate_budget
+from repro.core.cumulative import counter_charge_label, stream_increments
+from repro.core.monotonize import is_monotone_table, monotonize_rows
+from repro.data.dataset import LongitudinalDataset
+from repro.dp.accountant import ZCDPAccountant
+from repro.exceptions import ConfigurationError, DataValidationError
+from repro.queries.cumulative import HammingAtLeast, HammingExactly
+from repro.rng import SeedLike, as_generator
+from repro.streams.registry import available_counters, make_bank
+
+__all__ = ["ReplicatedCumulativeRelease", "replicate_cumulative"]
+
+
+class ReplicatedCumulativeRelease:
+    """Threshold tables and answers of ``R`` batched Algorithm-2 runs.
+
+    Attributes
+    ----------
+    tables:
+        Monotonized threshold counts ``S^_b^t`` for every replica, shape
+        ``(R, T+1, T+1)`` (``tables[r, t, b]``; row 0 is the initial state
+        ``(n, 0, ..., 0)``).
+    accountant:
+        The zCDP ledger charged by *each* replica — the ``R`` runs are
+        independent executions of the same mechanism on the same data, so
+        one ledger describes them all (``None`` in noiseless mode).
+    """
+
+    def __init__(
+        self,
+        tables: np.ndarray,
+        n: int,
+        horizon: int,
+        accountant: ZCDPAccountant | None,
+    ):
+        self.tables = tables
+        self.n = int(n)
+        self.horizon = int(horizon)
+        self.accountant = accountant
+
+    @property
+    def n_reps(self) -> int:
+        """Number of replicas ``R``."""
+        return self.tables.shape[0]
+
+    def threshold_counts(self, b: int, t: int) -> np.ndarray:
+        """``S^_b^t`` for every replica (length-``R`` int vector)."""
+        if not 0 <= b <= self.horizon:
+            raise ConfigurationError(f"b must lie in [0, {self.horizon}], got {b}")
+        if not 1 <= t <= self.horizon:
+            raise ConfigurationError(f"t must lie in [1, {self.horizon}], got {t}")
+        return self.tables[:, t, b].copy()
+
+    def answer(self, query, t: int) -> np.ndarray:
+        """Every replica's answer to a cumulative query at round ``t``."""
+        if isinstance(query, HammingAtLeast):
+            if query.b > self.horizon:
+                return np.zeros(self.n_reps, dtype=np.float64)
+            return self.threshold_counts(query.b, t) / self.n
+        if isinstance(query, HammingExactly):
+            at_least_b = (
+                self.threshold_counts(query.b, t)
+                if query.b <= self.horizon
+                else np.zeros(self.n_reps, dtype=np.int64)
+            )
+            above = (
+                self.threshold_counts(query.b + 1, t)
+                if query.b + 1 <= self.horizon
+                else np.zeros(self.n_reps, dtype=np.int64)
+            )
+            return (at_least_b - above) / self.n
+        raise ConfigurationError(
+            f"batched cumulative release answers HammingAtLeast/HammingExactly, "
+            f"got {query!r}"
+        )
+
+    def answer_grid(self, queries, times) -> np.ndarray:
+        """The full ``(R, n_queries, n_times)`` answer cube.
+
+        Times before a query's ``min_time()`` are ``NaN``, matching the
+        serial replication harness.
+        """
+        out = np.full(
+            (self.n_reps, len(queries), len(times)), np.nan, dtype=np.float64
+        )
+        for qi, query in enumerate(queries):
+            for ti, t in enumerate(times):
+                if t >= query.min_time():
+                    out[:, qi, ti] = self.answer(query, int(t))
+        return out
+
+    def check_invariants(self) -> bool:
+        """Both monotonicity constraints hold in every replica's table."""
+        return all(
+            is_monotone_table(self.tables[r], population=self.n)
+            for r in range(self.n_reps)
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ReplicatedCumulativeRelease(n_reps={self.n_reps}, "
+            f"T={self.horizon}, n={self.n})"
+        )
+
+
+def replicate_cumulative(
+    dataset: LongitudinalDataset,
+    n_reps: int,
+    *,
+    rho: float,
+    counter: str = "binary_tree",
+    budget="corollary_b1",
+    seed: SeedLike = None,
+    noise_method: str = "vectorized",
+) -> ReplicatedCumulativeRelease:
+    """Run ``n_reps`` independent Algorithm-2 executions as one batch.
+
+    Parameters mirror :class:`~repro.core.cumulative.CumulativeSynthesizer`
+    (the horizon is taken from the dataset); ``budget`` additionally
+    accepts an explicit per-threshold vector, which lets the replication
+    harness reuse a probed synthesizer's allocation verbatim.  Requires a
+    counter with a native vectorized bank (``binary_tree``, ``simple``,
+    ``sqrt_factorization``, ``laplace_tree``); counters that only exist as
+    scalar objects have no rep axis and must replicate serially or via the
+    process pool.
+    """
+    if n_reps <= 0:
+        raise ConfigurationError(f"n_reps must be positive, got {n_reps}")
+    if not rho > 0:
+        raise ConfigurationError(f"rho must be positive (or math.inf), got {rho}")
+    if counter not in available_counters():
+        raise ConfigurationError(
+            f"unknown counter {counter!r}; available: {sorted(available_counters())}"
+        )
+    horizon = dataset.horizon
+    n = dataset.n_individuals
+    if n <= 0:
+        raise DataValidationError(f"need at least one individual, got n={n}")
+    rho_per_threshold = allocate_budget(horizon, rho, budget)
+    accountant = None if math.isinf(rho) else ZCDPAccountant(rho)
+    generator = as_generator(seed)
+    bank = make_bank(
+        counter,
+        horizon=horizon,
+        rho_per_threshold=rho_per_threshold,
+        seeds=generator,
+        noise_method=noise_method,
+        n_reps=n_reps,
+    )
+
+    tables = np.zeros((n_reps, horizon + 1, horizon + 1), dtype=np.int64)
+    tables[:, :, 0] = n
+    weights = np.zeros(n, dtype=np.int64)
+    for t, column in enumerate(dataset.columns(), start=1):
+        column = np.asarray(column, dtype=np.int64)
+        # Stream increments z_b^t from the original data (shared by reps).
+        z = stream_increments(weights, column, t)
+
+        # Stage 1: one batched advance of every active counter, all reps.
+        noisy = np.rint(np.atleast_2d(bank.feed(z))).astype(np.int64)
+        if accountant is not None:
+            # Threshold b = t activates this round; every replica charges
+            # the same rho_b, so the shared ledger records it once.
+            accountant.charge(
+                float(rho_per_threshold[t - 1]), label=counter_charge_label(t)
+            )
+
+        # Stage 2: monotonize all reps against their previous rows.
+        previous = tables[:, t - 1, : t + 1]
+        tables[:, t, 1 : t + 1] = monotonize_rows(noisy, previous, population=n)
+        tables[:, t, t + 1 :] = tables[:, t - 1, t + 1 :]
+
+    return ReplicatedCumulativeRelease(tables, n, horizon, accountant)

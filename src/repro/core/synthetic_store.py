@@ -35,27 +35,39 @@ def _choose_within_groups(
     :class:`ConsistencyError` when a group is asked for more members than
     it has — which would mean the caller's histogram bookkeeping diverged
     from the record population.
+
+    One uniform key per record plus a single argsort of the composite
+    ``group + key`` float (the integer part orders by group, the
+    fractional part is a fresh uniform tiebreak) orders every group
+    uniformly at random simultaneously; taking each group's first
+    ``picks_per_group[g]`` entries of that order is then a uniform
+    without-replacement sample.  The whole selection is one sort per
+    round instead of a Python loop with one ``generator.choice`` call per
+    group — ``benchmarks/bench_replication.py`` pins the speedup.
     """
-    order = np.argsort(group_of, kind="stable")
-    sorted_groups = group_of[order]
-    boundaries = np.searchsorted(sorted_groups, np.arange(n_groups + 1))
-    chosen: list[np.ndarray] = []
-    for g in range(n_groups):
-        start, stop = boundaries[g], boundaries[g + 1]
-        need = int(picks_per_group[g])
-        size = stop - start
-        if need < 0 or need > size:
-            raise ConsistencyError(
-                f"group {g} has {size} records but {need} were requested"
-            )
-        if need == 0:
-            continue
-        members = order[start:stop]
-        picked = generator.choice(size, size=need, replace=False)
-        chosen.append(members[picked])
-    if not chosen:
+    picks_per_group = np.asarray(picks_per_group, dtype=np.int64)
+    sizes = np.bincount(group_of, minlength=n_groups)[:n_groups]
+    bad = (picks_per_group < 0) | (picks_per_group > sizes)
+    if bad.any():
+        g = int(np.flatnonzero(bad)[0])
+        raise ConsistencyError(
+            f"group {g} has {int(sizes[g])} records but "
+            f"{int(picks_per_group[g])} were requested"
+        )
+    if not picks_per_group.any():
         return np.zeros(0, dtype=np.int64)
-    return np.concatenate(chosen)
+    keys = generator.random(group_of.shape[0])
+    order = np.argsort(group_of + keys)  # group-major, random within group
+    sorted_groups = group_of[order]
+    # Rank of each sorted record within its group; a record is chosen iff
+    # its rank falls below the group's quota (groups beyond ``n_groups``
+    # have quota 0 and are never chosen).
+    n_labels = max(n_groups, int(sorted_groups[-1]) + 1)
+    starts = np.searchsorted(sorted_groups, np.arange(n_labels))
+    quota = np.zeros(n_labels, dtype=np.int64)
+    quota[:n_groups] = picks_per_group
+    rank = np.arange(order.shape[0], dtype=np.int64) - starts[sorted_groups]
+    return order[rank < quota[sorted_groups]]
 
 
 class WindowSyntheticStore:

@@ -18,6 +18,12 @@ Two samplers are provided:
   error is bounded by float rounding of ``exp``; at the scales used in the
   paper's experiments it is far below sampling noise.  The replication
   harness uses this path; individual mechanisms default to the exact path.
+
+For the counter banks there are *heterogeneous* batched APIs:
+:meth:`DiscreteGaussianSampler.sample_columns` draws one value per column
+at per-column variances, and its ``size=R`` form returns an ``(R, columns)``
+block — ``R`` independent replicas per call, the rep-axis draw behind the
+batched replication engine (:mod:`repro.core.replicated`).
 """
 
 from __future__ import annotations
@@ -114,8 +120,8 @@ class DiscreteGaussianSampler:
             flat = self._sample_vectorized(size)
         return flat.reshape(shape)
 
-    def sample_columns(self, sigma_sqs) -> np.ndarray:
-        """One draw per column with *per-column* variances (heterogeneous).
+    def sample_columns(self, sigma_sqs, size: int | None = None) -> np.ndarray:
+        """Per-column-variance draws (heterogeneous), optionally replicated.
 
         ``sigma_sqs`` is a sequence of non-negative variances (floats or
         :class:`~fractions.Fraction`); entry ``j`` of the returned int64
@@ -124,7 +130,19 @@ class DiscreteGaussianSampler:
         ignored — this is the batched API used by the vectorized counter
         banks, which run many sub-mechanisms with different budgets and
         need a single noise draw per round.
+
+        With ``size=R`` the call returns a ``(R, len(sigma_sqs))`` array of
+        i.i.d. draws — ``R`` independent replicas of the length-``len``
+        heterogeneous vector, drawn in one batch.  This is the rep-axis API
+        behind the replicated counter banks: all ``R`` repetitions of a
+        figure consume one ``(R, rows)`` draw per round instead of ``R``
+        separate vectors.  ``size=None`` (default) keeps the legacy 1-D
+        shape and bit-stream.
         """
+        if size is not None:
+            if size < 0:
+                raise ValueError(f"size must be non-negative, got {size}")
+            return self.sample_array_2d(sigma_sqs, size)
         if self.method == "exact":
             return self._sample_columns_exact(sigma_sqs)
         sigma_sqs = np.asarray(

@@ -6,6 +6,11 @@ supported on the integers with ``P[X = x]`` proportional to
 Steinke (2020) and handles any positive rational scale; it is the proposal
 distribution inside the exact discrete Gaussian sampler and is also exposed
 directly for pure-DP mechanism variants.
+
+:meth:`DiscreteLaplaceSampler.sample_columns` is the heterogeneous batched
+API (one draw per column at per-column scales); its ``size=R`` form returns
+an ``(R, columns)`` block of independent replicas — the rep-axis draw used
+by the batched replication engine (:mod:`repro.core.replicated`).
 """
 
 from __future__ import annotations
@@ -123,14 +128,24 @@ class DiscreteLaplaceSampler:
         g2 = self._generator.geometric(q, size=size) - 1
         return (g1 - g2).astype(np.int64)
 
-    def sample_columns(self, scales) -> np.ndarray:
-        """One draw per column with *per-column* scales (heterogeneous).
+    def sample_columns(self, scales, size: int | None = None) -> np.ndarray:
+        """Per-column-scale draws (heterogeneous), optionally replicated.
 
         ``scales`` is a sequence of non-negative scales; entry ``j`` of the
         returned int64 vector is an independent ``Lap_Z(scales[j])`` draw
         (exactly 0 where ``scales[j] == 0``, the noiseless convention used
         by the counter banks).  The instance's own ``scale`` is ignored.
+
+        With ``size=R`` the call returns a ``(R, len(scales))`` array of
+        i.i.d. draws — the rep-axis API used by the replicated counter
+        banks, which feed all ``R`` repetitions of an experiment from one
+        batched draw per round.  ``size=None`` (default) keeps the legacy
+        1-D shape and bit-stream.
         """
+        if size is not None:
+            if size < 0:
+                raise ValueError(f"size must be non-negative, got {size}")
+            return self.sample_array_2d(scales, size)
         if self.method == "exact":
             return self._sample_columns_exact(scales)
         return _sample_heterogeneous_laplace(

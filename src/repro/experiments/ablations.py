@@ -20,7 +20,7 @@ import math
 
 import numpy as np
 
-from repro.analysis.replication import replicate_synthesizer
+from repro.analysis.replication import cumulative_strategy, replicate_synthesizer
 from repro.analysis.theory import corollary_b1_alpha, theorem_3_2_bound
 from repro.baselines.recompute import RecomputeBaseline, ever_spell_fraction
 from repro.core.cumulative import CumulativeSynthesizer
@@ -50,13 +50,48 @@ def ablation_panel(seed: int = 11, n: int = _N):
     return two_state_markov(n, _HORIZON, p_stay=0.85, p_enter=0.02, seed=seed)
 
 
-def _cumulative_max_error(release, panel, thresholds, times) -> float:
-    worst = 0.0
-    for b in thresholds:
-        query = HammingAtLeast(b)
-        for t in times:
-            worst = max(worst, abs(release.answer(query, t) - query.evaluate(panel, t)))
-    return worst
+def _cumulative_max_errors(
+    panel,
+    rho: float,
+    n_reps: int,
+    seed,
+    *,
+    counter: str = "binary_tree",
+    budget: str = "corollary_b1",
+    engine: str,
+    noise_method: str,
+    strategy: str | None,
+    n_jobs: int | None,
+) -> np.ndarray:
+    """Per-rep worst |error| over the full (threshold, time) grid.
+
+    One :func:`replicate_synthesizer` call over every ``HammingAtLeast``
+    threshold, so the ablations inherit the batched / process strategies.
+    A ``"batched"`` request softens to ``"auto"`` when this particular
+    counter (or the scalar engine) has no rep axis — the counter ablation
+    sweeps *every* registered counter, so a strict ``batched`` would abort
+    the sweep on the first fallback-only name.
+    """
+    strategy = cumulative_strategy(strategy, engine, counter)
+    queries = [HammingAtLeast(b) for b in range(1, panel.horizon + 1)]
+    times = list(range(1, panel.horizon + 1))
+
+    def factory(generator):
+        return CumulativeSynthesizer(
+            horizon=panel.horizon,
+            rho=rho,
+            counter=counter,
+            budget=budget,
+            seed=generator,
+            engine=engine,
+            noise_method=noise_method,
+        )
+
+    replicated = replicate_synthesizer(
+        factory, panel, queries, times, n_reps=n_reps, seed=seed,
+        strategy=strategy, n_jobs=n_jobs,
+    )
+    return replicated.max_abs_error_per_rep()
 
 
 def run_counter_ablation(
@@ -65,26 +100,18 @@ def run_counter_ablation(
     seed: SeedLike = 0,
     noise_method: str = "vectorized",
     engine: str | None = None,
+    strategy: str | None = None,
+    n_jobs: int | None = None,
 ) -> FigureResult:
     """Algorithm 2 with every registered counter, same data and budget."""
     panel = ablation_panel()
     engine = default_engine() if engine is None else engine
-    thresholds = range(1, _HORIZON + 1)
-    times = range(1, _HORIZON + 1)
     rows = []
     for name in available_counters():
-        errors = []
-        for generator in spawn(seed, n_reps):
-            synthesizer = CumulativeSynthesizer(
-                horizon=_HORIZON,
-                rho=rho,
-                counter=name,
-                seed=generator,
-                engine=engine,
-                noise_method=noise_method,
-            )
-            release = synthesizer.run(panel)
-            errors.append(_cumulative_max_error(release, panel, thresholds, times))
+        errors = _cumulative_max_errors(
+            panel, rho, n_reps, seed, counter=name, engine=engine,
+            noise_method=noise_method, strategy=strategy, n_jobs=n_jobs,
+        )
         rows.append(
             {
                 "counter": name,
@@ -213,26 +240,18 @@ def run_budget_ablation(
     seed: SeedLike = 0,
     noise_method: str = "vectorized",
     engine: str | None = None,
+    strategy: str | None = None,
+    n_jobs: int | None = None,
 ) -> FigureResult:
     """Uniform vs Corollary B.1 budget split across thresholds."""
     panel = ablation_panel()
     engine = default_engine() if engine is None else engine
-    thresholds = range(1, _HORIZON + 1)
-    times = range(1, _HORIZON + 1)
     rows = []
     for budget in ("uniform", "corollary_b1"):
-        errors = []
-        for generator in spawn(seed, n_reps):
-            synthesizer = CumulativeSynthesizer(
-                horizon=_HORIZON,
-                rho=rho,
-                budget=budget,
-                seed=generator,
-                engine=engine,
-                noise_method=noise_method,
-            )
-            release = synthesizer.run(panel)
-            errors.append(_cumulative_max_error(release, panel, thresholds, times))
+        errors = _cumulative_max_errors(
+            panel, rho, n_reps, seed, budget=budget, engine=engine,
+            noise_method=noise_method, strategy=strategy, n_jobs=n_jobs,
+        )
         rows.append(
             {
                 "budget": budget,
@@ -363,8 +382,15 @@ def run_bound_checks(
     rho: float = 0.05,
     noise_method: str = "vectorized",
     engine: str | None = None,
+    strategy: str | None = None,
+    n_jobs: int | None = None,
 ) -> FigureResult:
-    """Empirical max errors vs Theorem 3.2 and Corollary B.1 bounds."""
+    """Empirical max errors vs Theorem 3.2 and Corollary B.1 bounds.
+
+    ``strategy`` / ``n_jobs`` apply to the Corollary B.1 half (which
+    replicates Algorithm 2); the Theorem 3.2 half inspects per-run
+    histograms directly and stays a serial loop.
+    """
     panel = ablation_panel()
     engine = default_engine() if engine is None else engine
     window = 3
@@ -390,21 +416,10 @@ def run_bound_checks(
 
     # Corollary B.1: fraction-scale error of Algorithm 2 over all (b, t).
     bound_b1 = corollary_b1_alpha(_HORIZON, rho, beta, panel.n_individuals)
-    worst_cumulative = []
-    for generator in spawn(seed, n_reps):
-        synthesizer = CumulativeSynthesizer(
-            horizon=_HORIZON,
-            rho=rho,
-            seed=generator,
-            engine=engine,
-            noise_method=noise_method,
-        )
-        release = synthesizer.run(panel)
-        worst_cumulative.append(
-            _cumulative_max_error(
-                release, panel, range(1, _HORIZON + 1), range(1, _HORIZON + 1)
-            )
-        )
+    worst_cumulative = _cumulative_max_errors(
+        panel, rho, n_reps, seed, engine=engine, noise_method=noise_method,
+        strategy=strategy, n_jobs=n_jobs,
+    )
     exceed_b1 = sum(1 for err in worst_cumulative if err > bound_b1)
 
     rows = [

@@ -13,10 +13,31 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.experiments.config import ENGINES, default_engine, default_reps
+from repro.experiments.config import (
+    ENGINES,
+    STRATEGIES,
+    default_engine,
+    default_n_jobs,
+    default_reps,
+    default_strategy,
+)
+from repro.exceptions import ConfigurationError
 from repro.experiments.registry import get_experiment, list_experiments
 
 __all__ = ["main", "build_parser"]
+
+
+def _display_default(resolver, fallback):
+    """Best-effort env-derived default for parser construction.
+
+    An invalid ``REPRO_*`` value must not crash ``list`` (or ``--help``)
+    with a traceback at parser-build time; the strict resolution — and its
+    clear error — happens when a replication actually runs.
+    """
+    try:
+        return resolver()
+    except ConfigurationError:
+        return fallback
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -37,11 +58,34 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument(
             "--engine",
             choices=ENGINES,
-            default=default_engine(),
+            default=_display_default(default_engine, None),
             help=(
                 "stream-counter engine for Algorithm 2: the batched "
                 "'vectorized' CounterBank (default, or $REPRO_ENGINE) or "
                 "the per-threshold 'scalar' reference path"
+            ),
+        )
+        sub.add_argument(
+            "--replication-strategy",
+            choices=STRATEGIES,
+            default=_display_default(default_strategy, None),
+            help=(
+                "how the repetitions of each figure execute: 'batched' "
+                "(one (R, T) NumPy state machine, Algorithm 2 only), "
+                "'process' (chunked worker pool, bit-exact with serial), "
+                "'serial', or 'auto' (default, or "
+                "$REPRO_REPLICATION_STRATEGY): batched where possible, "
+                "serial otherwise"
+            ),
+        )
+        sub.add_argument(
+            "--n-jobs",
+            type=int,
+            default=None,
+            help=(
+                "worker count for --replication-strategy=process "
+                "(default: $REPRO_N_JOBS or the CPU count = "
+                f"{_display_default(default_n_jobs, 'unset')})"
             ),
         )
     return parser
@@ -56,7 +100,11 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.command == "run":
         result = get_experiment(args.experiment_id)(
-            args.reps, seed=args.seed, engine=args.engine
+            args.reps,
+            seed=args.seed,
+            engine=args.engine,
+            strategy=args.replication_strategy,
+            n_jobs=args.n_jobs,
         )
         print(result.render())
         return 0 if result.all_checks_pass else 1
@@ -64,7 +112,11 @@ def main(argv: list[str] | None = None) -> int:
     exit_code = 0
     for experiment_id in list_experiments():
         result = get_experiment(experiment_id)(
-            args.reps, seed=args.seed, engine=args.engine
+            args.reps,
+            seed=args.seed,
+            engine=args.engine,
+            strategy=args.replication_strategy,
+            n_jobs=args.n_jobs,
         )
         print(result.render())
         print()

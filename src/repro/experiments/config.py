@@ -6,6 +6,8 @@ import os
 from dataclasses import dataclass, field
 
 from repro.analysis.metrics import SeriesSummary
+from repro.analysis.replication import STRATEGIES as _STRATEGIES
+from repro.analysis.replication import resolve_n_jobs, resolve_strategy
 from repro.analysis.tables import render_comparison_table, render_series_table
 from repro.streams.registry import ENGINES as _ENGINES
 from repro.streams.registry import resolve_engine
@@ -15,7 +17,10 @@ __all__ = [
     "bench_reps",
     "default_reps",
     "default_engine",
+    "default_strategy",
+    "default_n_jobs",
     "ENGINES",
+    "STRATEGIES",
     "PAPER_REPS",
 ]
 
@@ -27,6 +32,9 @@ default_reps = 25
 
 #: Counter-engine choices for Algorithm 2 (see repro.streams.bank).
 ENGINES = _ENGINES
+
+#: Replication strategies (see repro.analysis.replication).
+STRATEGIES = _STRATEGIES
 
 
 def default_engine() -> str:
@@ -41,6 +49,24 @@ def default_engine() -> str:
     the default engine.
     """
     return resolve_engine(None)
+
+
+def default_strategy() -> str:
+    """Replication strategy used by experiment runs.
+
+    Controlled by the ``REPRO_REPLICATION_STRATEGY`` environment variable
+    (``"auto"``, ``"batched"``, ``"process"``, or ``"serial"``); delegates
+    to :func:`repro.analysis.replication.resolve_strategy`, the same
+    resolver :func:`~repro.analysis.replication.replicate_synthesizer`
+    consults, so a typo'd value raises instead of silently re-running the
+    default path.
+    """
+    return resolve_strategy(None)
+
+
+def default_n_jobs() -> int:
+    """Process-pool worker count (``$REPRO_N_JOBS`` or the CPU count)."""
+    return resolve_n_jobs(None)
 
 
 def bench_reps(fallback: int = default_reps) -> int:

@@ -28,59 +28,96 @@ __all__ = ["EXPERIMENTS", "get_experiment", "list_experiments"]
 Runner = Callable[..., FigureResult]
 
 
-# Every runner accepts ``engine`` so the CLI can thread one --engine flag
-# through the whole registry; experiments whose synthesizers have no
-# stream-counter bank (the window pipeline) accept and ignore it.
+# Every runner accepts ``engine`` (stream-counter engine), ``strategy``
+# (replication strategy), and ``n_jobs`` (process-pool width) so the CLI
+# can thread one flag set through the whole registry; experiments a knob
+# does not apply to accept and record it.
 EXPERIMENTS: dict[str, Runner] = {
     # Paper figures
-    "fig1": lambda n_reps, seed=0, engine=None: run_sipp_window_experiment(
-        rho=0.005, n_reps=n_reps, seed=seed, experiment_id="fig1", debias=False
+    "fig1": lambda n_reps, seed=0, engine=None, strategy=None, n_jobs=None: (
+        run_sipp_window_experiment(
+            rho=0.005, n_reps=n_reps, seed=seed, experiment_id="fig1", debias=False,
+            strategy=strategy, n_jobs=n_jobs,
+        )
     ),
-    "fig2": lambda n_reps, seed=0, engine=None: run_sipp_cumulative_experiment(
-        rho=0.005, n_reps=n_reps, seed=seed, experiment_id="fig2", engine=engine
+    "fig2": lambda n_reps, seed=0, engine=None, strategy=None, n_jobs=None: (
+        run_sipp_cumulative_experiment(
+            rho=0.005, n_reps=n_reps, seed=seed, experiment_id="fig2", engine=engine,
+            strategy=strategy, n_jobs=n_jobs,
+        )
     ),
-    "fig3": lambda n_reps, seed=0, engine=None: run_simulated_window_experiment(
-        n_reps=n_reps, seed=seed, experiment_id="fig3", debias=True
+    "fig3": lambda n_reps, seed=0, engine=None, strategy=None, n_jobs=None: (
+        run_simulated_window_experiment(
+            n_reps=n_reps, seed=seed, experiment_id="fig3", debias=True,
+            strategy=strategy, n_jobs=n_jobs,
+        )
     ),
-    "fig4": lambda n_reps, seed=0, engine=None: run_simulated_window_experiment(
-        n_reps=n_reps, seed=seed, experiment_id="fig4", debias=False
+    "fig4": lambda n_reps, seed=0, engine=None, strategy=None, n_jobs=None: (
+        run_simulated_window_experiment(
+            n_reps=n_reps, seed=seed, experiment_id="fig4", debias=False,
+            strategy=strategy, n_jobs=n_jobs,
+        )
     ),
-    "fig5": lambda n_reps, seed=0, engine=None: run_sipp_window_experiment(
-        rho=0.001, n_reps=n_reps, seed=seed, experiment_id="fig5", debias=False
+    "fig5": lambda n_reps, seed=0, engine=None, strategy=None, n_jobs=None: (
+        run_sipp_window_experiment(
+            rho=0.001, n_reps=n_reps, seed=seed, experiment_id="fig5", debias=False,
+            strategy=strategy, n_jobs=n_jobs,
+        )
     ),
-    "fig6": lambda n_reps, seed=0, engine=None: run_sipp_window_experiment(
-        rho=0.005, n_reps=n_reps, seed=seed, experiment_id="fig6", debias=False
+    "fig6": lambda n_reps, seed=0, engine=None, strategy=None, n_jobs=None: (
+        run_sipp_window_experiment(
+            rho=0.005, n_reps=n_reps, seed=seed, experiment_id="fig6", debias=False,
+            strategy=strategy, n_jobs=n_jobs,
+        )
     ),
-    "fig7": lambda n_reps, seed=0, engine=None: run_sipp_window_experiment(
-        rho=0.05, n_reps=n_reps, seed=seed, experiment_id="fig7", debias=False
+    "fig7": lambda n_reps, seed=0, engine=None, strategy=None, n_jobs=None: (
+        run_sipp_window_experiment(
+            rho=0.05, n_reps=n_reps, seed=seed, experiment_id="fig7", debias=False,
+            strategy=strategy, n_jobs=n_jobs,
+        )
     ),
-    "fig8": lambda n_reps, seed=0, engine=None: run_sipp_cumulative_experiment(
-        rho=0.005, n_reps=n_reps, seed=seed, experiment_id="fig8", b=3, engine=engine
+    "fig8": lambda n_reps, seed=0, engine=None, strategy=None, n_jobs=None: (
+        run_sipp_cumulative_experiment(
+            rho=0.005, n_reps=n_reps, seed=seed, experiment_id="fig8", b=3,
+            engine=engine, strategy=strategy, n_jobs=n_jobs,
+        )
     ),
     # Bound checks and ablations
-    "thm32": lambda n_reps, seed=0, engine=None: run_bound_checks(
-        n_reps=n_reps, seed=seed, engine=engine
+    "thm32": lambda n_reps, seed=0, engine=None, strategy=None, n_jobs=None: (
+        run_bound_checks(
+            n_reps=n_reps, seed=seed, engine=engine, strategy=strategy, n_jobs=n_jobs
+        )
     ),
-    "corB1": lambda n_reps, seed=0, engine=None: run_bound_checks(
-        n_reps=n_reps, seed=seed, engine=engine
+    "corB1": lambda n_reps, seed=0, engine=None, strategy=None, n_jobs=None: (
+        run_bound_checks(
+            n_reps=n_reps, seed=seed, engine=engine, strategy=strategy, n_jobs=n_jobs
+        )
     ),
-    "abl-counter": lambda n_reps, seed=0, engine=None: run_counter_ablation(
-        n_reps=n_reps, seed=seed, engine=engine
+    "abl-counter": lambda n_reps, seed=0, engine=None, strategy=None, n_jobs=None: (
+        run_counter_ablation(
+            n_reps=n_reps, seed=seed, engine=engine, strategy=strategy, n_jobs=n_jobs
+        )
     ),
-    "abl-npad": lambda n_reps, seed=0, engine=None: run_padding_ablation(
-        n_reps=n_reps, seed=seed
+    "abl-npad": lambda n_reps, seed=0, engine=None, strategy=None, n_jobs=None: (
+        run_padding_ablation(n_reps=n_reps, seed=seed)
     ),
-    "abl-budget": lambda n_reps, seed=0, engine=None: run_budget_ablation(
-        n_reps=n_reps, seed=seed, engine=engine
+    "abl-budget": lambda n_reps, seed=0, engine=None, strategy=None, n_jobs=None: (
+        run_budget_ablation(
+            n_reps=n_reps, seed=seed, engine=engine, strategy=strategy, n_jobs=n_jobs
+        )
     ),
-    "abl-baseline": lambda n_reps, seed=0, engine=None: run_baseline_comparison(
-        n_reps=n_reps, seed=seed
+    "abl-baseline": lambda n_reps, seed=0, engine=None, strategy=None, n_jobs=None: (
+        run_baseline_comparison(n_reps=n_reps, seed=seed)
     ),
-    "sweep-rho": lambda n_reps, seed=0, engine=None: run_rho_sweep(
-        n_reps=n_reps, seed=seed, engine=engine
+    "sweep-rho": lambda n_reps, seed=0, engine=None, strategy=None, n_jobs=None: (
+        run_rho_sweep(
+            n_reps=n_reps, seed=seed, engine=engine, strategy=strategy, n_jobs=n_jobs
+        )
     ),
-    "sweep-n": lambda n_reps, seed=0, engine=None: run_population_sweep(
-        n_reps=n_reps, seed=seed, engine=engine
+    "sweep-n": lambda n_reps, seed=0, engine=None, strategy=None, n_jobs=None: (
+        run_population_sweep(
+            n_reps=n_reps, seed=seed, engine=engine, strategy=strategy, n_jobs=n_jobs
+        )
     ),
 }
 

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import math
 
-from repro.analysis.replication import replicate_synthesizer
+from repro.analysis.replication import cumulative_strategy, replicate_synthesizer
 from repro.core.cumulative import CumulativeSynthesizer
 from repro.data.dataset import LongitudinalDataset
 from repro.experiments.config import FigureResult, default_engine
@@ -35,6 +35,8 @@ def run_sipp_cumulative_experiment(
     data: LongitudinalDataset | None = None,
     noise_method: str = "vectorized",
     engine: str | None = None,
+    strategy: str | None = None,
+    n_jobs: int | None = None,
 ) -> FigureResult:
     """Reproduce Figure 2 / Figure 8.
 
@@ -52,9 +54,15 @@ def run_sipp_cumulative_experiment(
     engine:
         Counter engine (``"vectorized"`` bank or ``"scalar"``); ``None``
         resolves via :func:`~repro.experiments.config.default_engine`.
+    strategy / n_jobs:
+        Replication strategy and process-pool width for
+        :func:`~repro.analysis.replication.replicate_synthesizer`; the
+        default ``auto`` runs this experiment's repetitions as one batched
+        ``(R, T)`` state machine when the counter has a native bank.
     """
     panel = data if data is not None else sipp_panel()
     engine = default_engine() if engine is None else engine
+    strategy = cumulative_strategy(strategy, engine, counter)
     query = HammingAtLeast(b)
     times = list(range(1, panel.horizon + 1))
 
@@ -70,7 +78,8 @@ def run_sipp_cumulative_experiment(
         )
 
     replicated = replicate_synthesizer(
-        factory, panel, [query], times, n_reps=n_reps, seed=seed
+        factory, panel, [query], times, n_reps=n_reps, seed=seed,
+        strategy=strategy, n_jobs=n_jobs,
     )
     summary = replicated.summary(0)
 
@@ -89,6 +98,7 @@ def run_sipp_cumulative_experiment(
             "counter": counter,
             "budget": budget,
             "engine": engine,
+            "strategy": strategy,
         },
         paper_expectation=(
             "Synthetic-data answers averaged over repetitions accurately match "

@@ -18,11 +18,12 @@ import math
 
 import numpy as np
 
+from repro.analysis.replication import replicate_synthesizer, window_strategy
 from repro.core.fixed_window import FixedWindowSynthesizer
 from repro.data.generators import two_state_markov
 from repro.experiments.config import FigureResult, default_engine
 from repro.queries.window import AtLeastMOnes
-from repro.rng import SeedLike, spawn
+from repro.rng import SeedLike
 
 __all__ = ["run_rho_sweep", "run_population_sweep", "fit_loglog_slope"]
 
@@ -39,24 +40,38 @@ def fit_loglog_slope(x: np.ndarray, y: np.ndarray) -> float:
 
 
 def _mean_abs_error(
-    panel, rho: float, n_reps: int, seed, noise_method: str
+    panel,
+    rho: float,
+    n_reps: int,
+    seed,
+    noise_method: str,
+    strategy: str | None = None,
+    n_jobs: int | None = None,
 ) -> float:
-    """Mean |debiased error| of the ≥1-month query at the final round."""
+    """Mean |debiased error| of the ≥1-month query at the final round.
+
+    Runs through :func:`replicate_synthesizer` so the sweeps inherit the
+    replication strategies (serial spawns the same per-rep generators the
+    old inline loop did, so the default results are unchanged).
+    """
+    strategy = window_strategy(strategy)
     query = AtLeastMOnes(_WINDOW, 1)
     t = panel.horizon
-    truth = query.evaluate(panel, t)
-    errors = []
-    for generator in spawn(seed, n_reps):
-        synthesizer = FixedWindowSynthesizer(
+
+    def factory(generator):
+        return FixedWindowSynthesizer(
             horizon=panel.horizon,
             window=_WINDOW,
             rho=rho,
             seed=generator,
             noise_method=noise_method,
         )
-        release = synthesizer.run(panel)
-        errors.append(abs(release.answer(query, t) - truth))
-    return float(np.mean(errors))
+
+    replicated = replicate_synthesizer(
+        factory, panel, [query], [t], n_reps=n_reps, seed=seed,
+        strategy=strategy, n_jobs=n_jobs,
+    )
+    return float(np.abs(replicated.errors()).mean())
 
 
 def run_rho_sweep(
@@ -66,6 +81,8 @@ def run_rho_sweep(
     rhos: tuple[float, ...] = (0.002, 0.005, 0.02, 0.05, 0.2),
     noise_method: str = "vectorized",
     engine: str | None = None,
+    strategy: str | None = None,
+    n_jobs: int | None = None,
 ) -> FigureResult:
     """Error vs privacy budget at fixed population size.
 
@@ -74,13 +91,16 @@ def run_rho_sweep(
     ``engine`` is accepted for runner-signature uniformity (the CLI threads
     one ``--engine`` flag through every experiment); the window pipeline
     has no stream-counter bank, so it is recorded but has no effect here.
+    ``strategy`` / ``n_jobs`` select the replication execution.
     """
     engine = default_engine() if engine is None else engine
     panel = two_state_markov(n, _HORIZON, p_stay=0.85, p_enter=0.02, seed=17)
     rows = []
     errors = []
     for rho in rhos:
-        error = _mean_abs_error(panel, rho, n_reps, seed, noise_method)
+        error = _mean_abs_error(
+            panel, rho, n_reps, seed, noise_method, strategy=strategy, n_jobs=n_jobs
+        )
         errors.append(error)
         rows.append({"rho": rho, "mean_abs_error": error})
     slope = fit_loglog_slope(np.asarray(rhos), np.asarray(errors))
@@ -107,6 +127,8 @@ def run_population_sweep(
     sizes: tuple[int, ...] = (1000, 2000, 4000, 8000, 16000),
     noise_method: str = "vectorized",
     engine: str | None = None,
+    strategy: str | None = None,
+    n_jobs: int | None = None,
 ) -> FigureResult:
     """Error vs population size at fixed budget.
 
@@ -114,13 +136,16 @@ def run_population_sweep(
     noise is independent of ``n``, so the fraction-scale error shrinks
     linearly.  ``engine`` is accepted for runner-signature uniformity and
     recorded; the window pipeline has no stream-counter bank.
+    ``strategy`` / ``n_jobs`` select the replication execution.
     """
     engine = default_engine() if engine is None else engine
     rows = []
     errors = []
     for n in sizes:
         panel = two_state_markov(n, _HORIZON, p_stay=0.85, p_enter=0.02, seed=18)
-        error = _mean_abs_error(panel, rho, n_reps, seed, noise_method)
+        error = _mean_abs_error(
+            panel, rho, n_reps, seed, noise_method, strategy=strategy, n_jobs=n_jobs
+        )
         errors.append(error)
         rows.append({"n": n, "mean_abs_error": error})
     slope = fit_loglog_slope(np.asarray(sizes, dtype=np.float64), np.asarray(errors))

@@ -24,6 +24,19 @@ the scalar :class:`~repro.streams.base.StreamCounter` objects behind the
 same interface.  In noiseless mode (``rho_b = inf``) every native bank is
 bit-exact with its scalar counterpart — the equivalence tests in
 ``tests/streams/test_bank.py`` pin this down.
+
+**Rep axis.**  Every native bank additionally accepts ``n_reps=R`` and then
+runs ``R`` statistically independent replicas of the whole counter family
+in lockstep: state arrays carry a leading rep axis, each round draws one
+``(R, rows)`` noise block via the ``size``-aware
+:meth:`~repro.dp.discrete_gaussian.DiscreteGaussianSampler.sample_columns`
+API, and :meth:`CounterBank.feed` returns a ``(R, t)`` estimate matrix.
+The increments are shared across replicas (all repetitions of a figure see
+the same panel); only the noise differs.  This is the engine behind
+``replicate_synthesizer(strategy="batched")``, which collapses the
+1000-repetition Python loop of the paper's figures into one batched NumPy
+state machine.  With ``n_reps=1`` (default) the public shapes and the
+noise bit-stream are unchanged from the single-run bank.
 """
 
 from __future__ import annotations
@@ -70,6 +83,10 @@ class CounterBank(abc.ABC):
     noise_method:
         ``"exact"`` or ``"vectorized"`` noise backend, forwarded to the
         batched samplers (and to wrapped counters in the fallback).
+    n_reps:
+        Number of independent replicas advanced in lockstep (the rep
+        axis).  With ``n_reps=1`` (default) :meth:`feed` returns the legacy
+        ``(t,)`` vector; with ``n_reps=R > 1`` it returns ``(R, t)``.
     """
 
     def __init__(
@@ -78,6 +95,7 @@ class CounterBank(abc.ABC):
         rho_per_threshold,
         seeds: SeedLike | Sequence = None,
         noise_method: str = "vectorized",
+        n_reps: int = 1,
     ):
         if horizon <= 0:
             raise ConfigurationError(f"horizon must be positive, got {horizon}")
@@ -85,6 +103,8 @@ class CounterBank(abc.ABC):
             raise ConfigurationError(
                 f"noise_method must be 'exact' or 'vectorized', got {noise_method!r}"
             )
+        if n_reps < 1:
+            raise ConfigurationError(f"n_reps must be >= 1, got {n_reps}")
         rho = np.asarray(rho_per_threshold, dtype=np.float64)
         if rho.shape != (horizon,):
             raise ConfigurationError(
@@ -95,6 +115,7 @@ class CounterBank(abc.ABC):
         self.horizon = int(horizon)
         self.rho_per_threshold = rho
         self.noise_method = noise_method
+        self.n_reps = int(n_reps)
         if isinstance(seeds, (list, tuple)):
             if len(seeds) != horizon:
                 raise ConfigurationError(
@@ -138,8 +159,9 @@ class CounterBank(abc.ABC):
         ``z`` must be the length-``t`` increment vector for the new round
         ``t`` (``z[b-1]`` feeds threshold ``b``'s counter; the row for
         ``b = t`` activates this round and receives its first element).
-        Returns the float64 noisy prefix-sum estimates for rows
-        ``b = 1..t``.
+        The increments are shared by every replica.  Returns the float64
+        noisy prefix-sum estimates for rows ``b = 1..t`` — shape ``(t,)``
+        for ``n_reps == 1``, ``(n_reps, t)`` otherwise.
         """
         if self._t >= self.horizon:
             raise StreamLengthError(
@@ -157,19 +179,21 @@ class CounterBank(abc.ABC):
         self._t = t
         self._true_sums[:t] += z
         estimates = np.asarray(self._feed(z), dtype=np.float64)
-        if estimates.shape != (t,):
+        if estimates.shape == (t,):
+            estimates = estimates[None, :]
+        if estimates.shape != (self.n_reps, t):
             raise ConfigurationError(
-                f"bank produced shape {estimates.shape}, expected ({t},)"
+                f"bank produced shape {estimates.shape}, expected ({self.n_reps}, {t})"
             )
-        return estimates
+        return estimates[0] if self.n_reps == 1 else estimates
 
     def run(self, increments: np.ndarray) -> np.ndarray:
         """Feed a full ``(T, T)`` lower-triangular increment table.
 
         ``increments[t-1, :t]`` is the round-``t`` vector; returns the
         ``(T, T)`` table of estimates (row ``t-1`` holds rounds ``1..t``,
-        zero above the diagonal).  Convenience driver for tests and
-        benchmarks.
+        zero above the diagonal), with a leading rep axis when
+        ``n_reps > 1``.  Convenience driver for tests and benchmarks.
         """
         increments = np.asarray(increments, dtype=np.int64)
         if increments.shape != (self.horizon, self.horizon):
@@ -177,10 +201,10 @@ class CounterBank(abc.ABC):
                 f"increment table must be (T, T)={self.horizon, self.horizon}, "
                 f"got {increments.shape}"
             )
-        out = np.zeros((self.horizon, self.horizon), dtype=np.float64)
+        out = np.zeros((self.n_reps, self.horizon, self.horizon), dtype=np.float64)
         for t in range(1, self.horizon + 1):
-            out[t - 1, :t] = self.feed(increments[t - 1, :t])
-        return out
+            out[:, t - 1, :t] = self.feed(increments[t - 1, :t])
+        return out[0] if self.n_reps == 1 else out
 
     def __repr__(self) -> str:
         return (
@@ -212,6 +236,19 @@ class CounterBank(abc.ABC):
     # Shared helpers
     # ------------------------------------------------------------------
 
+    def _rep_noise(self, sampler, scales) -> np.ndarray:
+        """One ``(n_reps, len(scales))`` heterogeneous draw.
+
+        The ``n_reps == 1`` arm calls the legacy 1-D ``sample_columns``
+        path so a single-run bank consumes exactly the PR-1 bit-stream;
+        the replicated arm uses the ``size``-aware batched API.  All
+        native banks draw through this helper so the two arms cannot
+        drift per bank.
+        """
+        if self.n_reps == 1:
+            return sampler.sample_columns(scales)[None, :]
+        return sampler.sample_columns(scales, size=self.n_reps)
+
     def _gaussian_sigma_sq_rows(self, numerators) -> list[Fraction]:
         """Per-row ``numerator / (2 rho_b)`` variances as exact Fractions.
 
@@ -235,19 +272,27 @@ class _TreeBankCore(CounterBank):
     """Shared batched state machine for binary-tree-shaped banks.
 
     Row ``r`` mirrors Algorithm 3's streaming form at its local clock
-    ``t_r = t - r``: level-``j`` buffers ``alpha[r, j]`` accumulate partial
-    sums, a completed level folds all lower levels, and the estimate sums
-    the noisy buffers selected by the binary representation of ``t_r``.
-    All rows fold, draw noise, and read out together.
+    ``t_r = t - r``: level-``j`` buffers ``alpha[rep, r, j]`` accumulate
+    partial sums, a completed level folds all lower levels, and the estimate
+    sums the noisy buffers selected by the binary representation of ``t_r``.
+    All rows — and all replicas along the leading rep axis — fold, draw
+    noise, and read out together; the fold pattern depends only on the
+    clock, so it is shared across replicas and only the noise block is
+    per-rep.
     """
 
-    def __init__(self, horizon, rho_per_threshold, seeds=None, noise_method="vectorized"):
-        super().__init__(horizon, rho_per_threshold, seeds=seeds, noise_method=noise_method)
+    def __init__(
+        self, horizon, rho_per_threshold, seeds=None, noise_method="vectorized", n_reps=1
+    ):
+        super().__init__(
+            horizon, rho_per_threshold, seeds=seeds, noise_method=noise_method,
+            n_reps=n_reps,
+        )
         lengths = self.row_horizons()
         self.levels = np.array([int(n).bit_length() for n in lengths], dtype=np.int64)
         n_levels = int(self.levels[0])  # row 0 has the longest stream
-        self._alpha = np.zeros((self.horizon, n_levels), dtype=np.int64)
-        self._alpha_noisy = np.zeros((self.horizon, n_levels), dtype=np.int64)
+        self._alpha = np.zeros((self.n_reps, self.horizon, n_levels), dtype=np.int64)
+        self._alpha_noisy = np.zeros((self.n_reps, self.horizon, n_levels), dtype=np.int64)
         self._level_idx = np.arange(n_levels, dtype=np.int64)
 
     def _feed(self, z: np.ndarray) -> np.ndarray:
@@ -256,33 +301,30 @@ class _TreeBankCore(CounterBank):
         lowest = local & -local
         fold_level = np.round(np.log2(lowest)).astype(np.int64)
 
-        alpha = self._alpha[:t]
-        alpha_noisy = self._alpha_noisy[:t]
+        alpha = self._alpha[:, :t]  # (R, t, L) views into the state
+        alpha_noisy = self._alpha_noisy[:, :t]
+        rows = np.arange(t)
         # sum of levels below the fold target, via per-row prefix sums
-        prefix = np.cumsum(alpha, axis=1)
+        prefix = np.cumsum(alpha, axis=2)
         below = np.where(
-            fold_level > 0,
-            np.take_along_axis(
-                prefix, np.maximum(fold_level - 1, 0)[:, None], axis=1
-            )[:, 0],
+            fold_level[None, :] > 0,
+            prefix[:, rows, np.maximum(fold_level - 1, 0)],
             0,
         )
-        folded = below + z
-        clear = self._level_idx[None, :] < fold_level[:, None]
-        alpha[clear] = 0
-        alpha_noisy[clear] = 0
-        np.put_along_axis(alpha, fold_level[:, None], folded[:, None], axis=1)
+        folded = below + z[None, :]
+        clear = self._level_idx[None, :] < fold_level[:, None]  # (t, L)
+        alpha[:, clear] = 0
+        alpha_noisy[:, clear] = 0
+        alpha[:, rows, fold_level] = folded
         noise = self._round_noise(t)
-        np.put_along_axis(
-            alpha_noisy, fold_level[:, None], (folded + noise)[:, None], axis=1
-        )
+        alpha_noisy[:, rows, fold_level] = folded + noise
         # Dyadic decomposition of [1, t_r] = the set bits of the local clock.
         bits = (local[:, None] >> self._level_idx[None, :]) & 1
-        return (alpha_noisy * bits).sum(axis=1).astype(np.float64)
+        return (alpha_noisy * bits[None, :, :]).sum(axis=2).astype(np.float64)
 
     @abc.abstractmethod
     def _round_noise(self, t: int) -> np.ndarray:
-        """One fresh noise value per active row (int64, length ``t``)."""
+        """One fresh noise block per round: int64 ``(n_reps, t)``."""
 
     @abc.abstractmethod
     def _node_variance(self, b: int) -> float:
@@ -303,8 +345,13 @@ class BinaryTreeBank(_TreeBankCore):
     dyadic level count — exactly the scalar counter's calibration.
     """
 
-    def __init__(self, horizon, rho_per_threshold, seeds=None, noise_method="vectorized"):
-        super().__init__(horizon, rho_per_threshold, seeds=seeds, noise_method=noise_method)
+    def __init__(
+        self, horizon, rho_per_threshold, seeds=None, noise_method="vectorized", n_reps=1
+    ):
+        super().__init__(
+            horizon, rho_per_threshold, seeds=seeds, noise_method=noise_method,
+            n_reps=n_reps,
+        )
         self.sigma_sq_rows = self._gaussian_sigma_sq_rows(self.levels)
         self._sigma_sq_float = np.array(
             [float(s) for s in self.sigma_sq_rows], dtype=np.float64
@@ -319,7 +366,7 @@ class BinaryTreeBank(_TreeBankCore):
             if self.noise_method == "exact"
             else self._sigma_sq_float[:t]
         )
-        return self._sampler.sample_columns(scales)
+        return self._rep_noise(self._sampler, scales)
 
     def _node_variance(self, b: int) -> float:
         return float(self._sigma_sq_float[b - 1])
@@ -332,8 +379,13 @@ class LaplaceTreeBank(_TreeBankCore):
     ``eps_b = sqrt(2 rho_b)`` — the pure-DP tree variant.
     """
 
-    def __init__(self, horizon, rho_per_threshold, seeds=None, noise_method="vectorized"):
-        super().__init__(horizon, rho_per_threshold, seeds=seeds, noise_method=noise_method)
+    def __init__(
+        self, horizon, rho_per_threshold, seeds=None, noise_method="vectorized", n_reps=1
+    ):
+        super().__init__(
+            horizon, rho_per_threshold, seeds=seeds, noise_method=noise_method,
+            n_reps=n_reps,
+        )
         self.scale_rows = []
         for levels_b, rho_b in zip(self.levels, self.rho_per_threshold):
             if math.isinf(rho_b):
@@ -352,7 +404,7 @@ class LaplaceTreeBank(_TreeBankCore):
         scales = (
             self.scale_rows[:t] if self.noise_method == "exact" else self._scale_float[:t]
         )
-        return self._sampler.sample_columns(scales)
+        return self._rep_noise(self._sampler, scales)
 
     def _node_variance(self, b: int) -> float:
         scale = float(self._scale_float[b - 1])
@@ -370,8 +422,13 @@ class SimpleBank(CounterBank):
     vector add plus one batched draw per round.
     """
 
-    def __init__(self, horizon, rho_per_threshold, seeds=None, noise_method="vectorized"):
-        super().__init__(horizon, rho_per_threshold, seeds=seeds, noise_method=noise_method)
+    def __init__(
+        self, horizon, rho_per_threshold, seeds=None, noise_method="vectorized", n_reps=1
+    ):
+        super().__init__(
+            horizon, rho_per_threshold, seeds=seeds, noise_method=noise_method,
+            n_reps=n_reps,
+        )
         self.sigma_sq_rows = self._gaussian_sigma_sq_rows(self.row_horizons())
         self._sigma_sq_float = np.array(
             [float(s) for s in self.sigma_sq_rows], dtype=np.float64
@@ -387,8 +444,8 @@ class SimpleBank(CounterBank):
             if self.noise_method == "exact"
             else self._sigma_sq_float[:t]
         )
-        noise = self._sampler.sample_columns(scales)
-        return (self._true_sums[:t] + noise).astype(np.float64)
+        noise = self._rep_noise(self._sampler, scales)
+        return (self._true_sums[:t][None, :] + noise).astype(np.float64)
 
     def error_stddev(self, b: int, t: int) -> float:
         self._check_row(b)
@@ -399,14 +456,21 @@ class SqrtFactorizationBank(CounterBank):
     """Batched :class:`~repro.streams.sqrt_factorization.SqrtFactorizationCounter` rows.
 
     Row ``r``'s correlated noise at global round ``t`` is
-    ``sum_s f_{t-s} xi[r, s]`` over the rounds ``s`` since its activation;
-    storing the i.i.d. draws ``xi`` aligned by *global* round (zero before
-    activation) turns all rows' correlations into one matrix-vector product
-    with the reversed coefficient prefix.
+    ``sum_s f_{t-s} xi[rep, r, s]`` over the rounds ``s`` since its
+    activation; storing the i.i.d. draws ``xi`` aligned by *global* round
+    (zero before activation) turns all rows' correlations into one
+    matrix-vector product with the reversed coefficient prefix, batched
+    over the rep axis.  Note the replicated state is ``(R, T, T)`` floats —
+    size the rep count accordingly for very long horizons.
     """
 
-    def __init__(self, horizon, rho_per_threshold, seeds=None, noise_method="vectorized"):
-        super().__init__(horizon, rho_per_threshold, seeds=seeds, noise_method=noise_method)
+    def __init__(
+        self, horizon, rho_per_threshold, seeds=None, noise_method="vectorized", n_reps=1
+    ):
+        super().__init__(
+            horizon, rho_per_threshold, seeds=seeds, noise_method=noise_method,
+            n_reps=n_reps,
+        )
         self.coefficients = sqrt_factorization_coefficients(self.horizon)
         norm_sq = np.cumsum(self.coefficients**2)
         col_norm_sq = norm_sq[self.row_horizons() - 1]
@@ -418,15 +482,21 @@ class SqrtFactorizationBank(CounterBank):
             )
         self.sigma_rows = np.sqrt(sigma_sq)
         self._noiseless = bool((self.sigma_rows == 0).all())
-        self._xi = np.zeros((self.horizon, self.horizon), dtype=np.float64)
+        self._xi = np.zeros((self.n_reps, self.horizon, self.horizon), dtype=np.float64)
 
     def _feed(self, z: np.ndarray) -> np.ndarray:
         t = self._t
         if self._noiseless:
-            return self._true_sums[:t].astype(np.float64)
-        self._xi[:t, t - 1] = self._generator.normal(0.0, self.sigma_rows[:t])
-        correlated = self._xi[:t, :t] @ self.coefficients[:t][::-1]
-        return self._true_sums[:t] + correlated
+            return np.tile(self._true_sums[:t].astype(np.float64), (self.n_reps, 1))
+        if self.n_reps == 1:
+            # Keep the exact single-run draw call (and bit-stream) of PR 1.
+            self._xi[0, :t, t - 1] = self._generator.normal(0.0, self.sigma_rows[:t])
+        else:
+            self._xi[:, :t, t - 1] = self._generator.normal(
+                0.0, self.sigma_rows[:t], size=(self.n_reps, t)
+            )
+        correlated = self._xi[:, :t, :t] @ self.coefficients[:t][::-1]
+        return self._true_sums[:t][None, :] + correlated
 
     def error_stddev(self, b: int, t: int) -> float:
         self._check_row(b)
@@ -453,9 +523,16 @@ class FallbackBank(CounterBank):
         rho_per_threshold,
         seeds=None,
         noise_method="vectorized",
+        n_reps: int = 1,
         counter: str = "binary_tree",
         counter_kwargs: dict | None = None,
     ):
+        if n_reps != 1:
+            raise ConfigurationError(
+                f"FallbackBank wraps scalar counters and has no rep axis; "
+                f"n_reps must be 1, got {n_reps} (counter {counter!r} has no "
+                "native vectorized bank)"
+            )
         super().__init__(horizon, rho_per_threshold, seeds=seeds, noise_method=noise_method)
         self.counter_name = counter
         self._counter_kwargs = dict(counter_kwargs or {})

@@ -114,6 +114,7 @@ def make_bank(
     *,
     seeds=None,
     noise_method: str = "vectorized",
+    n_reps: int = 1,
     counter_kwargs: dict | None = None,
 ) -> "CounterBank":
     """Instantiate the vectorized bank for counter ``name``.
@@ -123,6 +124,10 @@ def make_bank(
     scalar counter in a :class:`~repro.streams.bank.FallbackBank` (native
     banks are calibrated from ``(horizon, rho_b)`` alone, so extra
     constructor knobs route through the scalar counters that define them).
+
+    ``n_reps > 1`` requests the rep axis (``R`` independent replicas
+    advanced in lockstep) and therefore requires a native bank; the
+    fallback has no batched noise path and rejects it.
     """
     from repro.streams.bank import FallbackBank
 
@@ -132,12 +137,16 @@ def make_bank(
         )
     cls = _BANK_REGISTRY.get(name)
     if cls is not None and not counter_kwargs:
-        return cls(horizon, rho_per_threshold, seeds=seeds, noise_method=noise_method)
+        return cls(
+            horizon, rho_per_threshold, seeds=seeds, noise_method=noise_method,
+            n_reps=n_reps,
+        )
     return FallbackBank(
         horizon,
         rho_per_threshold,
         seeds=seeds,
         noise_method=noise_method,
+        n_reps=n_reps,
         counter=name,
         counter_kwargs=counter_kwargs,
     )

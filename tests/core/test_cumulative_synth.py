@@ -222,3 +222,67 @@ class TestStreamingAPI:
         synth = CumulativeSynthesizer(horizon=5, rho=0.5, seed=20)
         with pytest.raises(DataValidationError):
             synth.run(panel)
+
+
+class TestLazyMaterialization:
+    """Lazy vs eager synthetic-store materialization (bit-exact contract)."""
+
+    def _run(self, panel, materialize, seed=21, rho=0.05):
+        synth = CumulativeSynthesizer(
+            horizon=panel.horizon, rho=rho, seed=seed,
+            noise_method="vectorized", materialize=materialize,
+        )
+        synth.run(panel)
+        return synth
+
+    def test_lazy_is_default_and_defers_draws(self, small_markov_panel):
+        synth = self._run(small_markov_panel, "lazy")
+        assert synth.materialize == "lazy"
+        # No record has been drawn yet: the store clock is still at zero.
+        assert synth._store.t == 0
+        panel = synth.release.synthetic_data()
+        assert panel.horizon == small_markov_panel.horizon
+        assert synth._store.t == small_markov_panel.horizon
+
+    def test_lazy_matches_eager_bitwise(self, small_markov_panel):
+        lazy = self._run(small_markov_panel, "lazy")
+        eager = self._run(small_markov_panel, "eager")
+        assert (
+            lazy.release.synthetic_data().matrix
+            == eager.release.synthetic_data().matrix
+        ).all()
+        assert (
+            lazy.release.threshold_table() == eager.release.threshold_table()
+        ).all()
+
+    def test_invariants_after_on_demand_materialization(self, small_markov_panel):
+        synth = self._run(small_markov_panel, "lazy")
+        # check_invariants itself materializes on demand and must pass.
+        assert synth.check_invariants()
+        # Repeated calls don't re-extend (the pending queue was drained).
+        assert synth.check_invariants()
+
+    @pytest.mark.parametrize("rho", [math.inf, 0.1])
+    def test_interleaved_requests_match_eager(self, small_markov_panel, rho):
+        # Requesting the panel mid-stream must not disturb the replayed
+        # generator order: draws happen in release order either way.
+        columns = list(small_markov_panel.columns())
+        synths = {}
+        for mode in ("lazy", "eager"):
+            synth = CumulativeSynthesizer(
+                horizon=small_markov_panel.horizon, rho=rho, seed=5,
+                noise_method="vectorized", materialize=mode,
+            )
+            for i, column in enumerate(columns):
+                synth.observe_column(column)
+                if i == 3:
+                    synth.release.synthetic_data()
+            synths[mode] = synth
+        assert (
+            synths["lazy"].release.synthetic_data().matrix
+            == synths["eager"].release.synthetic_data().matrix
+        ).all()
+
+    def test_materialize_validated(self):
+        with pytest.raises(ConfigurationError):
+            CumulativeSynthesizer(horizon=4, rho=1.0, materialize="sometimes")

@@ -148,21 +148,26 @@ class TestCLI:
         # Patch in a fast fake experiment to keep the CLI test quick.
         from repro.experiments import registry
 
-        def fake(n_reps, seed=0, engine=None):
+        def fake(n_reps, seed=0, engine=None, strategy=None, n_jobs=None):
             result = FigureResult(experiment_id="fake", title="fake experiment")
             result.check("always true", True)
             result.check("engine threaded", engine in ("vectorized", "scalar"))
+            result.check(
+                "strategy threaded",
+                strategy in ("auto", "batched", "process", "serial"),
+            )
             return result
 
         monkeypatch.setitem(registry.EXPERIMENTS, "fake", fake)
         assert main(["run", "fake", "--reps", "1"]) == 0
         assert "fake experiment" in capsys.readouterr().out
         assert main(["run", "fake", "--engine", "scalar"]) == 0
+        assert main(["run", "fake", "--replication-strategy", "process", "--n-jobs", "2"]) == 0
 
     def test_run_command_fails_on_failed_checks(self, capsys, monkeypatch):
         from repro.experiments import registry
 
-        def fake(n_reps, seed=0, engine=None):
+        def fake(n_reps, seed=0, engine=None, strategy=None, n_jobs=None):
             result = FigureResult(experiment_id="fake2", title="failing experiment")
             result.check("always false", False)
             return result

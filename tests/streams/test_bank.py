@@ -379,3 +379,136 @@ class TestSynthesizerEngineSurface:
         assert lower == upper == 1.0
         lower, upper = cumulative_answer_ci(release, HammingAtLeast(6), 3)
         assert lower == upper == 0.0
+
+
+class TestRepAxis:
+    """Replicated banks: (R, t) shapes, noiseless equivalence, validation."""
+
+    NATIVE = ("binary_tree", "simple", "sqrt_factorization", "laplace_tree")
+
+    @pytest.mark.parametrize("name", NATIVE)
+    def test_feed_shapes_with_rep_axis(self, name):
+        bank = make_bank(
+            name,
+            horizon=6,
+            rho_per_threshold=allocate_budget(6, 0.5, "corollary_b1"),
+            seeds=1,
+            n_reps=4,
+        )
+        for t in range(1, 7):
+            estimates = bank.feed(np.arange(t))
+            assert estimates.shape == (4, t)
+
+    @pytest.mark.parametrize("name", NATIVE)
+    def test_noiseless_reps_all_match_single_run(self, name):
+        increments = _increment_table(8, seed=5)
+        rho_vec = np.full(8, math.inf)
+        replicated = make_bank(
+            name, horizon=8, rho_per_threshold=rho_vec, seeds=2, n_reps=3
+        ).run(increments)
+        single = make_bank(
+            name, horizon=8, rho_per_threshold=rho_vec, seeds=2
+        ).run(increments)
+        assert replicated.shape == (3, 8, 8)
+        assert (replicated == single[None, :, :]).all()
+
+    @pytest.mark.parametrize("name", NATIVE)
+    @pytest.mark.parametrize("noise_method", ["exact", "vectorized"])
+    def test_noisy_reps_differ(self, name, noise_method):
+        increments = _increment_table(6, seed=6)
+        bank = make_bank(
+            name,
+            horizon=6,
+            rho_per_threshold=allocate_budget(6, 0.2, "corollary_b1"),
+            seeds=3,
+            noise_method=noise_method,
+            n_reps=3,
+        )
+        out = bank.run(increments)
+        assert not (out[0] == out[1]).all()
+        assert not (out[1] == out[2]).all()
+
+    def test_single_rep_shape_unchanged(self):
+        bank = make_bank(
+            "binary_tree",
+            horizon=4,
+            rho_per_threshold=np.full(4, math.inf),
+            seeds=4,
+            n_reps=1,
+        )
+        assert bank.feed(np.array([2])).shape == (1,)
+
+    def test_fallback_rejects_rep_axis(self):
+        with pytest.raises(ConfigurationError):
+            make_bank(
+                "honaker",
+                horizon=4,
+                rho_per_threshold=np.full(4, math.inf),
+                n_reps=2,
+            )
+        with pytest.raises(ConfigurationError):
+            FallbackBank(4, np.full(4, math.inf), n_reps=2)
+
+    def test_counter_kwargs_reject_rep_axis(self):
+        # counter_kwargs force the fallback, which has no rep axis.
+        with pytest.raises(ConfigurationError):
+            make_bank(
+                "block",
+                horizon=4,
+                rho_per_threshold=np.full(4, math.inf),
+                n_reps=2,
+                counter_kwargs={"block_size": 2},
+            )
+
+    def test_n_reps_validated(self):
+        with pytest.raises(ConfigurationError):
+            make_bank(
+                "binary_tree",
+                horizon=4,
+                rho_per_threshold=np.full(4, math.inf),
+                n_reps=0,
+            )
+
+    def test_error_stddev_independent_of_reps(self):
+        rho_vec = allocate_budget(8, 0.5, "corollary_b1")
+        one = make_bank("binary_tree", horizon=8, rho_per_threshold=rho_vec, seeds=5)
+        many = make_bank(
+            "binary_tree", horizon=8, rho_per_threshold=rho_vec, seeds=5, n_reps=7
+        )
+        for b in (1, 4, 8):
+            assert one.error_stddev(b, 3) == many.error_stddev(b, 3)
+
+
+class TestSizeAwareSamplers:
+    """sample_columns(..., size=R) — the (R, rows) rep-axis draw."""
+
+    @pytest.mark.parametrize("method", ["exact", "vectorized"])
+    def test_gaussian_size_shape_and_zero_columns(self, method):
+        sampler = DiscreteGaussianSampler(0, seed=11, method=method)
+        draws = sampler.sample_columns([0, 4.0, 25.0], size=6)
+        assert draws.shape == (6, 3)
+        assert (draws[:, 0] == 0).all()
+
+    @pytest.mark.parametrize("method", ["exact", "vectorized"])
+    def test_laplace_size_shape_and_zero_columns(self, method):
+        sampler = DiscreteLaplaceSampler(1, seed=12, method=method)
+        draws = sampler.sample_columns([0, 2.0, 9.0], size=6)
+        assert draws.shape == (6, 3)
+        assert (draws[:, 0] == 0).all()
+
+    def test_size_zero_and_negative(self):
+        sampler = DiscreteGaussianSampler(0, seed=13, method="vectorized")
+        assert sampler.sample_columns([1.0, 2.0], size=0).shape == (0, 2)
+        with pytest.raises(ValueError):
+            sampler.sample_columns([1.0], size=-1)
+
+    def test_size_none_keeps_legacy_bit_stream(self):
+        a = DiscreteGaussianSampler(0, seed=14, method="vectorized")
+        b = DiscreteGaussianSampler(0, seed=14, method="vectorized")
+        scales = [3.0, 7.0, 11.0]
+        assert (a.sample_columns(scales) == b.sample_columns(scales, size=None)).all()
+
+    def test_rows_are_independent(self):
+        sampler = DiscreteGaussianSampler(0, seed=15, method="vectorized")
+        draws = sampler.sample_columns(np.full(64, 1000.0), size=2)
+        assert not (draws[0] == draws[1]).all()
