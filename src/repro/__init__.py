@@ -25,6 +25,8 @@ Package map (see DESIGN.md for the full inventory):
 * :mod:`repro.queries` — window and cumulative query classes;
 * :mod:`repro.baselines` — recompute-from-scratch, clamping, oracle;
 * :mod:`repro.analysis` — theory bounds, metrics, replication harness;
+* :mod:`repro.serve` — online serving: round-by-round ingestion,
+  checkpoint/restore, sharded multi-tenant scaling;
 * :mod:`repro.experiments` — one runnable definition per paper figure.
 """
 
@@ -63,6 +65,7 @@ from repro.exceptions import (
     NotFittedError,
     PrivacyBudgetError,
     ReproError,
+    SerializationError,
     StreamLengthError,
 )
 from repro.queries import (
@@ -79,6 +82,7 @@ from repro.queries import (
     WindowLinearQuery,
     quarterly_poverty_workload,
 )
+from repro.serve import ShardedService, StreamingSynthesizer
 from repro.streams import (
     BinaryTreeCounter,
     BlockCounter,
@@ -90,7 +94,7 @@ from repro.streams import (
     make_counter,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     # core
@@ -142,6 +146,9 @@ __all__ = [
     "replicate_synthesizer",
     "ReplicatedAnswers",
     "SeriesSummary",
+    # serving
+    "StreamingSynthesizer",
+    "ShardedService",
     # exceptions
     "ReproError",
     "ConfigurationError",
@@ -151,5 +158,6 @@ __all__ = [
     "StreamLengthError",
     "DataValidationError",
     "NotFittedError",
+    "SerializationError",
     "__version__",
 ]

@@ -58,6 +58,19 @@ class SeriesSummary:
 
     All arrays share the length of ``x`` (the series index — time steps or
     quarters).
+
+    Attributes
+    ----------
+    x:
+        Series index (time steps or quarters).
+    truth:
+        Ground-truth value per index, evaluated on the raw panel.
+    median, lower, upper:
+        Replication median and band quantiles per index.
+    mean:
+        Replication mean per index.
+    label:
+        Display label for tables and reports.
     """
 
     x: np.ndarray

@@ -36,7 +36,19 @@ class _OracleRelease:
 
 
 class NonPrivateSynthesizer:
-    """Oracle: outputs the original records (no privacy whatsoever)."""
+    """Oracle: outputs the original records (no privacy whatsoever).
+
+    Parameters
+    ----------
+    horizon:
+        Known time horizon ``T`` (validated against the panel fed to
+        ``run``).
+
+    Raises
+    ------
+    repro.exceptions.ConfigurationError
+        If ``horizon`` is not positive.
+    """
 
     def __init__(self, horizon: int):
         if horizon <= 0:

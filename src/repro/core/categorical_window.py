@@ -208,7 +208,14 @@ class _CategoricalStore:
 
 
 class CategoricalWindowRelease:
-    """Release view of a categorical fixed-window run."""
+    """Release view of a categorical fixed-window run.
+
+    Parameters
+    ----------
+    synthesizer:
+        The owning :class:`CategoricalWindowSynthesizer`; the release is
+        a live view of its state, not a frozen copy.
+    """
 
     def __init__(self, synthesizer: "CategoricalWindowSynthesizer"):
         self._synth = synthesizer

@@ -39,14 +39,22 @@ from repro.exceptions import (
     ConfigurationError,
     DataValidationError,
     NotFittedError,
+    SerializationError,
 )
 from repro.queries.cumulative import HammingAtLeast, HammingExactly
-from repro.rng import SeedLike, as_generator, spawn
+from repro.rng import (
+    SeedLike,
+    as_generator,
+    generator_state,
+    restore_generator_state,
+    spawn,
+)
 from repro.streams.registry import (
     available_counters,
     make_bank,
     make_counter,
     resolve_engine,
+    restore_counter,
 )
 
 __all__ = [
@@ -86,6 +94,13 @@ class CumulativeRelease:
     Exposes the synthetic panel, the monotonized threshold table
     ``S^_b^t``, and direct answers for :class:`HammingAtLeast` /
     :class:`HammingExactly` queries.
+
+    Parameters
+    ----------
+    synthesizer:
+        The owning :class:`CumulativeSynthesizer`; the release is a live
+        view of its state (one cached instance per synthesizer), not a
+        frozen copy.
     """
 
     def __init__(self, synthesizer: "CumulativeSynthesizer"):
@@ -377,6 +392,247 @@ class CumulativeSynthesizer:
             return False
         census = self._materialized_store().threshold_census()
         return bool((census == self._table[self._t]).all())
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+
+    def config_dict(self) -> dict:
+        """The constructor arguments needed to rebuild this synthesizer.
+
+        Returns
+        -------
+        dict
+            JSON-safe mapping with ``algorithm: "cumulative"`` plus the
+            horizon, budget (as the resolved explicit per-threshold
+            vector), counter name, engine, noise method, materialization
+            mode, and counter kwargs.  :meth:`from_config` consumes it;
+            the seed is deliberately absent — a restored synthesizer gets
+            its randomness from the serialized generator states, not from
+            re-seeding.
+        """
+        return {
+            "algorithm": "cumulative",
+            "horizon": self.horizon,
+            "rho": self.rho,
+            "counter": self.counter_name,
+            "budget": [float(r) for r in self.rho_per_threshold],
+            "engine": self.engine,
+            "noise_method": self.noise_method,
+            "materialize": self.materialize,
+            "counter_kwargs": dict(self._counter_kwargs),
+        }
+
+    @classmethod
+    def from_config(cls, config: dict) -> "CumulativeSynthesizer":
+        """Rebuild a fresh synthesizer from :meth:`config_dict` output.
+
+        Parameters
+        ----------
+        config:
+            A mapping produced by :meth:`config_dict`.
+
+        Returns
+        -------
+        CumulativeSynthesizer
+            An unfitted synthesizer with the same configuration, ready
+            for :meth:`load_state`.
+
+        Raises
+        ------
+        repro.exceptions.SerializationError
+            If required keys are missing or fail constructor validation.
+        """
+        try:
+            return cls(
+                int(config["horizon"]),
+                float(config["rho"]),
+                counter=str(config["counter"]),
+                budget=config["budget"],
+                engine=str(config["engine"]),
+                noise_method=str(config["noise_method"]),
+                materialize=str(config["materialize"]),
+                counter_kwargs=dict(config["counter_kwargs"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SerializationError(f"invalid cumulative config: {exc}") from exc
+
+    def state_dict(self) -> dict:
+        """Snapshot the full mid-stream state.
+
+        Returns
+        -------
+        dict
+            The clock, population size, original-data weights, the
+            monotonized threshold table, any deferred (lazy) record
+            increments, the synthetic store, the zCDP ledger, the main
+            generator's bit state, the per-threshold counter seed states,
+            and the engine state (bank arrays or per-counter scalar
+            states).  Array leaves stay NumPy arrays for the
+            :mod:`repro.serve` bundle layer; everything else is
+            JSON-safe.
+        """
+        state = {
+            "t": self._t,
+            "n": self._n,
+            "generator": generator_state(self._generator),
+            "counter_seeds": [generator_state(g) for g in self._counter_seeds],
+            "accountant": None if self.accountant is None else self.accountant.to_dict(),
+        }
+        if self._n is not None:
+            state["orig_weights"] = self._orig_weights.copy()
+            state["table"] = self._table.copy()
+            state["pending"] = {
+                str(index): increments.copy()
+                for index, increments in enumerate(self._pending_increments)
+            }
+            state["pending_count"] = len(self._pending_increments)
+            state["store"] = self._store.state_dict()
+        if self._bank is not None:
+            state["engine_state"] = {"kind": "bank", "bank": self._bank.state_dict()}
+        else:
+            state["engine_state"] = {
+                "kind": "scalar",
+                "counters": {
+                    str(b): counter.state_dict() for b, counter in self._counters.items()
+                },
+            }
+        return state
+
+    def load_state(self, state: dict) -> None:
+        """Restore a snapshot taken by :meth:`state_dict` in place.
+
+        Must be called on a *fresh* synthesizer built with the same
+        configuration (use :meth:`from_config`).  After loading, every
+        subsequent :meth:`observe_column` — and any deferred synthetic
+        record materialization — is byte-identical to the uninterrupted
+        run, noise included.
+
+        Parameters
+        ----------
+        state:
+            A snapshot produced by :meth:`state_dict`.
+
+        Raises
+        ------
+        repro.exceptions.SerializationError
+            If the snapshot is structurally invalid, disagrees with this
+            synthesizer's configuration (horizon, engine, counter), or
+            its ledger exceeds the budget.
+        """
+        if self._t:
+            raise SerializationError("load_state() requires a fresh synthesizer")
+        try:
+            t = int(state["t"])
+            n = state["n"]
+            seed_states = list(state["counter_seeds"])
+            engine_state = dict(state["engine_state"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SerializationError(f"invalid cumulative state: {exc}") from exc
+        if not 0 <= t <= self.horizon:
+            raise SerializationError(f"clock {t} outside [0, horizon={self.horizon}]")
+        if len(seed_states) != self.horizon:
+            raise SerializationError(
+                f"snapshot has {len(seed_states)} counter seeds, "
+                f"expected horizon={self.horizon}"
+            )
+        if (n is None) != (t == 0):
+            raise SerializationError(f"population {n!r} inconsistent with clock {t}")
+        restore_generator_state(self._generator, state["generator"])
+        for generator, seed_state in zip(self._counter_seeds, seed_states):
+            restore_generator_state(generator, seed_state)
+        if state.get("accountant") is None:
+            if self.accountant is not None:
+                raise SerializationError("snapshot has no ledger but rho is finite")
+        else:
+            if self.accountant is None:
+                raise SerializationError("snapshot has a ledger but rho is infinite")
+            self.accountant = ZCDPAccountant.from_dict(state["accountant"])
+        self._t = t
+        if n is not None:
+            self._n = int(n)
+            try:
+                self._orig_weights = np.array(state["orig_weights"], dtype=np.int64)
+                table = np.array(state["table"], dtype=np.int64)
+                pending = dict(state["pending"])
+                pending_keys = sorted(int(key) for key in pending)
+                if pending_keys != list(range(len(pending))):
+                    raise SerializationError(
+                        f"pending increments must cover 0..{len(pending) - 1}, "
+                        f"got {pending_keys}"
+                    )
+                if int(state["pending_count"]) != len(pending):
+                    raise SerializationError(
+                        f"pending_count={state['pending_count']} disagrees with "
+                        f"{len(pending)} pending entries"
+                    )
+                self._pending_increments = [
+                    np.array(pending[str(i)], dtype=np.int64)
+                    for i in range(len(pending))
+                ]
+                self._store = CumulativeSyntheticStore.from_state(
+                    state["store"], self._generator
+                )
+            except (KeyError, TypeError, ValueError) as exc:
+                raise SerializationError(f"invalid cumulative state: {exc}") from exc
+            if self._orig_weights.shape != (self._n,):
+                raise SerializationError(
+                    f"orig_weights has shape {self._orig_weights.shape}, "
+                    f"expected ({self._n},)"
+                )
+            expected = (self.horizon + 1, self.horizon + 1)
+            if table.shape != expected:
+                raise SerializationError(
+                    f"threshold table has shape {table.shape}, expected {expected}"
+                )
+            self._table = table
+        kind = engine_state.get("kind")
+        if self._bank is not None:
+            if kind != "bank":
+                raise SerializationError(
+                    f"snapshot engine state is {kind!r} but this synthesizer "
+                    "uses the vectorized engine"
+                )
+            try:
+                bank_state = engine_state["bank"]
+            except KeyError as exc:
+                raise SerializationError(
+                    "bank engine state is missing its 'bank' entry"
+                ) from exc
+            self._bank.load_state(bank_state)
+        else:
+            if kind != "scalar":
+                raise SerializationError(
+                    f"snapshot engine state is {kind!r} but this synthesizer "
+                    "uses the scalar engine"
+                )
+            try:
+                payloads = {
+                    int(key): payload
+                    for key, payload in dict(engine_state["counters"]).items()
+                }
+            except (KeyError, TypeError, ValueError) as exc:
+                raise SerializationError(f"invalid scalar engine state: {exc}") from exc
+            # One counter activates per round, so a snapshot at clock t
+            # must hold exactly thresholds 1..t — a missing one would
+            # silently restart at a fresh clock (and double-charge the
+            # restored ledger) rounds after the restore.
+            if sorted(payloads) != list(range(1, t + 1)):
+                raise SerializationError(
+                    f"scalar engine state must hold counters 1..{t}, "
+                    f"got {sorted(payloads)}"
+                )
+            self._counters = {}
+            for b, payload in payloads.items():
+                self._counters[b] = restore_counter(
+                    self.counter_name,
+                    horizon=self.horizon - b + 1,
+                    rho=float(self.rho_per_threshold[b - 1]),
+                    seed=self._counter_seeds[b - 1],
+                    noise_method=self.noise_method,
+                    payload=payload,
+                    counter_kwargs=self._counter_kwargs,
+                )
 
     # ------------------------------------------------------------------
     # Internals

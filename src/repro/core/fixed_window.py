@@ -48,9 +48,15 @@ from repro.exceptions import (
     DataValidationError,
     NegativeCountError,
     NotFittedError,
+    SerializationError,
 )
 from repro.queries.base import WindowQuery
-from repro.rng import SeedLike, as_generator
+from repro.rng import (
+    SeedLike,
+    as_generator,
+    generator_state,
+    restore_generator_state,
+)
 
 __all__ = ["FixedWindowSynthesizer", "FixedWindowRelease"]
 
@@ -62,6 +68,13 @@ class FixedWindowRelease:
     public padding parameters; answers any window query of width at most
     ``k`` directly from the maintained histograms (debiased by default) and
     wider queries from the records themselves.
+
+    Parameters
+    ----------
+    synthesizer:
+        The owning :class:`FixedWindowSynthesizer`; the release is a
+        live view of its state (one cached instance per synthesizer),
+        not a frozen copy.
     """
 
     def __init__(self, synthesizer: "FixedWindowSynthesizer"):
@@ -237,6 +250,8 @@ class FixedWindowSynthesizer:
         self.window = int(window)
         self.rho = float(rho)
         self.on_negative = on_negative
+        self.sensitivity = float(sensitivity)
+        self.noise_method = noise_method
         self._generator = as_generator(seed)
 
         self.update_steps = self.horizon - self.window + 1
@@ -341,6 +356,197 @@ class FixedWindowSynthesizer:
         for column in dataset.columns():
             self.observe_column(column)
         return self.release
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+
+    def config_dict(self) -> dict:
+        """The constructor arguments needed to rebuild this synthesizer.
+
+        Returns
+        -------
+        dict
+            JSON-safe mapping with ``algorithm: "fixed_window"`` plus the
+            horizon, window width, budget, resolved padding, negative-count
+            policy, sensitivity, and noise backend.  Consumed by
+            :meth:`from_config`; the seed is deliberately absent.
+        """
+        return {
+            "algorithm": "fixed_window",
+            "horizon": self.horizon,
+            "window": self.window,
+            "rho": self.rho,
+            "n_pad": self.padding.n_pad,
+            "on_negative": self.on_negative,
+            "sensitivity": self.sensitivity,
+            "noise_method": self.noise_method,
+        }
+
+    @classmethod
+    def from_config(cls, config: dict) -> "FixedWindowSynthesizer":
+        """Rebuild a fresh synthesizer from :meth:`config_dict` output.
+
+        Parameters
+        ----------
+        config:
+            A mapping produced by :meth:`config_dict`.
+
+        Returns
+        -------
+        FixedWindowSynthesizer
+            An unfitted synthesizer with the same configuration, ready
+            for :meth:`load_state`.
+
+        Raises
+        ------
+        repro.exceptions.SerializationError
+            If required keys are missing or fail constructor validation.
+        """
+        try:
+            return cls(
+                int(config["horizon"]),
+                int(config["window"]),
+                float(config["rho"]),
+                n_pad=int(config["n_pad"]),
+                on_negative=str(config["on_negative"]),
+                sensitivity=float(config["sensitivity"]),
+                noise_method=str(config["noise_method"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SerializationError(f"invalid fixed-window config: {exc}") from exc
+
+    def state_dict(self) -> dict:
+        """Snapshot the full mid-stream state.
+
+        Returns
+        -------
+        dict
+            The clock, population size, per-individual window codes, the
+            pre-window column buffer, every released histogram, the
+            negative-count event counter, the synthetic store, the zCDP
+            ledger, and the shared generator's bit state (the histogram
+            mechanism and the store draw from the same generator, so one
+            snapshot covers all noise and record randomness).  Array
+            leaves stay NumPy arrays for the :mod:`repro.serve` bundle
+            layer.
+        """
+        released = sorted(self._histograms)
+        state = {
+            "t": self._t,
+            "n": self._n,
+            "negative_events": self._negative_events,
+            "generator": generator_state(self._generator),
+            "accountant": None if self.accountant is None else self.accountant.to_dict(),
+            "released_times": released,
+            "recent_count": len(self._recent_columns),
+        }
+        if self._window_codes is not None:
+            state["window_codes"] = self._window_codes.copy()
+        for index, column in enumerate(self._recent_columns):
+            state[f"recent_{index}"] = column.copy()
+        if released:
+            state["histograms"] = np.stack([self._histograms[t] for t in released])
+        if self._store is not None:
+            state["store"] = self._store.state_dict()
+        return state
+
+    def load_state(self, state: dict) -> None:
+        """Restore a snapshot taken by :meth:`state_dict` in place.
+
+        Must be called on a *fresh* synthesizer built with the same
+        configuration (use :meth:`from_config`).  After loading, every
+        subsequent :meth:`observe_column` is byte-identical to the
+        uninterrupted run, noise included.
+
+        Parameters
+        ----------
+        state:
+            A snapshot produced by :meth:`state_dict`.
+
+        Raises
+        ------
+        repro.exceptions.SerializationError
+            If the snapshot is structurally invalid or disagrees with
+            this synthesizer's configuration.
+        """
+        if self._t:
+            raise SerializationError("load_state() requires a fresh synthesizer")
+        try:
+            t = int(state["t"])
+            n = state["n"]
+            released = [int(x) for x in state["released_times"]]
+            recent_count = int(state["recent_count"])
+            self._negative_events = int(state["negative_events"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SerializationError(f"invalid fixed-window state: {exc}") from exc
+        if not 0 <= t <= self.horizon:
+            raise SerializationError(f"clock {t} outside [0, horizon={self.horizon}]")
+        if (n is None) != (t == 0):
+            raise SerializationError(f"population {n!r} inconsistent with clock {t}")
+        # Structural invariants of the streaming loop: before round k the
+        # columns are buffered (and only then); from round k on the
+        # per-individual window codes and the store must exist.
+        expected_recent = t if t < self.window else 0
+        if recent_count != expected_recent:
+            raise SerializationError(
+                f"snapshot buffers {recent_count} pre-window columns at clock "
+                f"{t} (window {self.window}); expected {expected_recent}"
+            )
+        if t >= self.window and "window_codes" not in state:
+            raise SerializationError(
+                f"snapshot at clock {t} is missing window codes "
+                f"(required from round {self.window} on)"
+            )
+        if t >= self.window and "store" not in state:
+            raise SerializationError(
+                f"snapshot at clock {t} is missing the synthetic store "
+                f"(required from round {self.window} on)"
+            )
+        restore_generator_state(self._generator, state["generator"])
+        if state.get("accountant") is None:
+            if self.accountant is not None:
+                raise SerializationError("snapshot has no ledger but rho is finite")
+        else:
+            if self.accountant is None:
+                raise SerializationError("snapshot has a ledger but rho is infinite")
+            self.accountant = ZCDPAccountant.from_dict(state["accountant"])
+        self._t = t
+        self._n = None if n is None else int(n)
+        try:
+            self._recent_columns = [
+                np.array(state[f"recent_{index}"], dtype=np.int64)
+                for index in range(recent_count)
+            ]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SerializationError(f"invalid fixed-window state: {exc}") from exc
+        if "window_codes" in state:
+            codes = np.array(state["window_codes"], dtype=np.int64)
+            if self._n is None or codes.shape != (self._n,):
+                raise SerializationError(
+                    f"window codes have shape {codes.shape}, expected ({self._n},)"
+                )
+            self._window_codes = codes
+        self._histograms = {}
+        if released:
+            try:
+                stacked = np.array(state["histograms"], dtype=np.int64)
+            except (KeyError, TypeError, ValueError) as exc:
+                raise SerializationError(f"invalid fixed-window state: {exc}") from exc
+            if stacked.shape != (len(released), 1 << self.window):
+                raise SerializationError(
+                    f"histogram block has shape {stacked.shape}, expected "
+                    f"{(len(released), 1 << self.window)}"
+                )
+            self._histograms = {
+                round_t: stacked[index] for index, round_t in enumerate(released)
+            }
+        if "store" in state:
+            self._store = WindowSyntheticStore.from_state(state["store"], self._generator)
+            if self._store.window != self.window or self._store.horizon != self.horizon:
+                raise SerializationError(
+                    "store dimensions disagree with the synthesizer configuration"
+                )
 
     # ------------------------------------------------------------------
     # Internals

@@ -18,7 +18,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.data.dataset import LongitudinalDataset
-from repro.exceptions import ConfigurationError, ConsistencyError
+from repro.exceptions import ConfigurationError, ConsistencyError, SerializationError
 
 __all__ = ["WindowSyntheticStore", "CumulativeSyntheticStore"]
 
@@ -169,6 +169,81 @@ class WindowSyntheticStore:
             raise ConfigurationError(f"t must lie in [{self.window}, {self._t}], got {t}")
         return LongitudinalDataset(self._matrix[:, :t])
 
+    def state_dict(self) -> dict:
+        """Snapshot the store: record matrix, window codes, and clocks.
+
+        Returns
+        -------
+        dict
+            Scalars plus the ``codes`` and ``matrix`` arrays; array values
+            stay NumPy arrays for the :mod:`repro.serve` bundle layer.
+            The store's generator is shared with (and serialized by) its
+            owning synthesizer, so it is *not* captured here.
+        """
+        return {
+            "window": self.window,
+            "horizon": self.horizon,
+            "m": self.m,
+            "t": self._t,
+            "codes": self._codes.copy(),
+            "matrix": self._matrix.copy(),
+        }
+
+    @classmethod
+    def from_state(
+        cls, state: dict, generator: np.random.Generator
+    ) -> "WindowSyntheticStore":
+        """Rebuild a store from :meth:`state_dict` output.
+
+        Parameters
+        ----------
+        state:
+            A snapshot produced by :meth:`state_dict`.
+        generator:
+            The generator future :meth:`extend` calls draw from (the
+            owning synthesizer's generator, whose bit state the caller
+            restores separately).
+
+        Returns
+        -------
+        WindowSyntheticStore
+            A store continuing exactly where the snapshot left off.  No
+            randomness is consumed — unlike ``__init__``, which shuffles
+            the initial records.
+
+        Raises
+        ------
+        repro.exceptions.SerializationError
+            If the snapshot is structurally invalid or its array shapes
+            disagree with the recorded dimensions.
+        """
+        store = object.__new__(cls)
+        try:
+            store.window = int(state["window"])
+            store.horizon = int(state["horizon"])
+            store.m = int(state["m"])
+            store._t = int(state["t"])
+            store._codes = np.array(state["codes"], dtype=np.int64)
+            store._matrix = np.array(state["matrix"], dtype=np.uint8)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SerializationError(f"invalid window-store state: {exc}") from exc
+        store._generator = generator
+        if store._matrix.shape != (store.m, store.horizon):
+            raise SerializationError(
+                f"window-store matrix has shape {store._matrix.shape}, "
+                f"expected {(store.m, store.horizon)}"
+            )
+        if store._codes.shape != (store.m,):
+            raise SerializationError(
+                f"window-store codes have shape {store._codes.shape}, expected ({store.m},)"
+            )
+        if not store.window <= store._t <= store.horizon:
+            raise SerializationError(
+                f"window-store clock {store._t} outside "
+                f"[{store.window}, {store.horizon}]"
+            )
+        return store
+
 
 class CumulativeSyntheticStore:
     """Synthetic records for Algorithm 2.
@@ -238,3 +313,72 @@ class CumulativeSyntheticStore:
         if not 1 <= t <= self._t:
             raise ConfigurationError(f"t must lie in [1, {self._t}], got {t}")
         return LongitudinalDataset(self._matrix[:, :t])
+
+    def state_dict(self) -> dict:
+        """Snapshot the store: record matrix, weights, and clocks.
+
+        Returns
+        -------
+        dict
+            Scalars plus the ``weights`` and ``matrix`` arrays; array
+            values stay NumPy arrays for the :mod:`repro.serve` bundle
+            layer.  The shared generator is serialized by the owning
+            synthesizer, not here.
+        """
+        return {
+            "m": self.m,
+            "horizon": self.horizon,
+            "t": self._t,
+            "weights": self._weights.copy(),
+            "matrix": self._matrix.copy(),
+        }
+
+    @classmethod
+    def from_state(
+        cls, state: dict, generator: np.random.Generator
+    ) -> "CumulativeSyntheticStore":
+        """Rebuild a store from :meth:`state_dict` output.
+
+        Parameters
+        ----------
+        state:
+            A snapshot produced by :meth:`state_dict`.
+        generator:
+            The generator future :meth:`extend` calls draw from.
+
+        Returns
+        -------
+        CumulativeSyntheticStore
+            A store continuing exactly where the snapshot left off.
+
+        Raises
+        ------
+        repro.exceptions.SerializationError
+            If the snapshot is structurally invalid or its array shapes
+            disagree with the recorded dimensions.
+        """
+        store = object.__new__(cls)
+        try:
+            store.m = int(state["m"])
+            store.horizon = int(state["horizon"])
+            store._t = int(state["t"])
+            store._weights = np.array(state["weights"], dtype=np.int64)
+            store._matrix = np.array(state["matrix"], dtype=np.uint8)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SerializationError(f"invalid cumulative-store state: {exc}") from exc
+        store._generator = generator
+        if store._matrix.shape != (store.m, store.horizon):
+            raise SerializationError(
+                f"cumulative-store matrix has shape {store._matrix.shape}, "
+                f"expected {(store.m, store.horizon)}"
+            )
+        if store._weights.shape != (store.m,):
+            raise SerializationError(
+                f"cumulative-store weights have shape {store._weights.shape}, "
+                f"expected ({store.m},)"
+            )
+        if not 0 <= store._t <= store.horizon:
+            raise SerializationError(
+                f"cumulative-store clock {store._t} outside [0, {store.horizon}]"
+            )
+        return store

@@ -36,6 +36,18 @@ class CategoricalDataset:
     big-endian: pattern ``(s_1, ..., s_k)`` maps to
     ``sum_j s_j * q**(k - j)``, so the most recent report is the least
     significant digit.
+
+    Parameters
+    ----------
+    matrix:
+        ``n x T`` integer array with entries in ``[0, alphabet)``.
+    alphabet:
+        Number of categories ``q >= 2``.
+
+    Raises
+    ------
+    repro.exceptions.DataValidationError
+        If the matrix is not 2-D or holds out-of-range categories.
     """
 
     def __init__(self, matrix, alphabet: int):
@@ -135,7 +147,29 @@ def categorical_iid(
     probabilities: Sequence[float],
     seed: SeedLike = None,
 ) -> CategoricalDataset:
-    """Independent categorical reports with the given category distribution."""
+    """Independent categorical reports with the given category distribution.
+
+    Parameters
+    ----------
+    n:
+        Number of individuals.
+    horizon:
+        Number of rounds ``T``.
+    probabilities:
+        Category distribution (length >= 2, non-negative, sums to 1).
+    seed:
+        Seed or generator for the draws.
+
+    Returns
+    -------
+    CategoricalDataset
+        An ``n x T`` panel of i.i.d. categorical reports.
+
+    Raises
+    ------
+    repro.exceptions.ConfigurationError
+        If the distribution or dimensions are invalid.
+    """
     probs = np.asarray(probabilities, dtype=np.float64)
     if probs.ndim != 1 or probs.shape[0] < 2:
         raise ConfigurationError("probabilities must list at least two categories")
@@ -160,6 +194,29 @@ def categorical_markov(
     ``transition[i, j] = P(x^t = j | x^{t-1} = i)``; ``initial`` defaults to
     the uniform distribution.  Models multi-state longitudinal variables
     like employment status (employed / unemployed / out of labor force).
+
+    Parameters
+    ----------
+    n:
+        Number of individuals.
+    horizon:
+        Number of rounds ``T``.
+    transition:
+        ``q x q`` row-stochastic transition matrix.
+    initial:
+        Optional length-``q`` initial distribution (default uniform).
+    seed:
+        Seed or generator for the draws.
+
+    Returns
+    -------
+    CategoricalDataset
+        An ``n x T`` panel of per-individual Markov trajectories.
+
+    Raises
+    ------
+    repro.exceptions.ConfigurationError
+        If the transition matrix or initial distribution is invalid.
     """
     transition = np.asarray(transition, dtype=np.float64)
     if transition.ndim != 2 or transition.shape[0] != transition.shape[1]:

@@ -68,6 +68,25 @@ def padding_panel(k: int, n_pad: int, horizon: int) -> LongitudinalDataset:
 
     Every length-``k`` window histogram of the returned panel equals exactly
     ``n_pad`` in every bin, for every ``t in [k, horizon]``.
+
+    Parameters
+    ----------
+    k:
+        Window width.
+    n_pad:
+        Fake individuals per length-``k`` bin (non-negative).
+    horizon:
+        Number of rounds ``T >= k``.
+
+    Returns
+    -------
+    LongitudinalDataset
+        The materialized padding panel (possibly with zero rows).
+
+    Raises
+    ------
+    repro.exceptions.ConfigurationError
+        If ``n_pad`` is negative or ``horizon < k``.
     """
     if n_pad < 0:
         raise ConfigurationError(f"n_pad must be non-negative, got {n_pad}")

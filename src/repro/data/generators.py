@@ -47,13 +47,43 @@ def _check_prob(value: float, name: str) -> None:
 
 
 def all_ones(n: int, horizon: int) -> LongitudinalDataset:
-    """Every individual reports 1 in every round (Figure 3/4 workload)."""
+    """Every individual reports 1 in every round (Figure 3/4 workload).
+
+    Parameters
+    ----------
+    n:
+        Number of individuals.
+    horizon:
+        Number of rounds ``T``.
+
+    Returns
+    -------
+    LongitudinalDataset
+        The ``n x T`` all-ones panel.
+    """
     _check_shape(n, horizon)
     return LongitudinalDataset(np.ones((n, horizon), dtype=np.uint8))
 
 
 def iid_bernoulli(n: int, horizon: int, p: float, seed: SeedLike = None) -> LongitudinalDataset:
-    """Independent ``Bernoulli(p)`` reports."""
+    """Independent ``Bernoulli(p)`` reports.
+
+    Parameters
+    ----------
+    n:
+        Number of individuals.
+    horizon:
+        Number of rounds ``T``.
+    p:
+        Per-cell success probability, in ``[0, 1]``.
+    seed:
+        Seed or generator for the draws.
+
+    Returns
+    -------
+    LongitudinalDataset
+        An ``n x T`` panel of independent ``Bernoulli(p)`` bits.
+    """
     _check_shape(n, horizon)
     _check_prob(p, "p")
     generator = as_generator(seed)

@@ -217,6 +217,20 @@ def load_sipp_2021(
     incomplete ones, at least ``target_households`` complete series remain,
     then subsamples deterministically to exactly that count.  Pass
     ``target_households=None`` to keep every complete household.
+
+    Parameters
+    ----------
+    seed:
+        Seed or generator for the simulation (the default reproduces the
+        panel used across the figures).
+    target_households:
+        Exact number of households to keep (default: the paper's
+        N = 23374), or ``None`` for every complete household.
+
+    Returns
+    -------
+    LongitudinalDataset
+        The binary poverty panel, ``target_households x 12``.
     """
     generator = as_generator(seed)
     oversample = 1.10  # covers the ~6 % missingness with ample slack

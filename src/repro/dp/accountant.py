@@ -88,6 +88,18 @@ class ZCDPAccountant:
     accountant refuses charges that would exceed ``total_rho`` (Theorem 2.1
     makes the sum of charges a valid bound for the composition).
 
+    Parameters
+    ----------
+    total_rho:
+        The hard total budget; a charge pushing the ledger past it raises
+        :class:`~repro.exceptions.PrivacyBudgetError` *before* the
+        mechanism runs.
+
+    Raises
+    ------
+    repro.exceptions.ConfigurationError
+        If ``total_rho`` is not positive.
+
     Examples
     --------
     >>> acct = ZCDPAccountant(total_rho=0.005)
@@ -134,6 +146,61 @@ class ZCDPAccountant:
     def epsilon(self, delta: float) -> float:
         """``(eps, delta)``-DP guarantee implied by the budget spent so far."""
         return zcdp_to_approx_dp(self.spent, delta)
+
+    def to_dict(self) -> dict:
+        """Serialize the ledger as a JSON-safe dict.
+
+        Returns
+        -------
+        dict
+            ``{"total_rho": float, "charges": [[label, rho], ...]}`` — the
+            complete ledger in charge order, sufficient for
+            :meth:`from_dict` to rebuild an accountant that accepts and
+            refuses exactly the same future charges.
+        """
+        return {
+            "total_rho": self.total_rho,
+            "charges": [[charge.label, charge.rho] for charge in self._charges],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ZCDPAccountant":
+        """Rebuild an accountant from :meth:`to_dict` output.
+
+        Parameters
+        ----------
+        payload:
+            A dict with ``total_rho`` (positive float) and ``charges``
+            (sequence of ``[label, rho]`` pairs).
+
+        Returns
+        -------
+        ZCDPAccountant
+            A ledger with the same total budget and the same charges, in
+            the same order.
+
+        Raises
+        ------
+        repro.exceptions.SerializationError
+            If the payload is structurally invalid or its charges exceed
+            the declared total budget (a tampered or corrupt ledger).
+        """
+        from repro.exceptions import SerializationError
+
+        try:
+            accountant = cls(float(payload["total_rho"]))
+            entries = list(payload["charges"])
+        except (KeyError, TypeError, ValueError, ConfigurationError) as exc:
+            raise SerializationError(f"invalid accountant payload: {exc}") from exc
+        for entry in entries:
+            try:
+                label, rho = entry
+                accountant.charge(float(rho), label=str(label))
+            except (TypeError, ValueError, ConfigurationError, PrivacyBudgetError) as exc:
+                raise SerializationError(
+                    f"invalid ledger entry {entry!r}: {exc}"
+                ) from exc
+        return accountant
 
     def __repr__(self) -> str:
         return (

@@ -16,6 +16,7 @@ __all__ = [
     "StreamLengthError",
     "DataValidationError",
     "NotFittedError",
+    "SerializationError",
 ]
 
 
@@ -73,3 +74,16 @@ class DataValidationError(ReproError, ValueError):
 
 class NotFittedError(ReproError, RuntimeError):
     """A result accessor was called before the corresponding round ran."""
+
+
+class SerializationError(ReproError, RuntimeError):
+    """A checkpoint bundle could not be written, read, or applied.
+
+    Raised by the :mod:`repro.serve` checkpoint machinery instead of bare
+    ``ValueError``/``KeyError`` when a bundle is structurally corrupt, fails
+    its integrity checksum, declares an unsupported format version, or
+    describes state incompatible with the object it is being loaded into
+    (e.g. a different bit-generator family or horizon).  Catching this error
+    is the supported way to detect an unusable checkpoint; anything else
+    escaping :func:`repro.serve.checkpoint.read_bundle` is a bug.
+    """

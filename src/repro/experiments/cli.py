@@ -5,7 +5,11 @@ Subcommands:
 * ``list`` — print the experiment ids and their titles;
 * ``run <id> [--reps N] [--seed S]`` — run one experiment and print its
   report (non-zero exit when any shape check fails);
-* ``all [--reps N]`` — run every experiment.
+* ``all [--reps N]`` — run every experiment;
+* ``serve-demo`` — replay the SIPP panel round-by-round through the
+  online serving layer (:mod:`repro.serve`) with mid-stream
+  checkpoint/restore and sharded-service self-checks; ``--households``
+  shrinks the panel for smoke runs.
 """
 
 from __future__ import annotations
@@ -88,6 +92,44 @@ def build_parser() -> argparse.ArgumentParser:
                 f"{_display_default(default_n_jobs, 'unset')})"
             ),
         )
+
+    serve_parser = subparsers.add_parser(
+        "serve-demo",
+        help=(
+            "replay the SIPP panel round-by-round through the online "
+            "serving layer (repro.serve) with checkpoint/restore and "
+            "sharded-service self-checks"
+        ),
+    )
+    serve_parser.add_argument("--seed", type=int, default=0)
+    serve_parser.add_argument(
+        "--rho", type=float, default=0.005, help="per-stream zCDP budget"
+    )
+    serve_parser.add_argument(
+        "--households",
+        type=int,
+        default=None,
+        help=(
+            "simulate a smaller SIPP cut with this many raw households "
+            "(default: the paper's full N=23374 panel); used by the CI "
+            "smoke leg"
+        ),
+    )
+    serve_parser.add_argument(
+        "--checkpoint-round",
+        type=int,
+        default=None,
+        help="round after which the stream checkpoints (default: T // 2)",
+    )
+    serve_parser.add_argument(
+        "--shards", type=int, default=4, help="shard count for the sharded leg"
+    )
+    serve_parser.add_argument(
+        "--engine",
+        choices=ENGINES,
+        default=_display_default(default_engine, None),
+        help="stream-counter engine for the cumulative synthesizer",
+    )
     return parser
 
 
@@ -98,6 +140,19 @@ def main(argv: list[str] | None = None) -> int:
         for experiment_id in list_experiments():
             print(experiment_id)
         return 0
+    if args.command == "serve-demo":
+        from repro.experiments.serve_demo import run_serve_demo
+
+        result = run_serve_demo(
+            seed=args.seed,
+            rho=args.rho,
+            n_households=args.households,
+            checkpoint_round=args.checkpoint_round,
+            n_shards=args.shards,
+            engine=args.engine,
+        )
+        print(result.render())
+        return 0 if result.all_checks_pass else 1
     if args.command == "run":
         result = get_experiment(args.experiment_id)(
             args.reps,

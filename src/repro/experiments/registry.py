@@ -18,6 +18,7 @@ from repro.experiments.ablations import (
     run_padding_ablation,
 )
 from repro.experiments.config import FigureResult
+from repro.experiments.serve_demo import run_serve_demo
 from repro.experiments.sipp_cumulative import run_sipp_cumulative_experiment
 from repro.experiments.sipp_window import run_sipp_window_experiment
 from repro.experiments.simulated_window import run_simulated_window_experiment
@@ -117,6 +118,13 @@ EXPERIMENTS: dict[str, Runner] = {
     "sweep-n": lambda n_reps, seed=0, engine=None, strategy=None, n_jobs=None: (
         run_population_sweep(
             n_reps=n_reps, seed=seed, engine=engine, strategy=strategy, n_jobs=n_jobs
+        )
+    ),
+    # Online serving walkthrough (repro.serve): round-by-round ingestion,
+    # checkpoint/resume byte-identity, tamper rejection, sharded budgets.
+    "serve-demo": lambda n_reps, seed=0, engine=None, strategy=None, n_jobs=None: (
+        run_serve_demo(
+            n_reps, seed=seed, engine=engine, strategy=strategy, n_jobs=n_jobs
         )
     ),
 }

@@ -34,7 +34,26 @@ def categorical_pattern_digits(code: int, k: int, alphabet: int) -> tuple[int, .
 
 
 class CategoricalWindowQuery:
-    """A linear query over the length-``k`` categorical window histogram."""
+    """A linear query over the length-``k`` categorical window histogram.
+
+    Parameters
+    ----------
+    k:
+        Window width.
+    weights:
+        Length-``alphabet**k`` coefficient vector: the answer is
+        ``weights @ histogram / n``.
+    alphabet:
+        Number of categories ``q >= 2``.
+    name:
+        Label used in reports and tables.
+
+    Raises
+    ------
+    repro.exceptions.ConfigurationError
+        If ``k`` or ``alphabet`` is out of range or ``weights`` has the
+        wrong length.
+    """
 
     def __init__(self, k: int, weights, alphabet: int, name: str = "categorical-window"):
         if k <= 0:
@@ -97,7 +116,25 @@ class CategoricalWindowQuery:
 
 
 class CategoricalPatternQuery(CategoricalWindowQuery):
-    """Fraction whose window equals one specific categorical pattern."""
+    """Fraction whose window equals one specific categorical pattern.
+
+    Parameters
+    ----------
+    k:
+        Window width.
+    pattern:
+        The target pattern, either as a base-``alphabet`` integer code or
+        as a length-``k`` digit sequence (most recent round = least
+        significant digit).
+    alphabet:
+        Number of categories ``q >= 2``.
+
+    Raises
+    ------
+    repro.exceptions.ConfigurationError
+        If ``pattern`` is not a valid length-``k`` base-``alphabet``
+        string or code.
+    """
 
     def __init__(self, k: int, pattern: int | Sequence[int], alphabet: int):
         if isinstance(pattern, (list, tuple, np.ndarray)):
@@ -122,7 +159,25 @@ class CategoricalPatternQuery(CategoricalWindowQuery):
 
 
 class CategoryAtLeastM(CategoricalWindowQuery):
-    """Fraction reporting a given category at least ``m`` of ``k`` rounds."""
+    """Fraction reporting a given category at least ``m`` of ``k`` rounds.
+
+    Parameters
+    ----------
+    k:
+        Window width.
+    alphabet:
+        Number of categories ``q >= 2``.
+    category:
+        The category of interest, in ``[0, alphabet)``.
+    m:
+        Minimum number of rounds (``0 <= m <= k``) the category must be
+        reported within the window.
+
+    Raises
+    ------
+    repro.exceptions.ConfigurationError
+        If ``category`` or ``m`` is out of range.
+    """
 
     def __init__(self, k: int, alphabet: int, category: int, m: int):
         if not 0 <= category < alphabet:

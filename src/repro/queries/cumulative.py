@@ -24,7 +24,19 @@ __all__ = ["HammingAtLeast", "HammingExactly", "cumulative_as_window_weights"]
 
 
 class HammingAtLeast(Query):
-    """``c_b^t``: fraction with at least ``b`` ones through round ``t``."""
+    """``c_b^t``: fraction with at least ``b`` ones through round ``t``.
+
+    Parameters
+    ----------
+    b:
+        Hamming-weight threshold (non-negative).  ``b = 0`` is the
+        constant-1 query; values above the horizon are structurally 0.
+
+    Raises
+    ------
+    repro.exceptions.ConfigurationError
+        If ``b`` is negative.
+    """
 
     def __init__(self, b: int):
         if b < 0:
@@ -48,6 +60,16 @@ class HammingExactly(Query):
 
     Computed as ``c_b^t - c_{b+1}^t``; the synthetic release answers it the
     same way from its maintained threshold table, so no extra privacy cost.
+
+    Parameters
+    ----------
+    b:
+        Exact Hamming weight (non-negative).
+
+    Raises
+    ------
+    repro.exceptions.ConfigurationError
+        If ``b`` is negative.
     """
 
     def __init__(self, b: int):

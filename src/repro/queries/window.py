@@ -54,7 +54,22 @@ def _weights_from_predicate(k: int, predicate: Callable[[tuple[int, ...]], bool]
 
 
 class PatternQuery(WindowQuery):
-    """``q_s^t``: fraction whose window equals one specific pattern ``s``."""
+    """``q_s^t``: fraction whose window equals one specific pattern ``s``.
+
+    Parameters
+    ----------
+    k:
+        Window width.
+    pattern:
+        The target pattern, either as an integer code in ``[0, 2**k)``
+        (big-endian: the most recent round is the least-significant bit)
+        or as a length-``k`` sequence of 0/1 bits.
+
+    Raises
+    ------
+    repro.exceptions.ConfigurationError
+        If ``pattern`` is not a valid ``k``-bit string or code.
+    """
 
     def __init__(self, k: int, pattern: int | Sequence[int]):
         if isinstance(pattern, (list, tuple, np.ndarray)):

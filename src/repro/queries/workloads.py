@@ -30,6 +30,21 @@ def quarterly_poverty_workload(k: int = 3) -> list[WindowLinearQuery]:
 
     For ``k != 3`` the same four shapes are built over the wider/narrower
     window (all-``k`` instead of all-three).
+
+    Parameters
+    ----------
+    k:
+        Window width (at least 2; the paper uses quarters, ``k = 3``).
+
+    Returns
+    -------
+    list of WindowLinearQuery
+        The four queries, in the order listed above.
+
+    Raises
+    ------
+    repro.exceptions.ConfigurationError
+        If ``k < 2`` (the consecutive-months query needs two rounds).
     """
     if k < 2:
         raise ConfigurationError(f"the quarterly workload needs k >= 2, got {k}")

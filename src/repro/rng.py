@@ -17,11 +17,19 @@ independent child generators for replicated experiments.
 
 from __future__ import annotations
 
+import copy
 from typing import Union
 
 import numpy as np
 
-__all__ = ["SeedLike", "as_generator", "spawn", "ExactRandom"]
+__all__ = [
+    "SeedLike",
+    "as_generator",
+    "spawn",
+    "ExactRandom",
+    "generator_state",
+    "restore_generator_state",
+]
 
 SeedLike = Union[None, int, np.random.SeedSequence, np.random.Generator]
 
@@ -56,6 +64,67 @@ def spawn(seed: SeedLike, n_children: int) -> list[np.random.Generator]:
     if not isinstance(seed, np.random.SeedSequence):
         seed = np.random.SeedSequence(seed)
     return [np.random.Generator(np.random.PCG64(child)) for child in seed.spawn(n_children)]
+
+
+def generator_state(generator: np.random.Generator) -> dict:
+    """Snapshot a generator's bit-generator state as a JSON-safe dict.
+
+    Parameters
+    ----------
+    generator:
+        The generator to snapshot.
+
+    Returns
+    -------
+    dict
+        A deep copy of ``generator.bit_generator.state`` (plain ints,
+        strings, and dicts — PCG64 state words are arbitrary-precision
+        Python ints, which serialize losslessly through ``json``).
+
+    The snapshot captures the *exact* position in the bit stream:
+    restoring it with :func:`restore_generator_state` makes every
+    subsequent draw byte-identical to one from the original generator.
+    This is the primitive the :mod:`repro.serve` checkpoint layer builds
+    on.
+    """
+    return copy.deepcopy(generator.bit_generator.state)
+
+
+def restore_generator_state(generator: np.random.Generator, state: dict) -> None:
+    """Restore a snapshot taken by :func:`generator_state` in place.
+
+    Parameters
+    ----------
+    generator:
+        The generator whose bit-generator state is overwritten.
+    state:
+        A snapshot previously produced by :func:`generator_state`.
+
+    Raises
+    ------
+    repro.exceptions.SerializationError
+        If ``state`` does not name the same bit-generator family as
+        ``generator`` (e.g. a PCG64 snapshot applied to a Philox
+        generator) or is structurally invalid.
+    """
+    from repro.exceptions import SerializationError
+
+    if not isinstance(state, dict) or "bit_generator" not in state:
+        raise SerializationError(
+            "generator state must be a dict with a 'bit_generator' key, "
+            f"got {type(state).__name__}"
+        )
+    expected = type(generator.bit_generator).__name__
+    declared = state["bit_generator"]
+    if declared != expected:
+        raise SerializationError(
+            f"generator state was taken from a {declared!r} bit generator "
+            f"but is being restored into a {expected!r}"
+        )
+    try:
+        generator.bit_generator.state = state
+    except (ValueError, KeyError, TypeError) as exc:
+        raise SerializationError(f"invalid generator state: {exc}") from exc
 
 
 class ExactRandom:

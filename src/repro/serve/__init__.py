@@ -1,0 +1,46 @@
+"""Online serving subsystem: incremental ingestion, durability, sharding.
+
+The paper's model is *continual*: the curator observes one bit per
+individual per round and must publish after every round.  This package is
+the serving-side layer for that model, on top of the algorithm cores in
+:mod:`repro.core`:
+
+* :class:`~repro.serve.streaming.StreamingSynthesizer` — true-online
+  ingestion: ``observe_round(column) -> Release`` for one ``(n,)`` bit
+  column at a time (no panel up front), per-round releases bit-exact with
+  the offline ``run()``.
+* :meth:`~repro.serve.streaming.StreamingSynthesizer.checkpoint` /
+  :meth:`~repro.serve.streaming.StreamingSynthesizer.restore` — durable
+  state: the full mid-stream state (counter-bank arrays, threshold table,
+  synthetic store, zCDP ledger, RNG bit-generator states) round-trips
+  through a versioned, checksummed bundle, and a restored stream
+  continues **byte-identically**, noise included.
+* :class:`~repro.serve.sharded.ShardedService` — the first multi-tenant
+  scaling primitive: K independent shards over a partitioned population,
+  per-shard budgets (parallel composition), merged query answers, and
+  whole-service checkpointing.
+* :mod:`repro.serve.checkpoint` — the bundle format itself
+  (``manifest.json`` + ``arrays.npz`` in one zip, SHA-256 integrity
+  checks, :class:`~repro.exceptions.SerializationError` on corruption).
+
+See the "serving" and "checkpoint format" pages of the docs site
+(``docs/``) for a guided tour.
+"""
+
+from repro.serve.checkpoint import (
+    FORMAT_NAME,
+    FORMAT_VERSION,
+    read_bundle,
+    write_bundle,
+)
+from repro.serve.sharded import ShardedService
+from repro.serve.streaming import StreamingSynthesizer
+
+__all__ = [
+    "StreamingSynthesizer",
+    "ShardedService",
+    "read_bundle",
+    "write_bundle",
+    "FORMAT_NAME",
+    "FORMAT_VERSION",
+]

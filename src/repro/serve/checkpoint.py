@@ -1,0 +1,442 @@
+"""Versioned, integrity-checked checkpoint bundles.
+
+A checkpoint bundle is a single zip file with exactly two members:
+
+``manifest.json``
+    Format name/version, library version, the bundle ``kind``
+    (``"streaming"`` or ``"sharded"``), the synthesizer ``config``, the
+    JSON half of the serialized ``state`` (array leaves replaced by
+    ``{"__array__": <key>}`` placeholders), and two SHA-256 checksums —
+    one over the canonical JSON of ``config`` + ``state``, one over the
+    raw bytes of ``arrays.npz``.
+
+``arrays.npz``
+    An ``np.savez_compressed`` archive holding every NumPy array leaf of
+    the state, keyed by its ``/``-joined path in the state tree.  The
+    member is stored (not re-deflated) in the outer zip — the per-array
+    compression already happened inside the ``.npz``.
+
+The split is lossless: :func:`read_bundle` re-grafts each array back at
+its placeholder, so components (synthesizers, banks, counters, stores)
+serialize to ordinary nested dicts and never touch files themselves.
+Every failure mode — unreadable zip, missing member, bad JSON, unknown
+format or version, checksum mismatch, pickled arrays — raises
+:class:`~repro.exceptions.SerializationError`, never a bare
+``ValueError``/``KeyError``.
+
+See ``docs/source/checkpoint-format.rst`` for the on-disk reference.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import math
+import os
+import tempfile
+import zipfile
+import zlib
+
+import numpy as np
+
+from repro.exceptions import SerializationError
+
+__all__ = [
+    "FORMAT_NAME",
+    "FORMAT_VERSION",
+    "split_arrays",
+    "join_arrays",
+    "write_bundle",
+    "read_bundle",
+]
+
+#: Identifies a repro checkpoint bundle (guards against foreign zips).
+FORMAT_NAME = "repro-checkpoint"
+
+#: Current bundle format version; bump on any incompatible layout change.
+FORMAT_VERSION = 1
+
+#: Versions this reader accepts.
+SUPPORTED_VERSIONS = (1,)
+
+_MANIFEST = "manifest.json"
+_ARRAYS = "arrays.npz"
+_ARRAY_MARKER = "__array__"
+_ARRAY_KEY_PREFIX = "k/"
+_NONFINITE_MARKER = "__nonfinite__"
+
+_JSON_SCALARS = (str, int, float, bool, type(None))
+
+# Non-finite floats (rho=inf is an advertised mode) are not valid RFC-8259
+# JSON, so they travel as {"__nonfinite__": "inf" | "-inf" | "nan"}
+# markers; the manifest stays parseable by jq and non-Python tooling.
+_NONFINITE_ENCODE = {math.inf: "inf", -math.inf: "-inf"}
+_NONFINITE_DECODE = {"inf": math.inf, "-inf": -math.inf, "nan": math.nan}
+
+
+def _encode_nonfinite(value):
+    """Replace non-finite floats with JSON-safe markers, recursively."""
+    if isinstance(value, float) and not math.isfinite(value):
+        if math.isnan(value):
+            return {_NONFINITE_MARKER: "nan"}
+        return {_NONFINITE_MARKER: _NONFINITE_ENCODE[value]}
+    if isinstance(value, dict):
+        return {key: _encode_nonfinite(item) for key, item in value.items()}
+    if isinstance(value, list):
+        return [_encode_nonfinite(item) for item in value]
+    return value
+
+
+def _decode_nonfinite(value):
+    """Inverse of :func:`_encode_nonfinite`."""
+    if isinstance(value, dict):
+        if set(value) == {_NONFINITE_MARKER}:
+            try:
+                return _NONFINITE_DECODE[value[_NONFINITE_MARKER]]
+            except (KeyError, TypeError) as exc:
+                raise SerializationError(
+                    f"invalid non-finite marker {value!r}"
+                ) from exc
+        return {key: _decode_nonfinite(item) for key, item in value.items()}
+    if isinstance(value, list):
+        return [_decode_nonfinite(item) for item in value]
+    return value
+
+
+def split_arrays(state, path: str = "") -> tuple[object, dict[str, np.ndarray]]:
+    """Split a nested state dict into its JSON half and its array leaves.
+
+    Parameters
+    ----------
+    state:
+        A nested structure of dicts, lists, JSON scalars, and NumPy
+        arrays.  Arrays may appear only as dict values (not inside
+        lists), so every array has a stable ``/``-joined key.
+    path:
+        Internal recursion accumulator; leave at the default.
+
+    Returns
+    -------
+    tuple
+        ``(json_part, arrays)`` where ``json_part`` mirrors ``state``
+        with each array replaced by an ``{"__array__": key}`` placeholder
+        and ``arrays`` maps those keys to the arrays.
+
+    Raises
+    ------
+    SerializationError
+        If a value is not JSON-serializable (sets, custom objects) or an
+        array is nested inside a list.
+    """
+    if isinstance(state, np.ndarray):
+        if not path:
+            raise SerializationError("the state root must be a dict, not an array")
+        return {_ARRAY_MARKER: path}, {path: state}
+    if isinstance(state, dict):
+        if set(state) in ({_ARRAY_MARKER}, {_NONFINITE_MARKER}):
+            # A user-supplied dict shaped exactly like one of the format's
+            # reserved markers would be mis-decoded on read; refuse it at
+            # write time rather than corrupt the round-trip.
+            raise SerializationError(
+                f"state dict at {path or '<root>'!r} collides with the "
+                f"reserved marker shape {set(state)}"
+            )
+        json_part: dict = {}
+        arrays: dict[str, np.ndarray] = {}
+        for key, value in state.items():
+            if not isinstance(key, str) or "/" in key or not key:
+                raise SerializationError(
+                    f"state keys must be non-empty strings without '/', got {key!r}"
+                )
+            child_json, child_arrays = split_arrays(
+                value, f"{path}/{key}" if path else key
+            )
+            json_part[key] = child_json
+            arrays.update(child_arrays)
+        return json_part, arrays
+    if isinstance(state, (list, tuple)):
+        out = []
+        for item in state:
+            if isinstance(item, (np.ndarray, dict, list, tuple)):
+                if isinstance(item, np.ndarray):
+                    raise SerializationError(
+                        f"arrays may not be nested inside lists (at {path!r}); "
+                        "key them in a dict instead"
+                    )
+                child_json, child_arrays = split_arrays(item, path)
+                if child_arrays:
+                    raise SerializationError(
+                        f"arrays may not be nested inside lists (at {path!r})"
+                    )
+                out.append(child_json)
+            else:
+                out.append(_as_json_scalar(item, path))
+        return out, {}
+    return _as_json_scalar(state, path), {}
+
+
+def _as_json_scalar(value, path: str):
+    """Coerce NumPy scalars to Python; reject non-JSON values."""
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, _JSON_SCALARS):
+        return value
+    raise SerializationError(
+        f"state value at {path!r} is not JSON-serializable: {type(value).__name__}"
+    )
+
+
+def join_arrays(json_part, arrays: dict[str, np.ndarray]):
+    """Inverse of :func:`split_arrays`: graft arrays back at their markers.
+
+    Parameters
+    ----------
+    json_part:
+        The JSON half of a state tree, containing array placeholders.
+    arrays:
+        The array leaves keyed by placeholder key.
+
+    Returns
+    -------
+    object
+        The reassembled state tree.
+
+    Raises
+    ------
+    SerializationError
+        If a placeholder references a key missing from ``arrays``.
+    """
+    if isinstance(json_part, dict):
+        if set(json_part) == {_ARRAY_MARKER}:
+            key = json_part[_ARRAY_MARKER]
+            try:
+                return arrays[key]
+            except KeyError:
+                raise SerializationError(
+                    f"bundle arrays are missing entry {key!r}"
+                ) from None
+        return {key: join_arrays(value, arrays) for key, value in json_part.items()}
+    if isinstance(json_part, list):
+        return [join_arrays(item, arrays) for item in json_part]
+    return json_part
+
+
+def _canonical_json(payload) -> bytes:
+    try:
+        # allow_nan=False guarantees the checksummed form is RFC-8259
+        # JSON; non-finite floats must already be marker-encoded.
+        return json.dumps(
+            payload, sort_keys=True, separators=(",", ":"), allow_nan=False
+        ).encode()
+    except (TypeError, ValueError) as exc:
+        raise SerializationError(f"state is not JSON-serializable: {exc}") from exc
+
+
+def write_bundle(
+    path, kind: str, config: dict, state: dict, *, compress_arrays: bool = True
+) -> None:
+    """Write one checkpoint bundle.
+
+    Parameters
+    ----------
+    path:
+        Target file path (``str`` / ``os.PathLike``) or a writable binary
+        file object (the sharded service nests shard bundles this way).
+    kind:
+        Bundle kind tag, e.g. ``"streaming"`` or ``"sharded"``; checked
+        again by :func:`read_bundle`.
+    config:
+        JSON-safe constructor configuration (no arrays).
+    state:
+        Nested state dict; NumPy array leaves are stored in the bundle's
+        ``arrays.npz`` member.
+    compress_arrays:
+        Deflate the arrays inside the ``.npz`` (default).  Pass ``False``
+        when the arrays are already-compressed byte blobs — the sharded
+        service does this for its nested shard bundles — so incompressible
+        bytes don't pay a useless second DEFLATE pass.  Readers handle
+        both forms transparently.
+
+    Raises
+    ------
+    SerializationError
+        If the state contains values the format cannot represent.
+
+    Notes
+    -----
+    Filesystem writes are atomic: the bundle is assembled in a temporary
+    file in the target directory and renamed over ``path``, so a crash
+    mid-write (the very scenario checkpoints exist for) never destroys
+    the previous good checkpoint at the same path.
+    """
+    from repro import __version__
+
+    json_state, arrays = split_arrays(state)
+    json_state = _encode_nonfinite(json_state)
+    config = _encode_nonfinite(config)
+    buffer = io.BytesIO()
+    # Keys are passed to savez as **kwargs, where a bare top-level key
+    # like "file" would collide with the function's own parameter; the
+    # "k/" prefix (stripped on read) makes every key collision-proof.
+    prefixed = {f"{_ARRAY_KEY_PREFIX}{key}": value for key, value in arrays.items()}
+    if compress_arrays:
+        np.savez_compressed(buffer, **prefixed)
+    else:
+        np.savez(buffer, **prefixed)
+    array_bytes = buffer.getvalue()
+    manifest = {
+        "format": FORMAT_NAME,
+        "format_version": FORMAT_VERSION,
+        "library_version": __version__,
+        "kind": str(kind),
+        "config": config,
+        "state": json_state,
+        "state_checksum": hashlib.sha256(
+            _canonical_json({"config": config, "state": json_state})
+        ).hexdigest(),
+        "arrays_checksum": hashlib.sha256(array_bytes).hexdigest(),
+    }
+    manifest_text = json.dumps(manifest, indent=2, sort_keys=True, allow_nan=False)
+
+    def _fill(target) -> None:
+        with zipfile.ZipFile(target, "w", compression=zipfile.ZIP_DEFLATED) as bundle:
+            bundle.writestr(_MANIFEST, manifest_text)
+            # The npz member is already DEFLATE-compressed per array; store
+            # it as-is instead of paying a second (useless) compression pass.
+            bundle.writestr(_ARRAYS, array_bytes, compress_type=zipfile.ZIP_STORED)
+
+    if isinstance(path, (str, os.PathLike)):
+        # Atomic replace: never truncate an existing good checkpoint
+        # before the new one is fully on disk.
+        directory = os.path.dirname(os.fspath(path)) or "."
+        fd, temp_path = tempfile.mkstemp(prefix=".ckpt-", dir=directory)
+        try:
+            # mkstemp creates 0600; apply the umask-derived mode ordinary
+            # open() would have produced so other-user readers still work.
+            # (fchmod is POSIX-only; Windows has no comparable mode bits.)
+            if hasattr(os, "fchmod"):
+                umask = os.umask(0)
+                os.umask(umask)
+                os.fchmod(fd, 0o666 & ~umask)
+            with os.fdopen(fd, "wb") as handle:
+                _fill(handle)
+                handle.flush()
+                # Force the bytes to disk before the rename is journaled,
+                # or a power loss could leave the renamed file truncated —
+                # destroying the old checkpoint anyway.
+                os.fsync(handle.fileno())
+            os.replace(temp_path, path)
+            try:
+                dir_fd = os.open(directory, os.O_RDONLY)
+                try:
+                    os.fsync(dir_fd)
+                finally:
+                    os.close(dir_fd)
+            except OSError:
+                pass  # directory fsync is best-effort (unsupported on some OSes)
+        except BaseException:
+            try:
+                os.unlink(temp_path)
+            except OSError:
+                pass
+            raise
+    else:
+        _fill(path)
+
+
+def read_bundle(path, kind: str | None = None) -> tuple[dict, dict]:
+    """Read, verify, and reassemble a checkpoint bundle.
+
+    Parameters
+    ----------
+    path:
+        Bundle file path or a readable binary file object.
+    kind:
+        When given, the bundle's ``kind`` must match exactly.
+
+    Returns
+    -------
+    tuple
+        ``(config, state)`` — the constructor configuration and the
+        reassembled state tree with NumPy arrays back in place.
+
+    Raises
+    ------
+    SerializationError
+        If the file is not a zip, a member is missing, the manifest is
+        not valid JSON, the format name or version is unsupported, the
+        requested ``kind`` does not match, or either checksum fails
+        (a truncated or tampered bundle).
+    """
+    try:
+        with zipfile.ZipFile(path, "r") as bundle:
+            try:
+                manifest_bytes = bundle.read(_MANIFEST)
+                array_bytes = bundle.read(_ARRAYS)
+            except KeyError as exc:
+                raise SerializationError(f"bundle member missing: {exc}") from exc
+    except SerializationError:
+        raise
+    except (zipfile.BadZipFile, OSError, zlib.error) as exc:
+        # A flipped byte inside a member surfaces as a zlib/CRC failure
+        # during decompression, not as a checksum mismatch — both are the
+        # same condition to callers: a corrupt bundle.
+        raise SerializationError(f"cannot read checkpoint bundle: {exc}") from exc
+    try:
+        manifest = json.loads(manifest_bytes)
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"bundle manifest is not valid JSON: {exc}") from exc
+    if not isinstance(manifest, dict) or manifest.get("format") != FORMAT_NAME:
+        raise SerializationError(
+            f"not a {FORMAT_NAME} bundle (format={manifest.get('format')!r})"
+            if isinstance(manifest, dict)
+            else "bundle manifest must be a JSON object"
+        )
+    version = manifest.get("format_version")
+    if version not in SUPPORTED_VERSIONS:
+        raise SerializationError(
+            f"unsupported checkpoint format version {version!r}; "
+            f"this build reads versions {SUPPORTED_VERSIONS}"
+        )
+    if kind is not None and manifest.get("kind") != kind:
+        raise SerializationError(
+            f"expected a {kind!r} bundle, got kind={manifest.get('kind')!r}"
+        )
+    try:
+        config = manifest["config"]
+        json_state = manifest["state"]
+        state_checksum = manifest["state_checksum"]
+        arrays_checksum = manifest["arrays_checksum"]
+    except KeyError as exc:
+        raise SerializationError(f"bundle manifest missing field: {exc}") from exc
+    digest = hashlib.sha256(
+        _canonical_json({"config": config, "state": json_state})
+    ).hexdigest()
+    if digest != state_checksum:
+        raise SerializationError(
+            "bundle state checksum mismatch — the manifest was modified "
+            "after the checkpoint was written"
+        )
+    if hashlib.sha256(array_bytes).hexdigest() != arrays_checksum:
+        raise SerializationError(
+            "bundle array checksum mismatch — arrays.npz was modified "
+            "after the checkpoint was written"
+        )
+    try:
+        with np.load(io.BytesIO(array_bytes), allow_pickle=False) as archive:
+            arrays = {}
+            for key in archive.files:
+                if not key.startswith(_ARRAY_KEY_PREFIX):
+                    raise SerializationError(
+                        f"bundle array entry {key!r} lacks the "
+                        f"{_ARRAY_KEY_PREFIX!r} key prefix"
+                    )
+                arrays[key[len(_ARRAY_KEY_PREFIX):]] = archive[key]
+    except (OSError, ValueError, zipfile.BadZipFile, zlib.error) as exc:
+        # Inner-zip CRC/deflate failures surface here when the npz bytes
+        # are corrupt in a way that still matches the recorded checksum.
+        raise SerializationError(f"cannot decode bundle arrays: {exc}") from exc
+    config = _decode_nonfinite(config)
+    json_state = _decode_nonfinite(json_state)
+    return config, join_arrays(json_state, arrays)

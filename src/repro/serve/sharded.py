@@ -1,0 +1,467 @@
+"""Multi-tenant scaling: one logical stream over K independent shards.
+
+A :class:`ShardedService` partitions the population across ``K``
+independent :class:`~repro.serve.streaming.StreamingSynthesizer` shards.
+Each shard runs the full algorithm on its own disjoint sub-population
+with its *own* zCDP accountant — because the shards hold disjoint
+individuals, parallel composition applies and the service-wide guarantee
+is the **maximum** per-shard spend, not the sum.  Query answers are
+merged as population-weighted averages of the per-shard answers, which
+for counting queries equals answering from the union of the shards'
+synthetic populations.
+
+This is the first scaling primitive toward serving very large panels:
+shards are independent state machines (they can be advanced on separate
+cores or hosts), and the whole service checkpoints into a single bundle
+that nests one streaming bundle per shard.
+
+Example
+-------
+::
+
+    from repro.serve import ShardedService
+    from repro.queries import HammingAtLeast
+
+    service = ShardedService(4, algorithm="cumulative",
+                             horizon=12, rho=0.005, seed=0)
+    for column in arriving_columns:     # one (n,) bit vector per round
+        service.observe_round(column)
+    service.answer(HammingAtLeast(3), t=6)
+    service.checkpoint("service.ckpt")
+"""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+
+from repro.exceptions import (
+    ConfigurationError,
+    ConsistencyError,
+    DataValidationError,
+    NotFittedError,
+    SerializationError,
+)
+from repro.rng import SeedLike, spawn
+from repro.serve.checkpoint import read_bundle, write_bundle
+from repro.serve.streaming import _ALGORITHMS, StreamingSynthesizer
+
+__all__ = ["ShardedService"]
+
+
+class ShardedService:
+    """K independent streaming shards behind one observe/answer façade.
+
+    Parameters
+    ----------
+    n_shards:
+        Number of shards ``K >= 1``.  Individuals are assigned
+        contiguously (``np.array_split`` order) on the first observed
+        round and the assignment is fixed for the stream's lifetime.
+    algorithm:
+        ``"cumulative"`` (Algorithm 2, default) or ``"fixed_window"``
+        (Algorithm 1).
+    seed:
+        Master seed; each shard receives an independent spawned child
+        stream, so results are reproducible for any ``K``.
+    **synthesizer_kwargs:
+        Forwarded to every shard's synthesizer constructor — for
+        ``"cumulative"`` at least ``horizon`` and ``rho``; for
+        ``"fixed_window"`` also ``window``.  Note ``rho`` is the
+        *per-shard* budget: by parallel composition over disjoint
+        sub-populations the whole service satisfies ``rho``-zCDP, not
+        ``K * rho``.
+
+    Raises
+    ------
+    repro.exceptions.ConfigurationError
+        If ``n_shards < 1`` or the algorithm name is unknown.
+    """
+
+    def __init__(
+        self,
+        n_shards: int,
+        *,
+        algorithm: str = "cumulative",
+        seed: SeedLike = None,
+        **synthesizer_kwargs,
+    ):
+        if n_shards < 1:
+            raise ConfigurationError(f"n_shards must be >= 1, got {n_shards}")
+        self.n_shards = int(n_shards)
+        self.algorithm = str(algorithm)
+        self._boundaries: np.ndarray | None = None  # K+1 split points
+        self._poisoned: str | None = None  # set when shard clocks desync
+        # One source of truth for supported algorithms: the streaming
+        # wrapper's registry, whose constructor classmethods share the
+        # algorithm tags (StreamingSynthesizer.cumulative etc.).
+        if self.algorithm not in _ALGORITHMS:
+            raise ConfigurationError(
+                f"algorithm must be one of {sorted(_ALGORITHMS)}, got {algorithm!r}"
+            )
+        factory = getattr(StreamingSynthesizer, self.algorithm)
+        seeds = spawn(seed, self.n_shards)
+        self._shards = [
+            factory(seed=shard_seed, **synthesizer_kwargs) for shard_seed in seeds
+        ]
+
+    @classmethod
+    def _from_shards(
+        cls,
+        shards: list[StreamingSynthesizer],
+        algorithm: str,
+        boundaries: np.ndarray | None,
+    ) -> "ShardedService":
+        """Internal: assemble a service around already-built shards."""
+        service = object.__new__(cls)
+        service.n_shards = len(shards)
+        service.algorithm = algorithm
+        service._shards = list(shards)
+        service._boundaries = boundaries
+        service._poisoned = None
+        return service
+
+    # ------------------------------------------------------------------
+    # Serving API
+    # ------------------------------------------------------------------
+
+    @property
+    def shards(self) -> tuple[StreamingSynthesizer, ...]:
+        """The per-shard streaming synthesizers, in assignment order."""
+        return tuple(self._shards)
+
+    @property
+    def t(self) -> int:
+        """Rounds observed so far (identical across shards)."""
+        return self._shards[0].t
+
+    @property
+    def horizon(self) -> int:
+        """Total rounds the stream will carry."""
+        return self._shards[0].horizon
+
+    @property
+    def n(self) -> int:
+        """Total population across all shards."""
+        if self._boundaries is None:
+            raise NotFittedError("no data observed yet")
+        return int(self._boundaries[-1])
+
+    def shard_slices(self) -> list[slice]:
+        """The contiguous index range each shard owns.
+
+        Returns
+        -------
+        list of slice
+            ``slice(start, stop)`` per shard, in shard order.
+
+        Raises
+        ------
+        repro.exceptions.NotFittedError
+            Before the first round fixes the assignment.
+        """
+        if self._boundaries is None:
+            raise NotFittedError("no data observed yet")
+        bounds = self._boundaries
+        return [slice(int(bounds[i]), int(bounds[i + 1])) for i in range(self.n_shards)]
+
+    def observe_round(self, column) -> "ShardedService":
+        """Ingest the next round: split the column and advance every shard.
+
+        Parameters
+        ----------
+        column:
+            The round's ``(n,)`` report vector over the *whole*
+            population.  The first round fixes ``n`` and the contiguous
+            shard assignment; later rounds must match it.
+
+        Returns
+        -------
+        ShardedService
+            ``self``, for chaining with :meth:`answer`.
+
+        Raises
+        ------
+        repro.exceptions.DataValidationError
+            On non-1-D or non-binary input, a population size change, an
+            exhausted horizon, or when the population is smaller than the
+            shard count.  This validation happens *before* any shard
+            advances, so a rejected column leaves every shard's clock
+            unchanged and the corrected column can simply be resubmitted.
+        repro.exceptions.ConsistencyError
+            If a shard fails *mid-round* (only possible through
+            noise-dependent per-shard failures such as
+            ``on_negative="raise"``): earlier shards have already
+            ingested the round, so the service marks itself
+            desynchronized and refuses all further operations except
+            :meth:`shard_ledgers` — restore from the last checkpoint (or
+            use ``on_negative="redistribute"``, the default, which
+            cannot fail mid-round).
+        """
+        self._check_not_poisoned()
+        column = np.asarray(column)
+        if column.ndim != 1:
+            raise DataValidationError(f"column must be 1-D, got shape {column.shape}")
+        if column.size and not np.isin(column, (0, 1)).all():
+            raise DataValidationError("column entries must be 0 or 1")
+        if self.t >= self.horizon:
+            raise DataValidationError(f"horizon {self.horizon} already exhausted")
+        if self._boundaries is None:
+            n = int(column.shape[0])
+            if n < self.n_shards:
+                raise DataValidationError(
+                    f"population {n} is smaller than n_shards={self.n_shards}"
+                )
+            sizes = np.array(
+                [len(part) for part in np.array_split(np.arange(n), self.n_shards)]
+            )
+            self._boundaries = np.concatenate([[0], np.cumsum(sizes)])
+        elif column.shape[0] != self.n:
+            raise DataValidationError(
+                f"column has {column.shape[0]} entries, expected n={self.n}"
+            )
+        round_number = self.t + 1  # read before shard 0's clock advances
+        advanced = 0
+        try:
+            for shard, part in zip(self._shards, self.shard_slices()):
+                shard.observe_round(column[part])
+                advanced += 1
+        except Exception:
+            # Pre-validation covers every data-level failure, so reaching
+            # here means a shard failed *during* its update.  Whether or
+            # not earlier shards advanced, the round is now partially
+            # ingested and the clocks can no longer be trusted —
+            # fail closed instead of serving silently wrong merges.
+            self._poisoned = (
+                f"round {round_number} failed after {advanced} of "
+                f"{self.n_shards} shards ingested it"
+            )
+            raise
+        return self
+
+    def answer(self, query, t: int, **kwargs) -> float:
+        """Merged query answer at round ``t``.
+
+        Parameters
+        ----------
+        query:
+            Any query the per-shard releases answer
+            (:class:`~repro.queries.cumulative.HammingAtLeast` /
+            ``HammingExactly`` for the cumulative algorithm, window
+            queries for the fixed-window one).
+        t:
+            Round to answer at.
+        **kwargs:
+            Forwarded to every shard release's ``answer`` (e.g.
+            ``debias=`` for window queries).
+
+        Returns
+        -------
+        float
+            The population-weighted average of per-shard answers.  Since
+            each shard's answer is a fraction of its own (synthetic)
+            population, the weighted average equals the fraction over
+            the union — exactly what a single unsharded release reports.
+        """
+        self._check_not_poisoned()
+        weighted = 0.0
+        total = 0
+        for shard in self._shards:
+            release = shard.release
+            weight = self._merge_weight(release, **kwargs)
+            weighted += weight * release.answer(query, t, **kwargs)
+            total += weight
+        return weighted / total
+
+    def _merge_weight(self, release, **kwargs) -> int:
+        """Population weight of one shard's answers."""
+        if self.algorithm == "cumulative":
+            return release.m
+        # Debiased window answers are fractions of the real sub-population;
+        # biased ones are fractions of the padded synthetic population.
+        if kwargs.get("debias", True):
+            return release.n_original
+        return release.n_synthetic
+
+    def _check_not_poisoned(self) -> None:
+        """Refuse to operate on a desynchronized service."""
+        if self._poisoned is not None:
+            raise ConsistencyError(
+                f"shard clocks are desynchronized ({self._poisoned}); "
+                "restore the service from its last checkpoint"
+            )
+
+    def zcdp_spent(self) -> float:
+        """Service-wide zCDP spend: the *maximum* over shards.
+
+        The shards hold disjoint individuals, so parallel composition
+        gives the union mechanism a guarantee of ``max_k rho_k``, not the
+        sum.  Returns 0.0 when every shard runs noiseless
+        (``rho = inf``).
+        """
+        spends = [
+            shard.synthesizer.accountant.spent
+            for shard in self._shards
+            if shard.synthesizer.accountant is not None
+        ]
+        return max(spends, default=0.0)
+
+    def shard_ledgers(self) -> list[tuple[float, float]]:
+        """Per-shard ``(spent, remaining)`` zCDP, in shard order.
+
+        Shards running noiseless (``rho = inf``) report ``(0.0, inf)``.
+        """
+        out = []
+        for shard in self._shards:
+            accountant = shard.synthesizer.accountant
+            if accountant is None:
+                out.append((0.0, float("inf")))
+            else:
+                out.append((accountant.spent, accountant.remaining))
+        return out
+
+    # ------------------------------------------------------------------
+    # Durability
+    # ------------------------------------------------------------------
+
+    def checkpoint(self, path) -> None:
+        """Serialize the whole service (all shards) into one bundle.
+
+        Parameters
+        ----------
+        path:
+            Target file path or writable binary file object.  The bundle
+            nests one complete streaming bundle per shard (stored as
+            bytes inside the service's ``arrays.npz``), so shard state
+            inherits the same integrity checks.
+
+        Raises
+        ------
+        repro.exceptions.SerializationError
+            If any shard state cannot be serialized.
+        """
+        self._check_not_poisoned()
+        shard_blobs: dict = {}
+        for index, shard in enumerate(self._shards):
+            buffer = io.BytesIO()
+            shard.checkpoint(buffer)
+            shard_blobs[str(index)] = {
+                "bundle": np.frombuffer(buffer.getvalue(), dtype=np.uint8)
+            }
+        state = {"shards": shard_blobs}
+        if self._boundaries is not None:
+            state["boundaries"] = np.asarray(self._boundaries, dtype=np.int64)
+        write_bundle(
+            path,
+            kind="sharded",
+            config={"algorithm": self.algorithm, "n_shards": self.n_shards},
+            state=state,
+            # The shard blobs are complete bundles (already compressed);
+            # deflating them again would only burn CPU.
+            compress_arrays=False,
+        )
+
+    @classmethod
+    def restore(cls, path) -> "ShardedService":
+        """Resume a service from a :meth:`checkpoint` bundle.
+
+        Parameters
+        ----------
+        path:
+            Bundle file path or readable binary file object.
+
+        Returns
+        -------
+        ShardedService
+            A service whose future rounds and answers are byte-identical
+            to the uninterrupted one's.
+
+        Raises
+        ------
+        repro.exceptions.SerializationError
+            If the bundle (or any nested shard bundle) is corrupt,
+            tampered with, or version-mismatched.
+        """
+        config, state = read_bundle(path, kind="sharded")
+        try:
+            algorithm = str(config["algorithm"])
+            n_shards = int(config["n_shards"])
+            shard_blobs = dict(state["shards"])
+            shard_keys = sorted(int(k) for k in shard_blobs)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SerializationError(f"invalid sharded bundle: {exc}") from exc
+        if n_shards < 1:
+            raise SerializationError(
+                f"sharded bundle declares n_shards={n_shards}; must be >= 1"
+            )
+        if shard_keys != list(range(n_shards)):
+            raise SerializationError(
+                f"sharded bundle must hold shards 0..{n_shards - 1}, "
+                f"got {sorted(shard_blobs)}"
+            )
+        shards = []
+        for index in range(n_shards):
+            try:
+                blob = np.asarray(shard_blobs[str(index)]["bundle"], dtype=np.uint8)
+            except (KeyError, TypeError, ValueError) as exc:
+                raise SerializationError(
+                    f"invalid shard entry {index}: {exc}"
+                ) from exc
+            shards.append(StreamingSynthesizer.restore(io.BytesIO(blob.tobytes())))
+        # Cross-shard consistency: the nested bundles are individually
+        # checksummed, but nothing stops a (buggy or foreign) writer from
+        # combining shards that never belonged together — fail closed
+        # here rather than crash or serve desynced merges later.
+        for index, shard in enumerate(shards):
+            if shard.algorithm != algorithm:
+                raise SerializationError(
+                    f"shard {index} runs algorithm {shard.algorithm!r} but the "
+                    f"service bundle declares {algorithm!r}"
+                )
+        clocks = {shard.t for shard in shards}
+        if len(clocks) > 1:
+            raise SerializationError(
+                f"shard clocks are desynchronized: {[s.t for s in shards]}"
+            )
+        horizons = {shard.horizon for shard in shards}
+        if len(horizons) > 1:
+            raise SerializationError(
+                f"shard horizons disagree: {[s.horizon for s in shards]}"
+            )
+        boundaries = None
+        if next(iter(clocks)) > 0 and "boundaries" not in state:
+            raise SerializationError(
+                "sharded bundle has fitted shards (t > 0) but no shard "
+                "assignment boundaries"
+            )
+        if "boundaries" in state:
+            boundaries = np.asarray(state["boundaries"], dtype=np.int64)
+            if boundaries.shape != (n_shards + 1,):
+                raise SerializationError(
+                    f"boundaries have shape {boundaries.shape}, "
+                    f"expected ({n_shards + 1},)"
+                )
+            if boundaries[0] != 0 or (np.diff(boundaries) < 0).any():
+                raise SerializationError(
+                    f"assignment boundaries {boundaries.tolist()} must start "
+                    "at 0 and be non-decreasing"
+                )
+            sizes = np.diff(boundaries)
+            populations = [shard.synthesizer._n for shard in shards]
+            if any(
+                n is not None and n != int(size)
+                for n, size in zip(populations, sizes)
+            ):
+                raise SerializationError(
+                    f"shard populations {populations} disagree with the "
+                    f"assignment boundaries {boundaries.tolist()}"
+                )
+        return cls._from_shards(shards, algorithm, boundaries)
+
+    def __repr__(self) -> str:
+        fitted = self._boundaries is not None
+        return (
+            f"ShardedService(algorithm={self.algorithm!r}, K={self.n_shards}, "
+            f"t={self.t}, n={self.n if fitted else '?'})"
+        )

@@ -1,0 +1,282 @@
+"""True-online serving: one report column in, one release out.
+
+The offline drivers (:meth:`CumulativeSynthesizer.run` /
+:meth:`FixedWindowSynthesizer.run`) replay a fully materialized panel.
+:class:`StreamingSynthesizer` is the serving-side wrapper for the model
+the paper actually describes: the curator observes one ``(n,)`` bit
+column per round — no panel up front — and must publish after every
+round.  It adds the two things a long-lived service needs on top of the
+synthesizers' incremental ``observe_column`` step:
+
+* **durable state** — :meth:`checkpoint` serializes the complete
+  mid-stream state (counter-bank arrays, monotonized threshold table,
+  synthetic store, zCDP ledger, and every RNG bit-generator state) to a
+  versioned bundle, and :meth:`restore` resumes from it with
+  byte-identical future releases, noise included;
+* **a uniform round API** — :meth:`observe_round` works identically for
+  both algorithms and both counter engines, and per-round releases are
+  bit-exact (noiseless mode) with the equivalent offline ``run()`` on
+  the concatenated panel.
+
+Example
+-------
+::
+
+    from repro.serve import StreamingSynthesizer
+
+    service = StreamingSynthesizer.cumulative(horizon=12, rho=0.005, seed=0)
+    for column in arriving_columns:          # one (n,) bit vector per round
+        release = service.observe_round(column)
+        publish(release.threshold_table())
+    service.checkpoint("state.ckpt")         # survive a restart
+    service = StreamingSynthesizer.restore("state.ckpt")
+"""
+
+from __future__ import annotations
+
+from repro.core.cumulative import CumulativeSynthesizer
+from repro.core.fixed_window import FixedWindowSynthesizer
+from repro.exceptions import ConfigurationError, SerializationError
+from repro.rng import SeedLike
+from repro.serve.checkpoint import read_bundle, write_bundle
+
+__all__ = ["StreamingSynthesizer"]
+
+#: Maps the ``algorithm`` tag in a checkpoint config to the synthesizer class.
+_ALGORITHMS = {
+    "cumulative": CumulativeSynthesizer,
+    "fixed_window": FixedWindowSynthesizer,
+}
+
+
+class StreamingSynthesizer:
+    """Online round-by-round wrapper around a continual synthesizer.
+
+    Parameters
+    ----------
+    synthesizer:
+        A :class:`~repro.core.cumulative.CumulativeSynthesizer` or
+        :class:`~repro.core.fixed_window.FixedWindowSynthesizer` —
+        fresh or mid-stream; the wrapper takes over driving it.
+
+    Raises
+    ------
+    repro.exceptions.ConfigurationError
+        If ``synthesizer`` is not one of the two supported classes.
+
+    Notes
+    -----
+    The wrapper adds no privacy cost of its own: every noisy release is
+    still charged to the wrapped synthesizer's zCDP ledger, and
+    checkpoint/restore is pure state copying (no fresh randomness), so
+    the privacy guarantee of a resumed stream equals the uninterrupted
+    one.
+    """
+
+    def __init__(self, synthesizer):
+        if not isinstance(synthesizer, tuple(_ALGORITHMS.values())):
+            raise ConfigurationError(
+                "StreamingSynthesizer wraps a CumulativeSynthesizer or "
+                f"FixedWindowSynthesizer, got {type(synthesizer).__name__}"
+            )
+        self._synthesizer = synthesizer
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def cumulative(
+        cls, horizon: int, rho: float, *, seed: SeedLike = None, **kwargs
+    ) -> "StreamingSynthesizer":
+        """Build a streaming Algorithm-2 (cumulative queries) service.
+
+        Parameters
+        ----------
+        horizon:
+            Known time horizon ``T``.
+        rho:
+            Total zCDP budget (``math.inf`` disables noise).
+        seed:
+            Seed for all randomness (noise and synthetic records).
+        **kwargs:
+            Forwarded to :class:`~repro.core.cumulative.CumulativeSynthesizer`
+            (``counter``, ``budget``, ``engine``, ``noise_method``, ...).
+
+        Returns
+        -------
+        StreamingSynthesizer
+            A fresh service expecting round 1.
+        """
+        return cls(CumulativeSynthesizer(horizon, rho, seed=seed, **kwargs))
+
+    @classmethod
+    def fixed_window(
+        cls, horizon: int, window: int, rho: float, *, seed: SeedLike = None, **kwargs
+    ) -> "StreamingSynthesizer":
+        """Build a streaming Algorithm-1 (fixed-window queries) service.
+
+        Parameters
+        ----------
+        horizon:
+            Known time horizon ``T``.
+        window:
+            Window width ``k``.
+        rho:
+            Total zCDP budget (``math.inf`` disables noise).
+        seed:
+            Seed for all randomness.
+        **kwargs:
+            Forwarded to
+            :class:`~repro.core.fixed_window.FixedWindowSynthesizer`.
+
+        Returns
+        -------
+        StreamingSynthesizer
+            A fresh service expecting round 1.
+        """
+        return cls(FixedWindowSynthesizer(horizon, window, rho, seed=seed, **kwargs))
+
+    # ------------------------------------------------------------------
+    # Serving API
+    # ------------------------------------------------------------------
+
+    @property
+    def synthesizer(self):
+        """The wrapped synthesizer (shared, not a copy)."""
+        return self._synthesizer
+
+    @property
+    def algorithm(self) -> str:
+        """``"cumulative"`` or ``"fixed_window"``."""
+        for name, cls in _ALGORITHMS.items():
+            if isinstance(self._synthesizer, cls):
+                return name
+        raise ConfigurationError(  # pragma: no cover - guarded by __init__
+            f"unsupported synthesizer {type(self._synthesizer).__name__}"
+        )
+
+    @property
+    def t(self) -> int:
+        """Rounds observed so far."""
+        return self._synthesizer.t
+
+    @property
+    def horizon(self) -> int:
+        """Total rounds the stream will carry."""
+        return self._synthesizer.horizon
+
+    @property
+    def rounds_remaining(self) -> int:
+        """Rounds the service will still accept."""
+        return self.horizon - self.t
+
+    @property
+    def release(self):
+        """The current release view (everything published so far)."""
+        return self._synthesizer.release
+
+    def observe_round(self, column):
+        """Ingest the next round's ``(n,)`` bit column and publish.
+
+        Parameters
+        ----------
+        column:
+            The round-``t`` report vector ``D_t``: one 0/1 entry per
+            individual.  Every round must present the same population
+            size.
+
+        Returns
+        -------
+        CumulativeRelease or FixedWindowRelease
+            The updated release view.  Per-round outputs are bit-exact
+            (noiseless mode) with the offline ``run()`` on the
+            concatenated panel — ``observe_round`` *is* ``run()``'s loop
+            body, extracted.
+
+        Raises
+        ------
+        repro.exceptions.DataValidationError
+            On non-binary input, population size changes, or rounds past
+            the horizon.
+        """
+        return self._synthesizer.observe_column(column)
+
+    # ------------------------------------------------------------------
+    # Durability
+    # ------------------------------------------------------------------
+
+    def checkpoint(self, path) -> None:
+        """Serialize the full mid-stream state to a versioned bundle.
+
+        Parameters
+        ----------
+        path:
+            Target file path (or writable binary file object).  The
+            bundle is a zip with a ``manifest.json`` and an
+            ``arrays.npz`` member — see
+            :mod:`repro.serve.checkpoint` and the docs' checkpoint-format
+            page.
+
+        Raises
+        ------
+        repro.exceptions.SerializationError
+            If the state cannot be represented in the bundle format.
+
+        Notes
+        -----
+        A synthesizer restored from the bundle continues the stream with
+        *byte-identical* releases — the bundle captures every RNG
+        bit-generator state, the counter engine's internal buffers, the
+        monotonized threshold table (or released histograms), the
+        synthetic store, and the zCDP ledger.
+        """
+        write_bundle(
+            path,
+            kind="streaming",
+            config=self._synthesizer.config_dict(),
+            state=self._synthesizer.state_dict(),
+        )
+
+    @classmethod
+    def restore(cls, path) -> "StreamingSynthesizer":
+        """Resume a service from a :meth:`checkpoint` bundle.
+
+        Parameters
+        ----------
+        path:
+            Bundle file path (or readable binary file object).
+
+        Returns
+        -------
+        StreamingSynthesizer
+            A service continuing at the checkpointed round whose future
+            releases are byte-identical to the uninterrupted stream's.
+
+        Raises
+        ------
+        repro.exceptions.SerializationError
+            If the bundle is corrupt, tampered with, version-mismatched,
+            or names an unknown algorithm.
+        """
+        config, state = read_bundle(path, kind="streaming")
+        try:
+            algorithm = config["algorithm"]
+        except (KeyError, TypeError) as exc:
+            raise SerializationError(f"bundle config missing algorithm: {exc}") from exc
+        try:
+            synthesizer_cls = _ALGORITHMS[algorithm]
+        except KeyError:
+            raise SerializationError(
+                f"unknown algorithm {algorithm!r}; expected one of "
+                f"{sorted(_ALGORITHMS)}"
+            ) from None
+        synthesizer = synthesizer_cls.from_config(config)
+        synthesizer.load_state(state)
+        return cls(synthesizer)
+
+    def __repr__(self) -> str:
+        return (
+            f"StreamingSynthesizer(algorithm={self.algorithm!r}, "
+            f"t={self.t}/{self.horizon})"
+        )

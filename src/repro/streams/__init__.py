@@ -20,8 +20,21 @@ Implementations:
   with continuous Gaussian noise.
 * :class:`BlockCounter` — two-level ``sqrt(T)`` decomposition; a simple
   middle ground with better constants than the tree for tiny ``T``.
+* :class:`LaplaceTreeCounter` — the pure-DP tree variant with discrete
+  Laplace noise (converted into zCDP accounting via ``eps^2 / 2``).
 * :class:`MonotoneCounter` — wrapper enforcing non-decreasing outputs
   (single-stream consistency of Chan-Shi-Song §4).
+
+Counters exist in two execution forms.  The classes above are the
+*scalar* form — one Python object per stream.  The :mod:`~repro.streams.bank`
+module provides the *vectorized* form: a :class:`CounterBank` advances all
+``T`` per-threshold counters of Algorithm 2 in lockstep as one batched
+NumPy state machine (native banks for the tree, Laplace-tree, simple, and
+square-root-factorization counters; :class:`FallbackBank` wraps everything
+else).  Both forms are selected by name through
+:mod:`~repro.streams.registry`, produce identical noiseless outputs under
+the same seeds, and serialize via ``state_dict()`` / ``load_state()`` for
+the :mod:`repro.serve` checkpoint layer.
 """
 
 from repro.streams.bank import (

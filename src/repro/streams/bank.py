@@ -50,8 +50,14 @@ import numpy as np
 
 from repro.dp.discrete_gaussian import DiscreteGaussianSampler
 from repro.dp.discrete_laplace import DiscreteLaplaceSampler
-from repro.exceptions import ConfigurationError, StreamLengthError
-from repro.rng import SeedLike, as_generator, spawn
+from repro.exceptions import ConfigurationError, SerializationError, StreamLengthError
+from repro.rng import (
+    SeedLike,
+    as_generator,
+    generator_state,
+    restore_generator_state,
+    spawn,
+)
 from repro.streams.sqrt_factorization import sqrt_factorization_coefficients
 
 __all__ = [
@@ -213,6 +219,103 @@ class CounterBank(abc.ABC):
         )
 
     # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Snapshot the bank's full mid-stream state.
+
+        Returns
+        -------
+        dict
+            The bank class name, global clock, exact per-row running sums
+            (``int64`` array), the noise generator's bit-generator state,
+            and subclass-specific buffers (tree levels, correlated-noise
+            history, wrapped-counter states).  Array values stay NumPy
+            arrays — the :mod:`repro.serve` checkpoint layer routes them
+            into the bundle's ``.npz`` member.  A restored bank continues
+            the stream with byte-identical noise draws.
+        """
+        return {
+            "type": type(self).__name__,
+            "t": int(self._t),
+            "true_sums": self._true_sums.copy(),
+            "generator": generator_state(self._generator),
+            "extra": self._state_extra(),
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a snapshot taken by :meth:`state_dict` in place.
+
+        Parameters
+        ----------
+        state:
+            A snapshot from a bank of the same class, built with the same
+            ``(horizon, rho_per_threshold, noise_method, n_reps)``.
+
+        Raises
+        ------
+        repro.exceptions.SerializationError
+            If the snapshot names a different bank class, its clock lies
+            outside ``[0, horizon]``, or a state array has the wrong
+            shape.
+        """
+        if not isinstance(state, dict):
+            raise SerializationError(
+                f"bank state must be a dict, got {type(state).__name__}"
+            )
+        declared = state.get("type")
+        if declared != type(self).__name__:
+            raise SerializationError(
+                f"bank state for {declared!r} cannot be loaded into "
+                f"a {type(self).__name__}"
+            )
+        try:
+            t = int(state["t"])
+            # Copy: a restored bank must never alias (and later mutate in
+            # place) the arrays of the snapshot it was built from.
+            true_sums = np.array(state["true_sums"], dtype=np.int64)
+            generator = state["generator"]
+            extra = state["extra"]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SerializationError(f"invalid bank state: {exc}") from exc
+        if not 0 <= t <= self.horizon:
+            raise SerializationError(
+                f"bank clock {t} outside [0, horizon={self.horizon}]"
+            )
+        if true_sums.shape != self._true_sums.shape:
+            raise SerializationError(
+                f"true_sums has shape {true_sums.shape}, "
+                f"expected {self._true_sums.shape}"
+            )
+        self._t = t
+        self._true_sums = true_sums
+        self._load_extra(extra)
+        # Generator last: a snapshot rejected above never leaves the bank
+        # with a repositioned noise stream (the silent-divergence case).
+        restore_generator_state(self._generator, generator)
+
+    def _state_extra(self) -> dict:
+        """Subclass hook: state beyond the base fields (arrays allowed)."""
+        return {}
+
+    def _load_extra(self, extra: dict) -> None:
+        """Subclass hook: restore what :meth:`_state_extra` captured."""
+
+    def _require_array(self, extra: dict, key: str, like: np.ndarray) -> np.ndarray:
+        """Fetch ``extra[key]`` as a fresh array shaped/typed like ``like``."""
+        try:
+            array = np.array(extra[key], dtype=like.dtype)  # copy: never alias
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SerializationError(f"invalid bank state array {key!r}: {exc}") from exc
+        if array.shape != like.shape:
+            raise SerializationError(
+                f"bank state array {key!r} has shape {array.shape}, "
+                f"expected {like.shape}"
+            )
+        return array
+
+    # ------------------------------------------------------------------
     # Subclass contract
     # ------------------------------------------------------------------
 
@@ -321,6 +424,16 @@ class _TreeBankCore(CounterBank):
         # Dyadic decomposition of [1, t_r] = the set bits of the local clock.
         bits = (local[:, None] >> self._level_idx[None, :]) & 1
         return (alpha_noisy * bits[None, :, :]).sum(axis=2).astype(np.float64)
+
+    def _state_extra(self) -> dict:
+        return {
+            "alpha": self._alpha.copy(),
+            "alpha_noisy": self._alpha_noisy.copy(),
+        }
+
+    def _load_extra(self, extra: dict) -> None:
+        self._alpha = self._require_array(extra, "alpha", self._alpha)
+        self._alpha_noisy = self._require_array(extra, "alpha_noisy", self._alpha_noisy)
 
     @abc.abstractmethod
     def _round_noise(self, t: int) -> np.ndarray:
@@ -498,6 +611,12 @@ class SqrtFactorizationBank(CounterBank):
         correlated = self._xi[:, :t, :t] @ self.coefficients[:t][::-1]
         return self._true_sums[:t][None, :] + correlated
 
+    def _state_extra(self) -> dict:
+        return {"xi": self._xi.copy()}
+
+    def _load_extra(self, extra: dict) -> None:
+        self._xi = self._require_array(extra, "xi", self._xi)
+
     def error_stddev(self, b: int, t: int) -> float:
         self._check_row(b)
         sigma = float(self.sigma_rows[b - 1])
@@ -561,6 +680,68 @@ class FallbackBank(CounterBank):
             [counter.feed(int(z_b)) for counter, z_b in zip(self._counters, z)],
             dtype=np.float64,
         )
+
+    def _state_extra(self) -> dict:
+        # Wrapped scalar counters serialize through their own state_dict
+        # (JSON-safe payloads, keyed by row index as a string).  Rows that
+        # have not activated yet will draw from their row-seed generators
+        # later, so those bit states must travel too — otherwise a restore
+        # into a differently-seeded host bank diverges from round t+1 on.
+        # (Non-Generator row seeds — ints, SeedSequences — are immutable
+        # and rebuild deterministically, so only Generators are captured.)
+        return {
+            "counters": {
+                str(index): counter.state_dict()
+                for index, counter in enumerate(self._counters)
+            },
+            "row_seed_states": {
+                str(index): generator_state(seed)
+                for index, seed in enumerate(self._row_seeds)
+                if isinstance(seed, np.random.Generator)
+            },
+        }
+
+    def _load_extra(self, extra: dict) -> None:
+        from repro.streams.registry import restore_counter
+
+        try:
+            payloads = dict(extra["counters"])
+            row_keys = sorted(int(k) for k in payloads)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SerializationError(f"invalid fallback-bank state: {exc}") from exc
+        if row_keys != list(range(len(payloads))):
+            raise SerializationError(
+                f"fallback-bank counter states must cover rows 0..{len(payloads) - 1}"
+            )
+        # One counter activates per round, so the restored clock (set by
+        # load_state before this hook runs) pins the expected row count.
+        if len(payloads) != self._t:
+            raise SerializationError(
+                f"fallback-bank state holds {len(payloads)} counters at "
+                f"clock t={self._t}; expected exactly {self._t}"
+            )
+        for key, seed_state in dict(extra.get("row_seed_states", {})).items():
+            try:
+                index = int(key)
+                seed = self._row_seeds[index]
+            except (ValueError, IndexError) as exc:
+                raise SerializationError(
+                    f"invalid fallback-bank row-seed entry {key!r}: {exc}"
+                ) from exc
+            if isinstance(seed, np.random.Generator):
+                restore_generator_state(seed, seed_state)
+        self._counters = [
+            restore_counter(
+                self.counter_name,
+                horizon=self.horizon - index,
+                rho=float(self.rho_per_threshold[index]),
+                seed=self._row_seeds[index],
+                noise_method=self.noise_method,
+                payload=payloads[str(index)],
+                counter_kwargs=self._counter_kwargs,
+            )
+            for index in range(len(payloads))
+        ]
 
     def error_stddev(self, b: int, t: int) -> float:
         self._check_row(b)

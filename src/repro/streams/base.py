@@ -9,8 +9,8 @@ from typing import Iterable
 
 import numpy as np
 
-from repro.exceptions import ConfigurationError, StreamLengthError
-from repro.rng import SeedLike, as_generator
+from repro.exceptions import ConfigurationError, SerializationError, StreamLengthError
+from repro.rng import SeedLike, as_generator, generator_state, restore_generator_state
 
 __all__ = ["StreamCounter", "CounterAccuracy"]
 
@@ -108,6 +108,87 @@ class StreamCounter(abc.ABC):
     def run(self, stream: Iterable[int]) -> np.ndarray:
         """Feed an entire stream; return the vector of noisy prefix sums."""
         return np.array([self.feed(z) for z in stream], dtype=np.float64)
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Snapshot the counter's full mid-stream state.
+
+        Returns
+        -------
+        dict
+            JSON-safe dict with the counter class name, clock, exact
+            running sum, the noise generator's bit-generator state, and a
+            subclass-specific ``payload`` (tree buffers, correlated-noise
+            history, ...).  Feeding a restored counter produces exactly
+            the bit stream the original would have produced — the
+            :mod:`repro.serve` checkpoint contract.
+        """
+        return {
+            "type": type(self).__name__,
+            "t": int(self._t),
+            "true_sum": int(self._true_sum),
+            "generator": generator_state(self._generator),
+            "payload": self._state_payload(),
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a snapshot taken by :meth:`state_dict` in place.
+
+        Parameters
+        ----------
+        state:
+            A snapshot from a counter of the *same class* constructed with
+            the same ``(horizon, rho, noise_method)`` configuration.
+
+        Raises
+        ------
+        repro.exceptions.SerializationError
+            If the snapshot names a different counter class or is
+            structurally invalid.
+        """
+        if not isinstance(state, dict):
+            raise SerializationError(
+                f"counter state must be a dict, got {type(state).__name__}"
+            )
+        declared = state.get("type")
+        if declared != type(self).__name__:
+            raise SerializationError(
+                f"counter state for {declared!r} cannot be loaded into "
+                f"a {type(self).__name__}"
+            )
+        try:
+            t = int(state["t"])
+            true_sum = int(state["true_sum"])
+            generator = state["generator"]
+            payload = state["payload"]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SerializationError(f"invalid counter state: {exc}") from exc
+        if not 0 <= t <= self.horizon:
+            raise SerializationError(
+                f"counter clock {t} outside [0, horizon={self.horizon}]"
+            )
+        # Load order: payload buffers, then the generator, then the clock.
+        # A snapshot rejected at any step never leaves the counter with a
+        # repositioned noise stream behind an unchanged clock — the
+        # silent-divergence case; buffer edits before a *generator*
+        # rejection are moot because that rejection is always loud.
+        try:
+            self._load_payload(payload)
+        except (KeyError, TypeError, ValueError, IndexError) as exc:
+            raise SerializationError(f"invalid counter payload: {exc}") from exc
+        restore_generator_state(self._generator, generator)
+        self._t = t
+        self._true_sum = true_sum
+
+    def _state_payload(self) -> dict:
+        """Subclass hook: extra JSON-safe state beyond the base fields."""
+        return {}
+
+    def _load_payload(self, payload: dict) -> None:
+        """Subclass hook: restore what :meth:`_state_payload` captured."""
 
     # ------------------------------------------------------------------
     # Subclass contract

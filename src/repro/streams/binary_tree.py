@@ -79,6 +79,16 @@ class BinaryTreeCounter(StreamCounter):
                 estimate += self._alpha_noisy[j]
         return float(estimate)
 
+    def _state_payload(self) -> dict:
+        return {
+            "alpha": [int(a) for a in self._alpha],
+            "alpha_noisy": [int(a) for a in self._alpha_noisy],
+        }
+
+    def _load_payload(self, payload: dict) -> None:
+        self._alpha = [int(a) for a in payload["alpha"]]
+        self._alpha_noisy = [int(a) for a in payload["alpha_noisy"]]
+
     def nodes_in_estimate(self, t: int) -> int:
         """Number of noisy nodes summed into the estimate at time ``t``."""
         if t <= 0:

@@ -58,6 +58,18 @@ class BlockCounter(StreamCounter):
             self._open_singletons_noisy = 0
         return float(estimate)
 
+    def _state_payload(self) -> dict:
+        return {
+            "closed_blocks_noisy": int(self._closed_blocks_noisy),
+            "open_block_true": int(self._open_block_true),
+            "open_singletons_noisy": int(self._open_singletons_noisy),
+        }
+
+    def _load_payload(self, payload: dict) -> None:
+        self._closed_blocks_noisy = int(payload["closed_blocks_noisy"])
+        self._open_block_true = int(payload["open_block_true"])
+        self._open_singletons_noisy = int(payload["open_singletons_noisy"])
+
     def error_stddev(self, t: int) -> float:
         if t <= 0:
             return 0.0

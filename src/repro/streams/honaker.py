@@ -92,6 +92,22 @@ class HonakerCounter(StreamCounter):
         self._pending[_lowest_set_bit(t)] = cur
         return math.fsum(node.estimate for node in self._pending if node is not None)
 
+    def _state_payload(self) -> dict:
+        return {
+            "pending": [
+                None
+                if node is None
+                else [int(node.true_sum), float(node.estimate), float(node.variance)]
+                for node in self._pending
+            ],
+        }
+
+    def _load_payload(self, payload: dict) -> None:
+        self._pending = [
+            None if entry is None else _Node(int(entry[0]), float(entry[1]), float(entry[2]))
+            for entry in payload["pending"]
+        ]
+
     def node_variance(self, level: int) -> float:
         """Refined variance of a completed node at the given level.
 

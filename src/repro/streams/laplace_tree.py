@@ -93,6 +93,16 @@ class LaplaceTreeCounter(StreamCounter):
                 estimate += self._alpha_noisy[j]
         return float(estimate)
 
+    def _state_payload(self) -> dict:
+        return {
+            "alpha": [int(a) for a in self._alpha],
+            "alpha_noisy": [int(a) for a in self._alpha_noisy],
+        }
+
+    def _load_payload(self, payload: dict) -> None:
+        self._alpha = [int(a) for a in payload["alpha"]]
+        self._alpha_noisy = [int(a) for a in payload["alpha_noisy"]]
+
     def error_stddev(self, t: int) -> float:
         """``sqrt(popcount(t) * Var(Lap_Z(scale)))``."""
         if t <= 0 or self._sampler is None:

@@ -37,6 +37,16 @@ class MonotoneCounter(StreamCounter):
         self._last = max(self._last, raw)
         return self._last
 
+    def _state_payload(self) -> dict:
+        # The wrapper owns two pieces of state the base class cannot see:
+        # the running maximum and the wrapped counter (whose clock and
+        # buffers must resume too, or the restored stream diverges).
+        return {"last": self._last, "inner": self.inner.state_dict()}
+
+    def _load_payload(self, payload: dict) -> None:
+        self._last = float(payload["last"])
+        self.inner.load_state(payload["inner"])
+
     def error_stddev(self, t: int) -> float:
         """Clamping does not increase worst-case error (Lemma 4.2)."""
         return self.inner.error_stddev(t)

@@ -26,6 +26,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
 __all__ = [
     "register_counter",
     "make_counter",
+    "restore_counter",
     "available_counters",
     "register_bank",
     "make_bank",
@@ -51,6 +52,22 @@ def resolve_engine(engine: str | None = None) -> str:
     Unrecognized values — explicit or from the environment — raise instead
     of silently falling back: a typo like ``REPRO_ENGINE=sclar`` must not
     re-test the default engine while claiming to cover the other one.
+
+    Parameters
+    ----------
+    engine:
+        ``"vectorized"``, ``"scalar"``, or ``None`` (consult the
+        environment, then default).
+
+    Returns
+    -------
+    str
+        The validated engine name.
+
+    Raises
+    ------
+    repro.exceptions.ConfigurationError
+        On any unrecognized value, explicit or environmental.
     """
     if engine is None:
         env = os.environ.get("REPRO_ENGINE", "").strip().lower()
@@ -67,7 +84,25 @@ def resolve_engine(engine: str | None = None) -> str:
 
 
 def register_counter(name: str) -> Callable[[Type[StreamCounter]], Type[StreamCounter]]:
-    """Class decorator registering a counter under ``name``."""
+    """Class decorator registering a counter under ``name``.
+
+    Parameters
+    ----------
+    name:
+        Registry key, as passed to :func:`make_counter` and to
+        ``CumulativeSynthesizer(counter=...)``.
+
+    Returns
+    -------
+    callable
+        The decorator; it returns the class unchanged after registering.
+
+    Raises
+    ------
+    repro.exceptions.ConfigurationError
+        If the decorated class is not a
+        :class:`~repro.streams.base.StreamCounter` subclass.
+    """
 
     def decorator(cls: Type[StreamCounter]) -> Type[StreamCounter]:
         if not issubclass(cls, StreamCounter):
@@ -79,7 +114,32 @@ def register_counter(name: str) -> Callable[[Type[StreamCounter]], Type[StreamCo
 
 
 def make_counter(name: str, horizon: int, rho: float, **kwargs) -> StreamCounter:
-    """Instantiate a registered counter by name."""
+    """Instantiate a registered counter by name.
+
+    Parameters
+    ----------
+    name:
+        A key previously registered with :func:`register_counter` (see
+        :func:`available_counters`).
+    horizon:
+        Maximum stream length the counter will accept.
+    rho:
+        Total zCDP budget for the counter's whole output sequence
+        (``math.inf`` for a noiseless oracle).
+    **kwargs:
+        Forwarded to the counter constructor (``seed``,
+        ``noise_method``, counter-specific knobs like ``block_size``).
+
+    Returns
+    -------
+    StreamCounter
+        A fresh counter at clock 0.
+
+    Raises
+    ------
+    repro.exceptions.ConfigurationError
+        If ``name`` is not registered.
+    """
     try:
         cls = _REGISTRY[name]
     except KeyError:
@@ -89,13 +149,90 @@ def make_counter(name: str, horizon: int, rho: float, **kwargs) -> StreamCounter
     return cls(horizon, rho, **kwargs)
 
 
+def restore_counter(
+    name: str,
+    *,
+    horizon: int,
+    rho: float,
+    seed,
+    noise_method: str,
+    payload: dict,
+    counter_kwargs: dict | None = None,
+) -> StreamCounter:
+    """Rebuild a counter from a checkpoint payload.
+
+    The one place that knows how to reconstruct a registered counter and
+    re-apply its serialized state — shared by the scalar engine
+    (``CumulativeSynthesizer.load_state``) and the vectorized fallback
+    bank so the two restore paths cannot drift.
+
+    Parameters
+    ----------
+    name:
+        Registered counter name.
+    horizon:
+        The counter's effective stream length.
+    rho:
+        The counter's zCDP budget.
+    seed:
+        The counter's noise generator (its bit state is overwritten by
+        the payload's recorded state).
+    noise_method:
+        ``"exact"`` or ``"vectorized"``.
+    payload:
+        A snapshot from :meth:`repro.streams.base.StreamCounter.state_dict`.
+    counter_kwargs:
+        Counter-specific constructor knobs.
+
+    Returns
+    -------
+    StreamCounter
+        The counter, mid-stream, ready to continue byte-identically.
+
+    Raises
+    ------
+    repro.exceptions.ConfigurationError
+        If ``name`` is not registered.
+    repro.exceptions.SerializationError
+        If the payload does not match the counter class.
+    """
+    counter = make_counter(
+        name,
+        horizon=horizon,
+        rho=rho,
+        seed=seed,
+        noise_method=noise_method,
+        **(counter_kwargs or {}),
+    )
+    counter.load_state(payload)
+    return counter
+
+
 def available_counters() -> tuple[str, ...]:
     """Names of all registered counters, sorted."""
     return tuple(sorted(_REGISTRY))
 
 
 def register_bank(name: str) -> "Callable[[Type[CounterBank]], Type[CounterBank]]":
-    """Class decorator registering a vectorized bank under a counter name."""
+    """Class decorator registering a vectorized bank under a counter name.
+
+    Parameters
+    ----------
+    name:
+        The *counter* name the bank natively implements; ``make_bank``
+        prefers it over the scalar-wrapping fallback for that name.
+
+    Returns
+    -------
+    callable
+        The decorator; it returns the class unchanged after registering.
+
+    Raises
+    ------
+    repro.exceptions.ConfigurationError
+        If the decorated class is not a
+        :class:`~repro.streams.bank.CounterBank` subclass.
+    """
     from repro.streams.bank import CounterBank
 
     def decorator(cls: "Type[CounterBank]") -> "Type[CounterBank]":
@@ -125,9 +262,36 @@ def make_bank(
     banks are calibrated from ``(horizon, rho_b)`` alone, so extra
     constructor knobs route through the scalar counters that define them).
 
-    ``n_reps > 1`` requests the rep axis (``R`` independent replicas
-    advanced in lockstep) and therefore requires a native bank; the
-    fallback has no batched noise path and rejects it.
+    Parameters
+    ----------
+    name:
+        A registered counter name (see :func:`available_counters`);
+        :func:`available_banks` lists which have native banks.
+    horizon:
+        Global horizon ``T`` — the bank holds one row per threshold.
+    rho_per_threshold:
+        Length-``T`` per-row zCDP budgets.
+    seeds:
+        A single seed (spawned into per-row children) or an explicit
+        length-``T`` sequence of per-row seeds.
+    noise_method:
+        ``"exact"`` or ``"vectorized"`` noise backend.
+    n_reps:
+        Number of independent replicas advanced in lockstep; values
+        above 1 require a native bank (the fallback has no batched noise
+        path and rejects them).
+    counter_kwargs:
+        Counter-specific constructor knobs; forces the fallback path.
+
+    Returns
+    -------
+    CounterBank
+        A fresh bank at global round 0.
+
+    Raises
+    ------
+    repro.exceptions.ConfigurationError
+        If ``name`` is unknown, or ``n_reps > 1`` without a native bank.
     """
     from repro.streams.bank import FallbackBank
 

@@ -75,6 +75,12 @@ class SqrtFactorizationCounter(StreamCounter):
         correlated = float(np.dot(self._coeffs[:t][::-1], xi))
         return self._true_sum + correlated
 
+    def _state_payload(self) -> dict:
+        return {"xi": [float(x) for x in self._xi]}
+
+    def _load_payload(self, payload: dict) -> None:
+        self._xi = [float(x) for x in payload["xi"]]
+
     def error_stddev(self, t: int) -> float:
         """Stddev at ``t``: ``sigma * ||f_{0..t-1}||_2`` (same for all t≈T)."""
         if t <= 0 or self.sigma_sq == 0:

@@ -1,0 +1,81 @@
+"""The docs site builds warning-free and covers the expected pages.
+
+Skipped automatically when docutils/jinja2 are absent (the minimal CI
+test environment installs only numpy/pytest/hypothesis); the dedicated
+CI docs job installs them and runs the build with warnings as errors.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+pytest.importorskip("docutils")
+pytest.importorskip("jinja2")
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture(scope="module")
+def built_docs(tmp_path_factory):
+    out_dir = tmp_path_factory.mktemp("docs_build")
+    result = subprocess.run(
+        [sys.executable, str(REPO_ROOT / "docs" / "build.py"), "--out", str(out_dir)],
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+        cwd=REPO_ROOT,
+    )
+    assert result.returncode == 0, f"docs build failed:\n{result.stdout}\n{result.stderr}"
+    return out_dir
+
+
+def test_all_pages_built(built_docs):
+    expected = {
+        "index.html",
+        "architecture.html",
+        "engines.html",
+        "serving.html",
+        "privacy-accounting.html",
+        "checkpoint-format.html",
+        "api.html",
+    }
+    assert {p.name for p in built_docs.glob("*.html")} == expected
+
+
+def test_api_reference_covers_public_surface(built_docs):
+    api = (built_docs / "api.html").read_text()
+    for symbol in (
+        "StreamingSynthesizer",
+        "ShardedService",
+        "CumulativeSynthesizer",
+        "FixedWindowSynthesizer",
+        "ZCDPAccountant",
+        "SerializationError",
+        "make_counter",
+        "make_bank",
+        "observe_round",
+        "checkpoint",
+    ):
+        assert symbol in api, f"API reference is missing {symbol}"
+
+
+def test_serving_page_documents_the_contracts(built_docs):
+    serving = (built_docs / "serving.html").read_text()
+    assert "byte-identically" in serving
+    assert "parallel composition" in serving
+
+
+def test_build_rejects_rst_warnings(tmp_path):
+    """A page with an RST error must fail the build (warnings-as-errors)."""
+    # Reuse the real builder against a broken page by invoking its
+    # rst_to_html directly — the subprocess path is covered above.
+    sys.path.insert(0, str(REPO_ROOT / "docs"))
+    try:
+        import build as docs_build
+
+        with pytest.raises(SystemExit, match="warnings are errors"):
+            docs_build.rst_to_html("Title\n==\n\n`unclosed", str(tmp_path / "bad.rst"))
+    finally:
+        sys.path.remove(str(REPO_ROOT / "docs"))

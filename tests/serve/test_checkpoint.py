@@ -1,0 +1,562 @@
+"""Checkpoint round-trips: mid-stream byte-identity and bundle integrity."""
+
+import io
+import json
+import math
+import zipfile
+
+import numpy as np
+import pytest
+
+from repro.data import iid_bernoulli
+from repro.exceptions import SerializationError
+from repro.rng import as_generator, generator_state, restore_generator_state
+from repro.serve import StreamingSynthesizer
+from repro.serve.checkpoint import (
+    join_arrays,
+    read_bundle,
+    split_arrays,
+    write_bundle,
+)
+from repro.streams.bank import BinaryTreeBank, SimpleBank
+from repro.streams.registry import make_counter
+
+HORIZON = 10
+N = 250
+
+
+@pytest.fixture(scope="module")
+def columns():
+    return list(iid_bernoulli(N, HORIZON, p=0.35, seed=13).columns())
+
+
+def _resume_matches_uninterrupted(service_factory, columns, cut, compare):
+    """Checkpoint at ``cut``, restore, and compare final artifacts."""
+    uninterrupted = service_factory()
+    for column in columns[:cut]:
+        uninterrupted.observe_round(column)
+    buffer = io.BytesIO()
+    uninterrupted.checkpoint(buffer)
+    for column in columns[cut:]:
+        uninterrupted.observe_round(column)
+
+    buffer.seek(0)
+    resumed = StreamingSynthesizer.restore(buffer)
+    assert resumed.t == cut
+    for column in columns[cut:]:
+        resumed.observe_round(column)
+    compare(uninterrupted, resumed)
+
+
+def _compare_cumulative(a, b):
+    assert np.array_equal(a.release.threshold_table(), b.release.threshold_table())
+    assert np.array_equal(
+        a.release.synthetic_data().matrix, b.release.synthetic_data().matrix
+    )
+    if a.synthesizer.accountant is not None:
+        assert a.synthesizer.accountant.charges == b.synthesizer.accountant.charges
+
+
+def _compare_window(a, b):
+    assert a.release.released_times() == b.release.released_times()
+    for t in a.release.released_times():
+        assert np.array_equal(a.release.histogram(t), b.release.histogram(t))
+    assert np.array_equal(
+        a.release.synthetic_data().matrix, b.release.synthetic_data().matrix
+    )
+    if a.synthesizer.accountant is not None:
+        assert a.synthesizer.accountant.charges == b.synthesizer.accountant.charges
+
+
+@pytest.mark.parametrize("engine", ["vectorized", "scalar"])
+@pytest.mark.parametrize(
+    "counter", ["binary_tree", "simple", "sqrt_factorization", "laplace_tree", "honaker"]
+)
+def test_cumulative_checkpoint_byte_identity_under_noise(columns, engine, counter):
+    _resume_matches_uninterrupted(
+        lambda: StreamingSynthesizer.cumulative(
+            horizon=HORIZON, rho=0.02, seed=3, engine=engine, counter=counter
+        ),
+        columns,
+        cut=HORIZON // 2,
+        compare=_compare_cumulative,
+    )
+
+
+@pytest.mark.parametrize("cut", [1, 2, 3, 7, HORIZON])
+def test_fixed_window_checkpoint_byte_identity_under_noise(columns, cut):
+    """Cuts before, at, and after the first full window — and at the end."""
+    _resume_matches_uninterrupted(
+        lambda: StreamingSynthesizer.fixed_window(
+            horizon=HORIZON, window=3, rho=0.02, seed=5
+        ),
+        columns,
+        cut=cut,
+        compare=_compare_window,
+    )
+
+
+def test_checkpoint_at_round_zero(columns):
+    _resume_matches_uninterrupted(
+        lambda: StreamingSynthesizer.cumulative(horizon=HORIZON, rho=0.02, seed=8),
+        columns,
+        cut=0,
+        compare=_compare_cumulative,
+    )
+
+
+def test_lazy_materialization_survives_checkpoint(columns):
+    """Deferred record draws replay identically on the restored side."""
+    service = StreamingSynthesizer.cumulative(
+        horizon=HORIZON, rho=0.02, seed=3, materialize="lazy"
+    )
+    for column in columns[:6]:
+        service.observe_round(column)
+    buffer = io.BytesIO()
+    service.checkpoint(buffer)
+    buffer.seek(0)
+    resumed = StreamingSynthesizer.restore(buffer)
+    # Neither side has materialized yet; both now draw the pending records.
+    assert np.array_equal(
+        service.release.synthetic_data().matrix,
+        resumed.release.synthetic_data().matrix,
+    )
+
+
+def test_restored_noise_stream_is_identical(columns):
+    """The *future* noise draws match, not just the released tables."""
+    service = StreamingSynthesizer.cumulative(horizon=HORIZON, rho=0.02, seed=21)
+    for column in columns[:4]:
+        service.observe_round(column)
+    buffer = io.BytesIO()
+    service.checkpoint(buffer)
+    buffer.seek(0)
+    resumed = StreamingSynthesizer.restore(buffer)
+    for column in columns[4:]:
+        a = service.observe_round(column).threshold_table()
+        b = resumed.observe_round(column).threshold_table()
+        assert np.array_equal(a, b)
+
+
+# ----------------------------------------------------------------------
+# Bundle integrity
+# ----------------------------------------------------------------------
+
+
+def _checkpoint_bytes(columns) -> bytes:
+    service = StreamingSynthesizer.cumulative(horizon=HORIZON, rho=0.02, seed=3)
+    for column in columns[:4]:
+        service.observe_round(column)
+    buffer = io.BytesIO()
+    service.checkpoint(buffer)
+    return buffer.getvalue()
+
+
+def test_tampered_arrays_rejected(columns):
+    blob = bytearray(_checkpoint_bytes(columns))
+    source = io.BytesIO(bytes(blob))
+    with zipfile.ZipFile(source) as bundle:
+        arrays = bytearray(bundle.read("arrays.npz"))
+        manifest = bundle.read("manifest.json")
+    arrays[len(arrays) // 2] ^= 0xFF
+    tampered = io.BytesIO()
+    with zipfile.ZipFile(tampered, "w") as bundle:
+        bundle.writestr("manifest.json", manifest)
+        bundle.writestr("arrays.npz", bytes(arrays))
+    tampered.seek(0)
+    with pytest.raises(SerializationError, match="array checksum"):
+        StreamingSynthesizer.restore(tampered)
+
+
+def test_tampered_manifest_rejected(columns):
+    source = io.BytesIO(_checkpoint_bytes(columns))
+    with zipfile.ZipFile(source) as bundle:
+        arrays = bundle.read("arrays.npz")
+        manifest = json.loads(bundle.read("manifest.json"))
+    manifest["state"]["t"] = 2  # rewind the clock without re-signing
+    tampered = io.BytesIO()
+    with zipfile.ZipFile(tampered, "w") as bundle:
+        bundle.writestr("manifest.json", json.dumps(manifest))
+        bundle.writestr("arrays.npz", arrays)
+    tampered.seek(0)
+    with pytest.raises(SerializationError, match="state checksum"):
+        StreamingSynthesizer.restore(tampered)
+
+
+def test_version_mismatch_rejected(columns):
+    source = io.BytesIO(_checkpoint_bytes(columns))
+    with zipfile.ZipFile(source) as bundle:
+        arrays = bundle.read("arrays.npz")
+        manifest = json.loads(bundle.read("manifest.json"))
+    manifest["format_version"] = 99
+    tampered = io.BytesIO()
+    with zipfile.ZipFile(tampered, "w") as bundle:
+        bundle.writestr("manifest.json", json.dumps(manifest))
+        bundle.writestr("arrays.npz", arrays)
+    tampered.seek(0)
+    with pytest.raises(SerializationError, match="format version"):
+        StreamingSynthesizer.restore(tampered)
+
+
+def test_not_a_zip_rejected(tmp_path):
+    path = tmp_path / "junk.ckpt"
+    path.write_bytes(b"this is not a checkpoint")
+    with pytest.raises(SerializationError, match="cannot read"):
+        StreamingSynthesizer.restore(path)
+
+
+def test_foreign_zip_rejected(tmp_path):
+    path = tmp_path / "foreign.zip"
+    with zipfile.ZipFile(path, "w") as bundle:
+        bundle.writestr("something.txt", "hello")
+    with pytest.raises(SerializationError, match="member missing"):
+        StreamingSynthesizer.restore(path)
+
+
+def test_wrong_kind_rejected(tmp_path, columns):
+    path = tmp_path / "stream.ckpt"
+    service = StreamingSynthesizer.cumulative(horizon=HORIZON, rho=math.inf, seed=0)
+    service.observe_round(columns[0])
+    service.checkpoint(path)
+    with pytest.raises(SerializationError, match="expected a 'sharded'"):
+        read_bundle(path, kind="sharded")
+    config, _ = read_bundle(path, kind="streaming")  # the right kind still loads
+    assert config["algorithm"] == "cumulative"
+
+
+def test_checkpoint_to_disk_roundtrip(tmp_path, columns):
+    path = tmp_path / "service.ckpt"
+    service = StreamingSynthesizer.cumulative(horizon=HORIZON, rho=0.02, seed=3)
+    for column in columns[:3]:
+        service.observe_round(column)
+    service.checkpoint(path)
+    resumed = StreamingSynthesizer.restore(path)
+    for column in columns[3:]:
+        service.observe_round(column)
+        resumed.observe_round(column)
+    _compare_cumulative(service, resumed)
+
+
+# ----------------------------------------------------------------------
+# split/join and component-level state validation
+# ----------------------------------------------------------------------
+
+
+def test_split_join_roundtrip():
+    state = {
+        "a": np.arange(6).reshape(2, 3),
+        "b": {"c": np.zeros(2, dtype=np.uint8), "d": [1, 2.5, None, "x", True]},
+        "e": 7,
+    }
+    json_part, arrays = split_arrays(state)
+    assert set(arrays) == {"a", "b/c"}
+    rebuilt = join_arrays(json_part, arrays)
+    assert np.array_equal(rebuilt["a"], state["a"])
+    assert np.array_equal(rebuilt["b"]["c"], state["b"]["c"])
+    assert rebuilt["b"]["d"] == state["b"]["d"]
+    assert rebuilt["e"] == 7
+
+
+def test_split_rejects_array_in_list():
+    with pytest.raises(SerializationError, match="nested inside lists"):
+        split_arrays({"bad": [np.zeros(2)]})
+
+
+def test_split_rejects_non_json_values():
+    with pytest.raises(SerializationError, match="not JSON-serializable"):
+        split_arrays({"bad": object()})
+
+
+def test_split_rejects_slash_keys():
+    with pytest.raises(SerializationError, match="without '/'"):
+        split_arrays({"a/b": 1})
+
+
+def test_join_rejects_missing_array():
+    json_part, _ = split_arrays({"a": np.zeros(2)})
+    with pytest.raises(SerializationError, match="missing entry"):
+        join_arrays(json_part, {})
+
+
+def test_noiseless_manifest_is_strict_rfc_json(tmp_path, columns):
+    """rho=inf must not leak the non-JSON 'Infinity' literal into manifests."""
+
+    def reject_constant(value):
+        raise AssertionError(f"manifest contains non-RFC JSON constant {value!r}")
+
+    path = tmp_path / "noiseless.ckpt"
+    service = StreamingSynthesizer.cumulative(horizon=HORIZON, rho=math.inf, seed=0)
+    service.observe_round(columns[0])
+    service.checkpoint(path)
+    with zipfile.ZipFile(path) as bundle:
+        manifest = json.loads(
+            bundle.read("manifest.json"), parse_constant=reject_constant
+        )
+    assert manifest["config"]["rho"] == {"__nonfinite__": "inf"}
+    # And the round-trip restores the actual float('inf') configuration.
+    resumed = StreamingSynthesizer.restore(path)
+    assert math.isinf(resumed.synthesizer.rho)
+    for column in columns[1:]:
+        service.observe_round(column)
+        resumed.observe_round(column)
+    assert np.array_equal(
+        service.release.threshold_table(), resumed.release.threshold_table()
+    )
+
+
+def test_arrays_member_is_stored_not_redeflated(tmp_path, columns):
+    path = tmp_path / "stored.ckpt"
+    service = StreamingSynthesizer.cumulative(horizon=HORIZON, rho=0.02, seed=3)
+    service.observe_round(columns[0])
+    service.checkpoint(path)
+    with zipfile.ZipFile(path) as bundle:
+        info = {i.filename: i.compress_type for i in bundle.infolist()}
+    assert info["arrays.npz"] == zipfile.ZIP_STORED
+    assert info["manifest.json"] == zipfile.ZIP_DEFLATED
+
+
+def test_write_bundle_accepts_empty_arrays(tmp_path):
+    path = tmp_path / "empty.ckpt"
+    write_bundle(path, kind="streaming", config={"x": 1}, state={"y": 2})
+    config, state = read_bundle(path)
+    assert config == {"x": 1} and state == {"y": 2}
+
+
+def test_write_bundle_handles_reserved_array_keys(tmp_path):
+    """A state key named 'file' must not collide with savez's parameter."""
+    path = tmp_path / "reserved.ckpt"
+    state = {"file": np.arange(3), "args": np.ones(2)}
+    write_bundle(path, kind="streaming", config={}, state=state)
+    _, rebuilt = read_bundle(path)
+    assert np.array_equal(rebuilt["file"], state["file"])
+    assert np.array_equal(rebuilt["args"], state["args"])
+
+
+def test_counter_state_class_mismatch_rejected():
+    tree = make_counter("binary_tree", horizon=8, rho=0.1, seed=0)
+    simple = make_counter("simple", horizon=8, rho=0.1, seed=0)
+    with pytest.raises(SerializationError, match="cannot be loaded"):
+        simple.load_state(tree.state_dict())
+
+
+def test_bank_state_class_mismatch_rejected():
+    rho = np.full(4, 0.1)
+    tree = BinaryTreeBank(4, rho, seeds=0)
+    simple = SimpleBank(4, rho, seeds=0)
+    with pytest.raises(SerializationError, match="cannot be loaded"):
+        simple.load_state(tree.state_dict())
+
+
+def test_bank_state_shape_mismatch_rejected():
+    rho = np.full(4, 0.1)
+    small = BinaryTreeBank(4, rho, seeds=0)
+    big = BinaryTreeBank(8, np.full(8, 0.1), seeds=0)
+    with pytest.raises(SerializationError):
+        big.load_state(small.state_dict())
+
+
+def test_generator_state_family_mismatch_rejected():
+    generator = as_generator(0)
+    state = generator_state(generator)
+    state["bit_generator"] = "Philox"
+    with pytest.raises(SerializationError, match="bit generator"):
+        restore_generator_state(generator, state)
+
+
+def test_fixed_window_inconsistent_snapshot_rejected(columns):
+    """Structural invariants are checked at load, not discovered as crashes."""
+    from repro import FixedWindowSynthesizer
+
+    source = StreamingSynthesizer.fixed_window(horizon=HORIZON, window=3, rho=0.02, seed=5)
+    for column in columns[:4]:
+        source.observe_round(column)
+    snapshot = source.synthesizer.state_dict()
+
+    # Clock claims mid-stream but population says never-started.
+    broken = dict(snapshot)
+    broken["n"] = None
+    fresh = FixedWindowSynthesizer.from_config(source.synthesizer.config_dict())
+    with pytest.raises(SerializationError, match="inconsistent with clock"):
+        fresh.load_state(broken)
+
+    # Window codes missing although the first window has completed.
+    broken = {k: v for k, v in snapshot.items() if k != "window_codes"}
+    fresh = FixedWindowSynthesizer.from_config(source.synthesizer.config_dict())
+    with pytest.raises(SerializationError, match="missing window codes"):
+        fresh.load_state(broken)
+
+    # Pre-window column buffer count disagrees with the clock.
+    broken = dict(snapshot)
+    broken["recent_count"] = 2
+    fresh = FixedWindowSynthesizer.from_config(source.synthesizer.config_dict())
+    with pytest.raises(SerializationError, match="pre-window columns"):
+        fresh.load_state(broken)
+
+
+def test_load_state_requires_fresh_synthesizer(columns):
+    service = StreamingSynthesizer.cumulative(horizon=HORIZON, rho=math.inf, seed=0)
+    service.observe_round(columns[0])
+    snapshot = service.synthesizer.state_dict()
+    with pytest.raises(SerializationError, match="fresh synthesizer"):
+        service.synthesizer.load_state(snapshot)
+
+
+def test_monotone_counter_state_roundtrip():
+    """The wrapper serializes its running max and the wrapped counter."""
+    from repro.streams.binary_tree import BinaryTreeCounter
+    from repro.streams.monotone import MonotoneCounter
+
+    original = MonotoneCounter(BinaryTreeCounter(8, 0.1, seed=1))
+    for z in (3, 0, 2, 1):
+        original.feed(z)
+    snapshot = original.state_dict()
+
+    restored = MonotoneCounter(BinaryTreeCounter(8, 0.1, seed=99))
+    restored.load_state(snapshot)
+    for z in (2, 0, 1, 4):
+        assert original.feed(z) == restored.feed(z)
+
+
+def test_sharded_restore_rejects_structurally_invalid_bundles(columns):
+    """n_shards < 1 and fitted-but-boundaryless bundles must fail closed."""
+    from repro.serve import ShardedService
+
+    buffer = io.BytesIO()
+    write_bundle(
+        buffer,
+        kind="sharded",
+        config={"algorithm": "cumulative", "n_shards": 0},
+        state={"shards": {}},
+    )
+    buffer.seek(0)
+    with pytest.raises(SerializationError, match="must be >= 1"):
+        ShardedService.restore(buffer)
+
+    shard = StreamingSynthesizer.cumulative(horizon=HORIZON, rho=math.inf, seed=0)
+    shard.observe_round(columns[0])
+    blob = io.BytesIO()
+    shard.checkpoint(blob)
+    buffer = io.BytesIO()
+    write_bundle(
+        buffer,
+        kind="sharded",
+        config={"algorithm": "cumulative", "n_shards": 1},
+        state={
+            "shards": {
+                "0": {"bundle": np.frombuffer(blob.getvalue(), dtype=np.uint8)}
+            }
+        },  # fitted shard, but no boundaries entry
+    )
+    buffer.seek(0)
+    with pytest.raises(SerializationError, match="no shard .*boundaries"):
+        ShardedService.restore(buffer)
+
+
+def test_load_state_copies_snapshot_arrays():
+    """Advancing a restored bank must never mutate the snapshot in place."""
+    rho = np.full(6, 0.1)
+    source = BinaryTreeBank(6, rho, seeds=0)
+    for t in range(1, 4):
+        source.feed(np.ones(t, dtype=np.int64))
+    snapshot = source.state_dict()
+    reference_sums = snapshot["true_sums"].copy()
+
+    first = BinaryTreeBank(6, rho, seeds=0)
+    first.load_state(snapshot)
+    first.feed(np.ones(4, dtype=np.int64))  # mutates first's state in place
+
+    second = BinaryTreeBank(6, rho, seeds=0)
+    second.load_state(snapshot)  # must still see the original snapshot
+    assert np.array_equal(snapshot["true_sums"], reference_sums)
+    assert np.array_equal(second.true_sums, reference_sums)
+
+
+def test_fallback_bank_standalone_restore_is_byte_identical(columns):
+    """Future (not-yet-activated) rows restore their seed streams too."""
+    from repro.streams.registry import make_bank
+
+    rho = np.full(HORIZON, 0.05)
+    source = make_bank("honaker", horizon=HORIZON, rho_per_threshold=rho, seeds=0)
+    reference = make_bank("honaker", horizon=HORIZON, rho_per_threshold=rho, seeds=0)
+    for t in range(1, 4):
+        z = np.arange(t, dtype=np.int64)
+        source.feed(z)
+        reference.feed(z)
+    snapshot = source.state_dict()
+
+    # Restore into a host bank built from a *different* seed: every future
+    # round — including rows that activate after the checkpoint — must
+    # still match the uninterrupted reference exactly.
+    restored = make_bank("honaker", horizon=HORIZON, rho_per_threshold=rho, seeds=42)
+    restored.load_state(snapshot)
+    for t in range(4, HORIZON + 1):
+        z = np.arange(t, dtype=np.int64)
+        assert np.array_equal(reference.feed(z), restored.feed(z)), t
+
+
+def test_checkpoint_write_is_atomic(tmp_path, columns):
+    """A failed re-checkpoint must not destroy the previous good bundle."""
+    path = tmp_path / "rolling.ckpt"
+    service = StreamingSynthesizer.cumulative(horizon=HORIZON, rho=0.02, seed=3)
+    service.observe_round(columns[0])
+    service.checkpoint(path)
+    good = path.read_bytes()
+    with pytest.raises(SerializationError):
+        write_bundle(path, kind="streaming", config={}, state={"bad": object()})
+    assert path.read_bytes() == good  # old checkpoint survives the failed write
+    assert list(tmp_path.iterdir()) == [path]  # no temp-file litter
+
+
+def test_counter_load_state_rejects_out_of_range_clock():
+    counter = make_counter("binary_tree", horizon=4, rho=0.1, seed=0)
+    counter.feed(1)
+    snapshot = counter.state_dict()
+    snapshot["t"] = 9
+    fresh = make_counter("binary_tree", horizon=4, rho=0.1, seed=0)
+    with pytest.raises(SerializationError, match="outside"):
+        fresh.load_state(snapshot)
+    # The rejected load left the counter untouched and usable.
+    assert fresh.t == 0
+    fresh.feed(1)
+
+
+def test_corrupt_inner_npz_raises_serialization_error(columns):
+    """Inner-zip CRC failures surface as SerializationError, never raw."""
+    blob = _checkpoint_bytes(columns)
+    with zipfile.ZipFile(io.BytesIO(blob)) as bundle:
+        manifest = json.loads(bundle.read("manifest.json"))
+        arrays = bytearray(bundle.read("arrays.npz"))
+    # Corrupt the npz payload, then re-sign the manifest so the checksum
+    # passes and decoding is what fails.
+    arrays[len(arrays) - 30] ^= 0xFF
+    import hashlib
+
+    manifest["arrays_checksum"] = hashlib.sha256(bytes(arrays)).hexdigest()
+    tampered = io.BytesIO()
+    with zipfile.ZipFile(tampered, "w") as bundle:
+        bundle.writestr("manifest.json", json.dumps(manifest))
+        bundle.writestr("arrays.npz", bytes(arrays))
+    tampered.seek(0)
+    with pytest.raises(SerializationError):
+        StreamingSynthesizer.restore(tampered)
+
+
+def test_split_rejects_empty_keys_and_marker_shapes():
+    with pytest.raises(SerializationError, match="non-empty"):
+        split_arrays({"": {"x": np.zeros(2)}})
+    with pytest.raises(SerializationError, match="reserved marker"):
+        split_arrays({"leaf": {"__array__": "y"}})
+    with pytest.raises(SerializationError, match="reserved marker"):
+        split_arrays({"leaf": {"__nonfinite__": "inf"}})
+
+
+def test_checkpoint_file_mode_respects_umask(tmp_path, columns):
+    import os
+
+    path = tmp_path / "mode.ckpt"
+    service = StreamingSynthesizer.cumulative(horizon=HORIZON, rho=math.inf, seed=0)
+    service.observe_round(columns[0])
+    service.checkpoint(path)
+    umask = os.umask(0)
+    os.umask(umask)
+    assert (path.stat().st_mode & 0o777) == (0o666 & ~umask)

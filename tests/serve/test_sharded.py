@@ -1,0 +1,313 @@
+"""Sharded service: assignment, merged answers, budgets, durability."""
+
+import io
+import math
+
+import numpy as np
+import pytest
+
+from repro import AtLeastMOnes, CumulativeSynthesizer, HammingAtLeast, HammingExactly
+from repro.data import iid_bernoulli
+from repro.exceptions import (
+    ConfigurationError,
+    DataValidationError,
+    NotFittedError,
+    SerializationError,
+)
+from repro.serve import ShardedService
+
+HORIZON = 8
+N = 200
+
+
+@pytest.fixture(scope="module")
+def panel():
+    return iid_bernoulli(N, HORIZON, p=0.3, seed=17)
+
+
+def test_shard_assignment_is_contiguous_and_total(panel):
+    service = ShardedService(3, algorithm="cumulative", horizon=HORIZON, rho=math.inf)
+    service.observe_round(next(iter(panel.columns())))
+    slices = service.shard_slices()
+    assert len(slices) == 3
+    assert slices[0].start == 0 and slices[-1].stop == N
+    covered = sum(s.stop - s.start for s in slices)
+    assert covered == N == service.n
+
+
+def test_merged_noiseless_answers_match_unsharded(panel):
+    """Noiseless shards release exact counts, so the merge is exact too."""
+    service = ShardedService(
+        4, algorithm="cumulative", horizon=HORIZON, rho=math.inf, seed=2
+    )
+    for column in panel.columns():
+        service.observe_round(column)
+    single = CumulativeSynthesizer(HORIZON, math.inf, seed=2)
+    single.run(panel)
+    for t in (1, HORIZON // 2, HORIZON):
+        for query in (HammingAtLeast(2), HammingExactly(1)):
+            assert service.answer(query, t) == pytest.approx(
+                single.release.answer(query, t)
+            )
+
+
+def test_merged_answer_is_population_weighted_average(panel):
+    service = ShardedService(
+        3, algorithm="cumulative", horizon=HORIZON, rho=0.05, seed=5
+    )
+    for column in panel.columns():
+        service.observe_round(column)
+    query = HammingAtLeast(2)
+    expected = sum(
+        shard.release.m * shard.release.answer(query, HORIZON)
+        for shard in service.shards
+    ) / sum(shard.release.m for shard in service.shards)
+    assert service.answer(query, HORIZON) == pytest.approx(expected)
+
+
+def test_fixed_window_sharding(panel):
+    service = ShardedService(
+        2, algorithm="fixed_window", horizon=HORIZON, window=3, rho=math.inf, seed=1
+    )
+    for column in panel.columns():
+        service.observe_round(column)
+    query = AtLeastMOnes(3, 2)
+    answer = service.answer(query, HORIZON)
+    true = query.evaluate(panel, HORIZON)
+    assert answer == pytest.approx(true)  # noiseless + debiased => exact
+
+
+def test_per_shard_budget_accounting(panel):
+    rho = 0.04
+    service = ShardedService(
+        3, algorithm="cumulative", horizon=HORIZON, rho=rho, seed=5
+    )
+    for column in panel.columns():
+        service.observe_round(column)
+    ledgers = service.shard_ledgers()
+    assert len(ledgers) == 3
+    for spent, remaining in ledgers:
+        assert spent == pytest.approx(rho)
+        assert remaining == pytest.approx(0.0, abs=1e-12)
+    # Parallel composition: service-wide spend is the max, not the sum.
+    assert service.zcdp_spent() == pytest.approx(rho)
+    for shard in service.shards:
+        charges = shard.synthesizer.accountant.charges
+        assert len(charges) == HORIZON  # one charge per threshold counter
+
+
+def test_noiseless_shards_report_zero_spend(panel):
+    service = ShardedService(2, algorithm="cumulative", horizon=HORIZON, rho=math.inf)
+    service.observe_round(next(iter(panel.columns())))
+    assert service.zcdp_spent() == 0.0
+    assert service.shard_ledgers() == [(0.0, math.inf)] * 2
+
+
+def test_checkpoint_restore_byte_identity(panel):
+    columns = list(panel.columns())
+    service = ShardedService(
+        3, algorithm="cumulative", horizon=HORIZON, rho=0.05, seed=9
+    )
+    for column in columns[:3]:
+        service.observe_round(column)
+    buffer = io.BytesIO()
+    service.checkpoint(buffer)
+    for column in columns[3:]:
+        service.observe_round(column)
+
+    buffer.seek(0)
+    resumed = ShardedService.restore(buffer)
+    assert resumed.t == 3
+    assert resumed.n_shards == 3
+    assert resumed.shard_slices() == service.shard_slices()
+    for column in columns[3:]:
+        resumed.observe_round(column)
+    for original, restored in zip(service.shards, resumed.shards):
+        assert np.array_equal(
+            original.release.threshold_table(), restored.release.threshold_table()
+        )
+    query = HammingAtLeast(3)
+    assert service.answer(query, HORIZON) == resumed.answer(query, HORIZON)
+
+
+def test_checkpoint_before_first_round(tmp_path):
+    path = tmp_path / "fresh.ckpt"
+    service = ShardedService(2, algorithm="cumulative", horizon=HORIZON, rho=0.05, seed=1)
+    service.checkpoint(path)
+    resumed = ShardedService.restore(path)
+    assert resumed.t == 0
+    with pytest.raises(NotFittedError):
+        resumed.shard_slices()
+
+
+def test_tampered_shard_blob_rejected(panel, tmp_path):
+    import json
+    import zipfile
+
+    path = tmp_path / "svc.ckpt"
+    service = ShardedService(2, algorithm="cumulative", horizon=HORIZON, rho=0.05, seed=1)
+    service.observe_round(next(iter(panel.columns())))
+    service.checkpoint(path)
+    # Rewriting the outer manifest without re-signing must be detected.
+    with zipfile.ZipFile(path) as bundle:
+        manifest = json.loads(bundle.read("manifest.json"))
+        arrays = bundle.read("arrays.npz")
+    manifest["config"]["n_shards"] = 1
+    with zipfile.ZipFile(path, "w") as bundle:
+        bundle.writestr("manifest.json", json.dumps(manifest))
+        bundle.writestr("arrays.npz", arrays)
+    with pytest.raises(SerializationError, match="checksum"):
+        ShardedService.restore(path)
+
+
+def test_restore_rejects_inconsistent_shard_combinations(panel):
+    """Shards that never belonged together must not restore."""
+    import math as _math
+
+    from repro.serve import StreamingSynthesizer, write_bundle
+
+    def shard_blob(service_shard):
+        buffer = io.BytesIO()
+        service_shard.checkpoint(buffer)
+        return np.frombuffer(buffer.getvalue(), dtype=np.uint8)
+
+    columns = list(panel.columns())
+    cumulative = StreamingSynthesizer.cumulative(horizon=HORIZON, rho=_math.inf, seed=0)
+    window = StreamingSynthesizer.fixed_window(
+        horizon=HORIZON, window=3, rho=_math.inf, seed=0
+    )
+    ahead = StreamingSynthesizer.cumulative(horizon=HORIZON, rho=_math.inf, seed=1)
+    for column in columns[:2]:
+        cumulative.observe_round(column[:50])
+        window.observe_round(column[:50])
+        ahead.observe_round(column[:50])
+    ahead.observe_round(columns[2][:50])
+
+    # Algorithm mismatch between manifest and a nested shard bundle.
+    buffer = io.BytesIO()
+    write_bundle(
+        buffer,
+        kind="sharded",
+        config={"algorithm": "cumulative", "n_shards": 2},
+        state={
+            "shards": {
+                "0": {"bundle": shard_blob(cumulative)},
+                "1": {"bundle": shard_blob(window)},
+            }
+        },
+    )
+    buffer.seek(0)
+    with pytest.raises(SerializationError, match="algorithm"):
+        ShardedService.restore(buffer)
+
+    # Desynchronized shard clocks.
+    buffer = io.BytesIO()
+    write_bundle(
+        buffer,
+        kind="sharded",
+        config={"algorithm": "cumulative", "n_shards": 2},
+        state={
+            "shards": {
+                "0": {"bundle": shard_blob(cumulative)},
+                "1": {"bundle": shard_blob(ahead)},
+            }
+        },
+    )
+    buffer.seek(0)
+    with pytest.raises(SerializationError, match="desynchronized"):
+        ShardedService.restore(buffer)
+
+
+def test_validation_errors(panel):
+    with pytest.raises(ConfigurationError):
+        ShardedService(0, algorithm="cumulative", horizon=HORIZON, rho=1.0)
+    with pytest.raises(ConfigurationError):
+        ShardedService(2, algorithm="nope", horizon=HORIZON, rho=1.0)
+    service = ShardedService(2, algorithm="cumulative", horizon=HORIZON, rho=math.inf)
+    with pytest.raises(DataValidationError):
+        service.observe_round(np.zeros((3, 3)))
+    with pytest.raises(DataValidationError):
+        service.observe_round(np.zeros(1))  # fewer individuals than shards
+    service.observe_round(np.zeros(10))
+    with pytest.raises(DataValidationError):
+        service.observe_round(np.zeros(11))  # population changed
+
+
+def test_rejected_column_leaves_every_shard_clock_unchanged(panel):
+    """Validation runs before any shard advances: a bad round is atomic."""
+    service = ShardedService(2, algorithm="cumulative", horizon=HORIZON, rho=math.inf)
+    columns = list(panel.columns())
+    service.observe_round(columns[0])
+    bad = columns[1].copy()
+    bad[-1] = 2  # invalid entry only in the *last* shard's slice
+    with pytest.raises(DataValidationError):
+        service.observe_round(bad)
+    assert [shard.t for shard in service.shards] == [1, 1]
+    # Resubmitting the corrected column continues cleanly — no double count.
+    service.observe_round(columns[1])
+    assert [shard.t for shard in service.shards] == [2, 2]
+    assert service.t == 2
+
+
+def test_mid_round_shard_failure_poisons_the_service(panel):
+    """A noise-dependent per-shard failure must not serve desynced merges."""
+    from repro.exceptions import ConsistencyError, NegativeCountError
+
+    service = ShardedService(
+        4,
+        algorithm="fixed_window",
+        horizon=HORIZON,
+        window=3,
+        rho=1e-6,
+        n_pad=0,
+        on_negative="raise",
+        seed=2,
+    )
+    columns = list(panel.columns())
+    with pytest.raises(NegativeCountError):
+        for column in columns:
+            service.observe_round(column)
+    # The service fails closed: every subsequent operation that could
+    # serve or persist desynchronized state is refused.
+    with pytest.raises(ConsistencyError, match="desynchronized"):
+        service.observe_round(columns[0])
+    with pytest.raises(ConsistencyError, match="desynchronized"):
+        service.answer(AtLeastMOnes(3, 1), 3)
+    with pytest.raises(ConsistencyError, match="desynchronized"):
+        service.checkpoint(io.BytesIO())
+
+
+def test_spawned_shard_seeds_are_reproducible(panel):
+    a = ShardedService(2, algorithm="cumulative", horizon=HORIZON, rho=0.05, seed=7)
+    b = ShardedService(2, algorithm="cumulative", horizon=HORIZON, rho=0.05, seed=7)
+    for column in panel.columns():
+        a.observe_round(column)
+        b.observe_round(column)
+    for shard_a, shard_b in zip(a.shards, b.shards):
+        assert np.array_equal(
+            shard_a.release.threshold_table(), shard_b.release.threshold_table()
+        )
+
+
+def test_restore_rejects_mismatched_shard_horizons(panel):
+    import math as _math
+
+    from repro.serve import StreamingSynthesizer, write_bundle
+
+    def blob(shard):
+        buffer = io.BytesIO()
+        shard.checkpoint(buffer)
+        return np.frombuffer(buffer.getvalue(), dtype=np.uint8)
+
+    short = StreamingSynthesizer.cumulative(horizon=4, rho=_math.inf, seed=0)
+    long = StreamingSynthesizer.cumulative(horizon=6, rho=_math.inf, seed=0)
+    buffer = io.BytesIO()
+    write_bundle(
+        buffer,
+        kind="sharded",
+        config={"algorithm": "cumulative", "n_shards": 2},
+        state={"shards": {"0": {"bundle": blob(short)}, "1": {"bundle": blob(long)}}},
+    )
+    buffer.seek(0)
+    with pytest.raises(SerializationError, match="horizons disagree"):
+        ShardedService.restore(buffer)
