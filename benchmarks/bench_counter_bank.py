@@ -70,7 +70,13 @@ class TestHorizonSweep:
             f"  bank engine   : {bank_elapsed / horizon * 1e3:8.3f} ms/round\n"
             f"  speedup       : {speedup:8.1f}x"
         )
-        figure_report(report)
+        figure_report(
+            report,
+            metrics={
+                "speedup_vs_scalar": speedup,
+                "bank_ms_per_round": bank_elapsed / horizon * 1e3,
+            },
+        )
         assert bank_elapsed < scalar_elapsed
         if horizon >= 1024:
             # Acceptance criterion: >= 5x per-round speedup at T = 1024.
@@ -86,7 +92,8 @@ class TestHorizonSweep:
             )
         figure_report(
             "speedup by horizon: "
-            + ", ".join(f"T={h}: {s:.1f}x" for h, s in zip(HORIZONS, speedups))
+            + ", ".join(f"T={h}: {s:.1f}x" for h, s in zip(HORIZONS, speedups)),
+            metrics={f"speedup_T{h}": s for h, s in zip(HORIZONS, speedups)},
         )
         # The bank's advantage must not collapse as T grows — that is the
         # whole point of batching the per-threshold counters.
@@ -137,6 +144,9 @@ class TestSynthesizerEndToEnd:
             f"cumulative synthesizer, T={horizon}, n={n}: "
             f"scalar {timings['scalar']:.2f}s, "
             f"vectorized {timings['vectorized']:.2f}s "
-            f"({timings['scalar'] / timings['vectorized']:.1f}x)"
+            f"({timings['scalar'] / timings['vectorized']:.1f}x)",
+            metrics={
+                "end_to_end_speedup": timings["scalar"] / timings["vectorized"],
+            },
         )
         assert timings["vectorized"] < timings["scalar"]

@@ -103,7 +103,11 @@ class TestReplicationSpeedup:
                 f"{speedups[s]:6.1f}x vs serial)"
                 for s in ("serial", "process", "batched")
             )
-            + f"\n  JSON artifact: {JSON_PATH}"
+            + f"\n  JSON artifact: {JSON_PATH}",
+            metrics={
+                "batched_speedup_vs_serial": speedups["batched"],
+                "batched_reps_per_sec": reps / timings["batched"],
+            },
         )
         assert timings["batched"] < timings["serial"]
         # Acceptance: >= 10x at paper scale; smoke runs assert a relaxed 3x.
@@ -195,6 +199,7 @@ class TestChooseWithinGroups:
             f"_choose_within_groups, n={n}, groups={n_groups}, {rounds} rounds\n"
             f"  per-group choice loop : {loop_elapsed / rounds * 1e3:7.2f} ms/round\n"
             f"  random-key argsort    : {vec_elapsed / rounds * 1e3:7.2f} ms/round\n"
-            f"  speedup               : {speedup:7.1f}x"
+            f"  speedup               : {speedup:7.1f}x",
+            metrics={"selection_speedup": speedup},
         )
         assert vec_elapsed < loop_elapsed, (loop_elapsed, vec_elapsed)

@@ -1,0 +1,239 @@
+"""Benchmark regression gate: compare ``reports/`` against ``baselines/``.
+
+Turns the benchmark JSON reports (``benchmarks/reports/BENCH_*.json``)
+into an **enforced performance contract**: every committed baseline in
+``benchmarks/baselines/`` names the metrics it gates and the direction
+that counts as "better"; a report metric that is worse than its baseline
+by more than the tolerance factor (default 1.5x) fails the build.
+
+Baselines deliberately gate machine-portable *ratios* (speedups of one
+implementation over another measured in the same process), not absolute
+wall-clock, so the gate is meaningful across differently-sized CI
+runners.
+
+Baseline schema (one file per report, same filename)::
+
+    {
+      "benchmark": "test_batched_speedup_at_sipp_scale",
+      "metrics": {
+        "batched_speedup_vs_serial": {"value": 6.0, "direction": "higher"}
+      }
+    }
+
+Metric names resolve against the report's ``metrics`` mapping first and
+then as a dotted path from the report root (so the richer
+``BENCH_replication.json`` schema is gateable too, e.g.
+``speedup_vs_serial.batched``).
+
+Usage::
+
+    python benchmarks/check_regression.py [--tolerance 1.5]
+    python benchmarks/check_regression.py --self-test
+
+``--self-test`` proves the gate has teeth: it degrades every gated
+metric by the injection factor (default 2x — an injected 2x slowdown)
+and asserts the degraded value *fails* while the committed report value
+passes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).parent
+DEFAULT_REPORTS = BENCH_DIR / "reports"
+DEFAULT_BASELINES = BENCH_DIR / "baselines"
+DEFAULT_TOLERANCE = 1.5
+
+
+def resolve_metric(report: dict, name: str):
+    """Look up a gated metric in a report.
+
+    Tries ``report["metrics"][name]`` first, then ``name`` as a dotted
+    path from the report root.  Returns a float or ``None``.
+    """
+    metrics = report.get("metrics")
+    if isinstance(metrics, dict) and name in metrics:
+        return float(metrics[name])
+    node = report
+    for part in name.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    if isinstance(node, (int, float)) and not isinstance(node, bool):
+        return float(node)
+    return None
+
+
+def is_regression(value: float, baseline: float, direction: str, tolerance: float) -> bool:
+    """True when ``value`` is worse than ``baseline`` beyond ``tolerance``.
+
+    ``direction`` is ``"higher"`` (throughput/speedup style metrics) or
+    ``"lower"`` (latency style metrics).
+    """
+    if direction == "higher":
+        return value < baseline / tolerance
+    if direction == "lower":
+        return value > baseline * tolerance
+    raise ValueError(f"direction must be 'higher' or 'lower', got {direction!r}")
+
+
+def check(
+    reports_dir: Path, baselines_dir: Path, tolerance: float
+) -> tuple[list[str], list[str]]:
+    """Compare every baseline against its report.
+
+    Returns ``(failures, lines)``: human-readable failure strings and a
+    full per-metric log.
+    """
+    failures: list[str] = []
+    lines: list[str] = []
+    baseline_files = sorted(baselines_dir.glob("*.json"))
+    if not baseline_files:
+        failures.append(f"no baselines found in {baselines_dir}")
+        return failures, lines
+    for baseline_path in baseline_files:
+        baseline = json.loads(baseline_path.read_text())
+        report_path = reports_dir / baseline_path.name
+        if not report_path.exists():
+            failures.append(
+                f"{baseline_path.name}: report missing (did the benchmark run?)"
+            )
+            continue
+        report = json.loads(report_path.read_text())
+        for name, spec in baseline.get("metrics", {}).items():
+            reference = float(spec["value"])
+            direction = str(spec.get("direction", "higher"))
+            value = resolve_metric(report, name)
+            if value is None:
+                failures.append(f"{baseline_path.name}: metric {name!r} absent")
+                continue
+            bad = is_regression(value, reference, direction, tolerance)
+            arrow = "REGRESSION" if bad else "ok"
+            lines.append(
+                f"{arrow:>10}  {baseline_path.name}::{name} = {value:.3f} "
+                f"(baseline {reference:.3f}, {direction} is better, "
+                f"tolerance {tolerance:g}x)"
+            )
+            if bad:
+                failures.append(
+                    f"{baseline_path.name}: {name} = {value:.3f} regressed past "
+                    f"{tolerance:g}x of baseline {reference:.3f}"
+                )
+    return failures, lines
+
+
+def degrade(value: float, direction: str, factor: float) -> float:
+    """The metric value after an injected ``factor``-x slowdown."""
+    return value / factor if direction == "higher" else value * factor
+
+
+def self_test(reports_dir: Path, baselines_dir: Path, tolerance: float, factor: float) -> int:
+    """Prove the gate catches an injected ``factor``-x slowdown.
+
+    The slowdown is injected *at the contract level*: a machine whose
+    metric sits exactly on the committed baseline regresses by
+    ``factor``; the gate must flag it (which requires
+    ``factor > tolerance``), while the actually-committed report value
+    must pass untouched.
+    """
+    problems = 0
+    checked = 0
+    if factor <= tolerance:
+        print(
+            f"self-test: FAIL injection factor {factor:g} does not exceed the "
+            f"tolerance {tolerance:g} — the gate cannot distinguish them"
+        )
+        problems += 1
+    for baseline_path in sorted(baselines_dir.glob("*.json")):
+        baseline = json.loads(baseline_path.read_text())
+        report_path = reports_dir / baseline_path.name
+        if not report_path.exists():
+            print(f"self-test: SKIP {baseline_path.name} (no report)")
+            continue
+        report = json.loads(report_path.read_text())
+        for name, spec in baseline.get("metrics", {}).items():
+            reference = float(spec["value"])
+            direction = str(spec.get("direction", "higher"))
+            value = resolve_metric(report, name)
+            if value is None:
+                print(f"self-test: FAIL {name} missing from {report_path.name}")
+                problems += 1
+                continue
+            checked += 1
+            if is_regression(value, reference, direction, tolerance):
+                print(
+                    f"self-test: FAIL committed value of {name} already "
+                    f"regresses ({value:.3f} vs {reference:.3f})"
+                )
+                problems += 1
+            injected = degrade(reference, direction, factor)
+            if not is_regression(injected, reference, direction, tolerance):
+                print(
+                    f"self-test: FAIL injected {factor:g}x slowdown of {name} "
+                    f"({injected:.3f} vs baseline {reference:.3f}) slipped "
+                    "past the gate"
+                )
+                problems += 1
+            else:
+                print(
+                    f"self-test: ok  {name}: report value {value:.3f} passes, "
+                    f"injected {factor:g}x slowdown at the contract level "
+                    f"({injected:.3f}) is caught"
+                )
+    if checked == 0:
+        print("self-test: FAIL no gated metrics found")
+        problems += 1
+    return problems
+
+
+def main(argv=None) -> int:
+    """CLI body; returns the process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--reports", type=Path, default=DEFAULT_REPORTS)
+    parser.add_argument("--baselines", type=Path, default=DEFAULT_BASELINES)
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help="allowed worsening factor before a metric fails (default 1.5)",
+    )
+    parser.add_argument(
+        "--self-test",
+        action="store_true",
+        help="verify the gate catches an injected slowdown instead of gating",
+    )
+    parser.add_argument(
+        "--injection-factor",
+        type=float,
+        default=2.0,
+        help="slowdown factor injected by --self-test (default 2.0)",
+    )
+    args = parser.parse_args(argv)
+    if args.tolerance < 1.0:
+        parser.error("--tolerance must be >= 1.0")
+    if args.self_test:
+        problems = self_test(
+            args.reports, args.baselines, args.tolerance, args.injection_factor
+        )
+        print(
+            "self-test: PASS" if problems == 0 else f"self-test: {problems} problem(s)"
+        )
+        return 1 if problems else 0
+    failures, lines = check(args.reports, args.baselines, args.tolerance)
+    for line in lines:
+        print(line)
+    if failures:
+        print(f"\n{len(failures)} benchmark regression(s):", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\nbenchmark regression gate: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

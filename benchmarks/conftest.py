@@ -7,12 +7,24 @@ pytest-benchmark, and asserts the figure's shape checks.
 
 Measured-vs-paper series tables are collected during the run and printed in
 the terminal summary (after pytest's output capture ends), and additionally
-written to ``benchmarks/reports/<test-name>.txt`` so a benchmark run leaves
-a reviewable artifact.
+written as **structured JSON** to ``benchmarks/reports/BENCH_<test>.json``
+— the same machine-readable family as ``BENCH_replication.json``, so CI can
+archive every report and ``benchmarks/check_regression.py`` can gate the
+numeric metrics against the committed baselines in ``benchmarks/baselines/``.
+
+Report schema::
+
+    {
+      "benchmark": "<test name>",
+      "schema": 1,
+      "text": "<human-readable figure report>",
+      "metrics": {"<name>": <number>, ...}   # optional, gate-able values
+    }
 """
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import pytest
@@ -23,13 +35,24 @@ _REPORT_DIR = Path(__file__).parent / "reports"
 
 @pytest.fixture
 def figure_report(request):
-    """Collect an experiment report for the terminal summary + a file."""
+    """Collect an experiment report for the terminal summary + a JSON file.
 
-    def write(text: str) -> None:
+    Call as ``figure_report(text)`` for a plain figure table, or
+    ``figure_report(text, metrics={...})`` to attach numeric metrics that
+    the ``bench-regression`` CI gate compares against committed baselines.
+    """
+
+    def write(text: str, metrics: dict | None = None) -> None:
         name = request.node.name
         _REPORTS.append((name, text))
         _REPORT_DIR.mkdir(exist_ok=True)
-        (_REPORT_DIR / f"{name}.txt").write_text(text + "\n")
+        payload = {"benchmark": name, "schema": 1, "text": text}
+        if metrics:
+            payload["metrics"] = {
+                key: float(value) for key, value in metrics.items()
+            }
+        path = _REPORT_DIR / f"BENCH_{name}.json"
+        path.write_text(json.dumps(payload, indent=2) + "\n")
 
     return write
 

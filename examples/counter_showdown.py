@@ -28,7 +28,9 @@ def standalone_comparison() -> None:
     rng = np.random.default_rng(0)
     stream = rng.integers(0, 50, size=HORIZON)
     truth = np.cumsum(stream)
-    header = f"{'counter':<20s} {'predicted sd(T)':>16s} {'empirical sd':>13s} {'max |err|':>10s}"
+    header = (
+        f"{'counter':<20s} {'predicted sd(T)':>16s} {'empirical sd':>13s} {'max |err|':>10s}"
+    )
     print(header)
     print("-" * len(header))
     for name in available_counters():

@@ -47,12 +47,16 @@ from repro.core import (
 )
 from repro.data import (
     CategoricalDataset,
+    DynamicPanel,
     LongitudinalDataset,
     all_ones,
+    apply_churn,
     categorical_iid,
     categorical_markov,
+    churn_two_state_markov,
     iid_bernoulli,
     load_sipp_2021,
+    load_sipp_dynamic,
     padding_panel,
     two_state_markov,
 )
@@ -107,11 +111,15 @@ __all__ = [
     "PaddingSpec",
     # data
     "LongitudinalDataset",
+    "DynamicPanel",
     "CategoricalDataset",
     "load_sipp_2021",
+    "load_sipp_dynamic",
     "all_ones",
     "iid_bernoulli",
     "two_state_markov",
+    "apply_churn",
+    "churn_two_state_markov",
     "categorical_iid",
     "categorical_markov",
     "padding_panel",

@@ -116,7 +116,9 @@ def tree_levels(length: int) -> int:
     return max(math.ceil(math.log2(length)), 1) if length > 1 else 1
 
 
-def tree_counter_error_bound(horizon: int, rho: float, beta: float, t: int | None = None) -> float:
+def tree_counter_error_bound(
+    horizon: int, rho: float, beta: float, t: int | None = None
+) -> float:
     """Error bound of the tree-based counter (Theorem A.2 / Appendix B form).
 
     ``|S~_t - S_t| <= ceil(log2 t) * sqrt(ceil(log2 T) / rho * log(1/beta))``

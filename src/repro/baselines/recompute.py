@@ -42,7 +42,9 @@ __all__ = [
 ]
 
 
-def ever_pattern_fraction(panel: LongitudinalDataset, k: int, pattern_code: int, t: int) -> float:
+def ever_pattern_fraction(
+    panel: LongitudinalDataset, k: int, pattern_code: int, t: int
+) -> float:
     """Fraction of records that matched window pattern ``s`` at least once.
 
     Scans every window position ``tau = k..t``; this is the "ever

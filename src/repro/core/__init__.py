@@ -10,8 +10,10 @@ Supporting machinery: overlap-consistency projection
 (:mod:`repro.core.consistency`), padding (:mod:`repro.core.padding`),
 cross-counter monotonization (:mod:`repro.core.monotonize`), per-threshold
 budget allocation (:mod:`repro.core.budget`), synthetic record stores
-(:mod:`repro.core.synthetic_store`), and debiasing post-processing
-(:mod:`repro.core.debias`).
+(:mod:`repro.core.synthetic_store`), debiasing post-processing
+(:mod:`repro.core.debias`), and dynamic-population lifespan bookkeeping
+(:mod:`repro.core.population` — both synthesizers accept per-round
+entry/exit under the zero-fill neighboring relation).
 """
 
 from repro.core.budget import allocate_budget, corollary_b1_split, uniform_split

@@ -32,8 +32,9 @@ import numpy as np
 
 from repro.core.budget import allocate_budget
 from repro.core.monotonize import is_monotone_table, monotonize_row
+from repro.core.population import PopulationLedger
 from repro.core.synthetic_store import CumulativeSyntheticStore
-from repro.data.dataset import LongitudinalDataset
+from repro.data.dataset import DynamicPanel, LongitudinalDataset
 from repro.dp.accountant import ZCDPAccountant
 from repro.exceptions import (
     ConfigurationError,
@@ -113,7 +114,7 @@ class CumulativeRelease:
 
     @property
     def m(self) -> int:
-        """Number of synthetic individuals (equals ``n``)."""
+        """Number of synthetic individuals (the ever-admitted count)."""
         if self._synth._store is None:
             raise NotFittedError("no data observed yet")
         return self._synth._store.m
@@ -147,9 +148,21 @@ class CumulativeRelease:
         return int(self._synth._table[t, b])
 
     def answer(self, query, t: int) -> float:
-        """Answer a cumulative query at round ``t`` (fraction of ``m``)."""
+        """Answer a cumulative query at round ``t``.
+
+        Answers are fractions of the population *as of round* ``t`` — the
+        ever-admitted count ``S^_0^t``, which equals ``m`` (and ``n``)
+        whenever the population is static.  Under churn, departed
+        individuals keep counting with their frozen weights (the
+        zero-fill convention).
+        """
+        population = self.threshold_count(0, t)
         if isinstance(query, HammingAtLeast):
-            return self.threshold_count(query.b, t) / self.m if query.b <= self._synth.horizon else 0.0
+            return (
+                self.threshold_count(query.b, t) / population
+                if query.b <= self._synth.horizon
+                else 0.0
+            )
         if isinstance(query, HammingExactly):
             # Thresholds above the horizon are structurally empty (nobody
             # can have more ones than rounds) — same convention as the
@@ -164,7 +177,7 @@ class CumulativeRelease:
                 if query.b + 1 <= self._synth.horizon
                 else 0
             )
-            return (at_least_b - above) / self.m
+            return (at_least_b - above) / population
         raise ConfigurationError(
             f"cumulative release answers HammingAtLeast/HammingExactly, got {query!r}"
         )
@@ -270,7 +283,9 @@ class CumulativeSynthesizer:
         self._release_view = CumulativeRelease(self)
 
         self._t = 0
-        self._n: int | None = None
+        self._horizon_extended = False
+        self._n: int | None = None  # initial (round-1) population
+        self._ledger: PopulationLedger | None = None
         self._orig_weights: np.ndarray | None = None
         self._store: CumulativeSyntheticStore | None = None
         self._pending_increments: list[np.ndarray] = []
@@ -295,8 +310,34 @@ class CumulativeSynthesizer:
         """The vectorized counter bank (``None`` under ``engine="scalar"``)."""
         return self._bank
 
-    def observe_column(self, column) -> CumulativeRelease:
-        """Consume the round-``t`` report vector ``D_t`` and update."""
+    def observe_column(self, column, *, entrants: int = 0, exits=None) -> CumulativeRelease:
+        """Consume the round-``t`` report vector ``D_t`` and update.
+
+        Parameters
+        ----------
+        column:
+            The round's 0/1 reports, one entry per *currently active*
+            individual in ascending id (admission) order; this round's
+            entrants report in the final ``entrants`` entries.
+        entrants:
+            Number of individuals entering this round (appended at the
+            end of the column with fresh ids).  In round 1 the whole
+            column is the initial admission, so ``entrants`` may flag at
+            most the full column.
+        exits:
+            Ids of previously active individuals absent from this round
+            on.  Exits are permanent; under the zero-fill convention
+            their Hamming weights freeze.  Retiring an already-departed
+            or unknown id raises — re-entry is not part of the model.
+
+        Raises
+        ------
+        repro.exceptions.DataValidationError
+            On non-binary input, a column length that disagrees with the
+            declared churn, rounds past the horizon, or invalid churn
+            declarations (negative entrants, re-used or unknown exit
+            ids).
+        """
         column = np.asarray(column)
         if column.ndim != 1:
             raise DataValidationError(f"column must be 1-D, got shape {column.shape}")
@@ -304,18 +345,46 @@ class CumulativeSynthesizer:
             raise DataValidationError("column entries must be 0 or 1")
         if self._t >= self.horizon:
             raise DataValidationError(f"horizon {self.horizon} already exhausted")
+        entrants = int(entrants)
+        if entrants < 0:
+            raise DataValidationError(f"entrants must be non-negative, got {entrants}")
+        exit_ids = np.asarray([] if exits is None else exits, dtype=np.int64)
+        t = self._t + 1
         if self._n is None:
+            if exit_ids.size:
+                raise DataValidationError(
+                    "round 1 admits the initial population; nobody can exit yet"
+                )
+            if entrants > column.shape[0]:
+                raise DataValidationError(
+                    f"round 1 declares {entrants} entrants but the column has "
+                    f"only {column.shape[0]} reports"
+                )
             self._initialize(int(column.shape[0]))
-        elif column.shape[0] != self._n:
-            raise DataValidationError(
-                f"column has {column.shape[0]} entries, expected n={self._n}"
-            )
-        self._t += 1
-        t = self._t
+        else:
+            expected = self._ledger.n_active - exit_ids.size + entrants
+            if column.shape[0] != expected:
+                raise DataValidationError(
+                    f"column has {column.shape[0]} entries, expected {expected} "
+                    f"(n_active={self._ledger.n_active}, {exit_ids.size} exits, "
+                    f"{entrants} entrants)"
+                )
+            # Validation (and the permanent-exit check) happens before the
+            # clock advances, so a rejected round leaves the stream intact.
+            self._ledger.retire(exit_ids, t)
+            self._ledger.admit(entrants, t)
+            if entrants:
+                self._orig_weights = np.concatenate(
+                    [self._orig_weights, np.zeros(entrants, dtype=np.int64)]
+                )
+        self._t = t
         column = column.astype(np.int64)
 
-        # Stream increments z_b^t from the *original* data.
-        z = stream_increments(self._orig_weights, column, t)
+        # Stream increments z_b^t from the *original* data, zero-filled to
+        # the ever-admitted population (departed individuals structurally
+        # report 0, so their weights freeze).
+        full_column = self._ledger.scatter_column(column)
+        z = stream_increments(self._orig_weights, full_column, t)
 
         # Stage 1: feed the active counters, collect noisy totals.
         if self._bank is not None:
@@ -334,31 +403,171 @@ class CumulativeSynthesizer:
                 noisy[b - 1] = round(float(counter.feed(int(z[b - 1]))))
 
         # Stage 2: monotonize against the previous round and extend records.
+        n_ever = self._ledger.n_ever
         previous = self._table[t - 1, : t + 1]
-        clamped = monotonize_row(noisy, previous, population=self._n)
-        self._table[t, 1 : t + 1] = clamped
-        self._table[t, 0] = self._n
-        # Thresholds above t keep their previous (zero) values.
-        self._table[t, t + 1 :] = self._table[t - 1, t + 1 :]
-
+        if int(previous[0]) != n_ever:
+            # Zero-fill: this round's entrants are retroactively weight-0
+            # members of the previous round, so the clamp ceiling S^_0 is
+            # the grown ever-population.
+            previous = previous.copy()
+            previous[0] = n_ever
+        clamped = monotonize_row(noisy, previous, population=n_ever)
         increments = clamped - previous[1 : t + 1]  # z^_b^t for b = 1..t
-        if self.materialize == "eager":
+
+        if self._ledger.churned:
+            # Churn forces eager record bookkeeping: entrants must be
+            # admitted before the round they first report in, so deferred
+            # rounds are replayed now (bit-exact with having been eager
+            # all along) and the stream stays eager from here on.
+            store = self._materialized_store()
+            store.retire(int(exit_ids.size))
+            store.admit(entrants)
+            store.extend(increments)
+        elif self.materialize == "eager":
             self._store.extend(increments)  # indexed by previous weight b-1
         else:
             self._pending_increments.append(increments)
+
+        self._table[t, 1 : t + 1] = clamped
+        self._table[t, 0] = n_ever
+        # Thresholds above t keep their previous (zero) values.
+        self._table[t, t + 1 :] = self._table[t - 1, t + 1 :]
         return self.release
 
-    def run(self, dataset: LongitudinalDataset) -> CumulativeRelease:
-        """Batch driver: feed every column of ``dataset`` and return the release."""
+    def run(self, dataset) -> CumulativeRelease:
+        """Batch driver: feed every column of ``dataset`` and return the release.
+
+        Parameters
+        ----------
+        dataset:
+            A static :class:`~repro.data.dataset.LongitudinalDataset`
+            (every individual present for the whole horizon) or a
+            :class:`~repro.data.dataset.DynamicPanel`, whose per-round
+            entry/exit events are replayed through
+            :meth:`observe_column`'s churn parameters.
+        """
         if dataset.horizon != self.horizon:
             raise DataValidationError(
                 f"dataset horizon {dataset.horizon} != synthesizer horizon {self.horizon}"
             )
         if self._t:
             raise ConfigurationError("run() requires a fresh synthesizer")
-        for column in dataset.columns():
-            self.observe_column(column)
+        if isinstance(dataset, DynamicPanel):
+            for column, entrants, round_exits in dataset.rounds():
+                self.observe_column(column, entrants=entrants, exits=round_exits)
+        else:
+            for column in dataset.columns():
+                self.observe_column(column)
         return self.release
+
+    def lifespans(self) -> np.ndarray:
+        """Per-individual ``(entry_round, exit_round)`` pairs observed so far.
+
+        Returns
+        -------
+        numpy.ndarray
+            Shape ``(n_ever, 2)``; ``exit_round`` 0 marks a still-active
+            individual.  Empty before the first round.
+
+        Raises
+        ------
+        repro.exceptions.NotFittedError
+            Before any data has been observed.
+        """
+        if self._ledger is None:
+            raise NotFittedError("no data observed yet")
+        return self._ledger.lifespans()
+
+    def extend_horizon(self, k: int, rho_new) -> None:
+        """Grow the release schedule by ``k`` rounds: ``T -> T + k``.
+
+        A dynamic population can outlive its planned horizon (a churning
+        panel that keeps adding waves); this appends ``k`` future rounds
+        — and the ``k`` new Hamming-weight thresholds they enable — to a
+        fresh *or mid-stream* synthesizer on the vectorized engine.  The
+        counter bank appends rows via
+        :meth:`~repro.streams.bank.CounterBank.extend_rows` without
+        perturbing existing rows' RNG streams; the threshold table and
+        the synthetic store widen in place.
+
+        **Churn-aware accounting.**  Existing rows keep their original
+        noise calibration, so their longer streams realize strictly more
+        zCDP; that extra cost plus the new thresholds' budgets is added
+        to the accountant's total via
+        :meth:`~repro.dp.accountant.ZCDPAccountant.extend_budget` — the
+        privacy guarantee is *explicitly weakened* to the new total, and
+        each existing row's surcharge appears as a labeled ledger entry.
+
+        Parameters
+        ----------
+        k:
+            Number of appended rounds (positive).
+        rho_new:
+            Per-threshold zCDP budgets for the new thresholds
+            ``T+1 .. T+k``: a scalar (replicated ``k`` times) or a
+            length-``k`` sequence.  Must be ``math.inf`` exactly when
+            the synthesizer runs noiseless.
+
+        Raises
+        ------
+        repro.exceptions.ConfigurationError
+            On the scalar engine, on banks without native row growth
+            (``sqrt_factorization`` and fallback-wrapped counters), or
+            on malformed ``rho_new``.
+
+        Notes
+        -----
+        Checkpointing is not supported across an extension:
+        :meth:`state_dict` fails closed afterwards, because a restored
+        synthesizer rebuilt from the extended configuration would
+        recalibrate the appended levels differently than the live bank.
+        """
+        if self._bank is None:
+            raise ConfigurationError(
+                "horizon extension requires the vectorized engine "
+                "(engine='vectorized'); the scalar per-threshold counters "
+                "are calibrated for a fixed horizon"
+            )
+        if k <= 0:
+            raise ConfigurationError(f"k must be positive, got {k}")
+        rho_vec = np.asarray(rho_new, dtype=np.float64)
+        if rho_vec.ndim == 0:
+            rho_vec = np.full(k, float(rho_vec))
+        if self.accountant is None and not np.isinf(rho_vec).all():
+            raise ConfigurationError(
+                "a noiseless synthesizer (rho=inf) extends with rho_new=math.inf"
+            )
+        if self.accountant is not None and not np.isfinite(rho_vec).all():
+            raise ConfigurationError(
+                "a noisy synthesizer extends with finite rho_new budgets"
+            )
+        extra = self._bank.extend_rows(k, rho_vec)  # validates k and rho_new
+        old_horizon = self.horizon
+        self.horizon += int(k)
+        self.rho_per_threshold = np.concatenate([self.rho_per_threshold, rho_vec])
+        # _counter_seeds stays at its original length: the vectorized bank
+        # draws from its own generator, and both consumers of per-threshold
+        # seeds (the scalar engine and serialization) are unreachable after
+        # an extension — spawning seeds here would only perturb the shared
+        # record-draw generator.
+        if self.accountant is not None:
+            self.accountant.extend_budget(
+                float(rho_vec.sum() + extra.sum()),
+                reason=f"horizon extension +{k} rounds",
+            )
+            self.rho = self.accountant.total_rho
+            for b in range(1, old_horizon + 1):
+                if extra[b - 1] > 0:
+                    self.accountant.charge(
+                        float(extra[b - 1]),
+                        label=f"horizon extension surcharge, {counter_charge_label(b)}",
+                    )
+        if self._table is not None:
+            table = np.zeros((self.horizon + 1, self.horizon + 1), dtype=np.int64)
+            table[: old_horizon + 1, : old_horizon + 1] = self._table
+            self._table = table
+            self._store.extend_horizon(int(k))
+        self._horizon_extended = True
 
     def counter_error_stddev(self, b: int, position: int) -> float | None:
         """Error stddev of threshold ``b``'s counter at local stream ``position``.
@@ -388,7 +597,8 @@ class CumulativeSynthesizer:
         if self._table is None or self._t == 0:
             return True
         table = self._table[: self._t + 1]
-        if not is_monotone_table(table, population=self._n):
+        population = table[:, 0] if self._ledger.churned else self._n
+        if not is_monotone_table(table, population=population):
             return False
         census = self._materialized_store().threshold_census()
         return bool((census == self._table[self._t]).all())
@@ -472,6 +682,11 @@ class CumulativeSynthesizer:
             :mod:`repro.serve` bundle layer; everything else is
             JSON-safe.
         """
+        if self._horizon_extended:
+            raise SerializationError(
+                "checkpointing across extend_horizon() is not supported: a "
+                "restored bank would recalibrate the appended rows differently"
+            )
         state = {
             "t": self._t,
             "n": self._n,
@@ -480,6 +695,7 @@ class CumulativeSynthesizer:
             "accountant": None if self.accountant is None else self.accountant.to_dict(),
         }
         if self._n is not None:
+            state["ledger"] = self._ledger.state_dict()
             state["orig_weights"] = self._orig_weights.copy()
             state["table"] = self._table.copy()
             state["pending"] = {
@@ -551,6 +767,7 @@ class CumulativeSynthesizer:
         self._t = t
         if n is not None:
             self._n = int(n)
+            self._ledger = PopulationLedger.from_state(state.get("ledger", {}))
             try:
                 self._orig_weights = np.array(state["orig_weights"], dtype=np.int64)
                 table = np.array(state["table"], dtype=np.int64)
@@ -575,10 +792,15 @@ class CumulativeSynthesizer:
                 )
             except (KeyError, TypeError, ValueError) as exc:
                 raise SerializationError(f"invalid cumulative state: {exc}") from exc
-            if self._orig_weights.shape != (self._n,):
+            if self._ledger.n_ever < self._n:
+                raise SerializationError(
+                    f"lifespan table covers {self._ledger.n_ever} individuals "
+                    f"but the initial population was {self._n}"
+                )
+            if self._orig_weights.shape != (self._ledger.n_ever,):
                 raise SerializationError(
                     f"orig_weights has shape {self._orig_weights.shape}, "
-                    f"expected ({self._n},)"
+                    f"expected ({self._ledger.n_ever},)"
                 )
             expected = (self.horizon + 1, self.horizon + 1)
             if table.shape != expected:
@@ -642,6 +864,8 @@ class CumulativeSynthesizer:
         if n <= 0:
             raise DataValidationError(f"need at least one individual, got n={n}")
         self._n = n
+        self._ledger = PopulationLedger()
+        self._ledger.admit(n, 1)
         self._orig_weights = np.zeros(n, dtype=np.int64)
         self._store = CumulativeSyntheticStore(n, self.horizon, self._generator)
         self._pending_increments: list[np.ndarray] = []

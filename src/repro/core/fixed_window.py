@@ -39,8 +39,9 @@ import numpy as np
 from repro.core.consistency import apply_overlap_correction, check_window_consistency
 from repro.core.debias import debias_count_answer, lift_window_weights
 from repro.core.padding import PaddingSpec
+from repro.core.population import PopulationLedger
 from repro.core.synthetic_store import WindowSyntheticStore
-from repro.data.dataset import LongitudinalDataset
+from repro.data.dataset import DynamicPanel, LongitudinalDataset
 from repro.dp.accountant import ZCDPAccountant
 from repro.dp.mechanisms import GaussianHistogramMechanism
 from repro.exceptions import (
@@ -94,10 +95,40 @@ class FixedWindowRelease:
 
     @property
     def n_original(self) -> int:
-        """Number of real individuals ``n``."""
+        """Real individuals ever admitted (equals ``n`` when static)."""
         if self._synth._n is None:
             raise NotFittedError("no data observed yet")
-        return self._synth._n
+        return self._synth._ledger.n_ever
+
+    def population(self, t: int) -> int:
+        """Real individuals admitted by round ``t`` (the debias denominator).
+
+        Parameters
+        ----------
+        t:
+            1-indexed round.  Static populations return ``n`` for every
+            round; under churn this is the ever-admitted count as of
+            ``t`` — departed individuals keep counting under the
+            zero-fill convention.
+        """
+        if self._synth._n is None:
+            raise NotFittedError("no data observed yet")
+        return self._synth._ledger.n_ever_at(t)
+
+    def synthetic_population(self, t: int) -> int:
+        """Synthetic records materialized by round ``t``.
+
+        The denominator of biased (``debias=False``) answers; equals
+        ``n_synthetic`` for static populations, and excludes records
+        admitted for entrants after round ``t`` under churn.
+
+        Parameters
+        ----------
+        t:
+            1-indexed round.
+        """
+        ledger = self._synth._ledger
+        return self.n_synthetic - (ledger.n_ever - ledger.n_ever_at(t))
 
     @property
     def n_synthetic(self) -> int:
@@ -177,14 +208,20 @@ class FixedWindowRelease:
             count_answer = float(weights @ histogram)
         else:
             panel = self.synthetic_data(t)
+            # Entrants admitted after round t sit at the end of the record
+            # matrix; exclude them so record-level answers describe the
+            # round-t population (a no-op for static populations).
+            m_t = self.synthetic_population(t)
+            if m_t < panel.n_individuals:
+                panel = LongitudinalDataset(panel.matrix[:m_t])
             count_answer = query.evaluate(panel, t) * panel.n_individuals
         if not debias:
-            return count_answer / self.n_synthetic
+            return count_answer / self.synthetic_population(t)
         if padding_convention == "uniform":
             padding_count = self.padding.count_contribution(query)
         else:
             padding_count = self.padding.panel_count_answer(query, t)
-        return debias_count_answer(count_answer, padding_count, self.n_original)
+        return debias_count_answer(count_answer, padding_count, self.population(t))
 
     def __repr__(self) -> str:
         return (
@@ -280,7 +317,8 @@ class FixedWindowSynthesizer:
         self.padding = PaddingSpec(window=self.window, n_pad=int(n_pad), horizon=self.horizon)
 
         self._t = 0
-        self._n: int | None = None
+        self._n: int | None = None  # initial (round-1) population
+        self._ledger: PopulationLedger | None = None
         self._window_codes: np.ndarray | None = None  # original-data codes
         self._recent_columns: list[np.ndarray] = []  # first k-1 columns buffer
         self._store: WindowSyntheticStore | None = None
@@ -302,60 +340,153 @@ class FixedWindowSynthesizer:
         """View of everything released so far (one cached instance)."""
         return self._release_view
 
-    def observe_column(self, column) -> FixedWindowRelease:
+    def observe_column(self, column, *, entrants: int = 0, exits=None) -> FixedWindowRelease:
         """Consume the round-``t`` report vector ``D_t`` and update.
 
         Before round ``k`` the reports are only buffered (the first release
         happens once a full window exists).  Returns the release view for
         convenience.
+
+        Parameters
+        ----------
+        column:
+            The round's 0/1 reports, one entry per *currently active*
+            individual in ascending id (admission) order; this round's
+            entrants report in the final ``entrants`` entries.
+        entrants:
+            Number of individuals entering this round.  Under the
+            zero-fill convention an entrant's pre-entry history is the
+            all-zero report, so their window code starts from the
+            all-zero pattern.
+        exits:
+            Ids of previously active individuals absent from this round
+            on (permanent; their window codes decay through structural
+            zeros).  Retiring a departed or unknown id raises.
+
+        Raises
+        ------
+        repro.exceptions.DataValidationError
+            On non-binary input, a column length that disagrees with the
+            declared churn, rounds past the horizon, or invalid churn
+            declarations.
         """
         column = np.asarray(column)
         if column.ndim != 1:
             raise DataValidationError(f"column must be 1-D, got shape {column.shape}")
         if column.size and not np.isin(column, (0, 1)).all():
             raise DataValidationError("column entries must be 0 or 1")
+        entrants = int(entrants)
+        if entrants < 0:
+            raise DataValidationError(f"entrants must be non-negative, got {entrants}")
+        exit_ids = np.asarray([] if exits is None else exits, dtype=np.int64)
         if self._n is None:
+            if exit_ids.size:
+                raise DataValidationError(
+                    "round 1 admits the initial population; nobody can exit yet"
+                )
+            if entrants > column.shape[0]:
+                raise DataValidationError(
+                    f"round 1 declares {entrants} entrants but the column has "
+                    f"only {column.shape[0]} reports"
+                )
             self._n = int(column.shape[0])
-        elif column.shape[0] != self._n:
-            raise DataValidationError(
-                f"column has {column.shape[0]} entries, expected n={self._n}"
-            )
-        if self._t >= self.horizon:
-            raise DataValidationError(f"horizon {self.horizon} already exhausted")
+            self._ledger = PopulationLedger()
+            self._ledger.admit(self._n, 1)
+            exit_count = 0
+        else:
+            expected = self._ledger.n_active - exit_ids.size + entrants
+            if column.shape[0] != expected:
+                raise DataValidationError(
+                    f"column has {column.shape[0]} entries, expected {expected} "
+                    f"(n_active={self._ledger.n_active}, {exit_ids.size} exits, "
+                    f"{entrants} entrants)"
+                )
+            if self._t >= self.horizon:
+                raise DataValidationError(f"horizon {self.horizon} already exhausted")
+            self._ledger.retire(exit_ids, self._t + 1)
+            self._ledger.admit(entrants, self._t + 1)
+            exit_count = int(exit_ids.size)
+            if entrants:
+                # Zero-fill the entrants' pre-entry history: all-zero
+                # window codes and all-zero buffered reports.
+                if self._window_codes is not None:
+                    self._window_codes = np.concatenate(
+                        [self._window_codes, np.zeros(entrants, dtype=np.int64)]
+                    )
+                if self._recent_columns:
+                    self._recent_columns = [
+                        np.pad(past, (0, entrants)) for past in self._recent_columns
+                    ]
+        # Rounds past the horizon were rejected above (round 1 cannot
+        # exceed it: the constructor requires horizon >= window >= 1).
         self._t += 1
         column = column.astype(np.int64)
+        full_column = self._ledger.scatter_column(column)
 
         if self._t < self.window:
-            self._recent_columns.append(column)
+            self._recent_columns.append(full_column)
             return self.release
 
-        # Maintain each original individual's current k-bit window code.
+        # Maintain each individual's current k-bit window code over the
+        # ever-admitted population (departed ids decay through zeros).
+        n_ever = self._ledger.n_ever
         if self._t == self.window:
-            codes = np.zeros(self._n, dtype=np.int64)
+            codes = np.zeros(n_ever, dtype=np.int64)
             for past in self._recent_columns:
                 codes = (codes << 1) | past
-            codes = (codes << 1) | column
+            codes = (codes << 1) | full_column
             self._recent_columns = []
         else:
             half_mask = (1 << (self.window - 1)) - 1
-            codes = ((self._window_codes & half_mask) << 1) | column
+            codes = ((self._window_codes & half_mask) << 1) | full_column
         self._window_codes = codes
 
         true_counts = np.bincount(codes, minlength=1 << self.window).astype(np.int64)
-        self._update_step(true_counts)
+        self._update_step(true_counts, entrants=entrants, exit_count=exit_count)
         return self.release
 
-    def run(self, dataset: LongitudinalDataset) -> FixedWindowRelease:
-        """Batch driver: feed every column of ``dataset`` and return the release."""
+    def run(self, dataset) -> FixedWindowRelease:
+        """Batch driver: feed every column of ``dataset`` and return the release.
+
+        Parameters
+        ----------
+        dataset:
+            A static :class:`~repro.data.dataset.LongitudinalDataset` or
+            a :class:`~repro.data.dataset.DynamicPanel`, whose per-round
+            entry/exit events are replayed through
+            :meth:`observe_column`'s churn parameters.
+        """
         if dataset.horizon != self.horizon:
             raise DataValidationError(
                 f"dataset horizon {dataset.horizon} != synthesizer horizon {self.horizon}"
             )
         if self._t:
             raise ConfigurationError("run() requires a fresh synthesizer")
-        for column in dataset.columns():
-            self.observe_column(column)
+        if isinstance(dataset, DynamicPanel):
+            for column, entrants, round_exits in dataset.rounds():
+                self.observe_column(column, entrants=entrants, exits=round_exits)
+        else:
+            for column in dataset.columns():
+                self.observe_column(column)
         return self.release
+
+    def lifespans(self) -> np.ndarray:
+        """Per-individual ``(entry_round, exit_round)`` pairs observed so far.
+
+        Returns
+        -------
+        numpy.ndarray
+            Shape ``(n_ever, 2)``; ``exit_round`` 0 marks a still-active
+            individual.
+
+        Raises
+        ------
+        repro.exceptions.NotFittedError
+            Before any data has been observed.
+        """
+        if self._ledger is None:
+            raise NotFittedError("no data observed yet")
+        return self._ledger.lifespans()
 
     # ------------------------------------------------------------------
     # Checkpointing
@@ -441,6 +572,8 @@ class FixedWindowSynthesizer:
             "released_times": released,
             "recent_count": len(self._recent_columns),
         }
+        if self._ledger is not None:
+            state["ledger"] = self._ledger.state_dict()
         if self._window_codes is not None:
             state["window_codes"] = self._window_codes.copy()
         for index, column in enumerate(self._recent_columns):
@@ -513,6 +646,13 @@ class FixedWindowSynthesizer:
             self.accountant = ZCDPAccountant.from_dict(state["accountant"])
         self._t = t
         self._n = None if n is None else int(n)
+        if self._n is not None:
+            self._ledger = PopulationLedger.from_state(state.get("ledger", {}))
+            if self._ledger.n_ever < self._n:
+                raise SerializationError(
+                    f"lifespan table covers {self._ledger.n_ever} individuals "
+                    f"but the initial population was {self._n}"
+                )
         try:
             self._recent_columns = [
                 np.array(state[f"recent_{index}"], dtype=np.int64)
@@ -522,9 +662,10 @@ class FixedWindowSynthesizer:
             raise SerializationError(f"invalid fixed-window state: {exc}") from exc
         if "window_codes" in state:
             codes = np.array(state["window_codes"], dtype=np.int64)
-            if self._n is None or codes.shape != (self._n,):
+            expected_n = None if self._n is None else self._ledger.n_ever
+            if expected_n is None or codes.shape != (expected_n,):
                 raise SerializationError(
-                    f"window codes have shape {codes.shape}, expected ({self._n},)"
+                    f"window codes have shape {codes.shape}, expected ({expected_n},)"
                 )
             self._window_codes = codes
         self._histograms = {}
@@ -552,7 +693,9 @@ class FixedWindowSynthesizer:
     # Internals
     # ------------------------------------------------------------------
 
-    def _update_step(self, true_counts: np.ndarray) -> None:
+    def _update_step(
+        self, true_counts: np.ndarray, entrants: int = 0, exit_count: int = 0
+    ) -> None:
         """One Algorithm-1 update: noise, project, extend."""
         if self.accountant is not None:
             self.accountant.charge(
@@ -576,10 +719,26 @@ class FixedWindowSynthesizer:
             self._store = WindowSyntheticStore(
                 initial, self.window, self.horizon, self._generator
             )
+            departed = self._ledger.n_ever - self._ledger.n_active
+            if departed:
+                # Pre-window departures: mirror them in the synthetic
+                # population's active bookkeeping (capped by the noisy
+                # synthetic population size).
+                self._store.retire(min(departed, self._store.n_active))
             self._histograms[self._t] = initial.astype(np.int64)
             return
 
         previous = self._histograms[self._t - 1]
+        if entrants:
+            # Zero-fill: this round's entrants were retroactively present
+            # at t-1 with the all-zero window code, so the previous
+            # histogram is credited at bin 0 before the consistency
+            # projection, and the store admits matching all-zero records.
+            previous = previous.copy()
+            previous[0] += entrants
+            self._store.admit(entrants)
+        if exit_count:
+            self._store.retire(min(exit_count, self._store.n_active))
         new_counts, events = apply_overlap_correction(
             previous, noisy, self._generator, on_negative=self.on_negative
         )

@@ -98,22 +98,44 @@ def monotonize_rows(
     return np.minimum(np.maximum(noisy, lower), upper)
 
 
-def is_monotone_table(table: np.ndarray, population: int) -> bool:
+def is_monotone_table(table: np.ndarray, population) -> bool:
     """Check both monotonicity constraints on a full ``(T+1) x (B+1)`` table.
 
     ``table[t, b]`` holds ``S^_b^t`` with row 0 the initial state
     ``(m, 0, ..., 0)``.  Verifies: non-increasing along ``b`` within each
     row, non-decreasing along ``t`` within each column, and the cross
     constraint ``table[t, b] <= table[t-1, b-1]``.
+
+    ``population`` may be a scalar (the static model) or a per-round
+    vector of ever-admitted population sizes (dynamic populations, see
+    :mod:`repro.core.population`).  In the dynamic case the vector must
+    be non-decreasing and the ``b = 1`` cross constraint is checked
+    against the *current* round's population instead of the previous
+    one — under the zero-fill convention this round's entrants are
+    retroactively weight-0 members of the previous round, so
+    ``S^_1^t <= S^_0^t`` is the binding ceiling (and is already implied
+    by the within-row check).
     """
     table = np.asarray(table)
     if table.ndim != 2:
         raise ConfigurationError(f"table must be 2-D, got shape {table.shape}")
-    if (table[:, 0] != population).any():
-        return False
+    population = np.asarray(population)
+    if population.ndim == 0:
+        if (table[:, 0] != population).any():
+            return False
+        cross_from = 1
+    else:
+        if population.shape != (table.shape[0],):
+            raise ConfigurationError(
+                f"per-round population must have length {table.shape[0]}, "
+                f"got shape {population.shape}"
+            )
+        if (table[:, 0] != population).any() or (np.diff(population) < 0).any():
+            return False
+        cross_from = 2  # b = 1 is bounded by the current round's population
     if (np.diff(table, axis=1) > 0).any():  # non-increasing in b
         return False
     if (np.diff(table, axis=0) < 0).any():  # non-decreasing in t
         return False
-    cross = table[1:, 1:] > table[:-1, :-1]
+    cross = table[1:, cross_from:] > table[:-1, cross_from - 1 : -1]
     return not cross.any()

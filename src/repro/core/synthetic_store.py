@@ -11,6 +11,21 @@ per round:
   suffix.
 * :class:`CumulativeSyntheticStore` (Algorithm 2) tracks each record's
   Hamming weight and extends records grouped by exact weight.
+
+Both stores also speak the dynamic-population protocol of
+:mod:`repro.core.population`: :meth:`admit` appends fresh records for
+entrants (all-zero history, the zero-fill convention) and :meth:`retire`
+marks records departed.  Because real departures' private states (weights
+/ window codes) must not influence the synthetic panel, the records to
+mark are chosen uniformly at random among the active ones — a public
+labeling that tracks the departed *count*, not the departed individuals.
+Marked records keep extending mechanically: the released tables and
+histograms still cover the zero-filled departed population, and the
+synthetic panel models that population *collectively* (its census over
+**all** records is what must equal the release).  Freezing the marked
+records instead would force extra clamping whenever the random labels
+landed on the wrong weight groups — strictly worse accuracy for no
+privacy gain.
 """
 
 from __future__ import annotations
@@ -116,8 +131,64 @@ class WindowSyntheticStore:
         generator.shuffle(codes)
         self._codes = codes  # current k-bit window code per record
         self._matrix = np.zeros((self.m, horizon), dtype=np.uint8)
+        self._active = np.ones(self.m, dtype=bool)
         for j in range(window):
             self._matrix[:, j] = (codes >> (window - 1 - j)) & 1
+
+    @property
+    def n_active(self) -> int:
+        """Records not yet retired (present synthetic individuals)."""
+        return int(self._active.sum())
+
+    @property
+    def n_retired(self) -> int:
+        """Records marked departed via :meth:`retire`."""
+        return self.m - self.n_active
+
+    def admit(self, count: int) -> None:
+        """Append ``count`` entrant records with all-zero history.
+
+        The zero-fill convention gives entrants the all-zero window code
+        (they are treated as having reported 0 since round 1), so the
+        admitted records land in histogram bin 0 and the caller must
+        credit the previous target histogram accordingly before the next
+        :meth:`extend`.  No randomness is consumed.
+        """
+        if count < 0:
+            raise ConfigurationError(f"count must be non-negative, got {count}")
+        if count == 0:
+            return
+        self._codes = np.concatenate([self._codes, np.zeros(count, dtype=np.int64)])
+        self._matrix = np.vstack(
+            [self._matrix, np.zeros((count, self.horizon), dtype=np.uint8)]
+        )
+        self._active = np.concatenate([self._active, np.ones(count, dtype=bool)])
+        self.m += count
+
+    def retire(self, count: int) -> None:
+        """Mark ``count`` uniformly-random active records as departed.
+
+        Real departures' window codes are private, so the synthetic
+        records to retire are chosen uniformly at random — retirement is
+        bookkeeping (``n_active`` and the active mask) and does not stop
+        the records from extending: under zero-fill the histograms still
+        cover the departed individuals' decaying windows.
+        """
+        if count < 0:
+            raise ConfigurationError(f"count must be non-negative, got {count}")
+        if count == 0:
+            return
+        active_idx = np.flatnonzero(self._active)
+        if count > active_idx.shape[0]:
+            raise ConsistencyError(
+                f"cannot retire {count} records; only {active_idx.shape[0]} active"
+            )
+        chosen = self._generator.choice(active_idx, size=count, replace=False)
+        self._active[chosen] = False
+
+    def active_mask(self) -> np.ndarray:
+        """Per-record active flags (copy), aligned with the record matrix."""
+        return self._active.copy()
 
     @property
     def t(self) -> int:
@@ -148,7 +219,9 @@ class WindowSyntheticStore:
         half = 1 << (self.window - 1) if self.window > 1 else 1
         suffixes = self._codes & (half - 1) if self.window > 1 else np.zeros_like(self._codes)
         ones_per_suffix = target[1::2] if self.window > 1 else target[1:2]
-        pair_sums = target[0::2] + target[1::2] if self.window > 1 else target[:1] + target[1:2]
+        pair_sums = (
+            target[0::2] + target[1::2] if self.window > 1 else target[:1] + target[1:2]
+        )
         current_pairs = np.bincount(suffixes, minlength=half)
         if not (pair_sums == current_pairs).all():
             raise ConsistencyError(
@@ -187,6 +260,7 @@ class WindowSyntheticStore:
             "t": self._t,
             "codes": self._codes.copy(),
             "matrix": self._matrix.copy(),
+            "active": self._active.copy(),
         }
 
     @classmethod
@@ -225,9 +299,15 @@ class WindowSyntheticStore:
             store._t = int(state["t"])
             store._codes = np.array(state["codes"], dtype=np.int64)
             store._matrix = np.array(state["matrix"], dtype=np.uint8)
+            store._active = np.array(state["active"], dtype=bool)
         except (KeyError, TypeError, ValueError) as exc:
             raise SerializationError(f"invalid window-store state: {exc}") from exc
         store._generator = generator
+        if store._active.shape != (store.m,):
+            raise SerializationError(
+                f"window-store active mask has shape {store._active.shape}, "
+                f"expected ({store.m},)"
+            )
         if store._matrix.shape != (store.m, store.horizon):
             raise SerializationError(
                 f"window-store matrix has shape {store._matrix.shape}, "
@@ -262,12 +342,68 @@ class CumulativeSyntheticStore:
         self._generator = generator
         self._matrix = np.zeros((m, horizon), dtype=np.uint8)
         self._weights = np.zeros(m, dtype=np.int64)
+        self._active = np.ones(m, dtype=bool)
         self._t = 0
 
     @property
     def t(self) -> int:
         """Rounds materialized so far."""
         return self._t
+
+    @property
+    def n_active(self) -> int:
+        """Records not yet retired (present synthetic individuals)."""
+        return int(self._active.sum())
+
+    @property
+    def n_retired(self) -> int:
+        """Records frozen via :meth:`retire`."""
+        return self.m - self.n_active
+
+    def admit(self, count: int) -> None:
+        """Append ``count`` entrant records at weight 0 (zero history).
+
+        Entrants are eligible to receive a 1 in their entry round, so
+        admission must happen *before* that round's :meth:`extend`.  No
+        randomness is consumed.
+        """
+        if count < 0:
+            raise ConfigurationError(f"count must be non-negative, got {count}")
+        if count == 0:
+            return
+        self._matrix = np.vstack(
+            [self._matrix, np.zeros((count, self.horizon), dtype=np.uint8)]
+        )
+        self._weights = np.concatenate([self._weights, np.zeros(count, dtype=np.int64)])
+        self._active = np.concatenate([self._active, np.ones(count, dtype=bool)])
+        self.m += count
+
+    def retire(self, count: int) -> None:
+        """Mark ``count`` uniformly-random active records as departed.
+
+        Real departures' weights are private, so the records to mark are
+        chosen uniformly at random among the active ones.  Retirement is
+        aggregate bookkeeping (``n_active`` and the active mask): marked
+        records still count in :meth:`threshold_census` — the released
+        table covers the zero-filled departed population — and still
+        extend, because the synthetic panel matches the release
+        *collectively* rather than record by record.
+        """
+        if count < 0:
+            raise ConfigurationError(f"count must be non-negative, got {count}")
+        if count == 0:
+            return
+        active_idx = np.flatnonzero(self._active)
+        if count > active_idx.shape[0]:
+            raise ConsistencyError(
+                f"cannot retire {count} records; only {active_idx.shape[0]} active"
+            )
+        chosen = self._generator.choice(active_idx, size=count, replace=False)
+        self._active[chosen] = False
+
+    def active_mask(self) -> np.ndarray:
+        """Per-record active flags (copy), aligned with the record matrix."""
+        return self._active.copy()
 
     def weights(self) -> np.ndarray:
         """Current Hamming weight per synthetic record (copy)."""
@@ -314,6 +450,21 @@ class CumulativeSyntheticStore:
             raise ConfigurationError(f"t must lie in [1, {self._t}], got {t}")
         return LongitudinalDataset(self._matrix[:, :t])
 
+    def extend_horizon(self, k: int) -> None:
+        """Widen the record matrix by ``k`` zero-filled future rounds.
+
+        The dynamic-population half of
+        :meth:`repro.core.cumulative.CumulativeSynthesizer.extend_horizon`:
+        existing records and weights are untouched and no randomness is
+        consumed.
+        """
+        if k <= 0:
+            raise ConfigurationError(f"k must be positive, got {k}")
+        self._matrix = np.hstack(
+            [self._matrix, np.zeros((self.m, k), dtype=np.uint8)]
+        )
+        self.horizon += int(k)
+
     def state_dict(self) -> dict:
         """Snapshot the store: record matrix, weights, and clocks.
 
@@ -331,6 +482,7 @@ class CumulativeSyntheticStore:
             "t": self._t,
             "weights": self._weights.copy(),
             "matrix": self._matrix.copy(),
+            "active": self._active.copy(),
         }
 
     @classmethod
@@ -364,9 +516,15 @@ class CumulativeSyntheticStore:
             store._t = int(state["t"])
             store._weights = np.array(state["weights"], dtype=np.int64)
             store._matrix = np.array(state["matrix"], dtype=np.uint8)
+            store._active = np.array(state["active"], dtype=bool)
         except (KeyError, TypeError, ValueError) as exc:
             raise SerializationError(f"invalid cumulative-store state: {exc}") from exc
         store._generator = generator
+        if store._active.shape != (store.m,):
+            raise SerializationError(
+                f"cumulative-store active mask has shape {store._active.shape}, "
+                f"expected ({store.m},)"
+            )
         if store._matrix.shape != (store.m, store.horizon):
             raise SerializationError(
                 f"cumulative-store matrix has shape {store._matrix.shape}, "

@@ -20,20 +20,32 @@ from repro.data.categorical import (
     categorical_markov,
     categorical_padding_panel,
 )
-from repro.data.dataset import LongitudinalDataset
+from repro.data.dataset import DynamicPanel, LongitudinalDataset
 from repro.data.debruijn import debruijn_sequence, padding_panel
 from repro.data.generators import (
     all_ones,
+    apply_churn,
     bursty_spells,
+    churn_two_state_markov,
     iid_bernoulli,
     mixture,
     seasonal,
     two_state_markov,
 )
-from repro.data.sipp import SippRawData, load_sipp_2021, preprocess_sipp, simulate_sipp_raw
+from repro.data.sipp import (
+    SippRawData,
+    load_sipp_2021,
+    load_sipp_dynamic,
+    preprocess_sipp,
+    simulate_sipp_raw,
+)
 
 __all__ = [
     "LongitudinalDataset",
+    "DynamicPanel",
+    "apply_churn",
+    "churn_two_state_markov",
+    "load_sipp_dynamic",
     "CategoricalDataset",
     "categorical_iid",
     "categorical_markov",

@@ -20,7 +20,7 @@ import numpy as np
 
 from repro.exceptions import DataValidationError
 
-__all__ = ["LongitudinalDataset"]
+__all__ = ["LongitudinalDataset", "DynamicPanel"]
 
 
 class LongitudinalDataset:
@@ -185,3 +185,137 @@ class LongitudinalDataset:
             raise DataValidationError(f"window width {k} outside [1, {self.horizon}]")
         if t < k:
             raise DataValidationError(f"window of width {k} undefined before t={k}, got t={t}")
+
+
+class DynamicPanel:
+    """A longitudinal panel over a churning population.
+
+    Wraps an ``n_ever x T`` binary matrix over the *ever-admitted*
+    population together with each individual's lifespan: ``entry_round``
+    (first round present, 1-indexed) and ``exit_round`` (first round
+    absent; 0 means the individual never departs).  Rows must be ordered
+    by admission (non-decreasing ``entry_round``) so that row index
+    doubles as the individual's id in the synthesizers' admission-order
+    protocol; reports outside an individual's lifespan must be 0 (the
+    zero-fill convention of :mod:`repro.core.population`).
+
+    Parameters
+    ----------
+    matrix:
+        Array-like of shape ``(n_ever, T)`` with entries in ``{0, 1}``;
+        entries outside each row's lifespan must be 0.
+    entry_round:
+        Length-``n_ever`` 1-indexed entry rounds, non-decreasing.
+    exit_round:
+        Length-``n_ever`` exit rounds; each is 0 (never departs) or
+        strictly greater than the individual's entry round.
+    """
+
+    def __init__(self, matrix, entry_round, exit_round):
+        panel = LongitudinalDataset(matrix)
+        self._matrix = panel.matrix
+        self._entry = np.asarray(entry_round, dtype=np.int64)
+        self._exit = np.asarray(exit_round, dtype=np.int64)
+        n_ever, horizon = self._matrix.shape
+        if self._entry.shape != (n_ever,) or self._exit.shape != (n_ever,):
+            raise DataValidationError(
+                f"entry/exit rounds must have shape ({n_ever},), got "
+                f"{self._entry.shape} and {self._exit.shape}"
+            )
+        if n_ever and (self._entry[0] != 1 or (np.diff(self._entry) < 0).any()):
+            raise DataValidationError(
+                "rows must be ordered by admission: entry rounds start at 1 "
+                "and are non-decreasing"
+            )
+        if ((self._entry < 1) | (self._entry > horizon)).any():
+            raise DataValidationError(f"entry rounds must lie in [1, {horizon}]")
+        departs = self._exit != 0
+        if (self._exit[departs] <= self._entry[departs]).any():
+            raise DataValidationError(
+                "exit rounds must be 0 (never) or strictly after the entry round"
+            )
+        # Zero-fill sanity: no reports outside a lifespan.
+        rounds = np.arange(1, horizon + 1)
+        outside = (rounds[None, :] < self._entry[:, None]) | (
+            departs[:, None] & (rounds[None, :] >= self._exit[:, None])
+        )
+        if (self._matrix[outside] != 0).any():
+            raise DataValidationError(
+                "reports outside an individual's lifespan must be 0 "
+                "(the zero-fill convention)"
+            )
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """The read-only ``uint8`` matrix over the ever-admitted rows."""
+        return self._matrix
+
+    @property
+    def n_ever(self) -> int:
+        """Individuals ever admitted over the whole horizon."""
+        return self._matrix.shape[0]
+
+    @property
+    def horizon(self) -> int:
+        """Number of reporting periods ``T``."""
+        return self._matrix.shape[1]
+
+    @property
+    def entry_round(self) -> np.ndarray:
+        """Per-row entry rounds (copy)."""
+        return self._entry.copy()
+
+    @property
+    def exit_round(self) -> np.ndarray:
+        """Per-row exit rounds, 0 for never-departing rows (copy)."""
+        return self._exit.copy()
+
+    def active_mask(self, t: int) -> np.ndarray:
+        """Boolean mask of the rows present in round ``t`` (1-indexed)."""
+        if not 1 <= t <= self.horizon:
+            raise DataValidationError(f"time {t} outside [1, {self.horizon}]")
+        departs = self._exit != 0
+        return (self._entry <= t) & (~departs | (self._exit > t))
+
+    def n_active(self, t: int) -> int:
+        """Individuals present in round ``t``."""
+        return int(self.active_mask(t).sum())
+
+    def rounds(self):
+        """Iterate ``(column, entrants, exits)`` round events in order.
+
+        Yields
+        ------
+        tuple
+            Per round ``t``: the active-population report ``column``
+            (ascending row id), the number of rows entering at ``t``
+            (their reports are the column's final entries), and the row
+            ids exiting as of ``t`` — exactly the arguments of the
+            synthesizers' ``observe_column(column, entrants=, exits=)``.
+        """
+        for t in range(1, self.horizon + 1):
+            active = self.active_mask(t)
+            column = self._matrix[active, t - 1].astype(np.int64)
+            entrants = int((self._entry == t).sum()) if t > 1 else 0
+            exits = np.flatnonzero(self._exit == t)
+            yield column, entrants, exits
+
+    def as_longitudinal(self) -> LongitudinalDataset:
+        """The zero-filled static panel over the ever-admitted rows.
+
+        This is the panel a fixed-population synthesizer would consume
+        under the zero-fill convention — the noiseless reference for
+        churn experiments.
+        """
+        return LongitudinalDataset(self._matrix)
+
+    @property
+    def churned(self) -> bool:
+        """True when any row enters after round 1 or ever departs."""
+        return bool((self._entry > 1).any() or (self._exit != 0).any())
+
+    def __repr__(self) -> str:
+        return (
+            f"DynamicPanel(n_ever={self.n_ever}, T={self.horizon}, "
+            f"churned={self.churned})"
+        )

@@ -12,6 +12,15 @@ They cover the regimes the paper's experiments and our ablations exercise:
 * :func:`seasonal` — sinusoidally modulated incidence, for trend queries.
 * :func:`mixture` — population made of heterogeneous subgroups (the
   subpopulation model of Joseph et al. 2018 discussed in related work).
+
+Dynamic populations (churn):
+
+* :func:`apply_churn` — overlay a hazard-driven entry/exit schedule on
+  any static panel, producing a
+  :class:`~repro.data.dataset.DynamicPanel` for the synthesizers'
+  entry/exit protocol.
+* :func:`churn_two_state_markov` — persistent-state reports plus churn
+  in one call (the backbone of the attrition-sweep experiment).
 """
 
 from __future__ import annotations
@@ -20,7 +29,7 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.data.dataset import LongitudinalDataset
+from repro.data.dataset import DynamicPanel, LongitudinalDataset
 from repro.exceptions import ConfigurationError
 from repro.rng import SeedLike, as_generator
 
@@ -31,6 +40,8 @@ __all__ = [
     "bursty_spells",
     "seasonal",
     "mixture",
+    "apply_churn",
+    "churn_two_state_markov",
 ]
 
 
@@ -65,7 +76,9 @@ def all_ones(n: int, horizon: int) -> LongitudinalDataset:
     return LongitudinalDataset(np.ones((n, horizon), dtype=np.uint8))
 
 
-def iid_bernoulli(n: int, horizon: int, p: float, seed: SeedLike = None) -> LongitudinalDataset:
+def iid_bernoulli(
+    n: int, horizon: int, p: float, seed: SeedLike = None
+) -> LongitudinalDataset:
     """Independent ``Bernoulli(p)`` reports.
 
     Parameters
@@ -201,3 +214,113 @@ def mixture(
         generator = as_generator(seed)
         stacked = stacked[generator.permutation(stacked.shape[0])]
     return LongitudinalDataset(stacked)
+
+
+def apply_churn(
+    dataset: LongitudinalDataset,
+    entry_rate: float = 0.0,
+    exit_hazard: float = 0.0,
+    seed: SeedLike = None,
+) -> DynamicPanel:
+    """Overlay a random entry/exit schedule on a static panel.
+
+    Each individual independently enters late with probability
+    ``entry_rate`` (uniformly in rounds ``2..T``) and, once present,
+    departs after each round with per-round hazard ``exit_hazard``
+    (geometric lifespans, survey-attrition style: once gone, gone for
+    good).  Reports outside the lifespan are zeroed — the zero-fill
+    convention — and rows are reordered by entry round so the result is
+    a valid :class:`~repro.data.dataset.DynamicPanel`.
+
+    Parameters
+    ----------
+    dataset:
+        The static panel supplying every individual's reports.
+    entry_rate:
+        Probability (in ``[0, 1]``) that an individual enters after
+        round 1.  At least one individual is always kept in round 1.
+    exit_hazard:
+        Per-round departure probability (in ``[0, 1)``) after entry.
+    seed:
+        Seed or generator for the churn schedule.
+
+    Returns
+    -------
+    DynamicPanel
+        The churned panel; with both rates 0 it carries the original
+        rows unchanged (and ``churned`` is False).
+    """
+    _check_prob(entry_rate, "entry_rate")
+    if not 0.0 <= exit_hazard < 1.0:
+        raise ConfigurationError(f"exit_hazard must lie in [0, 1), got {exit_hazard}")
+    generator = as_generator(seed)
+    matrix = np.array(dataset.matrix, dtype=np.uint8)
+    n, horizon = matrix.shape
+
+    entry = np.ones(n, dtype=np.int64)
+    if entry_rate > 0.0 and horizon > 1:
+        late = generator.random(n) < entry_rate
+        late[0] = False  # round 1 must admit at least one individual
+        entry[late] = generator.integers(2, horizon + 1, size=int(late.sum()))
+
+    exit_round = np.zeros(n, dtype=np.int64)
+    if exit_hazard > 0.0:
+        # Geometric residual lifespan after entry: individual i reports in
+        # rounds entry..entry+L-1 with P(L = l) = h (1-h)^(l-1).
+        lifespan = generator.geometric(exit_hazard, size=n)
+        proposed = entry + lifespan
+        departs = proposed <= horizon
+        exit_round[departs] = proposed[departs]
+
+    order = np.argsort(entry, kind="stable")
+    matrix, entry, exit_round = matrix[order], entry[order], exit_round[order]
+
+    rounds = np.arange(1, horizon + 1)
+    outside = (rounds[None, :] < entry[:, None]) | (
+        (exit_round[:, None] != 0) & (rounds[None, :] >= exit_round[:, None])
+    )
+    matrix[outside] = 0
+    return DynamicPanel(matrix, entry, exit_round)
+
+
+def churn_two_state_markov(
+    n: int,
+    horizon: int,
+    p_stay: float,
+    p_enter: float,
+    entry_rate: float = 0.0,
+    exit_hazard: float = 0.0,
+    seed: SeedLike = None,
+) -> DynamicPanel:
+    """Persistent-state reports over a churning population.
+
+    Draws a :func:`two_state_markov` panel and overlays
+    :func:`apply_churn`'s hazard-driven entry/exit schedule, both from
+    one seed stream.
+
+    Parameters
+    ----------
+    n:
+        Ever-admitted population size.
+    horizon:
+        Number of rounds ``T``.
+    p_stay, p_enter:
+        The Markov persistence and entry probabilities of
+        :func:`two_state_markov`.
+    entry_rate:
+        Probability an individual enters after round 1.
+    exit_hazard:
+        Per-round departure hazard after entry.
+    seed:
+        Seed or generator for reports and churn schedule alike.
+
+    Returns
+    -------
+    DynamicPanel
+        The churned persistent-state panel.
+    """
+    generator = as_generator(seed)
+    panel = two_state_markov(n, horizon, p_stay, p_enter, seed=generator)
+    return apply_churn(
+        panel, entry_rate=entry_rate, exit_hazard=exit_hazard, seed=generator
+    )

@@ -145,14 +145,13 @@ class DiscreteGaussianSampler:
             return self.sample_array_2d(sigma_sqs, size)
         if self.method == "exact":
             return self._sample_columns_exact(sigma_sqs)
-        sigma_sqs = np.asarray(
-            [float(s) for s in sigma_sqs] if not isinstance(sigma_sqs, np.ndarray) else sigma_sqs,
-            dtype=np.float64,
-        )
+        if not isinstance(sigma_sqs, np.ndarray):
+            sigma_sqs = [float(s) for s in sigma_sqs]
+        sigma_sqs = np.asarray(sigma_sqs, dtype=np.float64)
         return _sample_heterogeneous_gaussian(sigma_sqs, self._generator)
 
     def sample_array_2d(self, sigma_sqs, n_rows: int) -> np.ndarray:
-        """``(n_rows, len(sigma_sqs))`` i.i.d. draws, column ``j`` at scale ``sigma_sqs[j]``."""
+        """``(n_rows, len(sigma_sqs))`` i.i.d. draws, column ``j`` at ``sigma_sqs[j]``."""
         if n_rows < 0:
             raise ValueError(f"n_rows must be non-negative, got {n_rows}")
         n_cols = len(sigma_sqs)

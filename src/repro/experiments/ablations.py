@@ -28,7 +28,7 @@ from repro.core.fixed_window import FixedWindowSynthesizer
 from repro.data.generators import two_state_markov
 from repro.experiments.config import FigureResult, default_engine
 from repro.queries.cumulative import HammingAtLeast
-from repro.queries.window import AllOnes, AtLeastMOnes
+from repro.queries.window import AtLeastMOnes
 from repro.rng import SeedLike, spawn
 from repro.streams.registry import available_counters
 

@@ -4,7 +4,9 @@ Subcommands:
 
 * ``list`` — print the experiment ids and their titles;
 * ``run <id> [--reps N] [--seed S]`` — run one experiment and print its
-  report (non-zero exit when any shape check fails);
+  report (non-zero exit when any shape check fails); ``run churn`` is
+  the dynamic-population attrition sweep (see the docs' "Dynamic
+  populations" page);
 * ``all [--reps N]`` — run every experiment;
 * ``serve-demo`` — replay the SIPP panel round-by-round through the
   online serving layer (:mod:`repro.serve`) with mid-stream

@@ -17,6 +17,7 @@ from repro.experiments.ablations import (
     run_counter_ablation,
     run_padding_ablation,
 )
+from repro.experiments.churn import run_churn_experiment
 from repro.experiments.config import FigureResult
 from repro.experiments.serve_demo import run_serve_demo
 from repro.experiments.sipp_cumulative import run_sipp_cumulative_experiment
@@ -118,6 +119,13 @@ EXPERIMENTS: dict[str, Runner] = {
     "sweep-n": lambda n_reps, seed=0, engine=None, strategy=None, n_jobs=None: (
         run_population_sweep(
             n_reps=n_reps, seed=seed, engine=engine, strategy=strategy, n_jobs=n_jobs
+        )
+    ),
+    # Dynamic populations: attrition sweep over a churning SIPP panel,
+    # anchored by the zero-churn bit-exactness check on both engines.
+    "churn": lambda n_reps, seed=0, engine=None, strategy=None, n_jobs=None: (
+        run_churn_experiment(
+            n_reps, seed=seed, engine=engine, strategy=strategy, n_jobs=n_jobs
         )
     ),
     # Online serving walkthrough (repro.serve): round-by-round ingestion,

@@ -95,7 +95,12 @@ def run_simulated_window_experiment(
     bound = debiased_bound if debias else biased_bound
 
     summaries: dict[int, SeriesSummary] = {}
-    for query_k, label in ((3, "matching (query k=3)"), (2, "smaller (query k=2)"), (4, "larger (query k=4)")):
+    query_widths = (
+        (3, "matching (query k=3)"),
+        (2, "smaller (query k=2)"),
+        (4, "larger (query k=4)"),
+    )
+    for query_k, label in query_widths:
         query = AllOnes(query_k)
         # Answers exist only once the synthesizer has released (t >= k) and
         # the query is defined (t >= query_k).

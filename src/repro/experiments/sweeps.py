@@ -14,8 +14,6 @@ benchmarks assert the fitted exponents match the theory within tolerance.
 
 from __future__ import annotations
 
-import math
-
 import numpy as np
 
 from repro.analysis.replication import replicate_synthesizer, window_strategy
@@ -115,7 +113,9 @@ def run_rho_sweep(
         comparison_rows=rows + [{"rho": "log-log slope", "mean_abs_error": slope}],
         comparison_columns=["rho", "mean_abs_error"],
     )
-    result.check("error decreases monotonically in rho", errors == sorted(errors, reverse=True))
+    result.check(
+        "error decreases monotonically in rho", errors == sorted(errors, reverse=True)
+    )
     result.check("log-log slope within [-0.75, -0.25]", -0.75 <= slope <= -0.25)
     return result
 

@@ -44,7 +44,9 @@ def pattern_bits(code: int, k: int) -> tuple[int, ...]:
     return tuple((code >> (k - 1 - j)) & 1 for j in range(k))
 
 
-def _weights_from_predicate(k: int, predicate: Callable[[tuple[int, ...]], bool]) -> np.ndarray:
+def _weights_from_predicate(
+    k: int, predicate: Callable[[tuple[int, ...]], bool]
+) -> np.ndarray:
     """Indicator weight vector of a predicate over length-``k`` patterns."""
     weights = np.zeros(1 << k, dtype=np.float64)
     for code in range(1 << k):

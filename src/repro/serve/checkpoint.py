@@ -55,10 +55,14 @@ __all__ = [
 FORMAT_NAME = "repro-checkpoint"
 
 #: Current bundle format version; bump on any incompatible layout change.
-FORMAT_VERSION = 1
+#: Version 2 added the dynamic-population state: the synthesizers'
+#: ``ledger`` lifespan table, the stores' ``active`` masks, and the
+#: sharded service's ``shard_of``/``active`` assignment — all required
+#: on read, so version-1 bundles are not restorable by this build.
+FORMAT_VERSION = 2
 
 #: Versions this reader accepts.
-SUPPORTED_VERSIONS = (1,)
+SUPPORTED_VERSIONS = (2,)
 
 _MANIFEST = "manifest.json"
 _ARRAYS = "arrays.npz"

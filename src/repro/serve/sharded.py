@@ -36,6 +36,7 @@ import io
 
 import numpy as np
 
+from repro.core.population import validate_exit_ids
 from repro.exceptions import (
     ConfigurationError,
     ConsistencyError,
@@ -91,7 +92,9 @@ class ShardedService:
             raise ConfigurationError(f"n_shards must be >= 1, got {n_shards}")
         self.n_shards = int(n_shards)
         self.algorithm = str(algorithm)
-        self._boundaries: np.ndarray | None = None  # K+1 split points
+        self._boundaries: np.ndarray | None = None  # K+1 initial split points
+        self._shard_of: np.ndarray | None = None  # ever-id -> shard
+        self._active: np.ndarray | None = None  # ever-id -> present now
         self._poisoned: str | None = None  # set when shard clocks desync
         # One source of truth for supported algorithms: the streaming
         # wrapper's registry, whose constructor classmethods share the
@@ -112,6 +115,8 @@ class ShardedService:
         shards: list[StreamingSynthesizer],
         algorithm: str,
         boundaries: np.ndarray | None,
+        shard_of: np.ndarray | None,
+        active: np.ndarray | None,
     ) -> "ShardedService":
         """Internal: assemble a service around already-built shards."""
         service = object.__new__(cls)
@@ -119,6 +124,8 @@ class ShardedService:
         service.algorithm = algorithm
         service._shards = list(shards)
         service._boundaries = boundaries
+        service._shard_of = shard_of
+        service._active = active
         service._poisoned = None
         return service
 
@@ -143,18 +150,27 @@ class ShardedService:
 
     @property
     def n(self) -> int:
-        """Total population across all shards."""
-        if self._boundaries is None:
+        """Currently active population across all shards."""
+        if self._active is None:
             raise NotFittedError("no data observed yet")
-        return int(self._boundaries[-1])
+        return int(self._active.sum())
+
+    @property
+    def n_ever(self) -> int:
+        """Individuals ever admitted across all shards."""
+        if self._shard_of is None:
+            raise NotFittedError("no data observed yet")
+        return int(self._shard_of.shape[0])
 
     def shard_slices(self) -> list[slice]:
-        """The contiguous index range each shard owns.
+        """The contiguous index range each shard initially owned.
 
         Returns
         -------
         list of slice
-            ``slice(start, stop)`` per shard, in shard order.
+            ``slice(start, stop)`` per shard, in shard order, covering
+            the *round-1* population; later entrants are routed
+            individually (see :meth:`shard_members`).
 
         Raises
         ------
@@ -166,15 +182,51 @@ class ShardedService:
         bounds = self._boundaries
         return [slice(int(bounds[i]), int(bounds[i + 1])) for i in range(self.n_shards)]
 
-    def observe_round(self, column) -> "ShardedService":
+    def shard_members(self) -> list[np.ndarray]:
+        """Global ids each shard owns, in shard-admission order.
+
+        Returns
+        -------
+        list of numpy.ndarray
+            Per shard, the ascending global ids ever assigned to it
+            (admission order and ascending id order coincide).
+
+        Raises
+        ------
+        repro.exceptions.NotFittedError
+            Before the first round fixes the assignment.
+        """
+        if self._shard_of is None:
+            raise NotFittedError("no data observed yet")
+        return [np.flatnonzero(self._shard_of == s) for s in range(self.n_shards)]
+
+    def shard_loads(self) -> np.ndarray:
+        """Active individuals per shard — the entrant-routing load metric."""
+        if self._active is None:
+            raise NotFittedError("no data observed yet")
+        return np.bincount(
+            self._shard_of[self._active], minlength=self.n_shards
+        )[: self.n_shards]
+
+    def observe_round(self, column, *, entrants: int = 0, exits=None) -> "ShardedService":
         """Ingest the next round: split the column and advance every shard.
 
         Parameters
         ----------
         column:
-            The round's ``(n,)`` report vector over the *whole*
-            population.  The first round fixes ``n`` and the contiguous
-            shard assignment; later rounds must match it.
+            The round's report vector over the *currently active*
+            population, in ascending global id order (this round's
+            entrants last).  The first round fixes the initial
+            contiguous shard assignment.
+        entrants:
+            Individuals entering this round.  Each entrant is routed to
+            the **least-loaded shard** (fewest active individuals, ties
+            to the lowest shard index), which keeps shard populations
+            balanced as the panel churns.
+        exits:
+            Global ids departing as of this round; each is translated to
+            its owning shard's local id and retired there.  Exits are
+            permanent.
 
         Returns
         -------
@@ -184,8 +236,9 @@ class ShardedService:
         Raises
         ------
         repro.exceptions.DataValidationError
-            On non-1-D or non-binary input, a population size change, an
-            exhausted horizon, or when the population is smaller than the
+            On non-1-D or non-binary input, a column length disagreeing
+            with the declared churn, an exhausted horizon, invalid exit
+            ids, or when the initial population is smaller than the
             shard count.  This validation happens *before* any shard
             advances, so a rejected column leaves every shard's clock
             unchanged and the corrected column can simply be resubmitted.
@@ -207,7 +260,21 @@ class ShardedService:
             raise DataValidationError("column entries must be 0 or 1")
         if self.t >= self.horizon:
             raise DataValidationError(f"horizon {self.horizon} already exhausted")
+        entrants = int(entrants)
+        if entrants < 0:
+            raise DataValidationError(f"entrants must be non-negative, got {entrants}")
+        exit_ids = np.asarray([] if exits is None else exits, dtype=np.int64)
+        round_number = self.t + 1  # read before shard 0's clock advances
         if self._boundaries is None:
+            if exit_ids.size:
+                raise DataValidationError(
+                    "round 1 admits the initial population; nobody can exit yet"
+                )
+            if entrants > column.shape[0]:
+                raise DataValidationError(
+                    f"round 1 declares {entrants} entrants but the column has "
+                    f"only {column.shape[0]} reports"
+                )
             n = int(column.shape[0])
             if n < self.n_shards:
                 raise DataValidationError(
@@ -217,15 +284,35 @@ class ShardedService:
                 [len(part) for part in np.array_split(np.arange(n), self.n_shards)]
             )
             self._boundaries = np.concatenate([[0], np.cumsum(sizes)])
-        elif column.shape[0] != self.n:
+            self._shard_of = np.repeat(np.arange(self.n_shards), sizes)
+            self._active = np.ones(n, dtype=bool)
+        elif column.shape[0] != self.n - exit_ids.size + entrants:
             raise DataValidationError(
-                f"column has {column.shape[0]} entries, expected n={self.n}"
+                f"column has {column.shape[0]} entries, expected "
+                f"{self.n - exit_ids.size + entrants} (n_active={self.n}, "
+                f"{exit_ids.size} exits, {entrants} entrants)"
             )
-        round_number = self.t + 1  # read before shard 0's clock advances
+        if round_number == 1 or (not exit_ids.size and not entrants):
+            never_churned = (
+                self._shard_of.shape[0] == int(self._boundaries[-1])
+                and self._active.all()
+            )
+            if never_churned:
+                # Fixed-population fast path: bit-exact legacy slicing.
+                shard_columns = [column[part] for part in self.shard_slices()]
+            else:
+                shard_columns = self._split_active_column(column)
+            shard_churn = [(0, None)] * self.n_shards
+        else:
+            shard_columns, shard_churn = self._route_churn(column, entrants, exit_ids)
         advanced = 0
         try:
-            for shard, part in zip(self._shards, self.shard_slices()):
-                shard.observe_round(column[part])
+            for shard, shard_column, (shard_entrants, shard_exits) in zip(
+                self._shards, shard_columns, shard_churn
+            ):
+                shard.observe_round(
+                    shard_column, entrants=shard_entrants, exits=shard_exits
+                )
                 advanced += 1
         except Exception:
             # Pre-validation covers every data-level failure, so reaching
@@ -239,6 +326,80 @@ class ShardedService:
             )
             raise
         return self
+
+    def _split_active_column(self, column: np.ndarray) -> list[np.ndarray]:
+        """Split a churn-free round's column along the current membership."""
+        position = np.cumsum(self._active) - 1  # active id -> column position
+        return [
+            column[position[np.flatnonzero((self._shard_of == s) & self._active)]]
+            for s in range(self.n_shards)
+        ]
+
+    def _route_churn(
+        self, column: np.ndarray, entrants: int, exit_ids: np.ndarray
+    ) -> tuple[list[np.ndarray], list[tuple[int, np.ndarray]]]:
+        """Translate a churn round into per-shard columns and churn events.
+
+        Validates the exits against the service-wide active set, routes
+        each entrant to the least-loaded shard, and builds each shard's
+        column in its admission order (survivors first, entrants last) —
+        exactly what the shard synthesizers expect.
+        """
+        n_ever = self._shard_of.shape[0]
+        # Same rules as PopulationLedger.retire, applied service-wide
+        # *before* any shard advances (all-or-nothing rounds).
+        exit_ids = validate_exit_ids(exit_ids, self._active)
+        # Route entrants to the least-loaded shard, one by one (ties to
+        # the lowest shard index), counting this round's exits as gone.
+        loads = np.bincount(
+            self._shard_of[self._active], minlength=self.n_shards
+        )[: self.n_shards].astype(np.int64)
+        if exit_ids.size:
+            loads -= np.bincount(
+                self._shard_of[exit_ids], minlength=self.n_shards
+            )[: self.n_shards]
+        entrant_shards = np.empty(entrants, dtype=np.int64)
+        for index in range(entrants):
+            target = int(np.argmin(loads))
+            entrant_shards[index] = target
+            loads[target] += 1
+
+        # Survivors (ascending id) occupy the column's head, entrants the
+        # tail; map every reporting id to its column position.
+        survivors = np.flatnonzero(self._active)
+        if exit_ids.size:
+            survivors = survivors[~np.isin(survivors, exit_ids)]
+        position = np.empty(n_ever + entrants, dtype=np.int64)
+        position[survivors] = np.arange(survivors.shape[0])
+        new_ids = n_ever + np.arange(entrants)
+        position[new_ids] = survivors.shape[0] + np.arange(entrants)
+
+        shard_columns: list[np.ndarray] = []
+        shard_churn: list[tuple[int, np.ndarray]] = []
+        for s in range(self.n_shards):
+            members = np.flatnonzero(self._shard_of == s)  # ascending ids
+            if exit_ids.size:
+                shard_exit_global = exit_ids[self._shard_of[exit_ids] == s]
+            else:
+                shard_exit_global = exit_ids
+            # Shard-local id = rank in the shard's admission order.
+            local_exits = np.searchsorted(members, shard_exit_global)
+            surviving_members = members[self._active[members]]
+            if shard_exit_global.size:
+                surviving_members = surviving_members[
+                    ~np.isin(surviving_members, shard_exit_global)
+                ]
+            shard_new = new_ids[entrant_shards == np.int64(s)]
+            reporting = np.concatenate([surviving_members, shard_new])
+            shard_columns.append(column[position[reporting]])
+            shard_churn.append((int(shard_new.shape[0]), local_exits))
+
+        # Commit the service-side assignment only after the per-shard
+        # views are built (shard-level failures then poison the service).
+        self._active[exit_ids] = False
+        self._shard_of = np.concatenate([self._shard_of, entrant_shards])
+        self._active = np.concatenate([self._active, np.ones(entrants, dtype=bool)])
+        return shard_columns, shard_churn
 
     def answer(self, query, t: int, **kwargs) -> float:
         """Merged query answer at round ``t``.
@@ -269,20 +430,26 @@ class ShardedService:
         total = 0
         for shard in self._shards:
             release = shard.release
-            weight = self._merge_weight(release, **kwargs)
+            weight = self._merge_weight(release, t, **kwargs)
             weighted += weight * release.answer(query, t, **kwargs)
             total += weight
         return weighted / total
 
-    def _merge_weight(self, release, **kwargs) -> int:
-        """Population weight of one shard's answers."""
+    def _merge_weight(self, release, t: int, **kwargs) -> int:
+        """Population weight of one shard's answers at round ``t``.
+
+        Each weight equals the denominator of that shard's answer at
+        ``t``, so the weighted average is exactly the fraction over the
+        union — also under churn, where shard populations move round by
+        round.
+        """
         if self.algorithm == "cumulative":
-            return release.m
+            return release.threshold_count(0, t)
         # Debiased window answers are fractions of the real sub-population;
         # biased ones are fractions of the padded synthetic population.
         if kwargs.get("debias", True):
-            return release.n_original
-        return release.n_synthetic
+            return release.population(t)
+        return release.synthetic_population(t)
 
     def _check_not_poisoned(self) -> None:
         """Refuse to operate on a desynchronized service."""
@@ -352,6 +519,8 @@ class ShardedService:
         state = {"shards": shard_blobs}
         if self._boundaries is not None:
             state["boundaries"] = np.asarray(self._boundaries, dtype=np.int64)
+            state["shard_of"] = np.asarray(self._shard_of, dtype=np.int64)
+            state["active"] = np.asarray(self._active, dtype=bool)
         write_bundle(
             path,
             kind="sharded",
@@ -430,6 +599,8 @@ class ShardedService:
                 f"shard horizons disagree: {[s.horizon for s in shards]}"
             )
         boundaries = None
+        shard_of = None
+        active = None
         if next(iter(clocks)) > 0 and "boundaries" not in state:
             raise SerializationError(
                 "sharded bundle has fitted shards (t > 0) but no shard "
@@ -457,7 +628,35 @@ class ShardedService:
                     f"shard populations {populations} disagree with the "
                     f"assignment boundaries {boundaries.tolist()}"
                 )
-        return cls._from_shards(shards, algorithm, boundaries)
+            try:
+                shard_of = np.asarray(state["shard_of"], dtype=np.int64)
+                active = np.asarray(state["active"], dtype=bool)
+            except KeyError as exc:
+                raise SerializationError(
+                    f"sharded bundle is missing the churn assignment: {exc}"
+                ) from exc
+            if shard_of.shape != active.shape or shard_of.ndim != 1:
+                raise SerializationError(
+                    "shard_of and active must be equal-length 1-D arrays, got "
+                    f"{shard_of.shape} and {active.shape}"
+                )
+            if shard_of.size and (
+                shard_of.min() < 0 or shard_of.max() >= n_shards
+            ):
+                raise SerializationError(
+                    f"shard_of entries must lie in [0, {n_shards - 1}]"
+                )
+            member_counts = np.bincount(shard_of, minlength=n_shards)[:n_shards]
+            ever_counts = [
+                shard.synthesizer._ledger.n_ever if shard.synthesizer._ledger else 0
+                for shard in shards
+            ]
+            if member_counts.tolist() != ever_counts:
+                raise SerializationError(
+                    f"service-side membership {member_counts.tolist()} disagrees "
+                    f"with the shards' lifespan tables {ever_counts}"
+                )
+        return cls._from_shards(shards, algorithm, boundaries, shard_of, active)
 
     def __repr__(self) -> str:
         fitted = self._boundaries is not None

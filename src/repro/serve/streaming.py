@@ -176,15 +176,24 @@ class StreamingSynthesizer:
         """The current release view (everything published so far)."""
         return self._synthesizer.release
 
-    def observe_round(self, column):
+    def observe_round(self, column, *, entrants: int = 0, exits=None):
         """Ingest the next round's ``(n,)`` bit column and publish.
 
         Parameters
         ----------
         column:
             The round-``t`` report vector ``D_t``: one 0/1 entry per
-            individual.  Every round must present the same population
+            *currently active* individual (ascending id order).  With no
+            churn declared, every round must present the same population
             size.
+        entrants:
+            Individuals entering this round; they report in the column's
+            final ``entrants`` entries and receive fresh ids.  Their
+            pre-entry history is the structural all-zero report (the
+            zero-fill convention of :mod:`repro.core.population`).
+        exits:
+            Ids of previously active individuals absent from this round
+            on.  Exits are permanent; re-entry is rejected.
 
         Returns
         -------
@@ -192,15 +201,30 @@ class StreamingSynthesizer:
             The updated release view.  Per-round outputs are bit-exact
             (noiseless mode) with the offline ``run()`` on the
             concatenated panel — ``observe_round`` *is* ``run()``'s loop
-            body, extracted.
+            body, extracted — and zero-churn calls are bit-exact with
+            the fixed-population path.
 
         Raises
         ------
         repro.exceptions.DataValidationError
-            On non-binary input, population size changes, or rounds past
-            the horizon.
+            On non-binary input, a column length that disagrees with the
+            declared churn, rounds past the horizon, or invalid churn
+            declarations.
         """
-        return self._synthesizer.observe_column(column)
+        return self._synthesizer.observe_column(column, entrants=entrants, exits=exits)
+
+    def lifespans(self):
+        """Per-individual ``(entry_round, exit_round)`` pairs so far.
+
+        Returns
+        -------
+        numpy.ndarray
+            Shape ``(n_ever, 2)``; ``exit_round`` 0 marks a still-active
+            individual.  The lifespan table travels inside
+            :meth:`checkpoint` bundles, so a restored service continues
+            the same churn history.
+        """
+        return self._synthesizer.lifespans()
 
     # ------------------------------------------------------------------
     # Durability

@@ -1,6 +1,5 @@
 """Tests for the noise-aware confidence intervals."""
 
-import math
 
 import pytest
 

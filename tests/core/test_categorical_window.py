@@ -20,7 +20,6 @@ from repro.exceptions import (
 )
 from repro.queries.categorical import (
     CategoricalPatternQuery,
-    CategoricalWindowQuery,
     CategoryAtLeastM,
 )
 from repro.rng import as_generator
@@ -252,7 +251,6 @@ class TestCategoricalSynthesizer:
         # oracle mode on the same data.
         from repro.core.fixed_window import FixedWindowSynthesizer
         from repro.data.dataset import LongitudinalDataset
-        from repro.queries.window import AtLeastMOnes
 
         matrix = np.random.default_rng(11).integers(0, 2, size=(300, 8))
         binary_panel = LongitudinalDataset(matrix)

@@ -2,12 +2,10 @@
 
 import json
 
-import numpy as np
 import pytest
 
 from repro.core.fixed_window import FixedWindowSynthesizer
 from repro.data.categorical import categorical_iid
-from repro.data.dataset import LongitudinalDataset
 from repro.data.generators import iid_bernoulli
 from repro.data.io import (
     load_panel_csv,

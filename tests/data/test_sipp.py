@@ -147,3 +147,31 @@ class TestLoadSipp2021:
     def test_custom_target(self):
         panel = load_sipp_2021(seed=105, target_households=500)
         assert panel.n_individuals == 500
+
+
+class TestSippDynamic:
+    def test_dynamic_panel_dimensions_and_attrition(self):
+        from repro.data.sipp import load_sipp_dynamic
+
+        panel = load_sipp_dynamic(seed=7, target_households=400)
+        assert panel.n_ever == 400 and panel.horizon == 12
+        assert panel.churned
+        # Default ~2.5 %/month hazard loses a nontrivial share by month 12.
+        retained = panel.n_active(12) / panel.n_ever
+        assert 0.5 < retained < 0.95
+
+    def test_dynamic_panel_deterministic(self):
+        from repro.data.sipp import load_sipp_dynamic
+
+        a = load_sipp_dynamic(seed=8, target_households=200)
+        b = load_sipp_dynamic(seed=8, target_households=200)
+        assert (a.matrix == b.matrix).all()
+        assert (a.exit_round == b.exit_round).all()
+
+    def test_zero_hazard_zero_entry_is_static(self):
+        from repro.data.sipp import load_sipp_dynamic
+
+        panel = load_sipp_dynamic(
+            seed=9, target_households=150, attrition_hazard=0.0, entry_rate=0.0
+        )
+        assert not panel.churned

@@ -4,7 +4,6 @@ Experiment runs here use tiny repetition counts and small data so the whole
 module stays fast; the statistically meaningful runs live in benchmarks/.
 """
 
-import numpy as np
 import pytest
 
 from repro.data.generators import two_state_markov
@@ -174,3 +173,23 @@ class TestCLI:
 
         monkeypatch.setitem(registry.EXPERIMENTS, "fake2", fake)
         assert main(["run", "fake2"]) == 1
+
+
+class TestChurnExperiment:
+    def test_attrition_sweep_passes_all_checks(self):
+        from repro.experiments.churn import run_churn_experiment
+
+        result = run_churn_experiment(
+            n_reps=2, seed=1, n_households=300, hazards=(0.0, 0.05)
+        )
+        assert result.experiment_id == "churn"
+        assert result.all_checks_pass, result.checks
+        assert len(result.summaries) == 2
+        check_names = [name for name, _ in result.checks]
+        assert any("bit-exact" in name and "vectorized" in name for name in check_names)
+        assert any("bit-exact" in name and "scalar" in name for name in check_names)
+        retained = [row["retained_final"] for row in result.comparison_rows]
+        assert retained[0] == 1.0 and retained[1] < 1.0
+
+    def test_registered_and_runnable_from_cli(self, capsys):
+        assert "churn" in list_experiments()

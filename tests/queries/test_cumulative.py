@@ -1,9 +1,7 @@
 """Tests for cumulative time queries."""
 
-import numpy as np
 import pytest
 
-from repro.data.dataset import LongitudinalDataset
 from repro.data.generators import iid_bernoulli
 from repro.exceptions import ConfigurationError
 from repro.queries.cumulative import (

@@ -1,0 +1,162 @@
+"""The benchmark regression gate (benchmarks/check_regression.py)."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "check_regression",
+    Path(__file__).parent.parent / "benchmarks" / "check_regression.py",
+)
+check_regression = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(check_regression)
+
+
+def _write(path: Path, payload: dict) -> None:
+    path.write_text(json.dumps(payload))
+
+
+@pytest.fixture
+def gate_dirs(tmp_path):
+    reports = tmp_path / "reports"
+    baselines = tmp_path / "baselines"
+    reports.mkdir()
+    baselines.mkdir()
+    _write(
+        baselines / "BENCH_example.json",
+        {
+            "benchmark": "example",
+            "metrics": {
+                "speedup": {"value": 10.0, "direction": "higher"},
+                "latency_ms": {"value": 5.0, "direction": "lower"},
+            },
+        },
+    )
+    _write(
+        reports / "BENCH_example.json",
+        {
+            "benchmark": "example",
+            "schema": 1,
+            "metrics": {"speedup": 11.0, "latency_ms": 4.0},
+        },
+    )
+    return reports, baselines
+
+
+class TestIsRegression:
+    def test_higher_direction(self):
+        assert not check_regression.is_regression(8.0, 10.0, "higher", 1.5)
+        assert check_regression.is_regression(6.0, 10.0, "higher", 1.5)
+
+    def test_lower_direction(self):
+        assert not check_regression.is_regression(7.0, 5.0, "lower", 1.5)
+        assert check_regression.is_regression(8.0, 5.0, "lower", 1.5)
+
+    def test_unknown_direction(self):
+        with pytest.raises(ValueError):
+            check_regression.is_regression(1.0, 1.0, "sideways", 1.5)
+
+
+class TestResolveMetric:
+    def test_metrics_mapping_wins(self):
+        report = {"metrics": {"speedup": 3.0}, "speedup": 99.0}
+        assert check_regression.resolve_metric(report, "speedup") == 3.0
+
+    def test_dotted_path(self):
+        report = {"speedup_vs_serial": {"batched": 12.5}}
+        assert check_regression.resolve_metric(report, "speedup_vs_serial.batched") == 12.5
+
+    def test_missing_returns_none(self):
+        assert check_regression.resolve_metric({}, "nope.deep") is None
+
+
+class TestCheck:
+    def test_passes_within_tolerance(self, gate_dirs):
+        reports, baselines = gate_dirs
+        failures, lines = check_regression.check(reports, baselines, 1.5)
+        assert failures == []
+        assert len(lines) == 2
+
+    def test_fails_on_two_x_slowdown(self, gate_dirs):
+        reports, baselines = gate_dirs
+        _write(
+            reports / "BENCH_example.json",
+            {"benchmark": "example", "metrics": {"speedup": 5.5, "latency_ms": 10.0}},
+        )
+        failures, _ = check_regression.check(reports, baselines, 1.5)
+        assert len(failures) == 2
+
+    def test_missing_report_fails(self, gate_dirs):
+        reports, baselines = gate_dirs
+        (reports / "BENCH_example.json").unlink()
+        failures, _ = check_regression.check(reports, baselines, 1.5)
+        assert any("report missing" in failure for failure in failures)
+
+    def test_missing_metric_fails(self, gate_dirs):
+        reports, baselines = gate_dirs
+        _write(reports / "BENCH_example.json", {"benchmark": "example", "metrics": {}})
+        failures, _ = check_regression.check(reports, baselines, 1.5)
+        assert any("absent" in failure for failure in failures)
+
+    def test_empty_baselines_fail(self, tmp_path):
+        (tmp_path / "baselines").mkdir()
+        (tmp_path / "reports").mkdir()
+        failures, _ = check_regression.check(
+            tmp_path / "reports", tmp_path / "baselines", 1.5
+        )
+        assert failures
+
+
+class TestSelfTest:
+    def test_catches_injected_slowdown(self, gate_dirs, capsys):
+        reports, baselines = gate_dirs
+        assert check_regression.self_test(reports, baselines, 1.5, 2.0) == 0
+        assert "is caught" in capsys.readouterr().out
+
+    def test_flags_toothless_injection_factor(self, gate_dirs, capsys):
+        reports, baselines = gate_dirs
+        assert check_regression.self_test(reports, baselines, 1.5, 1.2) > 0
+
+    def test_flags_already_regressed_report(self, gate_dirs):
+        reports, baselines = gate_dirs
+        _write(
+            reports / "BENCH_example.json",
+            {"benchmark": "example", "metrics": {"speedup": 1.0, "latency_ms": 50.0}},
+        )
+        assert check_regression.self_test(reports, baselines, 1.5, 2.0) > 0
+
+
+class TestCommittedBaselines:
+    """Against the real baselines — gated on locally generated reports.
+
+    ``benchmarks/reports/`` holds regenerable artifacts (gitignored); a
+    fresh checkout has none until the smoke benchmarks run, so these
+    tests skip rather than fail there.  The ``bench-regression`` CI job
+    runs the benchmarks first and then executes the gate for real.
+    """
+
+    @pytest.fixture(autouse=True)
+    def _require_reports(self):
+        baselines = sorted(check_regression.DEFAULT_BASELINES.glob("*.json"))
+        assert baselines, "committed baselines must exist"
+        missing = [
+            b.name
+            for b in baselines
+            if not (check_regression.DEFAULT_REPORTS / b.name).exists()
+        ]
+        if missing:
+            pytest.skip(f"benchmark reports not generated locally: {missing}")
+
+    def test_committed_reports_pass_the_committed_gate(self):
+        failures, lines = check_regression.check(
+            check_regression.DEFAULT_REPORTS,
+            check_regression.DEFAULT_BASELINES,
+            check_regression.DEFAULT_TOLERANCE,
+        )
+        assert failures == [], failures
+        assert lines
+
+    def test_cli_self_test_passes(self):
+        assert check_regression.main(["--self-test"]) == 0
