@@ -73,10 +73,12 @@ def main() -> None:
             )
 
     # A workload-style query: unemployed in at least 1 of the last 2 months.
+    # answer_series batch-evaluates the whole release table in one matmul.
     query = CategoryAtLeastM(WINDOW, ALPHABET, category=1, m=1)
+    times = list(range(WINDOW, HORIZON + 1, 2))
+    estimates = release.answer_series(query, times)
     print(f"\n'{query.name}' over time:")
-    for t in range(WINDOW, HORIZON + 1, 2):
-        estimate = release.answer(query, t)
+    for t, estimate in zip(times, estimates):
         truth = query.evaluate(panel, t)
         print(f"  t={t:2d}  estimate={estimate:.4f}  truth={truth:.4f}")
 

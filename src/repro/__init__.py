@@ -54,6 +54,7 @@ from repro.data import (
     categorical_iid,
     categorical_markov,
     churn_two_state_markov,
+    employment_status_panel,
     iid_bernoulli,
     load_sipp_2021,
     load_sipp_dynamic,
@@ -84,6 +85,7 @@ from repro.queries import (
     HammingExactly,
     PatternQuery,
     WindowLinearQuery,
+    categorical_pattern_table,
     quarterly_poverty_workload,
 )
 from repro.serve import ShardedService, StreamingSynthesizer
@@ -122,6 +124,7 @@ __all__ = [
     "churn_two_state_markov",
     "categorical_iid",
     "categorical_markov",
+    "employment_status_panel",
     "padding_panel",
     # queries
     "PatternQuery",
@@ -133,6 +136,7 @@ __all__ = [
     "CategoricalWindowQuery",
     "CategoricalPatternQuery",
     "CategoryAtLeastM",
+    "categorical_pattern_table",
     "HammingAtLeast",
     "HammingExactly",
     "quarterly_poverty_workload",

@@ -6,8 +6,14 @@
   preserving every Hamming-weight threshold count, generic over the stream
   counters in :mod:`repro.streams`.
 
-Supporting machinery: overlap-consistency projection
-(:mod:`repro.core.consistency`), padding (:mod:`repro.core.padding`),
+Both window synthesizers — the binary :class:`FixedWindowSynthesizer`
+and the multi-category :class:`CategoricalWindowSynthesizer` — are thin
+specializations of one alphabet-generic vectorized core,
+:mod:`repro.core.window_engine` (binary is the bit-exact ``q = 2``
+special case).
+
+Supporting machinery: overlap-consistency projection, binary and
+base-``q`` (:mod:`repro.core.consistency`), padding (:mod:`repro.core.padding`),
 cross-counter monotonization (:mod:`repro.core.monotonize`), per-threshold
 budget allocation (:mod:`repro.core.budget`), synthetic record stores
 (:mod:`repro.core.synthetic_store`), debiasing post-processing

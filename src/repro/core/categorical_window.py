@@ -2,7 +2,14 @@
 
 The paper (§1, "Our results"): "The solutions we develop for fixed time
 window queries naturally extend to handle categorical data with more than 2
-categories."  This module carries out that extension.
+categories."  This module carries out that extension as a first-class
+citizen of the production stack: :class:`CategoricalWindowSynthesizer` is
+the generic-``q`` instantiation of the shared
+:class:`~repro.core.window_engine.WindowEngine` — the same streaming loop,
+dynamic-population protocol (``entrants=`` / ``exits=``), synthetic store,
+zCDP ledger, and checkpoint machinery as the binary
+:class:`~repro.core.fixed_window.FixedWindowSynthesizer`, which is the
+``q = 2`` special case with a tighter paired rounding.
 
 With alphabet ``Sigma`` of size ``q``, the per-round histogram has ``q**k``
 bins.  When the window slides, a record whose window ended with the
@@ -15,32 +22,34 @@ and the correction distributes the group discrepancy
 ``D_z = M_z - sum_c C^_{zc}`` evenly: every child receives
 ``floor(D_z / q)`` and the residue ``D_z mod q`` goes to that many children
 chosen uniformly at random (the fair +-1/2 rounding of the binary case is
-the ``q = 2`` special case).  Padding, debiasing, privacy accounting, and
-the two-phase round structure are unchanged; the binary implementation in
-:mod:`repro.core.fixed_window` remains the optimized special case.
+the ``q = 2`` special case) — see
+:func:`~repro.core.consistency.apply_group_correction`.  Padding,
+debiasing, privacy accounting, and the two-phase round structure are
+unchanged.
+
+The ``engine`` knob selects the vectorized path (batched residue
+placement, one-argsort record extension; default) or the scalar reference
+loops (one draw per group residue, one draw per synthetic record);
+``benchmarks/bench_categorical_extension.py`` pins the speedup and both
+engines produce identical released histograms in noiseless mode.
 """
 
 from __future__ import annotations
 
-import math
-from fractions import Fraction
-
 import numpy as np
 
-from repro.analysis.theory import default_n_pad
+from repro.core.consistency import apply_group_correction
 from repro.core.debias import debias_count_answer
-from repro.data.categorical import CategoricalDataset, categorical_padding_panel
-from repro.dp.accountant import ZCDPAccountant
-from repro.dp.mechanisms import GaussianHistogramMechanism
+from repro.core.window_engine import WindowEngine, WindowRelease
+from repro.data.categorical import CategoricalDataset
 from repro.exceptions import (
     ConfigurationError,
-    ConsistencyError,
     DataValidationError,
-    NegativeCountError,
     NotFittedError,
+    SerializationError,
 )
 from repro.queries.categorical import CategoricalWindowQuery
-from repro.rng import SeedLike, as_generator
+from repro.rng import SeedLike
 
 __all__ = [
     "CategoricalWindowSynthesizer",
@@ -59,68 +68,56 @@ def apply_categorical_correction(
     alphabet: int,
     generator: np.random.Generator,
     on_negative: str = "redistribute",
+    method: str = "vectorized",
 ) -> tuple[np.ndarray, int]:
     """Project noisy categorical counts onto the consistency constraint.
 
-    ``previous_counts`` and ``noisy_counts`` have length ``q**k``.  Pattern
-    codes are base-``q`` big-endian, so the parents of overlap ``z`` are
-    codes ``c * q**(k-1) + z`` and its children are ``z * q + c``.
+    A thin alias for :func:`repro.core.consistency.apply_group_correction`
+    (where the projection now lives alongside its binary special case);
+    kept here because the categorical extension has always exported it.
 
-    Returns ``(new_counts, n_negative_events)``.
+    Parameters
+    ----------
+    previous_counts, noisy_counts:
+        Length-``q**k`` histograms at ``t`` and the noisy ``t+1``.
+    alphabet:
+        Number of categories ``q >= 2``.
+    generator:
+        Source of the residue-placement randomness.
+    on_negative:
+        ``"redistribute"`` (default) or ``"raise"``.
+    method:
+        ``"vectorized"`` (batched residue draw) or ``"scalar"``
+        (per-group reference loop).
+
+    Returns
+    -------
+    ``(new_counts, n_negative_events)``.
     """
-    if on_negative not in ("redistribute", "raise"):
-        raise ConfigurationError(
-            f"on_negative must be 'redistribute' or 'raise', got {on_negative!r}"
-        )
-    previous = np.asarray(previous_counts, dtype=np.int64)
-    noisy = np.asarray(noisy_counts, dtype=np.int64)
-    if previous.shape != noisy.shape:
-        raise ConfigurationError(
-            f"histogram shapes differ: {previous.shape} vs {noisy.shape}"
-        )
-    n_bins = previous.shape[0]
-    n_groups = n_bins // alphabet
-    # M_z: sum over the leading digit of the previous counts.
-    group_totals = previous.reshape(alphabet, n_groups).sum(axis=0)
-    children = noisy.reshape(n_groups, alphabet).copy()
-
-    discrepancy = group_totals - children.sum(axis=1)
-    base, residue = np.divmod(discrepancy, alphabet)
-    children += base[:, None]
-    # Distribute each group's residue (in [0, q)) to random children.
-    for z in np.flatnonzero(residue):
-        picks = generator.choice(alphabet, size=int(residue[z]), replace=False)
-        children[z, picks] += 1
-
-    negative_groups = (children < 0).any(axis=1)
-    n_events = int(negative_groups.sum())
-    if n_events and on_negative == "raise":
-        bad = int(np.flatnonzero(negative_groups)[0])
-        raise NegativeCountError(
-            f"target counts went negative for overlap group z={bad}: "
-            f"{children[bad].tolist()} (group total {group_totals[bad]}); "
-            "increase n_pad or use on_negative='redistribute'"
-        )
-    if n_events:
-        for z in np.flatnonzero(negative_groups):
-            row = np.maximum(children[z], 0)
-            excess = int(row.sum() - group_totals[z])
-            # Clamping only raises the sum, so excess >= 0; shave it from
-            # the largest children (fallback path outside the good event).
-            while excess > 0:
-                top = int(row.argmax())
-                take = min(excess, int(row[top]))
-                row[top] -= take
-                excess -= take
-            children[z] = row
-
-    return children.reshape(n_bins), n_events
+    return apply_group_correction(
+        previous_counts,
+        noisy_counts,
+        alphabet,
+        generator,
+        on_negative=on_negative,
+        method=method,
+    )
 
 
 def lift_categorical_weights(
     weights: np.ndarray, from_k: int, to_k: int, alphabet: int
 ) -> np.ndarray:
-    """Lift a width-``k'`` categorical weight vector to width ``k >= k'``."""
+    """Lift a width-``k'`` categorical weight vector to width ``k >= k'``.
+
+    Parameters
+    ----------
+    weights:
+        Length-``alphabet**from_k`` coefficient vector.
+    from_k, to_k:
+        Source and target window widths (``to_k >= from_k``).
+    alphabet:
+        Number of categories ``q >= 2``.
+    """
     weights = np.asarray(weights, dtype=np.float64)
     if weights.shape != (alphabet**from_k,):
         raise ConfigurationError(
@@ -132,98 +129,21 @@ def lift_categorical_weights(
     return weights[codes % (alphabet**from_k)]
 
 
-class _CategoricalStore:
-    """Synthetic categorical records with base-``q`` window-code bookkeeping."""
-
-    def __init__(
-        self,
-        initial_counts: np.ndarray,
-        window: int,
-        horizon: int,
-        alphabet: int,
-        generator: np.random.Generator,
-    ):
-        counts = np.asarray(initial_counts, dtype=np.int64)
-        if (counts < 0).any():
-            raise ConfigurationError("initial_counts must be non-negative")
-        self.window = window
-        self.horizon = horizon
-        self.alphabet = alphabet
-        self._generator = generator
-        self.m = int(counts.sum())
-        self._t = window
-        codes = np.repeat(np.arange(counts.shape[0], dtype=np.int64), counts)
-        generator.shuffle(codes)
-        self._codes = codes
-        self._matrix = np.zeros((self.m, horizon), dtype=np.int64)
-        for j in range(window):
-            self._matrix[:, j] = (codes // alphabet ** (window - 1 - j)) % alphabet
-
-    @property
-    def t(self) -> int:
-        return self._t
-
-    def counts(self) -> np.ndarray:
-        return np.bincount(
-            self._codes, minlength=self.alphabet**self.window
-        ).astype(np.int64)
-
-    def extend(self, target_counts: np.ndarray) -> None:
-        if self._t >= self.horizon:
-            raise ConsistencyError(f"store already materialized all {self.horizon} rounds")
-        target = np.asarray(target_counts, dtype=np.int64)
-        if (target < 0).any():
-            raise ConsistencyError("target_counts must be non-negative")
-        q = self.alphabet
-        n_groups = q ** (self.window - 1)
-        suffixes = self._codes % n_groups
-        group_targets = target.reshape(n_groups, q)
-        current_groups = np.bincount(suffixes, minlength=n_groups)
-        if not (group_targets.sum(axis=1) == current_groups).all():
-            raise ConsistencyError(
-                "target histogram violates the overlap-consistency constraint"
-            )
-        new_digit = np.empty(self.m, dtype=np.int64)
-        order = np.argsort(suffixes, kind="stable")
-        boundaries = np.searchsorted(suffixes[order], np.arange(n_groups + 1))
-        for z in range(n_groups):
-            members = order[boundaries[z] : boundaries[z + 1]]
-            if members.size == 0:
-                continue
-            shuffled = members[self._generator.permutation(members.size)]
-            start = 0
-            for c in range(q):
-                take = int(group_targets[z, c])
-                new_digit[shuffled[start : start + take]] = c
-                start += take
-        self._matrix[:, self._t] = new_digit
-        self._codes = suffixes * q + new_digit
-        self._t += 1
-
-    def as_dataset(self, t: int | None = None) -> CategoricalDataset:
-        t = self._t if t is None else t
-        if not self.window <= t <= self._t:
-            raise ConfigurationError(f"t must lie in [{self.window}, {self._t}], got {t}")
-        return CategoricalDataset(self._matrix[:, :t], self.alphabet)
-
-
-class CategoricalWindowRelease:
+class CategoricalWindowRelease(WindowRelease):
     """Release view of a categorical fixed-window run.
+
+    The categorical counterpart of
+    :class:`~repro.core.fixed_window.FixedWindowRelease`, sharing the
+    metadata and churn-aware population surface of
+    :class:`~repro.core.window_engine.WindowRelease`.
 
     Parameters
     ----------
     synthesizer:
         The owning :class:`CategoricalWindowSynthesizer`; the release is
-        a live view of its state, not a frozen copy.
+        a live view of its state (one cached instance per synthesizer),
+        not a frozen copy.
     """
-
-    def __init__(self, synthesizer: "CategoricalWindowSynthesizer"):
-        self._synth = synthesizer
-
-    @property
-    def window(self) -> int:
-        """Window width ``k``."""
-        return self._synth.window
 
     @property
     def alphabet(self) -> int:
@@ -233,64 +153,144 @@ class CategoricalWindowRelease:
     @property
     def n_pad(self) -> int:
         """Padding per bin (public)."""
-        return self._synth.n_pad
-
-    @property
-    def n_original(self) -> int:
-        """Number of real individuals ``n``."""
-        if self._synth._n is None:
-            raise NotFittedError("no data observed yet")
-        return self._synth._n
-
-    @property
-    def n_synthetic(self) -> int:
-        """Number of synthetic individuals."""
-        if self._synth._store is None:
-            raise NotFittedError("the first update step has not run yet")
-        return self._synth._store.m
-
-    @property
-    def negative_count_events(self) -> int:
-        """Groups that needed the negative-count fallback."""
-        return self._synth._negative_events
+        return self._synth.padding.n_pad
 
     def synthetic_data(self, t: int | None = None) -> CategoricalDataset:
         """The synthetic categorical panel through round ``t``."""
-        if self._synth._store is None:
+        store = self._synth._store
+        if store is None:
             raise NotFittedError("the first update step has not run yet")
-        return self._synth._store.as_dataset(t)
+        panel = store.as_dataset(t)
+        if not isinstance(panel, CategoricalDataset):
+            # The shared store hands q = 2 panels back as binary
+            # LongitudinalDatasets; this release's contract is categorical.
+            panel = CategoricalDataset(panel.matrix, self.alphabet)
+        return panel
 
-    def histogram(self, t: int) -> np.ndarray:
-        """Target synthetic histogram at round ``t`` (length ``q**k``)."""
-        try:
-            return self._synth._histograms[t].copy()
-        except KeyError:
-            raise NotFittedError(f"no histogram released for t={t}") from None
+    # -- query answering -----------------------------------------------
 
-    def released_times(self) -> list[int]:
-        """Rounds with a released histogram, ascending."""
-        return sorted(self._synth._histograms)
-
-    def answer(self, query: CategoricalWindowQuery, t: int, debias: bool = True) -> float:
-        """Answer a categorical window query of width <= ``k`` at round ``t``."""
-        query.check_time(t)
+    def _check_query(self, query: CategoricalWindowQuery) -> None:
+        """Reject queries over a different alphabet."""
         if query.alphabet != self.alphabet:
             raise ConfigurationError(
                 f"query alphabet {query.alphabet} != release alphabet {self.alphabet}"
             )
+
+    def answer(
+        self, query: CategoricalWindowQuery, t: int, debias: bool = True
+    ) -> float:
+        """Answer a categorical window query at round ``t``.
+
+        Queries of width ``k' <= k`` are answered from the maintained
+        width-``k`` histogram; wider queries are evaluated on the
+        synthetic records directly, with *no accuracy guarantee* — the
+        same caveat as the binary release.  With ``debias`` (default)
+        the publicly known padding contribution is subtracted and the
+        answer renormalized by the real population.
+
+        Parameters
+        ----------
+        query:
+            A :class:`~repro.queries.categorical.CategoricalWindowQuery`
+            over the release's alphabet.
+        t:
+            Round to answer at (``t >= query.k``).
+        debias:
+            Subtract the padding contribution and renormalize by ``n``
+            (default); otherwise return the biased fraction of the
+            synthetic population.
+        """
+        query.check_time(t)
+        self._check_query(query)
+        if query.k <= self.window:
+            weights = lift_categorical_weights(
+                query.weights, query.k, self.window, self.alphabet
+            )
+            count_answer = float(weights @ self.histogram(t))
+        else:
+            panel = self.synthetic_data(t)
+            # Entrants admitted after round t sit at the end of the record
+            # matrix; exclude them so record-level answers describe the
+            # round-t population (a no-op for static populations).
+            m_t = self.synthetic_population(t)
+            if m_t < panel.n_individuals:
+                panel = CategoricalDataset(panel.matrix[:m_t], self.alphabet)
+            count_answer = query.evaluate(panel, t) * panel.n_individuals
+        if not debias:
+            return count_answer / self.synthetic_population(t)
+        padding_count = self.padding.count_contribution(query)
+        return debias_count_answer(count_answer, padding_count, self.population(t))
+
+    def answer_series(
+        self, query: CategoricalWindowQuery, times=None, debias: bool = True
+    ) -> np.ndarray:
+        """Batch-answer one query over many released rounds at once.
+
+        One weight lift and one matrix product replace the per-round
+        :meth:`answer` loop: the released histograms are stacked into a
+        ``(len(times), q**k)`` table and multiplied by the lifted weight
+        vector, with the padding/debias arithmetic applied vectorized.
+        Agrees exactly with calling :meth:`answer` per round.
+
+        Parameters
+        ----------
+        query:
+            A width-``k' <= k`` query over the release's alphabet
+            (record-level wide queries have no batched path).
+        times:
+            Rounds to answer at (default: every released round at which
+            the query is defined).
+        debias:
+            As in :meth:`answer`.
+
+        Returns
+        -------
+        numpy.ndarray
+            One answer per requested round, in order.
+        """
+        self._check_query(query)
         if query.k > self.window:
             raise ConfigurationError(
-                f"query width {query.k} exceeds synthesizer window {self.window}"
+                f"answer_series answers histogram queries (width <= "
+                f"{self.window}); width-{query.k} queries need per-round "
+                "record evaluation via answer()"
             )
+        if times is None:
+            times = [t for t in self.released_times() if t >= query.min_time()]
+        times = [int(t) for t in times]
+        for t in times:
+            query.check_time(t)
+        if not times:
+            return np.zeros(0, dtype=np.float64)
         weights = lift_categorical_weights(
             query.weights, query.k, self.window, self.alphabet
         )
-        count_answer = float(weights @ self.histogram(t))
+        # histogram() raises NotFittedError for unreleased rounds, exactly
+        # like the per-round answer() path.
+        table = np.stack([self.histogram(t) for t in times])
+        counts = table @ weights
         if not debias:
-            return count_answer / self.n_synthetic
-        multiplicity = float(self.alphabet ** (self.window - query.k))
-        padding_count = self.n_pad * multiplicity * query.weight_sum
-        return debias_count_answer(count_answer, padding_count, self.n_original)
+            denominators = np.array(
+                [self.synthetic_population(t) for t in times], dtype=np.float64
+            )
+            self._check_denominators(denominators, times, "synthetic population")
+            return counts / denominators
+        padding_count = self.padding.count_contribution(query)
+        populations = np.array(
+            [self.population(t) for t in times], dtype=np.float64
+        )
+        self._check_denominators(populations, times, "n_original")
+        return (counts - padding_count) / populations
+
+    @staticmethod
+    def _check_denominators(values: np.ndarray, times, label: str) -> None:
+        """Raise like :func:`debias_count_answer` instead of emitting inf."""
+        bad = np.flatnonzero(values <= 0)
+        if bad.size:
+            t = times[int(bad[0])]
+            raise ConfigurationError(
+                f"{label} must be positive, got {int(values[bad[0]])} at t={t}"
+            )
 
     def __repr__(self) -> str:
         return (
@@ -299,14 +299,52 @@ class CategoricalWindowRelease:
         )
 
 
-class CategoricalWindowSynthesizer:
+class CategoricalWindowSynthesizer(WindowEngine):
     """Fixed-window continual synthesizer over a categorical alphabet.
 
     Parameters mirror
     :class:`~repro.core.fixed_window.FixedWindowSynthesizer` plus
-    ``alphabet`` (the number of categories ``q >= 2``); the binary class is
-    the ``q = 2`` special case with a tighter rounding analysis.
+    ``alphabet`` (the number of categories ``q >= 2``) and ``engine``;
+    the binary class is the ``q = 2`` special case with a tighter
+    rounding analysis.  The full streaming surface — churn-aware
+    :meth:`~repro.core.window_engine.WindowEngine.observe_column`,
+    checkpointing via
+    :meth:`~repro.core.window_engine.WindowEngine.state_dict` /
+    :meth:`~repro.core.window_engine.WindowEngine.load_state`, and the
+    serving stack (:mod:`repro.serve`) — is inherited from the shared
+    engine.
+
+    Parameters
+    ----------
+    horizon:
+        Known time horizon ``T``.
+    window:
+        Window width ``k`` (``1 <= k <= T``; ``alphabet**window`` bins
+        must stay under 65536).
+    alphabet:
+        Number of categories ``q >= 2``.
+    rho:
+        Total zCDP budget; ``math.inf`` disables noise.
+    n_pad:
+        Padding per bin (``None``: the Theorem 3.2 value over ``q**k``
+        bins).
+    beta:
+        Target failure probability used when auto-sizing ``n_pad``.
+    on_negative:
+        ``"redistribute"`` (default) or ``"raise"``.
+    sensitivity:
+        Histogram L2 sensitivity for noise calibration.
+    noise_method:
+        ``"exact"`` or ``"vectorized"`` discrete Gaussian backend.
+    engine:
+        ``"vectorized"`` (batched scatter-op projection and extension,
+        default) or ``"scalar"`` (reference loops); ``None`` consults
+        ``$REPRO_ENGINE`` like the cumulative synthesizer's counter
+        engine.
     """
+
+    algorithm = "categorical_window"
+    _max_bins = _MAX_BINS
 
     def __init__(
         self,
@@ -321,123 +359,28 @@ class CategoricalWindowSynthesizer:
         sensitivity: float = 1.0,
         seed: SeedLike = None,
         noise_method: str = "exact",
+        engine: str | None = None,
     ):
-        if horizon <= 0:
-            raise ConfigurationError(f"horizon must be positive, got {horizon}")
-        if not 1 <= window <= horizon:
-            raise ConfigurationError(
-                f"window must lie in [1, horizon={horizon}], got {window}"
-            )
-        if alphabet < 2:
-            raise ConfigurationError(f"alphabet must be at least 2, got {alphabet}")
-        if alphabet**window > _MAX_BINS:
-            raise ConfigurationError(
-                f"alphabet**window = {alphabet**window} bins exceeds the "
-                f"{_MAX_BINS} limit; reduce the window or the alphabet"
-            )
-        if not rho > 0:
-            raise ConfigurationError(f"rho must be positive (or math.inf), got {rho}")
-        if on_negative not in ("redistribute", "raise"):
-            raise ConfigurationError(
-                f"on_negative must be 'redistribute' or 'raise', got {on_negative!r}"
-            )
-        self.horizon = int(horizon)
-        self.window = int(window)
-        self.alphabet = int(alphabet)
-        self.rho = float(rho)
-        self.on_negative = on_negative
-        self._generator = as_generator(seed)
-
-        self.update_steps = self.horizon - self.window + 1
-        if math.isinf(self.rho):
-            sigma_sq = Fraction(0)
-            self.accountant = None
-        else:
-            sigma_sq = Fraction(self.update_steps) / (
-                2 * Fraction(self.rho).limit_denominator(10**12)
-            )
-            self.accountant = ZCDPAccountant(self.rho)
-        self.sigma_sq = sigma_sq
-        self._mechanism = GaussianHistogramMechanism(
-            n_bins=self.alphabet**self.window,
-            sigma_sq=sigma_sq,
+        super().__init__(
+            horizon,
+            window,
+            rho,
+            alphabet=alphabet,
+            n_pad=n_pad,
+            beta=beta,
+            on_negative=on_negative,
             sensitivity=sensitivity,
-            seed=self._generator,
-            method=noise_method,
+            seed=seed,
+            noise_method=noise_method,
+            engine=engine,
         )
-        if n_pad is None:
-            if math.isinf(self.rho):
-                n_pad = 0
-            else:
-                n_pad = default_n_pad(
-                    self.horizon, self.window, self.rho, beta, alphabet=self.alphabet
-                )
-        self.n_pad = int(n_pad)
 
-        self._t = 0
-        self._n: int | None = None
-        self._window_codes: np.ndarray | None = None
-        self._recent_columns: list[np.ndarray] = []
-        self._store: _CategoricalStore | None = None
-        self._histograms: dict[int, np.ndarray] = {}
-        self._negative_events = 0
-
-    @property
-    def t(self) -> int:
-        """Rounds observed so far."""
-        return self._t
-
-    @property
-    def release(self) -> CategoricalWindowRelease:
-        """View of everything released so far."""
+    def _make_release(self) -> CategoricalWindowRelease:
+        """Build the cached categorical release view."""
         return CategoricalWindowRelease(self)
 
-    def padding_panel(self) -> CategoricalDataset:
-        """The materialized de Bruijn padding population (public)."""
-        return categorical_padding_panel(
-            self.window, self.n_pad, self.horizon, self.alphabet
-        )
-
-    def observe_column(self, column) -> CategoricalWindowRelease:
-        """Consume the round-``t`` categorical report vector and update."""
-        column = np.asarray(column)
-        if column.ndim != 1:
-            raise DataValidationError(f"column must be 1-D, got shape {column.shape}")
-        if column.size and (column.min() < 0 or column.max() >= self.alphabet):
-            raise DataValidationError(
-                f"column entries must lie in [0, {self.alphabet})"
-            )
-        if self._n is None:
-            self._n = int(column.shape[0])
-        elif column.shape[0] != self._n:
-            raise DataValidationError(
-                f"column has {column.shape[0]} entries, expected n={self._n}"
-            )
-        if self._t >= self.horizon:
-            raise DataValidationError(f"horizon {self.horizon} already exhausted")
-        self._t += 1
-        column = column.astype(np.int64)
-
-        if self._t < self.window:
-            self._recent_columns.append(column)
-            return self.release
-        q = self.alphabet
-        if self._t == self.window:
-            codes = np.zeros(self._n, dtype=np.int64)
-            for past in self._recent_columns:
-                codes = codes * q + past
-            codes = codes * q + column
-            self._recent_columns = []
-        else:
-            codes = (self._window_codes % q ** (self.window - 1)) * q + column
-        self._window_codes = codes
-
-        true_counts = np.bincount(codes, minlength=q**self.window).astype(np.int64)
-        self._update_step(true_counts)
-        return self.release
-
-    def run(self, dataset: CategoricalDataset) -> CategoricalWindowRelease:
-        """Batch driver over a categorical panel."""
+    def _check_dataset(self, dataset) -> None:
+        """Batch runs consume a matching :class:`CategoricalDataset`."""
         if not isinstance(dataset, CategoricalDataset):
             raise DataValidationError("run() expects a CategoricalDataset")
         if dataset.alphabet != self.alphabet:
@@ -445,44 +388,54 @@ class CategoricalWindowSynthesizer:
                 f"dataset alphabet {dataset.alphabet} != synthesizer alphabet "
                 f"{self.alphabet}"
             )
-        if dataset.horizon != self.horizon:
-            raise DataValidationError(
-                f"dataset horizon {dataset.horizon} != synthesizer horizon {self.horizon}"
-            )
-        if self._t:
-            raise ConfigurationError("run() requires a fresh synthesizer")
-        for column in dataset.columns():
-            self.observe_column(column)
-        return self.release
+        super()._check_dataset(dataset)
 
-    def _update_step(self, true_counts: np.ndarray) -> None:
-        if self.accountant is not None:
-            self.accountant.charge(
-                self._mechanism.rho_per_release,
-                label=f"categorical histogram t={self._t}",
+    def config_dict(self) -> dict:
+        """The constructor arguments needed to rebuild this synthesizer.
+
+        Returns
+        -------
+        dict
+            The shared engine keys
+            (:meth:`~repro.core.window_engine.WindowEngine.config_dict`)
+            plus ``alphabet`` and ``engine``.
+        """
+        config = super().config_dict()
+        config["alphabet"] = self.alphabet
+        config["engine"] = self.engine
+        return config
+
+    @classmethod
+    def from_config(cls, config: dict) -> "CategoricalWindowSynthesizer":
+        """Rebuild a fresh synthesizer from :meth:`config_dict` output.
+
+        Parameters
+        ----------
+        config:
+            A mapping produced by :meth:`config_dict`.
+
+        Returns
+        -------
+        CategoricalWindowSynthesizer
+            An unfitted synthesizer with the same configuration, ready
+            for :meth:`~repro.core.window_engine.WindowEngine.load_state`.
+
+        Raises
+        ------
+        repro.exceptions.SerializationError
+            If required keys are missing or fail constructor validation.
+        """
+        try:
+            return cls(
+                int(config["horizon"]),
+                int(config["window"]),
+                int(config["alphabet"]),
+                float(config["rho"]),
+                n_pad=int(config["n_pad"]),
+                on_negative=str(config["on_negative"]),
+                sensitivity=float(config["sensitivity"]),
+                noise_method=str(config["noise_method"]),
+                engine=str(config["engine"]),
             )
-        noisy = self._mechanism.release(true_counts + self.n_pad)
-        if self._store is None:
-            initial = noisy
-            negative = initial < 0
-            if negative.any():
-                if self.on_negative == "raise":
-                    bad = int(np.flatnonzero(negative)[0])
-                    raise NegativeCountError(
-                        f"initial noisy count for bin {bad} is {initial[bad]}; "
-                        "increase n_pad or use on_negative='redistribute'"
-                    )
-                self._negative_events += int(negative.sum())
-                initial = np.clip(initial, 0, None)
-            self._store = _CategoricalStore(
-                initial, self.window, self.horizon, self.alphabet, self._generator
-            )
-            self._histograms[self._t] = initial.astype(np.int64)
-            return
-        previous = self._histograms[self._t - 1]
-        new_counts, events = apply_categorical_correction(
-            previous, noisy, self.alphabet, self._generator, on_negative=self.on_negative
-        )
-        self._negative_events += events
-        self._store.extend(new_counts)
-        self._histograms[self._t] = new_counts
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SerializationError(f"invalid categorical-window config: {exc}") from exc

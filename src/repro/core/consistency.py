@@ -20,6 +20,13 @@ Pattern-code conventions (big-endian, oldest bit first — matching
 
 * pattern ``0z`` has code ``z``; pattern ``1z`` has code ``z + 2**(k-1)``;
 * pattern ``z0`` has code ``2 z``; pattern ``z1`` has code ``2 z + 1``.
+
+The base-``q`` generalization (:func:`apply_group_correction` /
+:func:`group_totals` / :func:`check_group_consistency`) lives here too:
+the paper's categorical extension distributes each overlap group's
+discrepancy evenly over its ``q`` children, and the binary pair
+correction is exactly its ``q = 2`` case with the tighter fair-rounding
+analysis.
 """
 
 from __future__ import annotations
@@ -28,7 +35,14 @@ import numpy as np
 
 from repro.exceptions import ConfigurationError, NegativeCountError
 
-__all__ = ["apply_overlap_correction", "pair_totals", "check_window_consistency"]
+__all__ = [
+    "apply_overlap_correction",
+    "apply_group_correction",
+    "pair_totals",
+    "group_totals",
+    "check_window_consistency",
+    "check_group_consistency",
+]
 
 
 def pair_totals(previous_counts: np.ndarray) -> np.ndarray:
@@ -124,3 +138,167 @@ def check_window_consistency(previous_counts: np.ndarray, new_counts: np.ndarray
         return False
     totals = pair_totals(previous_counts)
     return bool((new[0::2] + new[1::2] == totals).all())
+
+
+# ----------------------------------------------------------------------
+# Base-q generalization (the paper's categorical extension)
+# ----------------------------------------------------------------------
+
+
+def group_totals(previous_counts: np.ndarray, alphabet: int) -> np.ndarray:
+    """``M_z = sum_c p_{cz}^t`` for every ``(k-1)``-digit suffix ``z``.
+
+    The base-``q`` generalization of :func:`pair_totals`:
+    ``previous_counts`` is the length-``q**k`` synthetic histogram at time
+    ``t`` (base-``q`` big-endian pattern codes, so the parents of overlap
+    ``z`` are codes ``c * q**(k-1) + z``); the result has length
+    ``q**(k-1)``.
+
+    Parameters
+    ----------
+    previous_counts:
+        Length-``q**k`` histogram.
+    alphabet:
+        Number of categories ``q >= 2``.
+    """
+    counts = np.asarray(previous_counts, dtype=np.int64)
+    if alphabet < 2:
+        raise ConfigurationError(f"alphabet must be at least 2, got {alphabet}")
+    n_bins = counts.shape[0]
+    n_groups, remainder = divmod(n_bins, alphabet)
+    if counts.ndim != 1 or n_groups == 0 or remainder:
+        raise ConfigurationError(
+            f"histogram length must be a positive multiple of {alphabet}, got {n_bins}"
+        )
+    return counts.reshape(alphabet, n_groups).sum(axis=0)
+
+
+def apply_group_correction(
+    previous_counts: np.ndarray,
+    noisy_counts: np.ndarray,
+    alphabet: int,
+    generator: np.random.Generator,
+    on_negative: str = "redistribute",
+    method: str = "vectorized",
+) -> tuple[np.ndarray, int]:
+    """Project noisy base-``q`` counts onto the consistency constraint set.
+
+    The categorical generalization of :func:`apply_overlap_correction`:
+    with overlap group totals ``M_z`` (:func:`group_totals`), each group's
+    discrepancy ``D_z = M_z - sum_c C^_{zc}`` is distributed evenly — every
+    child ``zc`` receives ``floor(D_z / q)`` and the residue ``D_z mod q``
+    goes to that many children chosen uniformly at random (the fair
+    ``+-1/2`` rounding of the binary case is ``q = 2``).
+
+    Parameters
+    ----------
+    previous_counts:
+        Synthetic histogram ``p^t`` (length ``q**k``, non-negative ints).
+    noisy_counts:
+        Noisy padded histogram ``C^_{t+1}`` (length ``q**k`` ints,
+        possibly negative).
+    alphabet:
+        Number of categories ``q >= 2``.
+    generator:
+        Source of the residue-placement randomness.
+    on_negative:
+        ``"redistribute"`` clamps a negative target into ``[0, M_z]``
+        while keeping the group total (the documented deviation outside
+        the good event); ``"raise"`` raises :class:`NegativeCountError`.
+    method:
+        ``"vectorized"`` places every group's residue with one batched
+        key draw and argsort; ``"scalar"`` is the per-group reference
+        loop (one ``generator.choice`` call per group with a residue).
+        Both produce the same uniform law from different generator
+        streams.
+
+    Returns
+    -------
+    ``(new_counts, n_negative_events)`` — the consistent histogram
+    ``p^{t+1}`` and how many groups needed the negative-count fallback.
+    """
+    if on_negative not in ("redistribute", "raise"):
+        raise ConfigurationError(
+            f"on_negative must be 'redistribute' or 'raise', got {on_negative!r}"
+        )
+    if method not in ("vectorized", "scalar"):
+        raise ConfigurationError(
+            f"method must be 'vectorized' or 'scalar', got {method!r}"
+        )
+    previous = np.asarray(previous_counts, dtype=np.int64)
+    noisy = np.asarray(noisy_counts, dtype=np.int64)
+    if previous.shape != noisy.shape:
+        raise ConfigurationError(
+            f"histogram shapes differ: {previous.shape} vs {noisy.shape}"
+        )
+    totals = group_totals(previous, alphabet)  # M_z, length q**(k-1)
+    n_bins = previous.shape[0]
+    n_groups = n_bins // alphabet
+    children = noisy.reshape(n_groups, alphabet).copy()
+
+    discrepancy = totals - children.sum(axis=1)
+    base, residue = np.divmod(discrepancy, alphabet)
+    children += base[:, None]
+    with_residue = np.flatnonzero(residue)
+    if with_residue.size:
+        if method == "vectorized":
+            # One key per (group, child); each group's residue goes to the
+            # children holding its smallest keys — a batched uniform
+            # without-replacement draw for every group at once.
+            keys = generator.random((with_residue.size, alphabet))
+            ranks = np.argsort(np.argsort(keys, axis=1), axis=1)
+            children[with_residue] += ranks < residue[with_residue, None]
+        else:
+            for z in with_residue:
+                picks = generator.choice(
+                    alphabet, size=int(residue[z]), replace=False
+                )
+                children[z, picks] += 1
+
+    negative_groups = (children < 0).any(axis=1)
+    n_events = int(negative_groups.sum())
+    if n_events and on_negative == "raise":
+        bad = int(np.flatnonzero(negative_groups)[0])
+        raise NegativeCountError(
+            f"target counts went negative for overlap group z={bad}: "
+            f"{children[bad].tolist()} (group total {totals[bad]}); "
+            "increase n_pad or use on_negative='redistribute'"
+        )
+    if n_events:
+        for z in np.flatnonzero(negative_groups):
+            row = np.maximum(children[z], 0)
+            excess = int(row.sum() - totals[z])
+            # Clamping only raises the sum, so excess >= 0; shave it from
+            # the largest children (fallback path outside the good event).
+            while excess > 0:
+                top = int(row.argmax())
+                take = min(excess, int(row[top]))
+                row[top] -= take
+                excess -= take
+            children[z] = row
+
+    return children.reshape(n_bins), n_events
+
+
+def check_group_consistency(
+    previous_counts: np.ndarray, new_counts: np.ndarray, alphabet: int
+) -> bool:
+    """True iff ``p^{t+1}`` is base-``q`` feasible given ``p^t``.
+
+    The categorical counterpart of :func:`check_window_consistency`: the
+    children of every overlap group must be non-negative and sum to the
+    group total ``M_z``.
+
+    Parameters
+    ----------
+    previous_counts, new_counts:
+        Length-``q**k`` histograms at ``t`` and ``t+1``.
+    alphabet:
+        Number of categories ``q >= 2``.
+    """
+    new = np.asarray(new_counts, dtype=np.int64)
+    if (new < 0).any():
+        return False
+    totals = group_totals(previous_counts, alphabet)
+    child_sums = new.reshape(totals.shape[0], alphabet).sum(axis=1)
+    return bool((child_sums == totals).all())

@@ -16,6 +16,14 @@ The whole run satisfies ``rho``-zCDP (Theorem 3.1); every bin count is
 within the Theorem 3.2 bound of ``C_s^t + n_pad`` with probability
 ``1 - beta``, and the debiased answers are unbiased (§3.2).
 
+Structurally, :class:`FixedWindowSynthesizer` is the ``q = 2``
+specialization of the alphabet-generic
+:class:`~repro.core.window_engine.WindowEngine`: it pins the paper's fair
+``+-1/2`` pair rounding and the binary column validation, and its outputs
+are bit-exact — noise draws and zCDP ledger included — with the
+pre-engine standalone implementation.  The multi-category instantiation
+is :class:`~repro.core.categorical_window.CategoricalWindowSynthesizer`.
+
 Typical use::
 
     synth = FixedWindowSynthesizer(horizon=12, window=3, rho=0.005, seed=0)
@@ -31,44 +39,32 @@ or streaming, one report vector per round::
 
 from __future__ import annotations
 
-import math
-from fractions import Fraction
-
 import numpy as np
 
-from repro.core.consistency import apply_overlap_correction, check_window_consistency
 from repro.core.debias import debias_count_answer, lift_window_weights
-from repro.core.padding import PaddingSpec
-from repro.core.population import PopulationLedger
-from repro.core.synthetic_store import WindowSyntheticStore
-from repro.data.dataset import DynamicPanel, LongitudinalDataset
-from repro.dp.accountant import ZCDPAccountant
-from repro.dp.mechanisms import GaussianHistogramMechanism
+from repro.core.window_engine import WindowEngine, WindowRelease
+from repro.data.dataset import LongitudinalDataset
 from repro.exceptions import (
     ConfigurationError,
     DataValidationError,
-    NegativeCountError,
     NotFittedError,
     SerializationError,
 )
 from repro.queries.base import WindowQuery
-from repro.rng import (
-    SeedLike,
-    as_generator,
-    generator_state,
-    restore_generator_state,
-)
+from repro.rng import SeedLike
 
 __all__ = ["FixedWindowSynthesizer", "FixedWindowRelease"]
 
 
-class FixedWindowRelease:
+class FixedWindowRelease(WindowRelease):
     """The public artifact of a fixed-window run.
 
     Wraps the synthetic panel, the per-round target histograms, and the
     public padding parameters; answers any window query of width at most
     ``k`` directly from the maintained histograms (debiased by default) and
-    wider queries from the records themselves.
+    wider queries from the records themselves.  The metadata and
+    churn-aware population surface is the shared
+    :class:`~repro.core.window_engine.WindowRelease`.
 
     Parameters
     ----------
@@ -78,95 +74,12 @@ class FixedWindowRelease:
         not a frozen copy.
     """
 
-    def __init__(self, synthesizer: "FixedWindowSynthesizer"):
-        self._synth = synthesizer
-
-    # -- metadata ------------------------------------------------------
-
-    @property
-    def window(self) -> int:
-        """Window width ``k``."""
-        return self._synth.window
-
-    @property
-    def padding(self) -> PaddingSpec:
-        """Public padding parameters (``n_pad`` per bin)."""
-        return self._synth.padding
-
-    @property
-    def n_original(self) -> int:
-        """Real individuals ever admitted (equals ``n`` when static)."""
-        if self._synth._n is None:
-            raise NotFittedError("no data observed yet")
-        return self._synth._ledger.n_ever
-
-    def population(self, t: int) -> int:
-        """Real individuals admitted by round ``t`` (the debias denominator).
-
-        Parameters
-        ----------
-        t:
-            1-indexed round.  Static populations return ``n`` for every
-            round; under churn this is the ever-admitted count as of
-            ``t`` — departed individuals keep counting under the
-            zero-fill convention.
-        """
-        if self._synth._n is None:
-            raise NotFittedError("no data observed yet")
-        return self._synth._ledger.n_ever_at(t)
-
-    def synthetic_population(self, t: int) -> int:
-        """Synthetic records materialized by round ``t``.
-
-        The denominator of biased (``debias=False``) answers; equals
-        ``n_synthetic`` for static populations, and excludes records
-        admitted for entrants after round ``t`` under churn.
-
-        Parameters
-        ----------
-        t:
-            1-indexed round.
-        """
-        ledger = self._synth._ledger
-        return self.n_synthetic - (ledger.n_ever - ledger.n_ever_at(t))
-
-    @property
-    def n_synthetic(self) -> int:
-        """Number of synthetic individuals ``n* = sum_s p_s^k``."""
-        store = self._synth._store
-        if store is None:
-            raise NotFittedError("the first update step has not run yet")
-        return store.m
-
-    @property
-    def t(self) -> int:
-        """Rounds released so far."""
-        return self._synth.t
-
-    @property
-    def negative_count_events(self) -> int:
-        """How many pair targets needed the negative-count fallback."""
-        return self._synth._negative_events
-
-    # -- released data -------------------------------------------------
-
     def synthetic_data(self, t: int | None = None) -> LongitudinalDataset:
         """The synthetic panel through round ``t`` (default: latest)."""
         store = self._synth._store
         if store is None:
             raise NotFittedError("the first update step has not run yet")
         return store.as_dataset(t)
-
-    def histogram(self, t: int) -> np.ndarray:
-        """Target synthetic histogram ``p^t`` (length ``2**k``)."""
-        try:
-            return self._synth._histograms[t].copy()
-        except KeyError:
-            raise NotFittedError(f"no histogram released for t={t}") from None
-
-    def released_times(self) -> list[int]:
-        """Rounds with a released histogram, ascending."""
-        return sorted(self._synth._histograms)
 
     # -- query answering -----------------------------------------------
 
@@ -230,8 +143,13 @@ class FixedWindowRelease:
         )
 
 
-class FixedWindowSynthesizer:
+class FixedWindowSynthesizer(WindowEngine):
     """Algorithm 1 — continual synthetic data for window histograms.
+
+    The binary (``q = 2``) specialization of
+    :class:`~repro.core.window_engine.WindowEngine`; see the engine for
+    the streaming/churn/checkpoint machinery shared with the categorical
+    synthesizer.
 
     Parameters
     ----------
@@ -258,6 +176,8 @@ class FixedWindowSynthesizer:
         ``"exact"`` or ``"vectorized"`` discrete Gaussian backend.
     """
 
+    algorithm = "fixed_window"
+
     def __init__(
         self,
         horizon: int,
@@ -271,263 +191,43 @@ class FixedWindowSynthesizer:
         seed: SeedLike = None,
         noise_method: str = "exact",
     ):
-        if horizon <= 0:
-            raise ConfigurationError(f"horizon must be positive, got {horizon}")
-        if not 1 <= window <= horizon:
-            raise ConfigurationError(
-                f"window must lie in [1, horizon={horizon}], got {window}"
-            )
-        if not rho > 0:
-            raise ConfigurationError(f"rho must be positive (or math.inf), got {rho}")
-        if on_negative not in ("redistribute", "raise"):
-            raise ConfigurationError(
-                f"on_negative must be 'redistribute' or 'raise', got {on_negative!r}"
-            )
-        self.horizon = int(horizon)
-        self.window = int(window)
-        self.rho = float(rho)
-        self.on_negative = on_negative
-        self.sensitivity = float(sensitivity)
-        self.noise_method = noise_method
-        self._generator = as_generator(seed)
-
-        self.update_steps = self.horizon - self.window + 1
-        if math.isinf(self.rho):
-            sigma_sq = Fraction(0)
-            self.accountant = None
-        else:
-            sigma_sq = Fraction(self.update_steps) / (
-                2 * Fraction(self.rho).limit_denominator(10**12)
-            )
-            self.accountant = ZCDPAccountant(self.rho)
-        self.sigma_sq = sigma_sq
-        self._mechanism = GaussianHistogramMechanism(
-            n_bins=1 << self.window,
-            sigma_sq=sigma_sq,
+        super().__init__(
+            horizon,
+            window,
+            rho,
+            alphabet=2,
+            n_pad=n_pad,
+            beta=beta,
+            on_negative=on_negative,
             sensitivity=sensitivity,
-            seed=self._generator,
-            method=noise_method,
+            seed=seed,
+            noise_method=noise_method,
+            engine="vectorized",
         )
 
-        if n_pad is None:
-            if math.isinf(self.rho):
-                n_pad = 0
-            else:
-                n_pad = PaddingSpec.auto(self.horizon, self.window, self.rho, beta).n_pad
-        self.padding = PaddingSpec(window=self.window, n_pad=int(n_pad), horizon=self.horizon)
+    def _make_release(self) -> FixedWindowRelease:
+        """Build the cached binary release view."""
+        return FixedWindowRelease(self)
 
-        self._t = 0
-        self._n: int | None = None  # initial (round-1) population
-        self._ledger: PopulationLedger | None = None
-        self._window_codes: np.ndarray | None = None  # original-data codes
-        self._recent_columns: list[np.ndarray] = []  # first k-1 columns buffer
-        self._store: WindowSyntheticStore | None = None
-        self._histograms: dict[int, np.ndarray] = {}
-        self._negative_events = 0
-        self._release_view = FixedWindowRelease(self)
-
-    # ------------------------------------------------------------------
-    # Streaming API
-    # ------------------------------------------------------------------
-
-    @property
-    def t(self) -> int:
-        """Rounds observed so far."""
-        return self._t
-
-    @property
-    def release(self) -> FixedWindowRelease:
-        """View of everything released so far (one cached instance)."""
-        return self._release_view
-
-    def observe_column(self, column, *, entrants: int = 0, exits=None) -> FixedWindowRelease:
-        """Consume the round-``t`` report vector ``D_t`` and update.
-
-        Before round ``k`` the reports are only buffered (the first release
-        happens once a full window exists).  Returns the release view for
-        convenience.
-
-        Parameters
-        ----------
-        column:
-            The round's 0/1 reports, one entry per *currently active*
-            individual in ascending id (admission) order; this round's
-            entrants report in the final ``entrants`` entries.
-        entrants:
-            Number of individuals entering this round.  Under the
-            zero-fill convention an entrant's pre-entry history is the
-            all-zero report, so their window code starts from the
-            all-zero pattern.
-        exits:
-            Ids of previously active individuals absent from this round
-            on (permanent; their window codes decay through structural
-            zeros).  Retiring a departed or unknown id raises.
-
-        Raises
-        ------
-        repro.exceptions.DataValidationError
-            On non-binary input, a column length that disagrees with the
-            declared churn, rounds past the horizon, or invalid churn
-            declarations.
-        """
-        column = np.asarray(column)
-        if column.ndim != 1:
-            raise DataValidationError(f"column must be 1-D, got shape {column.shape}")
+    def _validate_column_values(self, column: np.ndarray) -> None:
+        """Binary panels accept literal 0/1 reports only."""
         if column.size and not np.isin(column, (0, 1)).all():
             raise DataValidationError("column entries must be 0 or 1")
-        entrants = int(entrants)
-        if entrants < 0:
-            raise DataValidationError(f"entrants must be non-negative, got {entrants}")
-        exit_ids = np.asarray([] if exits is None else exits, dtype=np.int64)
-        if self._n is None:
-            if exit_ids.size:
-                raise DataValidationError(
-                    "round 1 admits the initial population; nobody can exit yet"
-                )
-            if entrants > column.shape[0]:
-                raise DataValidationError(
-                    f"round 1 declares {entrants} entrants but the column has "
-                    f"only {column.shape[0]} reports"
-                )
-            self._n = int(column.shape[0])
-            self._ledger = PopulationLedger()
-            self._ledger.admit(self._n, 1)
-            exit_count = 0
-        else:
-            expected = self._ledger.n_active - exit_ids.size + entrants
-            if column.shape[0] != expected:
-                raise DataValidationError(
-                    f"column has {column.shape[0]} entries, expected {expected} "
-                    f"(n_active={self._ledger.n_active}, {exit_ids.size} exits, "
-                    f"{entrants} entrants)"
-                )
-            if self._t >= self.horizon:
-                raise DataValidationError(f"horizon {self.horizon} already exhausted")
-            self._ledger.retire(exit_ids, self._t + 1)
-            self._ledger.admit(entrants, self._t + 1)
-            exit_count = int(exit_ids.size)
-            if entrants:
-                # Zero-fill the entrants' pre-entry history: all-zero
-                # window codes and all-zero buffered reports.
-                if self._window_codes is not None:
-                    self._window_codes = np.concatenate(
-                        [self._window_codes, np.zeros(entrants, dtype=np.int64)]
-                    )
-                if self._recent_columns:
-                    self._recent_columns = [
-                        np.pad(past, (0, entrants)) for past in self._recent_columns
-                    ]
-        # Rounds past the horizon were rejected above (round 1 cannot
-        # exceed it: the constructor requires horizon >= window >= 1).
-        self._t += 1
-        column = column.astype(np.int64)
-        full_column = self._ledger.scatter_column(column)
-
-        if self._t < self.window:
-            self._recent_columns.append(full_column)
-            return self.release
-
-        # Maintain each individual's current k-bit window code over the
-        # ever-admitted population (departed ids decay through zeros).
-        n_ever = self._ledger.n_ever
-        if self._t == self.window:
-            codes = np.zeros(n_ever, dtype=np.int64)
-            for past in self._recent_columns:
-                codes = (codes << 1) | past
-            codes = (codes << 1) | full_column
-            self._recent_columns = []
-        else:
-            half_mask = (1 << (self.window - 1)) - 1
-            codes = ((self._window_codes & half_mask) << 1) | full_column
-        self._window_codes = codes
-
-        true_counts = np.bincount(codes, minlength=1 << self.window).astype(np.int64)
-        self._update_step(true_counts, entrants=entrants, exit_count=exit_count)
-        return self.release
-
-    def run(self, dataset) -> FixedWindowRelease:
-        """Batch driver: feed every column of ``dataset`` and return the release.
-
-        Parameters
-        ----------
-        dataset:
-            A static :class:`~repro.data.dataset.LongitudinalDataset` or
-            a :class:`~repro.data.dataset.DynamicPanel`, whose per-round
-            entry/exit events are replayed through
-            :meth:`observe_column`'s churn parameters.
-        """
-        if dataset.horizon != self.horizon:
-            raise DataValidationError(
-                f"dataset horizon {dataset.horizon} != synthesizer horizon {self.horizon}"
-            )
-        if self._t:
-            raise ConfigurationError("run() requires a fresh synthesizer")
-        if isinstance(dataset, DynamicPanel):
-            for column, entrants, round_exits in dataset.rounds():
-                self.observe_column(column, entrants=entrants, exits=round_exits)
-        else:
-            for column in dataset.columns():
-                self.observe_column(column)
-        return self.release
-
-    def lifespans(self) -> np.ndarray:
-        """Per-individual ``(entry_round, exit_round)`` pairs observed so far.
-
-        Returns
-        -------
-        numpy.ndarray
-            Shape ``(n_ever, 2)``; ``exit_round`` 0 marks a still-active
-            individual.
-
-        Raises
-        ------
-        repro.exceptions.NotFittedError
-            Before any data has been observed.
-        """
-        if self._ledger is None:
-            raise NotFittedError("no data observed yet")
-        return self._ledger.lifespans()
-
-    # ------------------------------------------------------------------
-    # Checkpointing
-    # ------------------------------------------------------------------
-
-    def config_dict(self) -> dict:
-        """The constructor arguments needed to rebuild this synthesizer.
-
-        Returns
-        -------
-        dict
-            JSON-safe mapping with ``algorithm: "fixed_window"`` plus the
-            horizon, window width, budget, resolved padding, negative-count
-            policy, sensitivity, and noise backend.  Consumed by
-            :meth:`from_config`; the seed is deliberately absent.
-        """
-        return {
-            "algorithm": "fixed_window",
-            "horizon": self.horizon,
-            "window": self.window,
-            "rho": self.rho,
-            "n_pad": self.padding.n_pad,
-            "on_negative": self.on_negative,
-            "sensitivity": self.sensitivity,
-            "noise_method": self.noise_method,
-        }
 
     @classmethod
     def from_config(cls, config: dict) -> "FixedWindowSynthesizer":
-        """Rebuild a fresh synthesizer from :meth:`config_dict` output.
+        """Rebuild a fresh synthesizer from :meth:`WindowEngine.config_dict` output.
 
         Parameters
         ----------
         config:
-            A mapping produced by :meth:`config_dict`.
+            A mapping produced by ``config_dict``.
 
         Returns
         -------
         FixedWindowSynthesizer
             An unfitted synthesizer with the same configuration, ready
-            for :meth:`load_state`.
+            for :meth:`WindowEngine.load_state`.
 
         Raises
         ------
@@ -546,203 +246,3 @@ class FixedWindowSynthesizer:
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise SerializationError(f"invalid fixed-window config: {exc}") from exc
-
-    def state_dict(self) -> dict:
-        """Snapshot the full mid-stream state.
-
-        Returns
-        -------
-        dict
-            The clock, population size, per-individual window codes, the
-            pre-window column buffer, every released histogram, the
-            negative-count event counter, the synthetic store, the zCDP
-            ledger, and the shared generator's bit state (the histogram
-            mechanism and the store draw from the same generator, so one
-            snapshot covers all noise and record randomness).  Array
-            leaves stay NumPy arrays for the :mod:`repro.serve` bundle
-            layer.
-        """
-        released = sorted(self._histograms)
-        state = {
-            "t": self._t,
-            "n": self._n,
-            "negative_events": self._negative_events,
-            "generator": generator_state(self._generator),
-            "accountant": None if self.accountant is None else self.accountant.to_dict(),
-            "released_times": released,
-            "recent_count": len(self._recent_columns),
-        }
-        if self._ledger is not None:
-            state["ledger"] = self._ledger.state_dict()
-        if self._window_codes is not None:
-            state["window_codes"] = self._window_codes.copy()
-        for index, column in enumerate(self._recent_columns):
-            state[f"recent_{index}"] = column.copy()
-        if released:
-            state["histograms"] = np.stack([self._histograms[t] for t in released])
-        if self._store is not None:
-            state["store"] = self._store.state_dict()
-        return state
-
-    def load_state(self, state: dict) -> None:
-        """Restore a snapshot taken by :meth:`state_dict` in place.
-
-        Must be called on a *fresh* synthesizer built with the same
-        configuration (use :meth:`from_config`).  After loading, every
-        subsequent :meth:`observe_column` is byte-identical to the
-        uninterrupted run, noise included.
-
-        Parameters
-        ----------
-        state:
-            A snapshot produced by :meth:`state_dict`.
-
-        Raises
-        ------
-        repro.exceptions.SerializationError
-            If the snapshot is structurally invalid or disagrees with
-            this synthesizer's configuration.
-        """
-        if self._t:
-            raise SerializationError("load_state() requires a fresh synthesizer")
-        try:
-            t = int(state["t"])
-            n = state["n"]
-            released = [int(x) for x in state["released_times"]]
-            recent_count = int(state["recent_count"])
-            self._negative_events = int(state["negative_events"])
-        except (KeyError, TypeError, ValueError) as exc:
-            raise SerializationError(f"invalid fixed-window state: {exc}") from exc
-        if not 0 <= t <= self.horizon:
-            raise SerializationError(f"clock {t} outside [0, horizon={self.horizon}]")
-        if (n is None) != (t == 0):
-            raise SerializationError(f"population {n!r} inconsistent with clock {t}")
-        # Structural invariants of the streaming loop: before round k the
-        # columns are buffered (and only then); from round k on the
-        # per-individual window codes and the store must exist.
-        expected_recent = t if t < self.window else 0
-        if recent_count != expected_recent:
-            raise SerializationError(
-                f"snapshot buffers {recent_count} pre-window columns at clock "
-                f"{t} (window {self.window}); expected {expected_recent}"
-            )
-        if t >= self.window and "window_codes" not in state:
-            raise SerializationError(
-                f"snapshot at clock {t} is missing window codes "
-                f"(required from round {self.window} on)"
-            )
-        if t >= self.window and "store" not in state:
-            raise SerializationError(
-                f"snapshot at clock {t} is missing the synthetic store "
-                f"(required from round {self.window} on)"
-            )
-        restore_generator_state(self._generator, state["generator"])
-        if state.get("accountant") is None:
-            if self.accountant is not None:
-                raise SerializationError("snapshot has no ledger but rho is finite")
-        else:
-            if self.accountant is None:
-                raise SerializationError("snapshot has a ledger but rho is infinite")
-            self.accountant = ZCDPAccountant.from_dict(state["accountant"])
-        self._t = t
-        self._n = None if n is None else int(n)
-        if self._n is not None:
-            self._ledger = PopulationLedger.from_state(state.get("ledger", {}))
-            if self._ledger.n_ever < self._n:
-                raise SerializationError(
-                    f"lifespan table covers {self._ledger.n_ever} individuals "
-                    f"but the initial population was {self._n}"
-                )
-        try:
-            self._recent_columns = [
-                np.array(state[f"recent_{index}"], dtype=np.int64)
-                for index in range(recent_count)
-            ]
-        except (KeyError, TypeError, ValueError) as exc:
-            raise SerializationError(f"invalid fixed-window state: {exc}") from exc
-        if "window_codes" in state:
-            codes = np.array(state["window_codes"], dtype=np.int64)
-            expected_n = None if self._n is None else self._ledger.n_ever
-            if expected_n is None or codes.shape != (expected_n,):
-                raise SerializationError(
-                    f"window codes have shape {codes.shape}, expected ({expected_n},)"
-                )
-            self._window_codes = codes
-        self._histograms = {}
-        if released:
-            try:
-                stacked = np.array(state["histograms"], dtype=np.int64)
-            except (KeyError, TypeError, ValueError) as exc:
-                raise SerializationError(f"invalid fixed-window state: {exc}") from exc
-            if stacked.shape != (len(released), 1 << self.window):
-                raise SerializationError(
-                    f"histogram block has shape {stacked.shape}, expected "
-                    f"{(len(released), 1 << self.window)}"
-                )
-            self._histograms = {
-                round_t: stacked[index] for index, round_t in enumerate(released)
-            }
-        if "store" in state:
-            self._store = WindowSyntheticStore.from_state(state["store"], self._generator)
-            if self._store.window != self.window or self._store.horizon != self.horizon:
-                raise SerializationError(
-                    "store dimensions disagree with the synthesizer configuration"
-                )
-
-    # ------------------------------------------------------------------
-    # Internals
-    # ------------------------------------------------------------------
-
-    def _update_step(
-        self, true_counts: np.ndarray, entrants: int = 0, exit_count: int = 0
-    ) -> None:
-        """One Algorithm-1 update: noise, project, extend."""
-        if self.accountant is not None:
-            self.accountant.charge(
-                self._mechanism.rho_per_release, label=f"window histogram t={self._t}"
-            )
-        noisy = self._mechanism.release(true_counts + self.padding.n_pad)
-
-        if self._store is None:
-            # t = k: materialize any dataset matching the noisy histogram.
-            initial = noisy
-            negative = initial < 0
-            if negative.any():
-                if self.on_negative == "raise":
-                    bad = int(np.flatnonzero(negative)[0])
-                    raise NegativeCountError(
-                        f"initial noisy count for bin {bad} is {initial[bad]}; "
-                        "increase n_pad or use on_negative='redistribute'"
-                    )
-                self._negative_events += int(negative.sum())
-                initial = np.clip(initial, 0, None)
-            self._store = WindowSyntheticStore(
-                initial, self.window, self.horizon, self._generator
-            )
-            departed = self._ledger.n_ever - self._ledger.n_active
-            if departed:
-                # Pre-window departures: mirror them in the synthetic
-                # population's active bookkeeping (capped by the noisy
-                # synthetic population size).
-                self._store.retire(min(departed, self._store.n_active))
-            self._histograms[self._t] = initial.astype(np.int64)
-            return
-
-        previous = self._histograms[self._t - 1]
-        if entrants:
-            # Zero-fill: this round's entrants were retroactively present
-            # at t-1 with the all-zero window code, so the previous
-            # histogram is credited at bin 0 before the consistency
-            # projection, and the store admits matching all-zero records.
-            previous = previous.copy()
-            previous[0] += entrants
-            self._store.admit(entrants)
-        if exit_count:
-            self._store.retire(min(exit_count, self._store.n_active))
-        new_counts, events = apply_overlap_correction(
-            previous, noisy, self._generator, on_negative=self.on_negative
-        )
-        self._negative_events += events
-        assert check_window_consistency(previous, new_counts)
-        self._store.extend(new_counts)
-        self._histograms[self._t] = new_counts

@@ -7,10 +7,13 @@ The padding is public: analysts debias query answers by subtracting the
 padding's (exactly computable) contribution.
 
 :class:`PaddingSpec` bundles the parameters with the exact padding
-arithmetic, and can materialize the padding population as de Bruijn records
-(:func:`repro.data.debruijn.padding_panel`) — a concrete witness that a
-dataset with exactly ``n_pad`` per bin in *every* window exists, used by the
-release object to debias queries of widths other than ``k``.
+arithmetic for any alphabet size ``q >= 2`` (``q = 2`` is the paper's
+binary panel), and can materialize the padding population as de Bruijn
+records (:func:`repro.data.debruijn.padding_panel` /
+:func:`repro.data.categorical.categorical_padding_panel`) — a concrete
+witness that a dataset with exactly ``n_pad`` per bin in *every* window
+exists, used by the release object to debias queries of widths other than
+``k``.
 """
 
 from __future__ import annotations
@@ -19,10 +22,8 @@ from dataclasses import dataclass
 from functools import cached_property
 
 from repro.analysis.theory import default_n_pad
-from repro.data.dataset import LongitudinalDataset
 from repro.data.debruijn import padding_panel
 from repro.exceptions import ConfigurationError
-from repro.queries.base import WindowQuery
 
 __all__ = ["PaddingSpec"]
 
@@ -39,11 +40,15 @@ class PaddingSpec:
         Fake people per length-``k`` bin.
     horizon:
         Time horizon ``T`` (needed to materialize padding records).
+    alphabet:
+        Number of categories ``q >= 2`` (default 2, the binary panel);
+        the histogram has ``q**k`` bins.
     """
 
     window: int
     n_pad: int
     horizon: int
+    alphabet: int = 2
 
     def __post_init__(self):
         if self.window <= 0:
@@ -54,47 +59,88 @@ class PaddingSpec:
             raise ConfigurationError(
                 f"horizon {self.horizon} shorter than window {self.window}"
             )
+        if self.alphabet < 2:
+            raise ConfigurationError(f"alphabet must be at least 2, got {self.alphabet}")
 
     @classmethod
     def auto(
-        cls, horizon: int, window: int, rho: float, beta: float = 0.05
+        cls,
+        horizon: int,
+        window: int,
+        rho: float,
+        beta: float = 0.05,
+        alphabet: int = 2,
     ) -> "PaddingSpec":
-        """The Theorem 3.2 default: ``n_pad = ceil(error bound)``."""
+        """The Theorem 3.2 default: ``n_pad = ceil(error bound)``.
+
+        Parameters
+        ----------
+        horizon, window, rho, beta:
+            The run's parameters entering the Theorem 3.2 bound.
+        alphabet:
+            Number of categories; generalizes the union bound from
+            ``2**k`` to ``q**k`` bins.
+        """
         return cls(
             window=window,
-            n_pad=default_n_pad(horizon, window, rho, beta),
+            n_pad=default_n_pad(horizon, window, rho, beta, alphabet=alphabet),
             horizon=horizon,
+            alphabet=alphabet,
         )
 
     @property
     def total_records(self) -> int:
-        """Total fake people: ``n_pad * 2**k``."""
-        return self.n_pad * (1 << self.window)
+        """Total fake people: ``n_pad * q**k``."""
+        return self.n_pad * self.alphabet**self.window
 
-    def count_contribution(self, query: WindowQuery) -> float:
+    def count_contribution(self, query) -> float:
         """Idealized padding contribution to a query's *count* answer.
 
         Under the paper's "``n_pad`` fake people per bin" idealization, a
-        width-``k'`` bin receives ``n_pad * 2**(k - k')`` fake people: for
+        width-``k'`` bin receives ``n_pad * q**(k - k')`` fake people: for
         ``k' <= k`` this is exact (a width-``k'`` bin aggregates
-        ``2**(k-k')`` width-``k`` bins); for ``k' > k`` it extrapolates the
-        uniform-padding model (``2**(k-k')`` is fractional), matching the
+        ``q**(k-k')`` width-``k`` bins); for ``k' > k`` it extrapolates the
+        uniform-padding model (``q**(k-k')`` is fractional), matching the
         paper's convention of subtracting ``n_pad`` per noisy count.
+
+        Parameters
+        ----------
+        query:
+            A window query (binary or categorical) exposing ``k`` and
+            ``weight_sum``.
         """
-        multiplicity = 2.0 ** (self.window - query.k)
+        multiplicity = float(self.alphabet) ** (self.window - query.k)
         return self.n_pad * multiplicity * query.weight_sum
 
     @cached_property
-    def panel(self) -> LongitudinalDataset:
-        """Materialized padding records (de Bruijn construction)."""
-        return padding_panel(self.window, self.n_pad, self.horizon)
+    def panel(self):
+        """Materialized padding records (de Bruijn construction).
 
-    def panel_count_answer(self, query: WindowQuery, t: int) -> float:
+        A :class:`~repro.data.dataset.LongitudinalDataset` for the
+        binary alphabet, a
+        :class:`~repro.data.categorical.CategoricalDataset` otherwise.
+        """
+        if self.alphabet == 2:
+            return padding_panel(self.window, self.n_pad, self.horizon)
+        from repro.data.categorical import categorical_padding_panel
+
+        return categorical_padding_panel(
+            self.window, self.n_pad, self.horizon, self.alphabet
+        )
+
+    def panel_count_answer(self, query, t: int) -> float:
         """Padding count answer computed on the materialized records.
 
         Works for any query width (including ``k' > k``, where the exact
         per-bin contribution is no longer uniform); for ``k' <= k`` it
         agrees exactly with :meth:`count_contribution`.
+
+        Parameters
+        ----------
+        query:
+            A window query evaluable on the padding panel.
+        t:
+            Round to evaluate at.
         """
         if self.n_pad == 0:
             return 0.0

@@ -6,9 +6,10 @@ consistency requirement at the heart of the paper's model.  The stores keep
 the record matrix plus the bookkeeping needed to extend records in O(n)
 per round:
 
-* :class:`WindowSyntheticStore` (Algorithm 1) tracks each record's current
-  length-``k`` window code and extends records grouped by their ``(k-1)``-bit
-  suffix.
+* :class:`WindowSyntheticStore` (Algorithm 1, any alphabet ``q >= 2``)
+  tracks each record's current length-``k`` base-``q`` window code and
+  extends records grouped by their ``(k-1)``-digit suffix; the binary
+  panels of the paper's figures are the ``alphabet=2`` default.
 * :class:`CumulativeSyntheticStore` (Algorithm 2) tracks each record's
   Hamming weight and extends records grouped by exact weight.
 
@@ -36,6 +37,15 @@ from repro.data.dataset import LongitudinalDataset
 from repro.exceptions import ConfigurationError, ConsistencyError, SerializationError
 
 __all__ = ["WindowSyntheticStore", "CumulativeSyntheticStore"]
+
+
+def _digit_dtype(alphabet: int) -> np.dtype:
+    """Smallest unsigned dtype holding one base-``alphabet`` digit.
+
+    ``uint8`` for every alphabet up to 256 — in particular the binary
+    case keeps its historical ``uint8`` record matrix bit-for-bit.
+    """
+    return np.min_scalar_type(alphabet - 1)
 
 
 def _choose_within_groups(
@@ -85,22 +95,79 @@ def _choose_within_groups(
     return order[rank < quota[sorted_groups]]
 
 
+def _assign_within_groups(
+    group_of: np.ndarray,
+    n_groups: int,
+    quotas: np.ndarray,
+    generator: np.random.Generator,
+) -> np.ndarray:
+    """Assign each record a label so group ``g`` gets ``quotas[g, l]`` of label ``l``.
+
+    The base-``q`` generalization of :func:`_choose_within_groups`: one
+    uniform key per record plus a single argsort of ``group + key`` orders
+    every group uniformly at random, and label blocks are carved out of
+    each group's random order in *descending* label order.  At two labels
+    this selects exactly the records :func:`_choose_within_groups` (with
+    ``picks_per_group = quotas[:, 1]``) would pick for label 1, from the
+    identical generator stream — which is what keeps the binary window
+    synthesizer bit-exact through the shared engine.  When only label 0
+    is requested the assignment is forced and no randomness is consumed
+    (the same fast path as the binary helper).
+
+    Raises :class:`ConsistencyError` when a group's quotas are negative
+    or do not sum to its population.
+    """
+    quotas = np.asarray(quotas, dtype=np.int64)
+    n_labels = quotas.shape[1]
+    sizes = np.bincount(group_of, minlength=n_groups)[:n_groups]
+    bad = (quotas < 0).any(axis=1) | (quotas.sum(axis=1) != sizes)
+    if bad.any():
+        g = int(np.flatnonzero(bad)[0])
+        raise ConsistencyError(
+            f"group {g} has {int(sizes[g])} records but label quotas "
+            f"{quotas[g].tolist()} were requested"
+        )
+    labels = np.zeros(group_of.shape[0], dtype=np.int64)
+    if not quotas[:, 1:].any():
+        return labels
+    keys = generator.random(group_of.shape[0])
+    order = np.argsort(group_of + keys)  # group-major, random within group
+    sorted_groups = group_of[order]
+    starts = np.searchsorted(sorted_groups, np.arange(n_groups))
+    rank = np.arange(order.shape[0], dtype=np.int64) - starts[sorted_groups]
+    # Descending-label thresholds: label L-1 takes each group's first
+    # quotas[g, L-1] ranks, label L-2 the next quotas[g, L-2] ranks, ...
+    cuts = quotas[:, ::-1].cumsum(axis=1)
+    passed = (rank[:, None] >= cuts[sorted_groups]).sum(axis=1)
+    labels[order] = n_labels - 1 - passed
+    return labels
+
+
 class WindowSyntheticStore:
-    """Synthetic records for Algorithm 1.
+    """Synthetic records for Algorithm 1 over any alphabet.
 
     Parameters
     ----------
     initial_counts:
-        Length ``2**k`` non-negative integer histogram; the store
-        materializes ``initial_counts[s]`` records whose first ``k`` bits
-        equal pattern ``s`` (any such dataset is a valid output at
-        ``t = k``).
+        Length ``alphabet**k`` non-negative integer histogram; the store
+        materializes ``initial_counts[s]`` records whose first ``k``
+        symbols equal pattern ``s`` (any such dataset is a valid output
+        at ``t = k``).
     window:
         Window width ``k``.
     horizon:
         Total rounds ``T`` — the record matrix is preallocated.
     generator:
         Randomness for record ordering and extension choices.
+    alphabet:
+        Number of categories ``q >= 2``; the default 2 is the paper's
+        binary panel (and stays bit-exact with the pre-categorical
+        store, generator stream included).
+    assign:
+        Extension-assignment engine: ``"vectorized"`` (one argsort per
+        round, :func:`_assign_within_groups`) or ``"scalar"`` (the
+        per-record reference loop — one draw per synthetic record per
+        round, matching the paper's pseudocode granularity).
     """
 
     def __init__(
@@ -109,11 +176,20 @@ class WindowSyntheticStore:
         window: int,
         horizon: int,
         generator: np.random.Generator,
+        alphabet: int = 2,
+        assign: str = "vectorized",
     ):
-        counts = np.asarray(initial_counts, dtype=np.int64)
-        if counts.shape != (1 << window,):
+        if alphabet < 2:
+            raise ConfigurationError(f"alphabet must be at least 2, got {alphabet}")
+        if assign not in ("vectorized", "scalar"):
             raise ConfigurationError(
-                f"initial_counts must have length 2**{window}, got {counts.shape}"
+                f"assign must be 'vectorized' or 'scalar', got {assign!r}"
+            )
+        counts = np.asarray(initial_counts, dtype=np.int64)
+        if counts.shape != (alphabet**window,):
+            raise ConfigurationError(
+                f"initial_counts must have length {alphabet}**{window}, "
+                f"got {counts.shape}"
             )
         if (counts < 0).any():
             raise ConfigurationError("initial_counts must be non-negative")
@@ -121,19 +197,21 @@ class WindowSyntheticStore:
             raise ConfigurationError(f"horizon {horizon} shorter than window {window}")
         self.window = int(window)
         self.horizon = int(horizon)
+        self.alphabet = int(alphabet)
+        self._assign = assign
         self._generator = generator
         self.m = int(counts.sum())
         self._t = window
 
         # Materialize initial records: codes are assigned in shuffled order
         # so record index carries no information about the pattern.
-        codes = np.repeat(np.arange(1 << window, dtype=np.int64), counts)
+        codes = np.repeat(np.arange(alphabet**window, dtype=np.int64), counts)
         generator.shuffle(codes)
-        self._codes = codes  # current k-bit window code per record
-        self._matrix = np.zeros((self.m, horizon), dtype=np.uint8)
+        self._codes = codes  # current base-q window code per record
+        self._matrix = np.zeros((self.m, horizon), dtype=_digit_dtype(alphabet))
         self._active = np.ones(self.m, dtype=bool)
         for j in range(window):
-            self._matrix[:, j] = (codes >> (window - 1 - j)) & 1
+            self._matrix[:, j] = (codes // alphabet ** (window - 1 - j)) % alphabet
 
     @property
     def n_active(self) -> int:
@@ -160,7 +238,7 @@ class WindowSyntheticStore:
             return
         self._codes = np.concatenate([self._codes, np.zeros(count, dtype=np.int64)])
         self._matrix = np.vstack(
-            [self._matrix, np.zeros((count, self.horizon), dtype=np.uint8)]
+            [self._matrix, np.zeros((count, self.horizon), dtype=self._matrix.dtype)]
         )
         self._active = np.concatenate([self._active, np.ones(count, dtype=bool)])
         self.m += count
@@ -196,51 +274,91 @@ class WindowSyntheticStore:
         return self._t
 
     def counts(self) -> np.ndarray:
-        """Current synthetic window histogram ``p^t`` (length ``2**k``)."""
-        return np.bincount(self._codes, minlength=1 << self.window).astype(np.int64)
+        """Current synthetic window histogram ``p^t`` (length ``q**k``)."""
+        return np.bincount(
+            self._codes, minlength=self.alphabet**self.window
+        ).astype(np.int64)
 
     def extend(self, target_counts: np.ndarray) -> None:
         """Advance one round so the window histogram becomes ``target_counts``.
 
         ``target_counts`` must satisfy the overlap-consistency constraint
-        w.r.t. the current histogram (checked); records keeping suffix ``z``
-        are split between extensions ``z0`` and ``z1`` uniformly at random.
+        w.r.t. the current histogram (checked); records keeping suffix
+        ``z`` are split among the ``q`` extensions ``zc`` uniformly at
+        random (``z0``/``z1`` in the binary case).
         """
         if self._t >= self.horizon:
             raise ConsistencyError(f"store already materialized all {self.horizon} rounds")
         target = np.asarray(target_counts, dtype=np.int64)
-        if target.shape != (1 << self.window,):
+        if target.shape != (self.alphabet**self.window,):
             raise ConfigurationError(
-                f"target_counts must have length 2**{self.window}, got {target.shape}"
+                f"target_counts must have length {self.alphabet}**{self.window}, "
+                f"got {target.shape}"
             )
         if (target < 0).any():
             raise ConsistencyError("target_counts must be non-negative")
 
-        half = 1 << (self.window - 1) if self.window > 1 else 1
-        suffixes = self._codes & (half - 1) if self.window > 1 else np.zeros_like(self._codes)
-        ones_per_suffix = target[1::2] if self.window > 1 else target[1:2]
-        pair_sums = (
-            target[0::2] + target[1::2] if self.window > 1 else target[:1] + target[1:2]
-        )
-        current_pairs = np.bincount(suffixes, minlength=half)
-        if not (pair_sums == current_pairs).all():
+        n_groups = self.alphabet ** (self.window - 1)
+        suffixes = self._codes % n_groups
+        group_targets = target.reshape(n_groups, self.alphabet)
+        current_groups = np.bincount(suffixes, minlength=n_groups)
+        if not (group_targets.sum(axis=1) == current_groups).all():
             raise ConsistencyError(
                 "target histogram violates the overlap-consistency constraint"
             )
 
-        ones_idx = _choose_within_groups(suffixes, half, ones_per_suffix, self._generator)
-        new_bit = np.zeros(self.m, dtype=np.uint8)
-        new_bit[ones_idx] = 1
-        self._matrix[:, self._t] = new_bit
-        self._codes = ((suffixes << 1) | new_bit).astype(np.int64)
+        if self._assign == "vectorized":
+            new_digit = _assign_within_groups(
+                suffixes, n_groups, group_targets, self._generator
+            )
+        else:
+            new_digit = self._extend_digits_scalar(suffixes, group_targets)
+        self._matrix[:, self._t] = new_digit
+        self._codes = suffixes * self.alphabet + new_digit
         self._t += 1
 
-    def as_dataset(self, t: int | None = None) -> LongitudinalDataset:
-        """The synthetic panel through round ``t`` (default: current)."""
+    def _extend_digits_scalar(
+        self, suffixes: np.ndarray, group_targets: np.ndarray
+    ) -> np.ndarray:
+        """Reference extension: one sequential draw per synthetic record.
+
+        Walks the records in index order and samples each one's next
+        symbol without replacement from its suffix group's remaining
+        quota — the paper-pseudocode granularity the vectorized argsort
+        path replaces.  Produces the same uniform assignment law as
+        :func:`_assign_within_groups` from a different generator stream.
+        """
+        remaining = group_targets.astype(np.int64).copy()
+        new_digit = np.zeros(self.m, dtype=np.int64)
+        if not group_targets[:, 1:].any():
+            return new_digit
+        for i in range(self.m):
+            row = remaining[suffixes[i]]
+            u = int(self._generator.integers(int(row.sum())))
+            c = 0
+            acc = int(row[0])
+            while u >= acc:
+                c += 1
+                acc += int(row[c])
+            new_digit[i] = c
+            row[c] -= 1
+        return new_digit
+
+    def as_dataset(self, t: int | None = None):
+        """The synthetic panel through round ``t`` (default: current).
+
+        Returns a :class:`~repro.data.dataset.LongitudinalDataset` for
+        the binary alphabet and a
+        :class:`~repro.data.categorical.CategoricalDataset` otherwise.
+        """
         t = self._t if t is None else t
         if not self.window <= t <= self._t:
             raise ConfigurationError(f"t must lie in [{self.window}, {self._t}], got {t}")
-        return LongitudinalDataset(self._matrix[:, :t])
+        if self.alphabet == 2:
+            return LongitudinalDataset(self._matrix[:, :t])
+        from repro.data.categorical import CategoricalDataset
+
+        return CategoricalDataset(self._matrix[:, :t], self.alphabet)
 
     def state_dict(self) -> dict:
         """Snapshot the store: record matrix, window codes, and clocks.
@@ -256,6 +374,7 @@ class WindowSyntheticStore:
         return {
             "window": self.window,
             "horizon": self.horizon,
+            "alphabet": self.alphabet,
             "m": self.m,
             "t": self._t,
             "codes": self._codes.copy(),
@@ -265,7 +384,10 @@ class WindowSyntheticStore:
 
     @classmethod
     def from_state(
-        cls, state: dict, generator: np.random.Generator
+        cls,
+        state: dict,
+        generator: np.random.Generator,
+        assign: str = "vectorized",
     ) -> "WindowSyntheticStore":
         """Rebuild a store from :meth:`state_dict` output.
 
@@ -277,6 +399,10 @@ class WindowSyntheticStore:
             The generator future :meth:`extend` calls draw from (the
             owning synthesizer's generator, whose bit state the caller
             restores separately).
+        assign:
+            Extension-assignment engine the restored store should use
+            (``"vectorized"`` or ``"scalar"``) — an engine choice, not
+            snapshot state, so the owner passes it explicitly.
 
         Returns
         -------
@@ -291,17 +417,27 @@ class WindowSyntheticStore:
             If the snapshot is structurally invalid or its array shapes
             disagree with the recorded dimensions.
         """
+        if assign not in ("vectorized", "scalar"):
+            raise SerializationError(
+                f"assign must be 'vectorized' or 'scalar', got {assign!r}"
+            )
         store = object.__new__(cls)
         try:
             store.window = int(state["window"])
             store.horizon = int(state["horizon"])
+            store.alphabet = int(state.get("alphabet", 2))
             store.m = int(state["m"])
             store._t = int(state["t"])
             store._codes = np.array(state["codes"], dtype=np.int64)
-            store._matrix = np.array(state["matrix"], dtype=np.uint8)
             store._active = np.array(state["active"], dtype=bool)
+            if store.alphabet < 2:
+                raise ValueError(f"alphabet must be at least 2, got {store.alphabet}")
+            store._matrix = np.array(
+                state["matrix"], dtype=_digit_dtype(store.alphabet)
+            )
         except (KeyError, TypeError, ValueError) as exc:
             raise SerializationError(f"invalid window-store state: {exc}") from exc
+        store._assign = assign
         store._generator = generator
         if store._active.shape != (store.m,):
             raise SerializationError(

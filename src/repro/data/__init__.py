@@ -15,10 +15,13 @@
 """
 
 from repro.data.categorical import (
+    EMPLOYMENT_TRANSITIONS,
     CategoricalDataset,
     categorical_iid,
     categorical_markov,
     categorical_padding_panel,
+    employment_status_panel,
+    sticky_transitions,
 )
 from repro.data.dataset import DynamicPanel, LongitudinalDataset
 from repro.data.debruijn import debruijn_sequence, padding_panel
@@ -50,6 +53,9 @@ __all__ = [
     "categorical_iid",
     "categorical_markov",
     "categorical_padding_panel",
+    "EMPLOYMENT_TRANSITIONS",
+    "employment_status_panel",
+    "sticky_transitions",
     "debruijn_sequence",
     "padding_panel",
     "all_ones",

@@ -21,10 +21,22 @@ from repro.rng import SeedLike, as_generator
 
 __all__ = [
     "CategoricalDataset",
+    "EMPLOYMENT_TRANSITIONS",
     "categorical_iid",
     "categorical_markov",
     "categorical_padding_panel",
+    "employment_status_panel",
+    "sticky_transitions",
 ]
+
+#: Monthly transition matrix of the 3-state employment-status workload
+#: (employed / unemployed / not in labor force) used by the categorical
+#: experiment, benchmark, and example: employment is sticky, unemployment
+#: resolves mostly back to employment, and labor-force exit is persistent.
+EMPLOYMENT_TRANSITIONS = np.array(
+    [[0.90, 0.05, 0.05], [0.30, 0.60, 0.10], [0.05, 0.10, 0.85]]
+)
+EMPLOYMENT_TRANSITIONS.setflags(write=False)
 
 
 class CategoricalDataset:
@@ -243,6 +255,79 @@ def categorical_markov(
         rows = cumulative[matrix[:, t - 1]]
         matrix[:, t] = (uniforms[:, None] > rows).sum(axis=1)
     return CategoricalDataset(matrix, alphabet=q)
+
+
+def sticky_transitions(alphabet: int, persistence: float = 0.85) -> np.ndarray:
+    """A ``q x q`` transition matrix with sticky states.
+
+    Each state repeats with probability ``persistence`` and moves to any
+    other state uniformly otherwise — the generic-``q`` stand-in for the
+    hand-calibrated :data:`EMPLOYMENT_TRANSITIONS` when an experiment
+    sweeps the alphabet size.
+
+    Parameters
+    ----------
+    alphabet:
+        Number of categories ``q >= 2``.
+    persistence:
+        Per-round probability of repeating the current state, in
+        ``(0, 1]``.
+
+    Returns
+    -------
+    numpy.ndarray
+        Row-stochastic ``q x q`` matrix.
+
+    Raises
+    ------
+    repro.exceptions.ConfigurationError
+        If ``alphabet`` or ``persistence`` is out of range.
+    """
+    if alphabet < 2:
+        raise ConfigurationError(f"alphabet must be at least 2, got {alphabet}")
+    if not 0 < persistence <= 1:
+        raise ConfigurationError(
+            f"persistence must lie in (0, 1], got {persistence}"
+        )
+    off = (1.0 - persistence) / (alphabet - 1)
+    matrix = np.full((alphabet, alphabet), off)
+    np.fill_diagonal(matrix, persistence)
+    return matrix
+
+
+def employment_status_panel(
+    n: int, horizon: int, alphabet: int = 3, seed: SeedLike = None
+) -> CategoricalDataset:
+    """The multi-category reference workload: per-month employment status.
+
+    A first-order Markov panel over ``q`` labor-market states — the
+    calibrated 3-state :data:`EMPLOYMENT_TRANSITIONS` chain by default,
+    or a :func:`sticky_transitions` chain for other alphabet sizes.  Used
+    by the ``categorical`` experiment, the categorical benchmark, and the
+    employment example so they all draw from one definition.
+
+    Parameters
+    ----------
+    n:
+        Number of individuals.
+    horizon:
+        Number of monthly rounds ``T``.
+    alphabet:
+        Number of status categories ``q >= 2`` (default 3:
+        employed / unemployed / not in labor force).
+    seed:
+        Seed or generator for the draws.
+
+    Returns
+    -------
+    CategoricalDataset
+        An ``n x T`` panel of status trajectories.
+    """
+    if alphabet == 3:
+        transitions = EMPLOYMENT_TRANSITIONS
+    else:
+        transitions = sticky_transitions(alphabet)
+    return categorical_markov(n, horizon, transitions, seed=seed)
 
 
 def categorical_padding_panel(

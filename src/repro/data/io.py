@@ -108,7 +108,7 @@ def save_release_csv(release, directory, stem: str = "synthetic") -> tuple[Path,
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     data_path = save_panel_csv(release.synthetic_data(), directory / f"{stem}.csv")
-    if hasattr(release, "padding"):  # binary fixed-window release
+    if not hasattr(release, "alphabet"):  # binary fixed-window release
         metadata = {
             "kind": "fixed_window",
             "window": release.window,

@@ -6,7 +6,8 @@ Subcommands:
 * ``run <id> [--reps N] [--seed S]`` — run one experiment and print its
   report (non-zero exit when any shape check fails); ``run churn`` is
   the dynamic-population attrition sweep (see the docs' "Dynamic
-  populations" page);
+  populations" page) and ``run categorical [--alphabet Q]`` the
+  multi-category employment-status figure;
 * ``all [--reps N]`` — run every experiment;
 * ``serve-demo`` — replay the SIPP panel round-by-round through the
   online serving layer (:mod:`repro.serve`) with mid-stream
@@ -66,9 +67,10 @@ def build_parser() -> argparse.ArgumentParser:
             choices=ENGINES,
             default=_display_default(default_engine, None),
             help=(
-                "stream-counter engine for Algorithm 2: the batched "
-                "'vectorized' CounterBank (default, or $REPRO_ENGINE) or "
-                "the per-threshold 'scalar' reference path"
+                "execution engine: the batched 'vectorized' path "
+                "(default, or $REPRO_ENGINE) or the 'scalar' reference "
+                "loops — the CounterBank for Algorithm 2, the "
+                "projection/extension engine for 'run categorical'"
             ),
         )
         sub.add_argument(
@@ -92,6 +94,16 @@ def build_parser() -> argparse.ArgumentParser:
                 "worker count for --replication-strategy=process "
                 "(default: $REPRO_N_JOBS or the CPU count = "
                 f"{_display_default(default_n_jobs, 'unset')})"
+            ),
+        )
+        sub.add_argument(
+            "--alphabet",
+            type=int,
+            default=None,
+            help=(
+                "category count q for the categorical figure ('run "
+                "categorical'; default 3 — the employment-status "
+                "workload); the binary experiments accept and ignore it"
             ),
         )
 
@@ -162,6 +174,7 @@ def main(argv: list[str] | None = None) -> int:
             engine=args.engine,
             strategy=args.replication_strategy,
             n_jobs=args.n_jobs,
+            alphabet=args.alphabet,
         )
         print(result.render())
         return 0 if result.all_checks_pass else 1
@@ -174,6 +187,7 @@ def main(argv: list[str] | None = None) -> int:
             engine=args.engine,
             strategy=args.replication_strategy,
             n_jobs=args.n_jobs,
+            alphabet=args.alphabet,
         )
         print(result.render())
         print()

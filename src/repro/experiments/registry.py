@@ -1,8 +1,8 @@
 """Experiment registry: id -> runner.
 
-Every entry takes ``(n_reps, seed, engine)`` and returns a
-:class:`~repro.experiments.config.FigureResult`.  The ids match the
-per-experiment index in DESIGN.md §3.
+Every entry takes ``(n_reps, seed, engine, strategy, n_jobs, alphabet)``
+and returns a :class:`~repro.experiments.config.FigureResult`.  The ids
+match the per-experiment index in DESIGN.md §3.
 """
 
 from __future__ import annotations
@@ -17,124 +17,107 @@ from repro.experiments.ablations import (
     run_counter_ablation,
     run_padding_ablation,
 )
+from repro.experiments.categorical import run_categorical_experiment
 from repro.experiments.churn import run_churn_experiment
 from repro.experiments.config import FigureResult
 from repro.experiments.serve_demo import run_serve_demo
+from repro.experiments.simulated_window import run_simulated_window_experiment
 from repro.experiments.sipp_cumulative import run_sipp_cumulative_experiment
 from repro.experiments.sipp_window import run_sipp_window_experiment
-from repro.experiments.simulated_window import run_simulated_window_experiment
 from repro.experiments.sweeps import run_population_sweep, run_rho_sweep
 
 __all__ = ["EXPERIMENTS", "get_experiment", "list_experiments"]
 
 Runner = Callable[..., FigureResult]
 
+#: The CLI's uniform knob set, threaded through every registry entry.
+_KNOBS = ("engine", "strategy", "n_jobs", "alphabet")
 
-# Every runner accepts ``engine`` (stream-counter engine), ``strategy``
-# (replication strategy), and ``n_jobs`` (process-pool width) so the CLI
-# can thread one flag set through the whole registry; experiments a knob
-# does not apply to accept and record it.
+
+def _entry(
+    func: Runner,
+    accepts: tuple[str, ...] = ("engine", "strategy", "n_jobs"),
+    **fixed,
+) -> Runner:
+    """Adapt an experiment function to the registry's uniform signature.
+
+    Every runner accepts the full knob set — ``engine``
+    (counter/categorical engine), ``strategy`` (replication strategy),
+    ``n_jobs`` (process-pool width), and ``alphabet`` (category count
+    for the categorical figure) — so the CLI can thread one flag set
+    through the whole registry.  ``accepts`` names the knobs this
+    experiment actually consumes; the rest are accepted and dropped.
+    ``fixed`` pins per-entry parameters (rho, experiment id, ...).
+    """
+
+    def runner(
+        n_reps, seed=0, engine=None, strategy=None, n_jobs=None, alphabet=None
+    ):
+        knobs = {
+            "engine": engine,
+            "strategy": strategy,
+            "n_jobs": n_jobs,
+            "alphabet": alphabet,
+        }
+        kwargs = {name: knobs[name] for name in accepts}
+        return func(n_reps=n_reps, seed=seed, **kwargs, **fixed)
+
+    return runner
+
+
+_REPLICATION = ("strategy", "n_jobs")
+
 EXPERIMENTS: dict[str, Runner] = {
     # Paper figures
-    "fig1": lambda n_reps, seed=0, engine=None, strategy=None, n_jobs=None: (
-        run_sipp_window_experiment(
-            rho=0.005, n_reps=n_reps, seed=seed, experiment_id="fig1", debias=False,
-            strategy=strategy, n_jobs=n_jobs,
-        )
+    "fig1": _entry(
+        run_sipp_window_experiment, _REPLICATION,
+        rho=0.005, experiment_id="fig1", debias=False,
     ),
-    "fig2": lambda n_reps, seed=0, engine=None, strategy=None, n_jobs=None: (
-        run_sipp_cumulative_experiment(
-            rho=0.005, n_reps=n_reps, seed=seed, experiment_id="fig2", engine=engine,
-            strategy=strategy, n_jobs=n_jobs,
-        )
+    "fig2": _entry(
+        run_sipp_cumulative_experiment, rho=0.005, experiment_id="fig2",
     ),
-    "fig3": lambda n_reps, seed=0, engine=None, strategy=None, n_jobs=None: (
-        run_simulated_window_experiment(
-            n_reps=n_reps, seed=seed, experiment_id="fig3", debias=True,
-            strategy=strategy, n_jobs=n_jobs,
-        )
+    "fig3": _entry(
+        run_simulated_window_experiment, _REPLICATION,
+        experiment_id="fig3", debias=True,
     ),
-    "fig4": lambda n_reps, seed=0, engine=None, strategy=None, n_jobs=None: (
-        run_simulated_window_experiment(
-            n_reps=n_reps, seed=seed, experiment_id="fig4", debias=False,
-            strategy=strategy, n_jobs=n_jobs,
-        )
+    "fig4": _entry(
+        run_simulated_window_experiment, _REPLICATION,
+        experiment_id="fig4", debias=False,
     ),
-    "fig5": lambda n_reps, seed=0, engine=None, strategy=None, n_jobs=None: (
-        run_sipp_window_experiment(
-            rho=0.001, n_reps=n_reps, seed=seed, experiment_id="fig5", debias=False,
-            strategy=strategy, n_jobs=n_jobs,
-        )
+    "fig5": _entry(
+        run_sipp_window_experiment, _REPLICATION,
+        rho=0.001, experiment_id="fig5", debias=False,
     ),
-    "fig6": lambda n_reps, seed=0, engine=None, strategy=None, n_jobs=None: (
-        run_sipp_window_experiment(
-            rho=0.005, n_reps=n_reps, seed=seed, experiment_id="fig6", debias=False,
-            strategy=strategy, n_jobs=n_jobs,
-        )
+    "fig6": _entry(
+        run_sipp_window_experiment, _REPLICATION,
+        rho=0.005, experiment_id="fig6", debias=False,
     ),
-    "fig7": lambda n_reps, seed=0, engine=None, strategy=None, n_jobs=None: (
-        run_sipp_window_experiment(
-            rho=0.05, n_reps=n_reps, seed=seed, experiment_id="fig7", debias=False,
-            strategy=strategy, n_jobs=n_jobs,
-        )
+    "fig7": _entry(
+        run_sipp_window_experiment, _REPLICATION,
+        rho=0.05, experiment_id="fig7", debias=False,
     ),
-    "fig8": lambda n_reps, seed=0, engine=None, strategy=None, n_jobs=None: (
-        run_sipp_cumulative_experiment(
-            rho=0.005, n_reps=n_reps, seed=seed, experiment_id="fig8", b=3,
-            engine=engine, strategy=strategy, n_jobs=n_jobs,
-        )
+    "fig8": _entry(
+        run_sipp_cumulative_experiment, rho=0.005, experiment_id="fig8", b=3,
     ),
     # Bound checks and ablations
-    "thm32": lambda n_reps, seed=0, engine=None, strategy=None, n_jobs=None: (
-        run_bound_checks(
-            n_reps=n_reps, seed=seed, engine=engine, strategy=strategy, n_jobs=n_jobs
-        )
-    ),
-    "corB1": lambda n_reps, seed=0, engine=None, strategy=None, n_jobs=None: (
-        run_bound_checks(
-            n_reps=n_reps, seed=seed, engine=engine, strategy=strategy, n_jobs=n_jobs
-        )
-    ),
-    "abl-counter": lambda n_reps, seed=0, engine=None, strategy=None, n_jobs=None: (
-        run_counter_ablation(
-            n_reps=n_reps, seed=seed, engine=engine, strategy=strategy, n_jobs=n_jobs
-        )
-    ),
-    "abl-npad": lambda n_reps, seed=0, engine=None, strategy=None, n_jobs=None: (
-        run_padding_ablation(n_reps=n_reps, seed=seed)
-    ),
-    "abl-budget": lambda n_reps, seed=0, engine=None, strategy=None, n_jobs=None: (
-        run_budget_ablation(
-            n_reps=n_reps, seed=seed, engine=engine, strategy=strategy, n_jobs=n_jobs
-        )
-    ),
-    "abl-baseline": lambda n_reps, seed=0, engine=None, strategy=None, n_jobs=None: (
-        run_baseline_comparison(n_reps=n_reps, seed=seed)
-    ),
-    "sweep-rho": lambda n_reps, seed=0, engine=None, strategy=None, n_jobs=None: (
-        run_rho_sweep(
-            n_reps=n_reps, seed=seed, engine=engine, strategy=strategy, n_jobs=n_jobs
-        )
-    ),
-    "sweep-n": lambda n_reps, seed=0, engine=None, strategy=None, n_jobs=None: (
-        run_population_sweep(
-            n_reps=n_reps, seed=seed, engine=engine, strategy=strategy, n_jobs=n_jobs
-        )
-    ),
+    "thm32": _entry(run_bound_checks),
+    "corB1": _entry(run_bound_checks),
+    "abl-counter": _entry(run_counter_ablation),
+    "abl-npad": _entry(run_padding_ablation, ()),
+    "abl-budget": _entry(run_budget_ablation),
+    "abl-baseline": _entry(run_baseline_comparison, ()),
+    "sweep-rho": _entry(run_rho_sweep),
+    "sweep-n": _entry(run_population_sweep),
     # Dynamic populations: attrition sweep over a churning SIPP panel,
     # anchored by the zero-churn bit-exactness check on both engines.
-    "churn": lambda n_reps, seed=0, engine=None, strategy=None, n_jobs=None: (
-        run_churn_experiment(
-            n_reps, seed=seed, engine=engine, strategy=strategy, n_jobs=n_jobs
-        )
-    ),
+    "churn": _entry(run_churn_experiment),
+    # Multi-category extension: the categorical window synthesizer over
+    # the employment-status workload, anchored by the q=2 == binary
+    # bit-exactness and scalar == vectorized engine checks.
+    "categorical": _entry(run_categorical_experiment, _KNOBS),
     # Online serving walkthrough (repro.serve): round-by-round ingestion,
     # checkpoint/resume byte-identity, tamper rejection, sharded budgets.
-    "serve-demo": lambda n_reps, seed=0, engine=None, strategy=None, n_jobs=None: (
-        run_serve_demo(
-            n_reps, seed=seed, engine=engine, strategy=strategy, n_jobs=n_jobs
-        )
-    ),
+    "serve-demo": _entry(run_serve_demo),
 }
 
 

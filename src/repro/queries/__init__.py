@@ -19,6 +19,7 @@ from repro.queries.categorical import (
     CategoricalPatternQuery,
     CategoricalWindowQuery,
     CategoryAtLeastM,
+    categorical_pattern_table,
 )
 from repro.queries.cumulative import (
     HammingAtLeast,
@@ -44,6 +45,7 @@ __all__ = [
     "CategoricalWindowQuery",
     "CategoricalPatternQuery",
     "CategoryAtLeastM",
+    "categorical_pattern_table",
     "PatternQuery",
     "WindowLinearQuery",
     "AtLeastMOnes",

@@ -20,17 +20,57 @@ __all__ = [
     "CategoricalPatternQuery",
     "CategoryAtLeastM",
     "categorical_pattern_digits",
+    "categorical_pattern_table",
 ]
 
 
+def categorical_pattern_table(k: int, alphabet: int) -> np.ndarray:
+    """Decode every base-``q`` pattern code at once.
+
+    One broadcasted divide/modulo replaces the per-code Python loop with
+    its repeated ``alphabet**j`` powers: row ``c`` of the result holds the
+    ``k`` digits of pattern code ``c``, oldest first — the vectorized
+    closed form of :func:`categorical_pattern_digits` over the full code
+    range.  Query constructors build their weight vectors from this table
+    with NumPy reductions instead of ``q**k`` scalar decodes.
+
+    Parameters
+    ----------
+    k:
+        Window width (positive).
+    alphabet:
+        Number of categories ``q >= 2``.
+
+    Returns
+    -------
+    numpy.ndarray
+        Shape ``(alphabet**k, k)`` int64 digit matrix.
+    """
+    if k <= 0:
+        raise ConfigurationError(f"window width k must be positive, got {k}")
+    if alphabet < 2:
+        raise ConfigurationError(f"alphabet must be at least 2, got {alphabet}")
+    codes = np.arange(alphabet**k, dtype=np.int64)
+    powers = alphabet ** np.arange(k - 1, -1, -1, dtype=np.int64)
+    return (codes[:, None] // powers[None, :]) % alphabet
+
+
 def categorical_pattern_digits(code: int, k: int, alphabet: int) -> tuple[int, ...]:
-    """Decode a base-``q`` pattern code into its ``k`` digits, oldest first."""
+    """Decode a base-``q`` pattern code into its ``k`` digits, oldest first.
+
+    Parameters
+    ----------
+    code:
+        Pattern code in ``[0, alphabet**k)``.
+    k:
+        Window width.
+    alphabet:
+        Number of categories ``q >= 2``.
+    """
     if not 0 <= code < alphabet**k:
         raise ConfigurationError(f"pattern code {code} outside [0, {alphabet}^{k})")
-    digits = []
-    for j in range(k - 1, -1, -1):
-        digits.append((code // alphabet**j) % alphabet)
-    return tuple(digits)
+    powers = alphabet ** np.arange(k - 1, -1, -1, dtype=np.int64)
+    return tuple(int(d) for d in (code // powers) % alphabet)
 
 
 class CategoricalWindowQuery:
@@ -80,11 +120,26 @@ class CategoricalWindowQuery:
         predicate: Callable[[tuple[int, ...]], bool],
         name: str,
     ) -> "CategoricalWindowQuery":
-        """Indicator query of a predicate over window patterns."""
-        weights = np.zeros(alphabet**k, dtype=np.float64)
-        for code in range(alphabet**k):
-            if predicate(categorical_pattern_digits(code, k, alphabet)):
-                weights[code] = 1.0
+        """Indicator query of a predicate over window patterns.
+
+        Parameters
+        ----------
+        k:
+            Window width.
+        alphabet:
+            Number of categories ``q >= 2``.
+        predicate:
+            Called once per pattern with its digit tuple (oldest first,
+            decoded in one :func:`categorical_pattern_table` pass).
+        name:
+            Label used in reports and tables.
+        """
+        table = categorical_pattern_table(k, alphabet)
+        weights = np.fromiter(
+            (1.0 if predicate(tuple(row)) else 0.0 for row in table.tolist()),
+            dtype=np.float64,
+            count=table.shape[0],
+        )
         return cls(k, weights, alphabet, name=name)
 
     def min_time(self) -> int:
@@ -188,11 +243,8 @@ class CategoryAtLeastM(CategoricalWindowQuery):
             raise ConfigurationError(f"m must lie in [0, {k}], got {m}")
         self.category = category
         self.m = m
-        weights = np.zeros(alphabet**k, dtype=np.float64)
-        for code in range(alphabet**k):
-            digits = categorical_pattern_digits(code, k, alphabet)
-            if sum(1 for d in digits if d == category) >= m:
-                weights[code] = 1.0
+        table = categorical_pattern_table(k, alphabet)
+        weights = ((table == category).sum(axis=1) >= m).astype(np.float64)
         super().__init__(
             k, weights, alphabet, name=f"category_{category}_at_least_{m}_of_{k}"
         )

@@ -61,8 +61,10 @@ class ShardedService:
         contiguously (``np.array_split`` order) on the first observed
         round and the assignment is fixed for the stream's lifetime.
     algorithm:
-        ``"cumulative"`` (Algorithm 2, default) or ``"fixed_window"``
-        (Algorithm 1).
+        ``"cumulative"`` (Algorithm 2, default), ``"fixed_window"``
+        (Algorithm 1), or ``"categorical_window"`` (Algorithm 1 over a
+        multi-category alphabet; pass ``alphabet=`` in the synthesizer
+        kwargs).
     seed:
         Master seed; each shard receives an independent spawned child
         stream, so results are reproducible for any ``K``.
@@ -236,7 +238,7 @@ class ShardedService:
         Raises
         ------
         repro.exceptions.DataValidationError
-            On non-1-D or non-binary input, a column length disagreeing
+            On non-1-D or out-of-alphabet input, a column length disagreeing
             with the declared churn, an exhausted horizon, invalid exit
             ids, or when the initial population is smaller than the
             shard count.  This validation happens *before* any shard
@@ -256,8 +258,17 @@ class ShardedService:
         column = np.asarray(column)
         if column.ndim != 1:
             raise DataValidationError(f"column must be 1-D, got shape {column.shape}")
-        if column.size and not np.isin(column, (0, 1)).all():
-            raise DataValidationError("column entries must be 0 or 1")
+        # All-or-nothing rounds need the value check *before* any shard
+        # advances; the legal range is the shards' alphabet (2 for the
+        # binary algorithms).
+        alphabet = getattr(self._shards[0].synthesizer, "alphabet", 2)
+        if alphabet == 2:
+            if column.size and not np.isin(column, (0, 1)).all():
+                raise DataValidationError("column entries must be 0 or 1")
+        elif column.size and (column.min() < 0 or column.max() >= alphabet):
+            raise DataValidationError(
+                f"column entries must lie in [0, {alphabet})"
+            )
         if self.t >= self.horizon:
             raise DataValidationError(f"horizon {self.horizon} already exhausted")
         entrants = int(entrants)
@@ -410,7 +421,8 @@ class ShardedService:
             Any query the per-shard releases answer
             (:class:`~repro.queries.cumulative.HammingAtLeast` /
             ``HammingExactly`` for the cumulative algorithm, window
-            queries for the fixed-window one).
+            queries for the fixed-window one, categorical window
+            queries for the categorical one).
         t:
             Round to answer at.
         **kwargs:

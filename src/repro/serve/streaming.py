@@ -34,6 +34,7 @@ Example
 
 from __future__ import annotations
 
+from repro.core.categorical_window import CategoricalWindowSynthesizer
 from repro.core.cumulative import CumulativeSynthesizer
 from repro.core.fixed_window import FixedWindowSynthesizer
 from repro.exceptions import ConfigurationError, SerializationError
@@ -46,6 +47,7 @@ __all__ = ["StreamingSynthesizer"]
 _ALGORITHMS = {
     "cumulative": CumulativeSynthesizer,
     "fixed_window": FixedWindowSynthesizer,
+    "categorical_window": CategoricalWindowSynthesizer,
 }
 
 
@@ -55,14 +57,15 @@ class StreamingSynthesizer:
     Parameters
     ----------
     synthesizer:
-        A :class:`~repro.core.cumulative.CumulativeSynthesizer` or
-        :class:`~repro.core.fixed_window.FixedWindowSynthesizer` —
-        fresh or mid-stream; the wrapper takes over driving it.
+        A :class:`~repro.core.cumulative.CumulativeSynthesizer`,
+        :class:`~repro.core.fixed_window.FixedWindowSynthesizer`, or
+        :class:`~repro.core.categorical_window.CategoricalWindowSynthesizer`
+        — fresh or mid-stream; the wrapper takes over driving it.
 
     Raises
     ------
     repro.exceptions.ConfigurationError
-        If ``synthesizer`` is not one of the two supported classes.
+        If ``synthesizer`` is not one of the supported classes.
 
     Notes
     -----
@@ -76,8 +79,9 @@ class StreamingSynthesizer:
     def __init__(self, synthesizer):
         if not isinstance(synthesizer, tuple(_ALGORITHMS.values())):
             raise ConfigurationError(
-                "StreamingSynthesizer wraps a CumulativeSynthesizer or "
-                f"FixedWindowSynthesizer, got {type(synthesizer).__name__}"
+                "StreamingSynthesizer wraps a CumulativeSynthesizer, "
+                "FixedWindowSynthesizer, or CategoricalWindowSynthesizer, "
+                f"got {type(synthesizer).__name__}"
             )
         self._synthesizer = synthesizer
 
@@ -137,6 +141,51 @@ class StreamingSynthesizer:
         """
         return cls(FixedWindowSynthesizer(horizon, window, rho, seed=seed, **kwargs))
 
+    @classmethod
+    def categorical_window(
+        cls,
+        horizon: int,
+        window: int,
+        alphabet: int,
+        rho: float,
+        *,
+        seed: SeedLike = None,
+        **kwargs,
+    ) -> "StreamingSynthesizer":
+        """Build a streaming categorical fixed-window service.
+
+        The multi-category generalization of :meth:`fixed_window`
+        (employment status, program-participation codes, ...): one
+        report in ``{0, ..., alphabet - 1}`` per active individual per
+        round, with the same churn, checkpoint, and sharding surface as
+        the binary algorithms.
+
+        Parameters
+        ----------
+        horizon:
+            Known time horizon ``T``.
+        window:
+            Window width ``k``.
+        alphabet:
+            Number of categories ``q >= 2``.
+        rho:
+            Total zCDP budget (``math.inf`` disables noise).
+        seed:
+            Seed for all randomness.
+        **kwargs:
+            Forwarded to
+            :class:`~repro.core.categorical_window.CategoricalWindowSynthesizer`
+            (``engine``, ``n_pad``, ``noise_method``, ...).
+
+        Returns
+        -------
+        StreamingSynthesizer
+            A fresh service expecting round 1.
+        """
+        return cls(
+            CategoricalWindowSynthesizer(horizon, window, alphabet, rho, seed=seed, **kwargs)
+        )
+
     # ------------------------------------------------------------------
     # Serving API
     # ------------------------------------------------------------------
@@ -148,7 +197,7 @@ class StreamingSynthesizer:
 
     @property
     def algorithm(self) -> str:
-        """``"cumulative"`` or ``"fixed_window"``."""
+        """``"cumulative"``, ``"fixed_window"``, or ``"categorical_window"``."""
         for name, cls in _ALGORITHMS.items():
             if isinstance(self._synthesizer, cls):
                 return name
@@ -182,10 +231,11 @@ class StreamingSynthesizer:
         Parameters
         ----------
         column:
-            The round-``t`` report vector ``D_t``: one 0/1 entry per
-            *currently active* individual (ascending id order).  With no
-            churn declared, every round must present the same population
-            size.
+            The round-``t`` report vector ``D_t``: one entry per
+            *currently active* individual (ascending id order) — 0/1
+            for the binary algorithms, ``{0, ..., q-1}`` for the
+            categorical one.  With no churn declared, every round must
+            present the same population size.
         entrants:
             Individuals entering this round; they report in the column's
             final ``entrants`` entries and receive fresh ids.  Their

@@ -237,14 +237,37 @@ class TestCategoricalSynthesizer:
         for t in range(2, 7):
             assert (panel.suffix_histogram(t, 2) == 2).all()
 
-    def test_query_width_above_window_rejected(self, employment_panel):
+    def test_query_width_above_window_answered_from_records(self, employment_panel):
+        # Parity with the binary release: wider queries fall back to the
+        # synthetic records (no accuracy guarantee — the Figure 3 caveat).
         synth = CategoricalWindowSynthesizer(
             horizon=employment_panel.horizon, window=2, alphabet=3, rho=0.1,
             seed=10, noise_method="vectorized",
         )
         release = synth.run(employment_panel)
+        query = CategoryAtLeastM(3, 3, category=0, m=1)
+        biased = release.answer(query, 5, debias=False)
+        direct = query.evaluate(release.synthetic_data(5), 5)
+        assert biased == pytest.approx(direct)
+        # Batch answering has no record-level path for wide queries.
         with pytest.raises(ConfigurationError):
-            release.answer(CategoryAtLeastM(3, 3, category=0, m=1), 5)
+            release.answer_series(query)
+
+    def test_answer_series_unreleased_round_raises_not_fitted(self, employment_panel):
+        from repro.exceptions import NotFittedError
+
+        synth = CategoricalWindowSynthesizer(
+            horizon=employment_panel.horizon, window=3, alphabet=3, rho=0.1,
+            seed=11, noise_method="vectorized",
+        )
+        release = synth.run(employment_panel)
+        narrow = CategoryAtLeastM(2, 3, category=1, m=1)
+        # t=2 satisfies the query's lower bound but precedes the first
+        # released histogram (window=3) — same error as answer().
+        with pytest.raises(NotFittedError):
+            release.answer_series(narrow, times=[2])
+        with pytest.raises(NotFittedError):
+            release.answer(narrow, 2)
 
     def test_binary_alphabet_agrees_with_binary_synthesizer_oracle(self):
         # q=2 categorical synthesizer and the binary one agree exactly in

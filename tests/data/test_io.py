@@ -127,3 +127,19 @@ class TestReleaseExport:
         assert metadata["alphabet"] == 3
         loaded = load_panel_csv(csv_path, alphabet=3)
         assert loaded == release.synthetic_data()
+
+    def test_q2_categorical_release_keeps_categorical_kind(self, tmp_path):
+        # The discriminator is the release type, not the alphabet value:
+        # a q=2 categorical export must not masquerade as binary metadata.
+        from repro.core.categorical_window import CategoricalWindowSynthesizer
+
+        panel = categorical_iid(80, 5, [0.6, 0.4], seed=7)
+        synth = CategoricalWindowSynthesizer(
+            horizon=5, window=2, alphabet=2, rho=0.2, seed=8,
+            noise_method="vectorized",
+        )
+        release = synth.run(panel)
+        _, json_path = save_release_csv(release, tmp_path / "cat2")
+        metadata = json.loads(json_path.read_text())
+        assert metadata["kind"] == "categorical_window"
+        assert metadata["alphabet"] == 2

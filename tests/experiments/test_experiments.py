@@ -147,7 +147,7 @@ class TestCLI:
         # Patch in a fast fake experiment to keep the CLI test quick.
         from repro.experiments import registry
 
-        def fake(n_reps, seed=0, engine=None, strategy=None, n_jobs=None):
+        def fake(n_reps, seed=0, engine=None, strategy=None, n_jobs=None, alphabet=None):
             result = FigureResult(experiment_id="fake", title="fake experiment")
             result.check("always true", True)
             result.check("engine threaded", engine in ("vectorized", "scalar"))
@@ -166,7 +166,7 @@ class TestCLI:
     def test_run_command_fails_on_failed_checks(self, capsys, monkeypatch):
         from repro.experiments import registry
 
-        def fake(n_reps, seed=0, engine=None, strategy=None, n_jobs=None):
+        def fake(n_reps, seed=0, engine=None, strategy=None, n_jobs=None, alphabet=None):
             result = FigureResult(experiment_id="fake2", title="failing experiment")
             result.check("always false", False)
             return result
@@ -193,3 +193,28 @@ class TestChurnExperiment:
 
     def test_registered_and_runnable_from_cli(self, capsys):
         assert "churn" in list_experiments()
+
+
+class TestCategoricalExperiment:
+    def test_figure_passes_all_checks(self):
+        from repro.experiments.categorical import run_categorical_experiment
+
+        result = run_categorical_experiment(
+            n_reps=2, seed=1, n_individuals=400, horizon=8, window=2
+        )
+        assert result.experiment_id == "categorical"
+        assert result.all_checks_pass, result.checks
+        assert len(result.summaries) == 3
+        check_names = [name for name, _ in result.checks]
+        assert any("bit-exact" in name for name in check_names)
+        assert any("identical noiseless histograms" in name for name in check_names)
+
+    def test_alphabet_threads_through_registry(self):
+        result = get_experiment("categorical")(
+            2, seed=2, alphabet=4, engine="vectorized"
+        )
+        assert result.parameters["alphabet"] == 4
+        assert result.all_checks_pass, result.checks
+
+    def test_registered(self):
+        assert "categorical" in list_experiments()
