@@ -33,6 +33,29 @@ _REPORTS: list[tuple[str, str]] = []
 _REPORT_DIR = Path(__file__).parent / "reports"
 
 
+def peak_rss_mb() -> float:
+    """The process's peak resident set size so far, in MiB.
+
+    ``ru_maxrss`` is kibibytes on Linux and bytes on macOS; normalise to
+    MiB so reports are comparable.  Returns 0.0 where ``resource`` is
+    unavailable (non-POSIX platforms).
+    """
+    try:
+        import resource
+        import sys
+    except ImportError:  # pragma: no cover - non-POSIX
+        return 0.0
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    divisor = 1024**2 if sys.platform == "darwin" else 1024
+    return rss / divisor
+
+
+@pytest.fixture
+def rss_probe():
+    """Callable returning the process's peak RSS so far, in MiB."""
+    return peak_rss_mb
+
+
 @pytest.fixture
 def figure_report(request):
     """Collect an experiment report for the terminal summary + a JSON file.
@@ -46,7 +69,12 @@ def figure_report(request):
         name = request.node.name
         _REPORTS.append((name, text))
         _REPORT_DIR.mkdir(exist_ok=True)
-        payload = {"benchmark": name, "schema": 1, "text": text}
+        payload = {
+            "benchmark": name,
+            "schema": 1,
+            "text": text,
+            "peak_rss_mb": round(peak_rss_mb(), 2),
+        }
         if metrics:
             payload["metrics"] = {
                 key: float(value) for key, value in metrics.items()

@@ -28,6 +28,7 @@ import math
 import numpy as np
 
 from repro.core.fixed_window import FixedWindowSynthesizer
+from repro.core.population import validate_binary_column
 from repro.data.dataset import LongitudinalDataset
 from repro.dp.accountant import ZCDPAccountant
 from repro.exceptions import ConfigurationError, DataValidationError, NotFittedError
@@ -209,8 +210,7 @@ class RecomputeBaseline:
         column = np.asarray(column)
         if column.ndim != 1:
             raise DataValidationError(f"column must be 1-D, got shape {column.shape}")
-        if column.size and not np.isin(column, (0, 1)).all():
-            raise DataValidationError("column entries must be 0 or 1")
+        validate_binary_column(column)
         if self._columns and column.shape[0] != self._columns[0].shape[0]:
             raise DataValidationError(
                 f"column has {column.shape[0]} entries, expected {self._columns[0].shape[0]}"

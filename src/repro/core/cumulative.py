@@ -32,7 +32,7 @@ import numpy as np
 
 from repro.core.budget import allocate_budget
 from repro.core.monotonize import is_monotone_table, monotonize_row
-from repro.core.population import PopulationLedger
+from repro.core.population import PopulationLedger, validate_binary_column
 from repro.core.synthetic_store import CumulativeSyntheticStore
 from repro.data.dataset import DynamicPanel, LongitudinalDataset
 from repro.dp.accountant import ZCDPAccountant
@@ -341,8 +341,7 @@ class CumulativeSynthesizer:
         column = np.asarray(column)
         if column.ndim != 1:
             raise DataValidationError(f"column must be 1-D, got shape {column.shape}")
-        if column.size and not np.isin(column, (0, 1)).all():
-            raise DataValidationError("column entries must be 0 or 1")
+        validate_binary_column(column)
         if self._t >= self.horizon:
             raise DataValidationError(f"horizon {self.horizon} already exhausted")
         entrants = int(entrants)
@@ -667,8 +666,17 @@ class CumulativeSynthesizer:
         except (KeyError, TypeError, ValueError) as exc:
             raise SerializationError(f"invalid cumulative config: {exc}") from exc
 
-    def state_dict(self) -> dict:
+    def state_dict(self, *, copy: bool = True) -> dict:
         """Snapshot the full mid-stream state.
+
+        Parameters
+        ----------
+        copy:
+            Copy the state arrays into the snapshot (default).
+            ``copy=False`` returns live views of the synthesizer's
+            buffers — the streaming checkpoint writer uses this to spool
+            state into the bundle without a second in-RAM copy; such a
+            snapshot must be consumed before the next round.
 
         Returns
         -------
@@ -695,17 +703,22 @@ class CumulativeSynthesizer:
             "accountant": None if self.accountant is None else self.accountant.to_dict(),
         }
         if self._n is not None:
-            state["ledger"] = self._ledger.state_dict()
-            state["orig_weights"] = self._orig_weights.copy()
-            state["table"] = self._table.copy()
+            state["ledger"] = self._ledger.state_dict(copy=copy)
+            state["orig_weights"] = (
+                self._orig_weights.copy() if copy else self._orig_weights
+            )
+            state["table"] = self._table.copy() if copy else self._table
             state["pending"] = {
-                str(index): increments.copy()
+                str(index): increments.copy() if copy else increments
                 for index, increments in enumerate(self._pending_increments)
             }
             state["pending_count"] = len(self._pending_increments)
-            state["store"] = self._store.state_dict()
+            state["store"] = self._store.state_dict(copy=copy)
         if self._bank is not None:
-            state["engine_state"] = {"kind": "bank", "bank": self._bank.state_dict()}
+            state["engine_state"] = {
+                "kind": "bank",
+                "bank": self._bank.state_dict(copy=copy),
+            }
         else:
             state["engine_state"] = {
                 "kind": "scalar",

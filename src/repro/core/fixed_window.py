@@ -42,6 +42,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.debias import debias_count_answer, lift_window_weights
+from repro.core.population import validate_binary_column
 from repro.core.window_engine import WindowEngine, WindowRelease
 from repro.data.dataset import LongitudinalDataset
 from repro.exceptions import (
@@ -211,8 +212,7 @@ class FixedWindowSynthesizer(WindowEngine):
 
     def _validate_column_values(self, column: np.ndarray) -> None:
         """Binary panels accept literal 0/1 reports only."""
-        if column.size and not np.isin(column, (0, 1)).all():
-            raise DataValidationError("column entries must be 0 or 1")
+        validate_binary_column(column)
 
     @classmethod
     def from_config(cls, config: dict) -> "FixedWindowSynthesizer":

@@ -40,7 +40,42 @@ import numpy as np
 
 from repro.exceptions import DataValidationError, SerializationError
 
-__all__ = ["PopulationLedger", "validate_exit_ids"]
+__all__ = ["PopulationLedger", "validate_binary_column", "validate_exit_ids"]
+
+
+def validate_binary_column(column: np.ndarray) -> None:
+    """Reject report entries outside ``{0, 1}``, cheaply.
+
+    The naive membership test (``np.isin(column, (0, 1))``) walks a
+    sort-based set intersection — measurably slow at 10M-row columns,
+    and it runs on *every* round of every shard.  This check is
+    dtype-aware instead: boolean columns are structurally valid, integer
+    columns need only a min/max sweep (two SIMD reductions, no
+    temporaries), and anything else (floats, objects) falls back to the
+    exact elementwise test so ``0.5`` is still rejected.
+
+    Parameters
+    ----------
+    column:
+        1-D report vector (any dtype).
+
+    Raises
+    ------
+    repro.exceptions.DataValidationError
+        If any entry is not exactly 0 or 1 — the same error (and
+        message) the membership test raised.
+    """
+    if not column.size:
+        return
+    kind = column.dtype.kind
+    if kind == "b":
+        return
+    if kind in "ui":
+        if (kind == "i" and int(column.min()) < 0) or int(column.max()) > 1:
+            raise DataValidationError("column entries must be 0 or 1")
+        return
+    if not (np.equal(column, 0) | np.equal(column, 1)).all():
+        raise DataValidationError("column entries must be 0 or 1")
 
 
 def validate_exit_ids(ids, active: np.ndarray) -> np.ndarray:
@@ -243,8 +278,18 @@ class PopulationLedger:
     # Serialization
     # ------------------------------------------------------------------
 
-    def state_dict(self) -> dict:
-        """Snapshot the lifespan table (NumPy arrays, bundle-ready)."""
+    def state_dict(self, *, copy: bool = True) -> dict:
+        """Snapshot the lifespan table (NumPy arrays, bundle-ready).
+
+        Parameters
+        ----------
+        copy:
+            Copy the arrays (default).  ``copy=False`` returns live views
+            for the streaming checkpoint writer; consume them before the
+            ledger records further churn.
+        """
+        if not copy:
+            return {"entry_round": self._entry, "exit_round": self._exit}
         return {
             "entry_round": self._entry.copy(),
             "exit_round": self._exit.copy(),

@@ -360,8 +360,15 @@ class WindowSyntheticStore:
 
         return CategoricalDataset(self._matrix[:, :t], self.alphabet)
 
-    def state_dict(self) -> dict:
+    def state_dict(self, *, copy: bool = True) -> dict:
         """Snapshot the store: record matrix, window codes, and clocks.
+
+        Parameters
+        ----------
+        copy:
+            Copy the arrays (default).  ``copy=False`` returns live views
+            for the streaming checkpoint writer; consume them before the
+            store extends again.
 
         Returns
         -------
@@ -377,9 +384,9 @@ class WindowSyntheticStore:
             "alphabet": self.alphabet,
             "m": self.m,
             "t": self._t,
-            "codes": self._codes.copy(),
-            "matrix": self._matrix.copy(),
-            "active": self._active.copy(),
+            "codes": self._codes.copy() if copy else self._codes,
+            "matrix": self._matrix.copy() if copy else self._matrix,
+            "active": self._active.copy() if copy else self._active,
         }
 
     @classmethod
@@ -601,8 +608,15 @@ class CumulativeSyntheticStore:
         )
         self.horizon += int(k)
 
-    def state_dict(self) -> dict:
+    def state_dict(self, *, copy: bool = True) -> dict:
         """Snapshot the store: record matrix, weights, and clocks.
+
+        Parameters
+        ----------
+        copy:
+            Copy the arrays (default).  ``copy=False`` returns live views
+            for the streaming checkpoint writer; consume them before the
+            store extends again.
 
         Returns
         -------
@@ -616,9 +630,9 @@ class CumulativeSyntheticStore:
             "m": self.m,
             "horizon": self.horizon,
             "t": self._t,
-            "weights": self._weights.copy(),
-            "matrix": self._matrix.copy(),
-            "active": self._active.copy(),
+            "weights": self._weights.copy() if copy else self._weights,
+            "matrix": self._matrix.copy() if copy else self._matrix,
+            "active": self._active.copy() if copy else self._active,
         }
 
     @classmethod

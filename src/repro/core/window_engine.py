@@ -61,6 +61,7 @@ from repro.rng import (
     generator_state,
     restore_generator_state,
 )
+from repro.streams.layout import ArrayArena
 from repro.streams.registry import resolve_engine
 
 __all__ = ["WindowEngine", "WindowRelease"]
@@ -304,6 +305,20 @@ class WindowEngine:
         self._window_codes: np.ndarray | None = None  # original-data codes
         self._recent_columns: list[np.ndarray] = []  # first k-1 columns buffer
         self._store: WindowSyntheticStore | None = None
+        # All released histograms live in one preallocated column-major
+        # block (one column per update step, written in release order);
+        # the dict maps each released round to its column view.
+        self._layout = ArrayArena(
+            [
+                (
+                    "histograms",
+                    (self.alphabet**self.window, self.update_steps),
+                    np.int64,
+                    "F",
+                )
+            ]
+        )
+        self._hist_block = self._layout["histograms"]
         self._histograms: dict[int, np.ndarray] = {}
         self._negative_events = 0
         self._release_view = self._make_release()
@@ -527,8 +542,17 @@ class WindowEngine:
             "noise_method": self.noise_method,
         }
 
-    def state_dict(self) -> dict:
+    def state_dict(self, *, copy: bool = True) -> dict:
         """Snapshot the full mid-stream state.
+
+        Parameters
+        ----------
+        copy:
+            Copy the state arrays into the snapshot (default).
+            ``copy=False`` returns live views of the engine's buffers —
+            the streaming checkpoint writer uses this to spool state into
+            the bundle without a second in-RAM copy; such a snapshot must
+            be consumed before the engine advances.
 
         Returns
         -------
@@ -553,15 +577,20 @@ class WindowEngine:
             "recent_count": len(self._recent_columns),
         }
         if self._ledger is not None:
-            state["ledger"] = self._ledger.state_dict()
+            state["ledger"] = self._ledger.state_dict(copy=copy)
         if self._window_codes is not None:
-            state["window_codes"] = self._window_codes.copy()
+            state["window_codes"] = (
+                self._window_codes.copy() if copy else self._window_codes
+            )
         for index, column in enumerate(self._recent_columns):
-            state[f"recent_{index}"] = column.copy()
+            state[f"recent_{index}"] = column.copy() if copy else column
         if released:
-            state["histograms"] = np.stack([self._histograms[t] for t in released])
+            # Releases fill block columns 0..len-1 in round order, so the
+            # transposed prefix *is* the stacked released-histogram table.
+            block = self._hist_block[:, : len(released)].T
+            state["histograms"] = np.ascontiguousarray(block) if copy else block
         if self._store is not None:
-            state["store"] = self._store.state_dict()
+            state["store"] = self._store.state_dict(copy=copy)
         return state
 
     def load_state(self, state: dict) -> None:
@@ -654,6 +683,15 @@ class WindowEngine:
             self._window_codes = codes
         self._histograms = {}
         if released:
+            # One release per round from round k on — anything else cannot
+            # have come from this engine and would scramble the block.
+            if len(released) > self.update_steps or released != list(
+                range(self.window, self.window + len(released))
+            ):
+                raise SerializationError(
+                    f"released times {released} are not the contiguous run "
+                    f"{self.window}..{self.window + len(released) - 1}"
+                )
             try:
                 stacked = np.array(state["histograms"], dtype=np.int64)
             except (KeyError, TypeError, ValueError) as exc:
@@ -666,8 +704,10 @@ class WindowEngine:
                     f"histogram block has shape {stacked.shape}, expected "
                     f"{(len(released), n_bins)}"
                 )
+            self._hist_block[:, : len(released)] = stacked.T
             self._histograms = {
-                round_t: stacked[index] for index, round_t in enumerate(released)
+                round_t: self._hist_block[:, index]
+                for index, round_t in enumerate(released)
             }
         if "store" in state:
             self._store = WindowSyntheticStore.from_state(
@@ -760,7 +800,7 @@ class WindowEngine:
                 # population's active bookkeeping (capped by the noisy
                 # synthetic population size).
                 self._store.retire(min(departed, self._store.n_active))
-            self._histograms[self._t] = initial.astype(np.int64)
+            self._record_histogram(initial.astype(np.int64))
             return
 
         previous = self._histograms[self._t - 1]
@@ -777,4 +817,10 @@ class WindowEngine:
         new_counts, events = self._project(previous, noisy)
         self._negative_events += events
         self._store.extend(new_counts)
-        self._histograms[self._t] = new_counts
+        self._record_histogram(new_counts)
+
+    def _record_histogram(self, counts: np.ndarray) -> None:
+        """File round ``t``'s histogram into its block column."""
+        column = self._hist_block[:, self._t - self.window]
+        column[:] = counts
+        self._histograms[self._t] = column

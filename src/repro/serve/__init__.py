@@ -15,23 +15,37 @@ the serving-side layer for that model, on top of the algorithm cores in
   synthetic store, zCDP ledger, RNG bit-generator states) round-trips
   through a versioned, checksummed bundle, and a restored stream
   continues **byte-identically**, noise included.
-* :class:`~repro.serve.sharded.ShardedService` — the first multi-tenant
+* :class:`~repro.serve.sharded.ShardedService` — the multi-tenant
   scaling primitive: K independent shards over a partitioned population,
   per-shard budgets (parallel composition), merged query answers, and
   whole-service checkpointing.
+* :mod:`repro.serve.executor` — how shards are stepped:
+  :data:`~repro.serve.executor.EXECUTOR_STRATEGIES` (``"serial"``,
+  ``"thread"``, ``"process"``), all byte-identical; the process strategy
+  keeps each shard in a persistent forked worker and stages round
+  columns through shared memory.
 * :mod:`repro.serve.checkpoint` — the bundle format itself
-  (``manifest.json`` + ``arrays.npz`` in one zip, SHA-256 integrity
-  checks, :class:`~repro.exceptions.SerializationError` on corruption).
+  (``manifest.json`` + streamed ``arrays/<key>.npy`` members in one
+  zip, SHA-256 integrity checks,
+  :class:`~repro.exceptions.SerializationError` on corruption).
 
-See the "serving" and "checkpoint format" pages of the docs site
-(``docs/``) for a guided tour.
+See the "serving", "scaling out", and "checkpoint format" pages of the
+docs site (``docs/``) for a guided tour.
 """
 
 from repro.serve.checkpoint import (
     FORMAT_NAME,
     FORMAT_VERSION,
+    SUPPORTED_VERSIONS,
     read_bundle,
     write_bundle,
+)
+from repro.serve.executor import (
+    EXECUTOR_STRATEGIES,
+    ProcessShardExecutor,
+    SerialShardExecutor,
+    ShardExecutor,
+    ThreadShardExecutor,
 )
 from repro.serve.sharded import ShardedService
 from repro.serve.streaming import StreamingSynthesizer
@@ -39,8 +53,14 @@ from repro.serve.streaming import StreamingSynthesizer
 __all__ = [
     "StreamingSynthesizer",
     "ShardedService",
+    "ShardExecutor",
+    "SerialShardExecutor",
+    "ThreadShardExecutor",
+    "ProcessShardExecutor",
+    "EXECUTOR_STRATEGIES",
     "read_bundle",
     "write_bundle",
     "FORMAT_NAME",
     "FORMAT_VERSION",
+    "SUPPORTED_VERSIONS",
 ]

@@ -1,20 +1,28 @@
 """Versioned, integrity-checked checkpoint bundles.
 
-A checkpoint bundle is a single zip file with exactly two members:
+A version-3 checkpoint bundle is a single zip file holding:
 
 ``manifest.json``
     Format name/version, library version, the bundle ``kind``
     (``"streaming"`` or ``"sharded"``), the synthesizer ``config``, the
     JSON half of the serialized ``state`` (array leaves replaced by
-    ``{"__array__": <key>}`` placeholders), and two SHA-256 checksums —
-    one over the canonical JSON of ``config`` + ``state``, one over the
-    raw bytes of ``arrays.npz``.
+    ``{"__array__": <key>}`` placeholders), a SHA-256 checksum over the
+    canonical JSON of ``config`` + ``state``, and one SHA-256 checksum
+    per array member.
 
-``arrays.npz``
-    An ``np.savez_compressed`` archive holding every NumPy array leaf of
-    the state, keyed by its ``/``-joined path in the state tree.  The
-    member is stored (not re-deflated) in the outer zip — the per-array
-    compression already happened inside the ``.npz``.
+``arrays/<key>.npy``
+    One ``.npy`` member per NumPy array leaf of the state, named by the
+    array's ``/``-joined path in the state tree.  Members are **spooled**
+    into the zip chunk by chunk as they are written, so checkpointing a
+    multi-gigabyte state never materializes a second in-RAM copy of it —
+    peak writer memory is one compression buffer, not the state size.
+    All member timestamps are pinned to the zip epoch, so two services
+    in the same state produce **byte-identical** bundles (the sharded
+    executor-equivalence tests rely on this).
+
+Version-2 bundles (a single ``arrays.npz`` member with one whole-archive
+checksum) remain fully readable; :func:`write_bundle` can still emit
+them via ``format_version=2`` for forward-deployment scenarios.
 
 The split is lossless: :func:`read_bundle` re-grafts each array back at
 its placeholder, so components (synthesizers, banks, counters, stores)
@@ -57,18 +65,27 @@ FORMAT_NAME = "repro-checkpoint"
 #: Current bundle format version; bump on any incompatible layout change.
 #: Version 2 added the dynamic-population state: the synthesizers'
 #: ``ledger`` lifespan table, the stores' ``active`` masks, and the
-#: sharded service's ``shard_of``/``active`` assignment — all required
-#: on read, so version-1 bundles are not restorable by this build.
-FORMAT_VERSION = 2
+#: sharded service's ``shard_of``/``active`` assignment.  Version 3
+#: replaced the monolithic ``arrays.npz`` member with one streamed
+#: ``arrays/<key>.npy`` member per array (per-member checksums,
+#: deterministic timestamps) so the writer's peak memory is independent
+#: of the state size; version-2 bundles remain readable.
+FORMAT_VERSION = 3
 
 #: Versions this reader accepts.
-SUPPORTED_VERSIONS = (2,)
+SUPPORTED_VERSIONS = (2, 3)
 
 _MANIFEST = "manifest.json"
 _ARRAYS = "arrays.npz"
+_ARRAY_DIR = "arrays/"
+_ARRAY_SUFFIX = ".npy"
 _ARRAY_MARKER = "__array__"
 _ARRAY_KEY_PREFIX = "k/"
 _NONFINITE_MARKER = "__nonfinite__"
+
+#: Fixed member timestamp (the zip epoch): bundles are byte-deterministic
+#: functions of their content, never of the wall clock.
+_ZIP_EPOCH = (1980, 1, 1, 0, 0, 0)
 
 _JSON_SCALARS = (str, int, float, bool, type(None))
 
@@ -237,8 +254,45 @@ def _canonical_json(payload) -> bytes:
         raise SerializationError(f"state is not JSON-serializable: {exc}") from exc
 
 
+class _HashingWriter:
+    """File-object proxy forwarding writes while hashing the bytes."""
+
+    def __init__(self, target):
+        self._target = target
+        self._digest = hashlib.sha256()
+        self.nbytes = 0
+
+    def write(self, data) -> int:
+        view = memoryview(data)
+        self._digest.update(view)
+        self.nbytes += view.nbytes
+        self._target.write(view)
+        return view.nbytes
+
+    def hexdigest(self) -> str:
+        return self._digest.hexdigest()
+
+
+def _member_info(name: str, compress_type: int) -> zipfile.ZipInfo:
+    """A deterministic member header: epoch timestamp, fixed mode bits."""
+    info = zipfile.ZipInfo(name, date_time=_ZIP_EPOCH)
+    info.compress_type = compress_type
+    info.external_attr = 0o644 << 16  # plain rw-r--r-- file
+    return info
+
+
+def _array_member(key: str) -> str:
+    return f"{_ARRAY_DIR}{key}{_ARRAY_SUFFIX}"
+
+
 def write_bundle(
-    path, kind: str, config: dict, state: dict, *, compress_arrays: bool = True
+    path,
+    kind: str,
+    config: dict,
+    state: dict,
+    *,
+    compress_arrays: bool = True,
+    format_version: int = FORMAT_VERSION,
 ) -> None:
     """Write one checkpoint bundle.
 
@@ -253,22 +307,35 @@ def write_bundle(
     config:
         JSON-safe constructor configuration (no arrays).
     state:
-        Nested state dict; NumPy array leaves are stored in the bundle's
-        ``arrays.npz`` member.
+        Nested state dict; NumPy array leaves become streamed
+        ``arrays/<key>.npy`` members (version 3) or entries of a single
+        ``arrays.npz`` member (version 2).
     compress_arrays:
-        Deflate the arrays inside the ``.npz`` (default).  Pass ``False``
-        when the arrays are already-compressed byte blobs — the sharded
-        service does this for its nested shard bundles — so incompressible
-        bytes don't pay a useless second DEFLATE pass.  Readers handle
-        both forms transparently.
+        Deflate the array members (default).  Pass ``False`` when the
+        arrays are already-compressed byte blobs — the sharded service
+        does this for its nested shard bundles — so incompressible bytes
+        don't pay a useless second DEFLATE pass.  Readers handle both
+        forms transparently.
+    format_version:
+        Bundle format to emit: 3 (default, streamed per-array members)
+        or 2 (the legacy monolithic ``arrays.npz``, for deployments
+        whose readers predate version 3).
 
     Raises
     ------
     SerializationError
-        If the state contains values the format cannot represent.
+        If the state contains values the format cannot represent, or
+        ``format_version`` is not a writable version.
 
     Notes
     -----
+    Version-3 array members are spooled chunk by chunk straight into the
+    zip (NumPy's ``.npy`` serializer writes buffered slabs, not one
+    monolithic ``tobytes()``), so the writer's peak memory does not scale
+    with the state size — pass ``state_dict(copy=False)`` snapshots to
+    keep the whole checkpoint path allocation-lean.  Member timestamps
+    are pinned, making equal states produce byte-identical bundles.
+
     Filesystem writes are atomic: the bundle is assembled in a temporary
     file in the target directory and renamed over ``path``, so a crash
     mid-write (the very scenario checkpoints exist for) never destroys
@@ -276,22 +343,17 @@ def write_bundle(
     """
     from repro import __version__
 
+    if format_version not in SUPPORTED_VERSIONS:
+        raise SerializationError(
+            f"cannot write checkpoint format version {format_version!r}; "
+            f"writable versions are {SUPPORTED_VERSIONS}"
+        )
     json_state, arrays = split_arrays(state)
     json_state = _encode_nonfinite(json_state)
     config = _encode_nonfinite(config)
-    buffer = io.BytesIO()
-    # Keys are passed to savez as **kwargs, where a bare top-level key
-    # like "file" would collide with the function's own parameter; the
-    # "k/" prefix (stripped on read) makes every key collision-proof.
-    prefixed = {f"{_ARRAY_KEY_PREFIX}{key}": value for key, value in arrays.items()}
-    if compress_arrays:
-        np.savez_compressed(buffer, **prefixed)
-    else:
-        np.savez(buffer, **prefixed)
-    array_bytes = buffer.getvalue()
     manifest = {
         "format": FORMAT_NAME,
-        "format_version": FORMAT_VERSION,
+        "format_version": format_version,
         "library_version": __version__,
         "kind": str(kind),
         "config": config,
@@ -299,16 +361,58 @@ def write_bundle(
         "state_checksum": hashlib.sha256(
             _canonical_json({"config": config, "state": json_state})
         ).hexdigest(),
-        "arrays_checksum": hashlib.sha256(array_bytes).hexdigest(),
     }
-    manifest_text = json.dumps(manifest, indent=2, sort_keys=True, allow_nan=False)
 
-    def _fill(target) -> None:
-        with zipfile.ZipFile(target, "w", compression=zipfile.ZIP_DEFLATED) as bundle:
-            bundle.writestr(_MANIFEST, manifest_text)
-            # The npz member is already DEFLATE-compressed per array; store
-            # it as-is instead of paying a second (useless) compression pass.
-            bundle.writestr(_ARRAYS, array_bytes, compress_type=zipfile.ZIP_STORED)
+    if format_version == 2:
+        buffer = io.BytesIO()
+        # Keys are passed to savez as **kwargs, where a bare top-level key
+        # like "file" would collide with the function's own parameter; the
+        # "k/" prefix (stripped on read) makes every key collision-proof.
+        prefixed = {
+            f"{_ARRAY_KEY_PREFIX}{key}": value for key, value in arrays.items()
+        }
+        if compress_arrays:
+            np.savez_compressed(buffer, **prefixed)
+        else:
+            np.savez(buffer, **prefixed)
+        array_bytes = buffer.getvalue()
+        manifest["arrays_checksum"] = hashlib.sha256(array_bytes).hexdigest()
+        manifest_text = json.dumps(manifest, indent=2, sort_keys=True, allow_nan=False)
+
+        def _fill(target) -> None:
+            with zipfile.ZipFile(
+                target, "w", compression=zipfile.ZIP_DEFLATED
+            ) as bundle:
+                bundle.writestr(_MANIFEST, manifest_text)
+                # The npz member is already DEFLATE-compressed per array;
+                # store it as-is instead of a second (useless) pass.
+                bundle.writestr(
+                    _ARRAYS, array_bytes, compress_type=zipfile.ZIP_STORED
+                )
+
+    else:
+        member_type = zipfile.ZIP_DEFLATED if compress_arrays else zipfile.ZIP_STORED
+
+        def _fill(target) -> None:
+            checksums: dict[str, str] = {}
+            with zipfile.ZipFile(
+                target, "w", compression=zipfile.ZIP_DEFLATED
+            ) as bundle:
+                for key in sorted(arrays):
+                    info = _member_info(_array_member(key), member_type)
+                    with bundle.open(info, "w", force_zip64=True) as member:
+                        writer = _HashingWriter(member)
+                        np.lib.format.write_array(
+                            writer, np.asanyarray(arrays[key]), allow_pickle=False
+                        )
+                    checksums[key] = writer.hexdigest()
+                manifest["array_checksums"] = checksums
+                manifest_text = json.dumps(
+                    manifest, indent=2, sort_keys=True, allow_nan=False
+                )
+                bundle.writestr(
+                    _member_info(_MANIFEST, zipfile.ZIP_DEFLATED), manifest_text
+                )
 
     if isinstance(path, (str, os.PathLike)):
         # Atomic replace: never truncate an existing good checkpoint
@@ -377,9 +481,50 @@ def read_bundle(path, kind: str | None = None) -> tuple[dict, dict]:
         with zipfile.ZipFile(path, "r") as bundle:
             try:
                 manifest_bytes = bundle.read(_MANIFEST)
-                array_bytes = bundle.read(_ARRAYS)
             except KeyError as exc:
                 raise SerializationError(f"bundle member missing: {exc}") from exc
+            try:
+                manifest = json.loads(manifest_bytes)
+            except json.JSONDecodeError as exc:
+                raise SerializationError(
+                    f"bundle manifest is not valid JSON: {exc}"
+                ) from exc
+            if not isinstance(manifest, dict) or manifest.get("format") != FORMAT_NAME:
+                raise SerializationError(
+                    f"not a {FORMAT_NAME} bundle (format={manifest.get('format')!r})"
+                    if isinstance(manifest, dict)
+                    else "bundle manifest must be a JSON object"
+                )
+            version = manifest.get("format_version")
+            if version not in SUPPORTED_VERSIONS:
+                raise SerializationError(
+                    f"unsupported checkpoint format version {version!r}; "
+                    f"this build reads versions {SUPPORTED_VERSIONS}"
+                )
+            if kind is not None and manifest.get("kind") != kind:
+                raise SerializationError(
+                    f"expected a {kind!r} bundle, got kind={manifest.get('kind')!r}"
+                )
+            try:
+                config = manifest["config"]
+                json_state = manifest["state"]
+                state_checksum = manifest["state_checksum"]
+            except KeyError as exc:
+                raise SerializationError(
+                    f"bundle manifest missing field: {exc}"
+                ) from exc
+            digest = hashlib.sha256(
+                _canonical_json({"config": config, "state": json_state})
+            ).hexdigest()
+            if digest != state_checksum:
+                raise SerializationError(
+                    "bundle state checksum mismatch — the manifest was modified "
+                    "after the checkpoint was written"
+                )
+            if version == 2:
+                arrays = _read_arrays_v2(bundle, manifest)
+            else:
+                arrays = _read_arrays_v3(bundle, manifest)
     except SerializationError:
         raise
     except (zipfile.BadZipFile, OSError, zlib.error) as exc:
@@ -387,41 +532,21 @@ def read_bundle(path, kind: str | None = None) -> tuple[dict, dict]:
         # during decompression, not as a checksum mismatch — both are the
         # same condition to callers: a corrupt bundle.
         raise SerializationError(f"cannot read checkpoint bundle: {exc}") from exc
+    config = _decode_nonfinite(config)
+    json_state = _decode_nonfinite(json_state)
+    return config, join_arrays(json_state, arrays)
+
+
+def _read_arrays_v2(bundle: zipfile.ZipFile, manifest: dict) -> dict[str, np.ndarray]:
+    """Decode the version-2 monolithic ``arrays.npz`` member."""
     try:
-        manifest = json.loads(manifest_bytes)
-    except json.JSONDecodeError as exc:
-        raise SerializationError(f"bundle manifest is not valid JSON: {exc}") from exc
-    if not isinstance(manifest, dict) or manifest.get("format") != FORMAT_NAME:
-        raise SerializationError(
-            f"not a {FORMAT_NAME} bundle (format={manifest.get('format')!r})"
-            if isinstance(manifest, dict)
-            else "bundle manifest must be a JSON object"
-        )
-    version = manifest.get("format_version")
-    if version not in SUPPORTED_VERSIONS:
-        raise SerializationError(
-            f"unsupported checkpoint format version {version!r}; "
-            f"this build reads versions {SUPPORTED_VERSIONS}"
-        )
-    if kind is not None and manifest.get("kind") != kind:
-        raise SerializationError(
-            f"expected a {kind!r} bundle, got kind={manifest.get('kind')!r}"
-        )
+        array_bytes = bundle.read(_ARRAYS)
+    except KeyError as exc:
+        raise SerializationError(f"bundle member missing: {exc}") from exc
     try:
-        config = manifest["config"]
-        json_state = manifest["state"]
-        state_checksum = manifest["state_checksum"]
         arrays_checksum = manifest["arrays_checksum"]
     except KeyError as exc:
         raise SerializationError(f"bundle manifest missing field: {exc}") from exc
-    digest = hashlib.sha256(
-        _canonical_json({"config": config, "state": json_state})
-    ).hexdigest()
-    if digest != state_checksum:
-        raise SerializationError(
-            "bundle state checksum mismatch — the manifest was modified "
-            "after the checkpoint was written"
-        )
     if hashlib.sha256(array_bytes).hexdigest() != arrays_checksum:
         raise SerializationError(
             "bundle array checksum mismatch — arrays.npz was modified "
@@ -437,10 +562,51 @@ def read_bundle(path, kind: str | None = None) -> tuple[dict, dict]:
                         f"{_ARRAY_KEY_PREFIX!r} key prefix"
                     )
                 arrays[key[len(_ARRAY_KEY_PREFIX):]] = archive[key]
+    except SerializationError:
+        raise
     except (OSError, ValueError, zipfile.BadZipFile, zlib.error) as exc:
         # Inner-zip CRC/deflate failures surface here when the npz bytes
         # are corrupt in a way that still matches the recorded checksum.
         raise SerializationError(f"cannot decode bundle arrays: {exc}") from exc
-    config = _decode_nonfinite(config)
-    json_state = _decode_nonfinite(json_state)
-    return config, join_arrays(json_state, arrays)
+    return arrays
+
+
+def _read_arrays_v3(bundle: zipfile.ZipFile, manifest: dict) -> dict[str, np.ndarray]:
+    """Decode the version-3 per-array ``arrays/<key>.npy`` members."""
+    checksums = manifest.get("array_checksums")
+    if not isinstance(checksums, dict):
+        raise SerializationError("bundle manifest missing field: 'array_checksums'")
+    present = set()
+    for name in bundle.namelist():
+        if not name.startswith(_ARRAY_DIR) or name == _ARRAY_DIR:
+            continue
+        if not name.endswith(_ARRAY_SUFFIX):
+            raise SerializationError(
+                f"unexpected bundle array member {name!r} (not a .npy file)"
+            )
+        present.add(name[len(_ARRAY_DIR):-len(_ARRAY_SUFFIX)])
+    expected = set(checksums)
+    if present != expected:
+        missing = sorted(expected - present)
+        extra = sorted(present - expected)
+        raise SerializationError(
+            "bundle array members disagree with the manifest "
+            f"(missing={missing}, unexpected={extra})"
+        )
+    arrays: dict[str, np.ndarray] = {}
+    for key in sorted(expected):
+        raw = bundle.read(_array_member(key))
+        if hashlib.sha256(raw).hexdigest() != checksums[key]:
+            raise SerializationError(
+                f"bundle array checksum mismatch for {key!r} — the member "
+                "was modified after the checkpoint was written"
+            )
+        try:
+            arrays[key] = np.lib.format.read_array(
+                io.BytesIO(raw), allow_pickle=False
+            )
+        except (OSError, ValueError) as exc:
+            raise SerializationError(
+                f"cannot decode bundle array {key!r}: {exc}"
+            ) from exc
+    return arrays

@@ -1,0 +1,675 @@
+"""Shard-stepping strategies: serial, thread-pool, and process-parallel.
+
+A :class:`ShardExecutor` owns the per-shard
+:class:`~repro.serve.streaming.StreamingSynthesizer` instances of a
+:class:`~repro.serve.sharded.ShardedService` and answers one question:
+*how* does a round fan out across the ``K`` shards?
+
+``"serial"``
+    Today's behavior, bit for bit: shards advance one after another in
+    the calling thread, stopping at the first failure.
+
+``"thread"``
+    A :class:`~concurrent.futures.ThreadPoolExecutor` advances all
+    shards concurrently.  NumPy releases the GIL inside its reductions
+    and the discrete-Gaussian samplers are array code, so shards overlap
+    meaningfully; results are joined in shard order, which keeps every
+    output byte-identical to serial (per-shard RNGs are independent
+    spawned streams, so execution order cannot matter).
+
+``"process"``
+    One **persistent forked worker per shard**.  Each shard object lives
+    in its worker from fork time on — nothing is pickled, ever — and the
+    parent talks to it over a :func:`multiprocessing.Pipe` with small
+    tagged messages.  Round columns travel through **double-buffered
+    shared-memory staging**: the parent writes each round's per-shard
+    slices into one of two :class:`multiprocessing.shared_memory`
+    segments (selected by round parity) and sends only offsets, so a
+    10M-row column crosses the process boundary without serialization.
+    Two rounds may be in flight at once (the parity buffer is only
+    reused after its previous round is acknowledged), which is what
+    makes :meth:`~repro.serve.sharded.ShardedService.observe_round_async`
+    overlap staging of round ``r+1`` with computation of round ``r``.
+
+All three strategies produce byte-identical releases, ledgers, and
+checkpoint bundles; ``tests/serve/test_executors.py`` locks that in.
+The process strategy requires the ``fork`` start method (Linux, macOS
+with the default ``spawn`` overridden) because forking is what moves
+the shard state into the workers for free.
+"""
+
+from __future__ import annotations
+
+import io
+import multiprocessing as mp
+import os
+import weakref
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, ConsistencyError
+
+__all__ = [
+    "EXECUTOR_STRATEGIES",
+    "ShardExecutor",
+    "SerialShardExecutor",
+    "ThreadShardExecutor",
+    "ProcessShardExecutor",
+    "RoundTicket",
+    "make_executor",
+    "merge_weight",
+]
+
+#: Recognized ``executor=`` strategy names, in documentation order.
+EXECUTOR_STRATEGIES = ("serial", "thread", "process")
+
+#: Environment override for the default strategy (used when the service
+#: is constructed without an explicit ``executor=``).
+EXECUTOR_ENV = "REPRO_SHARD_EXECUTOR"
+
+
+def merge_weight(algorithm: str, release, t: int, **kwargs) -> float:
+    """Population weight of one shard's answers at round ``t``.
+
+    Each weight equals the denominator of that shard's answer at ``t``,
+    so the service's weighted average is exactly the fraction over the
+    union of shard populations — also under churn, where the shard
+    populations move round by round.  Module-level (not a service
+    method) so process workers can compute their own ``(weight,
+    answer)`` pairs without shipping release objects to the parent.
+    """
+    if algorithm == "cumulative":
+        return release.threshold_count(0, t)
+    # Debiased window answers are fractions of the real sub-population;
+    # biased ones are fractions of the padded synthetic population.
+    if kwargs.get("debias", True):
+        return release.population(t)
+    return release.synthetic_population(t)
+
+
+class RoundTicket:
+    """Handle for one in-flight round; :meth:`wait` joins it.
+
+    Parameters
+    ----------
+    waiter:
+        Callable performing the join; returns the number of shards that
+        completed the round and raises the first per-shard failure (in
+        shard order).  Called at most once; the outcome is cached so
+        ``wait`` is idempotent.
+    """
+
+    def __init__(self, waiter=None):
+        self._waiter = waiter
+        self._done = waiter is None
+        self._error: BaseException | None = None
+        #: Shards that completed the round (valid once waited).
+        self.completed = 0
+
+    def wait(self) -> None:
+        """Block until the round is fully ingested; re-raise any failure."""
+        if not self._done:
+            self._done = True
+            waiter, self._waiter = self._waiter, None
+            try:
+                self.completed = waiter()
+            except BaseException as exc:
+                self._error = exc
+        if self._error is not None:
+            raise self._error
+
+    @property
+    def done(self) -> bool:
+        """True once the round has been joined (successfully or not)."""
+        return self._done
+
+
+class ShardExecutor:
+    """Common surface of the three stepping strategies.
+
+    Subclasses own the shard synthesizers; the sharded service goes
+    through this interface for everything that touches shard state, so
+    the parallelism strategy is invisible above it.
+
+    Parameters
+    ----------
+    shards:
+        The per-shard :class:`~repro.serve.streaming.StreamingSynthesizer`
+        instances, in shard order.  The executor takes ownership: the
+        process strategy moves them into forked workers, after which the
+        caller's references are stale.
+    algorithm:
+        The service's algorithm tag (``"cumulative"`` …), used to pick
+        the per-shard merge weight when answering queries.
+    """
+
+    strategy: str = "?"
+
+    def __init__(self, shards: list, algorithm: str):
+        self._shards = list(shards)
+        self._algorithm = str(algorithm)
+
+    @property
+    def n_shards(self) -> int:
+        """Number of shards this executor steps."""
+        return len(self._shards)
+
+    @property
+    def shards(self) -> tuple:
+        """The live shard objects (strategies that keep them in-process)."""
+        return tuple(self._shards)
+
+    def dispatch_round(self, jobs: list) -> RoundTicket:
+        """Start ingesting one round; ``jobs`` is per-shard
+        ``(column, entrants, exits)``.  Returns a ticket to join."""
+        raise NotImplementedError
+
+    def answer(self, query, t: int, kwargs: dict) -> list[tuple[float, float]]:
+        """Per-shard ``(weight, answer)`` pairs at round ``t``, shard order."""
+        raise NotImplementedError
+
+    def ledgers(self) -> list[tuple[float, float]]:
+        """Per-shard ``(spent, remaining)`` zCDP, in shard order."""
+        raise NotImplementedError
+
+    def checkpoint_blobs(self) -> list[bytes]:
+        """One serialized streaming bundle per shard, in shard order."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release strategy resources (workers, shared memory).  Idempotent."""
+
+    # -- shared in-process implementations ------------------------------
+
+    def _answer_one(self, shard, query, t: int, kwargs: dict) -> tuple[float, float]:
+        release = shard.release
+        weight = merge_weight(self._algorithm, release, t, **kwargs)
+        return weight, release.answer(query, t, **kwargs)
+
+    def _ledger_one(self, shard) -> tuple[float, float]:
+        accountant = shard.synthesizer.accountant
+        if accountant is None:
+            return (0.0, float("inf"))
+        return (accountant.spent, accountant.remaining)
+
+    def _blob_one(self, shard) -> bytes:
+        buffer = io.BytesIO()
+        shard.checkpoint(buffer)
+        return buffer.getvalue()
+
+
+class SerialShardExecutor(ShardExecutor):
+    """Shards advance one after another in the calling thread.
+
+    The reference strategy: it stops at the first shard failure (later
+    shards never ingest the round), exactly like the pre-executor
+    service loop.
+    """
+
+    strategy = "serial"
+
+    def dispatch_round(self, jobs: list) -> RoundTicket:
+        def run() -> int:
+            advanced = 0
+            for shard, (column, entrants, exits) in zip(self._shards, jobs):
+                shard.observe_round(column, entrants=entrants, exits=exits)
+                advanced += 1
+            return advanced
+
+        ticket = RoundTicket(run)
+        # Serial ingestion is synchronous: the round is done (or failed)
+        # before dispatch returns; wait() only replays the outcome.
+        try:
+            ticket.wait()
+        except Exception:
+            pass
+        return ticket
+
+    def answer(self, query, t: int, kwargs: dict) -> list[tuple[float, float]]:
+        return [self._answer_one(shard, query, t, kwargs) for shard in self._shards]
+
+    def ledgers(self) -> list[tuple[float, float]]:
+        return [self._ledger_one(shard) for shard in self._shards]
+
+    def checkpoint_blobs(self) -> list[bytes]:
+        return [self._blob_one(shard) for shard in self._shards]
+
+
+class ThreadShardExecutor(ShardExecutor):
+    """Shards advance concurrently on a thread pool.
+
+    Every shard attempts the round (unlike serial's stop-at-first-
+    failure); failures are joined in shard order, so the *reported*
+    error is deterministic even though execution is not.  Outputs are
+    byte-identical to serial because each shard's RNG is an independent
+    spawned stream — no cross-shard ordering can influence any draw.
+    """
+
+    strategy = "thread"
+
+    def __init__(self, shards: list, algorithm: str):
+        super().__init__(shards, algorithm)
+        workers = min(len(self._shards), os.cpu_count() or 1) or 1
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-shard"
+        )
+
+    def _join(self, futures) -> list:
+        results, first_error = [], None
+        for future in futures:
+            try:
+                results.append(future.result())
+            except Exception as exc:
+                if first_error is None:
+                    first_error = exc
+        if first_error is not None:
+            raise first_error
+        return results
+
+    def dispatch_round(self, jobs: list) -> RoundTicket:
+        futures = [
+            self._pool.submit(
+                shard.observe_round, column, entrants=entrants, exits=exits
+            )
+            for shard, (column, entrants, exits) in zip(self._shards, jobs)
+        ]
+
+        def join() -> int:
+            advanced = 0
+            first_error = None
+            for future in futures:
+                try:
+                    future.result()
+                    advanced += 1
+                except Exception as exc:
+                    if first_error is None:
+                        first_error = exc
+            if first_error is not None:
+                raise first_error
+            return advanced
+
+        ticket = RoundTicket(join)
+        try:
+            ticket.wait()
+        except Exception:
+            pass
+        return ticket
+
+    def answer(self, query, t: int, kwargs: dict) -> list[tuple[float, float]]:
+        return self._join(
+            [
+                self._pool.submit(self._answer_one, shard, query, t, kwargs)
+                for shard in self._shards
+            ]
+        )
+
+    def ledgers(self) -> list[tuple[float, float]]:
+        return [self._ledger_one(shard) for shard in self._shards]
+
+    def checkpoint_blobs(self) -> list[bytes]:
+        return self._join(
+            [self._pool.submit(self._blob_one, shard) for shard in self._shards]
+        )
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=True)
+
+
+# ----------------------------------------------------------------------
+# Process strategy
+# ----------------------------------------------------------------------
+
+
+def _worker_loop(shard, algorithm: str, conn) -> None:
+    """Persistent per-shard worker: serve tagged requests until ``stop``.
+
+    Runs in a forked child, so ``shard`` is this process's private copy
+    of the shard synthesizer — the authoritative one from now on.  Every
+    request is answered with ``("ok", payload)`` or ``("err", exc)``;
+    the worker survives shard-level failures (the parent may still need
+    ledger reads from a poisoned service).
+    """
+    from multiprocessing import shared_memory
+
+    segments: OrderedDict[str, object] = OrderedDict()
+
+    def attach(name: str):
+        segment = segments.get(name)
+        if segment is None:
+            # CPython < 3.13 registers even attach-only handles with the
+            # resource tracker; the parent owns these segments' lifetime,
+            # so a worker registration only produces spurious "leaked
+            # shared_memory" noise (or double-unregister errors) at exit.
+            # Suppress it for the duration of the attach.
+            from multiprocessing import resource_tracker
+
+            original_register = resource_tracker.register
+            resource_tracker.register = lambda *args, **kwargs: None
+            try:
+                segment = shared_memory.SharedMemory(name=name)
+            finally:
+                resource_tracker.register = original_register
+            segments[name] = segment
+        segments.move_to_end(name)
+        # Two parity buffers are ever live; anything older was replaced
+        # by a grown segment and can be detached.
+        while len(segments) > 2:
+            segments.popitem(last=False)[1].close()
+        return segment
+
+    try:
+        while True:
+            message = conn.recv()
+            tag = message[0]
+            try:
+                if tag == "observe":
+                    _, name, offset, count, dtype, entrants, exits = message
+                    if count:
+                        segment = attach(name)
+                        view = np.ndarray(
+                            (count,),
+                            dtype=np.dtype(dtype),
+                            buffer=segment.buf,
+                            offset=offset,
+                        )
+                        # Private copy: the parent reuses this parity
+                        # buffer as soon as the round is acknowledged.
+                        column = np.array(view)
+                        del view
+                    else:
+                        column = np.empty(0, dtype=np.dtype(dtype))
+                    shard.observe_round(column, entrants=entrants, exits=exits)
+                    conn.send(("ok", None))
+                elif tag == "answer":
+                    _, query, t, kwargs = message
+                    release = shard.release
+                    weight = merge_weight(algorithm, release, t, **kwargs)
+                    conn.send(("ok", (weight, release.answer(query, t, **kwargs))))
+                elif tag == "ledger":
+                    accountant = shard.synthesizer.accountant
+                    if accountant is None:
+                        conn.send(("ok", (0.0, float("inf"))))
+                    else:
+                        conn.send(("ok", (accountant.spent, accountant.remaining)))
+                elif tag == "checkpoint":
+                    buffer = io.BytesIO()
+                    shard.checkpoint(buffer)
+                    conn.send(("ok", buffer.getvalue()))
+                elif tag == "stop":
+                    conn.send(("ok", None))
+                    return
+                else:
+                    conn.send(("err", RuntimeError(f"unknown request {tag!r}")))
+            except Exception as exc:  # noqa: BLE001 - forwarded to parent
+                try:
+                    conn.send(("err", exc))
+                except Exception:
+                    conn.send(("err", RuntimeError(f"{type(exc).__name__}: {exc}")))
+    except (EOFError, KeyboardInterrupt):
+        pass
+    finally:
+        for segment in segments.values():
+            segment.close()
+        conn.close()
+
+
+class _StageBuffer:
+    """One parity's shared-memory staging segment (parent side)."""
+
+    def __init__(self):
+        self.segment = None
+        self.capacity = 0
+
+    @property
+    def name(self) -> str | None:
+        return None if self.segment is None else self.segment.name
+
+    def ensure(self, nbytes: int) -> None:
+        """Guarantee at least ``nbytes`` capacity, growing geometrically."""
+        from multiprocessing import shared_memory
+
+        if nbytes <= self.capacity:
+            return
+        self.release()
+        capacity = max(nbytes, 1, self.capacity * 2)
+        self.segment = shared_memory.SharedMemory(create=True, size=capacity)
+        self.capacity = capacity
+
+    def write(self, offset: int, column: np.ndarray) -> None:
+        if not column.size:
+            return
+        view = np.ndarray(
+            (column.shape[0],),
+            dtype=column.dtype,
+            buffer=self.segment.buf,
+            offset=offset,
+        )
+        view[:] = column
+        del view
+
+    def release(self) -> None:
+        """Drop the current segment (workers detach on next attach)."""
+        if self.segment is not None:
+            self.segment.close()
+            try:
+                self.segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+            self.segment = None
+            self.capacity = 0
+
+
+def _cleanup_process_executor(processes, connections, stages) -> None:
+    """Finalizer-safe teardown shared by close() and weakref.finalize."""
+    for conn in connections:
+        try:
+            conn.send(("stop",))
+        except (OSError, ValueError, BrokenPipeError):
+            pass
+    for conn in connections:
+        try:
+            if conn.poll(1.0):
+                conn.recv()
+        except (OSError, EOFError, ValueError):
+            pass
+        try:
+            conn.close()
+        except OSError:
+            pass
+    for process in processes:
+        process.join(timeout=2.0)
+        if process.is_alive():  # pragma: no cover - stuck worker
+            process.terminate()
+            process.join(timeout=1.0)
+    for stage in stages:
+        stage.release()
+
+
+class ProcessShardExecutor(ShardExecutor):
+    """One persistent forked worker per shard, columns via shared memory.
+
+    The constructor forks immediately: each worker inherits its shard
+    object by copy-on-write (nothing is pickled) and the parent's shard
+    references become **stale** — the executor never touches them again
+    and the service must not either.  Two staging buffers (round parity)
+    let one round compute while the next is being staged; the parent
+    reuses a parity buffer only after its previous round was
+    acknowledged, which the service guarantees by capping in-flight
+    rounds at two.
+    """
+
+    strategy = "process"
+
+    def __init__(self, shards: list, algorithm: str):
+        super().__init__(shards, algorithm)
+        if "fork" not in mp.get_all_start_methods():
+            raise ConfigurationError(
+                "the 'process' executor needs the fork start method, which "
+                "this platform does not provide; use 'thread' or 'serial'"
+            )
+        context = mp.get_context("fork")
+        try:
+            # Start the shared-memory resource tracker *before* forking:
+            # workers then inherit it instead of each spawning their own
+            # (whose exit-time cleanup would race the parent's unlink).
+            from multiprocessing import resource_tracker
+
+            resource_tracker.ensure_running()
+        except Exception:  # pragma: no cover - tracker internals moved
+            pass
+        self._connections = []
+        self._processes = []
+        self._stages = (_StageBuffer(), _StageBuffer())
+        for shard in self._shards:
+            parent_conn, child_conn = context.Pipe()
+            process = context.Process(
+                target=_worker_loop,
+                args=(shard, self._algorithm, child_conn),
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            self._connections.append(parent_conn)
+            self._processes.append(process)
+        # The parent-side shard objects are stale from this point on.
+        self._shards = []
+        self._rounds_dispatched = 0
+        self._finalizer = weakref.finalize(
+            self,
+            _cleanup_process_executor,
+            self._processes,
+            self._connections,
+            self._stages,
+        )
+
+    @property
+    def n_shards(self) -> int:
+        return len(self._connections)
+
+    @property
+    def shards(self) -> tuple:
+        raise ConfigurationError(
+            "shard objects live inside worker processes under the 'process' "
+            "executor; use answer()/shard_ledgers()/checkpoint() instead, or "
+            "run with executor='serial' to hold the shards in-process"
+        )
+
+    def _recv(self, index: int):
+        try:
+            tag, payload = self._connections[index].recv()
+        except (EOFError, OSError) as exc:
+            raise ConsistencyError(
+                f"shard worker {index} died mid-request ({exc}); restore the "
+                "service from its last checkpoint"
+            ) from exc
+        if tag == "err":
+            raise payload
+        return payload
+
+    def _request_all(self, message) -> list:
+        for index, conn in enumerate(self._connections):
+            try:
+                conn.send(message)
+            except OSError as exc:
+                raise ConsistencyError(
+                    f"shard worker {index} died mid-request ({exc}); restore "
+                    "the service from its last checkpoint"
+                ) from exc
+        results, first_error = [], None
+        for index in range(self.n_shards):
+            try:
+                results.append(self._recv(index))
+            except Exception as exc:
+                if first_error is None:
+                    first_error = exc
+        if first_error is not None:
+            raise first_error
+        return results
+
+    def dispatch_round(self, jobs: list) -> RoundTicket:
+        stage = self._stages[self._rounds_dispatched % 2]
+        self._rounds_dispatched += 1
+        offsets, total = [], 0
+        for column, _, _ in jobs:
+            # 64-byte aligned slots so worker views never straddle dtypes.
+            total = -(-total // 64) * 64
+            offsets.append(total)
+            total += column.nbytes
+        stage.ensure(total)
+        messages = []
+        for (column, entrants, exits), offset in zip(jobs, offsets):
+            stage.write(offset, column)
+            messages.append(
+                (
+                    "observe",
+                    stage.name,
+                    offset,
+                    int(column.shape[0]),
+                    column.dtype.str,
+                    entrants,
+                    exits,
+                )
+            )
+        for index, (conn, message) in enumerate(zip(self._connections, messages)):
+            try:
+                conn.send(message)
+            except OSError as exc:
+                raise ConsistencyError(
+                    f"shard worker {index} died mid-request ({exc}); restore "
+                    "the service from its last checkpoint"
+                ) from exc
+
+        def join() -> int:
+            advanced = 0
+            first_error = None
+            for index in range(self.n_shards):
+                try:
+                    self._recv(index)
+                    advanced += 1
+                except Exception as exc:
+                    if first_error is None:
+                        first_error = exc
+            if first_error is not None:
+                raise first_error
+            return advanced
+
+        return RoundTicket(join)
+
+    def answer(self, query, t: int, kwargs: dict) -> list[tuple[float, float]]:
+        return self._request_all(("answer", query, t, kwargs))
+
+    def ledgers(self) -> list[tuple[float, float]]:
+        return self._request_all(("ledger",))
+
+    def checkpoint_blobs(self) -> list[bytes]:
+        return self._request_all(("checkpoint",))
+
+    def close(self) -> None:
+        if self._finalizer.alive:
+            self._finalizer()
+
+
+_EXECUTORS = {
+    "serial": SerialShardExecutor,
+    "thread": ThreadShardExecutor,
+    "process": ProcessShardExecutor,
+}
+
+
+def resolve_strategy(executor: str | None) -> str:
+    """Resolve the strategy name: explicit arg, else env var, else serial."""
+    if executor is None:
+        executor = os.environ.get(EXECUTOR_ENV) or "serial"
+    executor = str(executor)
+    if executor not in _EXECUTORS:
+        raise ConfigurationError(
+            f"executor must be one of {EXECUTOR_STRATEGIES}, got {executor!r}"
+        )
+    return executor
+
+
+def make_executor(executor: str | None, shards: list, algorithm: str) -> ShardExecutor:
+    """Build the executor for ``executor`` (``None`` = env default)."""
+    return _EXECUTORS[resolve_strategy(executor)](shards, algorithm)

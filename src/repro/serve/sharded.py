@@ -10,10 +10,14 @@ merged as population-weighted averages of the per-shard answers, which
 for counting queries equals answering from the union of the shards'
 synthetic populations.
 
-This is the first scaling primitive toward serving very large panels:
-shards are independent state machines (they can be advanced on separate
-cores or hosts), and the whole service checkpoints into a single bundle
-that nests one streaming bundle per shard.
+Shards are independent state machines, and *how* they advance is a
+pluggable :class:`~repro.serve.executor.ShardExecutor` strategy:
+``executor="serial"`` (default; today's loop, bit for bit),
+``"thread"`` (a thread pool), or ``"process"`` (one persistent forked
+worker per shard, columns staged through shared memory).  All three
+produce byte-identical releases, ledgers, and checkpoint bundles.  The
+whole service checkpoints into a single bundle that nests one streaming
+bundle per shard.
 
 Example
 -------
@@ -23,20 +27,23 @@ Example
     from repro.queries import HammingAtLeast
 
     service = ShardedService(4, algorithm="cumulative",
-                             horizon=12, rho=0.005, seed=0)
+                             horizon=12, rho=0.005, seed=0,
+                             executor="process")
     for column in arriving_columns:     # one (n,) bit vector per round
         service.observe_round(column)
     service.answer(HammingAtLeast(3), t=6)
     service.checkpoint("service.ckpt")
+    service.close()
 """
 
 from __future__ import annotations
 
 import io
+from collections import deque
 
 import numpy as np
 
-from repro.core.population import validate_exit_ids
+from repro.core.population import validate_binary_column, validate_exit_ids
 from repro.exceptions import (
     ConfigurationError,
     ConsistencyError,
@@ -46,6 +53,7 @@ from repro.exceptions import (
 )
 from repro.rng import SeedLike, spawn
 from repro.serve.checkpoint import read_bundle, write_bundle
+from repro.serve.executor import RoundTicket, make_executor
 from repro.serve.streaming import _ALGORITHMS, StreamingSynthesizer
 
 __all__ = ["ShardedService"]
@@ -68,6 +76,14 @@ class ShardedService:
     seed:
         Master seed; each shard receives an independent spawned child
         stream, so results are reproducible for any ``K``.
+    executor:
+        Shard-stepping strategy: ``"serial"`` (default), ``"thread"``,
+        or ``"process"`` — see :mod:`repro.serve.executor`.  ``None``
+        reads ``$REPRO_SHARD_EXECUTOR``, falling back to serial.  All
+        strategies produce byte-identical outputs; ``"process"`` moves
+        each shard into a persistent forked worker (so the
+        :attr:`shards` property becomes unavailable) and stages round
+        columns through shared memory.
     **synthesizer_kwargs:
         Forwarded to every shard's synthesizer constructor — for
         ``"cumulative"`` at least ``horizon`` and ``rho``; for
@@ -79,7 +95,8 @@ class ShardedService:
     Raises
     ------
     repro.exceptions.ConfigurationError
-        If ``n_shards < 1`` or the algorithm name is unknown.
+        If ``n_shards < 1``, the algorithm name is unknown, or the
+        executor strategy is unknown/unsupported on this platform.
     """
 
     def __init__(
@@ -88,6 +105,7 @@ class ShardedService:
         *,
         algorithm: str = "cumulative",
         seed: SeedLike = None,
+        executor: str | None = None,
         **synthesizer_kwargs,
     ):
         if n_shards < 1:
@@ -97,6 +115,8 @@ class ShardedService:
         self._boundaries: np.ndarray | None = None  # K+1 initial split points
         self._shard_of: np.ndarray | None = None  # ever-id -> shard
         self._active: np.ndarray | None = None  # ever-id -> present now
+        self._loads: np.ndarray | None = None  # active count per shard
+        self._members: list[np.ndarray] | None = None  # ever-ids per shard
         self._poisoned: str | None = None  # set when shard clocks desync
         # One source of truth for supported algorithms: the streaming
         # wrapper's registry, whose constructor classmethods share the
@@ -107,9 +127,24 @@ class ShardedService:
             )
         factory = getattr(StreamingSynthesizer, self.algorithm)
         seeds = spawn(seed, self.n_shards)
-        self._shards = [
+        shards = [
             factory(seed=shard_seed, **synthesizer_kwargs) for shard_seed in seeds
         ]
+        self._adopt_shards(shards, executor)
+
+    def _adopt_shards(
+        self, shards: list[StreamingSynthesizer], executor: str | None
+    ) -> None:
+        """Cache shard-derived config, then hand the shards to an executor.
+
+        Must run *before* the executor is built: the process strategy
+        forks immediately, making the parent-side shard objects stale.
+        """
+        self._horizon = shards[0].horizon
+        self._t = shards[0].t
+        self._alphabet = getattr(shards[0].synthesizer, "alphabet", 2)
+        self._executor = make_executor(executor, shards, self.algorithm)
+        self._pending: deque[tuple[int, RoundTicket]] = deque()
 
     @classmethod
     def _from_shards(
@@ -119,17 +154,37 @@ class ShardedService:
         boundaries: np.ndarray | None,
         shard_of: np.ndarray | None,
         active: np.ndarray | None,
+        executor: str | None = "serial",
     ) -> "ShardedService":
         """Internal: assemble a service around already-built shards."""
         service = object.__new__(cls)
         service.n_shards = len(shards)
         service.algorithm = algorithm
-        service._shards = list(shards)
         service._boundaries = boundaries
         service._shard_of = shard_of
         service._active = active
+        service._loads = None
+        service._members = None
+        if shard_of is not None:
+            service._rebuild_assignment_caches()
         service._poisoned = None
+        service._adopt_shards(shards, executor)
         return service
+
+    def _rebuild_assignment_caches(self) -> None:
+        """Recompute the incremental load/membership caches from scratch.
+
+        Used at restore time (and after round 1 fixes the assignment);
+        every later churn round maintains these incrementally instead of
+        re-deriving them with a full ``bincount``/``flatnonzero`` sweep
+        over the ever-population.
+        """
+        self._loads = np.bincount(
+            self._shard_of[self._active], minlength=self.n_shards
+        )[: self.n_shards].astype(np.int64)
+        self._members = [
+            np.flatnonzero(self._shard_of == s) for s in range(self.n_shards)
+        ]
 
     # ------------------------------------------------------------------
     # Serving API
@@ -137,18 +192,31 @@ class ShardedService:
 
     @property
     def shards(self) -> tuple[StreamingSynthesizer, ...]:
-        """The per-shard streaming synthesizers, in assignment order."""
-        return tuple(self._shards)
+        """The per-shard streaming synthesizers, in assignment order.
+
+        Raises
+        ------
+        repro.exceptions.ConfigurationError
+            Under the ``"process"`` executor, whose shard objects live
+            in worker processes.
+        """
+        self._drain()
+        return tuple(self._executor.shards)
+
+    @property
+    def executor(self) -> str:
+        """The active shard-stepping strategy name."""
+        return self._executor.strategy
 
     @property
     def t(self) -> int:
-        """Rounds observed so far (identical across shards)."""
-        return self._shards[0].t
+        """Rounds ingested so far (dispatched rounds for async callers)."""
+        return self._t
 
     @property
     def horizon(self) -> int:
         """Total rounds the stream will carry."""
-        return self._shards[0].horizon
+        return self._horizon
 
     @property
     def n(self) -> int:
@@ -200,15 +268,18 @@ class ShardedService:
         """
         if self._shard_of is None:
             raise NotFittedError("no data observed yet")
-        return [np.flatnonzero(self._shard_of == s) for s in range(self.n_shards)]
+        return [members.copy() for members in self._members]
 
     def shard_loads(self) -> np.ndarray:
-        """Active individuals per shard — the entrant-routing load metric."""
+        """Active individuals per shard — the entrant-routing load metric.
+
+        Maintained incrementally as churn is ingested (exits decrement,
+        routed entrants increment), so reading it — and the entrant
+        routing that consumes it — never re-scans the ever-population.
+        """
         if self._active is None:
             raise NotFittedError("no data observed yet")
-        return np.bincount(
-            self._shard_of[self._active], minlength=self.n_shards
-        )[: self.n_shards]
+        return self._loads.copy()
 
     def observe_round(self, column, *, entrants: int = 0, exits=None) -> "ShardedService":
         """Ingest the next round: split the column and advance every shard.
@@ -247,12 +318,36 @@ class ShardedService:
         repro.exceptions.ConsistencyError
             If a shard fails *mid-round* (only possible through
             noise-dependent per-shard failures such as
-            ``on_negative="raise"``): earlier shards have already
-            ingested the round, so the service marks itself
-            desynchronized and refuses all further operations except
-            :meth:`shard_ledgers` — restore from the last checkpoint (or
-            use ``on_negative="redistribute"``, the default, which
-            cannot fail mid-round).
+            ``on_negative="raise"``): other shards have already ingested
+            the round, so the service marks itself desynchronized and
+            refuses all further operations except :meth:`shard_ledgers`
+            — restore from the last checkpoint (or use
+            ``on_negative="redistribute"``, the default, which cannot
+            fail mid-round).
+        """
+        self.observe_round_async(column, entrants=entrants, exits=exits).wait()
+        return self
+
+    def observe_round_async(
+        self, column, *, entrants: int = 0, exits=None
+    ) -> RoundTicket:
+        """Validate, stage, and dispatch one round without joining it.
+
+        The round is validated and the service-side churn assignment is
+        committed *synchronously* (so a rejected round raises here and
+        leaves every shard untouched); the per-shard ingestion is then
+        handed to the executor and a :class:`~repro.serve.executor.RoundTicket`
+        is returned.  Under the ``"process"`` strategy up to **two**
+        rounds may be in flight — staging round ``r+1``'s columns into
+        shared memory overlaps round ``r``'s compute — and dispatching a
+        third blocks on the oldest (its staging buffer is being reused).
+        The serial and thread strategies ingest before returning, so the
+        ticket is already complete.
+
+        Joining happens implicitly before any read (``answer``,
+        ``shard_ledgers``, ``checkpoint`` …) or explicitly via
+        ``ticket.wait()``, which re-raises the round's failure (and
+        poisons the service) if a shard rejected it mid-flight.
         """
         self._check_not_poisoned()
         column = np.asarray(column)
@@ -261,21 +356,19 @@ class ShardedService:
         # All-or-nothing rounds need the value check *before* any shard
         # advances; the legal range is the shards' alphabet (2 for the
         # binary algorithms).
-        alphabet = getattr(self._shards[0].synthesizer, "alphabet", 2)
-        if alphabet == 2:
-            if column.size and not np.isin(column, (0, 1)).all():
-                raise DataValidationError("column entries must be 0 or 1")
-        elif column.size and (column.min() < 0 or column.max() >= alphabet):
+        if self._alphabet == 2:
+            validate_binary_column(column)
+        elif column.size and (column.min() < 0 or column.max() >= self._alphabet):
             raise DataValidationError(
-                f"column entries must lie in [0, {alphabet})"
+                f"column entries must lie in [0, {self._alphabet})"
             )
-        if self.t >= self.horizon:
-            raise DataValidationError(f"horizon {self.horizon} already exhausted")
+        if self._t >= self._horizon:
+            raise DataValidationError(f"horizon {self._horizon} already exhausted")
         entrants = int(entrants)
         if entrants < 0:
             raise DataValidationError(f"entrants must be non-negative, got {entrants}")
         exit_ids = np.asarray([] if exits is None else exits, dtype=np.int64)
-        round_number = self.t + 1  # read before shard 0's clock advances
+        round_number = self._t + 1
         if self._boundaries is None:
             if exit_ids.size:
                 raise DataValidationError(
@@ -297,6 +390,7 @@ class ShardedService:
             self._boundaries = np.concatenate([[0], np.cumsum(sizes)])
             self._shard_of = np.repeat(np.arange(self.n_shards), sizes)
             self._active = np.ones(n, dtype=bool)
+            self._rebuild_assignment_caches()
         elif column.shape[0] != self.n - exit_ids.size + entrants:
             raise DataValidationError(
                 f"column has {column.shape[0]} entries, expected "
@@ -316,35 +410,80 @@ class ShardedService:
             shard_churn = [(0, None)] * self.n_shards
         else:
             shard_columns, shard_churn = self._route_churn(column, entrants, exit_ids)
-        advanced = 0
+        # Double-buffered staging: at most two rounds in flight, so the
+        # parity buffer of round r is free again when round r+2 stages.
+        while len(self._pending) >= 2:
+            self._wait_oldest()
+        jobs = [
+            (shard_column, shard_entrants, shard_exits)
+            for shard_column, (shard_entrants, shard_exits) in zip(
+                shard_columns, shard_churn
+            )
+        ]
+        inner = self._executor.dispatch_round(jobs)
+        self._t = round_number
+        ticket = RoundTicket(lambda: self._join_round(round_number, inner))
+        self._pending.append((round_number, ticket))
+        if inner.done:
+            # Serial/thread strategies ingest eagerly; surface failures
+            # now (poisoning included) instead of at the next read.
+            ticket.wait()
+        return ticket
+
+    def _join_round(self, round_number: int, inner: RoundTicket) -> int:
+        """Join one dispatched round, poisoning the service on failure."""
         try:
-            for shard, shard_column, (shard_entrants, shard_exits) in zip(
-                self._shards, shard_columns, shard_churn
-            ):
-                shard.observe_round(
-                    shard_column, entrants=shard_entrants, exits=shard_exits
-                )
-                advanced += 1
+            inner.wait()
         except Exception:
             # Pre-validation covers every data-level failure, so reaching
             # here means a shard failed *during* its update.  Whether or
-            # not earlier shards advanced, the round is now partially
+            # not other shards advanced, the round is now partially
             # ingested and the clocks can no longer be trusted —
             # fail closed instead of serving silently wrong merges.
-            self._poisoned = (
-                f"round {round_number} failed after {advanced} of "
-                f"{self.n_shards} shards ingested it"
-            )
+            if self._poisoned is None:
+                self._poisoned = (
+                    f"round {round_number} failed after {inner.completed} of "
+                    f"{self.n_shards} shards ingested it"
+                )
             raise
-        return self
+        finally:
+            self._pending = deque(
+                (number, pending)
+                for number, pending in self._pending
+                if number != round_number
+            )
+        return inner.completed
+
+    def _wait_oldest(self) -> None:
+        """Join the oldest in-flight round (propagating its failure)."""
+        self._pending[0][1].wait()
+
+    def _drain(self) -> None:
+        """Join every in-flight round before reading derived state."""
+        while self._pending:
+            self._wait_oldest()
 
     def _split_active_column(self, column: np.ndarray) -> list[np.ndarray]:
-        """Split a churn-free round's column along the current membership."""
+        """Split a churn-free round's column along the current membership.
+
+        Each shard's active members occupy ascending column positions;
+        when those positions are contiguous (always true until an exit
+        interleaves shards, and common afterwards for shards that kept
+        their block) the shard's slice is returned as a **view**, so a
+        churn-free round on a 10M-row panel splits without copying.
+        """
         position = np.cumsum(self._active) - 1  # active id -> column position
-        return [
-            column[position[np.flatnonzero((self._shard_of == s) & self._active)]]
-            for s in range(self.n_shards)
-        ]
+        out: list[np.ndarray] = []
+        for s in range(self.n_shards):
+            members = self._members[s]
+            indices = position[members[self._active[members]]]
+            if not indices.size:
+                out.append(column[:0])
+            elif int(indices[-1]) - int(indices[0]) + 1 == indices.size:
+                out.append(column[int(indices[0]): int(indices[-1]) + 1])
+            else:
+                out.append(column[indices])
+        return out
 
     def _route_churn(
         self, column: np.ndarray, entrants: int, exit_ids: np.ndarray
@@ -362,9 +501,9 @@ class ShardedService:
         exit_ids = validate_exit_ids(exit_ids, self._active)
         # Route entrants to the least-loaded shard, one by one (ties to
         # the lowest shard index), counting this round's exits as gone.
-        loads = np.bincount(
-            self._shard_of[self._active], minlength=self.n_shards
-        )[: self.n_shards].astype(np.int64)
+        # The load vector is the incrementally maintained cache — no
+        # bincount over the ever-population per churn round.
+        loads = self._loads.copy()
         if exit_ids.size:
             loads -= np.bincount(
                 self._shard_of[exit_ids], minlength=self.n_shards
@@ -387,8 +526,9 @@ class ShardedService:
 
         shard_columns: list[np.ndarray] = []
         shard_churn: list[tuple[int, np.ndarray]] = []
+        new_members: list[np.ndarray] = []
         for s in range(self.n_shards):
-            members = np.flatnonzero(self._shard_of == s)  # ascending ids
+            members = self._members[s]  # ascending ids (cached)
             if exit_ids.size:
                 shard_exit_global = exit_ids[self._shard_of[exit_ids] == s]
             else:
@@ -404,12 +544,17 @@ class ShardedService:
             reporting = np.concatenate([surviving_members, shard_new])
             shard_columns.append(column[position[reporting]])
             shard_churn.append((int(shard_new.shape[0]), local_exits))
+            new_members.append(
+                np.concatenate([members, shard_new]) if shard_new.size else members
+            )
 
         # Commit the service-side assignment only after the per-shard
         # views are built (shard-level failures then poison the service).
         self._active[exit_ids] = False
         self._shard_of = np.concatenate([self._shard_of, entrant_shards])
         self._active = np.concatenate([self._active, np.ones(entrants, dtype=bool)])
+        self._loads = loads
+        self._members = new_members
         return shard_columns, shard_churn
 
     def answer(self, query, t: int, **kwargs) -> float:
@@ -438,30 +583,13 @@ class ShardedService:
             the union — exactly what a single unsharded release reports.
         """
         self._check_not_poisoned()
+        self._drain()
         weighted = 0.0
-        total = 0
-        for shard in self._shards:
-            release = shard.release
-            weight = self._merge_weight(release, t, **kwargs)
-            weighted += weight * release.answer(query, t, **kwargs)
+        total = 0.0
+        for weight, value in self._executor.answer(query, t, dict(kwargs)):
+            weighted += weight * value
             total += weight
         return weighted / total
-
-    def _merge_weight(self, release, t: int, **kwargs) -> int:
-        """Population weight of one shard's answers at round ``t``.
-
-        Each weight equals the denominator of that shard's answer at
-        ``t``, so the weighted average is exactly the fraction over the
-        union — also under churn, where shard populations move round by
-        round.
-        """
-        if self.algorithm == "cumulative":
-            return release.threshold_count(0, t)
-        # Debiased window answers are fractions of the real sub-population;
-        # biased ones are fractions of the padded synthetic population.
-        if kwargs.get("debias", True):
-            return release.population(t)
-        return release.synthetic_population(t)
 
     def _check_not_poisoned(self) -> None:
         """Refuse to operate on a desynchronized service."""
@@ -479,26 +607,25 @@ class ShardedService:
         sum.  Returns 0.0 when every shard runs noiseless
         (``rho = inf``).
         """
-        spends = [
-            shard.synthesizer.accountant.spent
-            for shard in self._shards
-            if shard.synthesizer.accountant is not None
-        ]
-        return max(spends, default=0.0)
+        return max(
+            (spent for spent, _ in self.shard_ledgers()), default=0.0
+        )
 
     def shard_ledgers(self) -> list[tuple[float, float]]:
         """Per-shard ``(spent, remaining)`` zCDP, in shard order.
 
         Shards running noiseless (``rho = inf``) report ``(0.0, inf)``.
+        Readable even on a poisoned service (it is the one surface the
+        desync guard does not cover — auditing spend stays possible).
         """
-        out = []
-        for shard in self._shards:
-            accountant = shard.synthesizer.accountant
-            if accountant is None:
-                out.append((0.0, float("inf")))
-            else:
-                out.append((accountant.spent, accountant.remaining))
-        return out
+        try:
+            self._drain()
+        except Exception:
+            # A failed in-flight round poisons the service but must not
+            # hide the ledgers — the accountants charged before any
+            # per-shard failure could occur.
+            pass
+        return self._executor.ledgers()
 
     # ------------------------------------------------------------------
     # Durability
@@ -521,12 +648,11 @@ class ShardedService:
             If any shard state cannot be serialized.
         """
         self._check_not_poisoned()
+        self._drain()
         shard_blobs: dict = {}
-        for index, shard in enumerate(self._shards):
-            buffer = io.BytesIO()
-            shard.checkpoint(buffer)
+        for index, blob in enumerate(self._executor.checkpoint_blobs()):
             shard_blobs[str(index)] = {
-                "bundle": np.frombuffer(buffer.getvalue(), dtype=np.uint8)
+                "bundle": np.frombuffer(blob, dtype=np.uint8)
             }
         state = {"shards": shard_blobs}
         if self._boundaries is not None:
@@ -544,13 +670,18 @@ class ShardedService:
         )
 
     @classmethod
-    def restore(cls, path) -> "ShardedService":
+    def restore(cls, path, *, executor: str | None = None) -> "ShardedService":
         """Resume a service from a :meth:`checkpoint` bundle.
 
         Parameters
         ----------
         path:
             Bundle file path or readable binary file object.
+        executor:
+            Shard-stepping strategy for the restored service; ``None``
+            reads ``$REPRO_SHARD_EXECUTOR``, falling back to serial.
+            Checkpoints are strategy-agnostic, so a bundle written under
+            one executor restores under any other.
 
         Returns
         -------
@@ -668,11 +799,35 @@ class ShardedService:
                     f"service-side membership {member_counts.tolist()} disagrees "
                     f"with the shards' lifespan tables {ever_counts}"
                 )
-        return cls._from_shards(shards, algorithm, boundaries, shard_of, active)
+        return cls._from_shards(
+            shards, algorithm, boundaries, shard_of, active, executor=executor
+        )
+
+    def close(self) -> None:
+        """Join in-flight rounds and release executor resources.
+
+        Required for the ``"process"`` strategy (worker processes and
+        shared-memory segments); a no-op for serial.  Idempotent, and
+        also invoked by a finalizer as a safety net — but call it
+        explicitly (or use the service as a context manager) to bound
+        resource lifetime deterministically.
+        """
+        try:
+            self._drain()
+        except Exception:
+            pass  # a poisoned in-flight round must not block teardown
+        self._executor.close()
+
+    def __enter__(self) -> "ShardedService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def __repr__(self) -> str:
         fitted = self._boundaries is not None
         return (
             f"ShardedService(algorithm={self.algorithm!r}, K={self.n_shards}, "
-            f"t={self.t}, n={self.n if fitted else '?'})"
+            f"executor={self.executor!r}, t={self.t}, "
+            f"n={self.n if fitted else '?'})"
         )

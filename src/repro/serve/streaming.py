@@ -287,8 +287,8 @@ class StreamingSynthesizer:
         ----------
         path:
             Target file path (or writable binary file object).  The
-            bundle is a zip with a ``manifest.json`` and an
-            ``arrays.npz`` member — see
+            bundle is a zip with a ``manifest.json`` and one streamed
+            ``arrays/<key>.npy`` member per state array — see
             :mod:`repro.serve.checkpoint` and the docs' checkpoint-format
             page.
 
@@ -305,11 +305,14 @@ class StreamingSynthesizer:
         monotonized threshold table (or released histograms), the
         synthetic store, and the zCDP ledger.
         """
+        # copy=False: the writer streams each array straight into the zip,
+        # so there is no need to materialize a second copy of the state —
+        # the bundle is consumed before control returns to the caller.
         write_bundle(
             path,
             kind="streaming",
             config=self._synthesizer.config_dict(),
-            state=self._synthesizer.state_dict(),
+            state=self._synthesizer.state_dict(copy=False),
         )
 
     @classmethod

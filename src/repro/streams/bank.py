@@ -67,6 +67,7 @@ from repro.rng import (
     restore_generator_state,
     spawn,
 )
+from repro.streams.layout import ArrayArena
 from repro.streams.sqrt_factorization import sqrt_factorization_coefficients
 
 __all__ = [
@@ -303,8 +304,18 @@ class CounterBank(abc.ABC):
     # Checkpointing
     # ------------------------------------------------------------------
 
-    def state_dict(self) -> dict:
+    def state_dict(self, *, copy: bool = True) -> dict:
         """Snapshot the bank's full mid-stream state.
+
+        Parameters
+        ----------
+        copy:
+            Copy the state arrays into the snapshot (default, safe to
+            hold across further rounds).  ``copy=False`` returns live
+            views of the bank's buffers instead — the streaming
+            checkpoint writer uses this to spool arrays into the bundle
+            without materializing a second copy of the bank state; such a
+            snapshot must be fully consumed before the bank advances.
 
         Returns
         -------
@@ -314,15 +325,15 @@ class CounterBank(abc.ABC):
             and subclass-specific buffers (tree levels, correlated-noise
             history, wrapped-counter states).  Array values stay NumPy
             arrays — the :mod:`repro.serve` checkpoint layer routes them
-            into the bundle's ``.npz`` member.  A restored bank continues
+            into the bundle's array members.  A restored bank continues
             the stream with byte-identical noise draws.
         """
         return {
             "type": type(self).__name__,
             "t": int(self._t),
-            "true_sums": self._true_sums.copy(),
+            "true_sums": self._true_sums.copy() if copy else self._true_sums,
             "generator": generator_state(self._generator),
-            "extra": self._state_extra(),
+            "extra": self._state_extra(copy),
         }
 
     def load_state(self, state: dict) -> None:
@@ -376,8 +387,12 @@ class CounterBank(abc.ABC):
         # with a repositioned noise stream (the silent-divergence case).
         restore_generator_state(self._generator, generator)
 
-    def _state_extra(self) -> dict:
-        """Subclass hook: state beyond the base fields (arrays allowed)."""
+    def _state_extra(self, copy: bool = True) -> dict:
+        """Subclass hook: state beyond the base fields (arrays allowed).
+
+        ``copy=False`` may return live views of the bank's buffers (see
+        :meth:`state_dict`).
+        """
         return {}
 
     def _load_extra(self, extra: dict) -> None:
@@ -479,9 +494,20 @@ class _TreeBankCore(CounterBank):
         lengths = self.row_horizons()
         self.levels = np.array([int(n).bit_length() for n in lengths], dtype=np.int64)
         n_levels = int(self.levels[0])  # row 0 has the longest stream
-        self._alpha = np.zeros((self.n_reps, self.horizon, n_levels), dtype=np.int64)
-        self._alpha_noisy = np.zeros((self.n_reps, self.horizon, n_levels), dtype=np.int64)
+        # Both level-buffer families live in one contiguous arena block,
+        # column-major, so a shard's whole tree state is a single buffer
+        # (snapshot-able, shareable across processes).
+        self._arena = self._tree_arena(n_levels)
+        self._alpha = self._arena["alpha"]
+        self._alpha_noisy = self._arena["alpha_noisy"]
         self._level_idx = np.arange(n_levels, dtype=np.int64)
+
+    def _tree_arena(self, n_levels: int) -> ArrayArena:
+        """One contiguous block for both level-buffer families."""
+        shape = (self.n_reps, self.horizon, n_levels)
+        return ArrayArena(
+            [("alpha", shape, np.int64, "F"), ("alpha_noisy", shape, np.int64, "F")]
+        )
 
     def _feed(self, z: np.ndarray) -> np.ndarray:
         t = self._t
@@ -521,11 +547,14 @@ class _TreeBankCore(CounterBank):
         n_levels = int(self.levels[0])
         # Appending rows and (zero) level buffers preserves every existing
         # buffer value in place; deeper local clocks of the widened rows
-        # simply start folding into the fresh columns.
-        grown = np.zeros((self.n_reps, self.horizon, n_levels), dtype=np.int64)
+        # simply start folding into the fresh columns.  The arena cannot
+        # grow, so the extension builds one for the new layout and copies.
+        grown_arena = self._tree_arena(n_levels)
+        grown = grown_arena["alpha"]
         grown[:, :old_horizon, : self._alpha.shape[2]] = self._alpha
-        grown_noisy = np.zeros((self.n_reps, self.horizon, n_levels), dtype=np.int64)
+        grown_noisy = grown_arena["alpha_noisy"]
         grown_noisy[:, :old_horizon, : self._alpha_noisy.shape[2]] = self._alpha_noisy
+        self._arena = grown_arena
         self._alpha, self._alpha_noisy = grown, grown_noisy
         self._level_idx = np.arange(n_levels, dtype=np.int64)
         extra = self._extension_cost(old_levels, self.levels[:old_horizon])
@@ -542,15 +571,21 @@ class _TreeBankCore(CounterBank):
     def _append_rows_noise(self, k: int) -> None:
         """Append the noise calibration for the ``k`` new rows."""
 
-    def _state_extra(self) -> dict:
+    def _state_extra(self, copy: bool = True) -> dict:
+        if not copy:
+            return {"alpha": self._alpha, "alpha_noisy": self._alpha_noisy}
         return {
             "alpha": self._alpha.copy(),
             "alpha_noisy": self._alpha_noisy.copy(),
         }
 
     def _load_extra(self, extra: dict) -> None:
-        self._alpha = self._require_array(extra, "alpha", self._alpha)
-        self._alpha_noisy = self._require_array(extra, "alpha_noisy", self._alpha_noisy)
+        # Copy *into* the arena views: restoring must not unhook the
+        # state from its contiguous backing block.
+        self._alpha[...] = self._require_array(extra, "alpha", self._alpha)
+        self._alpha_noisy[...] = self._require_array(
+            extra, "alpha_noisy", self._alpha_noisy
+        )
 
     @abc.abstractmethod
     def _round_noise(self, t: int) -> np.ndarray:
@@ -784,7 +819,10 @@ class SqrtFactorizationBank(CounterBank):
             )
         self.sigma_rows = np.sqrt(sigma_sq)
         self._noiseless = bool((self.sigma_rows == 0).all())
-        self._xi = np.zeros((self.n_reps, self.horizon, self.horizon), dtype=np.float64)
+        self._arena = ArrayArena(
+            [("xi", (self.n_reps, self.horizon, self.horizon), np.float64, "F")]
+        )
+        self._xi = self._arena["xi"]
 
     def _feed(self, z: np.ndarray) -> np.ndarray:
         t = self._t
@@ -800,11 +838,11 @@ class SqrtFactorizationBank(CounterBank):
         correlated = self._xi[:, :t, :t] @ self.coefficients[:t][::-1]
         return self._true_sums[:t][None, :] + correlated
 
-    def _state_extra(self) -> dict:
-        return {"xi": self._xi.copy()}
+    def _state_extra(self, copy: bool = True) -> dict:
+        return {"xi": self._xi.copy() if copy else self._xi}
 
     def _load_extra(self, extra: dict) -> None:
-        self._xi = self._require_array(extra, "xi", self._xi)
+        self._xi[...] = self._require_array(extra, "xi", self._xi)
 
     def error_stddev(self, b: int, t: int) -> float:
         self._check_row(b)
@@ -870,7 +908,7 @@ class FallbackBank(CounterBank):
             dtype=np.float64,
         )
 
-    def _state_extra(self) -> dict:
+    def _state_extra(self, copy: bool = True) -> dict:
         # Wrapped scalar counters serialize through their own state_dict
         # (JSON-safe payloads, keyed by row index as a string).  Rows that
         # have not activated yet will draw from their row-seed generators

@@ -1,0 +1,222 @@
+"""Contiguous array arenas for per-shard state.
+
+The counter banks and the window engine each hold a small family of state
+arrays that are allocated, checkpointed, and (for the sharded service)
+shipped between processes *together*.  An :class:`ArrayArena` carves every
+array of such a family out of **one** contiguous backing buffer:
+
+* a *local* arena backs the views with a single heap allocation, so the
+  family is cache-adjacent and can be snapshotted or hashed as one block;
+* a *shared* arena backs them with a
+  :class:`multiprocessing.shared_memory.SharedMemory` segment, so a
+  process-strategy shard executor can expose the same state to a worker
+  process zero-copy — the worker attaches by name and sees the identical
+  layout.
+
+Layouts are declared as ``(key, shape, dtype[, order])`` specs; 2-D+
+state (the window engine's histogram block, the banks' level buffers) is
+typically declared column-major (``order="F"``) so per-round column
+access touches one contiguous run of the buffer.  Offsets are aligned to
+:data:`ALIGNMENT` bytes, which keeps every view SIMD-friendly regardless
+of what precedes it.
+
+The arena is deliberately dumb: it neither grows nor reallocates.  Callers
+that outgrow a layout (``CounterBank.extend_rows``) build a new arena for
+the grown shapes and copy the old views across — exactly what they
+previously did with free-floating ``np.zeros`` allocations.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["ALIGNMENT", "ArrayArena"]
+
+#: Byte alignment of every array inside an arena (one x86-64 cache line,
+#: and enough for any current SIMD width numpy dispatches to).
+ALIGNMENT = 64
+
+_ORDERS = ("C", "F")
+
+
+def _parse_specs(specs) -> list[tuple[str, tuple, np.dtype, str]]:
+    parsed: list[tuple[str, tuple, np.dtype, str]] = []
+    seen: set[str] = set()
+    for spec in specs:
+        try:
+            key, shape, dtype = spec[0], spec[1], spec[2]
+            order = spec[3] if len(spec) > 3 else "C"
+        except (TypeError, IndexError) as exc:
+            raise ConfigurationError(
+                f"arena specs must be (key, shape, dtype[, order]) tuples, "
+                f"got {spec!r}"
+            ) from exc
+        if not isinstance(key, str) or not key:
+            raise ConfigurationError(f"arena keys must be non-empty strings, got {key!r}")
+        if key in seen:
+            raise ConfigurationError(f"duplicate arena key {key!r}")
+        seen.add(key)
+        if order not in _ORDERS:
+            raise ConfigurationError(f"order must be 'C' or 'F', got {order!r}")
+        shape = tuple(int(extent) for extent in np.atleast_1d(np.asarray(shape)))
+        if any(extent < 0 for extent in shape):
+            raise ConfigurationError(f"array {key!r} has negative shape {shape}")
+        parsed.append((key, shape, np.dtype(dtype), order))
+    return parsed
+
+
+class ArrayArena:
+    """Named NumPy arrays carved out of one contiguous backing buffer.
+
+    Parameters
+    ----------
+    specs:
+        Iterable of ``(key, shape, dtype)`` or ``(key, shape, dtype,
+        order)`` tuples declaring the layout, in buffer order.  ``order``
+        is ``"C"`` (default) or ``"F"`` (column-major — the natural layout
+        for per-round column access into 2-D state blocks).
+    shared:
+        Back the buffer with a POSIX shared-memory segment instead of a
+        private heap allocation, so another process can attach the same
+        state zero-copy (see ``name``).
+    name:
+        Only with ``shared=True``: attach to an *existing* segment of
+        this name (created by another arena, typically in another
+        process) instead of creating a fresh one.  The attaching side
+        must declare the identical layout.
+
+    Raises
+    ------
+    repro.exceptions.ConfigurationError
+        On malformed specs, duplicate keys, a ``name`` without
+        ``shared=True``, or an attached segment too small for the layout.
+
+    Notes
+    -----
+    Freshly created buffers are zero-filled (both backends), matching the
+    ``np.zeros`` allocations the arena replaces.  A shared arena owns its
+    segment only when it created it: :meth:`close` detaches either way,
+    :meth:`unlink` removes the segment and is the creator's job.
+    """
+
+    def __init__(self, specs, *, shared: bool = False, name: str | None = None):
+        if name is not None and not shared:
+            raise ConfigurationError("name= requires shared=True")
+        self._specs = _parse_specs(specs)
+        offset = 0
+        placed: list[tuple[str, tuple, np.dtype, str, int]] = []
+        for key, shape, dtype, order in self._specs:
+            offset = ALIGNMENT * math.ceil(offset / ALIGNMENT)
+            placed.append((key, shape, dtype, order, offset))
+            offset += dtype.itemsize * math.prod(shape)
+        self.nbytes = offset
+        self._owns_segment = False
+        if shared:
+            from multiprocessing import shared_memory
+
+            if name is None:
+                self._shm = shared_memory.SharedMemory(
+                    create=True, size=max(self.nbytes, 1)
+                )
+                self._owns_segment = True
+                # A fresh segment's content is not guaranteed zeroed on
+                # every platform; make the zero-fill contract explicit.
+                self._shm.buf[: self.nbytes] = bytes(self.nbytes)
+            else:
+                self._shm = shared_memory.SharedMemory(name=name)
+                if self._shm.size < self.nbytes:
+                    self._shm.close()
+                    raise ConfigurationError(
+                        f"shared segment {name!r} holds {self._shm.size} bytes; "
+                        f"the declared layout needs {self.nbytes}"
+                    )
+            buffer, base = self._shm.buf, 0
+        else:
+            self._shm = None
+            # Over-allocate so the first view can start on an ALIGNMENT
+            # boundary even though np.zeros only promises ~16-byte bases.
+            raw = np.zeros(self.nbytes + ALIGNMENT, dtype=np.uint8)
+            address = raw.__array_interface__["data"][0]
+            base = (-address) % ALIGNMENT
+            buffer = raw
+        self._views = {
+            key: np.ndarray(
+                shape, dtype=dtype, buffer=buffer, offset=base + off, order=order
+            )
+            for key, shape, dtype, order, off in placed
+        }
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+
+    @property
+    def name(self) -> str | None:
+        """The shared segment's name (``None`` for a local arena)."""
+        return None if self._shm is None else self._shm.name
+
+    @property
+    def shared(self) -> bool:
+        """Whether the buffer lives in a shared-memory segment."""
+        return self._shm is not None
+
+    def keys(self) -> list[str]:
+        """The layout's array keys, in buffer order."""
+        return [key for key, _, _, _ in self._specs]
+
+    def __getitem__(self, key: str) -> np.ndarray:
+        """The named array view (backed by the arena buffer, writable)."""
+        try:
+            return self._views[key]
+        except KeyError:
+            raise ConfigurationError(
+                f"arena has no array {key!r}; layout holds {self.keys()}"
+            ) from None
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._views
+
+    def arrays(self) -> dict[str, np.ndarray]:
+        """All views as a ``{key: array}`` mapping (shared, not copies)."""
+        return dict(self._views)
+
+    # ------------------------------------------------------------------
+    # Lifecycle (shared backend)
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Drop the views and detach from a shared segment.
+
+        After closing, the arena's arrays are unusable.  No-op for local
+        arenas beyond releasing the views.
+        """
+        self._views = {}
+        if self._shm is not None:
+            self._shm.close()
+            self._shm = None
+
+    def unlink(self) -> None:
+        """Remove the shared segment from the system (creator's job).
+
+        Implies :meth:`close`.  No-op for local arenas and for arenas
+        that merely attached to a foreign segment.
+        """
+        shm = self._shm
+        owns = self._owns_segment
+        self.close()
+        if shm is not None and owns:
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already removed
+                pass
+
+    def __repr__(self) -> str:
+        backend = f"shared:{self.name}" if self.shared else "local"
+        return (
+            f"ArrayArena({len(self._specs)} arrays, {self.nbytes} bytes, "
+            f"{backend})"
+        )

@@ -37,6 +37,7 @@ def test_all_pages_built(built_docs):
         "architecture.html",
         "engines.html",
         "serving.html",
+        "scaling-out.html",
         "dynamic-populations.html",
         "privacy-accounting.html",
         "checkpoint-format.html",

@@ -121,16 +121,15 @@ def test_tampered_categorical_bundle_rejected(panel):
 
     with zipfile.ZipFile(io.BytesIO(bytes(raw))) as bundle:
         names = bundle.namelist()
-        arrays = bundle.read("arrays.npz")
-        manifest = bundle.read("manifest.json")
-    corrupted = bytearray(arrays)
+        members = {name: bundle.read(name) for name in names}
+    victim = next(name for name in names if name.startswith("arrays/"))
+    corrupted = bytearray(members[victim])
     corrupted[len(corrupted) // 2] ^= 0xFF
+    members[victim] = bytes(corrupted)
     tampered = io.BytesIO()
     with zipfile.ZipFile(tampered, "w") as bundle:
         for name in names:
-            bundle.writestr(
-                name, bytes(corrupted) if name == "arrays.npz" else manifest
-            )
+            bundle.writestr(name, members[name])
     tampered.seek(0)
     with pytest.raises(SerializationError):
         StreamingSynthesizer.restore(tampered)

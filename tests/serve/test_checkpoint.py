@@ -152,50 +152,46 @@ def _checkpoint_bytes(columns) -> bytes:
     return buffer.getvalue()
 
 
-def test_tampered_arrays_rejected(columns):
-    blob = bytearray(_checkpoint_bytes(columns))
-    source = io.BytesIO(bytes(blob))
-    with zipfile.ZipFile(source) as bundle:
-        arrays = bytearray(bundle.read("arrays.npz"))
-        manifest = bundle.read("manifest.json")
-    arrays[len(arrays) // 2] ^= 0xFF
+def _unpack(blob: bytes) -> dict[str, bytes]:
+    with zipfile.ZipFile(io.BytesIO(blob)) as bundle:
+        return {name: bundle.read(name) for name in bundle.namelist()}
+
+
+def _repack(members: dict[str, bytes]) -> io.BytesIO:
     tampered = io.BytesIO()
     with zipfile.ZipFile(tampered, "w") as bundle:
-        bundle.writestr("manifest.json", manifest)
-        bundle.writestr("arrays.npz", bytes(arrays))
+        for name, data in members.items():
+            bundle.writestr(name, data)
     tampered.seek(0)
+    return tampered
+
+
+def test_tampered_arrays_rejected(columns):
+    members = _unpack(_checkpoint_bytes(columns))
+    victim = next(name for name in members if name.startswith("arrays/"))
+    blob = bytearray(members[victim])
+    blob[len(blob) // 2] ^= 0xFF
+    members[victim] = bytes(blob)
     with pytest.raises(SerializationError, match="array checksum"):
-        StreamingSynthesizer.restore(tampered)
+        StreamingSynthesizer.restore(_repack(members))
 
 
 def test_tampered_manifest_rejected(columns):
-    source = io.BytesIO(_checkpoint_bytes(columns))
-    with zipfile.ZipFile(source) as bundle:
-        arrays = bundle.read("arrays.npz")
-        manifest = json.loads(bundle.read("manifest.json"))
+    members = _unpack(_checkpoint_bytes(columns))
+    manifest = json.loads(members["manifest.json"])
     manifest["state"]["t"] = 2  # rewind the clock without re-signing
-    tampered = io.BytesIO()
-    with zipfile.ZipFile(tampered, "w") as bundle:
-        bundle.writestr("manifest.json", json.dumps(manifest))
-        bundle.writestr("arrays.npz", arrays)
-    tampered.seek(0)
+    members["manifest.json"] = json.dumps(manifest)
     with pytest.raises(SerializationError, match="state checksum"):
-        StreamingSynthesizer.restore(tampered)
+        StreamingSynthesizer.restore(_repack(members))
 
 
 def test_version_mismatch_rejected(columns):
-    source = io.BytesIO(_checkpoint_bytes(columns))
-    with zipfile.ZipFile(source) as bundle:
-        arrays = bundle.read("arrays.npz")
-        manifest = json.loads(bundle.read("manifest.json"))
+    members = _unpack(_checkpoint_bytes(columns))
+    manifest = json.loads(members["manifest.json"])
     manifest["format_version"] = 99
-    tampered = io.BytesIO()
-    with zipfile.ZipFile(tampered, "w") as bundle:
-        bundle.writestr("manifest.json", json.dumps(manifest))
-        bundle.writestr("arrays.npz", arrays)
-    tampered.seek(0)
+    members["manifest.json"] = json.dumps(manifest)
     with pytest.raises(SerializationError, match="format version"):
-        StreamingSynthesizer.restore(tampered)
+        StreamingSynthesizer.restore(_repack(members))
 
 
 def test_not_a_zip_rejected(tmp_path):
@@ -304,15 +300,84 @@ def test_noiseless_manifest_is_strict_rfc_json(tmp_path, columns):
     )
 
 
-def test_arrays_member_is_stored_not_redeflated(tmp_path, columns):
-    path = tmp_path / "stored.ckpt"
+def test_array_member_compression_follows_compress_arrays(tmp_path, columns):
+    path = tmp_path / "deflated.ckpt"
     service = StreamingSynthesizer.cumulative(horizon=HORIZON, rho=0.02, seed=3)
     service.observe_round(columns[0])
     service.checkpoint(path)
     with zipfile.ZipFile(path) as bundle:
         info = {i.filename: i.compress_type for i in bundle.infolist()}
-    assert info["arrays.npz"] == zipfile.ZIP_STORED
     assert info["manifest.json"] == zipfile.ZIP_DEFLATED
+    array_members = [name for name in info if name.startswith("arrays/")]
+    assert array_members
+    assert all(info[name] == zipfile.ZIP_DEFLATED for name in array_members)
+
+    # Pre-compressed payloads (the sharded service's nested shard blobs)
+    # opt out of the useless second DEFLATE pass.
+    stored = tmp_path / "stored.ckpt"
+    write_bundle(
+        stored,
+        kind="streaming",
+        config={},
+        state={"blob": np.frombuffer(b"\x1f\x8b already deflated", dtype=np.uint8)},
+        compress_arrays=False,
+    )
+    with zipfile.ZipFile(stored) as bundle:
+        info = {i.filename: i.compress_type for i in bundle.infolist()}
+    assert info["arrays/blob.npy"] == zipfile.ZIP_STORED
+
+
+def test_bundles_are_byte_deterministic(tmp_path, columns):
+    """Equal states must produce byte-identical bundles (pinned timestamps)."""
+
+    def bundle_bytes(seed):
+        service = StreamingSynthesizer.cumulative(horizon=HORIZON, rho=0.02, seed=seed)
+        for column in columns[:3]:
+            service.observe_round(column)
+        buffer = io.BytesIO()
+        service.checkpoint(buffer)
+        return buffer.getvalue()
+
+    assert bundle_bytes(7) == bundle_bytes(7)
+
+
+def test_format_version_2_roundtrip(tmp_path, columns):
+    """The legacy monolithic-npz layout stays writable and readable."""
+    path = tmp_path / "legacy.ckpt"
+    service = StreamingSynthesizer.cumulative(horizon=HORIZON, rho=0.02, seed=3)
+    for column in columns[:4]:
+        service.observe_round(column)
+    synth = service.synthesizer
+    write_bundle(
+        path,
+        kind="streaming",
+        config=synth.config_dict(),
+        state=synth.state_dict(),
+        format_version=2,
+    )
+    with zipfile.ZipFile(path) as bundle:
+        names = set(bundle.namelist())
+        manifest = json.loads(bundle.read("manifest.json"))
+    assert names == {"manifest.json", "arrays.npz"}
+    assert manifest["format_version"] == 2
+    assert "arrays_checksum" in manifest
+
+    resumed = StreamingSynthesizer.restore(path)
+    for column in columns[4:]:
+        a = service.observe_round(column).threshold_table()
+        b = resumed.observe_round(column).threshold_table()
+        assert np.array_equal(a, b)
+
+
+def test_unwritable_format_version_rejected(tmp_path):
+    with pytest.raises(SerializationError, match="writable versions"):
+        write_bundle(
+            tmp_path / "bad.ckpt",
+            kind="streaming",
+            config={},
+            state={},
+            format_version=1,
+        )
 
 
 def test_write_bundle_accepts_empty_arrays(tmp_path):
@@ -520,25 +585,33 @@ def test_counter_load_state_rejects_out_of_range_clock():
     fresh.feed(1)
 
 
-def test_corrupt_inner_npz_raises_serialization_error(columns):
-    """Inner-zip CRC failures surface as SerializationError, never raw."""
-    blob = _checkpoint_bytes(columns)
-    with zipfile.ZipFile(io.BytesIO(blob)) as bundle:
-        manifest = json.loads(bundle.read("manifest.json"))
-        arrays = bytearray(bundle.read("arrays.npz"))
-    # Corrupt the npz payload, then re-sign the manifest so the checksum
-    # passes and decoding is what fails.
-    arrays[len(arrays) - 30] ^= 0xFF
+def test_corrupt_npy_member_raises_serialization_error(columns):
+    """Undecodable array members surface as SerializationError, never raw."""
     import hashlib
 
-    manifest["arrays_checksum"] = hashlib.sha256(bytes(arrays)).hexdigest()
-    tampered = io.BytesIO()
-    with zipfile.ZipFile(tampered, "w") as bundle:
-        bundle.writestr("manifest.json", json.dumps(manifest))
-        bundle.writestr("arrays.npz", bytes(arrays))
-    tampered.seek(0)
-    with pytest.raises(SerializationError):
-        StreamingSynthesizer.restore(tampered)
+    members = _unpack(_checkpoint_bytes(columns))
+    manifest = json.loads(members["manifest.json"])
+    victim = next(name for name in members if name.startswith("arrays/"))
+    key = victim[len("arrays/"):-len(".npy")]
+    # Corrupt the .npy magic, then re-sign the member's checksum so the
+    # hash passes and decoding is what fails.
+    blob = bytearray(members[victim])
+    blob[0] ^= 0xFF
+    members[victim] = bytes(blob)
+    manifest["array_checksums"][key] = hashlib.sha256(bytes(blob)).hexdigest()
+    members["manifest.json"] = json.dumps(manifest)
+    with pytest.raises(SerializationError, match="cannot decode"):
+        StreamingSynthesizer.restore(_repack(members))
+
+
+def test_extra_array_member_rejected(columns):
+    """Array members absent from the manifest are refused, not ignored."""
+    members = _unpack(_checkpoint_bytes(columns))
+    members["arrays/smuggled.npy"] = members[
+        next(name for name in members if name.startswith("arrays/"))
+    ]
+    with pytest.raises(SerializationError, match="unexpected"):
+        StreamingSynthesizer.restore(_repack(members))
 
 
 def test_split_rejects_empty_keys_and_marker_shapes():

@@ -150,12 +150,13 @@ def test_tampered_shard_blob_rejected(panel, tmp_path):
     service.checkpoint(path)
     # Rewriting the outer manifest without re-signing must be detected.
     with zipfile.ZipFile(path) as bundle:
-        manifest = json.loads(bundle.read("manifest.json"))
-        arrays = bundle.read("arrays.npz")
+        members = {name: bundle.read(name) for name in bundle.namelist()}
+    manifest = json.loads(members["manifest.json"])
     manifest["config"]["n_shards"] = 1
+    members["manifest.json"] = json.dumps(manifest)
     with zipfile.ZipFile(path, "w") as bundle:
-        bundle.writestr("manifest.json", json.dumps(manifest))
-        bundle.writestr("arrays.npz", arrays)
+        for name, data in members.items():
+            bundle.writestr(name, data)
     with pytest.raises(SerializationError, match="checksum"):
         ShardedService.restore(path)
 

@@ -1,0 +1,117 @@
+"""ArrayArena: contiguous layouts, alignment, and the shared backend."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.streams.layout import ALIGNMENT, ArrayArena
+
+SPECS = [
+    ("counts", (5,), np.int64),
+    ("block", (4, 6), np.float64, "F"),
+    ("flags", (3,), np.bool_),
+]
+
+
+def test_views_match_specs_and_start_zeroed():
+    arena = ArrayArena(SPECS)
+    assert arena.keys() == ["counts", "block", "flags"]
+    counts, block, flags = arena["counts"], arena["block"], arena["flags"]
+    assert counts.shape == (5,) and counts.dtype == np.int64
+    assert block.shape == (4, 6) and block.flags.f_contiguous
+    assert flags.dtype == np.bool_
+    for view in (counts, block, flags):
+        assert not view.any()
+    assert "counts" in arena and "nope" not in arena
+    assert set(arena.arrays()) == {"counts", "block", "flags"}
+
+
+def test_views_share_one_aligned_buffer():
+    arena = ArrayArena(SPECS)
+    addresses = [arena[key].__array_interface__["data"][0] for key in arena.keys()]
+    assert all(address % ALIGNMENT == 0 for address in addresses)
+    assert addresses == sorted(addresses)  # buffer order == spec order
+    span = addresses[-1] + arena["flags"].nbytes - addresses[0]
+    assert span <= arena.nbytes
+    # Writes land in the backing buffer, not in private copies.
+    arena["counts"][:] = 7
+    assert arena.arrays()["counts"].sum() == 35
+
+
+def test_malformed_specs_rejected():
+    with pytest.raises(ConfigurationError, match="tuples"):
+        ArrayArena([("counts",)])
+    with pytest.raises(ConfigurationError, match="non-empty strings"):
+        ArrayArena([("", (3,), np.int64)])
+    with pytest.raises(ConfigurationError, match="duplicate"):
+        ArrayArena([("a", (1,), np.int64), ("a", (2,), np.int64)])
+    with pytest.raises(ConfigurationError, match="order"):
+        ArrayArena([("a", (2, 2), np.int64, "K")])
+    with pytest.raises(ConfigurationError, match="negative"):
+        ArrayArena([("a", (-1,), np.int64)])
+
+
+def test_missing_key_raises_configuration_error():
+    arena = ArrayArena(SPECS)
+    with pytest.raises(ConfigurationError, match="no array 'nope'"):
+        arena["nope"]
+
+
+def test_name_requires_shared():
+    with pytest.raises(ConfigurationError, match="shared=True"):
+        ArrayArena(SPECS, name="whatever")
+
+
+def test_empty_and_scalar_shapes():
+    arena = ArrayArena([("empty", (0,), np.int64), ("one", (1,), np.float64)])
+    assert arena["empty"].size == 0
+    assert arena["one"].shape == (1,)
+
+
+def test_shared_arena_attach_sees_writes():
+    creator = ArrayArena(SPECS, shared=True)
+    try:
+        assert creator.shared and creator.name
+        creator["block"][:] = np.arange(24, dtype=np.float64).reshape(4, 6)
+        attached = ArrayArena(SPECS, shared=True, name=creator.name)
+        try:
+            assert attached.name == creator.name
+            assert np.array_equal(attached["block"], creator["block"])
+            attached["counts"][0] = 41
+            assert creator["counts"][0] == 41
+        finally:
+            attached.close()
+    finally:
+        creator.unlink()
+
+
+def test_attach_rejects_undersized_segment():
+    small = ArrayArena([("tiny", (1,), np.uint8)], shared=True)
+    try:
+        with pytest.raises(ConfigurationError, match="holds"):
+            ArrayArena(SPECS, shared=True, name=small.name)
+    finally:
+        small.unlink()
+
+
+def test_unlink_is_creator_only_and_idempotent():
+    creator = ArrayArena([("a", (4,), np.int64)], shared=True)
+    name = creator.name
+    attached = ArrayArena([("a", (4,), np.int64)], shared=True, name=name)
+    attached.unlink()  # attach-only arena must NOT remove the segment
+    still_there = ArrayArena([("a", (4,), np.int64)], shared=True, name=name)
+    still_there.close()
+    creator.unlink()
+    creator.unlink()  # second unlink is a no-op
+    from multiprocessing import shared_memory
+
+    with pytest.raises(FileNotFoundError):
+        shared_memory.SharedMemory(name=name)
+
+
+def test_local_arena_repr_and_close():
+    arena = ArrayArena(SPECS)
+    assert "local" in repr(arena)
+    arena.close()
+    with pytest.raises(ConfigurationError):
+        arena["counts"]
