@@ -1,0 +1,138 @@
+"""Recovery benchmark: journal overhead and checkpoint-backed restart speed.
+
+Measures the two costs the fault-tolerance layer is allowed to charge
+and asserts both stay cheap:
+
+1. **Journal append overhead** — the durable write-ahead append
+   (serialize + checksum + write + flush + fsync) of every round's
+   release record.  The ``journal_overhead_ratio`` metric is the
+   journal time as a fraction of the *supervised* serving time — the
+   acknowledgement path the append actually sits on — and must stay a
+   few percent.  Columns are journaled in a compact encoding
+   (bit-packed binary, one-byte category codes), which is what keeps
+   the durable payload small enough for this to hold; the ratio
+   against the bare unsupervised ingest is reported for context.
+2. **Recovery speedup vs cold restart** — re-attaching a supervised
+   service from its newest checkpoint (restore + empty journal tail)
+   versus a cold restart that rebuilds from ``service.json`` and
+   replays the entire journal.  Rolling checkpoints exist so operators
+   never pay the cold path; ``recovery_speedup_vs_cold`` gates that
+   they actually buy something.
+
+Both metrics are same-process ratios, machine-portable, and gated by a
+committed baseline in ``benchmarks/baselines/``.  Scale knobs:
+
+* ``REPRO_RECOVERY_ROWS`` — population size (default ``50_000``);
+* ``REPRO_RECOVERY_ROUNDS`` — rounds to ingest (default ``12``).
+"""
+
+import os
+import shutil
+import time
+
+import numpy as np
+import pytest
+
+from repro.serve import ReleaseJournal, RetryPolicy, ShardedService, SupervisedService
+
+ROWS = int(os.environ.get("REPRO_RECOVERY_ROWS", "50000"))
+ROUNDS = int(os.environ.get("REPRO_RECOVERY_ROUNDS", "12"))
+K = 4
+KWARGS = dict(algorithm="cumulative", horizon=ROUNDS, rho=0.5)
+
+
+def _columns(seed: int) -> list[np.ndarray]:
+    rng = np.random.default_rng(seed)
+    return [rng.integers(0, 2, size=ROWS, dtype=np.int64) for _ in range(ROUNDS)]
+
+
+@pytest.mark.figure("recovery")
+def test_recovery(figure_report, rss_probe, tmp_path):
+    columns = _columns(seed=29)
+
+    # -- the ingest cost the overhead ratio is measured against --------
+    plain = ShardedService(K, seed=7, **KWARGS)
+    start = time.perf_counter()
+    for column in columns:
+        plain.observe_round(column)
+    ingest_s = time.perf_counter() - start
+    plain.close()
+
+    # -- supervised run: journal every round, no automatic checkpoints -
+    # (checkpoint_every=0 keeps the full journal for the cold-restart
+    # measurement below)
+    policy = RetryPolicy(checkpoint_every=0)
+    directory = str(tmp_path / "service")
+    service = SupervisedService(
+        directory, n_shards=K, seed=7, executor="serial", policy=policy, **KWARGS
+    )
+    start = time.perf_counter()
+    for column in columns:
+        service.observe_round(column)
+    supervised_s = time.perf_counter() - start
+    service.close()
+
+    # -- journal append in isolation: replay the run's records into a
+    # fresh journal and time only the durable appends ------------------
+    with ReleaseJournal(os.path.join(directory, "journal.log")) as journal:
+        records = journal.records()
+    assert len(records) == ROUNDS
+    replayed = ReleaseJournal(str(tmp_path / "isolated.log"))
+    start = time.perf_counter()
+    for record in records:
+        replayed.append(record)
+    journal_s = time.perf_counter() - start
+    replayed.close()
+    journal_overhead_ratio = journal_s / supervised_s
+
+    # -- cold restart: rebuild from service.json + full journal replay -
+    cold_dir = str(tmp_path / "cold")
+    shutil.copytree(directory, cold_dir)
+    start = time.perf_counter()
+    with SupervisedService.attach(cold_dir, executor="serial", policy=policy) as cold:
+        assert cold.t == ROUNDS
+    cold_s = time.perf_counter() - start
+
+    # -- checkpoint-backed restart: restore the bundle, replay nothing -
+    with SupervisedService.attach(directory, executor="serial", policy=policy) as warm:
+        warm.checkpoint()
+    start = time.perf_counter()
+    with SupervisedService.attach(directory, executor="serial", policy=policy) as warm:
+        assert warm.t == ROUNDS
+    warm_s = time.perf_counter() - start
+    recovery_speedup_vs_cold = cold_s / warm_s
+
+    # Durability must stay in the noise; checkpoints must beat replay.
+    assert journal_overhead_ratio <= 0.05, (
+        f"journal appends cost {journal_overhead_ratio:.1%} of ingest time"
+    )
+    assert recovery_speedup_vs_cold >= 1.5, (
+        f"checkpoint-backed recovery only {recovery_speedup_vs_cold:.2f}x "
+        "faster than a cold replay"
+    )
+
+    figure_report(
+        "\n".join(
+            [
+                "recovery: journal overhead + checkpoint-backed restart "
+                f"(rows={ROWS}, rounds={ROUNDS}, K={K})",
+                f"  ingest (plain)      : {ingest_s:8.3f} s",
+                f"  ingest (supervised) : {supervised_s:8.3f} s "
+                f"({supervised_s / ingest_s:.2f}x; includes fingerprints "
+                "+ journal)",
+                f"  journal appends     : {journal_s:8.3f} s "
+                f"({journal_overhead_ratio:.1%} of supervised serving, "
+                f"asserted <= 5%; {journal_s / ingest_s:.1%} of bare ingest)",
+                f"  cold restart        : {cold_s:8.3f} s "
+                f"(full {ROUNDS}-round replay)",
+                f"  checkpoint restart  : {warm_s:8.3f} s "
+                f"({recovery_speedup_vs_cold:.2f}x faster, asserted >= 1.5x)",
+                f"  peak rss            : {rss_probe():8.1f} MiB",
+            ]
+        ),
+        metrics={
+            "journal_overhead_ratio": journal_overhead_ratio,
+            "recovery_speedup_vs_cold": recovery_speedup_vs_cold,
+            "supervised_overhead_ratio": supervised_s / ingest_s,
+        },
+    )

@@ -66,9 +66,11 @@ from repro.exceptions import (
     ConfigurationError,
     ConsistencyError,
     DataValidationError,
+    DegradedServiceWarning,
     NegativeCountError,
     NotFittedError,
     PrivacyBudgetError,
+    RecoveryError,
     ReproError,
     SerializationError,
     StreamLengthError,
@@ -171,5 +173,7 @@ __all__ = [
     "DataValidationError",
     "NotFittedError",
     "SerializationError",
+    "RecoveryError",
+    "DegradedServiceWarning",
     "__version__",
 ]

@@ -17,6 +17,8 @@ __all__ = [
     "DataValidationError",
     "NotFittedError",
     "SerializationError",
+    "RecoveryError",
+    "DegradedServiceWarning",
 ]
 
 
@@ -74,6 +76,32 @@ class DataValidationError(ReproError, ValueError):
 
 class NotFittedError(ReproError, RuntimeError):
     """A result accessor was called before the corresponding round ran."""
+
+
+class RecoveryError(ReproError, RuntimeError):
+    """Crash recovery could not restore a correct service state.
+
+    Raised by the :mod:`repro.serve` supervision layer when recovery
+    cannot be completed soundly: no usable checkpoint or journal exists,
+    a journaled round does not replay byte-identically (which would mean
+    re-noising an already-published release — forbidden by the one-
+    release-per-round DP contract), the retry budget for restarting dead
+    workers is exhausted, or an operation (e.g. ``checkpoint``) is
+    invalid on a degraded service.  The supervisor fails closed with
+    this error rather than ever serving silently wrong answers.
+    """
+
+
+class DegradedServiceWarning(UserWarning):
+    """A sharded service is serving from a subset of its shards.
+
+    Emitted (via :mod:`warnings`) when a shard has been declared
+    unrecoverable and the service — explicitly opted in via
+    ``degraded_ok=True`` — continues to serve population-weighted merged
+    answers from the surviving shards.  Answers carry an explicit
+    ``degraded`` flag and the per-shard health report names the failed
+    shards; the default (opt-out) behavior is to fail closed instead.
+    """
 
 
 class SerializationError(ReproError, RuntimeError):

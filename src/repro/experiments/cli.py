@@ -12,7 +12,9 @@ Subcommands:
 * ``serve-demo`` — replay the SIPP panel round-by-round through the
   online serving layer (:mod:`repro.serve`) with mid-stream
   checkpoint/restore and sharded-service self-checks; ``--households``
-  shrinks the panel for smoke runs.
+  shrinks the panel for smoke runs and ``--chaos`` adds the
+  fault-injection leg (supervised recovery under worker kills and
+  storage corruption).
 """
 
 from __future__ import annotations
@@ -144,6 +146,16 @@ def build_parser() -> argparse.ArgumentParser:
         default=_display_default(default_engine, None),
         help="stream-counter engine for the cumulative synthesizer",
     )
+    serve_parser.add_argument(
+        "--chaos",
+        action="store_true",
+        help=(
+            "also run the fault-injection leg: a supervised service "
+            "(repro.serve.SupervisedService) survives a mid-stream "
+            "worker kill, a corrupted checkpoint bundle, and a torn "
+            "journal tail with byte-identical recoveries"
+        ),
+    )
     return parser
 
 
@@ -164,6 +176,7 @@ def main(argv: list[str] | None = None) -> int:
             checkpoint_round=args.checkpoint_round,
             n_shards=args.shards,
             engine=args.engine,
+            chaos=args.chaos,
         )
         print(result.render())
         return 0 if result.all_checks_pass else 1

@@ -16,6 +16,14 @@ the true-online model, no panel up front — and checks, round by round:
 4. **sharded consistency** — a :class:`~repro.serve.sharded.ShardedService`
    over the same columns reports per-shard ledgers at the configured
    budget and merges answers within the population-weighted contract.
+
+With ``--chaos`` (``chaos=True``) a fifth leg drives a
+:class:`~repro.serve.supervisor.SupervisedService` through the same
+columns while the :class:`~repro.testing.faults.FaultInjector` kills a
+shard worker mid-stream, corrupts the newest checkpoint bundle, and
+tears the journal tail — and verifies that every recovery is
+byte-identical to the undisturbed service (released rounds are
+replayed, never re-noised).
 """
 
 from __future__ import annotations
@@ -42,6 +50,102 @@ def _load_panel(n_households: int | None, seed: int):
     return preprocess_sipp(raw)
 
 
+def _run_chaos_leg(result, columns, horizon, rho, seed, n_shards, engine) -> None:
+    """Leg 5: supervised serving under injected faults, byte-identity checked.
+
+    Builds the undisturbed :class:`~repro.serve.sharded.ShardedService`
+    reference, then replays the same columns through a
+    :class:`~repro.serve.supervisor.SupervisedService` while a seeded
+    :class:`~repro.testing.faults.FaultInjector` kills a shard worker
+    mid-stream (process executor only — skipped without ``fork``),
+    flips bytes in the newest checkpoint bundle, and tears the journal
+    tail.  Every recovery must reproduce the reference state
+    fingerprints exactly: published rounds are replayed, never
+    re-noised.
+    """
+    import multiprocessing as mp
+    import os
+    import shutil
+    import tempfile
+
+    from repro.serve import RetryPolicy, ShardedService, SupervisedService
+    from repro.testing.faults import FaultInjector
+
+    can_fork = "fork" in mp.get_all_start_methods()
+    executor = "process" if can_fork else "serial"
+    policy = RetryPolicy(
+        rpc_timeout=60.0,
+        max_retries=2,
+        backoff_base=0.01,
+        checkpoint_every=max(2, horizon // 3),
+        checkpoint_retain=2,
+    )
+    injector = FaultInjector(seed=seed)
+
+    reference = ShardedService(
+        n_shards, algorithm="cumulative", horizon=horizon, rho=rho,
+        seed=seed, engine=engine,
+    )
+    for column in columns:
+        reference.observe_round(column)
+    expected_fingerprints = reference.state_fingerprints()
+    expected_spent = reference.zcdp_spent()
+    reference.close()
+
+    tmp = tempfile.mkdtemp(prefix="repro-chaos-")
+    try:
+        directory = os.path.join(tmp, "service")
+        cut = max(1, len(columns) // 2)
+        service = SupervisedService(
+            directory, n_shards=n_shards, algorithm="cumulative", seed=seed,
+            executor=executor, policy=policy,
+            horizon=horizon, rho=rho, engine=engine,
+        )
+        for column in columns[:cut]:
+            service.observe_round(column)
+        if can_fork:
+            injector.kill_worker(service, injector.pick_shard(n_shards))
+        for column in columns[cut:]:
+            service.observe_round(column)
+        result.check(
+            "chaos: state byte-identical after mid-stream worker kill -> recovery",
+            service.service.state_fingerprints() == expected_fingerprints,
+        )
+        result.check(
+            "chaos: zCDP spend never exceeds the undisturbed budget",
+            service.zcdp_spent() <= expected_spent + 1e-12,
+        )
+        service.checkpoint()
+        service.close()
+
+        # Storage faults run on independent copies of the state directory
+        # so each scenario sees the same intact starting point.
+        torn = os.path.join(tmp, "torn-journal")
+        shutil.copytree(directory, torn)
+        injector.truncate_tail(os.path.join(torn, "journal.log"), 40)
+        with SupervisedService.attach(torn, executor="serial", policy=policy) as resumed:
+            result.check(
+                "chaos: torn journal tail -> checkpoint-backed recovery, byte-identical",
+                resumed.t == len(columns)
+                and resumed.service.state_fingerprints() == expected_fingerprints,
+            )
+
+        damaged = os.path.join(tmp, "bad-checkpoint")
+        shutil.copytree(directory, damaged)
+        checkpoints = sorted(os.listdir(os.path.join(damaged, "checkpoints")))
+        injector.corrupt_bytes(
+            os.path.join(damaged, "checkpoints", checkpoints[-1]), 64
+        )
+        with SupervisedService.attach(damaged, executor="serial", policy=policy) as resumed:
+            result.check(
+                "chaos: corrupted checkpoint -> journal replay, byte-identical",
+                resumed.t == len(columns)
+                and resumed.service.state_fingerprints() == expected_fingerprints,
+            )
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
 def run_serve_demo(
     n_reps: int = 1,
     seed: int = 0,
@@ -51,6 +155,7 @@ def run_serve_demo(
     checkpoint_round: int | None = None,
     n_shards: int = 4,
     engine: str | None = None,
+    chaos: bool = False,
     strategy: str | None = None,
     n_jobs: int | None = None,
 ) -> FigureResult:
@@ -75,6 +180,10 @@ def run_serve_demo(
         Shard count for the sharded-service leg.
     engine:
         Stream-counter engine forwarded to the cumulative synthesizer.
+    chaos:
+        Run the fault-injection leg: a supervised service survives a
+        mid-stream worker kill, a corrupted checkpoint, and a torn
+        journal tail with byte-identical recoveries.
     strategy, n_jobs:
         Accepted for CLI-uniformity; the demo does not replicate.
 
@@ -209,6 +318,11 @@ def run_serve_demo(
         "noiseless sharded merge equals the exact population fraction",
         math.isclose(exact_service.answer(query, horizon), truth_final, rel_tol=1e-12),
     )
+
+    # -- leg 5 (opt-in): fault injection against the supervised service --
+    if chaos:
+        chaos_rho = rho if math.isfinite(rho) else 0.05
+        _run_chaos_leg(result, columns, horizon, chaos_rho, seed, n_shards, engine)
 
     from repro.analysis.metrics import SeriesSummary
 

@@ -28,9 +28,16 @@ the serving-side layer for that model, on top of the algorithm cores in
   (``manifest.json`` + streamed ``arrays/<key>.npy`` members in one
   zip, SHA-256 integrity checks,
   :class:`~repro.exceptions.SerializationError` on corruption).
+* :class:`~repro.serve.supervisor.SupervisedService` — the
+  fault-tolerance layer: every published round is recorded in an
+  append-only fsync'd :class:`~repro.serve.journal.ReleaseJournal`
+  before it is acknowledged, the service checkpoints itself
+  periodically, and crash recovery *replays* the journal tail
+  byte-identically (never re-noising a published release), driven by
+  the knobs of a :class:`~repro.serve.policy.RetryPolicy`.
 
-See the "serving", "scaling out", and "checkpoint format" pages of the
-docs site (``docs/``) for a guided tour.
+See the "serving", "scaling out", "checkpoint format", and "fault
+tolerance" pages of the docs site (``docs/``) for a guided tour.
 """
 
 from repro.serve.checkpoint import (
@@ -38,6 +45,7 @@ from repro.serve.checkpoint import (
     FORMAT_VERSION,
     SUPPORTED_VERSIONS,
     read_bundle,
+    state_fingerprint,
     write_bundle,
 )
 from repro.serve.executor import (
@@ -47,12 +55,20 @@ from repro.serve.executor import (
     ShardExecutor,
     ThreadShardExecutor,
 )
+from repro.serve.journal import JournalRecord, ReleaseJournal
+from repro.serve.policy import POLICY_ENV_VARS, RetryPolicy
 from repro.serve.sharded import ShardedService
 from repro.serve.streaming import StreamingSynthesizer
+from repro.serve.supervisor import SupervisedService
 
 __all__ = [
     "StreamingSynthesizer",
     "ShardedService",
+    "SupervisedService",
+    "ReleaseJournal",
+    "JournalRecord",
+    "RetryPolicy",
+    "POLICY_ENV_VARS",
     "ShardExecutor",
     "SerialShardExecutor",
     "ThreadShardExecutor",
@@ -60,6 +76,7 @@ __all__ = [
     "EXECUTOR_STRATEGIES",
     "read_bundle",
     "write_bundle",
+    "state_fingerprint",
     "FORMAT_NAME",
     "FORMAT_VERSION",
     "SUPPORTED_VERSIONS",

@@ -57,6 +57,7 @@ __all__ = [
     "join_arrays",
     "write_bundle",
     "read_bundle",
+    "state_fingerprint",
 ]
 
 #: Identifies a repro checkpoint bundle (guards against foreign zips).
@@ -252,6 +253,57 @@ def _canonical_json(payload) -> bytes:
         ).encode()
     except (TypeError, ValueError) as exc:
         raise SerializationError(f"state is not JSON-serializable: {exc}") from exc
+
+
+def state_fingerprint(config: dict, state: dict) -> str:
+    """SHA-256 fingerprint of a full ``(config, state)`` snapshot.
+
+    The fingerprint covers every byte that :func:`write_bundle` would
+    persist — the canonical JSON of the config and the JSON half of the
+    state, plus the dtype, shape, and raw bytes of every array leaf — so
+    two snapshots fingerprint equal **iff** their checkpoint bundles
+    would be byte-identical.  The serving layer's release journal records
+    one fingerprint per published round; on crash recovery the journal
+    tail is replayed and each round's fingerprint re-derived, which is
+    how "journaled rounds are replayed byte-identically, never re-noised"
+    is asserted rather than assumed (a recovery that drew fresh noise
+    would consume different RNG bits and land in a different state).
+
+    Parameters
+    ----------
+    config:
+        The synthesizer's JSON-safe constructor configuration.
+    state:
+        A ``state_dict()`` snapshot (nested dicts with array leaves).
+
+    Returns
+    -------
+    str
+        A hex SHA-256 digest.
+
+    Raises
+    ------
+    SerializationError
+        If the snapshot contains values the bundle format cannot
+        represent (the same rejection :func:`write_bundle` applies).
+    """
+    json_state, arrays = split_arrays(state)
+    digest = hashlib.sha256()
+    digest.update(
+        _canonical_json(
+            {
+                "config": _encode_nonfinite(config),
+                "state": _encode_nonfinite(json_state),
+            }
+        )
+    )
+    for key in sorted(arrays):
+        array = np.ascontiguousarray(arrays[key])
+        digest.update(key.encode())
+        digest.update(str(array.dtype).encode())
+        digest.update(repr(array.shape).encode())
+        digest.update(array.tobytes())
+    return digest.hexdigest()
 
 
 class _HashingWriter:
@@ -527,7 +579,13 @@ def read_bundle(path, kind: str | None = None) -> tuple[dict, dict]:
                 arrays = _read_arrays_v3(bundle, manifest)
     except SerializationError:
         raise
-    except (zipfile.BadZipFile, OSError, zlib.error) as exc:
+    except zipfile.BadZipFile as exc:
+        # Distinguish the torn-write signature (a bundle whose trailing
+        # central directory never made it to disk — power loss or crash
+        # mid-copy) from in-place corruption: operators react differently
+        # (delete the partial file vs investigate tampering).
+        raise SerializationError(_bad_zip_message(path, exc)) from exc
+    except (OSError, zlib.error) as exc:
         # A flipped byte inside a member surfaces as a zlib/CRC failure
         # during decompression, not as a checksum mismatch — both are the
         # same condition to callers: a corrupt bundle.
@@ -535,6 +593,52 @@ def read_bundle(path, kind: str | None = None) -> tuple[dict, dict]:
     config = _decode_nonfinite(config)
     json_state = _decode_nonfinite(json_state)
     return config, join_arrays(json_state, arrays)
+
+
+#: End-of-central-directory signature; every intact zip ends with one
+#: within the final ~65.5 KiB (the maximum zip comment length).
+_EOCD_MAGIC = b"PK\x05\x06"
+_EOCD_SCAN = 65_557 + 64
+
+
+def _bad_zip_message(path, exc: zipfile.BadZipFile) -> str:
+    """A diagnosis for an unreadable zip: torn write vs corruption.
+
+    A checkpoint (or nested shard bundle) interrupted mid-write loses its
+    trailing central directory, so the end-of-central-directory record is
+    absent from the file's tail; scanning for it separates "this file is
+    an incomplete write — delete it and fall back to an older checkpoint"
+    from "this file was corrupted in place".  A file that does not even
+    *start* with a zip signature is not a torn checkpoint at all — just
+    not a checkpoint — and keeps the generic diagnosis.
+    """
+    head = b""
+    tail = b""
+    try:
+        if isinstance(path, (str, os.PathLike)):
+            with open(path, "rb") as handle:
+                head = handle.read(4)
+                handle.seek(0, os.SEEK_END)
+                size = handle.tell()
+                handle.seek(max(0, size - _EOCD_SCAN))
+                tail = handle.read()
+        elif hasattr(path, "seek") and hasattr(path, "read"):
+            path.seek(0)
+            head = path.read(4)
+            path.seek(0, os.SEEK_END)
+            size = path.tell()
+            path.seek(max(0, size - _EOCD_SCAN))
+            tail = path.read()
+    except (OSError, ValueError):  # pragma: no cover - unreadable handle
+        return f"cannot read checkpoint bundle: {exc}"
+    if head.startswith(b"PK") and _EOCD_MAGIC not in tail:
+        return (
+            "checkpoint bundle is truncated: the zip central directory "
+            "was cut off mid-write (no end-of-central-directory record) — "
+            "the file is an incomplete or torn write, not a valid "
+            "checkpoint; delete it and restore from an older bundle"
+        )
+    return f"cannot read checkpoint bundle: {exc}"
 
 
 def _read_arrays_v2(bundle: zipfile.ZipFile, manifest: dict) -> dict[str, np.ndarray]:

@@ -62,6 +62,16 @@ __all__ = [
     "merge_weight",
 ]
 
+
+def _tag_shard(exc: BaseException, index: int) -> BaseException:
+    """Best-effort: record which shard raised ``exc`` (for supervision)."""
+    try:
+        if getattr(exc, "shard_index", None) is None:
+            exc.shard_index = index
+    except Exception:  # pragma: no cover - exotic __slots__ exceptions
+        pass
+    return exc
+
 #: Recognized ``executor=`` strategy names, in documentation order.
 EXECUTOR_STRATEGIES = ("serial", "thread", "process")
 
@@ -143,18 +153,63 @@ class ShardExecutor:
     algorithm:
         The service's algorithm tag (``"cumulative"`` …), used to pick
         the per-shard merge weight when answering queries.
+    policy:
+        Optional :class:`~repro.serve.policy.RetryPolicy` supplying the
+        per-request RPC timeout used by the process strategy; ``None``
+        keeps the pre-supervision block-forever behavior.
     """
 
     strategy: str = "?"
 
-    def __init__(self, shards: list, algorithm: str):
+    def __init__(self, shards: list, algorithm: str, policy=None):
         self._shards = list(shards)
         self._algorithm = str(algorithm)
+        self._policy = policy
+        self._disabled: set[int] = set()
 
     @property
     def n_shards(self) -> int:
         """Number of shards this executor steps."""
         return len(self._shards)
+
+    @property
+    def disabled(self) -> frozenset:
+        """Indices of shards excluded from stepping (degraded mode)."""
+        return frozenset(self._disabled)
+
+    def disable(self, index: int) -> None:
+        """Exclude shard ``index`` from all further operations.
+
+        Used by degraded serving: the shard's jobs are dropped at
+        dispatch and its slots in ``answer``/``ledgers``/``fingerprints``
+        results become ``None``.  Idempotent.
+        """
+        if not 0 <= index < self.n_shards:
+            raise ConfigurationError(
+                f"shard index must lie in [0, {self.n_shards}), got {index}"
+            )
+        self._disabled.add(int(index))
+
+    def worker_health(self) -> list[bool]:
+        """Per-shard liveness, in shard order.
+
+        In-process strategies report ``True`` for every non-disabled
+        shard; the process strategy additionally checks that each worker
+        process is alive.
+        """
+        return [index not in self._disabled for index in range(self.n_shards)]
+
+    def fingerprints(self) -> list:
+        """Per-shard state fingerprints (``None`` for disabled shards)."""
+        raise NotImplementedError
+
+    def ping(self) -> list[bool]:
+        """Round-trip liveness probe; ``worker_health`` plus an RPC echo.
+
+        Must only be called with no rounds in flight (the process
+        strategy's pipe protocol is strict request-response).
+        """
+        return self.worker_health()
 
     @property
     def shards(self) -> tuple:
@@ -199,6 +254,9 @@ class ShardExecutor:
         shard.checkpoint(buffer)
         return buffer.getvalue()
 
+    def _fingerprint_one(self, shard) -> str:
+        return shard.fingerprint()
+
 
 class SerialShardExecutor(ShardExecutor):
     """Shards advance one after another in the calling thread.
@@ -213,8 +271,15 @@ class SerialShardExecutor(ShardExecutor):
     def dispatch_round(self, jobs: list) -> RoundTicket:
         def run() -> int:
             advanced = 0
-            for shard, (column, entrants, exits) in zip(self._shards, jobs):
-                shard.observe_round(column, entrants=entrants, exits=exits)
+            for index, (shard, (column, entrants, exits)) in enumerate(
+                zip(self._shards, jobs)
+            ):
+                if index in self._disabled:
+                    continue
+                try:
+                    shard.observe_round(column, entrants=entrants, exits=exits)
+                except Exception as exc:
+                    raise _tag_shard(exc, index)
                 advanced += 1
             return advanced
 
@@ -227,14 +292,23 @@ class SerialShardExecutor(ShardExecutor):
             pass
         return ticket
 
-    def answer(self, query, t: int, kwargs: dict) -> list[tuple[float, float]]:
-        return [self._answer_one(shard, query, t, kwargs) for shard in self._shards]
+    def _map_live(self, fn, *args) -> list:
+        return [
+            None if index in self._disabled else fn(shard, *args)
+            for index, shard in enumerate(self._shards)
+        ]
 
-    def ledgers(self) -> list[tuple[float, float]]:
-        return [self._ledger_one(shard) for shard in self._shards]
+    def answer(self, query, t: int, kwargs: dict) -> list:
+        return self._map_live(self._answer_one, query, t, kwargs)
 
-    def checkpoint_blobs(self) -> list[bytes]:
-        return [self._blob_one(shard) for shard in self._shards]
+    def ledgers(self) -> list:
+        return self._map_live(self._ledger_one)
+
+    def checkpoint_blobs(self) -> list:
+        return self._map_live(self._blob_one)
+
+    def fingerprints(self) -> list:
+        return self._map_live(self._fingerprint_one)
 
 
 class ThreadShardExecutor(ShardExecutor):
@@ -249,43 +323,61 @@ class ThreadShardExecutor(ShardExecutor):
 
     strategy = "thread"
 
-    def __init__(self, shards: list, algorithm: str):
-        super().__init__(shards, algorithm)
+    def __init__(self, shards: list, algorithm: str, policy=None):
+        super().__init__(shards, algorithm, policy)
         workers = min(len(self._shards), os.cpu_count() or 1) or 1
         self._pool = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="repro-shard"
         )
 
+    def _submit_live(self, fn, *args) -> list:
+        """One future per live shard, ``None`` placeholders for disabled."""
+        return [
+            None
+            if index in self._disabled
+            else self._pool.submit(fn, shard, *args)
+            for index, shard in enumerate(self._shards)
+        ]
+
     def _join(self, futures) -> list:
         results, first_error = [], None
-        for future in futures:
+        for index, future in enumerate(futures):
+            if future is None:
+                results.append(None)
+                continue
             try:
                 results.append(future.result())
             except Exception as exc:
                 if first_error is None:
-                    first_error = exc
+                    first_error = _tag_shard(exc, index)
         if first_error is not None:
             raise first_error
         return results
 
     def dispatch_round(self, jobs: list) -> RoundTicket:
         futures = [
-            self._pool.submit(
+            None
+            if index in self._disabled
+            else self._pool.submit(
                 shard.observe_round, column, entrants=entrants, exits=exits
             )
-            for shard, (column, entrants, exits) in zip(self._shards, jobs)
+            for index, (shard, (column, entrants, exits)) in enumerate(
+                zip(self._shards, jobs)
+            )
         ]
 
         def join() -> int:
             advanced = 0
             first_error = None
-            for future in futures:
+            for index, future in enumerate(futures):
+                if future is None:
+                    continue
                 try:
                     future.result()
                     advanced += 1
                 except Exception as exc:
                     if first_error is None:
-                        first_error = exc
+                        first_error = _tag_shard(exc, index)
             if first_error is not None:
                 raise first_error
             return advanced
@@ -297,21 +389,20 @@ class ThreadShardExecutor(ShardExecutor):
             pass
         return ticket
 
-    def answer(self, query, t: int, kwargs: dict) -> list[tuple[float, float]]:
-        return self._join(
-            [
-                self._pool.submit(self._answer_one, shard, query, t, kwargs)
-                for shard in self._shards
-            ]
-        )
+    def answer(self, query, t: int, kwargs: dict) -> list:
+        return self._join(self._submit_live(self._answer_one, query, t, kwargs))
 
-    def ledgers(self) -> list[tuple[float, float]]:
-        return [self._ledger_one(shard) for shard in self._shards]
+    def ledgers(self) -> list:
+        return [
+            None if index in self._disabled else self._ledger_one(shard)
+            for index, shard in enumerate(self._shards)
+        ]
 
-    def checkpoint_blobs(self) -> list[bytes]:
-        return self._join(
-            [self._pool.submit(self._blob_one, shard) for shard in self._shards]
-        )
+    def checkpoint_blobs(self) -> list:
+        return self._join(self._submit_live(self._blob_one))
+
+    def fingerprints(self) -> list:
+        return self._join(self._submit_live(self._fingerprint_one))
 
     def close(self) -> None:
         self._pool.shutdown(wait=True)
@@ -397,6 +488,10 @@ def _worker_loop(shard, algorithm: str, conn) -> None:
                     buffer = io.BytesIO()
                     shard.checkpoint(buffer)
                     conn.send(("ok", buffer.getvalue()))
+                elif tag == "fingerprint":
+                    conn.send(("ok", shard.fingerprint()))
+                elif tag == "ping":
+                    conn.send(("ok", "pong"))
                 elif tag == "stop":
                     conn.send(("ok", None))
                     return
@@ -462,7 +557,16 @@ class _StageBuffer:
 
 
 def _cleanup_process_executor(processes, connections, stages) -> None:
-    """Finalizer-safe teardown shared by close() and weakref.finalize."""
+    """Finalizer-safe teardown shared by close() and weakref.finalize.
+
+    Escalates per worker: graceful ``stop`` RPC → ``join`` → ``terminate``
+    (SIGTERM) → ``kill`` (SIGKILL).  The final escalation matters for
+    *stopped* (SIGSTOP'd) workers: SIGTERM stays pending while a process
+    is stopped, so ``terminate`` alone would hang the teardown forever,
+    while SIGKILL takes effect even on a stopped process.  Shared-memory
+    staging segments are unlinked last, unconditionally, so no worker
+    death mode can leak ``/dev/shm`` segments.
+    """
     for conn in connections:
         try:
             conn.send(("stop",))
@@ -483,6 +587,9 @@ def _cleanup_process_executor(processes, connections, stages) -> None:
         if process.is_alive():  # pragma: no cover - stuck worker
             process.terminate()
             process.join(timeout=1.0)
+        if process.is_alive():  # pragma: no cover - SIGTERM-immune worker
+            process.kill()
+            process.join(timeout=5.0)
     for stage in stages:
         stage.release()
 
@@ -502,8 +609,8 @@ class ProcessShardExecutor(ShardExecutor):
 
     strategy = "process"
 
-    def __init__(self, shards: list, algorithm: str):
-        super().__init__(shards, algorithm)
+    def __init__(self, shards: list, algorithm: str, policy=None):
+        super().__init__(shards, algorithm, policy)
         if "fork" not in mp.get_all_start_methods():
             raise ConfigurationError(
                 "the 'process' executor needs the fork start method, which "
@@ -556,31 +663,52 @@ class ProcessShardExecutor(ShardExecutor):
             "run with executor='serial' to hold the shards in-process"
         )
 
+    def _dead_error(self, index: int, exc) -> ConsistencyError:
+        error = ConsistencyError(
+            f"shard worker {index} died mid-request ({exc}); restore the "
+            "service from its last checkpoint"
+        )
+        return _tag_shard(error, index)
+
     def _recv(self, index: int):
+        conn = self._connections[index]
+        timeout = None if self._policy is None else self._policy.rpc_timeout
+        if timeout is not None:
+            try:
+                ready = conn.poll(timeout)
+            except (OSError, EOFError, ValueError) as exc:
+                raise self._dead_error(index, exc) from exc
+            if not ready:
+                error = ConsistencyError(
+                    f"shard worker {index} did not respond within "
+                    f"{timeout:.6g}s (hung or overloaded); the RPC stream is "
+                    "now desynchronized — restore the service from its last "
+                    "checkpoint"
+                )
+                raise _tag_shard(error, index)
         try:
-            tag, payload = self._connections[index].recv()
+            tag, payload = conn.recv()
         except (EOFError, OSError) as exc:
-            raise ConsistencyError(
-                f"shard worker {index} died mid-request ({exc}); restore the "
-                "service from its last checkpoint"
-            ) from exc
+            raise self._dead_error(index, exc) from exc
         if tag == "err":
-            raise payload
+            raise _tag_shard(payload, index)
         return payload
 
+    def _live_indices(self) -> list[int]:
+        return [i for i in range(self.n_shards) if i not in self._disabled]
+
     def _request_all(self, message) -> list:
-        for index, conn in enumerate(self._connections):
+        live = self._live_indices()
+        for index in live:
             try:
-                conn.send(message)
+                self._connections[index].send(message)
             except OSError as exc:
-                raise ConsistencyError(
-                    f"shard worker {index} died mid-request ({exc}); restore "
-                    "the service from its last checkpoint"
-                ) from exc
-        results, first_error = [], None
-        for index in range(self.n_shards):
+                raise self._dead_error(index, exc) from exc
+        results: list = [None] * self.n_shards
+        first_error = None
+        for index in live:
             try:
-                results.append(self._recv(index))
+                results[index] = self._recv(index)
             except Exception as exc:
                 if first_error is None:
                     first_error = exc
@@ -589,6 +717,7 @@ class ProcessShardExecutor(ShardExecutor):
         return results
 
     def dispatch_round(self, jobs: list) -> RoundTicket:
+        live = self._live_indices()
         stage = self._stages[self._rounds_dispatched % 2]
         self._rounds_dispatched += 1
         offsets, total = [], 0
@@ -599,7 +728,12 @@ class ProcessShardExecutor(ShardExecutor):
             total += column.nbytes
         stage.ensure(total)
         messages = []
-        for (column, entrants, exits), offset in zip(jobs, offsets):
+        for index, ((column, entrants, exits), offset) in enumerate(
+            zip(jobs, offsets)
+        ):
+            if index in self._disabled:
+                messages.append(None)
+                continue
             stage.write(offset, column)
             messages.append(
                 (
@@ -612,19 +746,23 @@ class ProcessShardExecutor(ShardExecutor):
                     exits,
                 )
             )
-        for index, (conn, message) in enumerate(zip(self._connections, messages)):
+        sent = 0
+        for index in live:
             try:
-                conn.send(message)
+                self._connections[index].send(messages[index])
             except OSError as exc:
-                raise ConsistencyError(
-                    f"shard worker {index} died mid-request ({exc}); restore "
-                    "the service from its last checkpoint"
-                ) from exc
+                error = self._dead_error(index, exc)
+                # How many workers already received the round decides
+                # whether the failure is retryable (nothing ingested) or
+                # must poison the service (clocks now desynchronized).
+                error.dispatched = sent
+                raise error from exc
+            sent += 1
 
         def join() -> int:
             advanced = 0
             first_error = None
-            for index in range(self.n_shards):
+            for index in live:
                 try:
                     self._recv(index)
                     advanced += 1
@@ -637,14 +775,66 @@ class ProcessShardExecutor(ShardExecutor):
 
         return RoundTicket(join)
 
-    def answer(self, query, t: int, kwargs: dict) -> list[tuple[float, float]]:
+    def answer(self, query, t: int, kwargs: dict) -> list:
         return self._request_all(("answer", query, t, kwargs))
 
-    def ledgers(self) -> list[tuple[float, float]]:
+    def ledgers(self) -> list:
         return self._request_all(("ledger",))
 
-    def checkpoint_blobs(self) -> list[bytes]:
+    def checkpoint_blobs(self) -> list:
         return self._request_all(("checkpoint",))
+
+    def fingerprints(self) -> list:
+        return self._request_all(("fingerprint",))
+
+    def worker_health(self) -> list[bool]:
+        return [
+            index not in self._disabled and self._processes[index].is_alive()
+            for index in range(self.n_shards)
+        ]
+
+    def ping(self) -> list[bool]:
+        """RPC round-trip per live worker; dead/hung workers report False.
+
+        Unlike :meth:`_request_all` this never raises on a dead worker —
+        it is the supervisor's heartbeat probe, and a probe that fails
+        closed would turn every detected failure into a second failure.
+        Must only run with no rounds in flight.
+        """
+        alive = [False] * self.n_shards
+        timeout = 5.0 if self._policy is None else (self._policy.rpc_timeout or 5.0)
+        pending = []
+        for index in self._live_indices():
+            if not self._processes[index].is_alive():
+                continue
+            try:
+                self._connections[index].send(("ping",))
+                pending.append(index)
+            except OSError:
+                pass
+        for index in pending:
+            try:
+                if self._connections[index].poll(timeout):
+                    tag, payload = self._connections[index].recv()
+                    alive[index] = tag == "ok" and payload == "pong"
+            except (OSError, EOFError):
+                pass
+        return alive
+
+    def disable(self, index: int) -> None:
+        """Exclude shard ``index`` and reap its worker (kill-escalated)."""
+        super().disable(index)
+        try:
+            self._connections[index].close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+        process = self._processes[index]
+        if process.is_alive():
+            process.terminate()
+            process.join(timeout=1.0)
+        if process.is_alive():  # pragma: no cover - SIGTERM-immune worker
+            process.kill()
+            process.join(timeout=5.0)
 
     def close(self) -> None:
         if self._finalizer.alive:
@@ -670,6 +860,22 @@ def resolve_strategy(executor: str | None) -> str:
     return executor
 
 
-def make_executor(executor: str | None, shards: list, algorithm: str) -> ShardExecutor:
-    """Build the executor for ``executor`` (``None`` = env default)."""
-    return _EXECUTORS[resolve_strategy(executor)](shards, algorithm)
+def make_executor(
+    executor: str | None, shards: list, algorithm: str, policy=None
+) -> ShardExecutor:
+    """Build the executor for ``executor`` (``None`` = env default).
+
+    Parameters
+    ----------
+    executor:
+        Strategy name, or ``None`` to read ``$REPRO_SHARD_EXECUTOR``.
+    shards:
+        Per-shard synthesizers handed to the executor (see
+        :class:`ShardExecutor`).
+    algorithm:
+        The service's algorithm tag, for merge weights.
+    policy:
+        Optional :class:`~repro.serve.policy.RetryPolicy` carrying the
+        RPC timeout applied by the process strategy.
+    """
+    return _EXECUTORS[resolve_strategy(executor)](shards, algorithm, policy)

@@ -39,6 +39,7 @@ Example
 from __future__ import annotations
 
 import io
+import warnings
 from collections import deque
 
 import numpy as np
@@ -48,7 +49,9 @@ from repro.exceptions import (
     ConfigurationError,
     ConsistencyError,
     DataValidationError,
+    DegradedServiceWarning,
     NotFittedError,
+    RecoveryError,
     SerializationError,
 )
 from repro.rng import SeedLike, spawn
@@ -84,6 +87,13 @@ class ShardedService:
         each shard into a persistent forked worker (so the
         :attr:`shards` property becomes unavailable) and stages round
         columns through shared memory.
+    policy:
+        Optional :class:`~repro.serve.policy.RetryPolicy`; the executor
+        applies its ``rpc_timeout`` to every worker RPC under the
+        ``"process"`` strategy (``None`` keeps the block-forever
+        default).  The retry/backoff and checkpoint-cadence knobs are
+        consumed by the :class:`~repro.serve.supervisor.SupervisedService`
+        wrapper, not here.
     **synthesizer_kwargs:
         Forwarded to every shard's synthesizer constructor — for
         ``"cumulative"`` at least ``horizon`` and ``rho``; for
@@ -106,6 +116,7 @@ class ShardedService:
         algorithm: str = "cumulative",
         seed: SeedLike = None,
         executor: str | None = None,
+        policy=None,
         **synthesizer_kwargs,
     ):
         if n_shards < 1:
@@ -118,6 +129,7 @@ class ShardedService:
         self._loads: np.ndarray | None = None  # active count per shard
         self._members: list[np.ndarray] | None = None  # ever-ids per shard
         self._poisoned: str | None = None  # set when shard clocks desync
+        self._disabled: dict[int, str] = {}  # shard -> degradation reason
         # One source of truth for supported algorithms: the streaming
         # wrapper's registry, whose constructor classmethods share the
         # algorithm tags (StreamingSynthesizer.cumulative etc.).
@@ -130,10 +142,13 @@ class ShardedService:
         shards = [
             factory(seed=shard_seed, **synthesizer_kwargs) for shard_seed in seeds
         ]
-        self._adopt_shards(shards, executor)
+        self._adopt_shards(shards, executor, policy)
 
     def _adopt_shards(
-        self, shards: list[StreamingSynthesizer], executor: str | None
+        self,
+        shards: list[StreamingSynthesizer],
+        executor: str | None,
+        policy=None,
     ) -> None:
         """Cache shard-derived config, then hand the shards to an executor.
 
@@ -143,7 +158,7 @@ class ShardedService:
         self._horizon = shards[0].horizon
         self._t = shards[0].t
         self._alphabet = getattr(shards[0].synthesizer, "alphabet", 2)
-        self._executor = make_executor(executor, shards, self.algorithm)
+        self._executor = make_executor(executor, shards, self.algorithm, policy)
         self._pending: deque[tuple[int, RoundTicket]] = deque()
 
     @classmethod
@@ -155,6 +170,7 @@ class ShardedService:
         shard_of: np.ndarray | None,
         active: np.ndarray | None,
         executor: str | None = "serial",
+        policy=None,
     ) -> "ShardedService":
         """Internal: assemble a service around already-built shards."""
         service = object.__new__(cls)
@@ -168,7 +184,8 @@ class ShardedService:
         if shard_of is not None:
             service._rebuild_assignment_caches()
         service._poisoned = None
-        service._adopt_shards(shards, executor)
+        service._disabled = {}
+        service._adopt_shards(shards, executor, policy)
         return service
 
     def _rebuild_assignment_caches(self) -> None:
@@ -397,7 +414,10 @@ class ShardedService:
                 f"{self.n - exit_ids.size + entrants} (n_active={self.n}, "
                 f"{exit_ids.size} exits, {entrants} entrants)"
             )
-        if round_number == 1 or (not exit_ids.size and not entrants):
+        churn_round = not (
+            round_number == 1 or (not exit_ids.size and not entrants)
+        )
+        if not churn_round:
             never_churned = (
                 self._shard_of.shape[0] == int(self._boundaries[-1])
                 and self._active.all()
@@ -420,7 +440,22 @@ class ShardedService:
                 shard_columns, shard_churn
             )
         ]
-        inner = self._executor.dispatch_round(jobs)
+        try:
+            inner = self._executor.dispatch_round(jobs)
+        except Exception as exc:
+            # A dispatch failure is retryable only if no shard received
+            # the round AND no service-side churn state was committed
+            # (_route_churn mutates the assignment before dispatching).
+            # Otherwise the clocks can no longer be trusted: fail closed.
+            dispatched = getattr(exc, "dispatched", None)
+            if churn_round or (dispatched is not None and dispatched > 0):
+                if self._poisoned is None:
+                    self._poisoned = (
+                        f"round {round_number} dispatch failed after "
+                        f"{dispatched or 0} shards received it"
+                        + (" (churn already committed)" if churn_round else "")
+                    )
+            raise
         self._t = round_number
         ticket = RoundTicket(lambda: self._join_round(round_number, inner))
         self._pending.append((round_number, ticket))
@@ -508,6 +543,12 @@ class ShardedService:
             loads -= np.bincount(
                 self._shard_of[exit_ids], minlength=self.n_shards
             )[: self.n_shards]
+        # Degraded mode note: a disabled shard still participates in
+        # routing (and "accepts" its entrants, whose dispatch is then
+        # dropped with the rest of its slice).  Diverting them would
+        # change which entrants the *surviving* shards receive and break
+        # the byte-identity the journal replay is verified against —
+        # survivors must evolve exactly as in the healthy run.
         entrant_shards = np.empty(entrants, dtype=np.int64)
         for index in range(entrants):
             target = int(np.argmin(loads))
@@ -581,12 +622,19 @@ class ShardedService:
             each shard's answer is a fraction of its own (synthetic)
             population, the weighted average equals the fraction over
             the union — exactly what a single unsharded release reports.
+            On a :attr:`degraded` service the average runs over the
+            *surviving* shards only and every call emits a
+            :class:`~repro.exceptions.DegradedServiceWarning`.
         """
         self._check_not_poisoned()
         self._drain()
+        self._warn_if_degraded("answer")
         weighted = 0.0
         total = 0.0
-        for weight, value in self._executor.answer(query, t, dict(kwargs)):
+        for pair in self._executor.answer(query, t, dict(kwargs)):
+            if pair is None:  # disabled shard (degraded mode)
+                continue
+            weight, value = pair
             weighted += weight * value
             total += weight
         return weighted / total
@@ -599,24 +647,146 @@ class ShardedService:
                 "restore the service from its last checkpoint"
             )
 
+    def _warn_if_degraded(self, operation: str) -> None:
+        if self._disabled:
+            names = ", ".join(
+                f"shard {index} ({reason})"
+                for index, reason in sorted(self._disabled.items())
+            )
+            warnings.warn(
+                f"{operation} served degraded: {names} excluded; answers "
+                "merge the surviving shards only",
+                DegradedServiceWarning,
+                stacklevel=3,
+            )
+
+    @property
+    def degraded(self) -> bool:
+        """True when any shard has been disabled (degraded serving)."""
+        return bool(self._disabled)
+
+    def disable_shard(self, index: int, reason: str = "unrecoverable") -> None:
+        """Exclude an unrecoverable shard and serve from the survivors.
+
+        This is the opt-in graceful-degradation escape hatch: the
+        disabled shard's slice of every future column is dropped at
+        dispatch and :meth:`answer` merges the surviving shards (with a
+        :class:`~repro.exceptions.DegradedServiceWarning` per call).
+        Entrant routing is *unchanged* — the disabled shard still
+        virtually accepts its share (those entrants go unserved with
+        it), so the surviving shards receive exactly the individuals
+        they would have in a healthy run and their state stays
+        byte-identical, which is what lets supervised recovery replay a
+        journal across a degradation without re-noising.
+        The full column contract is *unchanged* — the disabled shard's
+        members still report; their reports are simply not processed.
+        :meth:`checkpoint` refuses on a degraded service (the disabled
+        shard's state is gone), so degradation is a bridge to a rebuild,
+        not a steady state.
+
+        Parameters
+        ----------
+        index:
+            Shard to disable.
+        reason:
+            Human-readable cause, surfaced by :meth:`health_report`.
+
+        Raises
+        ------
+        repro.exceptions.ConfigurationError
+            On an out-of-range index or when disabling would leave no
+            live shard.
+        """
+        if not 0 <= index < self.n_shards:
+            raise ConfigurationError(
+                f"shard index must lie in [0, {self.n_shards}), got {index}"
+            )
+        if len(self._disabled) >= self.n_shards - 1 and index not in self._disabled:
+            raise ConfigurationError(
+                "cannot disable the last live shard; restore the service "
+                "from a checkpoint instead"
+            )
+        self._disabled[int(index)] = str(reason)
+        self._executor.disable(int(index))
+
+    def health_report(self) -> list[dict]:
+        """Per-shard status for operators and the supervision layer.
+
+        Returns
+        -------
+        list of dict
+            One entry per shard, in shard order:
+            ``{"shard": index, "status": "ok" | "disabled" | "dead",
+            "reason": str | None, "active": int}`` where ``active`` is
+            the shard's active-population load (0 before round 1).
+            ``"dead"`` marks a worker process that stopped responding
+            but has not been formally disabled.
+        """
+        health = self._executor.worker_health()
+        loads = (
+            self._loads
+            if self._loads is not None
+            else np.zeros(self.n_shards, dtype=np.int64)
+        )
+        report = []
+        for index in range(self.n_shards):
+            if index in self._disabled:
+                status, reason = "disabled", self._disabled[index]
+            elif not health[index]:
+                status, reason = "dead", "worker process is not alive"
+            else:
+                status, reason = "ok", None
+            report.append(
+                {
+                    "shard": index,
+                    "status": status,
+                    "reason": reason,
+                    "active": int(loads[index]),
+                }
+            )
+        return report
+
+    def state_fingerprints(self) -> list:
+        """Per-shard state digests (see ``StreamingSynthesizer.fingerprint``).
+
+        Returns
+        -------
+        list
+            One hex SHA-256 per shard, in shard order (``None`` for
+            disabled shards).  Equal fingerprints guarantee byte-
+            identical checkpoint bundles and future releases; the
+            release journal records these per round so crash recovery
+            can verify a replay reproduced the published state exactly.
+        """
+        self._check_not_poisoned()
+        self._drain()
+        return self._executor.fingerprints()
+
     def zcdp_spent(self) -> float:
         """Service-wide zCDP spend: the *maximum* over shards.
 
         The shards hold disjoint individuals, so parallel composition
         gives the union mechanism a guarantee of ``max_k rho_k``, not the
         sum.  Returns 0.0 when every shard runs noiseless
-        (``rho = inf``).
+        (``rho = inf``).  On a degraded service the maximum runs over
+        the surviving shards (a disabled shard stopped spending when it
+        stopped stepping, so the live maximum still bounds it from the
+        round it died onward; the supervisor additionally floors this
+        with the journaled pre-failure spend).
         """
         return max(
-            (spent for spent, _ in self.shard_ledgers()), default=0.0
+            (entry[0] for entry in self.shard_ledgers() if entry is not None),
+            default=0.0,
         )
 
-    def shard_ledgers(self) -> list[tuple[float, float]]:
+    def shard_ledgers(self) -> list:
         """Per-shard ``(spent, remaining)`` zCDP, in shard order.
 
         Shards running noiseless (``rho = inf``) report ``(0.0, inf)``.
-        Readable even on a poisoned service (it is the one surface the
-        desync guard does not cover — auditing spend stays possible).
+        Disabled shards report ``None`` (their accountant is gone with
+        their worker).  Readable even on a poisoned service (it is the
+        one surface the desync guard does not cover — auditing spend
+        stays possible).
         """
         try:
             self._drain()
@@ -646,8 +816,19 @@ class ShardedService:
         ------
         repro.exceptions.SerializationError
             If any shard state cannot be serialized.
+        repro.exceptions.RecoveryError
+            On a degraded service: the disabled shards' state is gone,
+            so a bundle written now could never restore the full
+            population — rebuild the service before checkpointing.
         """
         self._check_not_poisoned()
+        if self._disabled:
+            names = ", ".join(str(index) for index in sorted(self._disabled))
+            raise RecoveryError(
+                f"cannot checkpoint a degraded service: shard(s) {names} are "
+                "disabled and their state is unrecoverable; rebuild the "
+                "service (restore from the last complete bundle) first"
+            )
         self._drain()
         shard_blobs: dict = {}
         for index, blob in enumerate(self._executor.checkpoint_blobs()):
@@ -670,7 +851,9 @@ class ShardedService:
         )
 
     @classmethod
-    def restore(cls, path, *, executor: str | None = None) -> "ShardedService":
+    def restore(
+        cls, path, *, executor: str | None = None, policy=None
+    ) -> "ShardedService":
         """Resume a service from a :meth:`checkpoint` bundle.
 
         Parameters
@@ -682,6 +865,9 @@ class ShardedService:
             reads ``$REPRO_SHARD_EXECUTOR``, falling back to serial.
             Checkpoints are strategy-agnostic, so a bundle written under
             one executor restores under any other.
+        policy:
+            Optional :class:`~repro.serve.policy.RetryPolicy` carrying
+            the worker RPC timeout for the restored service.
 
         Returns
         -------
@@ -800,7 +986,13 @@ class ShardedService:
                     f"with the shards' lifespan tables {ever_counts}"
                 )
         return cls._from_shards(
-            shards, algorithm, boundaries, shard_of, active, executor=executor
+            shards,
+            algorithm,
+            boundaries,
+            shard_of,
+            active,
+            executor=executor,
+            policy=policy,
         )
 
     def close(self) -> None:

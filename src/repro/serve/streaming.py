@@ -280,6 +280,28 @@ class StreamingSynthesizer:
     # Durability
     # ------------------------------------------------------------------
 
+    def fingerprint(self) -> str:
+        """Digest of the complete serializable state, RNG included.
+
+        Returns
+        -------
+        str
+            A hex SHA-256 over the same config/state a :meth:`checkpoint`
+            bundle captures (every state array hashed byte-for-byte).
+            Two services with equal fingerprints write byte-identical
+            checkpoint bundles and produce byte-identical future
+            releases.  The release journal stores one fingerprint per
+            shard per round, which is how crash recovery *proves* a
+            replayed round reproduced the original published state
+            instead of silently re-noising it.
+        """
+        from repro.serve.checkpoint import state_fingerprint
+
+        return state_fingerprint(
+            self._synthesizer.config_dict(),
+            self._synthesizer.state_dict(copy=False),
+        )
+
     def checkpoint(self, path) -> None:
         """Serialize the full mid-stream state to a versioned bundle.
 

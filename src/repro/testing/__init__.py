@@ -1,0 +1,14 @@
+"""Test-support utilities shipped with the library.
+
+:mod:`repro.testing.faults` is the deterministic fault-injection
+harness used by the chaos test suites (``tests/serve/``) and the
+``--chaos`` self-check of the serving demo: seedable injectors that
+kill, hang, and delay shard workers, corrupt checkpoint bytes, truncate
+journal tails, and starve shared-memory staging.  Nothing here is
+needed for normal serving; it lives in the package (not in ``tests/``)
+so the demo executable and external users can drive the same faults.
+"""
+
+from repro.testing.faults import FaultInjector, starve_shared_memory
+
+__all__ = ["FaultInjector", "starve_shared_memory"]

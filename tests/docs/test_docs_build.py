@@ -38,6 +38,7 @@ def test_all_pages_built(built_docs):
         "engines.html",
         "serving.html",
         "scaling-out.html",
+        "fault-tolerance.html",
         "dynamic-populations.html",
         "privacy-accounting.html",
         "checkpoint-format.html",

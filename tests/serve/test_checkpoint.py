@@ -201,6 +201,28 @@ def test_not_a_zip_rejected(tmp_path):
         StreamingSynthesizer.restore(path)
 
 
+def test_torn_final_bytes_diagnosed_as_truncated(tmp_path, columns):
+    """A bundle whose last 64 bytes are damaged lost its zip central
+    directory — the torn-write signature — and must be refused with the
+    specific truncation diagnosis, not a generic zip error."""
+    blob = bytearray(_checkpoint_bytes(columns))
+    rng = np.random.default_rng(0)
+    for offset in range(len(blob) - 64, len(blob)):
+        blob[offset] ^= int(rng.integers(1, 256))
+    path = tmp_path / "torn.ckpt"
+    path.write_bytes(bytes(blob))
+    with pytest.raises(SerializationError, match="truncated"):
+        StreamingSynthesizer.restore(path)
+
+
+def test_truncated_tail_diagnosed_as_truncated(tmp_path, columns):
+    blob = _checkpoint_bytes(columns)
+    path = tmp_path / "cut.ckpt"
+    path.write_bytes(blob[:-64])
+    with pytest.raises(SerializationError, match="truncated"):
+        StreamingSynthesizer.restore(path)
+
+
 def test_foreign_zip_rejected(tmp_path):
     path = tmp_path / "foreign.zip"
     with zipfile.ZipFile(path, "w") as bundle:
