@@ -23,19 +23,32 @@ Package map (see DESIGN.md for the full inventory):
 * :mod:`repro.streams` — pluggable DP stream counters (Algorithm 3 et al.);
 * :mod:`repro.data` — panels, generators, SIPP simulator, de Bruijn padding;
 * :mod:`repro.queries` — window and cumulative query classes;
-* :mod:`repro.baselines` — recompute-from-scratch, clamping, oracle;
-* :mod:`repro.analysis` — theory bounds, metrics, replication harness;
+* :mod:`repro.baselines` — recompute-from-scratch, clamping, oracle,
+  private density estimation;
+* :mod:`repro.analysis` — theory bounds, metrics, replication harness,
+  pMSE utility scoring;
 * :mod:`repro.serve` — online serving: round-by-round ingestion,
   checkpoint/restore, sharded multi-tenant scaling;
 * :mod:`repro.experiments` — one runnable definition per paper figure.
 """
 
 from repro.analysis import (
+    PMSEProbe,
+    PMSEScore,
     ReplicatedAnswers,
     SeriesSummary,
+    UtilityReport,
+    pmse_release,
+    propensity_pmse,
     replicate_synthesizer,
+    score_synthesizer,
 )
-from repro.baselines import ClampingBaseline, NonPrivateSynthesizer, RecomputeBaseline
+from repro.baselines import (
+    ClampingBaseline,
+    NonPrivateSynthesizer,
+    PrivateDensityBaseline,
+    RecomputeBaseline,
+)
 from repro.core import (
     CategoricalWindowRelease,
     CategoricalWindowSynthesizer,
@@ -157,9 +170,17 @@ __all__ = [
     "RecomputeBaseline",
     "ClampingBaseline",
     "NonPrivateSynthesizer",
+    "PrivateDensityBaseline",
     "replicate_synthesizer",
     "ReplicatedAnswers",
     "SeriesSummary",
+    # utility scoring
+    "PMSEScore",
+    "PMSEProbe",
+    "UtilityReport",
+    "propensity_pmse",
+    "pmse_release",
+    "score_synthesizer",
     # serving
     "StreamingSynthesizer",
     "ShardedService",

@@ -8,6 +8,9 @@
   behind every figure (the paper repeats each synthesizer 1000 times).
 * :mod:`repro.analysis.tables` — plain-text rendering of result series
   (this reproduction's "figures" are printed series tables).
+* :mod:`repro.analysis.utility` — padding-aware pMSE scoring of synthetic
+  releases (the Snoke & Slavković propensity-score metric, saturated
+  closed-form over finite alphabets) and the replicated utility harness.
 """
 
 from repro.analysis.confidence import (
@@ -30,6 +33,20 @@ from repro.analysis.replication import (
     resolve_strategy,
 )
 from repro.analysis.tables import render_comparison_table, render_series_table
+from repro.analysis.utility import (
+    PMSEProbe,
+    PMSEScore,
+    UtilityReport,
+    expected_null_pmse,
+    panel_hamming_codes,
+    panel_window_codes,
+    pmse_panels,
+    pmse_release,
+    propensity_pmse,
+    propensity_pmse_counts,
+    score_synthesizer,
+    utility_answer,
+)
 from repro.analysis.theory import (
     corollary_3_3_relative_bound,
     corollary_b1_alpha,
@@ -61,4 +78,16 @@ __all__ = [
     "STRATEGIES",
     "render_series_table",
     "render_comparison_table",
+    "PMSEScore",
+    "PMSEProbe",
+    "UtilityReport",
+    "propensity_pmse",
+    "propensity_pmse_counts",
+    "expected_null_pmse",
+    "panel_window_codes",
+    "panel_hamming_codes",
+    "pmse_panels",
+    "pmse_release",
+    "score_synthesizer",
+    "utility_answer",
 ]

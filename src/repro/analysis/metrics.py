@@ -18,22 +18,85 @@ from repro.exceptions import ConfigurationError
 __all__ = ["max_abs_error", "bias", "rmse", "percentile_bands", "SeriesSummary"]
 
 
-def max_abs_error(estimates: np.ndarray, truth: np.ndarray) -> float:
-    """Worst-case absolute error over all entries."""
+def _validated_pair(estimates, truth, metric: str) -> tuple[np.ndarray, np.ndarray]:
+    """Coerce and validate an (estimates, truth) metric input pair.
+
+    Empty estimates have no well-defined error (silently returning 0.0
+    would let an accuracy regression that produces *no* answers pass a
+    gate), and shape-incompatible inputs would either raise a bare NumPy
+    broadcast error or, worse, broadcast to something unintended.
+    """
     estimates = np.asarray(estimates, dtype=np.float64)
     truth = np.asarray(truth, dtype=np.float64)
-    return float(np.max(np.abs(estimates - truth))) if estimates.size else 0.0
+    if estimates.size == 0:
+        raise ConfigurationError(
+            f"{metric} needs at least one estimate; got an empty array "
+            "(an empty answer grid is a bug, not a zero-error run)"
+        )
+    try:
+        np.broadcast_shapes(estimates.shape, truth.shape)
+    except ValueError:
+        raise ConfigurationError(
+            f"{metric}: estimates shape {estimates.shape} is not "
+            f"broadcast-compatible with truth shape {truth.shape}"
+        ) from None
+    return estimates, truth
+
+
+def max_abs_error(estimates: np.ndarray, truth: np.ndarray) -> float:
+    """Worst-case absolute error over all entries.
+
+    Parameters
+    ----------
+    estimates:
+        Non-empty array of released answers.
+    truth:
+        Ground truth, broadcast-compatible with ``estimates``.
+
+    Raises
+    ------
+    repro.exceptions.ConfigurationError
+        If ``estimates`` is empty or the shapes are incompatible.
+    """
+    estimates, truth = _validated_pair(estimates, truth, "max_abs_error")
+    return float(np.max(np.abs(estimates - truth)))
 
 
 def bias(estimates: np.ndarray, truth: float) -> float:
-    """Mean signed deviation of replicated estimates from the truth."""
-    estimates = np.asarray(estimates, dtype=np.float64)
-    return float(estimates.mean() - truth)
+    """Mean signed deviation of replicated estimates from the truth.
+
+    Parameters
+    ----------
+    estimates:
+        Non-empty array of released answers.
+    truth:
+        Ground truth (scalar, or broadcast-compatible array).
+
+    Raises
+    ------
+    repro.exceptions.ConfigurationError
+        If ``estimates`` is empty or the shapes are incompatible.
+    """
+    estimates, truth = _validated_pair(estimates, truth, "bias")
+    return float(np.mean(estimates - truth))
 
 
 def rmse(estimates: np.ndarray, truth: float) -> float:
-    """Root mean squared error of replicated estimates."""
-    estimates = np.asarray(estimates, dtype=np.float64)
+    """Root mean squared error of replicated estimates.
+
+    Parameters
+    ----------
+    estimates:
+        Non-empty array of released answers.
+    truth:
+        Ground truth (scalar, or broadcast-compatible array).
+
+    Raises
+    ------
+    repro.exceptions.ConfigurationError
+        If ``estimates`` is empty or the shapes are incompatible.
+    """
+    estimates, truth = _validated_pair(estimates, truth, "rmse")
     return float(np.sqrt(np.mean((estimates - truth) ** 2)))
 
 

@@ -11,9 +11,15 @@
   and breaks the consistency constraint the paper's correction relies on.
 * :class:`NonPrivateSynthesizer` — releases the truth (an oracle for
   accuracy comparisons; no privacy).
+* :class:`PrivateDensityBaseline` — per-round private density estimation
+  over window patterns (noisy histogram, clamp, renormalize, resample; in
+  the spirit of Bojkovic & Loh).  The external competitor the utility
+  harness scores against Algorithm 1: it pays the per-round composition
+  penalty and has no longitudinal linkage between rounds.
 """
 
 from repro.baselines.clamped import ClampingBaseline
+from repro.baselines.density import DensityRelease, PrivateDensityBaseline
 from repro.baselines.nonprivate import NonPrivateSynthesizer
 from repro.baselines.recompute import RecomputeBaseline, RecomputeRelease
 
@@ -22,4 +28,6 @@ __all__ = [
     "RecomputeRelease",
     "ClampingBaseline",
     "NonPrivateSynthesizer",
+    "PrivateDensityBaseline",
+    "DensityRelease",
 ]

@@ -107,6 +107,20 @@ class RecomputeRelease:
             raise NotFittedError(f"no release for t={t}") from None
         return release.answer(query, t, debias=debias)
 
+    def padding(self, t: int):
+        """Public padding spec of the round-``t`` single-shot synthesis.
+
+        Each round regenerates the prefix with a fresh
+        :class:`~repro.core.fixed_window.FixedWindowSynthesizer`, so the
+        padding parameters differ per round; utility scorers
+        (:func:`~repro.analysis.utility.pmse_release`) use this to score
+        the fresh panel against its padded target.
+        """
+        try:
+            return self._baseline._releases[t].padding
+        except KeyError:
+            raise NotFittedError(f"no release for t={t}") from None
+
     def ever_pattern_series(self, pattern_code: int) -> list[float]:
         """"Ever matched pattern" fraction per round, each on its own panel.
 

@@ -6,8 +6,10 @@ Subcommands:
 * ``run <id> [--reps N] [--seed S]`` — run one experiment and print its
   report (non-zero exit when any shape check fails); ``run churn`` is
   the dynamic-population attrition sweep (see the docs' "Dynamic
-  populations" page) and ``run categorical [--alphabet Q]`` the
-  multi-category employment-status figure;
+  populations" page), ``run categorical [--alphabet Q]`` the
+  multi-category employment-status figure, and ``run utility`` the
+  pMSE / accuracy frontier over rho x horizon x algorithm (see the
+  docs' "Utility evaluation" page);
 * ``all [--reps N]`` — run every experiment;
 * ``serve-demo`` — replay the SIPP panel round-by-round through the
   online serving layer (:mod:`repro.serve`) with mid-stream

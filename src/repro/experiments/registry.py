@@ -25,6 +25,7 @@ from repro.experiments.simulated_window import run_simulated_window_experiment
 from repro.experiments.sipp_cumulative import run_sipp_cumulative_experiment
 from repro.experiments.sipp_window import run_sipp_window_experiment
 from repro.experiments.sweeps import run_population_sweep, run_rho_sweep
+from repro.experiments.utility import run_utility_experiment
 
 __all__ = ["EXPERIMENTS", "get_experiment", "list_experiments"]
 
@@ -118,6 +119,10 @@ EXPERIMENTS: dict[str, Runner] = {
     # Online serving walkthrough (repro.serve): round-by-round ingestion,
     # checkpoint/resume byte-identity, tamper rejection, sharded budgets.
     "serve-demo": _entry(run_serve_demo),
+    # Utility frontier: padding-aware pMSE + accuracy metrics over
+    # rho x horizon x algorithm, anchored by the
+    # oracle < Algorithm 1 < clamping ordering check.
+    "utility": _entry(run_utility_experiment, _REPLICATION),
 }
 
 

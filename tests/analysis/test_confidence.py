@@ -149,3 +149,40 @@ class TestCumulativeCI:
             lower, upper = cumulative_answer_ci(release, query, t, level=0.95)
             covered += lower <= truth <= upper
         assert covered / runs >= 0.85
+
+
+class TestZeroVarianceNoise:
+    """CIs must stay finite and NaN-free when the noise has zero variance."""
+
+    @pytest.fixture
+    def panel(self):
+        return two_state_markov(400, 12, 0.8, 0.1, seed=3)
+
+    def test_window_ci_infinite_rho(self, panel):
+        import math
+
+        synth = FixedWindowSynthesizer(horizon=12, window=3, rho=math.inf, seed=1)
+        release = synth.run(panel)
+        query = AtLeastMOnes(3, 1)
+        lower, upper = window_answer_ci(release, query, 6)
+        assert math.isfinite(lower) and math.isfinite(upper)
+        # sigma = 0 leaves only the rounding term: a degenerate-width band
+        # still brackets its own estimate.
+        assert lower <= release.answer(query, 6) <= upper
+
+    def test_cumulative_ci_infinite_rho(self, panel):
+        import math
+
+        synth = CumulativeSynthesizer(horizon=12, rho=math.inf, seed=1)
+        release = synth.run(panel)
+        lower, upper = cumulative_answer_ci(release, HammingAtLeast(3), 12)
+        assert math.isfinite(lower) and math.isfinite(upper)
+        assert lower <= release.answer(HammingAtLeast(3), 12) <= upper
+
+    def test_interval_width_shrinks_with_level(self, panel):
+        synth = FixedWindowSynthesizer(horizon=12, window=3, rho=0.05, seed=2)
+        release = synth.run(panel)
+        query = AtLeastMOnes(3, 1)
+        narrow = window_answer_ci(release, query, 6, level=0.5)
+        wide = window_answer_ci(release, query, 6, level=0.99)
+        assert (narrow[1] - narrow[0]) < (wide[1] - wide[0])

@@ -18,8 +18,29 @@ class TestScalarMetrics:
     def test_max_abs_error(self):
         assert max_abs_error([1.0, 2.0, 3.5], [1.0, 2.5, 3.0]) == pytest.approx(0.5)
 
-    def test_max_abs_error_empty(self):
-        assert max_abs_error(np.array([]), np.array([])) == 0.0
+    def test_max_abs_error_empty_rejected(self):
+        with pytest.raises(ConfigurationError, match="empty"):
+            max_abs_error(np.array([]), np.array([]))
+
+    def test_rmse_empty_rejected(self):
+        with pytest.raises(ConfigurationError, match="rmse"):
+            rmse(np.array([]), np.array([]))
+
+    def test_bias_empty_rejected(self):
+        with pytest.raises(ConfigurationError, match="bias"):
+            bias(np.array([]), 1.0)
+
+    @pytest.mark.parametrize("metric", [max_abs_error, bias, rmse])
+    def test_shape_mismatch_rejected(self, metric):
+        with pytest.raises(ConfigurationError, match="broadcast"):
+            metric(np.zeros((2, 3)), np.zeros(4))
+
+    def test_broadcastable_shapes_accepted(self):
+        # (reps, times) against a (times,) truth row is the common layout.
+        estimates = np.array([[1.0, 2.0], [3.0, 4.0]])
+        truth = np.array([1.0, 2.0])
+        assert max_abs_error(estimates, truth) == pytest.approx(2.0)
+        assert rmse(estimates, truth) == pytest.approx(np.sqrt(2.0))
 
     def test_bias_signed(self):
         assert bias([1.0, 3.0], 1.0) == pytest.approx(1.0)
@@ -69,6 +90,39 @@ class TestSeriesSummary:
             SeriesSummary.from_samples([1, 2], np.zeros((10, 3)), [0.0, 0.0])
         with pytest.raises(ConfigurationError):
             SeriesSummary.from_samples([1, 2], np.zeros((10, 2)), [0.0, 0.0, 0.0])
+
+    def test_single_repetition(self):
+        # One repetition collapses every quantile onto the sample itself.
+        x = np.arange(1, 4)
+        samples = np.array([[0.1, 0.2, 0.3]])
+        summary = SeriesSummary.from_samples(x, samples, [0.1, 0.2, 0.3])
+        assert np.array_equal(summary.median, samples[0])
+        assert np.array_equal(summary.lower, samples[0])
+        assert np.array_equal(summary.upper, samples[0])
+        assert np.array_equal(summary.mean, samples[0])
+        assert summary.max_median_error == 0.0
+        assert summary.covers_truth().all()
+
+    def test_constant_series_zero_variance(self):
+        # Zero-variance noise (e.g. the non-private oracle replicated)
+        # must produce a degenerate band with no NaNs anywhere.
+        x = np.arange(1, 5)
+        samples = np.full((30, 4), 0.25)
+        summary = SeriesSummary.from_samples(x, samples, np.full(4, 0.25))
+        for series in (summary.median, summary.lower, summary.upper, summary.mean):
+            assert np.isfinite(series).all()
+            assert np.array_equal(series, np.full(4, 0.25))
+        assert summary.max_mean_bias == 0.0
+        assert summary.covers_truth().all()
+        assert rmse(samples, np.full(4, 0.25)) == 0.0
+        assert max_abs_error(samples, np.full(4, 0.25)) == 0.0
+        assert bias(samples, 0.25) == 0.0
+
+    def test_percentile_bands_single_repetition(self):
+        bands = percentile_bands(np.array([[1.0, 2.0, 3.0]]))
+        assert bands.shape == (3, 3)
+        assert np.isfinite(bands).all()
+        assert np.array_equal(bands[0], bands[2])
 
 
 class TestRendering:

@@ -41,6 +41,7 @@ def test_all_pages_built(built_docs):
         "fault-tolerance.html",
         "dynamic-populations.html",
         "privacy-accounting.html",
+        "utility.html",
         "checkpoint-format.html",
         "api.html",
     }
@@ -68,6 +69,13 @@ def test_serving_page_documents_the_contracts(built_docs):
     serving = (built_docs / "serving.html").read_text()
     assert "byte-identically" in serving
     assert "parallel composition" in serving
+
+
+def test_utility_page_documents_scoring_and_gate(built_docs):
+    utility = (built_docs / "utility.html").read_text()
+    assert "pMSE" in utility
+    assert "padded" in utility
+    assert "check_regression" in utility
 
 
 def test_build_rejects_rst_warnings(tmp_path):

@@ -128,6 +128,103 @@ class TestSelfTest:
         assert check_regression.self_test(reports, baselines, 1.5, 2.0) > 0
 
 
+class TestUtilityAccuracyGate:
+    """The gate catches *accuracy* regressions, not just speed ones."""
+
+    COMMITTED = (
+        Path(__file__).parent.parent
+        / "benchmarks"
+        / "baselines"
+        / "BENCH_test_utility.json"
+    )
+
+    @pytest.fixture
+    def utility_gate_dirs(self, tmp_path):
+        reports = tmp_path / "reports"
+        baselines = tmp_path / "baselines"
+        reports.mkdir()
+        baselines.mkdir()
+        payload = json.loads(self.COMMITTED.read_text())
+        _write(baselines / "BENCH_test_utility.json", payload)
+        healthy = {
+            name: spec["value"] for name, spec in payload["metrics"].items()
+        }
+        _write(
+            reports / "BENCH_test_utility.json",
+            {"benchmark": "test_utility", "metrics": healthy},
+        )
+        return reports, baselines, payload
+
+    def test_committed_baseline_gates_accuracy_metrics(self):
+        payload = json.loads(self.COMMITTED.read_text())
+        directions = {
+            name: spec["direction"] for name, spec in payload["metrics"].items()
+        }
+        # pMSE and rmse are costs; the clamped-minus-window margin is the
+        # canary that must stay open.
+        assert any(name.startswith("pmse_window") for name in directions)
+        assert any(name.startswith("rmse_window") for name in directions)
+        assert directions["margin_clamped_over_window_rho0.05_T12"] == "higher"
+        assert all(
+            direction == "lower"
+            for name, direction in directions.items()
+            if name.startswith(("pmse_", "rmse_"))
+        )
+
+    def test_healthy_report_passes(self, utility_gate_dirs):
+        reports, baselines, _ = utility_gate_dirs
+        failures, lines = check_regression.check(reports, baselines, 1.5)
+        assert failures == []
+        assert lines
+
+    def test_injected_accuracy_regression_fails(self, utility_gate_dirs):
+        # Doubling the noise scale (a quartered rho) roughly quadruples
+        # every pMSE/rmse metric and collapses the clamped-over-window
+        # margin; all of that must trip the 1.5x gate.
+        reports, baselines, payload = utility_gate_dirs
+        degraded = {}
+        for name, spec in payload["metrics"].items():
+            if spec["direction"] == "lower":
+                degraded[name] = spec["value"] * 4.0
+            else:
+                degraded[name] = spec["value"] / 4.0
+        _write(
+            reports / "BENCH_test_utility.json",
+            {"benchmark": "test_utility", "metrics": degraded},
+        )
+        failures, _ = check_regression.check(reports, baselines, 1.5)
+        assert len(failures) == len(payload["metrics"])
+
+    def test_real_noise_doubling_trips_the_metric(self):
+        # End-to-end: score Algorithm 1 healthy (rho) vs degraded (rho/4,
+        # i.e. doubled noise sigma) and confirm the measured pMSE shift is
+        # a gate-visible regression, not a within-tolerance wobble.
+        import numpy as np
+
+        from repro.analysis.utility import pmse_release
+        from repro.core.fixed_window import FixedWindowSynthesizer
+        from repro.data.generators import two_state_markov
+
+        panel = two_state_markov(800, 8, 0.87, 0.05, seed=12)
+
+        def mean_pmse(rho):
+            scores = [
+                pmse_release(
+                    panel,
+                    FixedWindowSynthesizer(8, 3, rho, seed=rep).run(panel),
+                    8,
+                    3,
+                ).ratio
+                for rep in range(6)
+            ]
+            return float(np.mean(scores))
+
+        healthy = mean_pmse(0.1)
+        degraded = mean_pmse(0.025)
+        assert check_regression.is_regression(degraded, healthy, "lower", 1.5)
+        assert not check_regression.is_regression(healthy, healthy, "lower", 1.5)
+
+
 class TestCommittedBaselines:
     """Against the real baselines — gated on locally generated reports.
 
