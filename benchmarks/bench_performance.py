@@ -100,7 +100,7 @@ class TestSynthesizerRounds:
 
         def one_round():
             try:
-                synth.observe_column(next(columns))
+                synth.observe(next(columns))
             except StopIteration:
                 pass
 

@@ -54,7 +54,7 @@ def test_recovery(figure_report, rss_probe, tmp_path):
     plain = ShardedService(K, seed=7, **KWARGS)
     start = time.perf_counter()
     for column in columns:
-        plain.observe_round(column)
+        plain.observe(column)
     ingest_s = time.perf_counter() - start
     plain.close()
 
@@ -68,7 +68,7 @@ def test_recovery(figure_report, rss_probe, tmp_path):
     )
     start = time.perf_counter()
     for column in columns:
-        service.observe_round(column)
+        service.observe(column)
     supervised_s = time.perf_counter() - start
     service.close()
 

@@ -64,7 +64,7 @@ def _drive(executor: str, columns) -> tuple[ShardedService, float]:
     )
     start = time.perf_counter()
     for column in columns:
-        service.observe_round(column)
+        service.observe(column)
     return service, time.perf_counter() - start
 
 
@@ -161,7 +161,7 @@ def test_streaming_checkpoint_memory_is_sublinear(figure_report, rss_probe, tmp_
     rng = np.random.default_rng(7)
     synth = StreamingSynthesizer.cumulative(horizon=ROUNDS, rho=0.5, seed=3)
     for _ in range(ROUNDS):
-        synth.observe_round(rng.integers(0, 2, size=ROWS, dtype=np.int64))
+        synth.observe(rng.integers(0, 2, size=ROWS, dtype=np.int64))
     state = synth.synthesizer.state_dict()
     state_mb = _state_nbytes(state) / 1024**2
 

@@ -38,7 +38,7 @@ def main() -> None:
     # The synthesizer consumes one report vector per month; the release is
     # usable after every single month — that is the continual guarantee.
     for t, column in enumerate(panel.columns(), start=1):
-        release = synthesizer.observe_column(column)
+        release = synthesizer.observe(column)
         cells = []
         for b in THRESHOLDS:
             estimate = release.answer(HammingAtLeast(b), t)

@@ -31,7 +31,7 @@ def main() -> None:
     service = StreamingSynthesizer.cumulative(horizon=HORIZON, rho=RHO, seed=7)
     checkpoint = io.BytesIO()
     for month, column in enumerate(columns, start=1):
-        release = service.observe_round(column)
+        release = service.observe(column)
         print(
             f"  month {month:2d}: published release t={release.t}, "
             f"P[>=3 poverty months] = {release.answer(query, month):.4f}"
@@ -46,7 +46,7 @@ def main() -> None:
     resumed = StreamingSynthesizer.restore(checkpoint)
     print(f"== restored at t={resumed.t}; replaying months 7..{HORIZON} ==")
     for column in columns[6:]:
-        resumed.observe_round(column)
+        resumed.observe(column)
     identical = np.array_equal(
         service.release.threshold_table(), resumed.release.threshold_table()
     )
@@ -56,7 +56,7 @@ def main() -> None:
     # -- the same stream, sharded across 4 independent sub-populations --
     sharded = ShardedService(4, algorithm="cumulative", horizon=HORIZON, rho=RHO, seed=7)
     for column in columns:
-        sharded.observe_round(column)
+        sharded.observe(column)
     print("== sharded service: K=4, per-shard budgets (parallel composition) ==")
     for index, (spent, remaining) in enumerate(sharded.shard_ledgers()):
         print(f"  shard {index}: spent {spent:.4f} zCDP, remaining {remaining:.4f}")

@@ -50,12 +50,15 @@ from repro.baselines import (
     RecomputeBaseline,
 )
 from repro.core import (
+    AttributeSpec,
     CategoricalWindowRelease,
     CategoricalWindowSynthesizer,
     CumulativeRelease,
     CumulativeSynthesizer,
     FixedWindowRelease,
     FixedWindowSynthesizer,
+    MultiAttributeRelease,
+    MultiAttributeSynthesizer,
     PaddingSpec,
 )
 from repro.data import (
@@ -114,6 +117,7 @@ from repro.streams import (
     available_counters,
     make_counter,
 )
+from repro.types import AttributeFrame, Release, Synthesizer, as_frame
 
 __version__ = "1.1.0"
 
@@ -125,6 +129,9 @@ __all__ = [
     "CumulativeRelease",
     "CategoricalWindowSynthesizer",
     "CategoricalWindowRelease",
+    "MultiAttributeSynthesizer",
+    "MultiAttributeRelease",
+    "AttributeSpec",
     "PaddingSpec",
     # data
     "LongitudinalDataset",
@@ -181,6 +188,11 @@ __all__ = [
     "propensity_pmse",
     "pmse_release",
     "score_synthesizer",
+    # types / protocols
+    "AttributeFrame",
+    "as_frame",
+    "Synthesizer",
+    "Release",
     # serving
     "StreamingSynthesizer",
     "ShardedService",

@@ -196,12 +196,17 @@ class ReplicatedAnswers:
 
 
 def _default_answer(release, query: Query, t: int, debias: bool) -> float:
-    """Answer dispatch: window releases take the ``debias`` flag."""
-    from repro.core.cumulative import CumulativeRelease
+    """Answer dispatch on the release's declared capability.
 
-    if isinstance(release, CumulativeRelease):
-        return release.answer(query, t)
-    return release.answer(query, t, debias=debias)
+    Releases that accept the ``debias`` flag advertise it with a truthy
+    ``debias_aware`` attribute (see
+    :class:`~repro.core.window_engine.WindowRelease`); everything else —
+    cumulative releases, third-party :class:`~repro.types.Release`
+    implementations — is called with the bare protocol signature.
+    """
+    if getattr(release, "debias_aware", False):
+        return release.answer(query, t, debias=debias)
+    return release.answer(query, t)
 
 
 def replicate_synthesizer(

@@ -44,9 +44,9 @@ normalization of Snoke et al.).  Interpretation:
 :func:`score_synthesizer` runs the scorer over replicated runs through
 :func:`~repro.analysis.replication.replicate_synthesizer` by disguising
 the scorer as a query (:class:`PMSEProbe`), so every replication strategy
-(serial / process) and every release type with a ``synthetic_data`` or
-per-round ``panel`` view can be scored with the same machinery that
-produces the paper figures.
+(serial / process) and every release type with a ``synthetic_data(t)``
+view can be scored with the same machinery that produces the paper
+figures.
 """
 
 from __future__ import annotations
@@ -381,18 +381,18 @@ def pmse_panels(real_panel, synthetic_panel, t: int, width: int) -> PMSEScore:
 def _release_panel(release, t: int):
     """The synthetic panel a release exposes for round ``t``.
 
-    Dispatches on the release surface: ``synthetic_data(t)`` (both
-    algorithms, the clamping/density baselines, the oracle) or the
-    recompute baseline's per-round ``panel(t)``.
+    Every built-in release type — both algorithms, all baselines — spells
+    this ``synthetic_data(t)``; it is the one pMSE-scoring requirement
+    beyond the :class:`~repro.types.Release` protocol.
     """
-    if hasattr(release, "synthetic_data"):
-        return release.synthetic_data(t)
-    if hasattr(release, "panel"):
-        return release.panel(t)
-    raise ConfigurationError(
-        f"release {type(release).__name__} exposes neither synthetic_data(t) "
-        "nor panel(t); cannot score it with pMSE"
-    )
+    try:
+        view = release.synthetic_data
+    except AttributeError:
+        raise ConfigurationError(
+            f"release {type(release).__name__} exposes no synthetic_data(t); "
+            "cannot score it with pMSE"
+        ) from None
+    return view(t)
 
 
 def pmse_release(

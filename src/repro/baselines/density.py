@@ -21,15 +21,17 @@ in instructive, measurable ways:
   clamping baseline exhibits (padding avoids it).
 
 The utility harness (:mod:`repro.analysis.utility`) scores this baseline
-head-to-head with Algorithm 1 on pMSE and query accuracy; it shares the
-interface of the other baselines (``run`` / ``observe_column`` /
-``release``) so :func:`~repro.analysis.replication.replicate_synthesizer`
-drives it unchanged.
+head-to-head with Algorithm 1 on pMSE and query accuracy; it satisfies the
+:class:`~repro.types.Synthesizer` protocol (``run`` / ``observe`` /
+``release`` / ``config_dict`` / ``state_dict``) so
+:func:`~repro.analysis.replication.replicate_synthesizer` drives it
+unchanged.
 """
 
 from __future__ import annotations
 
 import math
+import warnings
 
 import numpy as np
 
@@ -39,7 +41,8 @@ from repro.dp.accountant import ZCDPAccountant
 from repro.dp.mechanisms import GaussianHistogramMechanism
 from repro.exceptions import ConfigurationError, DataValidationError, NotFittedError
 from repro.queries.categorical import categorical_pattern_table
-from repro.rng import SeedLike, as_generator, spawn
+from repro.rng import SeedLike, as_generator, generator_state, spawn
+from repro.types import AttributeFrame
 
 __all__ = ["PrivateDensityBaseline", "DensityRelease"]
 
@@ -191,6 +194,7 @@ class PrivateDensityBaseline:
         self.rho = float(rho)
         self.alphabet = int(alphabet)
         self.n_synthetic = None if n_synthetic is None else int(n_synthetic)
+        self.noise_method = noise_method
         self.n_bins = self.alphabet**self.window
         self.rounds = self.horizon - self.window + 1
         noise_seed, self._sampling_generator = spawn(as_generator(seed), 2)
@@ -245,15 +249,25 @@ class PrivateDensityBaseline:
         codes = recent.astype(np.int64) @ powers
         return np.bincount(codes, minlength=self.n_bins)
 
-    def observe_column(self, column) -> DensityRelease:
-        """Consume one report vector; release a density once ``t >= k``.
+    def observe(self, data, *, entrants: int = 0, exits=None) -> DensityRelease:
+        """Consume one round's reports; release a density once ``t >= k``.
 
         Parameters
         ----------
-        column:
-            Length-``n`` report vector with values in ``[0, alphabet)``.
+        data:
+            Length-``n`` report vector with values in ``[0, alphabet)``,
+            or a width-1 :class:`~repro.types.AttributeFrame`.
+        entrants, exits:
+            Unsupported — the baseline estimates a fixed-population
+            density.
         """
-        column = np.asarray(column)
+        if entrants or (exits is not None and np.asarray(exits).size):
+            raise ConfigurationError(
+                "PrivateDensityBaseline does not support churn (entrants/exits)"
+            )
+        if isinstance(data, AttributeFrame):
+            data = data.sole()
+        column = np.asarray(data)
         if column.ndim != 1:
             raise DataValidationError(
                 f"column must be 1-D, got shape {column.shape}"
@@ -310,6 +324,45 @@ class PrivateDensityBaseline:
         self._panels[self._t] = panel
         return self.release
 
+    def observe_column(self, column) -> DensityRelease:
+        """Deprecated spelling of :meth:`observe` (single-column form).
+
+        Kept as a working shim for one release window; new code should
+        call :meth:`observe`, which also accepts width-1
+        :class:`~repro.types.AttributeFrame` input.
+        """
+        warnings.warn(
+            "observe_column() is deprecated; use observe()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.observe(column)
+
+    def config_dict(self) -> dict:
+        """JSON-able construction parameters."""
+        return {
+            "algorithm": "density",
+            "horizon": self.horizon,
+            "window": self.window,
+            "rho": self.rho,
+            "alphabet": self.alphabet,
+            "n_synthetic": self.n_synthetic,
+            "noise_method": self.noise_method,
+        }
+
+    def state_dict(self, *, copy: bool = True) -> dict:
+        """Snapshot of the mutable state (observed prefix + RNG streams)."""
+        state: dict = {
+            "t": self._t,
+            "sampling_generator": generator_state(self._sampling_generator),
+        }
+        if self.accountant is not None:
+            state["accountant"] = self.accountant.to_dict()
+        if self._columns:
+            stacked = np.column_stack(self._columns)
+            state["columns"] = stacked.copy() if copy else stacked
+        return state
+
     def run(self, dataset) -> DensityRelease:
         """Batch driver: feed every column of ``dataset`` in order.
 
@@ -335,7 +388,7 @@ class PrivateDensityBaseline:
         if self._t:
             raise ConfigurationError("run() requires a fresh baseline")
         for column in dataset.columns():
-            self.observe_column(column)
+            self.observe(column)
         return self.release
 
     def __repr__(self) -> str:

@@ -8,9 +8,14 @@ release must equal the ground truth exactly.
 
 from __future__ import annotations
 
+import warnings
+
+import numpy as np
+
 from repro.data.dataset import LongitudinalDataset
 from repro.exceptions import ConfigurationError, DataValidationError, NotFittedError
 from repro.queries.base import Query
+from repro.types import AttributeFrame
 
 __all__ = ["NonPrivateSynthesizer"]
 
@@ -54,14 +59,62 @@ class NonPrivateSynthesizer:
         if horizon <= 0:
             raise ConfigurationError(f"horizon must be positive, got {horizon}")
         self.horizon = int(horizon)
+        self._columns: list[np.ndarray] = []
         self._release: _OracleRelease | None = None
 
     @property
+    def t(self) -> int:
+        """Rounds observed so far (streaming mode only)."""
+        return len(self._columns)
+
+    @property
     def release(self) -> _OracleRelease:
-        """The release view (after :meth:`run`)."""
+        """The release view (after :meth:`run` or :meth:`observe`)."""
         if self._release is None:
             raise NotFittedError("run() has not been called")
         return self._release
+
+    def observe(self, data, *, entrants: int = 0, exits=None) -> _OracleRelease:
+        """Consume one round's reports; the oracle re-releases the prefix.
+
+        Parameters
+        ----------
+        data:
+            Length-``n`` 0/1 report vector, or a width-1
+            :class:`~repro.types.AttributeFrame`.
+        entrants, exits:
+            Unsupported — the oracle tracks a fixed population.
+        """
+        if entrants or (exits is not None and np.asarray(exits).size):
+            raise ConfigurationError(
+                "NonPrivateSynthesizer does not support churn (entrants/exits)"
+            )
+        if isinstance(data, AttributeFrame):
+            data = data.sole()
+        column = np.asarray(data)
+        if column.ndim != 1:
+            raise DataValidationError(f"column must be 1-D, got shape {column.shape}")
+        if self._columns and column.shape[0] != self._columns[0].shape[0]:
+            raise DataValidationError(
+                f"column has {column.shape[0]} entries, expected "
+                f"{self._columns[0].shape[0]}"
+            )
+        if len(self._columns) >= self.horizon:
+            raise DataValidationError(f"horizon {self.horizon} already exhausted")
+        self._columns.append(column.astype(np.uint8))
+        self._release = _OracleRelease(
+            LongitudinalDataset(np.column_stack(self._columns))
+        )
+        return self._release
+
+    def observe_column(self, column, *, entrants: int = 0, exits=None) -> _OracleRelease:
+        """Deprecated alias for :meth:`observe` (kept one release window)."""
+        warnings.warn(
+            "observe_column() is deprecated; use observe()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.observe(column, entrants=entrants, exits=exits)
 
     def run(self, dataset: LongitudinalDataset) -> _OracleRelease:
         """Record the panel and return the oracle release."""
@@ -71,3 +124,14 @@ class NonPrivateSynthesizer:
             )
         self._release = _OracleRelease(dataset)
         return self._release
+
+    def config_dict(self) -> dict:
+        """JSON-able construction parameters."""
+        return {"algorithm": "nonprivate", "horizon": self.horizon}
+
+    def state_dict(self, *, copy: bool = True) -> dict:
+        """Snapshot of the observed prefix (the oracle's only state)."""
+        if not self._columns:
+            return {"t": 0}
+        stacked = np.column_stack(self._columns)
+        return {"t": len(self._columns), "columns": stacked.copy() if copy else stacked}

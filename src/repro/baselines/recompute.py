@@ -24,6 +24,7 @@ measurable on this class:
 from __future__ import annotations
 
 import math
+import warnings
 
 import numpy as np
 
@@ -33,7 +34,8 @@ from repro.data.dataset import LongitudinalDataset
 from repro.dp.accountant import ZCDPAccountant
 from repro.exceptions import ConfigurationError, DataValidationError, NotFittedError
 from repro.queries.base import WindowQuery
-from repro.rng import SeedLike, as_generator, spawn
+from repro.rng import SeedLike, as_generator, generator_state, spawn
+from repro.types import AttributeFrame
 
 __all__ = [
     "RecomputeBaseline",
@@ -84,6 +86,10 @@ def ever_spell_fraction(panel: LongitudinalDataset, length: int, t: int) -> floa
 class RecomputeRelease:
     """One fresh synthetic panel per round, with no linkage between rounds."""
 
+    #: Release-protocol capability flag: ``answer`` honors ``debias=``
+    #: (forwarded to the round's inner window release).
+    debias_aware = True
+
     def __init__(self, baseline: "RecomputeBaseline"):
         self._baseline = baseline
 
@@ -98,6 +104,18 @@ class RecomputeRelease:
             return self._baseline._panels[t]
         except KeyError:
             raise NotFittedError(f"no panel released for t={t}") from None
+
+    def synthetic_data(self, t: int | None = None) -> LongitudinalDataset:
+        """The round-``t`` fresh synthetic panel (default: the latest).
+
+        The uniform spelling every release type exposes; identical to
+        :meth:`panel` apart from the latest-round default.
+        """
+        if t is None:
+            if not self._baseline._panels:
+                raise NotFittedError("no rounds released yet")
+            t = max(self._baseline._panels)
+        return self.panel(t)
 
     def answer(self, query: WindowQuery, t: int, debias: bool = True) -> float:
         """Answer a window query on the round-``t`` fresh panel."""
@@ -219,9 +237,24 @@ class RecomputeBaseline:
             return 0.0
         return self.rounds / math.sqrt(2.0 * self.rho)
 
-    def observe_column(self, column) -> RecomputeRelease:
-        """Consume one report vector; regenerate the prefix once ``t >= k``."""
-        column = np.asarray(column)
+    def observe(self, data, *, entrants: int = 0, exits=None) -> RecomputeRelease:
+        """Consume one round's reports; regenerate the prefix once ``t >= k``.
+
+        Parameters
+        ----------
+        data:
+            Length-``n`` 0/1 report vector, or a width-1
+            :class:`~repro.types.AttributeFrame`.
+        entrants, exits:
+            Unsupported — the strawman rebuilds a fixed-population prefix.
+        """
+        if entrants or (exits is not None and np.asarray(exits).size):
+            raise ConfigurationError(
+                "RecomputeBaseline does not support churn (entrants/exits)"
+            )
+        if isinstance(data, AttributeFrame):
+            data = data.sole()
+        column = np.asarray(data)
         if column.ndim != 1:
             raise DataValidationError(f"column must be 1-D, got shape {column.shape}")
         validate_binary_column(column)
@@ -255,6 +288,20 @@ class RecomputeBaseline:
         self._panels[self._t] = inner_release.synthetic_data()
         return self.release
 
+    def observe_column(self, column) -> RecomputeRelease:
+        """Deprecated spelling of :meth:`observe` (single-column form).
+
+        Kept as a working shim for one release window; new code should
+        call :meth:`observe`, which also accepts width-1
+        :class:`~repro.types.AttributeFrame` input.
+        """
+        warnings.warn(
+            "observe_column() is deprecated; use observe()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.observe(column)
+
     def run(self, dataset: LongitudinalDataset) -> RecomputeRelease:
         """Batch driver."""
         if dataset.horizon != self.horizon:
@@ -264,5 +311,35 @@ class RecomputeBaseline:
         if self._t:
             raise ConfigurationError("run() requires a fresh baseline")
         for column in dataset.columns():
-            self.observe_column(column)
+            self.observe(column)
         return self.release
+
+    def config_dict(self) -> dict:
+        """JSON-able construction parameters."""
+        return {
+            "algorithm": "recompute",
+            "horizon": self.horizon,
+            "window": self.window,
+            "rho": self.rho,
+            "beta": self.beta,
+            "noise_method": self.noise_method,
+        }
+
+    def state_dict(self, *, copy: bool = True) -> dict:
+        """Snapshot of the mutable state.
+
+        Includes the observed prefix and every RNG stream, so replaying
+        the remaining columns after a restore regenerates identical
+        panels (each round draws from its own pre-spawned seed).
+        """
+        state: dict = {
+            "t": self._t,
+            "generator": generator_state(self._generator),
+            "round_seeds": [generator_state(g) for g in self._round_seeds],
+        }
+        if self.accountant is not None:
+            state["accountant"] = self.accountant.to_dict()
+        if self._columns:
+            stacked = np.column_stack(self._columns)
+            state["columns"] = stacked.copy() if copy else stacked
+        return state

@@ -32,6 +32,11 @@ from repro.core.cumulative import CumulativeRelease, CumulativeSynthesizer
 from repro.core.debias import debias_count_answer, lift_window_weights
 from repro.core.fixed_window import FixedWindowRelease, FixedWindowSynthesizer
 from repro.core.monotonize import is_monotone_table, monotonize_row, monotonize_rows
+from repro.core.multi_attribute import (
+    AttributeSpec,
+    MultiAttributeRelease,
+    MultiAttributeSynthesizer,
+)
 from repro.core.padding import PaddingSpec
 from repro.core.replicated import ReplicatedCumulativeRelease, replicate_cumulative
 
@@ -42,6 +47,9 @@ __all__ = [
     "CumulativeRelease",
     "CategoricalWindowSynthesizer",
     "CategoricalWindowRelease",
+    "MultiAttributeSynthesizer",
+    "MultiAttributeRelease",
+    "AttributeSpec",
     "PaddingSpec",
     "apply_overlap_correction",
     "check_window_consistency",

@@ -307,7 +307,7 @@ class CategoricalWindowSynthesizer(WindowEngine):
     ``alphabet`` (the number of categories ``q >= 2``) and ``engine``;
     the binary class is the ``q = 2`` special case with a tighter
     rounding analysis.  The full streaming surface — churn-aware
-    :meth:`~repro.core.window_engine.WindowEngine.observe_column`,
+    :meth:`~repro.core.window_engine.WindowEngine.observe`,
     checkpointing via
     :meth:`~repro.core.window_engine.WindowEngine.state_dict` /
     :meth:`~repro.core.window_engine.WindowEngine.load_state`, and the

@@ -27,6 +27,7 @@ of bits"): pass any name registered in :mod:`repro.streams.registry`.
 from __future__ import annotations
 
 import math
+import warnings
 
 import numpy as np
 
@@ -57,6 +58,7 @@ from repro.streams.registry import (
     resolve_engine,
     restore_counter,
 )
+from repro.types import AttributeFrame
 
 __all__ = [
     "CumulativeSynthesizer",
@@ -310,15 +312,16 @@ class CumulativeSynthesizer:
         """The vectorized counter bank (``None`` under ``engine="scalar"``)."""
         return self._bank
 
-    def observe_column(self, column, *, entrants: int = 0, exits=None) -> CumulativeRelease:
+    def observe(self, data, *, entrants: int = 0, exits=None) -> CumulativeRelease:
         """Consume the round-``t`` report vector ``D_t`` and update.
 
         Parameters
         ----------
-        column:
+        data:
             The round's 0/1 reports, one entry per *currently active*
             individual in ascending id (admission) order; this round's
-            entrants report in the final ``entrants`` entries.
+            entrants report in the final ``entrants`` entries.  A 1-D
+            vector, or a width-1 :class:`~repro.types.AttributeFrame`.
         entrants:
             Number of individuals entering this round (appended at the
             end of the column with fresh ids).  In round 1 the whole
@@ -338,7 +341,9 @@ class CumulativeSynthesizer:
             declarations (negative entrants, re-used or unknown exit
             ids).
         """
-        column = np.asarray(column)
+        if isinstance(data, AttributeFrame):
+            data = data.sole()
+        column = np.asarray(data)
         if column.ndim != 1:
             raise DataValidationError(f"column must be 1-D, got shape {column.shape}")
         validate_binary_column(column)
@@ -433,6 +438,20 @@ class CumulativeSynthesizer:
         self._table[t, t + 1 :] = self._table[t - 1, t + 1 :]
         return self.release
 
+    def observe_column(self, column, *, entrants: int = 0, exits=None) -> CumulativeRelease:
+        """Deprecated spelling of :meth:`observe` (single-column form).
+
+        Kept as a working shim for one release window; new code should
+        call :meth:`observe`, which also accepts width-1
+        :class:`~repro.types.AttributeFrame` input.
+        """
+        warnings.warn(
+            "observe_column() is deprecated; use observe()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.observe(column, entrants=entrants, exits=exits)
+
     def run(self, dataset) -> CumulativeRelease:
         """Batch driver: feed every column of ``dataset`` and return the release.
 
@@ -443,7 +462,7 @@ class CumulativeSynthesizer:
             (every individual present for the whole horizon) or a
             :class:`~repro.data.dataset.DynamicPanel`, whose per-round
             entry/exit events are replayed through
-            :meth:`observe_column`'s churn parameters.
+            :meth:`observe`'s churn parameters.
         """
         if dataset.horizon != self.horizon:
             raise DataValidationError(
@@ -453,10 +472,10 @@ class CumulativeSynthesizer:
             raise ConfigurationError("run() requires a fresh synthesizer")
         if isinstance(dataset, DynamicPanel):
             for column, entrants, round_exits in dataset.rounds():
-                self.observe_column(column, entrants=entrants, exits=round_exits)
+                self.observe(column, entrants=entrants, exits=round_exits)
         else:
             for column in dataset.columns():
-                self.observe_column(column)
+                self.observe(column)
         return self.release
 
     def lifespans(self) -> np.ndarray:
@@ -733,7 +752,7 @@ class CumulativeSynthesizer:
 
         Must be called on a *fresh* synthesizer built with the same
         configuration (use :meth:`from_config`).  After loading, every
-        subsequent :meth:`observe_column` — and any deferred synthetic
+        subsequent :meth:`observe` — and any deferred synthetic
         record materialization — is byte-identical to the uninterrupted
         run, noise included.
 

@@ -33,7 +33,7 @@ Typical use::
 or streaming, one report vector per round::
 
     for column in panel.columns():
-        synth.observe_column(column)
+        synth.observe(column)
     release = synth.release
 """
 

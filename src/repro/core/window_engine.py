@@ -32,6 +32,7 @@ speedup).
 from __future__ import annotations
 
 import math
+import warnings
 from fractions import Fraction
 
 import numpy as np
@@ -63,6 +64,7 @@ from repro.rng import (
 )
 from repro.streams.layout import ArrayArena
 from repro.streams.registry import resolve_engine
+from repro.types import AttributeFrame
 
 __all__ = ["WindowEngine", "WindowRelease"]
 
@@ -84,6 +86,10 @@ class WindowRelease:
         view of its state (one cached instance per synthesizer), not a
         frozen copy.
     """
+
+    #: Release-protocol capability flag: ``answer`` accepts ``debias=``.
+    #: The replication harness dispatches on this instead of isinstance.
+    debias_aware = True
 
     def __init__(self, synthesizer: "WindowEngine"):
         self._synth = synthesizer
@@ -368,7 +374,7 @@ class WindowEngine:
         """
         return self.padding.panel
 
-    def observe_column(self, column, *, entrants: int = 0, exits=None):
+    def observe(self, data, *, entrants: int = 0, exits=None):
         """Consume the round-``t`` report vector ``D_t`` and update.
 
         Before round ``k`` the reports are only buffered (the first release
@@ -377,11 +383,15 @@ class WindowEngine:
 
         Parameters
         ----------
-        column:
+        data:
             The round's reports over ``{0, ..., q-1}``, one entry per
             *currently active* individual in ascending id (admission)
             order; this round's entrants report in the final
-            ``entrants`` entries.
+            ``entrants`` entries.  A 1-D vector, or a width-1
+            :class:`~repro.types.AttributeFrame` (this engine synthesizes
+            a single attribute; see
+            :class:`~repro.core.multi_attribute.MultiAttributeSynthesizer`
+            for ``d >= 2``).
         entrants:
             Number of individuals entering this round.  Under the
             zero-fill convention an entrant's pre-entry history is the
@@ -399,7 +409,9 @@ class WindowEngine:
             with the declared churn, rounds past the horizon, or invalid
             churn declarations.
         """
-        column = np.asarray(column)
+        if isinstance(data, AttributeFrame):
+            data = data.sole()
+        column = np.asarray(data)
         if column.ndim != 1:
             raise DataValidationError(f"column must be 1-D, got shape {column.shape}")
         self._validate_column_values(column)
@@ -473,6 +485,20 @@ class WindowEngine:
         self._update_step(true_counts, entrants=entrants, exit_count=exit_count)
         return self.release
 
+    def observe_column(self, column, *, entrants: int = 0, exits=None):
+        """Deprecated spelling of :meth:`observe` (single-column form).
+
+        Kept as a working shim for one release window; new code should
+        call :meth:`observe`, which also accepts width-1
+        :class:`~repro.types.AttributeFrame` input.
+        """
+        warnings.warn(
+            "observe_column() is deprecated; use observe()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.observe(column, entrants=entrants, exits=exits)
+
     def run(self, dataset):
         """Batch driver: feed every column of ``dataset`` and return the release.
 
@@ -483,17 +509,17 @@ class WindowEngine:
             static binary/categorical panel, or a
             :class:`~repro.data.dataset.DynamicPanel` whose per-round
             entry/exit events are replayed through
-            :meth:`observe_column`'s churn parameters.
+            :meth:`observe`'s churn parameters.
         """
         self._check_dataset(dataset)
         if self._t:
             raise ConfigurationError("run() requires a fresh synthesizer")
         if isinstance(dataset, DynamicPanel):
             for column, entrants, round_exits in dataset.rounds():
-                self.observe_column(column, entrants=entrants, exits=round_exits)
+                self.observe(column, entrants=entrants, exits=round_exits)
         else:
             for column in dataset.columns():
-                self.observe_column(column)
+                self.observe(column)
         return self.release
 
     def lifespans(self) -> np.ndarray:
@@ -598,7 +624,7 @@ class WindowEngine:
 
         Must be called on a *fresh* synthesizer built with the same
         configuration (use ``from_config``).  After loading, every
-        subsequent :meth:`observe_column` is byte-identical to the
+        subsequent :meth:`observe` is byte-identical to the
         uninterrupted run, noise included.
 
         Parameters

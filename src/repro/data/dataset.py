@@ -291,7 +291,7 @@ class DynamicPanel:
             (ascending row id), the number of rows entering at ``t``
             (their reports are the column's final entries), and the row
             ids exiting as of ``t`` — exactly the arguments of the
-            synthesizers' ``observe_column(column, entrants=, exits=)``.
+            synthesizers' ``observe(column, entrants=, exits=)``.
         """
         for t in range(1, self.horizon + 1):
             active = self.active_mask(t)

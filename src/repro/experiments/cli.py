@@ -7,9 +7,10 @@ Subcommands:
   report (non-zero exit when any shape check fails); ``run churn`` is
   the dynamic-population attrition sweep (see the docs' "Dynamic
   populations" page), ``run categorical [--alphabet Q]`` the
-  multi-category employment-status figure, and ``run utility`` the
-  pMSE / accuracy frontier over rho x horizon x algorithm (see the
-  docs' "Utility evaluation" page);
+  multi-category employment-status figure, ``run multiattr
+  [--attributes D]`` the multi-attribute composition figure, and ``run
+  utility`` the pMSE / accuracy frontier over rho x horizon x algorithm
+  (see the docs' "Utility evaluation" page);
 * ``all [--reps N]`` — run every experiment;
 * ``serve-demo`` — replay the SIPP panel round-by-round through the
   online serving layer (:mod:`repro.serve`) with mid-stream
@@ -27,6 +28,7 @@ import sys
 from repro.experiments.config import (
     ENGINES,
     STRATEGIES,
+    default_attributes,
     default_engine,
     default_n_jobs,
     default_reps,
@@ -110,6 +112,18 @@ def build_parser() -> argparse.ArgumentParser:
                 "workload); the binary experiments accept and ignore it"
             ),
         )
+        sub.add_argument(
+            "--attributes",
+            type=int,
+            default=None,
+            help=(
+                "attribute count d for the multi-attribute figure ('run "
+                "multiattr'; default $REPRO_ATTRIBUTES or "
+                f"{_display_default(default_attributes, 2)} — employment "
+                "status x income bracket); other experiments accept and "
+                "ignore it"
+            ),
+        )
 
     serve_parser = subparsers.add_parser(
         "serve-demo",
@@ -190,6 +204,7 @@ def main(argv: list[str] | None = None) -> int:
             strategy=args.replication_strategy,
             n_jobs=args.n_jobs,
             alphabet=args.alphabet,
+            attributes=args.attributes,
         )
         print(result.render())
         return 0 if result.all_checks_pass else 1
@@ -203,6 +218,7 @@ def main(argv: list[str] | None = None) -> int:
             strategy=args.replication_strategy,
             n_jobs=args.n_jobs,
             alphabet=args.alphabet,
+            attributes=args.attributes,
         )
         print(result.render())
         print()

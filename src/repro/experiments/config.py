@@ -16,6 +16,8 @@ __all__ = [
     "FigureResult",
     "bench_reps",
     "default_reps",
+    "default_attributes",
+    "resolve_attributes",
     "default_engine",
     "default_strategy",
     "default_n_jobs",
@@ -67,6 +69,42 @@ def default_strategy() -> str:
 def default_n_jobs() -> int:
     """Process-pool worker count (``$REPRO_N_JOBS`` or the CPU count)."""
     return resolve_n_jobs(None)
+
+
+def resolve_attributes(value: int | None) -> int:
+    """Resolve an attribute count: explicit value, else ``$REPRO_ATTRIBUTES``.
+
+    The same resolver convention as :func:`repro.streams.registry.resolve_engine`:
+    ``None`` falls back to the environment variable (default 2 — the
+    employment-status x income-bracket workload of the ``multiattr``
+    experiment), and an unparsable or non-positive value raises instead
+    of silently running the default.
+    """
+    from repro.exceptions import ConfigurationError
+
+    if value is None:
+        raw = os.environ.get("REPRO_ATTRIBUTES", "")
+        if not raw:
+            return 2
+        try:
+            value = int(raw)
+        except ValueError:
+            raise ConfigurationError(
+                f"$REPRO_ATTRIBUTES must be an integer >= 1, got {raw!r}"
+            ) from None
+    value = int(value)
+    if value < 1:
+        raise ConfigurationError(f"attribute count must be >= 1, got {value}")
+    return value
+
+
+def default_attributes() -> int:
+    """Attribute count used by the ``multiattr`` experiment.
+
+    Controlled by the ``REPRO_ATTRIBUTES`` environment variable, the
+    same pattern as :func:`default_engine` / ``$REPRO_ENGINE``.
+    """
+    return resolve_attributes(None)
 
 
 def bench_reps(fallback: int = default_reps) -> int:

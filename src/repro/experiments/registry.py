@@ -20,6 +20,7 @@ from repro.experiments.ablations import (
 from repro.experiments.categorical import run_categorical_experiment
 from repro.experiments.churn import run_churn_experiment
 from repro.experiments.config import FigureResult
+from repro.experiments.multi_attribute import run_multiattr_experiment
 from repro.experiments.serve_demo import run_serve_demo
 from repro.experiments.simulated_window import run_simulated_window_experiment
 from repro.experiments.sipp_cumulative import run_sipp_cumulative_experiment
@@ -32,7 +33,7 @@ __all__ = ["EXPERIMENTS", "get_experiment", "list_experiments"]
 Runner = Callable[..., FigureResult]
 
 #: The CLI's uniform knob set, threaded through every registry entry.
-_KNOBS = ("engine", "strategy", "n_jobs", "alphabet")
+_KNOBS = ("engine", "strategy", "n_jobs", "alphabet", "attributes")
 
 
 def _entry(
@@ -44,21 +45,29 @@ def _entry(
 
     Every runner accepts the full knob set — ``engine``
     (counter/categorical engine), ``strategy`` (replication strategy),
-    ``n_jobs`` (process-pool width), and ``alphabet`` (category count
-    for the categorical figure) — so the CLI can thread one flag set
-    through the whole registry.  ``accepts`` names the knobs this
-    experiment actually consumes; the rest are accepted and dropped.
-    ``fixed`` pins per-entry parameters (rho, experiment id, ...).
+    ``n_jobs`` (process-pool width), ``alphabet`` (category count for
+    the categorical figure), and ``attributes`` (attribute count for the
+    multi-attribute figure) — so the CLI can thread one flag set through
+    the whole registry.  ``accepts`` names the knobs this experiment
+    actually consumes; the rest are accepted and dropped.  ``fixed``
+    pins per-entry parameters (rho, experiment id, ...).
     """
 
     def runner(
-        n_reps, seed=0, engine=None, strategy=None, n_jobs=None, alphabet=None
+        n_reps,
+        seed=0,
+        engine=None,
+        strategy=None,
+        n_jobs=None,
+        alphabet=None,
+        attributes=None,
     ):
         knobs = {
             "engine": engine,
             "strategy": strategy,
             "n_jobs": n_jobs,
             "alphabet": alphabet,
+            "attributes": attributes,
         }
         kwargs = {name: knobs[name] for name in accepts}
         return func(n_reps=n_reps, seed=seed, **kwargs, **fixed)
@@ -115,7 +124,15 @@ EXPERIMENTS: dict[str, Runner] = {
     # Multi-category extension: the categorical window synthesizer over
     # the employment-status workload, anchored by the q=2 == binary
     # bit-exactness and scalar == vectorized engine checks.
-    "categorical": _entry(run_categorical_experiment, _KNOBS),
+    "categorical": _entry(
+        run_categorical_experiment, ("engine", "strategy", "n_jobs", "alphabet")
+    ),
+    # Multi-attribute composition: d per-attribute window engines under
+    # one zCDP budget with cross-attribute marginals, anchored by the
+    # d=1 == standalone-engine bit-exactness checks.
+    "multiattr": _entry(
+        run_multiattr_experiment, ("engine", "alphabet", "attributes")
+    ),
     # Online serving walkthrough (repro.serve): round-by-round ingestion,
     # checkpoint/resume byte-identity, tamper rejection, sharded budgets.
     "serve-demo": _entry(run_serve_demo),

@@ -87,7 +87,7 @@ def _run_chaos_leg(result, columns, horizon, rho, seed, n_shards, engine) -> Non
         seed=seed, engine=engine,
     )
     for column in columns:
-        reference.observe_round(column)
+        reference.observe(column)
     expected_fingerprints = reference.state_fingerprints()
     expected_spent = reference.zcdp_spent()
     reference.close()
@@ -102,11 +102,11 @@ def _run_chaos_leg(result, columns, horizon, rho, seed, n_shards, engine) -> Non
             horizon=horizon, rho=rho, engine=engine,
         )
         for column in columns[:cut]:
-            service.observe_round(column)
+            service.observe(column)
         if can_fork:
             injector.kill_worker(service, injector.pick_shard(n_shards))
         for column in columns[cut:]:
-            service.observe_round(column)
+            service.observe(column)
         result.check(
             "chaos: state byte-identical after mid-stream worker kill -> recovery",
             service.service.state_fingerprints() == expected_fingerprints,
@@ -223,7 +223,7 @@ def run_serve_demo(
         horizon=horizon, rho=math.inf, seed=seed, engine=engine
     )
     for column in columns:
-        online.observe_round(column)
+        online.observe(column)
     from repro.core.cumulative import CumulativeSynthesizer
 
     offline = CumulativeSynthesizer(horizon, math.inf, seed=seed, engine=engine)
@@ -245,7 +245,7 @@ def run_serve_demo(
     per_round = []
     buffer = io.BytesIO()
     for round_index, column in enumerate(columns, start=1):
-        release = uninterrupted.observe_round(column)
+        release = uninterrupted.observe(column)
         per_round.append(release.answer(query, round_index))
         if round_index == cut:
             uninterrupted.checkpoint(buffer)
@@ -253,7 +253,7 @@ def run_serve_demo(
     resumed = StreamingSynthesizer.restore(buffer)
     identical = resumed.t == cut
     for column in columns[cut:]:
-        resumed.observe_round(column)
+        resumed.observe(column)
     identical = identical and np.array_equal(
         uninterrupted.release.threshold_table(), resumed.release.threshold_table()
     )
@@ -288,7 +288,7 @@ def run_serve_demo(
         engine=engine,
     )
     for column in columns:
-        service.observe_round(column)
+        service.observe(column)
     ledgers = service.shard_ledgers()
     # Noiseless services (rho=inf) keep no ledgers and report zero spend.
     expected_spend = 0.0 if math.isinf(rho) else rho
@@ -312,7 +312,7 @@ def run_serve_demo(
         engine=engine,
     )
     for column in columns:
-        exact_service.observe_round(column)
+        exact_service.observe(column)
     truth_final = query.evaluate(panel, horizon)
     result.check(
         "noiseless sharded merge equals the exact population fraction",

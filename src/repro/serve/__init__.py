@@ -6,9 +6,10 @@ the serving-side layer for that model, on top of the algorithm cores in
 :mod:`repro.core`:
 
 * :class:`~repro.serve.streaming.StreamingSynthesizer` — true-online
-  ingestion: ``observe_round(column) -> Release`` for one ``(n,)`` bit
-  column at a time (no panel up front), per-round releases bit-exact with
-  the offline ``run()``.
+  ingestion: ``observe(data) -> Release`` for one ``(n,)`` report column
+  (or multi-attribute :class:`~repro.types.AttributeFrame`) at a time
+  (no panel up front), per-round releases bit-exact with the offline
+  ``run()``.
 * :meth:`~repro.serve.streaming.StreamingSynthesizer.checkpoint` /
   :meth:`~repro.serve.streaming.StreamingSynthesizer.restore` — durable
   state: the full mid-stream state (counter-bank arrays, threshold table,

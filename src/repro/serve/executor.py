@@ -28,7 +28,7 @@ A :class:`ShardExecutor` owns the per-shard
     10M-row column crosses the process boundary without serialization.
     Two rounds may be in flight at once (the parity buffer is only
     reused after its previous round is acknowledged), which is what
-    makes :meth:`~repro.serve.sharded.ShardedService.observe_round_async`
+    makes :meth:`~repro.serve.sharded.ShardedService.observe_async`
     overlap staging of round ``r+1`` with computation of round ``r``.
 
 All three strategies produce byte-identical releases, ledgers, and
@@ -50,6 +50,7 @@ from concurrent.futures import ThreadPoolExecutor
 import numpy as np
 
 from repro.exceptions import ConfigurationError, ConsistencyError
+from repro.types import AttributeFrame
 
 __all__ = [
     "EXECUTOR_STRATEGIES",
@@ -277,7 +278,7 @@ class SerialShardExecutor(ShardExecutor):
                 if index in self._disabled:
                     continue
                 try:
-                    shard.observe_round(column, entrants=entrants, exits=exits)
+                    shard.observe(column, entrants=entrants, exits=exits)
                 except Exception as exc:
                     raise _tag_shard(exc, index)
                 advanced += 1
@@ -359,7 +360,7 @@ class ThreadShardExecutor(ShardExecutor):
             None
             if index in self._disabled
             else self._pool.submit(
-                shard.observe_round, column, entrants=entrants, exits=exits
+                shard.observe, column, entrants=entrants, exits=exits
             )
             for index, (shard, (column, entrants, exits)) in enumerate(
                 zip(self._shards, jobs)
@@ -471,7 +472,26 @@ def _worker_loop(shard, algorithm: str, conn) -> None:
                         del view
                     else:
                         column = np.empty(0, dtype=np.dtype(dtype))
-                    shard.observe_round(column, entrants=entrants, exits=exits)
+                    shard.observe(column, entrants=entrants, exits=exits)
+                    conn.send(("ok", None))
+                elif tag == "observe_frame":
+                    _, name, offset, count, width, dtype, names, entrants, exits = (
+                        message
+                    )
+                    if count:
+                        segment = attach(name)
+                        view = np.ndarray(
+                            (count, width),
+                            dtype=np.dtype(dtype),
+                            buffer=segment.buf,
+                            offset=offset,
+                        )
+                        matrix = np.array(view)
+                        del view
+                    else:
+                        matrix = np.empty((0, width), dtype=np.dtype(dtype))
+                    frame = AttributeFrame(matrix, names)
+                    shard.observe(frame, entrants=entrants, exits=exits)
                     conn.send(("ok", None))
                 elif tag == "answer":
                     _, query, t, kwargs = message
@@ -536,12 +556,12 @@ class _StageBuffer:
         if not column.size:
             return
         view = np.ndarray(
-            (column.shape[0],),
+            (column.size,),
             dtype=column.dtype,
             buffer=self.segment.buf,
             offset=offset,
         )
-        view[:] = column
+        view[:] = column.reshape(-1)
         del view
 
     def release(self) -> None:
@@ -725,7 +745,8 @@ class ProcessShardExecutor(ShardExecutor):
             # 64-byte aligned slots so worker views never straddle dtypes.
             total = -(-total // 64) * 64
             offsets.append(total)
-            total += column.nbytes
+            payload = column.data if isinstance(column, AttributeFrame) else column
+            total += payload.nbytes
         stage.ensure(total)
         messages = []
         for index, ((column, entrants, exits), offset) in enumerate(
@@ -733,6 +754,22 @@ class ProcessShardExecutor(ShardExecutor):
         ):
             if index in self._disabled:
                 messages.append(None)
+                continue
+            if isinstance(column, AttributeFrame):
+                stage.write(offset, column.data)
+                messages.append(
+                    (
+                        "observe_frame",
+                        stage.name,
+                        offset,
+                        column.n,
+                        column.width,
+                        column.data.dtype.str,
+                        column.names,
+                        entrants,
+                        exits,
+                    )
+                )
                 continue
             stage.write(offset, column)
             messages.append(

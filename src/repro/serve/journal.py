@@ -143,7 +143,7 @@ class JournalRecord:
     column:
         The round's input report vector over the then-active population
         (ascending global id order, entrants last) — exactly what was
-        passed to ``observe_round``, so recovery can replay it.
+        passed to ``observe``, so recovery can replay it.
     entrants:
         Number of individuals entering in this round.
     exits:

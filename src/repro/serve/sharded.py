@@ -30,10 +30,15 @@ Example
                              horizon=12, rho=0.005, seed=0,
                              executor="process")
     for column in arriving_columns:     # one (n,) bit vector per round
-        service.observe_round(column)
+        service.observe(column)
     service.answer(HammingAtLeast(3), t=6)
     service.checkpoint("service.ckpt")
     service.close()
+
+Multi-attribute streams (``algorithm="multi_attribute"``) feed one
+``(n, d)`` :class:`~repro.types.AttributeFrame` (or ``name -> column``
+mapping) per round; rows are split across shards exactly like single
+columns.
 """
 
 from __future__ import annotations
@@ -58,6 +63,7 @@ from repro.rng import SeedLike, spawn
 from repro.serve.checkpoint import read_bundle, write_bundle
 from repro.serve.executor import RoundTicket, make_executor
 from repro.serve.streaming import _ALGORITHMS, StreamingSynthesizer
+from repro.types import AttributeFrame, as_frame
 
 __all__ = ["ShardedService"]
 
@@ -73,9 +79,11 @@ class ShardedService:
         round and the assignment is fixed for the stream's lifetime.
     algorithm:
         ``"cumulative"`` (Algorithm 2, default), ``"fixed_window"``
-        (Algorithm 1), or ``"categorical_window"`` (Algorithm 1 over a
+        (Algorithm 1), ``"categorical_window"`` (Algorithm 1 over a
         multi-category alphabet; pass ``alphabet=`` in the synthesizer
-        kwargs).
+        kwargs), or ``"multi_attribute"`` (per-attribute window engines
+        over a shared population; pass ``attributes=`` in the
+        synthesizer kwargs and feed ``(n, d)`` frames per round).
     seed:
         Master seed; each shard receives an independent spawned child
         stream, so results are reproducible for any ``K``.
@@ -157,7 +165,19 @@ class ShardedService:
         """
         self._horizon = shards[0].horizon
         self._t = shards[0].t
-        self._alphabet = getattr(shards[0].synthesizer, "alphabet", 2)
+        synthesizer = shards[0].synthesizer
+        if self.algorithm == "multi_attribute":
+            # Multi-attribute shards validate per attribute, not against
+            # one scalar alphabet; cache the declared names/alphabets so
+            # round validation never reaches into (possibly forked-away)
+            # shard objects.
+            self._alphabet = None
+            self._attribute_names = synthesizer.attribute_names
+            self._alphabets = synthesizer.alphabets
+        else:
+            self._alphabet = getattr(synthesizer, "alphabet", 2)
+            self._attribute_names = None
+            self._alphabets = None
         self._executor = make_executor(executor, shards, self.algorithm, policy)
         self._pending: deque[tuple[int, RoundTicket]] = deque()
 
@@ -298,16 +318,19 @@ class ShardedService:
             raise NotFittedError("no data observed yet")
         return self._loads.copy()
 
-    def observe_round(self, column, *, entrants: int = 0, exits=None) -> "ShardedService":
-        """Ingest the next round: split the column and advance every shard.
+    def observe(self, data, *, entrants: int = 0, exits=None) -> "ShardedService":
+        """Ingest the next round: split the reports and advance every shard.
 
         Parameters
         ----------
-        column:
+        data:
             The round's report vector over the *currently active*
             population, in ascending global id order (this round's
-            entrants last).  The first round fixes the initial
-            contiguous shard assignment.
+            entrants last) — or, for ``algorithm="multi_attribute"``, an
+            ``(n, d)`` :class:`~repro.types.AttributeFrame` (or
+            ``name -> column`` mapping) whose rows follow the same
+            order.  The first round fixes the initial contiguous shard
+            assignment.
         entrants:
             Individuals entering this round.  Each entrant is routed to
             the **least-loaded shard** (fewest active individuals, ties
@@ -342,11 +365,39 @@ class ShardedService:
             ``on_negative="redistribute"``, the default, which cannot
             fail mid-round).
         """
-        self.observe_round_async(column, entrants=entrants, exits=exits).wait()
+        self.observe_async(data, entrants=entrants, exits=exits).wait()
         return self
+
+    def observe_round(self, column, *, entrants: int = 0, exits=None) -> "ShardedService":
+        """Deprecated spelling of :meth:`observe`.
+
+        Kept as a working shim for one release window; new code should
+        call :meth:`observe`.
+        """
+        warnings.warn(
+            "observe_round() is deprecated; use observe()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.observe(column, entrants=entrants, exits=exits)
 
     def observe_round_async(
         self, column, *, entrants: int = 0, exits=None
+    ) -> RoundTicket:
+        """Deprecated spelling of :meth:`observe_async`.
+
+        Kept as a working shim for one release window; new code should
+        call :meth:`observe_async`.
+        """
+        warnings.warn(
+            "observe_round_async() is deprecated; use observe_async()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.observe_async(column, entrants=entrants, exits=exits)
+
+    def observe_async(
+        self, data, *, entrants: int = 0, exits=None
     ) -> RoundTicket:
         """Validate, stage, and dispatch one round without joining it.
 
@@ -367,18 +418,37 @@ class ShardedService:
         poisons the service) if a shard rejected it mid-flight.
         """
         self._check_not_poisoned()
-        column = np.asarray(column)
-        if column.ndim != 1:
-            raise DataValidationError(f"column must be 1-D, got shape {column.shape}")
         # All-or-nothing rounds need the value check *before* any shard
         # advances; the legal range is the shards' alphabet (2 for the
-        # binary algorithms).
-        if self._alphabet == 2:
-            validate_binary_column(column)
-        elif column.size and (column.min() < 0 or column.max() >= self._alphabet):
-            raise DataValidationError(
-                f"column entries must lie in [0, {self._alphabet})"
-            )
+        # binary algorithms) or, for multi-attribute streams, each
+        # attribute's declared alphabet.
+        if self._attribute_names is not None:
+            data = as_frame(data, names=self._attribute_names)
+            for name, alphabet in zip(self._attribute_names, self._alphabets):
+                attribute_column = data.column(name)
+                if alphabet == 2:
+                    validate_binary_column(attribute_column)
+                elif attribute_column.size and (
+                    attribute_column.min() < 0
+                    or attribute_column.max() >= alphabet
+                ):
+                    raise DataValidationError(
+                        f"column entries for {name!r} must lie in [0, {alphabet})"
+                    )
+            n_reports = data.n
+        else:
+            data = np.asarray(data)
+            if data.ndim != 1:
+                raise DataValidationError(
+                    f"column must be 1-D, got shape {data.shape}"
+                )
+            if self._alphabet == 2:
+                validate_binary_column(data)
+            elif data.size and (data.min() < 0 or data.max() >= self._alphabet):
+                raise DataValidationError(
+                    f"column entries must lie in [0, {self._alphabet})"
+                )
+            n_reports = int(data.shape[0])
         if self._t >= self._horizon:
             raise DataValidationError(f"horizon {self._horizon} already exhausted")
         entrants = int(entrants)
@@ -391,12 +461,12 @@ class ShardedService:
                 raise DataValidationError(
                     "round 1 admits the initial population; nobody can exit yet"
                 )
-            if entrants > column.shape[0]:
+            if entrants > n_reports:
                 raise DataValidationError(
                     f"round 1 declares {entrants} entrants but the column has "
-                    f"only {column.shape[0]} reports"
+                    f"only {n_reports} reports"
                 )
-            n = int(column.shape[0])
+            n = n_reports
             if n < self.n_shards:
                 raise DataValidationError(
                     f"population {n} is smaller than n_shards={self.n_shards}"
@@ -408,9 +478,9 @@ class ShardedService:
             self._shard_of = np.repeat(np.arange(self.n_shards), sizes)
             self._active = np.ones(n, dtype=bool)
             self._rebuild_assignment_caches()
-        elif column.shape[0] != self.n - exit_ids.size + entrants:
+        elif n_reports != self.n - exit_ids.size + entrants:
             raise DataValidationError(
-                f"column has {column.shape[0]} entries, expected "
+                f"column has {n_reports} entries, expected "
                 f"{self.n - exit_ids.size + entrants} (n_active={self.n}, "
                 f"{exit_ids.size} exits, {entrants} entrants)"
             )
@@ -424,12 +494,14 @@ class ShardedService:
             )
             if never_churned:
                 # Fixed-population fast path: bit-exact legacy slicing.
-                shard_columns = [column[part] for part in self.shard_slices()]
+                shard_columns = [
+                    self._take(data, part) for part in self.shard_slices()
+                ]
             else:
-                shard_columns = self._split_active_column(column)
+                shard_columns = self._split_active_column(data)
             shard_churn = [(0, None)] * self.n_shards
         else:
-            shard_columns, shard_churn = self._route_churn(column, entrants, exit_ids)
+            shard_columns, shard_churn = self._route_churn(data, entrants, exit_ids)
         # Double-buffered staging: at most two rounds in flight, so the
         # parity buffer of round r is free again when round r+2 stages.
         while len(self._pending) >= 2:
@@ -498,37 +570,51 @@ class ShardedService:
         while self._pending:
             self._wait_oldest()
 
-    def _split_active_column(self, column: np.ndarray) -> list[np.ndarray]:
-        """Split a churn-free round's column along the current membership.
+    @staticmethod
+    def _take(data, rows):
+        """Row-select from a report column or an :class:`AttributeFrame`.
 
-        Each shard's active members occupy ascending column positions;
+        The one indexing primitive the splitting/routing paths use, so
+        multi-attribute frames flow through them with the single-column
+        code path untouched (slices stay views either way).
+        """
+        if isinstance(data, AttributeFrame):
+            return data.take(rows)
+        return data[rows]
+
+    def _split_active_column(self, data) -> list:
+        """Split a churn-free round's reports along the current membership.
+
+        Each shard's active members occupy ascending row positions;
         when those positions are contiguous (always true until an exit
         interleaves shards, and common afterwards for shards that kept
         their block) the shard's slice is returned as a **view**, so a
         churn-free round on a 10M-row panel splits without copying.
         """
-        position = np.cumsum(self._active) - 1  # active id -> column position
-        out: list[np.ndarray] = []
+        position = np.cumsum(self._active) - 1  # active id -> row position
+        out: list = []
         for s in range(self.n_shards):
             members = self._members[s]
             indices = position[members[self._active[members]]]
             if not indices.size:
-                out.append(column[:0])
+                out.append(self._take(data, slice(0, 0)))
             elif int(indices[-1]) - int(indices[0]) + 1 == indices.size:
-                out.append(column[int(indices[0]): int(indices[-1]) + 1])
+                out.append(
+                    self._take(data, slice(int(indices[0]), int(indices[-1]) + 1))
+                )
             else:
-                out.append(column[indices])
+                out.append(self._take(data, indices))
         return out
 
     def _route_churn(
-        self, column: np.ndarray, entrants: int, exit_ids: np.ndarray
-    ) -> tuple[list[np.ndarray], list[tuple[int, np.ndarray]]]:
-        """Translate a churn round into per-shard columns and churn events.
+        self, data, entrants: int, exit_ids: np.ndarray
+    ) -> tuple[list, list[tuple[int, np.ndarray]]]:
+        """Translate a churn round into per-shard reports and churn events.
 
         Validates the exits against the service-wide active set, routes
         each entrant to the least-loaded shard, and builds each shard's
-        column in its admission order (survivors first, entrants last) —
-        exactly what the shard synthesizers expect.
+        reports in its admission order (survivors first, entrants last)
+        — exactly what the shard synthesizers expect.
         """
         n_ever = self._shard_of.shape[0]
         # Same rules as PopulationLedger.retire, applied service-wide
@@ -565,7 +651,7 @@ class ShardedService:
         new_ids = n_ever + np.arange(entrants)
         position[new_ids] = survivors.shape[0] + np.arange(entrants)
 
-        shard_columns: list[np.ndarray] = []
+        shard_columns: list = []
         shard_churn: list[tuple[int, np.ndarray]] = []
         new_members: list[np.ndarray] = []
         for s in range(self.n_shards):
@@ -583,7 +669,7 @@ class ShardedService:
                 ]
             shard_new = new_ids[entrant_shards == np.int64(s)]
             reporting = np.concatenate([surviving_members, shard_new])
-            shard_columns.append(column[position[reporting]])
+            shard_columns.append(self._take(data, position[reporting]))
             shard_churn.append((int(shard_new.shape[0]), local_exits))
             new_members.append(
                 np.concatenate([members, shard_new]) if shard_new.size else members

@@ -3,18 +3,19 @@
 The offline drivers (:meth:`CumulativeSynthesizer.run` /
 :meth:`FixedWindowSynthesizer.run`) replay a fully materialized panel.
 :class:`StreamingSynthesizer` is the serving-side wrapper for the model
-the paper actually describes: the curator observes one ``(n,)`` bit
-column per round — no panel up front — and must publish after every
-round.  It adds the two things a long-lived service needs on top of the
-synthesizers' incremental ``observe_column`` step:
+the paper actually describes: the curator observes one ``(n,)`` report
+column per round — or one ``(n, d)`` :class:`~repro.types.AttributeFrame`
+for multi-attribute streams — no panel up front — and must publish after
+every round.  It adds the two things a long-lived service needs on top
+of the synthesizers' incremental ``observe`` step:
 
 * **durable state** — :meth:`checkpoint` serializes the complete
   mid-stream state (counter-bank arrays, monotonized threshold table,
   synthetic store, zCDP ledger, and every RNG bit-generator state) to a
   versioned bundle, and :meth:`restore` resumes from it with
   byte-identical future releases, noise included;
-* **a uniform round API** — :meth:`observe_round` works identically for
-  both algorithms and both counter engines, and per-round releases are
+* **a uniform round API** — :meth:`observe` works identically for
+  every algorithm and both counter engines, and per-round releases are
   bit-exact (noiseless mode) with the equivalent offline ``run()`` on
   the concatenated panel.
 
@@ -26,7 +27,7 @@ Example
 
     service = StreamingSynthesizer.cumulative(horizon=12, rho=0.005, seed=0)
     for column in arriving_columns:          # one (n,) bit vector per round
-        release = service.observe_round(column)
+        release = service.observe(column)
         publish(release.threshold_table())
     service.checkpoint("state.ckpt")         # survive a restart
     service = StreamingSynthesizer.restore("state.ckpt")
@@ -34,9 +35,12 @@ Example
 
 from __future__ import annotations
 
+import warnings
+
 from repro.core.categorical_window import CategoricalWindowSynthesizer
 from repro.core.cumulative import CumulativeSynthesizer
 from repro.core.fixed_window import FixedWindowSynthesizer
+from repro.core.multi_attribute import MultiAttributeSynthesizer
 from repro.exceptions import ConfigurationError, SerializationError
 from repro.rng import SeedLike
 from repro.serve.checkpoint import read_bundle, write_bundle
@@ -48,6 +52,7 @@ _ALGORITHMS = {
     "cumulative": CumulativeSynthesizer,
     "fixed_window": FixedWindowSynthesizer,
     "categorical_window": CategoricalWindowSynthesizer,
+    "multi_attribute": MultiAttributeSynthesizer,
 }
 
 
@@ -58,8 +63,9 @@ class StreamingSynthesizer:
     ----------
     synthesizer:
         A :class:`~repro.core.cumulative.CumulativeSynthesizer`,
-        :class:`~repro.core.fixed_window.FixedWindowSynthesizer`, or
-        :class:`~repro.core.categorical_window.CategoricalWindowSynthesizer`
+        :class:`~repro.core.fixed_window.FixedWindowSynthesizer`,
+        :class:`~repro.core.categorical_window.CategoricalWindowSynthesizer`,
+        or :class:`~repro.core.multi_attribute.MultiAttributeSynthesizer`
         — fresh or mid-stream; the wrapper takes over driving it.
 
     Raises
@@ -80,8 +86,8 @@ class StreamingSynthesizer:
         if not isinstance(synthesizer, tuple(_ALGORITHMS.values())):
             raise ConfigurationError(
                 "StreamingSynthesizer wraps a CumulativeSynthesizer, "
-                "FixedWindowSynthesizer, or CategoricalWindowSynthesizer, "
-                f"got {type(synthesizer).__name__}"
+                "FixedWindowSynthesizer, CategoricalWindowSynthesizer, or "
+                f"MultiAttributeSynthesizer, got {type(synthesizer).__name__}"
             )
         self._synthesizer = synthesizer
 
@@ -186,6 +192,56 @@ class StreamingSynthesizer:
             CategoricalWindowSynthesizer(horizon, window, alphabet, rho, seed=seed, **kwargs)
         )
 
+    @classmethod
+    def multi_attribute(
+        cls,
+        horizon: int,
+        window: int,
+        rho: float,
+        *,
+        attributes=None,
+        seed: SeedLike = None,
+        **kwargs,
+    ) -> "StreamingSynthesizer":
+        """Build a streaming multi-attribute service.
+
+        One :class:`~repro.types.AttributeFrame` (or ``name -> column``
+        mapping, or ``(n, d)`` matrix) per round; per-attribute window
+        engines over a shared population and one zCDP budget, with
+        cross-attribute marginals — see
+        :class:`~repro.core.multi_attribute.MultiAttributeSynthesizer`.
+
+        Parameters
+        ----------
+        horizon:
+            Known time horizon ``T``.
+        window:
+            Shared window width ``k``.
+        rho:
+            Total zCDP budget, split over attributes and cross pairs
+            (``math.inf`` disables noise).
+        attributes:
+            Attribute declarations —
+            :class:`~repro.core.multi_attribute.AttributeSpec` instances,
+            mappings, or bare names.
+        seed:
+            Seed for all randomness.
+        **kwargs:
+            Forwarded to
+            :class:`~repro.core.multi_attribute.MultiAttributeSynthesizer`
+            (``cross``, ``cross_weight``, ``noise_method``, ...).
+
+        Returns
+        -------
+        StreamingSynthesizer
+            A fresh service expecting round 1.
+        """
+        return cls(
+            MultiAttributeSynthesizer(
+                horizon, window, rho, attributes=attributes, seed=seed, **kwargs
+            )
+        )
+
     # ------------------------------------------------------------------
     # Serving API
     # ------------------------------------------------------------------
@@ -197,7 +253,7 @@ class StreamingSynthesizer:
 
     @property
     def algorithm(self) -> str:
-        """``"cumulative"``, ``"fixed_window"``, or ``"categorical_window"``."""
+        """The wrapped synthesizer's checkpoint tag (``"cumulative"``, ...)."""
         for name, cls in _ALGORITHMS.items():
             if isinstance(self._synthesizer, cls):
                 return name
@@ -225,17 +281,19 @@ class StreamingSynthesizer:
         """The current release view (everything published so far)."""
         return self._synthesizer.release
 
-    def observe_round(self, column, *, entrants: int = 0, exits=None):
-        """Ingest the next round's ``(n,)`` bit column and publish.
+    def observe(self, data, *, entrants: int = 0, exits=None):
+        """Ingest the next round's reports and publish.
 
         Parameters
         ----------
-        column:
+        data:
             The round-``t`` report vector ``D_t``: one entry per
             *currently active* individual (ascending id order) — 0/1
             for the binary algorithms, ``{0, ..., q-1}`` for the
-            categorical one.  With no churn declared, every round must
-            present the same population size.
+            categorical one, or an ``(n, d)``
+            :class:`~repro.types.AttributeFrame` (or ``name -> column``
+            mapping) for the multi-attribute service.  With no churn
+            declared, every round must present the same population size.
         entrants:
             Individuals entering this round; they report in the column's
             final ``entrants`` entries and receive fresh ids.  Their
@@ -247,21 +305,34 @@ class StreamingSynthesizer:
 
         Returns
         -------
-        CumulativeRelease or FixedWindowRelease
+        Release
             The updated release view.  Per-round outputs are bit-exact
             (noiseless mode) with the offline ``run()`` on the
-            concatenated panel — ``observe_round`` *is* ``run()``'s loop
+            concatenated panel — ``observe`` *is* ``run()``'s loop
             body, extracted — and zero-churn calls are bit-exact with
             the fixed-population path.
 
         Raises
         ------
         repro.exceptions.DataValidationError
-            On non-binary input, a column length that disagrees with the
-            declared churn, rounds past the horizon, or invalid churn
-            declarations.
+            On out-of-alphabet input, a column length that disagrees
+            with the declared churn, rounds past the horizon, or invalid
+            churn declarations.
         """
-        return self._synthesizer.observe_column(column, entrants=entrants, exits=exits)
+        return self._synthesizer.observe(data, entrants=entrants, exits=exits)
+
+    def observe_round(self, column, *, entrants: int = 0, exits=None):
+        """Deprecated spelling of :meth:`observe`.
+
+        Kept as a working shim for one release window; new code should
+        call :meth:`observe`.
+        """
+        warnings.warn(
+            "observe_round() is deprecated; use observe()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.observe(column, entrants=entrants, exits=exits)
 
     def lifespans(self):
         """Per-individual ``(entry_round, exit_round)`` pairs so far.

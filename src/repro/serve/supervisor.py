@@ -42,7 +42,7 @@ Example
         policy=RetryPolicy(rpc_timeout=30.0, checkpoint_every=8),
     )
     for column in arriving_columns:
-        service.observe_round(column)          # journaled before return
+        service.observe(column)                # journaled before return
     # ... crash, restart ...
     service = SupervisedService.attach("state/", executor="process")
     assert service.t == rounds_published       # recovered, never re-noised
@@ -69,6 +69,7 @@ from repro.serve.checkpoint import _decode_nonfinite, _encode_nonfinite
 from repro.serve.journal import JournalRecord, ReleaseJournal
 from repro.serve.policy import RetryPolicy
 from repro.serve.sharded import ShardedService
+from repro.types import AttributeFrame
 
 __all__ = ["SupervisedService"]
 
@@ -405,6 +406,15 @@ class SupervisedService:
         return self._service.answer(query, t, **kwargs)
 
     def observe_round(self, column, *, entrants: int = 0, exits=None) -> JournalRecord:
+        """Deprecated alias for :meth:`observe` (kept one release window)."""
+        warnings.warn(
+            "observe_round() is deprecated; use observe()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.observe(column, entrants=entrants, exits=exits)
+
+    def observe(self, column, *, entrants: int = 0, exits=None) -> JournalRecord:
         """Ingest and durably publish the next round.
 
         The round is acknowledged (this method returns) only after its
@@ -419,7 +429,7 @@ class SupervisedService:
         ----------
         column:
             The round's report vector over the active population (see
-            ``ShardedService.observe_round``).
+            ``ShardedService.observe``).
         entrants:
             Individuals entering this round.
         exits:
@@ -443,6 +453,14 @@ class SupervisedService:
         """
         if self._closed:
             raise ConfigurationError("service is closed")
+        if isinstance(column, AttributeFrame):
+            if column.width != 1:
+                raise ConfigurationError(
+                    "SupervisedService journals single-column rounds; "
+                    "multi-attribute frames are not supported yet — use "
+                    "ShardedService directly for multi-attribute streams"
+                )
+            column = column.sole()
         column = np.asarray(column)
         round_number = self._journal.last_round + 1
         last_error: BaseException | None = None
@@ -459,7 +477,7 @@ class SupervisedService:
                     # durable; re-ingesting it would double-publish.
                     return self._journal.records()[-1]
                 self._heartbeat(round_number)
-                self._service.observe_round(column, entrants=entrants, exits=exits)
+                self._service.observe(column, entrants=entrants, exits=exits)
                 record = self._build_record(round_number, column, entrants, exits)
                 try:
                     self._journal.append(record)
@@ -490,7 +508,7 @@ class SupervisedService:
                 disable=(culprit, f"failed {culprits[culprit]} recovery attempts"),
             )
             self._needs_recovery = False
-            self._service.observe_round(column, entrants=entrants, exits=exits)
+            self._service.observe(column, entrants=entrants, exits=exits)
             record = self._build_record(round_number, column, entrants, exits)
             self._journal.append(record)
             self._journaled_spent = max(self._journaled_spent, record.zcdp_spent)
@@ -701,7 +719,7 @@ class SupervisedService:
                 )
             with warnings.catch_warnings():
                 warnings.simplefilter("ignore", DegradedServiceWarning)
-                service.observe_round(
+                service.observe(
                     record.column,
                     entrants=record.entrants,
                     exits=list(record.exits),

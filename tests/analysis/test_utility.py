@@ -211,7 +211,7 @@ class TestPMSERelease:
             pmse_release(panel, release, 8, 3, features="logistic")
 
     def test_release_without_panel_surface_rejected(self, panel):
-        with pytest.raises(ConfigurationError, match="neither"):
+        with pytest.raises(ConfigurationError, match="no synthetic_data"):
             pmse_release(panel, object(), 8, 3)
 
 

@@ -1,0 +1,405 @@
+"""MultiAttributeSynthesizer: composition, bit-exactness, and state.
+
+The composite synthesizer's contract:
+
+* ``d = 1`` is **bit-exact** with the standalone engines (binary and
+  categorical) — the sole attribute inherits the master generator and
+  the full budget, so noise draws, ledgers, and synthetic records
+  coincide;
+* ``d >= 2`` splits one zCDP budget across attributes and cross pairs
+  by configurable weights, and the component spends sum to the total;
+* cross-attribute counts are the noised per-round joint histogram
+  (exact when noiseless), order-insensitive up to transposition;
+* ``state_dict``/``load_state`` round-trip mid-stream, churn included,
+  and the restored stream continues byte-identically.
+"""
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.categorical_window import CategoricalWindowSynthesizer
+from repro.core.fixed_window import FixedWindowSynthesizer
+from repro.core.multi_attribute import AttributeSpec, MultiAttributeSynthesizer
+from repro.data.categorical import employment_status_panel
+from repro.data.dataset import LongitudinalDataset
+from repro.data.generators import churn_two_state_markov, two_state_markov
+from repro.exceptions import ConfigurationError, DataValidationError
+from repro.queries import AtLeastMOnes
+from repro.queries.categorical import CategoryAtLeastM
+from repro.types import AttributeFrame
+
+HORIZON = 8
+WINDOW = 3
+
+
+@pytest.fixture(scope="module")
+def binary_matrix():
+    return two_state_markov(300, HORIZON, 0.2, 0.3, seed=11).matrix
+
+
+@pytest.fixture(scope="module")
+def employment():
+    return employment_status_panel(300, HORIZON, seed=12)
+
+
+def _two_attribute_synth(rho=0.4, seed=1, **kwargs):
+    return MultiAttributeSynthesizer(
+        HORIZON,
+        WINDOW,
+        rho,
+        attributes=[
+            {"name": "employment", "alphabet": 3},
+            {"name": "income", "alphabet": 4},
+        ],
+        seed=seed,
+        **kwargs,
+    )
+
+
+def _two_attribute_panels(n=300, seed=13):
+    emp = employment_status_panel(n, HORIZON, seed=seed).matrix
+    inc = (emp + np.arange(n)[:, None]) % 4
+    return {"employment": emp, "income": inc}
+
+
+# ----------------------------------------------------------------------
+# d = 1 bit-exactness anchors
+# ----------------------------------------------------------------------
+
+
+def test_sole_binary_attribute_is_bit_exact(binary_matrix):
+    reference = FixedWindowSynthesizer(HORIZON, WINDOW, 0.2, seed=7)
+    composite = MultiAttributeSynthesizer(
+        HORIZON, WINDOW, 0.2, attributes=["poverty"], seed=7
+    )
+    ref_release = reference.run(LongitudinalDataset(binary_matrix))
+    multi_release = composite.run({"poverty": binary_matrix})
+    inner = multi_release.attribute("poverty")
+    for t in ref_release.released_times():
+        np.testing.assert_array_equal(ref_release.histogram(t), inner.histogram(t))
+    assert reference.accountant.charges == tuple(
+        (label.split(": ", 1)[1], rho) for label, rho in composite.accountant.charges
+    )
+    query = AtLeastMOnes(WINDOW, 1)
+    for t in range(WINDOW, HORIZON + 1):
+        assert multi_release.answer(query, t, attribute="poverty") == ref_release.answer(
+            query, t
+        )
+    # Sole-attribute records come straight from the engine's store.
+    records = multi_release.synthetic_records(HORIZON)
+    np.testing.assert_array_equal(
+        records.sole(),
+        ref_release.synthetic_data().matrix[: records.n, HORIZON - 1],
+    )
+
+
+def test_sole_categorical_attribute_is_bit_exact(employment):
+    reference = CategoricalWindowSynthesizer(HORIZON, WINDOW, 3, 0.2, seed=8)
+    composite = MultiAttributeSynthesizer(
+        HORIZON,
+        WINDOW,
+        0.2,
+        attributes=[{"name": "employment", "alphabet": 3}],
+        seed=8,
+    )
+    ref_release = reference.run(employment)
+    multi_release = composite.run({"employment": employment.matrix})
+    inner = multi_release.attribute("employment")
+    for t in ref_release.released_times():
+        np.testing.assert_array_equal(ref_release.histogram(t), inner.histogram(t))
+    assert reference.accountant.spent == composite.accountant.spent
+
+
+def test_sole_attribute_width_one_answer_needs_no_attribute(binary_matrix):
+    composite = MultiAttributeSynthesizer(
+        HORIZON, WINDOW, math.inf, attributes=["poverty"], seed=0
+    )
+    release = composite.run({"poverty": binary_matrix})
+    query = AtLeastMOnes(WINDOW, 1)
+    assert release.answer(query, HORIZON) == release.answer(
+        query, HORIZON, attribute="poverty"
+    )
+
+
+# ----------------------------------------------------------------------
+# Budget composition
+# ----------------------------------------------------------------------
+
+
+def test_component_spends_sum_to_total_budget():
+    synth = _two_attribute_synth(rho=0.8)
+    synth.run(_two_attribute_panels())
+    assert math.isclose(synth.accountant.spent, 0.8, rel_tol=1e-9)
+    assert math.isclose(synth.zcdp_spent(), 0.8, rel_tol=1e-9)
+    assert synth.accountant.remaining == pytest.approx(0.0, abs=1e-12)
+
+
+def test_attribute_weights_steer_the_split():
+    synth = MultiAttributeSynthesizer(
+        HORIZON,
+        WINDOW,
+        0.6,
+        attributes=[
+            {"name": "employment", "alphabet": 3, "weight": 2.0},
+            {"name": "income", "alphabet": 4, "weight": 1.0},
+        ],
+        cross=[],
+        seed=2,
+    )
+    synth.run(_two_attribute_panels())
+    spends = {}
+    for label, rho in synth.accountant.charges:
+        prefix = label.split(": ", 1)[0]
+        spends[prefix] = spends.get(prefix, 0.0) + rho
+    assert math.isclose(spends["employment"], 2 * spends["income"], rel_tol=1e-9)
+    assert math.isclose(math.fsum(spends.values()), 0.6, rel_tol=1e-9)
+
+
+def test_cross_weight_scales_the_pair_budget():
+    light = _two_attribute_synth(rho=0.6, cross_weight=0.5)
+    heavy = _two_attribute_synth(rho=0.6, cross_weight=2.0)
+    assert heavy.rho_per_pair > light.rho_per_pair
+    assert math.isclose(light.rho_per_pair, 0.6 * 0.5 / 2.5, rel_tol=1e-9)
+    assert math.isclose(heavy.rho_per_pair, 0.6 * 2.0 / 4.0, rel_tol=1e-9)
+
+
+# ----------------------------------------------------------------------
+# Cross-attribute marginals
+# ----------------------------------------------------------------------
+
+
+def test_noiseless_cross_counts_match_joint_histogram():
+    panels = _two_attribute_panels()
+    synth = _two_attribute_synth(rho=math.inf)
+    release = synth.run(panels)
+    for t in range(1, HORIZON + 1):
+        codes = panels["employment"][:, t - 1] * 4 + panels["income"][:, t - 1]
+        truth = np.bincount(codes.astype(np.int64), minlength=12)
+        np.testing.assert_array_equal(
+            release.cross_counts("employment", "income", t), truth
+        )
+        # The transposed request is the reshaped transpose of the same table.
+        transposed = release.cross_counts("income", "employment", t)
+        np.testing.assert_array_equal(
+            transposed, truth.reshape(3, 4).T.reshape(-1)
+        )
+        marginal = release.cross_marginal("employment", "income", t)
+        assert marginal.min() >= 0.0
+        np.testing.assert_allclose(marginal.sum(), 1.0, rtol=1e-12)
+
+
+def test_unconfigured_pair_is_rejected():
+    synth = MultiAttributeSynthesizer(
+        HORIZON,
+        WINDOW,
+        math.inf,
+        attributes=[
+            {"name": "a", "alphabet": 2},
+            {"name": "b", "alphabet": 2},
+            {"name": "c", "alphabet": 2},
+        ],
+        cross=[("a", "b")],
+        seed=0,
+    )
+    frame = AttributeFrame.from_columns(
+        {name: np.zeros(10, dtype=np.int64) for name in ("a", "b", "c")}
+    )
+    release = synth.observe(frame)
+    with pytest.raises(ConfigurationError, match="no cross marginal"):
+        release.cross_counts("a", "c", 1)
+
+
+# ----------------------------------------------------------------------
+# Synthetic records
+# ----------------------------------------------------------------------
+
+
+def test_synthetic_records_are_deterministic_and_in_range():
+    synth = _two_attribute_synth(rho=0.5, seed=21)
+    release = synth.run(_two_attribute_panels())
+    first = release.synthetic_records(HORIZON)
+    second = release.synthetic_records(HORIZON)
+    assert first == second
+    assert first.names == ("employment", "income")
+    assert first.data[:, 0].min() >= 0 and first.data[:, 0].max() < 3
+    assert first.data[:, 1].min() >= 0 and first.data[:, 1].max() < 4
+    # Different rounds draw from independent per-round streams.
+    assert release.synthetic_records(HORIZON - 1).n > 0
+
+
+# ----------------------------------------------------------------------
+# Churn parity and validation
+# ----------------------------------------------------------------------
+
+
+def test_churn_stream_matches_per_engine_ingestion():
+    """Frames with entrants/exits feed each engine like a direct stream."""
+    panel = churn_two_state_markov(
+        50, HORIZON, 0.85, 0.2, entry_rate=0.25, exit_hazard=0.08, seed=3
+    )
+    events = list(panel.rounds())
+    composite = MultiAttributeSynthesizer(
+        HORIZON, WINDOW, 0.3, attributes=["poverty"], seed=6
+    )
+    reference = FixedWindowSynthesizer(HORIZON, WINDOW, 0.3, seed=6)
+    for column, entrants, exits in events:
+        composite.observe(column, entrants=entrants, exits=exits)
+        reference.observe(column, entrants=entrants, exits=exits)
+    inner = composite.release.attribute("poverty")
+    for t in reference.release.released_times():
+        np.testing.assert_array_equal(
+            reference.release.histogram(t), inner.histogram(t)
+        )
+    assert composite.release.population(HORIZON) == reference.release.population(
+        HORIZON
+    )
+
+
+def test_invalid_values_are_rejected_before_any_engine_advances():
+    synth = _two_attribute_synth(rho=math.inf)
+    bad = AttributeFrame.from_columns(
+        {
+            "employment": np.zeros(10, dtype=np.int64),
+            "income": np.full(10, 9, dtype=np.int64),  # out of [0, 4)
+        }
+    )
+    with pytest.raises(DataValidationError):
+        synth.observe(bad)
+    assert synth.t == 0  # nothing advanced — the stream is still clean
+    good = AttributeFrame.from_columns(
+        {
+            "employment": np.zeros(10, dtype=np.int64),
+            "income": np.zeros(10, dtype=np.int64),
+        }
+    )
+    synth.observe(good)
+    assert synth.t == 1
+
+
+def test_run_rejects_misordered_mapping():
+    synth = _two_attribute_synth(rho=math.inf)
+    panels = _two_attribute_panels()
+    with pytest.raises(DataValidationError, match="do not match declared"):
+        synth.run({"income": panels["income"], "employment": panels["employment"]})
+
+
+def test_duplicate_attribute_names_are_rejected():
+    with pytest.raises(ConfigurationError):
+        MultiAttributeSynthesizer(
+            HORIZON, WINDOW, 0.1, attributes=["a", "a"], seed=0
+        )
+
+
+def test_observe_column_shim_warns_and_works(binary_matrix):
+    synth = MultiAttributeSynthesizer(
+        HORIZON, WINDOW, math.inf, attributes=["poverty"], seed=0
+    )
+    with pytest.warns(DeprecationWarning, match="observe"):
+        synth.observe_column(binary_matrix[:, 0])
+    assert synth.t == 1
+
+
+# ----------------------------------------------------------------------
+# Config and state round-trips
+# ----------------------------------------------------------------------
+
+
+def test_config_dict_round_trips_through_json():
+    synth = _two_attribute_synth(rho=0.4, cross_weight=1.5)
+    config = json.loads(json.dumps(synth.config_dict()))
+    clone = MultiAttributeSynthesizer.from_config(config)
+    assert clone.config_dict() == synth.config_dict()
+    assert clone.attribute_names == synth.attribute_names
+    assert clone.cross_pairs == synth.cross_pairs
+
+
+@pytest.mark.parametrize("attributes", [1, 2])
+def test_state_round_trip_continues_byte_identically(attributes):
+    """Mid-stream state restore continues the stream bit for bit, churn included."""
+    panel = churn_two_state_markov(
+        40, HORIZON, 0.85, 0.2, entry_rate=0.2, exit_hazard=0.1, seed=9
+    )
+    events = [
+        (
+            AttributeFrame.from_columns(
+                {
+                    "employment": (column + np.arange(column.shape[0])) % 3,
+                    "income": (column * 2 + np.arange(column.shape[0])) % 4,
+                }
+            )
+            if attributes == 2
+            else column,
+            entrants,
+            exits,
+        )
+        for column, entrants, exits in panel.rounds()
+    ]
+    specs = (
+        [{"name": "employment", "alphabet": 3}, {"name": "income", "alphabet": 4}]
+        if attributes == 2
+        else ["poverty"]
+    )
+
+    def build():
+        return MultiAttributeSynthesizer(
+            HORIZON, WINDOW, 0.5, attributes=specs, seed=14
+        )
+
+    uninterrupted = build()
+    for data, entrants, exits in events:
+        uninterrupted.observe(data, entrants=entrants, exits=exits)
+
+    partial = build()
+    for data, entrants, exits in events[:4]:
+        partial.observe(data, entrants=entrants, exits=exits)
+    state = json.loads(json.dumps(partial.state_dict(), default=_jsonify))
+    resumed = MultiAttributeSynthesizer.from_config(partial.config_dict())
+    resumed.load_state(_dejsonify(state))
+    assert resumed.t == 4
+    for data, entrants, exits in events[4:]:
+        resumed.observe(data, entrants=entrants, exits=exits)
+
+    names = uninterrupted.attribute_names
+    for name in names:
+        ref = uninterrupted.release.attribute(name)
+        got = resumed.release.attribute(name)
+        for t in ref.released_times():
+            np.testing.assert_array_equal(ref.histogram(t), got.histogram(t))
+    if attributes == 2:
+        for t in range(1, HORIZON + 1):
+            np.testing.assert_array_equal(
+                uninterrupted.release.cross_counts(*names, t),
+                resumed.release.cross_counts(*names, t),
+            )
+        assert uninterrupted.release.synthetic_records(
+            HORIZON
+        ) == resumed.release.synthetic_records(HORIZON)
+    assert uninterrupted.zcdp_spent() == resumed.zcdp_spent()
+
+
+def _jsonify(obj):
+    if isinstance(obj, np.ndarray):
+        return {"__ndarray__": obj.tolist(), "dtype": obj.dtype.str}
+    if isinstance(obj, np.integer):
+        return int(obj)
+    raise TypeError(f"not JSON-serializable: {type(obj)}")
+
+
+def _dejsonify(obj):
+    if isinstance(obj, dict):
+        if "__ndarray__" in obj:
+            return np.array(obj["__ndarray__"], dtype=np.dtype(obj["dtype"]))
+        return {key: _dejsonify(value) for key, value in obj.items()}
+    if isinstance(obj, list):
+        return [_dejsonify(item) for item in obj]
+    return obj
+
+
+def test_attribute_spec_round_trip():
+    spec = AttributeSpec("income", alphabet=4, weight=2.0, window=2, n_pad=64)
+    assert AttributeSpec.from_dict(spec.to_dict()) == spec
+    with pytest.raises(ConfigurationError):
+        AttributeSpec("bad", alphabet=1)

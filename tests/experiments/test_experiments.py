@@ -147,7 +147,7 @@ class TestCLI:
         # Patch in a fast fake experiment to keep the CLI test quick.
         from repro.experiments import registry
 
-        def fake(n_reps, seed=0, engine=None, strategy=None, n_jobs=None, alphabet=None):
+        def fake(n_reps, seed=0, engine=None, strategy=None, n_jobs=None, alphabet=None, attributes=None):
             result = FigureResult(experiment_id="fake", title="fake experiment")
             result.check("always true", True)
             result.check("engine threaded", engine in ("vectorized", "scalar"))
@@ -166,7 +166,7 @@ class TestCLI:
     def test_run_command_fails_on_failed_checks(self, capsys, monkeypatch):
         from repro.experiments import registry
 
-        def fake(n_reps, seed=0, engine=None, strategy=None, n_jobs=None, alphabet=None):
+        def fake(n_reps, seed=0, engine=None, strategy=None, n_jobs=None, alphabet=None, attributes=None):
             result = FigureResult(experiment_id="fake2", title="failing experiment")
             result.check("always false", False)
             return result

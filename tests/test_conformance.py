@@ -1,0 +1,146 @@
+"""Protocol conformance: every synthesizer satisfies :class:`repro.types.Synthesizer`.
+
+The API contract this repo's layers build on: each registered algorithm
+and each baseline implements the formal ``Synthesizer`` protocol
+(``observe`` / ``run`` / ``release`` / ``config_dict`` / ``state_dict``)
+and its releases satisfy ``Release`` (``answer``), so the replication
+harness, the utility scorer, and the serving stack can hold any of them
+without ad-hoc duck typing.  The deprecated ``observe_column`` /
+``observe_round`` spellings keep working for one release window and
+warn.
+"""
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    ClampingBaseline,
+    NonPrivateSynthesizer,
+    PrivateDensityBaseline,
+    RecomputeBaseline,
+)
+from repro.core import (
+    CategoricalWindowSynthesizer,
+    CumulativeSynthesizer,
+    FixedWindowSynthesizer,
+    MultiAttributeSynthesizer,
+)
+from repro.serve import ShardedService, StreamingSynthesizer
+from repro.serve.streaming import _ALGORITHMS
+from repro.types import AttributeFrame, Release, Synthesizer, as_frame
+
+HORIZON = 6
+N = 40
+
+#: Every synthesizer the repo ships, by registry/baseline tag.
+FACTORIES = {
+    "fixed_window": lambda: FixedWindowSynthesizer(HORIZON, 3, 0.2, seed=0),
+    "categorical_window": lambda: CategoricalWindowSynthesizer(
+        HORIZON, 3, 3, 0.2, seed=0
+    ),
+    "cumulative": lambda: CumulativeSynthesizer(HORIZON, 0.2, seed=0),
+    "multi_attribute": lambda: MultiAttributeSynthesizer(
+        HORIZON, 3, 0.2, attributes=["poverty"], seed=0
+    ),
+    "clamped": lambda: ClampingBaseline(HORIZON, 3, 0.2, seed=0),
+    "nonprivate": lambda: NonPrivateSynthesizer(HORIZON),
+    "density": lambda: PrivateDensityBaseline(HORIZON, 3, 0.2, seed=0),
+    "recompute": lambda: RecomputeBaseline(HORIZON, 3, 0.2, seed=0),
+}
+
+
+def _column(t: int) -> np.ndarray:
+    return (np.arange(N) + t) % 2
+
+
+@pytest.mark.parametrize("tag", sorted(FACTORIES))
+def test_synthesizer_protocol_conformance(tag):
+    synth = FACTORIES[tag]()
+    release = synth.observe(_column(1))
+    assert isinstance(synth, Synthesizer), f"{tag} violates the Synthesizer protocol"
+    assert isinstance(release, Release), f"{tag}.observe() must return a Release"
+    assert isinstance(synth.release, Release)
+
+
+@pytest.mark.parametrize("tag", sorted(FACTORIES))
+def test_observe_accepts_single_attribute_frames(tag):
+    """The AttributeFrame value type flows through every observe()."""
+    synth = FACTORIES[tag]()
+    frame = as_frame(_column(1), names=getattr(synth, "attribute_names", None))
+    assert isinstance(frame, AttributeFrame)
+    synth.observe(frame)
+    assert synth.release.t == 1
+
+
+@pytest.mark.parametrize("tag", sorted(FACTORIES))
+def test_config_dict_is_json_serializable(tag):
+    synth = FACTORIES[tag]()
+    config = json.loads(json.dumps(synth.config_dict()))
+    assert isinstance(config, dict) and config
+
+
+@pytest.mark.parametrize("tag", sorted(FACTORIES))
+def test_state_dict_returns_a_dict(tag):
+    synth = FACTORIES[tag]()
+    synth.observe(_column(1))
+    assert isinstance(synth.state_dict(), dict)
+
+
+@pytest.mark.parametrize("tag", sorted(FACTORIES))
+def test_observe_column_shim_warns(tag):
+    synth = FACTORIES[tag]()
+    with pytest.warns(DeprecationWarning, match="observe"):
+        synth.observe_column(_column(1))
+    assert synth.release.t == 1
+
+
+def test_streaming_registry_algorithms_all_conform():
+    """Every ``StreamingSynthesizer`` algorithm tag wraps a Synthesizer."""
+    for tag, cls in _ALGORITHMS.items():
+        synth = FACTORIES[tag]()
+        synth.observe(_column(1))
+        assert isinstance(synth, Synthesizer), tag
+        assert type(synth) is cls
+
+
+def test_streaming_wrapper_shims_warn():
+    service = StreamingSynthesizer.cumulative(horizon=HORIZON, rho=math.inf)
+    with pytest.warns(DeprecationWarning, match="observe"):
+        service.observe_round(_column(1))
+    assert service.t == 1
+    service.observe(_column(2))
+    assert service.t == 2
+
+
+def test_sharded_wrapper_shims_warn():
+    service = ShardedService(
+        2, algorithm="cumulative", horizon=HORIZON, rho=math.inf
+    )
+    with pytest.warns(DeprecationWarning, match="observe"):
+        service.observe_round(_column(1))
+    assert service.t == 1
+    service.observe(_column(2))
+    assert service.t == 2
+    service.close()
+
+
+def test_releases_answer_like_the_protocol_promises():
+    """A Release's answer(query, t) is a plain float for every family."""
+    from repro.queries import AtLeastMOnes, HammingAtLeast
+
+    probes = {
+        "fixed_window": AtLeastMOnes(3, 1),
+        "clamped": AtLeastMOnes(3, 1),
+        "recompute": AtLeastMOnes(3, 1),
+        "density": AtLeastMOnes(3, 1),
+        "nonprivate": AtLeastMOnes(3, 1),
+        "cumulative": HammingAtLeast(1),
+    }
+    for tag, query in probes.items():
+        synth = FACTORIES[tag]()
+        for t in range(1, HORIZON + 1):
+            release = synth.observe(_column(t))
+        assert isinstance(release.answer(query, HORIZON), float), tag
