@@ -45,6 +45,7 @@ from repro.analysis.metrics import SeriesSummary
 from repro.data.dataset import LongitudinalDataset
 from repro.exceptions import ConfigurationError
 from repro.queries.base import Query
+from repro.queries.plan import release_answer_grid
 from repro.rng import SeedLike, as_generator, spawn
 
 __all__ = [
@@ -308,14 +309,29 @@ def replicate_synthesizer(
 def _answers_for_rep(
     factory, generator, dataset, queries, times, debias, answer_fn, out_row
 ) -> None:
-    """One repetition: build, run, record the (query, time) grid in place."""
-    answer = answer_fn or _default_answer
+    """One repetition: build, run, record the (query, time) grid in place.
+
+    The default dispatch routes the whole grid through
+    :func:`repro.queries.plan.release_answer_grid` (one compiled batch per
+    release, bit-identical with the scalar loop).  A custom ``answer_fn``
+    runs per cell unless it carries an ``answer_grid`` attribute — a
+    callable ``(release, queries, times, debias) -> grid`` — in which case
+    the whole workload is handed over at once (see
+    :func:`repro.analysis.utility.utility_answer`).
+    """
     synthesizer = factory(generator)
     release = synthesizer.run(dataset)
+    if answer_fn is None:
+        out_row[...] = release_answer_grid(release, queries, times, debias=debias)
+        return
+    grid_fn = getattr(answer_fn, "answer_grid", None)
+    if grid_fn is not None:
+        out_row[...] = grid_fn(release, queries, times, debias)
+        return
     for qi, query in enumerate(queries):
         for ti, t in enumerate(times):
             if t >= query.min_time():
-                out_row[qi, ti] = answer(release, query, t, debias)
+                out_row[qi, ti] = answer_fn(release, query, t, debias)
 
 
 def _answers_serial(

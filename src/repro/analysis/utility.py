@@ -60,6 +60,7 @@ from repro.analysis.metrics import max_abs_error, rmse
 from repro.analysis.replication import ReplicatedAnswers, replicate_synthesizer
 from repro.exceptions import ConfigurationError, DataValidationError
 from repro.queries.base import Query
+from repro.queries.plan import release_answer_grid
 from repro.rng import SeedLike
 
 __all__ = [
@@ -561,6 +562,32 @@ def utility_answer(release, query, t: int, debias: bool) -> float:
     from repro.analysis.replication import _default_answer
 
     return _default_answer(release, query, t, debias)
+
+
+def _utility_answer_grid(release, queries, times, debias) -> np.ndarray:
+    """Whole-grid dispatch for utility runs (``utility_answer.answer_grid``).
+
+    Regular query rows compile through
+    :func:`repro.queries.plan.release_answer_grid` as one batch;
+    :class:`PMSEProbe` rows are scored per round on the synthetic panel
+    (the scorer reads records, not histograms, so there is nothing to
+    compile).  Bit-identical with looping :func:`utility_answer`.
+    """
+    out = np.full((len(queries), len(times)), np.nan, dtype=np.float64)
+    regular = [qi for qi, q in enumerate(queries) if not isinstance(q, PMSEProbe)]
+    if regular:
+        out[regular] = release_answer_grid(
+            release, [queries[qi] for qi in regular], times, debias=debias
+        )
+    for qi, query in enumerate(queries):
+        if isinstance(query, PMSEProbe):
+            for ti, t in enumerate(times):
+                if t >= query.min_time():
+                    out[qi, ti] = query.score(release, t)
+    return out
+
+
+utility_answer.answer_grid = _utility_answer_grid
 
 
 @dataclass(frozen=True)

@@ -31,7 +31,6 @@ unchanged.
 from __future__ import annotations
 
 import math
-import warnings
 
 import numpy as np
 
@@ -41,6 +40,7 @@ from repro.dp.accountant import ZCDPAccountant
 from repro.dp.mechanisms import GaussianHistogramMechanism
 from repro.exceptions import ConfigurationError, DataValidationError, NotFittedError
 from repro.queries.categorical import categorical_pattern_table
+from repro.queries.plan import scalar_answer_grid
 from repro.rng import SeedLike, as_generator, generator_state, spawn
 from repro.types import AttributeFrame
 
@@ -129,6 +129,10 @@ class DensityRelease:
         density = self.density(t)
         marginal = self._baseline._suffix_marginal(density, width)
         return float(np.asarray(weights, dtype=np.float64) @ marginal)
+
+    def answer_batch(self, queries, times, debias: bool = True) -> np.ndarray:
+        """Workload grid via the scalar fallback (density answers are cheap)."""
+        return scalar_answer_grid(self, queries, times, debias=debias)
 
     def __repr__(self) -> str:
         return f"DensityRelease(t={self.t}, rounds={sorted(self._baseline._panels)})"
@@ -323,20 +327,6 @@ class PrivateDensityBaseline:
             panel = CategoricalDataset(matrix, self.alphabet)
         self._panels[self._t] = panel
         return self.release
-
-    def observe_column(self, column) -> DensityRelease:
-        """Deprecated spelling of :meth:`observe` (single-column form).
-
-        Kept as a working shim for one release window; new code should
-        call :meth:`observe`, which also accepts width-1
-        :class:`~repro.types.AttributeFrame` input.
-        """
-        warnings.warn(
-            "observe_column() is deprecated; use observe()",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.observe(column)
 
     def config_dict(self) -> dict:
         """JSON-able construction parameters."""

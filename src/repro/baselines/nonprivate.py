@@ -8,13 +8,12 @@ release must equal the ground truth exactly.
 
 from __future__ import annotations
 
-import warnings
-
 import numpy as np
 
 from repro.data.dataset import LongitudinalDataset
 from repro.exceptions import ConfigurationError, DataValidationError, NotFittedError
 from repro.queries.base import Query
+from repro.queries.plan import scalar_answer_grid
 from repro.types import AttributeFrame
 
 __all__ = ["NonPrivateSynthesizer"]
@@ -38,6 +37,10 @@ class _OracleRelease:
     def answer(self, query: Query, t: int, debias: bool = True) -> float:
         """Ground-truth answer (``debias`` accepted for API compatibility)."""
         return query.evaluate(self._panel, t)
+
+    def answer_batch(self, queries, times, debias: bool = True) -> np.ndarray:
+        """Workload grid via the scalar fallback (already exact)."""
+        return scalar_answer_grid(self, queries, times, debias=debias)
 
 
 class NonPrivateSynthesizer:
@@ -106,15 +109,6 @@ class NonPrivateSynthesizer:
             LongitudinalDataset(np.column_stack(self._columns))
         )
         return self._release
-
-    def observe_column(self, column, *, entrants: int = 0, exits=None) -> _OracleRelease:
-        """Deprecated alias for :meth:`observe` (kept one release window)."""
-        warnings.warn(
-            "observe_column() is deprecated; use observe()",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.observe(column, entrants=entrants, exits=exits)
 
     def run(self, dataset: LongitudinalDataset) -> _OracleRelease:
         """Record the panel and return the oracle release."""

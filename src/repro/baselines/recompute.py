@@ -24,7 +24,6 @@ measurable on this class:
 from __future__ import annotations
 
 import math
-import warnings
 
 import numpy as np
 
@@ -34,6 +33,7 @@ from repro.data.dataset import LongitudinalDataset
 from repro.dp.accountant import ZCDPAccountant
 from repro.exceptions import ConfigurationError, DataValidationError, NotFittedError
 from repro.queries.base import WindowQuery
+from repro.queries.plan import scalar_answer_grid
 from repro.rng import SeedLike, as_generator, generator_state, spawn
 from repro.types import AttributeFrame
 
@@ -124,6 +124,15 @@ class RecomputeRelease:
         except KeyError:
             raise NotFittedError(f"no release for t={t}") from None
         return release.answer(query, t, debias=debias)
+
+    def answer_batch(self, queries, times, debias: bool = True) -> np.ndarray:
+        """Workload grid via the scalar fallback.
+
+        Each round answers from a *different* inner release (the fresh
+        per-round synthesis), so there is no shared compiled plan to
+        amortize; the fallback is already the natural evaluation.
+        """
+        return scalar_answer_grid(self, queries, times, debias=debias)
 
     def padding(self, t: int):
         """Public padding spec of the round-``t`` single-shot synthesis.
@@ -287,20 +296,6 @@ class RecomputeBaseline:
         self._releases[self._t] = inner_release
         self._panels[self._t] = inner_release.synthetic_data()
         return self.release
-
-    def observe_column(self, column) -> RecomputeRelease:
-        """Deprecated spelling of :meth:`observe` (single-column form).
-
-        Kept as a working shim for one release window; new code should
-        call :meth:`observe`, which also accepts width-1
-        :class:`~repro.types.AttributeFrame` input.
-        """
-        warnings.warn(
-            "observe_column() is deprecated; use observe()",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.observe(column)
 
     def run(self, dataset: LongitudinalDataset) -> RecomputeRelease:
         """Batch driver."""

@@ -49,6 +49,7 @@ from repro.exceptions import (
     SerializationError,
 )
 from repro.queries.categorical import CategoricalWindowQuery
+from repro.queries.plan import query_signature
 from repro.rng import SeedLike
 
 __all__ = [
@@ -281,6 +282,35 @@ class CategoricalWindowRelease(WindowRelease):
         )
         self._check_denominators(populations, times, "n_original")
         return (counts - padding_count) / populations
+
+    def _compile_batch_query(self, query, options: dict):
+        """Compile a width-``k' <= k`` categorical query for the batch path.
+
+        Returns ``None`` — scalar fallback — for record-level wide
+        queries and foreign query types; an alphabet mismatch raises
+        exactly like the scalar :meth:`answer`.
+        """
+        if options:
+            return None
+        if (
+            getattr(query, "alphabet", None) is None
+            or getattr(query, "k", None) is None
+            or getattr(query, "weights", None) is None
+        ):
+            return None
+        self._check_query(query)
+        if query.k > self.window:
+            return None
+        signature = query_signature(query)
+        plans = self._synth._plan_cache
+        lifted = None if signature is None else plans.get(signature)
+        if lifted is None:
+            lifted = lift_categorical_weights(
+                query.weights, query.k, self.window, self.alphabet
+            )
+            if signature is not None:
+                plans[signature] = lifted
+        return lifted, self.padding.count_contribution(query)
 
     @staticmethod
     def _check_denominators(values: np.ndarray, times, label: str) -> None:

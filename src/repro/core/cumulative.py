@@ -27,7 +27,6 @@ of bits"): pass any name registered in :mod:`repro.streams.registry`.
 from __future__ import annotations
 
 import math
-import warnings
 
 import numpy as np
 
@@ -44,6 +43,7 @@ from repro.exceptions import (
     SerializationError,
 )
 from repro.queries.cumulative import HammingAtLeast, HammingExactly
+from repro.queries.plan import AnswerCache, compile_cumulative, workload_key
 from repro.rng import (
     SeedLike,
     as_generator,
@@ -184,6 +184,68 @@ class CumulativeRelease:
             f"cumulative release answers HammingAtLeast/HammingExactly, got {query!r}"
         )
 
+    @property
+    def version(self) -> int:
+        """Monotone state version: bumped by every mutation of the owner.
+
+        ``observe()``, ``load_state()``, and ``extend_horizon()`` each
+        increment it, so equal versions guarantee equal answers — the
+        key invariant behind the batched answer cache.
+        """
+        return self._synth._version
+
+    def answer_batch(self, queries, times) -> np.ndarray:
+        """Answer a Hamming-threshold workload as one table gather.
+
+        Compiles the workload through
+        :func:`repro.queries.plan.compile_cumulative` and evaluates the
+        whole ``(len(queries), len(times))`` grid with a single NumPy
+        gather over the threshold table plus one elementwise division —
+        **bit-identical** with looping :meth:`answer` over every cell
+        (integer counts divide exactly the same either way).  Cells with
+        ``t < 1`` are ``NaN``; any other out-of-range ``t`` raises like
+        the scalar call.  Results are memoized per release version, so
+        repeating a workload after a round costs one dictionary lookup.
+        """
+        queries = list(queries)
+        times = [int(t) for t in times]
+        key = workload_key(queries, times)
+        cache = self._synth._answer_cache
+        version = self.version
+        if key is not None:
+            hit = cache.get(version, key)
+            if hit is not None:
+                return hit
+        if self._synth._table is None:
+            raise NotFittedError("no data observed yet")
+        for query in queries:
+            if not isinstance(query, (HammingAtLeast, HammingExactly)):
+                raise ConfigurationError(
+                    "cumulative release answers HammingAtLeast/HammingExactly, "
+                    f"got {query!r}"
+                )
+        for t in times:
+            if t >= 1 and t > self._synth.t:
+                raise ConfigurationError(
+                    f"t must lie in [1, {self._synth.t}], got {t}"
+                )
+        horizon = self._synth.horizon
+        lower, upper = compile_cumulative(queries, horizon)
+        out = np.full((len(queries), len(times)), np.nan, dtype=np.float64)
+        valid = [i for i, t in enumerate(times) if t >= 1]
+        if valid:
+            t_arr = np.asarray([times[i] for i in valid], dtype=np.int64)
+            table = self._synth._table
+            augmented = np.concatenate(
+                [table, np.zeros((table.shape[0], 1), dtype=np.int64)], axis=1
+            )
+            sub = augmented[t_arr]
+            counts = sub[:, lower] - sub[:, upper]
+            out[:, valid] = (counts / sub[:, :1]).T
+        if key is not None:
+            cache.put(version, key, out)
+        return out
+
     def __repr__(self) -> str:
         return f"CumulativeRelease(t={self.t}, m={self.m if self._synth._store else '?'})"
 
@@ -283,6 +345,8 @@ class CumulativeSynthesizer:
             else None
         )
         self._release_view = CumulativeRelease(self)
+        self._version = 0
+        self._answer_cache = AnswerCache()
 
         self._t = 0
         self._horizon_extended = False
@@ -436,21 +500,8 @@ class CumulativeSynthesizer:
         self._table[t, 0] = n_ever
         # Thresholds above t keep their previous (zero) values.
         self._table[t, t + 1 :] = self._table[t - 1, t + 1 :]
+        self._version += 1
         return self.release
-
-    def observe_column(self, column, *, entrants: int = 0, exits=None) -> CumulativeRelease:
-        """Deprecated spelling of :meth:`observe` (single-column form).
-
-        Kept as a working shim for one release window; new code should
-        call :meth:`observe`, which also accepts width-1
-        :class:`~repro.types.AttributeFrame` input.
-        """
-        warnings.warn(
-            "observe_column() is deprecated; use observe()",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.observe(column, entrants=entrants, exits=exits)
 
     def run(self, dataset) -> CumulativeRelease:
         """Batch driver: feed every column of ``dataset`` and return the release.
@@ -586,6 +637,7 @@ class CumulativeSynthesizer:
             self._table = table
             self._store.extend_horizon(int(k))
         self._horizon_extended = True
+        self._version += 1
 
     def counter_error_stddev(self, b: int, position: int) -> float | None:
         """Error stddev of threshold ``b``'s counter at local stream ``position``.
@@ -887,6 +939,7 @@ class CumulativeSynthesizer:
                     payload=payload,
                     counter_kwargs=self._counter_kwargs,
                 )
+        self._version += 1
 
     # ------------------------------------------------------------------
     # Internals

@@ -52,6 +52,7 @@ from repro.exceptions import (
     SerializationError,
 )
 from repro.queries.base import WindowQuery
+from repro.queries.plan import query_signature
 from repro.rng import SeedLike
 
 __all__ = ["FixedWindowSynthesizer", "FixedWindowRelease"]
@@ -136,6 +137,26 @@ class FixedWindowRelease(WindowRelease):
         else:
             padding_count = self.padding.panel_count_answer(query, t)
         return debias_count_answer(count_answer, padding_count, self.population(t))
+
+    def _compile_batch_query(self, query, options: dict):
+        """Compile a width-``k' <= k`` binary window query for the batch path.
+
+        Returns ``None`` — scalar fallback — for record-level wide
+        queries, types other than :class:`~repro.queries.base.WindowQuery`,
+        and the time-dependent ``padding_convention="panel"``.
+        """
+        convention = options.get("padding_convention", "uniform")
+        if convention != "uniform" or any(k != "padding_convention" for k in options):
+            return None
+        if not isinstance(query, WindowQuery) or query.k > self.window:
+            return None
+        signature = query_signature(query)
+        plans = self._synth._plan_cache
+        lifted = plans.get(signature)
+        if lifted is None:
+            lifted = lift_window_weights(query.weights, query.k, self.window)
+            plans[signature] = lifted
+        return lifted, self.padding.count_contribution(query)
 
     def __repr__(self) -> str:
         return (

@@ -42,7 +42,6 @@ and checkpoints are identical.
 from __future__ import annotations
 
 import math
-import warnings
 from dataclasses import dataclass
 from fractions import Fraction
 from typing import Mapping, Sequence
@@ -285,6 +284,25 @@ class MultiAttributeRelease:
                 )
             attribute = 0
         return self.attribute(attribute).answer(query, t, debias=debias)
+
+    def answer_batch(
+        self, queries, times, debias: bool = True, *, attribute=None
+    ) -> np.ndarray:
+        """Answer a workload on one attribute's release as a grid.
+
+        Same attribute resolution as :meth:`answer`; the per-attribute
+        release runs the compiled batch path (and owns the
+        release-versioned answer cache), so the grid is bit-identical
+        with looping :meth:`answer` over the workload.
+        """
+        if attribute is None:
+            if self._synth.width != 1:
+                raise ConfigurationError(
+                    "answer_batch() needs attribute= when the synthesizer holds "
+                    f"{self._synth.width} attributes {self.attribute_names}"
+                )
+            attribute = 0
+        return self.attribute(attribute).answer_batch(queries, times, debias=debias)
 
     # -- cross-attribute marginals -------------------------------------
 
@@ -779,20 +797,6 @@ class MultiAttributeSynthesizer:
                 counts
             )
         return self._release_view
-
-    def observe_column(self, column) -> MultiAttributeRelease:
-        """Deprecated spelling of :meth:`observe` (single-column form).
-
-        Kept as a working shim for one release window; new code should
-        call :meth:`observe`, which also accepts
-        :class:`~repro.types.AttributeFrame` input.
-        """
-        warnings.warn(
-            "observe_column() is deprecated; use observe()",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.observe(column)
 
     def run(self, dataset) -> MultiAttributeRelease:
         """Batch driver over per-attribute panels.

@@ -32,7 +32,6 @@ speedup).
 from __future__ import annotations
 
 import math
-import warnings
 from fractions import Fraction
 
 import numpy as np
@@ -46,6 +45,7 @@ from repro.core.consistency import (
 from repro.core.padding import PaddingSpec
 from repro.core.population import PopulationLedger
 from repro.core.synthetic_store import WindowSyntheticStore
+from repro.queries.plan import AnswerCache, workload_key
 from repro.data.dataset import DynamicPanel
 from repro.dp.accountant import ZCDPAccountant
 from repro.dp.mechanisms import GaussianHistogramMechanism
@@ -173,6 +173,101 @@ class WindowRelease:
     def released_times(self) -> list[int]:
         """Rounds with a released histogram, ascending."""
         return sorted(self._synth._histograms)
+
+    # -- batched query answering ---------------------------------------
+
+    @property
+    def version(self) -> int:
+        """Monotone state version: bumped by every mutation of the owner.
+
+        ``observe()`` and ``load_state()`` each increment it, so equal
+        versions guarantee equal answers — the key invariant behind the
+        batched answer cache.
+        """
+        return self._synth._version
+
+    def _compile_batch_query(self, query, options: dict):
+        """Compile one query for the batched path (subclass hook).
+
+        Returns ``(lifted_weights, padding_count)`` when the query is a
+        histogram query this release can vectorize, or ``None`` to route
+        it through the scalar :meth:`answer` per cell (record-level wide
+        queries, foreign query types, non-default conventions).
+        """
+        return None
+
+    def answer_batch(self, queries, times, debias: bool = True, **kwargs) -> np.ndarray:
+        """Answer a whole window-query workload as one grid.
+
+        Each histogram query is lifted to width ``k`` once (compiled
+        plans are memoized per query signature) and answered over all
+        requested rounds with the histogram fetch, padding lookup, and
+        population denominators hoisted out of the per-cell loop; the
+        count itself stays the scalar path's dot product per cell, so
+        every entry is **bit-identical** with :meth:`answer`.  Cells
+        with ``t < query.min_time()`` are ``NaN``; queries the planner
+        cannot compile fall back to the scalar call per cell.  Results
+        are memoized per release version.
+        """
+        queries = list(queries)
+        times = [int(t) for t in times]
+        key = workload_key(queries, times, debias=bool(debias), **kwargs)
+        cache = self._synth._answer_cache
+        version = self.version
+        if key is not None:
+            hit = cache.get(version, key)
+            if hit is not None:
+                return hit
+        out = np.full((len(queries), len(times)), np.nan, dtype=np.float64)
+        histograms: dict[int, np.ndarray] = {}
+        populations: dict[int, int] = {}
+        synthetic: dict[int, int] = {}
+        for qi, query in enumerate(queries):
+            floor = query.min_time()
+            cells = [i for i, t in enumerate(times) if t >= floor]
+            if not cells:
+                continue
+            compiled = self._compile_batch_query(query, kwargs)
+            if compiled is None:
+                for i in cells:
+                    out[qi, i] = self.answer(query, times[i], debias=debias, **kwargs)
+                continue
+            lifted, padding_count = compiled
+            counts = np.empty(len(cells), dtype=np.float64)
+            for j, i in enumerate(cells):
+                t = times[i]
+                row = histograms.get(t)
+                if row is None:
+                    row = self._synth._histograms.get(t)
+                    if row is None:
+                        raise NotFittedError(f"no histogram released for t={t}")
+                    histograms[t] = row
+                # The same dot product the scalar path computes — BLAS
+                # gemv is *not* bitwise equal to per-row ddot, so the
+                # batch speedup comes from hoisting everything else.
+                counts[j] = float(lifted @ row)
+            denominators = np.empty(len(cells), dtype=np.float64)
+            if not debias:
+                for j, i in enumerate(cells):
+                    t = times[i]
+                    if t not in synthetic:
+                        synthetic[t] = self.synthetic_population(t)
+                    denominators[j] = synthetic[t]
+                out[qi, cells] = counts / denominators
+                continue
+            for j, i in enumerate(cells):
+                t = times[i]
+                if t not in populations:
+                    populations[t] = self.population(t)
+                denominators[j] = populations[t]
+            if denominators.min() <= 0:
+                raise ConfigurationError(
+                    f"n_original must be positive, got {int(denominators.min())}"
+                )
+            out[qi, cells] = (counts - padding_count) / denominators
+        if key is not None:
+            cache.put(version, key, out)
+        return out
 
 
 class WindowEngine:
@@ -328,6 +423,9 @@ class WindowEngine:
         self._histograms: dict[int, np.ndarray] = {}
         self._negative_events = 0
         self._release_view = self._make_release()
+        self._version = 0
+        self._answer_cache = AnswerCache()
+        self._plan_cache: dict = {}
 
     # ------------------------------------------------------------------
     # Subclass hooks
@@ -460,6 +558,7 @@ class WindowEngine:
         # Rounds past the horizon were rejected above (round 1 cannot
         # exceed it: the constructor requires horizon >= window >= 1).
         self._t += 1
+        self._version += 1
         column = column.astype(np.int64)
         full_column = self._ledger.scatter_column(column)
 
@@ -484,20 +583,6 @@ class WindowEngine:
         true_counts = np.bincount(codes, minlength=q**self.window).astype(np.int64)
         self._update_step(true_counts, entrants=entrants, exit_count=exit_count)
         return self.release
-
-    def observe_column(self, column, *, entrants: int = 0, exits=None):
-        """Deprecated spelling of :meth:`observe` (single-column form).
-
-        Kept as a working shim for one release window; new code should
-        call :meth:`observe`, which also accepts width-1
-        :class:`~repro.types.AttributeFrame` input.
-        """
-        warnings.warn(
-            "observe_column() is deprecated; use observe()",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.observe(column, entrants=entrants, exits=exits)
 
     def run(self, dataset):
         """Batch driver: feed every column of ``dataset`` and return the release.
@@ -748,6 +833,7 @@ class WindowEngine:
                     f"store alphabet {self._store.alphabet} disagrees with the "
                     f"synthesizer alphabet {self.alphabet}"
                 )
+        self._version += 1
 
     # ------------------------------------------------------------------
     # Internals

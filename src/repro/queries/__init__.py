@@ -26,6 +26,16 @@ from repro.queries.cumulative import (
     HammingExactly,
     cumulative_as_window_weights,
 )
+from repro.queries.plan import (
+    AnswerCache,
+    compile_cumulative,
+    decode_workload,
+    encode_workload,
+    query_signature,
+    release_answer_grid,
+    scalar_answer_grid,
+    workload_key,
+)
 from repro.queries.window import (
     AllOnes,
     AtLeastMConsecutiveOnes,
@@ -57,4 +67,12 @@ __all__ = [
     "cumulative_as_window_weights",
     "quarterly_poverty_workload",
     "cumulative_threshold_series",
+    "AnswerCache",
+    "compile_cumulative",
+    "decode_workload",
+    "encode_workload",
+    "query_signature",
+    "release_answer_grid",
+    "scalar_answer_grid",
+    "workload_key",
 ]

@@ -50,6 +50,7 @@ from concurrent.futures import ThreadPoolExecutor
 import numpy as np
 
 from repro.exceptions import ConfigurationError, ConsistencyError
+from repro.queries.plan import decode_workload, encode_workload, scalar_answer_grid
 from repro.types import AttributeFrame
 
 __all__ = [
@@ -79,6 +80,29 @@ EXECUTOR_STRATEGIES = ("serial", "thread", "process")
 #: Environment override for the default strategy (used when the service
 #: is constructed without an explicit ``executor=``).
 EXECUTOR_ENV = "REPRO_SHARD_EXECUTOR"
+
+
+def _kwargs_key(kwargs: dict):
+    """Hashable form of an answer-kwargs dict, or ``None`` if unhashable."""
+    try:
+        key = tuple(sorted(kwargs.items()))
+        hash(key)
+    except TypeError:
+        return None
+    return key
+
+
+def _release_grid(release, queries, times, kwargs: dict) -> np.ndarray:
+    """One release's ``(queries, times)`` answer grid, kwargs forwarded.
+
+    Uses the release's compiled ``answer_batch`` when it has one (every
+    built-in release does), falling back to the scalar loop — both are
+    bit-identical with per-cell ``answer`` calls by contract.
+    """
+    batch = getattr(release, "answer_batch", None)
+    if batch is None:
+        return scalar_answer_grid(release, queries, times, **kwargs)
+    return np.asarray(batch(list(queries), [int(t) for t in times], **kwargs))
 
 
 def merge_weight(algorithm: str, release, t: int, **kwargs) -> float:
@@ -167,6 +191,11 @@ class ShardExecutor:
         self._algorithm = str(algorithm)
         self._policy = policy
         self._disabled: set[int] = set()
+        # Merge-weight memo: population denominators are pure functions of
+        # shard state, so they are computed once per (shard, t, kwargs)
+        # between rounds instead of on every answer call.  Cleared whenever
+        # a round dispatches (shard state advances).
+        self._weight_memo: dict = {}
 
     @property
     def n_shards(self) -> int:
@@ -226,6 +255,17 @@ class ShardExecutor:
         """Per-shard ``(weight, answer)`` pairs at round ``t``, shard order."""
         raise NotImplementedError
 
+    def answer_batch(self, queries, times, kwargs: dict) -> list:
+        """Per-shard ``(weights, grid)`` pairs for a whole workload.
+
+        ``weights`` is the length-``len(times)`` merge-weight vector and
+        ``grid`` the shard's ``(len(queries), len(times))`` answer grid;
+        disabled shards contribute ``None``.  One call ships the entire
+        workload to every shard — under the process strategy that is one
+        RPC per worker instead of one per ``(query, time)`` cell.
+        """
+        raise NotImplementedError
+
     def ledgers(self) -> list[tuple[float, float]]:
         """Per-shard ``(spent, remaining)`` zCDP, in shard order."""
         raise NotImplementedError
@@ -239,10 +279,29 @@ class ShardExecutor:
 
     # -- shared in-process implementations ------------------------------
 
+    def _shard_weight(self, shard, t: int, kwargs: dict) -> float:
+        """Memoized merge weight of one shard at round ``t``."""
+        options = _kwargs_key(kwargs)
+        if options is None:
+            return merge_weight(self._algorithm, shard.release, t, **kwargs)
+        key = (id(shard), int(t), options)
+        weight = self._weight_memo.get(key)
+        if weight is None:
+            weight = merge_weight(self._algorithm, shard.release, t, **kwargs)
+            self._weight_memo[key] = weight
+        return weight
+
     def _answer_one(self, shard, query, t: int, kwargs: dict) -> tuple[float, float]:
+        weight = self._shard_weight(shard, t, kwargs)
+        return weight, shard.release.answer(query, t, **kwargs)
+
+    def _batch_one(self, shard, queries, times, kwargs: dict):
         release = shard.release
-        weight = merge_weight(self._algorithm, release, t, **kwargs)
-        return weight, release.answer(query, t, **kwargs)
+        weights = np.asarray(
+            [self._shard_weight(shard, t, kwargs) for t in times],
+            dtype=np.float64,
+        )
+        return weights, _release_grid(release, queries, times, kwargs)
 
     def _ledger_one(self, shard) -> tuple[float, float]:
         accountant = shard.synthesizer.accountant
@@ -270,6 +329,8 @@ class SerialShardExecutor(ShardExecutor):
     strategy = "serial"
 
     def dispatch_round(self, jobs: list) -> RoundTicket:
+        self._weight_memo.clear()
+
         def run() -> int:
             advanced = 0
             for index, (shard, (column, entrants, exits)) in enumerate(
@@ -301,6 +362,9 @@ class SerialShardExecutor(ShardExecutor):
 
     def answer(self, query, t: int, kwargs: dict) -> list:
         return self._map_live(self._answer_one, query, t, kwargs)
+
+    def answer_batch(self, queries, times, kwargs: dict) -> list:
+        return self._map_live(self._batch_one, queries, times, kwargs)
 
     def ledgers(self) -> list:
         return self._map_live(self._ledger_one)
@@ -356,6 +420,7 @@ class ThreadShardExecutor(ShardExecutor):
         return results
 
     def dispatch_round(self, jobs: list) -> RoundTicket:
+        self._weight_memo.clear()
         futures = [
             None
             if index in self._disabled
@@ -393,6 +458,9 @@ class ThreadShardExecutor(ShardExecutor):
     def answer(self, query, t: int, kwargs: dict) -> list:
         return self._join(self._submit_live(self._answer_one, query, t, kwargs))
 
+    def answer_batch(self, queries, times, kwargs: dict) -> list:
+        return self._join(self._submit_live(self._batch_one, queries, times, kwargs))
+
     def ledgers(self) -> list:
         return [
             None if index in self._disabled else self._ledger_one(shard)
@@ -426,6 +494,21 @@ def _worker_loop(shard, algorithm: str, conn) -> None:
     from multiprocessing import shared_memory
 
     segments: OrderedDict[str, object] = OrderedDict()
+    # Worker-side merge-weight memo, mirroring the in-process executors'
+    # (see ShardExecutor._shard_weight): cleared whenever the shard
+    # advances, so cached denominators never go stale.
+    weight_memo: dict = {}
+
+    def shard_weight(t: int, kwargs: dict) -> float:
+        options = _kwargs_key(kwargs)
+        if options is None:
+            return merge_weight(algorithm, shard.release, t, **kwargs)
+        key = (int(t), options)
+        weight = weight_memo.get(key)
+        if weight is None:
+            weight = merge_weight(algorithm, shard.release, t, **kwargs)
+            weight_memo[key] = weight
+        return weight
 
     def attach(name: str):
         segment = segments.get(name)
@@ -472,6 +555,7 @@ def _worker_loop(shard, algorithm: str, conn) -> None:
                         del view
                     else:
                         column = np.empty(0, dtype=np.dtype(dtype))
+                    weight_memo.clear()
                     shard.observe(column, entrants=entrants, exits=exits)
                     conn.send(("ok", None))
                 elif tag == "observe_frame":
@@ -491,13 +575,38 @@ def _worker_loop(shard, algorithm: str, conn) -> None:
                     else:
                         matrix = np.empty((0, width), dtype=np.dtype(dtype))
                     frame = AttributeFrame(matrix, names)
+                    weight_memo.clear()
                     shard.observe(frame, entrants=entrants, exits=exits)
                     conn.send(("ok", None))
                 elif tag == "answer":
                     _, query, t, kwargs = message
-                    release = shard.release
-                    weight = merge_weight(algorithm, release, t, **kwargs)
-                    conn.send(("ok", (weight, release.answer(query, t, **kwargs))))
+                    weight = shard_weight(t, kwargs)
+                    conn.send(
+                        ("ok", (weight, shard.release.answer(query, t, **kwargs)))
+                    )
+                elif tag == "answer_batch":
+                    _, name, offset, size, spec, times, kwargs = message
+                    if size:
+                        segment = attach(name)
+                        view = np.ndarray(
+                            (size,),
+                            dtype=np.float64,
+                            buffer=segment.buf,
+                            offset=offset,
+                        )
+                        # Private copy: the parent may restage the buffer
+                        # for the next round as soon as we acknowledge.
+                        flat = np.array(view)
+                        del view
+                    else:
+                        flat = np.empty(0, dtype=np.float64)
+                    queries = decode_workload(spec, flat)
+                    weights = np.asarray(
+                        [shard_weight(t, kwargs) for t in times],
+                        dtype=np.float64,
+                    )
+                    grid = _release_grid(shard.release, queries, times, kwargs)
+                    conn.send(("ok", (weights, grid)))
                 elif tag == "ledger":
                     accountant = shard.synthesizer.accountant
                     if accountant is None:
@@ -814,6 +923,26 @@ class ProcessShardExecutor(ShardExecutor):
 
     def answer(self, query, t: int, kwargs: dict) -> list:
         return self._request_all(("answer", query, t, kwargs))
+
+    def answer_batch(self, queries, times, kwargs: dict) -> list:
+        """Ship the compiled workload to every worker in one RPC each.
+
+        The query weight buffers are staged once through a shared-memory
+        segment (the parity buffer that is idle — the service drains all
+        in-flight rounds before answering) and every worker copies out of
+        the same staging bytes, so the fan-out cost is one flat-array
+        write plus one small spec message per live worker.
+        """
+        spec, flat = encode_workload(queries)
+        name = None
+        if flat.size:
+            stage = self._stages[self._rounds_dispatched % 2]
+            stage.ensure(flat.nbytes)
+            stage.write(0, flat)
+            name = stage.name
+        return self._request_all(
+            ("answer_batch", name, 0, int(flat.size), spec, list(times), kwargs)
+        )
 
     def ledgers(self) -> list:
         return self._request_all(("ledger",))

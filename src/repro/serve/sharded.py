@@ -59,6 +59,7 @@ from repro.exceptions import (
     RecoveryError,
     SerializationError,
 )
+from repro.queries.plan import AnswerCache, workload_key
 from repro.rng import SeedLike, spawn
 from repro.serve.checkpoint import read_bundle, write_bundle
 from repro.serve.executor import RoundTicket, make_executor
@@ -180,6 +181,11 @@ class ShardedService:
             self._alphabets = None
         self._executor = make_executor(executor, shards, self.algorithm, policy)
         self._pending: deque[tuple[int, RoundTicket]] = deque()
+        # Release version for the batched answer cache: bumped by every
+        # committed round and by shard disablement (restore builds a fresh
+        # service, so its cache starts empty).
+        self._version = 0
+        self._answer_cache = AnswerCache()
 
     @classmethod
     def _from_shards(
@@ -368,34 +374,6 @@ class ShardedService:
         self.observe_async(data, entrants=entrants, exits=exits).wait()
         return self
 
-    def observe_round(self, column, *, entrants: int = 0, exits=None) -> "ShardedService":
-        """Deprecated spelling of :meth:`observe`.
-
-        Kept as a working shim for one release window; new code should
-        call :meth:`observe`.
-        """
-        warnings.warn(
-            "observe_round() is deprecated; use observe()",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.observe(column, entrants=entrants, exits=exits)
-
-    def observe_round_async(
-        self, column, *, entrants: int = 0, exits=None
-    ) -> RoundTicket:
-        """Deprecated spelling of :meth:`observe_async`.
-
-        Kept as a working shim for one release window; new code should
-        call :meth:`observe_async`.
-        """
-        warnings.warn(
-            "observe_round_async() is deprecated; use observe_async()",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.observe_async(column, entrants=entrants, exits=exits)
-
     def observe_async(
         self, data, *, entrants: int = 0, exits=None
     ) -> RoundTicket:
@@ -529,6 +507,7 @@ class ShardedService:
                     )
             raise
         self._t = round_number
+        self._version += 1
         ticket = RoundTicket(lambda: self._join_round(round_number, inner))
         self._pending.append((round_number, ticket))
         if inner.done:
@@ -725,6 +704,55 @@ class ShardedService:
             total += weight
         return weighted / total
 
+    def answer_batch(self, queries, times, **kwargs) -> np.ndarray:
+        """Merged answers for a whole workload, as one grid.
+
+        Ships the compiled workload to every shard in a single executor
+        round-trip (one RPC per worker under the ``"process"`` strategy)
+        and merges the per-shard answer matrices with the same
+        shard-order weighted accumulation as :meth:`answer` — the
+        returned grid is bit-identical with calling :meth:`answer` per
+        ``(query, time)`` cell.
+
+        Parameters
+        ----------
+        queries, times:
+            The workload grid; every ``t`` must be an answerable round.
+            Cells with ``t < query.min_time()`` come back ``NaN``.
+        **kwargs:
+            Forwarded to every shard release (e.g. ``debias=``).
+
+        Returns
+        -------
+        numpy.ndarray
+            The ``(len(queries), len(times))`` float64 merged grid.
+            Results are cached per service release-version, so repeating
+            a workload between rounds costs one dictionary lookup; any
+            committed round or shard disablement invalidates the cache.
+        """
+        self._check_not_poisoned()
+        self._drain()
+        self._warn_if_degraded("answer_batch")
+        queries = list(queries)
+        times = [int(t) for t in times]
+        key = workload_key(queries, times, **kwargs)
+        if key is not None:
+            hit = self._answer_cache.get(self._version, key)
+            if hit is not None:
+                return hit
+        weighted = np.zeros((len(queries), len(times)), dtype=np.float64)
+        total = np.zeros(len(times), dtype=np.float64)
+        for pair in self._executor.answer_batch(queries, times, dict(kwargs)):
+            if pair is None:  # disabled shard (degraded mode)
+                continue
+            weights, grid = pair
+            weighted += weights[None, :] * grid
+            total += weights
+        out = weighted / total[None, :]
+        if key is not None:
+            self._answer_cache.put(self._version, key, out)
+        return out
+
     def _check_not_poisoned(self) -> None:
         """Refuse to operate on a desynchronized service."""
         if self._poisoned is not None:
@@ -794,6 +822,7 @@ class ShardedService:
             )
         self._disabled[int(index)] = str(reason)
         self._executor.disable(int(index))
+        self._version += 1  # degraded merges must not reuse cached grids
 
     def health_report(self) -> list[dict]:
         """Per-shard status for operators and the supervision layer.

@@ -35,7 +35,6 @@ Example
 
 from __future__ import annotations
 
-import warnings
 
 from repro.core.categorical_window import CategoricalWindowSynthesizer
 from repro.core.cumulative import CumulativeSynthesizer
@@ -320,19 +319,6 @@ class StreamingSynthesizer:
             churn declarations.
         """
         return self._synthesizer.observe(data, entrants=entrants, exits=exits)
-
-    def observe_round(self, column, *, entrants: int = 0, exits=None):
-        """Deprecated spelling of :meth:`observe`.
-
-        Kept as a working shim for one release window; new code should
-        call :meth:`observe`.
-        """
-        warnings.warn(
-            "observe_round() is deprecated; use observe()",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.observe(column, entrants=entrants, exits=exits)
 
     def lifespans(self):
         """Per-individual ``(entry_round, exit_round)`` pairs so far.

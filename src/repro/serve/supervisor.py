@@ -405,14 +405,20 @@ class SupervisedService:
             self._recover(reason="answer after failure")
         return self._service.answer(query, t, **kwargs)
 
-    def observe_round(self, column, *, entrants: int = 0, exits=None) -> JournalRecord:
-        """Deprecated alias for :meth:`observe` (kept one release window)."""
-        warnings.warn(
-            "observe_round() is deprecated; use observe()",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.observe(column, entrants=entrants, exits=exits)
+    def answer_batch(self, queries, times, **kwargs):
+        """Merged answer grid for a workload (see ``ShardedService.answer_batch``).
+
+        Recovers a failed service first, exactly like :meth:`answer`,
+        then passes the batch through unchanged.
+
+        Returns
+        -------
+        numpy.ndarray
+            The ``(len(queries), len(times))`` merged grid.
+        """
+        if self._needs_recovery:
+            self._recover(reason="answer_batch after failure")
+        return self._service.answer_batch(queries, times, **kwargs)
 
     def observe(self, column, *, entrants: int = 0, exits=None) -> JournalRecord:
         """Ingest and durably publish the next round.

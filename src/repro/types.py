@@ -11,16 +11,16 @@ Two layers live here:
   ``d >= 2``.
 * The **structural protocols**: :class:`Synthesizer` (the full modern
   surface — ``observe`` / ``run`` / ``release`` / ``config_dict`` /
-  ``state_dict``) and :class:`Release` (``answer``).  Third parties can
+  ``state_dict``) and :class:`Release` (scalar ``answer`` plus the
+  batched ``answer_batch`` workload surface).  Third parties can
   implement their own synthesizers or release objects and use them with
   the replication harness, the serving layer, and the experiment
   machinery, as long as they satisfy these protocols; the conformance
   test suite asserts that every built-in class does.
 
-The pre-PR-9 protocols (:class:`SynthesizerProtocol`, keyed on the
-deprecated ``observe_column`` spelling, and :class:`ReleaseProtocol`)
-remain exported for one release window; the built-ins keep satisfying
-them through their deprecation shims.
+The pre-PR-9 protocols (``SynthesizerProtocol``, keyed on the removed
+``observe_column`` spelling, and ``ReleaseProtocol``) are gone along
+with the deprecation shims — their one-release migration window is up.
 """
 
 from __future__ import annotations
@@ -36,8 +36,6 @@ __all__ = [
     "as_frame",
     "Synthesizer",
     "Release",
-    "SynthesizerProtocol",
-    "ReleaseProtocol",
     "StreamCounterProtocol",
 ]
 
@@ -248,10 +246,23 @@ def as_frame(data, names: Sequence[str] | None = None) -> AttributeFrame:
 
 @runtime_checkable
 class Release(Protocol):
-    """A released artifact that answers queries at released rounds."""
+    """A released artifact that answers queries at released rounds.
+
+    ``answer`` is the scalar path; ``answer_batch`` answers a whole
+    workload as a ``(len(queries), len(times))`` float64 grid with
+    ``NaN`` where ``t < query.min_time()``, **bit-identical** with the
+    scalar loop.  Implementations may vectorize through
+    :mod:`repro.queries.plan`; the scalar fallback
+    :func:`repro.queries.plan.scalar_answer_grid` satisfies the
+    contract for any release.
+    """
 
     def answer(self, query, t: int, *args, **kwargs) -> float:
         """Answer a query at round ``t``."""
+        ...
+
+    def answer_batch(self, queries, times, *args, **kwargs) -> np.ndarray:
+        """Answer a workload of queries at a set of rounds as one grid."""
         ...
 
 
@@ -284,37 +295,6 @@ class Synthesizer(Protocol):
 
     def state_dict(self, *, copy: bool = True) -> dict:
         """Snapshot of the mutable state (checkpoint ``state``)."""
-        ...
-
-
-@runtime_checkable
-class ReleaseProtocol(Protocol):
-    """Pre-PR-9 release protocol (kept for one release window)."""
-
-    def answer(self, query, t: int, *args, **kwargs) -> float:
-        """Answer a query at round ``t``."""
-        ...
-
-
-@runtime_checkable
-class SynthesizerProtocol(Protocol):
-    """Pre-PR-9 synthesizer protocol, keyed on ``observe_column``.
-
-    The built-ins keep satisfying it through their deprecation shims;
-    new code should target :class:`Synthesizer`.
-    """
-
-    def observe_column(self, column) -> ReleaseProtocol:
-        """Consume one round's report vector; return the release view."""
-        ...
-
-    def run(self, dataset) -> ReleaseProtocol:
-        """Batch driver over a whole panel."""
-        ...
-
-    @property
-    def release(self) -> ReleaseProtocol:
-        """View of everything released so far."""
         ...
 
 

@@ -121,8 +121,8 @@ class TestCumulativeCI:
         )
         # Observe only 2 rounds: counter b=5 not created yet.
         columns = panel.columns()
-        synth.observe_column(next(columns))
-        synth.observe_column(next(columns))
+        synth.observe(next(columns))
+        synth.observe(next(columns))
         release = synth.release
         lower, upper = cumulative_answer_ci(release, HammingAtLeast(5), 2)
         assert lower == upper == 0.0

@@ -37,27 +37,27 @@ class TestValidation:
     def test_column_validation(self):
         baseline = PrivateDensityBaseline(4, 2, 1.0, seed=0)
         with pytest.raises(DataValidationError, match="1-D"):
-            baseline.observe_column(np.zeros((2, 2), dtype=int))
+            baseline.observe(np.zeros((2, 2), dtype=int))
         with pytest.raises(DataValidationError, match="empty"):
-            baseline.observe_column(np.array([], dtype=int))
+            baseline.observe(np.array([], dtype=int))
         with pytest.raises(DataValidationError, match="integers"):
-            baseline.observe_column(np.array([0.5, 0.5]))
+            baseline.observe(np.array([0.5, 0.5]))
         with pytest.raises(DataValidationError, match="lie in"):
-            baseline.observe_column(np.array([0, 2]))
+            baseline.observe(np.array([0, 2]))
 
     def test_population_size_locked_after_first_column(self):
         baseline = PrivateDensityBaseline(4, 2, 1.0, seed=0)
-        baseline.observe_column(np.array([0, 1, 0]))
+        baseline.observe(np.array([0, 1, 0]))
         with pytest.raises(DataValidationError, match="entries"):
-            baseline.observe_column(np.array([0, 1]))
+            baseline.observe(np.array([0, 1]))
 
     def test_horizon_exhausted(self):
         baseline = PrivateDensityBaseline(2, 1, 1.0, seed=0)
         column = np.array([0, 1])
-        baseline.observe_column(column)
-        baseline.observe_column(column)
+        baseline.observe(column)
+        baseline.observe(column)
         with pytest.raises(DataValidationError, match="exhausted"):
-            baseline.observe_column(column)
+            baseline.observe(column)
 
     def test_run_requires_matching_panel(self):
         panel = two_state_markov(50, 6, 0.8, 0.1, seed=0)
@@ -69,7 +69,7 @@ class TestValidation:
     def test_run_requires_fresh_baseline(self):
         panel = two_state_markov(50, 4, 0.8, 0.1, seed=1)
         baseline = PrivateDensityBaseline(4, 2, 1.0, seed=0)
-        baseline.observe_column(panel.matrix[:, 0])
+        baseline.observe(panel.matrix[:, 0])
         with pytest.raises(ConfigurationError, match="fresh"):
             baseline.run(panel)
 
@@ -81,7 +81,7 @@ class TestReleaseSurfaces:
 
     def test_no_release_before_window_fills(self, panel):
         baseline = PrivateDensityBaseline(6, 3, 1.0, seed=0)
-        release = baseline.observe_column(panel.matrix[:, 0])
+        release = baseline.observe(panel.matrix[:, 0])
         assert isinstance(release, DensityRelease)
         with pytest.raises(NotFittedError):
             release.density(1)

@@ -227,7 +227,7 @@ class TestCategoricalSynthesizer:
             horizon=4, window=2, alphabet=3, rho=0.5, seed=8
         )
         with pytest.raises(DataValidationError):
-            synth.observe_column(np.array([0, 3]))
+            synth.observe(np.array([0, 3]))
 
     def test_padding_panel_uniform(self):
         synth = CategoricalWindowSynthesizer(

@@ -176,23 +176,23 @@ class TestCumulativeChurn:
 
     def test_entrant_in_round_one_is_the_initial_admission(self):
         synth = CumulativeSynthesizer(4, math.inf, seed=0)
-        synth.observe_column([1, 0, 1], entrants=2)
+        synth.observe([1, 0, 1], entrants=2)
         assert synth.lifespans().tolist() == [[1, 0]] * 3
         with pytest.raises(DataValidationError, match="entrants"):
-            CumulativeSynthesizer(4, math.inf, seed=0).observe_column(
+            CumulativeSynthesizer(4, math.inf, seed=0).observe(
                 [1, 0], entrants=3
             )
 
     def test_exits_in_round_one_rejected(self):
         synth = CumulativeSynthesizer(4, math.inf, seed=0)
         with pytest.raises(DataValidationError, match="nobody can exit"):
-            synth.observe_column([1, 0], exits=[0])
+            synth.observe([1, 0], exits=[0])
 
     def test_departure_in_final_round(self):
         synth = CumulativeSynthesizer(3, math.inf, seed=0)
-        synth.observe_column([1, 1, 0])
-        synth.observe_column([0, 1, 1])
-        release = synth.observe_column([1, 0], exits=[1])
+        synth.observe([1, 1, 0])
+        synth.observe([0, 1, 1])
+        release = synth.observe([1, 0], exits=[1])
         table = release.threshold_table()
         # Individual 1's weight froze at 2; the final column has reports
         # from individuals 0 and 2 only.
@@ -201,30 +201,30 @@ class TestCumulativeChurn:
 
     def test_empty_population_mid_stream_then_reentry_of_fresh_ids(self):
         synth = CumulativeSynthesizer(5, math.inf, seed=0)
-        synth.observe_column([1, 0])
-        synth.observe_column([], exits=[0, 1])
-        synth.observe_column([])
-        release = synth.observe_column([1, 1, 0], entrants=3)
+        synth.observe([1, 0])
+        synth.observe([], exits=[0, 1])
+        synth.observe([])
+        release = synth.observe([1, 1, 0], entrants=3)
         assert synth.lifespans().tolist() == [[1, 2], [1, 2], [4, 0], [4, 0], [4, 0]]
         assert release.threshold_table()[4].tolist()[:3] == [5, 3, 0]
         assert synth.check_invariants()
 
     def test_reentry_rejected(self, churned_panel):
         synth = CumulativeSynthesizer(4, math.inf, seed=0)
-        synth.observe_column([1, 0, 1])
-        synth.observe_column([0, 1], exits=[2])
+        synth.observe([1, 0, 1])
+        synth.observe([0, 1], exits=[2])
         with pytest.raises(DataValidationError, match="already departed"):
-            synth.observe_column([0], exits=[2])
+            synth.observe([0], exits=[2])
         # The failed round left the clock untouched.
         assert synth.t == 2
 
     def test_column_length_must_match_declared_churn(self):
         synth = CumulativeSynthesizer(4, math.inf, seed=0)
-        synth.observe_column([1, 0, 1])
+        synth.observe([1, 0, 1])
         with pytest.raises(DataValidationError, match="expected 3"):
-            synth.observe_column([1, 0], entrants=0)
+            synth.observe([1, 0], entrants=0)
         with pytest.raises(DataValidationError, match="expected 4"):
-            synth.observe_column([1, 0], entrants=1)
+            synth.observe([1, 0], entrants=1)
 
     @pytest.mark.parametrize("engine", ["vectorized", "scalar"])
     def test_checkpoint_restore_mid_churn_byte_identity(self, churned_panel, engine):
@@ -232,13 +232,13 @@ class TestCumulativeChurn:
         paused = CumulativeSynthesizer(10, 0.4, seed=3, engine=engine)
         events = list(churned_panel.rounds())
         for column, entrants, exits in events[:6]:
-            uninterrupted.observe_column(column, entrants=entrants, exits=exits)
-            paused.observe_column(column, entrants=entrants, exits=exits)
+            uninterrupted.observe(column, entrants=entrants, exits=exits)
+            paused.observe(column, entrants=entrants, exits=exits)
         resumed = CumulativeSynthesizer.from_config(paused.config_dict())
         resumed.load_state(paused.state_dict())
         for column, entrants, exits in events[6:]:
-            uninterrupted.observe_column(column, entrants=entrants, exits=exits)
-            resumed.observe_column(column, entrants=entrants, exits=exits)
+            uninterrupted.observe(column, entrants=entrants, exits=exits)
+            resumed.observe(column, entrants=entrants, exits=exits)
         assert (
             uninterrupted.release.threshold_table()
             == resumed.release.threshold_table()
@@ -277,9 +277,9 @@ class TestFixedWindowChurn:
         # Window 3: entrants and exits before the first release land in
         # the first histogram via zero-filled codes.
         synth = FixedWindowSynthesizer(6, 3, math.inf, seed=0)
-        synth.observe_column([1, 1])
-        synth.observe_column([0, 1, 1], entrants=1)
-        release = synth.observe_column([1, 0], exits=[1])
+        synth.observe([1, 1])
+        synth.observe([0, 1, 1], entrants=1)
+        release = synth.observe([1, 0], exits=[1])
         hist = release.histogram(3)
         # id0: (1,0,1)=5; id1 departed: (1,1,0)->zero-filled (1,1,0)=6;
         # id2 entered at 2: (0,1,0)=2.
@@ -300,13 +300,13 @@ class TestFixedWindowChurn:
         paused = FixedWindowSynthesizer(10, 3, 0.4, seed=3)
         events = list(churned_panel.rounds())
         for column, entrants, exits in events[:6]:
-            uninterrupted.observe_column(column, entrants=entrants, exits=exits)
-            paused.observe_column(column, entrants=entrants, exits=exits)
+            uninterrupted.observe(column, entrants=entrants, exits=exits)
+            paused.observe(column, entrants=entrants, exits=exits)
         resumed = FixedWindowSynthesizer.from_config(paused.config_dict())
         resumed.load_state(paused.state_dict())
         for column, entrants, exits in events[6:]:
-            uninterrupted.observe_column(column, entrants=entrants, exits=exits)
-            resumed.observe_column(column, entrants=entrants, exits=exits)
+            uninterrupted.observe(column, entrants=entrants, exits=exits)
+            resumed.observe(column, entrants=entrants, exits=exits)
         for t in range(3, 11):
             assert (
                 uninterrupted.release.histogram(t) == resumed.release.histogram(t)

@@ -102,7 +102,7 @@ class TestInvariants:
         )
         snapshots = {}
         for t, column in enumerate(small_markov_panel.columns(), start=1):
-            synth.observe_column(column)
+            synth.observe(column)
             snapshots[t] = synth.release.synthetic_data(t).matrix.copy()
         final = synth.release.synthetic_data().matrix
         for t, snapshot in snapshots.items():
@@ -196,19 +196,19 @@ class TestStreamingAPI:
     def test_column_validation(self):
         synth = CumulativeSynthesizer(horizon=4, rho=0.5, seed=14)
         with pytest.raises(DataValidationError):
-            synth.observe_column(np.array([[1], [0]]))
+            synth.observe(np.array([[1], [0]]))
         with pytest.raises(DataValidationError):
-            synth.observe_column(np.array([0, 3]))
-        synth.observe_column(np.array([1, 0]))
+            synth.observe(np.array([0, 3]))
+        synth.observe(np.array([1, 0]))
         with pytest.raises(DataValidationError):
-            synth.observe_column(np.array([1, 0, 1]))
+            synth.observe(np.array([1, 0, 1]))
 
     def test_horizon_exhaustion(self):
         panel = iid_bernoulli(30, 3, 0.5, seed=15)
         synth = CumulativeSynthesizer(horizon=3, rho=0.5, seed=16)
         synth.run(panel)
         with pytest.raises(DataValidationError):
-            synth.observe_column(panel.column(1))
+            synth.observe(panel.column(1))
 
     def test_run_requires_fresh(self):
         panel = iid_bernoulli(30, 3, 0.5, seed=17)
@@ -274,7 +274,7 @@ class TestLazyMaterialization:
                 noise_method="vectorized", materialize=mode,
             )
             for i, column in enumerate(columns):
-                synth.observe_column(column)
+                synth.observe(column)
                 if i == 3:
                     synth.release.synthetic_data()
             synths[mode] = synth

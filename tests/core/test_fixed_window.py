@@ -79,7 +79,7 @@ class TestOracleMode:
 
 
 class TestStreamingAPI:
-    def test_observe_column_matches_run(self, small_markov_panel):
+    def test_observe_matches_run(self, small_markov_panel):
         batch = FixedWindowSynthesizer(
             horizon=small_markov_panel.horizon, window=2, rho=0.5, seed=42
         ).run(small_markov_panel)
@@ -87,15 +87,15 @@ class TestStreamingAPI:
             horizon=small_markov_panel.horizon, window=2, rho=0.5, seed=42
         )
         for column in small_markov_panel.columns():
-            streaming_synth.observe_column(column)
+            streaming_synth.observe(column)
         streaming = streaming_synth.release
         for t in (2, 5, 8):
             assert (batch.histogram(t) == streaming.histogram(t)).all()
 
     def test_no_release_before_window_fills(self):
         synth = FixedWindowSynthesizer(horizon=6, window=3, rho=0.5, seed=0)
-        synth.observe_column(np.array([1, 0, 1]))
-        synth.observe_column(np.array([0, 0, 1]))
+        synth.observe(np.array([1, 0, 1]))
+        synth.observe(np.array([0, 0, 1]))
         with pytest.raises(NotFittedError):
             synth.release.histogram(2)
         with pytest.raises(NotFittedError):
@@ -104,12 +104,12 @@ class TestStreamingAPI:
     def test_column_validation(self):
         synth = FixedWindowSynthesizer(horizon=4, window=2, rho=0.5, seed=0)
         with pytest.raises(DataValidationError):
-            synth.observe_column(np.array([[1, 0]]))
+            synth.observe(np.array([[1, 0]]))
         with pytest.raises(DataValidationError):
-            synth.observe_column(np.array([1, 2]))
-        synth.observe_column(np.array([1, 0]))
+            synth.observe(np.array([1, 2]))
+        synth.observe(np.array([1, 0]))
         with pytest.raises(DataValidationError):
-            synth.observe_column(np.array([1, 0, 1]))  # n changed
+            synth.observe(np.array([1, 0, 1]))  # n changed
 
     def test_horizon_exhaustion(self, small_markov_panel):
         synth = FixedWindowSynthesizer(
@@ -117,7 +117,7 @@ class TestStreamingAPI:
         )
         synth.run(small_markov_panel)
         with pytest.raises(DataValidationError):
-            synth.observe_column(small_markov_panel.column(1))
+            synth.observe(small_markov_panel.column(1))
 
     def test_run_requires_fresh_synthesizer(self, small_markov_panel):
         synth = FixedWindowSynthesizer(
@@ -175,7 +175,7 @@ class TestConsistencyInvariants:
         )
         snapshots = {}
         for t, column in enumerate(small_markov_panel.columns(), start=1):
-            synth.observe_column(column)
+            synth.observe(column)
             if t >= 3:
                 snapshots[t] = synth.release.synthetic_data(t).matrix.copy()
         final = synth.release.synthetic_data().matrix

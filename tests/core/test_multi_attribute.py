@@ -293,13 +293,11 @@ def test_duplicate_attribute_names_are_rejected():
         )
 
 
-def test_observe_column_shim_warns_and_works(binary_matrix):
+def test_observe_column_shim_is_gone():
     synth = MultiAttributeSynthesizer(
         HORIZON, WINDOW, math.inf, attributes=["poverty"], seed=0
     )
-    with pytest.warns(DeprecationWarning, match="observe"):
-        synth.observe_column(binary_matrix[:, 0])
-    assert synth.t == 1
+    assert not hasattr(synth, "observe_column")
 
 
 # ----------------------------------------------------------------------

@@ -256,7 +256,7 @@ class TestCategoricalChurn:
         dynamic = CategoricalWindowSynthesizer(horizon, 2, 3, 0.1, seed=13)
         static.run(q3_panel)
         for column in q3_panel.columns():
-            dynamic.observe_column(column, entrants=0, exits=None)
+            dynamic.observe(column, entrants=0, exits=None)
         for left, right in zip(_fingerprint(static), _fingerprint(dynamic)):
             assert (left == right).all()
         assert static.accountant.charges == dynamic.accountant.charges
@@ -266,12 +266,12 @@ class TestCategoricalChurn:
         matrix = q3_panel.matrix
         synth = CategoricalWindowSynthesizer(horizon, 2, 3, 0.1, seed=14)
         n = matrix.shape[0] - 3  # rows n..n+2 enter at round 2
-        synth.observe_column(matrix[:n, 0])
-        synth.observe_column(matrix[:, 1], entrants=3)
+        synth.observe(matrix[:n, 0])
+        synth.observe(matrix[:, 1], entrants=3)
         keep = np.setdiff1d(np.arange(matrix.shape[0]), [5, 9])
-        synth.observe_column(matrix[keep, 2], exits=[5, 9])
+        synth.observe(matrix[keep, 2], exits=[5, 9])
         for t in range(3, horizon):
-            synth.observe_column(matrix[keep, t])
+            synth.observe(matrix[keep, t])
         release = synth.release
         assert release.n_original == matrix.shape[0]
         spans = synth.lifespans()
@@ -291,7 +291,7 @@ class TestCategoricalChurn:
 
         synth = CategoricalWindowSynthesizer(4, 2, 3, 0.5, seed=8)
         with pytest.raises(DataValidationError):
-            synth.observe_column(np.array([0, 3]))
+            synth.observe(np.array([0, 3]))
 
 
 class TestGeneralizedStoreAndPadding:

@@ -59,7 +59,7 @@ def test_api_reference_covers_public_surface(built_docs):
         "SerializationError",
         "make_counter",
         "make_bank",
-        "observe_round",
+        "answer_batch",
         "checkpoint",
     ):
         assert symbol in api, f"API reference is missing {symbol}"

@@ -100,8 +100,8 @@ class TestCrossAlgorithmComparisons:
             horizon=sipp.horizon, rho=0.05, seed=7, noise_method="vectorized"
         )
         for column in sipp.columns():
-            window_synth.observe_column(column)
-            cumulative_synth.observe_column(column)
+            window_synth.observe(column)
+            cumulative_synth.observe(column)
         assert window_synth.t == cumulative_synth.t == sipp.horizon
 
     def test_cumulative_answers_agree_with_window_reduction_oracle(self, sipp):

@@ -117,7 +117,7 @@ class TestExtremeNoiseWindow:
     def test_empty_population_rejected(self):
         synthesizer = CumulativeSynthesizer(horizon=4, rho=0.5, seed=6)
         with pytest.raises(Exception):
-            synthesizer.observe_column(np.array([], dtype=np.int64))
+            synthesizer.observe(np.array([], dtype=np.int64))
 
     def test_all_zero_panel_with_noise(self):
         panel = iid_bernoulli(50, 8, 0.0, seed=7)

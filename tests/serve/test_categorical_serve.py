@@ -46,7 +46,7 @@ def _compare(a, b):
 def test_online_matches_offline(panel, engine):
     service = _service(seed=1, engine=engine)
     for column in panel.columns():
-        service.observe_round(column)
+        service.observe(column)
     offline = CategoricalWindowSynthesizer(
         HORIZON, WINDOW, ALPHABET, RHO, seed=1, engine=engine
     )
@@ -60,11 +60,11 @@ def test_checkpoint_byte_identity_under_noise(panel, cut, engine):
     columns = list(panel.columns())
     uninterrupted = _service(seed=2, engine=engine)
     for column in columns:
-        uninterrupted.observe_round(column)
+        uninterrupted.observe(column)
 
     resumed = _service(seed=2, engine=engine)
     for column in columns[:cut]:
-        resumed.observe_round(column)
+        resumed.observe(column)
     buffer = io.BytesIO()
     resumed.checkpoint(buffer)
     buffer.seek(0)
@@ -73,7 +73,7 @@ def test_checkpoint_byte_identity_under_noise(panel, cut, engine):
     assert restored.synthesizer.alphabet == ALPHABET
     assert restored.synthesizer.engine == engine
     for column in columns[cut:]:
-        restored.observe_round(column)
+        restored.observe(column)
     _compare(uninterrupted.release, restored.release)
     assert (
         uninterrupted.synthesizer.accountant.charges
@@ -89,13 +89,13 @@ def test_mid_churn_checkpoint_byte_identity(panel):
     def drive(service, start, stop):
         for t in range(start, stop):
             if t == 0:
-                service.observe_round(matrix[:n, 0])
+                service.observe(matrix[:n, 0])
             elif t == 1:
-                service.observe_round(matrix[:, 1], entrants=2)
+                service.observe(matrix[:, 1], entrants=2)
             elif t == 2:
-                service.observe_round(matrix[keep, 2], exits=[3, 7])
+                service.observe(matrix[keep, 2], exits=[3, 7])
             else:
-                service.observe_round(matrix[keep, t])
+                service.observe(matrix[keep, t])
 
     uninterrupted = _service(seed=3)
     drive(uninterrupted, 0, HORIZON)
@@ -114,7 +114,7 @@ def test_mid_churn_checkpoint_byte_identity(panel):
 def test_tampered_categorical_bundle_rejected(panel):
     service = _service(seed=4)
     for column in list(panel.columns())[:3]:
-        service.observe_round(column)
+        service.observe(column)
     buffer = io.BytesIO()
     service.checkpoint(buffer)
     raw = bytearray(buffer.getvalue())
@@ -147,7 +147,7 @@ class TestShardedCategorical:
             rho=math.inf,
         )
         for column in panel.columns():
-            service.observe_round(column)
+            service.observe(column)
         query = CategoryAtLeastM(WINDOW, ALPHABET, category=1, m=1)
         for t in (WINDOW, HORIZON):
             assert service.answer(query, t) == pytest.approx(
@@ -165,7 +165,7 @@ class TestShardedCategorical:
             rho=RHO,
         )
         for column in panel.columns():
-            service.observe_round(column)
+            service.observe(column)
         # Every shard spends its full per-shard budget; parallel
         # composition makes the service-wide spend the max, not the sum.
         assert service.zcdp_spent() == pytest.approx(RHO)
@@ -185,15 +185,15 @@ class TestShardedCategorical:
             rho=RHO,
         )
         for column in columns[:4]:
-            service.observe_round(column)
+            service.observe(column)
         buffer = io.BytesIO()
         service.checkpoint(buffer)
         buffer.seek(0)
         restored = ShardedService.restore(buffer)
         assert restored.algorithm == "categorical_window"
         for column in columns[4:]:
-            service.observe_round(column)
-            restored.observe_round(column)
+            service.observe(column)
+            restored.observe(column)
         query = CategoryAtLeastM(WINDOW, ALPHABET, category=0, m=WINDOW)
         assert service.answer(query, HORIZON) == restored.answer(query, HORIZON)
 
@@ -207,14 +207,14 @@ class TestShardedCategorical:
             alphabet=ALPHABET,
             rho=RHO,
         )
-        service.observe_round(panel.column(1))
+        service.observe(panel.column(1))
         bad = panel.column(2).copy()
         bad[0] = ALPHABET
         with pytest.raises(DataValidationError):
-            service.observe_round(bad)
+            service.observe(bad)
         # All-or-nothing: the rejected round left every shard's clock alone.
         assert service.t == 1
-        service.observe_round(panel.column(2))
+        service.observe(panel.column(2))
         assert service.t == 2
 
     def test_binary_sharded_validation_message_unchanged(self):
@@ -222,4 +222,4 @@ class TestShardedCategorical:
             2, algorithm="fixed_window", seed=9, horizon=4, window=2, rho=0.5
         )
         with pytest.raises(DataValidationError, match="must be 0 or 1"):
-            service.observe_round(np.array([0, 1, 2, 0]))
+            service.observe(np.array([0, 1, 2, 0]))

@@ -34,17 +34,17 @@ def _resume_matches_uninterrupted(service_factory, columns, cut, compare):
     """Checkpoint at ``cut``, restore, and compare final artifacts."""
     uninterrupted = service_factory()
     for column in columns[:cut]:
-        uninterrupted.observe_round(column)
+        uninterrupted.observe(column)
     buffer = io.BytesIO()
     uninterrupted.checkpoint(buffer)
     for column in columns[cut:]:
-        uninterrupted.observe_round(column)
+        uninterrupted.observe(column)
 
     buffer.seek(0)
     resumed = StreamingSynthesizer.restore(buffer)
     assert resumed.t == cut
     for column in columns[cut:]:
-        resumed.observe_round(column)
+        resumed.observe(column)
     compare(uninterrupted, resumed)
 
 
@@ -111,7 +111,7 @@ def test_lazy_materialization_survives_checkpoint(columns):
         horizon=HORIZON, rho=0.02, seed=3, materialize="lazy"
     )
     for column in columns[:6]:
-        service.observe_round(column)
+        service.observe(column)
     buffer = io.BytesIO()
     service.checkpoint(buffer)
     buffer.seek(0)
@@ -127,14 +127,14 @@ def test_restored_noise_stream_is_identical(columns):
     """The *future* noise draws match, not just the released tables."""
     service = StreamingSynthesizer.cumulative(horizon=HORIZON, rho=0.02, seed=21)
     for column in columns[:4]:
-        service.observe_round(column)
+        service.observe(column)
     buffer = io.BytesIO()
     service.checkpoint(buffer)
     buffer.seek(0)
     resumed = StreamingSynthesizer.restore(buffer)
     for column in columns[4:]:
-        a = service.observe_round(column).threshold_table()
-        b = resumed.observe_round(column).threshold_table()
+        a = service.observe(column).threshold_table()
+        b = resumed.observe(column).threshold_table()
         assert np.array_equal(a, b)
 
 
@@ -146,7 +146,7 @@ def test_restored_noise_stream_is_identical(columns):
 def _checkpoint_bytes(columns) -> bytes:
     service = StreamingSynthesizer.cumulative(horizon=HORIZON, rho=0.02, seed=3)
     for column in columns[:4]:
-        service.observe_round(column)
+        service.observe(column)
     buffer = io.BytesIO()
     service.checkpoint(buffer)
     return buffer.getvalue()
@@ -234,7 +234,7 @@ def test_foreign_zip_rejected(tmp_path):
 def test_wrong_kind_rejected(tmp_path, columns):
     path = tmp_path / "stream.ckpt"
     service = StreamingSynthesizer.cumulative(horizon=HORIZON, rho=math.inf, seed=0)
-    service.observe_round(columns[0])
+    service.observe(columns[0])
     service.checkpoint(path)
     with pytest.raises(SerializationError, match="expected a 'sharded'"):
         read_bundle(path, kind="sharded")
@@ -246,12 +246,12 @@ def test_checkpoint_to_disk_roundtrip(tmp_path, columns):
     path = tmp_path / "service.ckpt"
     service = StreamingSynthesizer.cumulative(horizon=HORIZON, rho=0.02, seed=3)
     for column in columns[:3]:
-        service.observe_round(column)
+        service.observe(column)
     service.checkpoint(path)
     resumed = StreamingSynthesizer.restore(path)
     for column in columns[3:]:
-        service.observe_round(column)
-        resumed.observe_round(column)
+        service.observe(column)
+        resumed.observe(column)
     _compare_cumulative(service, resumed)
 
 
@@ -304,7 +304,7 @@ def test_noiseless_manifest_is_strict_rfc_json(tmp_path, columns):
 
     path = tmp_path / "noiseless.ckpt"
     service = StreamingSynthesizer.cumulative(horizon=HORIZON, rho=math.inf, seed=0)
-    service.observe_round(columns[0])
+    service.observe(columns[0])
     service.checkpoint(path)
     with zipfile.ZipFile(path) as bundle:
         manifest = json.loads(
@@ -315,8 +315,8 @@ def test_noiseless_manifest_is_strict_rfc_json(tmp_path, columns):
     resumed = StreamingSynthesizer.restore(path)
     assert math.isinf(resumed.synthesizer.rho)
     for column in columns[1:]:
-        service.observe_round(column)
-        resumed.observe_round(column)
+        service.observe(column)
+        resumed.observe(column)
     assert np.array_equal(
         service.release.threshold_table(), resumed.release.threshold_table()
     )
@@ -325,7 +325,7 @@ def test_noiseless_manifest_is_strict_rfc_json(tmp_path, columns):
 def test_array_member_compression_follows_compress_arrays(tmp_path, columns):
     path = tmp_path / "deflated.ckpt"
     service = StreamingSynthesizer.cumulative(horizon=HORIZON, rho=0.02, seed=3)
-    service.observe_round(columns[0])
+    service.observe(columns[0])
     service.checkpoint(path)
     with zipfile.ZipFile(path) as bundle:
         info = {i.filename: i.compress_type for i in bundle.infolist()}
@@ -355,7 +355,7 @@ def test_bundles_are_byte_deterministic(tmp_path, columns):
     def bundle_bytes(seed):
         service = StreamingSynthesizer.cumulative(horizon=HORIZON, rho=0.02, seed=seed)
         for column in columns[:3]:
-            service.observe_round(column)
+            service.observe(column)
         buffer = io.BytesIO()
         service.checkpoint(buffer)
         return buffer.getvalue()
@@ -368,7 +368,7 @@ def test_format_version_2_roundtrip(tmp_path, columns):
     path = tmp_path / "legacy.ckpt"
     service = StreamingSynthesizer.cumulative(horizon=HORIZON, rho=0.02, seed=3)
     for column in columns[:4]:
-        service.observe_round(column)
+        service.observe(column)
     synth = service.synthesizer
     write_bundle(
         path,
@@ -386,8 +386,8 @@ def test_format_version_2_roundtrip(tmp_path, columns):
 
     resumed = StreamingSynthesizer.restore(path)
     for column in columns[4:]:
-        a = service.observe_round(column).threshold_table()
-        b = resumed.observe_round(column).threshold_table()
+        a = service.observe(column).threshold_table()
+        b = resumed.observe(column).threshold_table()
         assert np.array_equal(a, b)
 
 
@@ -456,7 +456,7 @@ def test_fixed_window_inconsistent_snapshot_rejected(columns):
 
     source = StreamingSynthesizer.fixed_window(horizon=HORIZON, window=3, rho=0.02, seed=5)
     for column in columns[:4]:
-        source.observe_round(column)
+        source.observe(column)
     snapshot = source.synthesizer.state_dict()
 
     # Clock claims mid-stream but population says never-started.
@@ -482,7 +482,7 @@ def test_fixed_window_inconsistent_snapshot_rejected(columns):
 
 def test_load_state_requires_fresh_synthesizer(columns):
     service = StreamingSynthesizer.cumulative(horizon=HORIZON, rho=math.inf, seed=0)
-    service.observe_round(columns[0])
+    service.observe(columns[0])
     snapshot = service.synthesizer.state_dict()
     with pytest.raises(SerializationError, match="fresh synthesizer"):
         service.synthesizer.load_state(snapshot)
@@ -520,7 +520,7 @@ def test_sharded_restore_rejects_structurally_invalid_bundles(columns):
         ShardedService.restore(buffer)
 
     shard = StreamingSynthesizer.cumulative(horizon=HORIZON, rho=math.inf, seed=0)
-    shard.observe_round(columns[0])
+    shard.observe(columns[0])
     blob = io.BytesIO()
     shard.checkpoint(blob)
     buffer = io.BytesIO()
@@ -585,7 +585,7 @@ def test_checkpoint_write_is_atomic(tmp_path, columns):
     """A failed re-checkpoint must not destroy the previous good bundle."""
     path = tmp_path / "rolling.ckpt"
     service = StreamingSynthesizer.cumulative(horizon=HORIZON, rho=0.02, seed=3)
-    service.observe_round(columns[0])
+    service.observe(columns[0])
     service.checkpoint(path)
     good = path.read_bytes()
     with pytest.raises(SerializationError):
@@ -650,7 +650,7 @@ def test_checkpoint_file_mode_respects_umask(tmp_path, columns):
 
     path = tmp_path / "mode.ckpt"
     service = StreamingSynthesizer.cumulative(horizon=HORIZON, rho=math.inf, seed=0)
-    service.observe_round(columns[0])
+    service.observe(columns[0])
     service.checkpoint(path)
     umask = os.umask(0)
     os.umask(umask)

@@ -21,13 +21,13 @@ def churned_panel():
 
 
 class TestStreamingChurn:
-    def test_observe_round_accepts_churn_and_serializes_lifespans(self, churned_panel):
+    def test_observe_accepts_churn_and_serializes_lifespans(self, churned_panel):
         service = StreamingSynthesizer.cumulative(horizon=10, rho=0.4, seed=11)
         twin = StreamingSynthesizer.cumulative(horizon=10, rho=0.4, seed=11)
         buffer = io.BytesIO()
         for index, (column, entrants, exits) in enumerate(churned_panel.rounds()):
-            service.observe_round(column, entrants=entrants, exits=exits)
-            twin.observe_round(column, entrants=entrants, exits=exits)
+            service.observe(column, entrants=entrants, exits=exits)
+            twin.observe(column, entrants=entrants, exits=exits)
             if index == 4:
                 service.checkpoint(buffer)
                 buffer.seek(0)
@@ -42,7 +42,7 @@ class TestStreamingChurn:
     def test_fixed_window_streaming_churn(self, churned_panel):
         service = StreamingSynthesizer.fixed_window(horizon=10, window=3, rho=0.4, seed=2)
         for column, entrants, exits in churned_panel.rounds():
-            service.observe_round(column, entrants=entrants, exits=exits)
+            service.observe(column, entrants=entrants, exits=exits)
         assert service.release.n_original == churned_panel.n_ever
 
 
@@ -54,7 +54,7 @@ class TestShardedChurn:
             3, algorithm="cumulative", horizon=10, rho=math.inf, seed=5
         )
         for column, entrants, exits in churned_panel.rounds():
-            service.observe_round(column, entrants=entrants, exits=exits)
+            service.observe(column, entrants=entrants, exits=exits)
         query = HammingAtLeast(2)
         for t in range(1, 11):
             assert service.answer(query, t) == pytest.approx(
@@ -66,19 +66,19 @@ class TestShardedChurn:
             3, algorithm="cumulative", horizon=6, rho=math.inf, seed=0
         )
         # Unbalanced initial split: 4 / 3 / 3.
-        service.observe_round(np.ones(10, dtype=np.int64))
+        service.observe(np.ones(10, dtype=np.int64))
         assert service.shard_loads().tolist() == [4, 3, 3]
         # Two entrants fill the two lightest shards (ties to lowest index).
-        service.observe_round(
+        service.observe(
             np.ones(12, dtype=np.int64), entrants=2
         )
         assert service.shard_loads().tolist() == [4, 4, 4]
         members = service.shard_members()
         assert sorted(np.concatenate(members).tolist()) == list(range(12))
         # Exits free capacity and the next entrant lands there.
-        service.observe_round(np.ones(10, dtype=np.int64), exits=[0, 1])
+        service.observe(np.ones(10, dtype=np.int64), exits=[0, 1])
         assert service.shard_loads().tolist() == [2, 4, 4]
-        service.observe_round(np.ones(11, dtype=np.int64), entrants=1)
+        service.observe(np.ones(11, dtype=np.int64), entrants=1)
         assert service.shard_loads().tolist() == [3, 4, 4]
         assert service.n == 11 and service.n_ever == 13
 
@@ -88,7 +88,7 @@ class TestShardedChurn:
         service = ShardedService(3, algorithm="cumulative", horizon=10, rho=0.3, seed=6)
         events = list(churned_panel.rounds())
         for column, entrants, exits in events[:6]:
-            service.observe_round(column, entrants=entrants, exits=exits)
+            service.observe(column, entrants=entrants, exits=exits)
         buffer = io.BytesIO()
         service.checkpoint(buffer)
         buffer.seek(0)
@@ -97,29 +97,29 @@ class TestShardedChurn:
         assert restored.shard_loads().tolist() == service.shard_loads().tolist()
         query = HammingAtLeast(2)
         for column, entrants, exits in events[6:]:
-            service.observe_round(column, entrants=entrants, exits=exits)
-            restored.observe_round(column, entrants=entrants, exits=exits)
+            service.observe(column, entrants=entrants, exits=exits)
+            restored.observe(column, entrants=entrants, exits=exits)
         for t in range(1, 11):
             assert restored.answer(query, t) == service.answer(query, t)
 
     def test_round_one_entrants_validated(self):
         service = ShardedService(2, algorithm="cumulative", horizon=4, rho=math.inf, seed=0)
         with pytest.raises(DataValidationError, match="round 1 declares"):
-            service.observe_round(np.ones(6, dtype=np.int64), entrants=7)
+            service.observe(np.ones(6, dtype=np.int64), entrants=7)
 
     def test_sharded_exit_validation(self):
         service = ShardedService(2, algorithm="cumulative", horizon=4, rho=math.inf, seed=0)
-        service.observe_round(np.ones(6, dtype=np.int64))
+        service.observe(np.ones(6, dtype=np.int64))
         with pytest.raises(DataValidationError, match="nobody can exit"):
             ShardedService(
                 2, algorithm="cumulative", horizon=4, rho=math.inf, seed=0
-            ).observe_round(np.ones(6, dtype=np.int64), exits=[0])
-        service.observe_round(np.ones(5, dtype=np.int64), exits=[2])
+            ).observe(np.ones(6, dtype=np.int64), exits=[0])
+        service.observe(np.ones(5, dtype=np.int64), exits=[2])
         with pytest.raises(DataValidationError, match="already departed"):
-            service.observe_round(np.ones(4, dtype=np.int64), exits=[2])
+            service.observe(np.ones(4, dtype=np.int64), exits=[2])
         with pytest.raises(DataValidationError, match="must lie in"):
-            service.observe_round(np.ones(4, dtype=np.int64), exits=[99])
+            service.observe(np.ones(4, dtype=np.int64), exits=[99])
         with pytest.raises(DataValidationError, match="expected"):
-            service.observe_round(np.ones(9, dtype=np.int64), entrants=1)
+            service.observe(np.ones(9, dtype=np.int64), entrants=1)
         # All rejections left the clocks untouched.
         assert service.t == 2

@@ -84,7 +84,7 @@ def _events_for(algorithm, churn_events):
 
 def _drive(service, events):
     for column, entrants, exits in events:
-        service.observe_round(column, entrants=entrants, exits=exits)
+        service.observe(column, entrants=entrants, exits=exits)
     return service
 
 
@@ -162,7 +162,7 @@ def test_async_pipelining_matches_synchronous_ingestion(churn_events):
     sync = _drive(ShardedService(K, seed=2, executor="serial", **kwargs), churn_events)
     pipelined = ShardedService(K, seed=2, executor="process", **kwargs)
     tickets = [
-        pipelined.observe_round_async(column, entrants=entrants, exits=exits)
+        pipelined.observe_async(column, entrants=entrants, exits=exits)
         for column, entrants, exits in churn_events
     ]
     for ticket in tickets:
@@ -195,11 +195,11 @@ def test_rejected_round_does_not_poison_process_service():
         rho=math.inf,
         executor="process",
     )
-    service.observe_round(np.ones(10, dtype=np.int64))
+    service.observe(np.ones(10, dtype=np.int64))
     with pytest.raises(Exception, match="entries"):
-        service.observe_round(np.ones(11, dtype=np.int64))
+        service.observe(np.ones(11, dtype=np.int64))
     # The rejection happened before dispatch, so ingestion continues cleanly.
-    service.observe_round(np.zeros(10, dtype=np.int64))
+    service.observe(np.zeros(10, dtype=np.int64))
     assert service.t == 2
     service.close()
 
@@ -212,7 +212,7 @@ def test_worker_exceptions_propagate_to_parent():
     service = ShardedService(
         2, algorithm="cumulative", horizon=4, rho=math.inf, executor="process"
     )
-    service.observe_round(np.ones(8, dtype=np.int64))
+    service.observe(np.ones(8, dtype=np.int64))
     # Bypass service validation: hand shard 1 a column of the wrong length.
     ticket = service._executor.dispatch_round(
         [
@@ -230,7 +230,7 @@ def test_process_worker_death_raises_consistency_error():
     service = ShardedService(
         2, algorithm="cumulative", horizon=4, rho=math.inf, executor="process"
     )
-    service.observe_round(np.ones(8, dtype=np.int64))
+    service.observe(np.ones(8, dtype=np.int64))
     for process in service._executor._processes:
         process.terminate()
         process.join()
@@ -265,10 +265,10 @@ def test_large_round_grows_staging_buffers():
     service = ShardedService(
         2, algorithm="cumulative", horizon=3, rho=math.inf, executor="process"
     )
-    service.observe_round(np.ones(64, dtype=np.int64), entrants=0)
+    service.observe(np.ones(64, dtype=np.int64), entrants=0)
     # Entrants enlarge the column past the round-1 segment capacity.
-    service.observe_round(np.ones(5000, dtype=np.int64), entrants=4936)
-    service.observe_round(np.ones(5000, dtype=np.int64))
+    service.observe(np.ones(5000, dtype=np.int64), entrants=4936)
+    service.observe(np.ones(5000, dtype=np.int64))
     assert service.n == 5000
     # Only the 64 round-1 members have three ones; noiseless => exact.
     assert service.answer(HammingAtLeast(3), t=3) == pytest.approx(64 / 5000)

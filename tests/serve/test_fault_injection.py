@@ -73,7 +73,7 @@ def reference(events):
     """The undisturbed run every chaos scenario must reproduce."""
     service = ShardedService(K, seed=SEED, **KWARGS)
     for column, entrants, exits in events:
-        service.observe_round(column, entrants=entrants, exits=exits)
+        service.observe(column, entrants=entrants, exits=exits)
     expected = {
         "fingerprints": service.state_fingerprints(),
         "spent": service.zcdp_spent(),
@@ -93,7 +93,7 @@ def _policy(**overrides):
 
 def _drive(service, events):
     for column, entrants, exits in events:
-        service.observe_round(column, entrants=entrants, exits=exits)
+        service.observe(column, entrants=entrants, exits=exits)
 
 
 def _assert_matches_reference(service, reference):
@@ -242,7 +242,7 @@ def test_shm_starvation_fails_cleanly_then_resumes(events, reference, tmp_path):
         column, entrants, exits = events[0]
         with injector.starve_shared_memory():
             with pytest.raises((RecoveryError, OSError)):
-                service.observe_round(column, entrants=entrants, exits=exits)
+                service.observe(column, entrants=entrants, exits=exits)
         assert service.t == 0  # nothing was published during the outage
         _drive(service, events)  # the identical rounds, resubmitted
         _assert_matches_reference(service, reference)
@@ -289,7 +289,7 @@ def test_persistent_shard_failure_fails_closed_by_default(
         _fail_shard_heartbeats(monkeypatch, victim=1)
         column, entrants, exits = events[2]
         with pytest.raises(RecoveryError, match="degraded_ok"):
-            service.observe_round(column, entrants=entrants, exits=exits)
+            service.observe(column, entrants=entrants, exits=exits)
         assert service.t == 2  # the failed round was never published
 
 

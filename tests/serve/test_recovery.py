@@ -114,7 +114,7 @@ def _reference(algorithm, events):
     kwargs, query, start = CONFIGS[algorithm]
     service = ShardedService(K, seed=SEED, **kwargs)
     for column, entrants, exits in events:
-        service.observe_round(column, entrants=entrants, exits=exits)
+        service.observe(column, entrants=entrants, exits=exits)
     observed = _observables(service, query, start)
     observed["fingerprints"] = service.state_fingerprints()
     service.close()
@@ -141,7 +141,7 @@ def _crash_midstream(directory, algorithm, events, cut, policy):
             **kwargs,
         )
         for column, entrants, exits in events[:cut]:
-            service.observe_round(column, entrants=entrants, exits=exits)
+            service.observe(column, entrants=entrants, exits=exits)
         os._exit(0)
 
     process = mp.get_context("fork").Process(target=_child)
@@ -174,7 +174,7 @@ def test_crash_midstream_recovery_is_byte_identical(
     ) as resumed:
         assert resumed.t == cut
         for column, entrants, exits in events[cut:]:
-            resumed.observe_round(column, entrants=entrants, exits=exits)
+            resumed.observe(column, entrants=entrants, exits=exits)
         assert resumed.t == HORIZON
         observed = _observables(resumed.service, query, start)
         observed["fingerprints"] = resumed.service.state_fingerprints()
@@ -204,7 +204,7 @@ def test_recovery_is_executor_agnostic(executor, churn_events, tmp_path):
         directory, executor=executor, policy=policy
     ) as resumed:
         for column, entrants, exits in events[HORIZON - 2:]:
-            resumed.observe_round(column, entrants=entrants, exits=exits)
+            resumed.observe(column, entrants=entrants, exits=exits)
         assert resumed.service.state_fingerprints() == expected["fingerprints"]
         observed = _observables(resumed.service, query, start)
     for key in observed:
@@ -232,7 +232,7 @@ def test_recovered_answers_equal_journaled_answers(churn_events, tmp_path):
         **kwargs,
     )
     journaled = [
-        service.observe_round(column, entrants=entrants, exits=exits)
+        service.observe(column, entrants=entrants, exits=exits)
         for column, entrants, exits in events
     ]
     service.close()
@@ -266,7 +266,7 @@ def test_replay_with_wrong_noise_fails_closed(churn_events, tmp_path):
         directory, n_shards=K, seed=SEED, executor="serial", policy=policy, **kwargs
     )
     for column, entrants, exits in events[:4]:
-        service.observe_round(column, entrants=entrants, exits=exits)
+        service.observe(column, entrants=entrants, exits=exits)
     service.close()
 
     config_path = os.path.join(directory, "service.json")
@@ -289,18 +289,18 @@ def test_zcdp_spend_is_monotone_across_recoveries(churn_events, tmp_path):
         directory, n_shards=K, seed=SEED, executor="serial", policy=policy, **kwargs
     )
     for column, entrants, exits in events[:4]:
-        spends.append(service.observe_round(column, entrants=entrants, exits=exits).zcdp_spent)
+        spends.append(service.observe(column, entrants=entrants, exits=exits).zcdp_spent)
     service.close()
     with SupervisedService.attach(directory, executor="serial", policy=policy) as resumed:
         assert resumed.zcdp_spent() == spends[-1]  # recovery never re-charges
         for column, entrants, exits in events[4:]:
             spends.append(
-                resumed.observe_round(column, entrants=entrants, exits=exits).zcdp_spent
+                resumed.observe(column, entrants=entrants, exits=exits).zcdp_spent
             )
     assert spends == sorted(spends)
     reference = ShardedService(K, seed=SEED, **kwargs)
     for column, entrants, exits in events:
-        reference.observe_round(column, entrants=entrants, exits=exits)
+        reference.observe(column, entrants=entrants, exits=exits)
     assert spends[-1] == reference.zcdp_spent()
     reference.close()
 
@@ -328,10 +328,10 @@ def _poison_observables(executor, panel_columns):
     try:
         with pytest.raises((NegativeCountError, ConsistencyError)):
             for column in panel_columns:
-                service.observe_round(column)
+                service.observe(column)
         observed = {"spent": service.zcdp_spent()}
         for name, call in [
-            ("observe_round", lambda: service.observe_round(panel_columns[0])),
+            ("observe", lambda: service.observe(panel_columns[0])),
             ("answer", lambda: service.answer(AtLeastMOnes(3, 1), 3)),
             ("checkpoint", lambda: service.checkpoint(io.BytesIO())),
             ("fingerprints", service.state_fingerprints),
@@ -358,13 +358,13 @@ def _degraded_observables(executor, events):
     service = ShardedService(K, seed=SEED, executor=executor, **kwargs)
     try:
         for column, entrants, exits in events[:4]:
-            service.observe_round(column, entrants=entrants, exits=exits)
+            service.observe(column, entrants=entrants, exits=exits)
         service.disable_shard(1, reason="chaos test")
         assert service.degraded
         with pytest.warns(DegradedServiceWarning):
             first = service.answer(query, 4)
         for column, entrants, exits in events[4:]:
-            service.observe_round(column, entrants=entrants, exits=exits)
+            service.observe(column, entrants=entrants, exits=exits)
         with warnings.catch_warnings():
             warnings.simplefilter("ignore", DegradedServiceWarning)
             answers = [service.answer(query, t) for t in range(start, HORIZON + 1)]

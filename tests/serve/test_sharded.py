@@ -27,7 +27,7 @@ def panel():
 
 def test_shard_assignment_is_contiguous_and_total(panel):
     service = ShardedService(3, algorithm="cumulative", horizon=HORIZON, rho=math.inf)
-    service.observe_round(next(iter(panel.columns())))
+    service.observe(next(iter(panel.columns())))
     slices = service.shard_slices()
     assert len(slices) == 3
     assert slices[0].start == 0 and slices[-1].stop == N
@@ -41,7 +41,7 @@ def test_merged_noiseless_answers_match_unsharded(panel):
         4, algorithm="cumulative", horizon=HORIZON, rho=math.inf, seed=2
     )
     for column in panel.columns():
-        service.observe_round(column)
+        service.observe(column)
     single = CumulativeSynthesizer(HORIZON, math.inf, seed=2)
     single.run(panel)
     for t in (1, HORIZON // 2, HORIZON):
@@ -56,7 +56,7 @@ def test_merged_answer_is_population_weighted_average(panel):
         3, algorithm="cumulative", horizon=HORIZON, rho=0.05, seed=5
     )
     for column in panel.columns():
-        service.observe_round(column)
+        service.observe(column)
     query = HammingAtLeast(2)
     expected = sum(
         shard.release.m * shard.release.answer(query, HORIZON)
@@ -70,7 +70,7 @@ def test_fixed_window_sharding(panel):
         2, algorithm="fixed_window", horizon=HORIZON, window=3, rho=math.inf, seed=1
     )
     for column in panel.columns():
-        service.observe_round(column)
+        service.observe(column)
     query = AtLeastMOnes(3, 2)
     answer = service.answer(query, HORIZON)
     true = query.evaluate(panel, HORIZON)
@@ -83,7 +83,7 @@ def test_per_shard_budget_accounting(panel):
         3, algorithm="cumulative", horizon=HORIZON, rho=rho, seed=5
     )
     for column in panel.columns():
-        service.observe_round(column)
+        service.observe(column)
     ledgers = service.shard_ledgers()
     assert len(ledgers) == 3
     for spent, remaining in ledgers:
@@ -98,7 +98,7 @@ def test_per_shard_budget_accounting(panel):
 
 def test_noiseless_shards_report_zero_spend(panel):
     service = ShardedService(2, algorithm="cumulative", horizon=HORIZON, rho=math.inf)
-    service.observe_round(next(iter(panel.columns())))
+    service.observe(next(iter(panel.columns())))
     assert service.zcdp_spent() == 0.0
     assert service.shard_ledgers() == [(0.0, math.inf)] * 2
 
@@ -109,11 +109,11 @@ def test_checkpoint_restore_byte_identity(panel):
         3, algorithm="cumulative", horizon=HORIZON, rho=0.05, seed=9
     )
     for column in columns[:3]:
-        service.observe_round(column)
+        service.observe(column)
     buffer = io.BytesIO()
     service.checkpoint(buffer)
     for column in columns[3:]:
-        service.observe_round(column)
+        service.observe(column)
 
     buffer.seek(0)
     resumed = ShardedService.restore(buffer)
@@ -121,7 +121,7 @@ def test_checkpoint_restore_byte_identity(panel):
     assert resumed.n_shards == 3
     assert resumed.shard_slices() == service.shard_slices()
     for column in columns[3:]:
-        resumed.observe_round(column)
+        resumed.observe(column)
     for original, restored in zip(service.shards, resumed.shards):
         assert np.array_equal(
             original.release.threshold_table(), restored.release.threshold_table()
@@ -146,7 +146,7 @@ def test_tampered_shard_blob_rejected(panel, tmp_path):
 
     path = tmp_path / "svc.ckpt"
     service = ShardedService(2, algorithm="cumulative", horizon=HORIZON, rho=0.05, seed=1)
-    service.observe_round(next(iter(panel.columns())))
+    service.observe(next(iter(panel.columns())))
     service.checkpoint(path)
     # Rewriting the outer manifest without re-signing must be detected.
     with zipfile.ZipFile(path) as bundle:
@@ -179,10 +179,10 @@ def test_restore_rejects_inconsistent_shard_combinations(panel):
     )
     ahead = StreamingSynthesizer.cumulative(horizon=HORIZON, rho=_math.inf, seed=1)
     for column in columns[:2]:
-        cumulative.observe_round(column[:50])
-        window.observe_round(column[:50])
-        ahead.observe_round(column[:50])
-    ahead.observe_round(columns[2][:50])
+        cumulative.observe(column[:50])
+        window.observe(column[:50])
+        ahead.observe(column[:50])
+    ahead.observe(columns[2][:50])
 
     # Algorithm mismatch between manifest and a nested shard bundle.
     buffer = io.BytesIO()
@@ -226,26 +226,26 @@ def test_validation_errors(panel):
         ShardedService(2, algorithm="nope", horizon=HORIZON, rho=1.0)
     service = ShardedService(2, algorithm="cumulative", horizon=HORIZON, rho=math.inf)
     with pytest.raises(DataValidationError):
-        service.observe_round(np.zeros((3, 3)))
+        service.observe(np.zeros((3, 3)))
     with pytest.raises(DataValidationError):
-        service.observe_round(np.zeros(1))  # fewer individuals than shards
-    service.observe_round(np.zeros(10))
+        service.observe(np.zeros(1))  # fewer individuals than shards
+    service.observe(np.zeros(10))
     with pytest.raises(DataValidationError):
-        service.observe_round(np.zeros(11))  # population changed
+        service.observe(np.zeros(11))  # population changed
 
 
 def test_rejected_column_leaves_every_shard_clock_unchanged(panel):
     """Validation runs before any shard advances: a bad round is atomic."""
     service = ShardedService(2, algorithm="cumulative", horizon=HORIZON, rho=math.inf)
     columns = list(panel.columns())
-    service.observe_round(columns[0])
+    service.observe(columns[0])
     bad = columns[1].copy()
     bad[-1] = 2  # invalid entry only in the *last* shard's slice
     with pytest.raises(DataValidationError):
-        service.observe_round(bad)
+        service.observe(bad)
     assert [shard.t for shard in service.shards] == [1, 1]
     # Resubmitting the corrected column continues cleanly — no double count.
-    service.observe_round(columns[1])
+    service.observe(columns[1])
     assert [shard.t for shard in service.shards] == [2, 2]
     assert service.t == 2
 
@@ -267,11 +267,11 @@ def test_mid_round_shard_failure_poisons_the_service(panel):
     columns = list(panel.columns())
     with pytest.raises(NegativeCountError):
         for column in columns:
-            service.observe_round(column)
+            service.observe(column)
     # The service fails closed: every subsequent operation that could
     # serve or persist desynchronized state is refused.
     with pytest.raises(ConsistencyError, match="desynchronized"):
-        service.observe_round(columns[0])
+        service.observe(columns[0])
     with pytest.raises(ConsistencyError, match="desynchronized"):
         service.answer(AtLeastMOnes(3, 1), 3)
     with pytest.raises(ConsistencyError, match="desynchronized"):
@@ -282,8 +282,8 @@ def test_spawned_shard_seeds_are_reproducible(panel):
     a = ShardedService(2, algorithm="cumulative", horizon=HORIZON, rho=0.05, seed=7)
     b = ShardedService(2, algorithm="cumulative", horizon=HORIZON, rho=0.05, seed=7)
     for column in panel.columns():
-        a.observe_round(column)
-        b.observe_round(column)
+        a.observe(column)
+        b.observe(column)
     for shard_a, shard_b in zip(a.shards, b.shards):
         assert np.array_equal(
             shard_a.release.threshold_table(), shard_b.release.threshold_table()

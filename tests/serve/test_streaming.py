@@ -1,4 +1,4 @@
-"""Streaming equivalence: online observe_round == offline run()."""
+"""Streaming equivalence: online observe == offline run()."""
 
 import math
 
@@ -31,7 +31,7 @@ def test_cumulative_online_matches_offline_noiseless(panel, engine):
         horizon=HORIZON, rho=math.inf, seed=4, engine=engine
     )
     for column in panel.columns():
-        release = online.observe_round(column)
+        release = online.observe(column)
         assert release.t == online.t
     offline = CumulativeSynthesizer(HORIZON, math.inf, seed=4, engine=engine)
     offline.run(panel)
@@ -53,7 +53,7 @@ def test_fixed_window_online_matches_offline_noiseless(panel):
         horizon=HORIZON, window=3, rho=math.inf, seed=4
     )
     for column in panel.columns():
-        online.observe_round(column)
+        online.observe(column)
     offline = FixedWindowSynthesizer(HORIZON, 3, math.inf, seed=4)
     offline.run(panel)
 
@@ -75,7 +75,7 @@ def test_cumulative_online_matches_offline_under_noise(panel, engine):
         horizon=HORIZON, rho=0.02, seed=4, engine=engine
     )
     for column in panel.columns():
-        online.observe_round(column)
+        online.observe(column)
     offline = CumulativeSynthesizer(HORIZON, 0.02, seed=4, engine=engine)
     offline.run(panel)
     assert np.array_equal(
@@ -90,7 +90,7 @@ def test_round_bookkeeping(panel):
     assert service.rounds_remaining == HORIZON
     assert service.algorithm == "cumulative"
     columns = list(panel.columns())
-    service.observe_round(columns[0])
+    service.observe(columns[0])
     assert service.t == 1
     assert service.rounds_remaining == HORIZON - 1
     assert "cumulative" in repr(service)
@@ -99,10 +99,10 @@ def test_round_bookkeeping(panel):
 def test_exhausted_horizon_rejected(panel):
     service = StreamingSynthesizer.cumulative(horizon=2, rho=math.inf, seed=0)
     columns = list(panel.columns())
-    service.observe_round(columns[0])
-    service.observe_round(columns[1])
+    service.observe(columns[0])
+    service.observe(columns[1])
     with pytest.raises(DataValidationError):
-        service.observe_round(columns[2])
+        service.observe(columns[2])
 
 
 def test_wrapper_rejects_foreign_objects():

@@ -358,7 +358,7 @@ class TestSynthesizerEngineSurface:
     def test_counter_error_stddev_inactive_is_none(self):
         synth = CumulativeSynthesizer(horizon=6, rho=0.5, seed=2)
         assert synth.counter_error_stddev(3, 1) is None
-        synth.observe_column(np.zeros(10, dtype=np.int64))
+        synth.observe(np.zeros(10, dtype=np.int64))
         assert synth.counter_error_stddev(1, 1) is not None
         assert synth.counter_error_stddev(2, 1) is None
 
@@ -373,7 +373,7 @@ class TestSynthesizerEngineSurface:
             horizon=5, rho=0.5, seed=3, engine=engine, noise_method="vectorized"
         )
         for _ in range(3):
-            synth.observe_column(np.ones(20, dtype=np.int64))
+            synth.observe(np.ones(20, dtype=np.int64))
         release = synth.release
         lower, upper = cumulative_answer_ci(release, HammingAtLeast(0), 3)
         assert lower == upper == 1.0

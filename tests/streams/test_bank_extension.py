@@ -128,13 +128,13 @@ class TestExtendHorizon:
         panel = iid_bernoulli(80, 8, 0.4, seed=1)
         synth = CumulativeSynthesizer(8, 0.8, seed=2, engine="vectorized")
         for index, column in enumerate(panel.columns()):
-            synth.observe_column(column)
+            synth.observe(column)
             if index == 4:
                 total_before = synth.accountant.total_rho
                 synth.extend_horizon(3, 0.05)
                 assert synth.accountant.total_rho > total_before + 3 * 0.05
         for column in iid_bernoulli(80, 3, 0.4, seed=9).columns():
-            synth.observe_column(column)
+            synth.observe(column)
         assert synth.t == 11 == synth.horizon
         assert synth.check_invariants()
         # The full budget (base + new rows + surcharges) is exactly spent.
@@ -149,7 +149,7 @@ class TestExtendHorizon:
         for index, column in enumerate(panel.columns()):
             if index == 6:
                 extended.extend_horizon(3, math.inf)
-            extended.observe_column(column)
+            extended.observe(column)
         wide = CumulativeSynthesizer(9, math.inf, seed=0, engine="vectorized")
         wide_release = wide.run(panel)
         assert (
@@ -171,7 +171,7 @@ class TestExtendHorizon:
 
     def test_checkpoint_after_extension_fails_closed(self):
         synth = CumulativeSynthesizer(6, 0.5, seed=0, engine="vectorized")
-        synth.observe_column(np.ones(10, dtype=np.int64))
+        synth.observe(np.ones(10, dtype=np.int64))
         synth.extend_horizon(2, 0.05)
         with pytest.raises(SerializationError, match="extend_horizon"):
             synth.state_dict()

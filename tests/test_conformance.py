@@ -3,11 +3,12 @@
 The API contract this repo's layers build on: each registered algorithm
 and each baseline implements the formal ``Synthesizer`` protocol
 (``observe`` / ``run`` / ``release`` / ``config_dict`` / ``state_dict``)
-and its releases satisfy ``Release`` (``answer``), so the replication
-harness, the utility scorer, and the serving stack can hold any of them
-without ad-hoc duck typing.  The deprecated ``observe_column`` /
-``observe_round`` spellings keep working for one release window and
-warn.
+and its releases satisfy ``Release`` (``answer`` / ``answer_batch``),
+so the replication harness, the utility scorer, and the serving stack
+can hold any of them without ad-hoc duck typing.  The batch read path
+is held to *bit-identity* with the scalar loop here: for every
+synthesizer and a mixed workload, ``answer_batch`` must reproduce
+``answer`` cell for cell, warm or cold cache, debiased or not.
 """
 
 import json
@@ -90,11 +91,11 @@ def test_state_dict_returns_a_dict(tag):
 
 
 @pytest.mark.parametrize("tag", sorted(FACTORIES))
-def test_observe_column_shim_warns(tag):
+def test_legacy_observe_spellings_are_gone(tag):
+    """The one-release-window deprecation shims have been retired."""
     synth = FACTORIES[tag]()
-    with pytest.warns(DeprecationWarning, match="observe"):
-        synth.observe_column(_column(1))
-    assert synth.release.t == 1
+    assert not hasattr(synth, "observe_column")
+    assert not hasattr(synth, "observe_round")
 
 
 def test_streaming_registry_algorithms_all_conform():
@@ -106,25 +107,17 @@ def test_streaming_registry_algorithms_all_conform():
         assert type(synth) is cls
 
 
-def test_streaming_wrapper_shims_warn():
-    service = StreamingSynthesizer.cumulative(horizon=HORIZON, rho=math.inf)
-    with pytest.warns(DeprecationWarning, match="observe"):
-        service.observe_round(_column(1))
-    assert service.t == 1
-    service.observe(_column(2))
-    assert service.t == 2
-
-
-def test_sharded_wrapper_shims_warn():
-    service = ShardedService(
-        2, algorithm="cumulative", horizon=HORIZON, rho=math.inf
-    )
-    with pytest.warns(DeprecationWarning, match="observe"):
-        service.observe_round(_column(1))
-    assert service.t == 1
-    service.observe(_column(2))
-    assert service.t == 2
-    service.close()
+def test_wrapper_shims_are_gone():
+    streaming = StreamingSynthesizer.cumulative(horizon=HORIZON, rho=math.inf)
+    assert not hasattr(streaming, "observe_round")
+    streaming.observe(_column(1))
+    assert streaming.t == 1
+    sharded = ShardedService(2, algorithm="cumulative", horizon=HORIZON, rho=math.inf)
+    assert not hasattr(sharded, "observe_round")
+    assert not hasattr(sharded, "observe_round_async")
+    sharded.observe(_column(1))
+    assert sharded.t == 1
+    sharded.close()
 
 
 def test_releases_answer_like_the_protocol_promises():
@@ -144,3 +137,78 @@ def test_releases_answer_like_the_protocol_promises():
         for t in range(1, HORIZON + 1):
             release = synth.observe(_column(t))
         assert isinstance(release.answer(query, HORIZON), float), tag
+
+
+# ----------------------------------------------------------------------
+# Batched read path: bit-identity with the scalar loop
+# ----------------------------------------------------------------------
+
+
+def _workloads():
+    from repro.queries import AtLeastMOnes, HammingAtLeast, HammingExactly
+    from repro.queries.categorical import CategoryAtLeastM
+
+    window_mix = [
+        AtLeastMOnes(3, 1),
+        AtLeastMOnes(2, 2),
+        AtLeastMOnes(4, 1),  # min_time 4 > first answerable round -> NaN cell
+        AtLeastMOnes(5, 1),  # wider than the window -> record-level fallback
+    ]
+    return {
+        "fixed_window": (window_mix, range(3, HORIZON + 1)),
+        "clamped": (window_mix, range(3, HORIZON + 1)),
+        "recompute": (window_mix, range(3, HORIZON + 1)),
+        "density": ([AtLeastMOnes(3, 1), AtLeastMOnes(2, 2)], range(3, HORIZON + 1)),
+        "nonprivate": (window_mix, range(3, HORIZON + 1)),
+        "multi_attribute": (window_mix, range(3, HORIZON + 1)),
+        "cumulative": (
+            [HammingAtLeast(1), HammingExactly(2), HammingAtLeast(HORIZON + 9)],
+            range(1, HORIZON + 1),
+        ),
+        "categorical_window": (
+            [
+                CategoryAtLeastM(3, 3, category=1, m=1),
+                CategoryAtLeastM(2, 3, category=0, m=2),
+            ],
+            range(3, HORIZON + 1),
+        ),
+    }
+
+
+def _scalar_reference(release, queries, times, **kwargs):
+    grid = np.full((len(queries), len(times)), np.nan, dtype=np.float64)
+    for qi, query in enumerate(queries):
+        for ti, t in enumerate(times):
+            if t >= query.min_time():
+                grid[qi, ti] = release.answer(query, t, **kwargs)
+    return grid
+
+
+@pytest.mark.parametrize("tag", sorted(FACTORIES))
+def test_answer_batch_is_bit_identical_to_scalar_loop(tag):
+    """Cold cache, warm cache, and scalar loop agree float-for-float."""
+    queries, times = _workloads()[tag]
+    times = list(times)
+    synth = FACTORIES[tag]()
+    for t in range(1, HORIZON + 1):
+        release = synth.observe(_column(t))
+    cold = release.answer_batch(queries, times)
+    assert cold.shape == (len(queries), len(times))
+    warm = release.answer_batch(queries, times)
+    reference = _scalar_reference(release, queries, times)
+    assert np.array_equal(cold, reference, equal_nan=True), tag
+    assert np.array_equal(warm, reference, equal_nan=True), tag
+
+
+@pytest.mark.parametrize("tag", ["fixed_window", "clamped", "categorical_window"])
+def test_answer_batch_honors_debias_false(tag):
+    queries, times = _workloads()[tag]
+    times = list(times)
+    synth = FACTORIES[tag]()
+    for t in range(1, HORIZON + 1):
+        release = synth.observe(_column(t))
+    biased = release.answer_batch(queries, times, debias=False)
+    reference = _scalar_reference(release, queries, times, debias=False)
+    assert np.array_equal(biased, reference, equal_nan=True)
+    debiased = release.answer_batch(queries, times)
+    assert not np.array_equal(biased, debiased, equal_nan=True)

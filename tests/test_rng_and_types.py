@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.rng import ExactRandom, as_generator, spawn
-from repro.types import ReleaseProtocol, StreamCounterProtocol, SynthesizerProtocol
+from repro.types import Release, StreamCounterProtocol, Synthesizer
 
 
 class TestAsGenerator:
@@ -109,7 +109,7 @@ class TestProtocols:
             CategoricalWindowSynthesizer(horizon=4, window=2, alphabet=3, rho=1.0),
             RecomputeBaseline(horizon=4, window=2, rho=1.0),
         ):
-            assert isinstance(synthesizer, SynthesizerProtocol)
+            assert isinstance(synthesizer, Synthesizer)
 
     def test_builtin_releases_satisfy_protocol(self, small_markov_panel):
         from repro.core.cumulative import CumulativeSynthesizer
@@ -121,8 +121,8 @@ class TestProtocols:
         cumulative_release = CumulativeSynthesizer(
             horizon=small_markov_panel.horizon, rho=math.inf
         ).run(small_markov_panel)
-        assert isinstance(window_release, ReleaseProtocol)
-        assert isinstance(cumulative_release, ReleaseProtocol)
+        assert isinstance(window_release, Release)
+        assert isinstance(cumulative_release, Release)
 
     def test_builtin_counters_satisfy_protocol(self):
         from repro.streams.registry import available_counters, make_counter
